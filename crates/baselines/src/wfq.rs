@@ -1,0 +1,223 @@
+//! Weighted fair queueing via weighted DRR — the WFQ family of the
+//! paper's related work (§7), generalizing [`crate::drr`] from per-flow
+//! equality to per-*entity* weighted shares.
+//!
+//! Each entity class gets a deficit quantum proportional to its weight, so
+//! backlogged entities share the port in weight proportion regardless of
+//! their flow counts. This is the strongest thing a queueing discipline
+//! can do with the handful of physical queues a port has — and still
+//! cannot limit an entity below the line rate when the port is idle,
+//! which is exactly the gap AQ fills.
+
+use aq_netsim::ids::EntityId;
+use aq_netsim::packet::Packet;
+use aq_netsim::queue::{Enqueued, QueueDiscipline};
+use aq_netsim::time::Time;
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Debug, Default)]
+struct WfqClass {
+    weight: u64,
+    queue: VecDeque<(Packet, Time)>,
+    backlog: u64,
+    deficit: u64,
+    /// Bytes released (diagnostics).
+    pub released: u64,
+}
+
+/// The weighted-DRR discipline, classified by owning entity.
+pub struct WfqQueue {
+    /// Base quantum in bytes for weight 1 (scaled per class by weight).
+    pub base_quantum: u64,
+    /// Shared byte limit across all classes.
+    pub limit_bytes: u64,
+    default_weight: u64,
+    classes: BTreeMap<EntityId, WfqClass>,
+    active: VecDeque<EntityId>,
+    backlog: u64,
+    /// Cumulative drops.
+    pub drops: u64,
+}
+
+impl WfqQueue {
+    /// A WFQ port with the given base quantum and aggregate limit;
+    /// unknown entities default to weight 1.
+    pub fn new(base_quantum: u64, limit_bytes: u64) -> WfqQueue {
+        WfqQueue {
+            base_quantum,
+            limit_bytes,
+            default_weight: 1,
+            classes: BTreeMap::new(),
+            active: VecDeque::new(),
+            backlog: 0,
+            drops: 0,
+        }
+    }
+
+    /// Configure an entity's weight (create its class if needed).
+    pub fn set_weight(&mut self, entity: EntityId, weight: u64) {
+        assert!(weight > 0, "weights must be positive");
+        self.classes.entry(entity).or_default().weight = weight;
+    }
+
+    /// Bytes released for an entity so far.
+    pub fn released(&self, entity: EntityId) -> u64 {
+        self.classes.get(&entity).map(|c| c.released).unwrap_or(0)
+    }
+
+    fn class_mut(&mut self, entity: EntityId) -> &mut WfqClass {
+        let w = self.default_weight;
+        let c = self.classes.entry(entity).or_default();
+        if c.weight == 0 {
+            c.weight = w;
+        }
+        c
+    }
+}
+
+impl QueueDiscipline for WfqQueue {
+    fn enqueue(&mut self, now: Time, pkt: Packet) -> Enqueued {
+        if self.backlog + pkt.size as u64 > self.limit_bytes {
+            self.drops += 1;
+            return Enqueued::Dropped(pkt);
+        }
+        self.backlog += pkt.size as u64;
+        let entity = pkt.entity;
+        let size = pkt.size as u64;
+        let class = self.class_mut(entity);
+        let was_empty = class.queue.is_empty();
+        class.backlog += size;
+        class.queue.push_back((pkt, now));
+        if was_empty {
+            class.deficit = 0;
+            self.active.push_back(entity);
+        }
+        Enqueued::Ok
+    }
+
+    fn ready_at(&mut self, now: Time) -> Option<Time> {
+        (!self.active.is_empty()).then_some(now)
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        for _ in 0..=self.active.len() {
+            let entity = *self.active.front()?;
+            let quantum = {
+                let c = self.classes.get(&entity).expect("active class exists");
+                self.base_quantum * c.weight
+            };
+            let c = self.classes.get_mut(&entity).expect("active class exists");
+            let head = c.queue.front().expect("active class nonempty").0.size as u64;
+            if head <= c.deficit {
+                let (mut pkt, enq_at) = c.queue.pop_front().expect("nonempty");
+                c.deficit -= head;
+                c.backlog -= head;
+                c.released += head;
+                self.backlog -= head;
+                pkt.pq_delay_ns += now.since(enq_at).as_nanos();
+                if c.queue.is_empty() {
+                    c.deficit = 0;
+                    self.active.pop_front();
+                }
+                return Some(pkt);
+            }
+            c.deficit += quantum;
+            self.active.rotate_left(1);
+        }
+        None
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.backlog
+    }
+
+    fn backlog_pkts(&self) -> usize {
+        self.classes.values().map(|c| c.queue.len()).sum()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aq_netsim::ids::{FlowId, NodeId};
+
+    fn pkt(entity: u32, payload: u32) -> Packet {
+        Packet::data(
+            FlowId(1),
+            EntityId(entity),
+            NodeId(0),
+            NodeId(1),
+            0,
+            payload,
+            false,
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn weighted_shares_follow_configured_weights() {
+        let mut q = WfqQueue::new(1060, u64::MAX >> 1);
+        q.set_weight(EntityId(1), 1);
+        q.set_weight(EntityId(2), 3);
+        for _ in 0..400 {
+            q.enqueue(Time::ZERO, pkt(1, 1000));
+            q.enqueue(Time::ZERO, pkt(2, 1000));
+        }
+        let mut bytes = BTreeMap::new();
+        for _ in 0..200 {
+            let p = q.dequeue(Time::ZERO).expect("backlogged");
+            *bytes.entry(p.entity.0).or_insert(0u64) += p.size as u64;
+        }
+        let r = bytes[&2] as f64 / bytes[&1] as f64;
+        assert!((2.5..=3.5).contains(&r), "3:1 weights gave ratio {r}");
+    }
+
+    #[test]
+    fn unknown_entities_default_to_weight_one() {
+        let mut q = WfqQueue::new(1060, u64::MAX >> 1);
+        for _ in 0..100 {
+            q.enqueue(Time::ZERO, pkt(7, 1000));
+            q.enqueue(Time::ZERO, pkt(9, 1000));
+        }
+        let mut count = BTreeMap::new();
+        for _ in 0..100 {
+            let p = q.dequeue(Time::ZERO).expect("backlogged");
+            *count.entry(p.entity.0).or_insert(0u32) += 1;
+        }
+        assert_eq!(count[&7], 50);
+        assert_eq!(count[&9], 50);
+    }
+
+    #[test]
+    fn aggregate_limit_applies_across_classes() {
+        let mut q = WfqQueue::new(1060, 2120);
+        assert!(matches!(q.enqueue(Time::ZERO, pkt(1, 1000)), Enqueued::Ok));
+        assert!(matches!(q.enqueue(Time::ZERO, pkt(2, 1000)), Enqueued::Ok));
+        assert!(matches!(
+            q.enqueue(Time::ZERO, pkt(3, 1000)),
+            Enqueued::Dropped(_)
+        ));
+        assert_eq!(q.drops, 1);
+    }
+
+    #[test]
+    fn empty_class_does_not_bank_deficit() {
+        let mut q = WfqQueue::new(1060, u64::MAX >> 1);
+        q.set_weight(EntityId(1), 10);
+        q.enqueue(Time::ZERO, pkt(1, 1000));
+        assert!(q.dequeue(Time::ZERO).is_some());
+        // The class went idle: its deficit resets, so a later packet of a
+        // competitor is not starved by banked credit.
+        q.enqueue(Time::ZERO, pkt(1, 1000));
+        q.enqueue(Time::ZERO, pkt(2, 1000));
+        let mut seen = Vec::new();
+        while let Some(p) = q.dequeue(Time::ZERO) {
+            seen.push(p.entity.0);
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Ablation — the two AQ-limit configuration policies of §6.
+//!
+//! `MatchPhysicalQueue` gives every AQ the PQ's limit (entities configure
+//! CC exactly as against the PQ, but the summed AQ limits exceed the PQ
+//! limit). `ProportionalShare` divides the PQ limit by allocated
+//! bandwidth, which can leave a low-rate entity with a limit too small to
+//! absorb its bursts — the paper predicts excess drops may keep it from
+//! its allocation unless a minimum limit floor is applied. This ablation
+//! measures a 100 Mbps entity beside a 9.9 Gbps entity under the three
+//! settings: the no-floor proportional limit is 2 KB — under two packets —
+//! so the small entity cannot even hold a burst of two segments.
+
+use aq_bench::report;
+use aq_core::{
+    AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
+};
+use aq_netsim::ids::EntityId;
+use aq_netsim::packet::AqTag;
+use aq_netsim::queue::FifoConfig;
+use aq_netsim::sim::Simulator;
+use aq_netsim::time::{Duration, Rate, Time};
+use aq_netsim::topology::dumbbell;
+use aq_transport::{CcAlgo, DelaySignal, FlowKind};
+use aq_workloads::{add_flows, ensure_transport_hosts, goodput_gbps, long_flows};
+
+const PQ_LIMIT: u64 = 200_000;
+
+fn run(policy: LimitPolicy) -> (f64, u64) {
+    let d = dumbbell(
+        2,
+        Rate::from_gbps(10),
+        Duration::from_micros(10),
+        FifoConfig {
+            limit_bytes: PQ_LIMIT,
+            ecn_threshold_bytes: None,
+        },
+    );
+    let mut ctl = AqController::new(Rate::from_gbps(10), policy);
+    let g_small = ctl
+        .request(AqRequest {
+            demand: BandwidthDemand::Absolute(Rate::from_mbps(100)),
+            cc: CcPolicy::DropBased,
+            position: Position::Ingress,
+            limit_override: None,
+        })
+        .expect("admits");
+    let g_big = ctl
+        .request(AqRequest {
+            demand: BandwidthDemand::Absolute(Rate::from_mbps(9_900)),
+            cc: CcPolicy::DropBased,
+            position: Position::Ingress,
+            limit_override: None,
+        })
+        .expect("admits");
+    let mut pipe = AqPipeline::new();
+    ctl.deploy_all(&mut pipe);
+    let mut net = d.net;
+    net.add_pipeline(d.sw_left, Box::new(pipe));
+    ensure_transport_hosts(&mut net);
+    add_flows(
+        &mut net,
+        long_flows(
+            EntityId(1),
+            &[(d.left[0], d.right[0])],
+            2,
+            FlowKind::Tcp(CcAlgo::Cubic),
+            g_small.id,
+            AqTag::NONE,
+            DelaySignal::MeasuredRtt,
+            1,
+        ),
+    );
+    add_flows(
+        &mut net,
+        long_flows(
+            EntityId(2),
+            &[(d.left[1], d.right[1])],
+            5,
+            FlowKind::Tcp(CcAlgo::Cubic),
+            g_big.id,
+            AqTag::NONE,
+            DelaySignal::MeasuredRtt,
+            100,
+        ),
+    );
+    let mut sim = Simulator::new(net);
+    sim.run_until(Time::from_millis(400));
+    let small = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(100),
+        Time::from_millis(400),
+    );
+    let drops = sim
+        .stats
+        .entity(EntityId(1))
+        .map(|e| e.drops)
+        .unwrap_or(0);
+    (small, drops)
+}
+
+fn main() {
+    report::banner(
+        "Ablation: AQ limit policy (§6)",
+        "achieved rate of a 100 Mbps entity vs the limit-division policy",
+    );
+    let widths = [34, 16, 12];
+    report::header(&["policy", "achieved Gbps", "drops"], &widths);
+    let cases: Vec<(&str, LimitPolicy)> = vec![
+        (
+            "MatchPhysicalQueue (200 KB each)",
+            LimitPolicy::MatchPhysicalQueue {
+                pq_limit_bytes: PQ_LIMIT,
+            },
+        ),
+        (
+            "ProportionalShare (no floor)",
+            LimitPolicy::ProportionalShare {
+                pq_limit_bytes: PQ_LIMIT,
+                min_bytes: 0,
+            },
+        ),
+        (
+            "ProportionalShare (30 KB floor)",
+            LimitPolicy::ProportionalShare {
+                pq_limit_bytes: PQ_LIMIT,
+                min_bytes: 30_000,
+            },
+        ),
+    ];
+    for (name, policy) in cases {
+        let (gbps, drops) = run(policy);
+        report::row(
+            &[name.to_string(), format!("{gbps:.3}"), format!("{drops}")],
+            &widths,
+        );
+    }
+    report::note(
+        "expected: the 100 Mbps entity reaches ~0.094 Gbps payload under MatchPhysicalQueue; \
+         a proportional limit without a floor (2 KB here, under two packets) causes excess \
+         drops and undershoot, which the 30 KB floor repairs — exactly the §6 discussion",
+    );
+}

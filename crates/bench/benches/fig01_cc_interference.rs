@@ -1,0 +1,84 @@
+//! Figure 1 — traffic interference between different CC algorithms
+//! sharing one physical queue.
+//!
+//! Setup (per the paper's §2.2 measurement): a shared dumbbell at 10 Gbps;
+//! two CC algorithms at a time, 10 flows each, one shared physical queue
+//! with a DCTCP-style ECN threshold (required for the ECN-based contender
+//! to function at all). The paper reports e.g. CUBIC+DCTCP → 0.7 + 8.7
+//! Gbps and CUBIC+Swift → 9.1 + 0.2 Gbps: the ECN-based algorithm
+//! dominates loss-based ones, and the delay-based algorithm starves
+//! against everyone.
+
+use aq_bench::{build_dumbbell, report, steady_goodput, Approach, EntitySetup, ExpConfig, LongKind, Traffic};
+use aq_netsim::ids::EntityId;
+use aq_netsim::time::{Duration, Time};
+use aq_transport::CcAlgo;
+
+fn swift() -> CcAlgo {
+    CcAlgo::Swift {
+        target: Duration::from_micros(50),
+    }
+}
+
+fn main() {
+    report::banner(
+        "Figure 1",
+        "throughput of CC pairs sharing one physical queue (10 flows each, 10 Gbps)",
+    );
+    let pairs: Vec<(CcAlgo, CcAlgo)> = vec![
+        (CcAlgo::Cubic, CcAlgo::NewReno),
+        (CcAlgo::Cubic, CcAlgo::Dctcp),
+        (CcAlgo::NewReno, CcAlgo::Dctcp),
+        (CcAlgo::Cubic, swift()),
+        (CcAlgo::Dctcp, swift()),
+        (CcAlgo::NewReno, swift()),
+    ];
+    let widths = [22, 12, 12];
+    report::header(&["pair", "first Gbps", "second Gbps"], &widths);
+    for (a, b) in pairs {
+        let entities = vec![
+            EntitySetup {
+                entity: EntityId(1),
+                n_vms: 1,
+                cc: a,
+                weight: 1,
+                traffic: Traffic::Long {
+                    n: 10,
+                    kind: LongKind::Tcp,
+                },
+            },
+            EntitySetup {
+                entity: EntityId(2),
+                n_vms: 1,
+                cc: b,
+                weight: 1,
+                traffic: Traffic::Long {
+                    n: 10,
+                    kind: LongKind::Tcp,
+                },
+            },
+        ];
+        let cfg = ExpConfig {
+            ecn_threshold: aq_bench::pq_ecn_for(Approach::Pq, &entities),
+            ..Default::default()
+        };
+        let mut exp = build_dumbbell(Approach::Pq, &entities, cfg);
+        exp.sim.run_until(Time::from_millis(400));
+        let ga = steady_goodput(&exp.sim, EntityId(1), Time::from_millis(100), Time::from_millis(400));
+        let gb = steady_goodput(&exp.sim, EntityId(2), Time::from_millis(100), Time::from_millis(400));
+        report::row(
+            &[
+                format!("{}+{}", a.name(), b.name()),
+                report::gbps(ga),
+                report::gbps(gb),
+            ],
+            &widths,
+        );
+    }
+    report::paper_row(
+        "CUBIC+DCTCP",
+        "0.7 + 8.7 Gbps (ECN-based starves loss-based)",
+    );
+    report::paper_row("CUBIC+Swift", "9.1 + 0.2 Gbps (delay-based starves)");
+    report::note("shape to match: DCTCP dominates drop-based CC; Swift is starved by all");
+}

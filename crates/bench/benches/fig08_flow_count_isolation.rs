@@ -1,0 +1,85 @@
+//! Figure 8 — entity throughput versus per-entity flow counts.
+//!
+//! Entities A (1 long flow) and B (1–64 long flows) share the 10 Gbps
+//! core. Under PQ, B's share grows with its flow count until A starves;
+//! under AQ the split follows the configured weights (1:1 and 1:2)
+//! regardless of flow count.
+
+use aq_bench::{
+    build_dumbbell, report, steady_goodput, Approach, EntitySetup, ExpConfig, LongKind, Traffic,
+};
+use aq_netsim::ids::EntityId;
+use aq_netsim::time::Time;
+use aq_transport::CcAlgo;
+
+fn shares(approach: Approach, b_flows: usize, weights: (u64, u64)) -> (f64, f64) {
+    let entities = vec![
+        EntitySetup {
+            entity: EntityId(1),
+            n_vms: 1,
+            cc: CcAlgo::Cubic,
+            weight: weights.0,
+            traffic: Traffic::Long {
+                n: 1,
+                kind: LongKind::Tcp,
+            },
+        },
+        EntitySetup {
+            entity: EntityId(2),
+            n_vms: 1,
+            cc: CcAlgo::Cubic,
+            weight: weights.1,
+            traffic: Traffic::Long {
+                n: b_flows,
+                kind: LongKind::Tcp,
+            },
+        },
+    ];
+    let mut exp = build_dumbbell(approach, &entities, ExpConfig::default());
+    exp.sim.run_until(Time::from_millis(500));
+    (
+        steady_goodput(&exp.sim, EntityId(1), Time::from_millis(150), Time::from_millis(500)),
+        steady_goodput(&exp.sim, EntityId(2), Time::from_millis(150), Time::from_millis(500)),
+    )
+}
+
+fn main() {
+    report::banner(
+        "Figure 8",
+        "throughput of entity A (1 flow) vs entity B (1-64 flows), 10 Gbps core",
+    );
+    let widths = [10, 10, 10, 12, 12, 14, 14];
+    report::header(
+        &[
+            "B flows",
+            "PQ A",
+            "PQ B",
+            "AQ(1:1) A",
+            "AQ(1:1) B",
+            "AQ(1:2) A",
+            "AQ(1:2) B",
+        ],
+        &widths,
+    );
+    for b_flows in [1usize, 4, 16, 64] {
+        let (pa, pb) = shares(Approach::Pq, b_flows, (1, 1));
+        let (a11, b11) = shares(Approach::Aq, b_flows, (1, 1));
+        let (a12, b12) = shares(Approach::Aq, b_flows, (1, 2));
+        report::row(
+            &[
+                format!("{b_flows}"),
+                report::gbps(pa),
+                report::gbps(pb),
+                report::gbps(a11),
+                report::gbps(b11),
+                report::gbps(a12),
+                report::gbps(b12),
+            ],
+            &widths,
+        );
+    }
+    report::paper_row(
+        "Fig. 8",
+        "PQ: B's share tracks its flow count (A starved at 64); AQ: 1:1 and 1:2 by weight",
+    );
+}

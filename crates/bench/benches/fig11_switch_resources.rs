@@ -1,0 +1,73 @@
+//! Figure 11 — data-plane resource usage of the AQ program.
+//!
+//! The paper measures its P4 prototype's utilization of the Tofino
+//! pipeline (≈16.8 % stages, 12.5 % MAUs, 7.5 % PHV). We have no Tofino;
+//! this harness evaluates the documented static accounting model in
+//! `aq_core::resources` — same program structure (tag match, two
+//! stateful-ALU stages for Algorithm 1, packed Algorithm-2 actions) against
+//! Tofino-1-class capacities — and also prints feature ablations the model
+//! makes possible.
+
+use aq_bench::report;
+use aq_core::resources::{aq_program_usage, AqFeatures, DeviceCapacity};
+
+fn print_usage(label: &str, f: AqFeatures, n_aqs: u64) {
+    let u = aq_program_usage(f, n_aqs).utilization(DeviceCapacity::TOFINO1);
+    report::row(
+        &[
+            label.to_string(),
+            format!("{:.1}%", u.stages_pct),
+            format!("{:.1}%", u.maus_pct),
+            format!("{:.1}%", u.phv_pct),
+            format!("{:.1}%", u.salus_pct),
+            format!("{:.2}%", u.sram_pct),
+        ],
+        &[26, 9, 9, 9, 9, 9],
+    );
+}
+
+fn main() {
+    report::banner(
+        "Figure 11",
+        "switch data-plane resource usage (static accounting model, Tofino-1 capacities)",
+    );
+    let widths = [26, 9, 9, 9, 9, 9];
+    report::header(
+        &["configuration", "stages", "MAUs", "PHV", "sALUs", "SRAM"],
+        &widths,
+    );
+    print_usage("full AQ (64k AQs)", AqFeatures::FULL, 65_536);
+    print_usage(
+        "no delay feedback",
+        AqFeatures {
+            delay_feedback: false,
+            ..AqFeatures::FULL
+        },
+        65_536,
+    );
+    print_usage(
+        "no ECN feedback",
+        AqFeatures {
+            ecn_feedback: false,
+            ..AqFeatures::FULL
+        },
+        65_536,
+    );
+    print_usage(
+        "ingress position only",
+        AqFeatures {
+            both_positions: false,
+            ..AqFeatures::FULL
+        },
+        65_536,
+    );
+    print_usage("full AQ (1M AQs)", AqFeatures::FULL, 1_000_000);
+    report::paper_row(
+        "Fig. 11",
+        "prototype uses 16.8% pipeline stages, 12.5% MAUs, 7.5% PHV on the Tofino testbed",
+    );
+    report::note(
+        "substitution: percentages come from the documented accounting model in \
+         aq_core::resources, not measured silicon (see DESIGN.md)",
+    );
+}

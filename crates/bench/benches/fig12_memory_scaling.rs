@@ -1,0 +1,59 @@
+//! Figure 12 — switch memory consumption versus the number of deployed
+//! AQs.
+//!
+//! Each AQ occupies 15 bytes of register memory in the packed layout
+//! (4 B id + 3 B rate + limit/gap/last_time/CC fields — see
+//! `aq_core::config::PackedAq`). This harness deploys real `AqTable`s at
+//! each scale, reports the register-memory model the paper plots, and
+//! verifies that millions of AQs fit comfortably in tens of MB.
+
+use aq_bench::report;
+use aq_core::resources::DeviceCapacity;
+use aq_core::{AqConfig, AqTable, CcPolicy};
+use aq_netsim::packet::AqTag;
+use aq_netsim::time::Rate;
+
+fn table_with(n: u32) -> AqTable {
+    let mut t = AqTable::new();
+    for i in 1..=n {
+        t.deploy(AqConfig {
+            id: AqTag(i),
+            rate: Rate::from_mbps(1 + i as u64 % 100_000),
+            limit_bytes: 200_000,
+            cc: CcPolicy::DropBased,
+        });
+    }
+    t
+}
+
+fn main() {
+    report::banner(
+        "Figure 12",
+        "switch register memory vs number of deployed AQs (15 B per AQ)",
+    );
+    let widths = [12, 16, 18];
+    report::header(&["#AQs", "memory", "% of 32 MiB SRAM"], &widths);
+    let cap = DeviceCapacity::TOFINO1.sram_bytes as f64;
+    for n in [1_000u32, 10_000, 100_000, 1_000_000, 2_000_000] {
+        let t = table_with(n);
+        let bytes = t.register_memory_bytes();
+        assert_eq!(bytes, n as usize * 15, "packed layout is 15 B per AQ");
+        let human = if bytes >= 1_000_000 {
+            format!("{:.1} MB", bytes as f64 / 1e6)
+        } else {
+            format!("{:.1} KB", bytes as f64 / 1e3)
+        };
+        report::row(
+            &[
+                format!("{n}"),
+                human,
+                format!("{:.2}%", 100.0 * bytes as f64 / cap),
+            ],
+            &widths,
+        );
+    }
+    report::paper_row(
+        "Fig. 12",
+        "linear in #AQs; programmable switches with tens of MB comfortably hold millions",
+    );
+}

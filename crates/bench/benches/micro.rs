@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks: the per-packet fast paths whose cost
+//! determines whether the abstraction scales to millions of entities.
+//!
+//! * `gap_update` — one Algorithm-1 A-Gap update;
+//! * `algorithm2` — full Algorithm-2 processing (drop/mark/delay paths);
+//! * `table_lookup_1m` — AQ table hit among one million deployed AQs;
+//! * `packed_encode` — 15-byte register encode of an AQ;
+//! * `switch_forwarding` — end-to-end simulated switch packet rate with an
+//!   AQ pipeline attached.
+
+use aq_core::{AqConfig, AqInstance, AqPipeline, AqTable, CcPolicy, PackedAq};
+use aq_netsim::ids::{EntityId, FlowId, NodeId};
+use aq_netsim::packet::{AqTag, Packet};
+use aq_netsim::queue::FifoConfig;
+use aq_netsim::sim::Simulator;
+use aq_netsim::time::{Duration, Rate, Time};
+use aq_netsim::topology::dumbbell;
+use aq_transport::{DelaySignal, FlowKind};
+use aq_workloads::{add_flows, ensure_transport_hosts, long_flows};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn cfg(id: u32) -> AqConfig {
+    AqConfig {
+        id: AqTag(id),
+        rate: Rate::from_gbps(5),
+        limit_bytes: 200_000,
+        cc: CcPolicy::EcnBased {
+            threshold_bytes: 65_000,
+        },
+    }
+}
+
+fn pkt() -> Packet {
+    let mut p = Packet::data(
+        FlowId(1),
+        EntityId(1),
+        NodeId(0),
+        NodeId(1),
+        0,
+        1000,
+        false,
+        Time::ZERO,
+    );
+    p.ecn = aq_netsim::packet::Ecn::Capable;
+    p
+}
+
+fn bench_gap_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fast_path");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("gap_update", |b| {
+        let mut inst = AqInstance::new(cfg(1));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 800;
+            black_box(inst.gap.on_packet(Time::from_nanos(t), black_box(1060)))
+        })
+    });
+    g.bench_function("algorithm2", |b| {
+        let mut inst = AqInstance::new(cfg(1));
+        let mut p = pkt();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 800;
+            black_box(aq_core::process_packet(
+                &mut inst,
+                Time::from_nanos(t),
+                &mut p,
+            ))
+        })
+    });
+    g.bench_function("packed_encode", |b| {
+        let inst = AqInstance::new(cfg(123_456));
+        b.iter(|| black_box(PackedAq::encode(black_box(&inst))))
+    });
+    g.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table");
+    let mut table = AqTable::new();
+    for i in 1..=1_000_000u32 {
+        table.deploy(cfg(i));
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lookup_1m", |b| {
+        let mut i = 1u32;
+        b.iter(|| {
+            i = i % 1_000_000 + 1;
+            black_box(table.get(AqTag(i)).expect("deployed").gap.bytes())
+        })
+    });
+    g.bench_function("update_1m", |b| {
+        let mut i = 1u32;
+        let mut t = 0u64;
+        b.iter(|| {
+            i = i % 1_000_000 + 1;
+            t += 10;
+            let inst = table.get_mut(AqTag(i)).expect("deployed");
+            black_box(inst.gap.on_packet(Time::from_nanos(t), 1060))
+        })
+    });
+    g.finish();
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("switch_forwarding_10ms", |b| {
+        b.iter(|| {
+            let d = dumbbell(
+                1,
+                Rate::from_gbps(10),
+                Duration::from_micros(10),
+                FifoConfig::default(),
+            );
+            let mut net = d.net;
+            let mut pipe = AqPipeline::new();
+            pipe.deploy_ingress(cfg(1));
+            net.add_pipeline(d.sw_left, Box::new(pipe));
+            ensure_transport_hosts(&mut net);
+            add_flows(
+                &mut net,
+                long_flows(
+                    EntityId(1),
+                    &[(d.left[0], d.right[0])],
+                    1,
+                    FlowKind::Udp {
+                        rate: Rate::from_gbps(10),
+                    },
+                    AqTag(1),
+                    AqTag::NONE,
+                    DelaySignal::MeasuredRtt,
+                    1,
+                ),
+            );
+            let mut sim = Simulator::new(net);
+            sim.run_until(Time::from_millis(10));
+            black_box(sim.processed_events)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gap_update, bench_table, bench_switch);
+criterion_main!(benches);

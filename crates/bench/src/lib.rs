@@ -1,0 +1,446 @@
+//! # aq-bench — experiment harnesses for every table and figure
+//!
+//! Each `benches/figXX_*.rs` / `benches/tableX_*.rs` target (custom
+//! `harness = false`) regenerates one table or figure of the paper and
+//! prints the same rows/series the paper reports; `cargo bench` therefore
+//! re-runs the whole evaluation. This library holds the shared scaffolding:
+//! building one of the four compared approaches (PQ, AQ, PRL, DRL) around
+//! a common topology and entity description.
+
+use aq_baselines::{Classify, ElasticSwitch, HtbShaper, VmConfig};
+use aq_core::{
+    AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
+};
+use aq_netsim::ids::{EntityId, NodeId};
+use aq_netsim::packet::AqTag;
+use aq_netsim::queue::FifoConfig;
+use aq_netsim::sim::Simulator;
+use aq_netsim::time::{Duration, Rate, Time};
+use aq_netsim::topology::{dumbbell, Dumbbell};
+use aq_transport::{CcAlgo, DelaySignal, FlowKind};
+use aq_workloads::{add_flows, ensure_transport_hosts, long_flows, ClosedWorkload, WorkloadSpec};
+
+pub mod report;
+
+/// The four approaches compared throughout §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// Plain physical queues.
+    Pq,
+    /// Augmented Queues (this paper).
+    Aq,
+    /// Pre-determined rate limiters (HTB at hosts, fixed even split).
+    Prl,
+    /// Dynamic rate limiters (ElasticSwitch-style, 15 ms adjustment).
+    Drl,
+}
+
+impl Approach {
+    /// All four, in the paper's reporting order.
+    pub const ALL: [Approach; 4] = [Approach::Pq, Approach::Aq, Approach::Prl, Approach::Drl];
+
+    /// Display name used in printed rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Approach::Pq => "PQ",
+            Approach::Aq => "AQ",
+            Approach::Prl => "PRL",
+            Approach::Drl => "DRL",
+        }
+    }
+}
+
+/// What an entity sends.
+#[derive(Debug, Clone)]
+pub enum Traffic {
+    /// Open-loop web-search flows: `n_flows` Poisson arrivals at `load`
+    /// of the bottleneck.
+    WebSearch {
+        /// Number of flows.
+        n_flows: usize,
+        /// Offered load fraction of the bottleneck capacity.
+        load: f64,
+    },
+    /// Closed-loop web-search replay: `n_flows` dealt round-robin to the
+    /// entity's VMs, each VM running its list back to back (the paper's
+    /// per-VM trace-replay model for Figs. 6/7/10).
+    WebSearchClosed {
+        /// Total flows across the entity's VMs.
+        n_flows: usize,
+        /// Flow-size multiplier (bandwidth-boundedness knob).
+        size_scale: f64,
+    },
+    /// `n` long-lived flows (TCP of the entity's CC, or UDP at `rate`).
+    Long {
+        /// Flow count.
+        n: usize,
+        /// TCP (entity CC) or UDP.
+        kind: LongKind,
+    },
+}
+
+/// Long-lived flow kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LongKind {
+    /// TCP under the entity's CC algorithm.
+    Tcp,
+    /// UDP at the given rate.
+    Udp(Rate),
+}
+
+/// One entity in an experiment.
+#[derive(Debug, Clone)]
+pub struct EntitySetup {
+    /// Entity id (must be unique and nonzero).
+    pub entity: EntityId,
+    /// Number of sending VMs (left-side hosts) the entity owns.
+    pub n_vms: usize,
+    /// Congestion control used by all the entity's TCP flows.
+    pub cc: CcAlgo,
+    /// Network weight (weighted AQ mode; PRL/DRL derive even splits).
+    pub weight: u64,
+    /// What the entity sends.
+    pub traffic: Traffic,
+}
+
+/// Common experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Per-link rate (every dumbbell link, including the core).
+    pub link: Rate,
+    /// One-way propagation per link.
+    pub prop: Duration,
+    /// Core physical-queue limit.
+    pub pq_limit: u64,
+    /// Core ECN threshold (needed whenever ECN-based CC participates).
+    pub ecn_threshold: Option<u64>,
+    /// Workload/jitter seed.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            link: Rate::from_gbps(10),
+            prop: Duration::from_micros(10),
+            pq_limit: 200_000,
+            ecn_threshold: None,
+            seed: 1,
+        }
+    }
+}
+
+/// The physical-queue ECN threshold an operator would configure for this
+/// experiment: switches get a marking threshold only when ECN-based CC
+/// runs against the *physical* queue. Under AQ the physical queue is a
+/// dumb buffer — the AQ's virtual threshold generates the ECN signal — so
+/// no PQ ECN config is used (and non-ECT traffic is not RED-dropped).
+pub fn pq_ecn_for(approach: Approach, entities: &[EntitySetup]) -> Option<u64> {
+    let has_ecn_cc = entities.iter().any(|e| matches!(e.cc, CcAlgo::Dctcp));
+    match approach {
+        Approach::Aq => None,
+        _ if has_ecn_cc => Some(65_000),
+        _ => None,
+    }
+}
+
+/// A fully-wired experiment ready to run.
+pub struct Experiment {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Per-entity sending hosts (left side).
+    pub entity_vms: Vec<(EntityId, Vec<NodeId>)>,
+    /// Right-side hosts (receivers).
+    pub receivers: Vec<NodeId>,
+    /// The dumbbell's core bottleneck port.
+    pub core_port: aq_netsim::ids::PortId,
+}
+
+/// AQ CC policy for a transport CC algorithm, with the paper's virtual
+/// ECN threshold for ECN-based CC.
+pub fn cc_policy_for(cc: CcAlgo) -> CcPolicy {
+    match cc {
+        CcAlgo::Dctcp => CcPolicy::EcnBased {
+            threshold_bytes: 30_000,
+        },
+        CcAlgo::Swift { .. } => CcPolicy::DelayBased,
+        _ => CcPolicy::DropBased,
+    }
+}
+
+/// Build a dumbbell experiment: each entity gets `n_vms` left-side hosts
+/// (in declaration order); the right side mirrors the left and is used as
+/// the destination pool by all entities.
+pub fn build_dumbbell(approach: Approach, entities: &[EntitySetup], cfg: ExpConfig) -> Experiment {
+    let total_vms: usize = entities.iter().map(|e| e.n_vms).sum();
+    let pairs = total_vms.max(2);
+    let core_fifo = FifoConfig {
+        limit_bytes: cfg.pq_limit,
+        ecn_threshold_bytes: cfg.ecn_threshold,
+    };
+    let d: Dumbbell = dumbbell(pairs, cfg.link, cfg.prop, core_fifo);
+    let mut net = d.net;
+
+    // Assign VMs to entities in order.
+    let mut entity_vms = Vec::new();
+    let mut next = 0usize;
+    for e in entities {
+        let vms: Vec<NodeId> = d.left[next..next + e.n_vms].to_vec();
+        next += e.n_vms;
+        entity_vms.push((e.entity, vms));
+    }
+    let receivers = d.right.clone();
+
+    // Approach-specific control plane.
+    let mut tags: Vec<(EntityId, AqTag)> = Vec::new();
+    let mut drl_vm_cfgs: Option<Vec<VmConfig>> = None;
+    match approach {
+        Approach::Pq => {}
+        Approach::Aq => {
+            let mut ctl = AqController::new(
+                cfg.link,
+                LimitPolicy::MatchPhysicalQueue {
+                    pq_limit_bytes: cfg.pq_limit,
+                },
+            );
+            for e in entities {
+                let grant = ctl
+                    .request(AqRequest {
+                        demand: BandwidthDemand::Weighted(e.weight),
+                        cc: cc_policy_for(e.cc),
+                        position: Position::Ingress,
+                        limit_override: None,
+                    })
+                    .expect("weighted grants always admit");
+                tags.push((e.entity, grant.id));
+            }
+            let mut pipe = AqPipeline::new();
+            ctl.deploy_all(&mut pipe);
+            net.add_pipeline(d.sw_left, Box::new(pipe));
+        }
+        Approach::Prl | Approach::Drl => {
+            // Entity share = weight-proportional slice of the core;
+            // each VM gets share/n_vms. PRL keeps it fixed; DRL lets the
+            // ElasticSwitch agent retune class rates every 15 ms.
+            let total_w: u64 = entities.iter().map(|e| e.weight).sum();
+            let classify = if approach == Approach::Prl {
+                Classify::All
+            } else {
+                Classify::ByDst
+            };
+            let mut vm_cfgs = Vec::new();
+            for (e, (_, vms)) in entities.iter().zip(&entity_vms) {
+                let entity_rate = cfg.link.scaled(e.weight, total_w.max(1));
+                let vm_rate = entity_rate.scaled(1, e.n_vms.max(1) as u64);
+                for vm in vms {
+                    let up = net.host_uplink(*vm);
+                    net.ports[up.index()].queue =
+                        Box::new(HtbShaper::new(classify, vm_rate, 30_000, 4_000_000));
+                    vm_cfgs.push(VmConfig {
+                        host: *vm,
+                        uplink: up,
+                        out_guarantee: vm_rate,
+                        // Receivers are uncontended in the dumbbell; no
+                        // inbound hose constraint binds here.
+                        in_guarantee: cfg.link,
+                    });
+                }
+            }
+            if approach == Approach::Drl {
+                drl_vm_cfgs = Some(vm_cfgs);
+            }
+        }
+    }
+    ensure_transport_hosts(&mut net);
+    let mut sim = Simulator::new(net);
+    sim.set_seed(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+    if let Some(vm_cfgs) = drl_vm_cfgs {
+        sim.add_agent(Box::new(ElasticSwitch::new(vm_cfgs)));
+    }
+    install_traffic(&mut sim, entities, &entity_vms, &receivers, &tags, cfg);
+    Experiment {
+        sim,
+        entity_vms,
+        receivers,
+        core_port: d.core_port,
+    }
+}
+
+fn install_traffic(
+    sim: &mut Simulator,
+    entities: &[EntitySetup],
+    entity_vms: &[(EntityId, Vec<NodeId>)],
+    receivers: &[NodeId],
+    tags: &[(EntityId, AqTag)],
+    cfg: ExpConfig,
+) {
+    let mut flow_base = 1u32;
+    for (e, (_, vms)) in entities.iter().zip(entity_vms) {
+        let tag = tags
+            .iter()
+            .find(|(id, _)| *id == e.entity)
+            .map(|(_, t)| *t)
+            .unwrap_or(AqTag::NONE);
+        let delay_signal = if e.cc.delay_based() && tag.is_some() {
+            DelaySignal::VirtualDelay
+        } else {
+            DelaySignal::MeasuredRtt
+        };
+        match &e.traffic {
+            Traffic::WebSearch { n_flows, load } => {
+                let mut spec = WorkloadSpec::web_search(
+                    e.entity,
+                    vms.clone(),
+                    receivers.to_vec(),
+                    e.cc,
+                    *n_flows,
+                    *load,
+                    cfg.link,
+                    cfg.seed.wrapping_add(e.entity.0 as u64 * 7919),
+                )
+                .with_aq(tag, AqTag::NONE);
+                spec.delay_signal = delay_signal;
+                add_flows(&mut sim.net, spec.generate(flow_base));
+                flow_base += *n_flows as u32;
+            }
+            Traffic::WebSearchClosed { n_flows, size_scale } => {
+                // Every entity replays the *same* trace (same seed): the
+                // paper's entities "both run the web search trace", and a
+                // shared flow list is what makes completion times
+                // comparable under a heavy-tailed size distribution.
+                let mut spec = ClosedWorkload::web_search(
+                    e.entity,
+                    vms.clone(),
+                    receivers.to_vec(),
+                    e.cc,
+                    *n_flows,
+                    cfg.seed,
+                )
+                .with_size_scale(*size_scale)
+                .with_aq(tag, AqTag::NONE);
+                spec.delay_signal = delay_signal;
+                add_flows(&mut sim.net, spec.generate(flow_base));
+                flow_base += *n_flows as u32;
+            }
+            Traffic::Long { n, kind } => {
+                let pairs: Vec<(NodeId, NodeId)> = vms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, vm)| (*vm, receivers[i % receivers.len()]))
+                    .collect();
+                let fk = match kind {
+                    LongKind::Tcp => FlowKind::Tcp(e.cc),
+                    LongKind::Udp(rate) => FlowKind::Udp { rate: *rate },
+                };
+                add_flows(
+                    &mut sim.net,
+                    long_flows(
+                        e.entity,
+                        &pairs,
+                        *n,
+                        fk,
+                        tag,
+                        AqTag::NONE,
+                        delay_signal,
+                        flow_base,
+                    ),
+                );
+                flow_base += *n as u32;
+            }
+        }
+    }
+}
+
+/// Steady-state goodput of an entity in Gbit/s over `[warmup, until)`.
+pub fn steady_goodput(sim: &Simulator, e: EntityId, warmup: Time, until: Time) -> f64 {
+    aq_workloads::goodput_gbps(&sim.stats, e, warmup, until)
+}
+
+/// Run until all entities' workloads complete (or `deadline`); returns
+/// per-entity completion time in seconds (`None` if unfinished).
+pub fn run_workload(
+    sim: &mut Simulator,
+    entities: &[EntityId],
+    deadline: Time,
+) -> Vec<Option<f64>> {
+    aq_workloads::run_until_complete(sim, entities, deadline, Duration::from_millis(10));
+    entities
+        .iter()
+        .map(|e| sim.stats.entity_completion(*e).map(|d| d.as_secs_f64()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_long_entities() -> Vec<EntitySetup> {
+        vec![
+            EntitySetup {
+                entity: EntityId(1),
+                n_vms: 1,
+                cc: CcAlgo::Cubic,
+                weight: 1,
+                traffic: Traffic::Long {
+                    n: 2,
+                    kind: LongKind::Tcp,
+                },
+            },
+            EntitySetup {
+                entity: EntityId(2),
+                n_vms: 1,
+                cc: CcAlgo::Cubic,
+                weight: 1,
+                traffic: Traffic::Long {
+                    n: 2,
+                    kind: LongKind::Tcp,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn all_four_approaches_build_and_run() {
+        for approach in Approach::ALL {
+            let mut exp = build_dumbbell(approach, &two_long_entities(), ExpConfig::default());
+            exp.sim.run_until(Time::from_millis(20));
+            let total: f64 = [EntityId(1), EntityId(2)]
+                .iter()
+                .map(|e| steady_goodput(&exp.sim, *e, Time::from_millis(5), Time::from_millis(20)))
+                .sum();
+            assert!(
+                total > 3.0,
+                "{}: entities moved {} Gbps through the core",
+                approach.name(),
+                total
+            );
+        }
+    }
+
+    #[test]
+    fn aq_approach_tags_flows_and_deploys_pipeline() {
+        let exp = build_dumbbell(Approach::Aq, &two_long_entities(), ExpConfig::default());
+        // Pipeline deployed on the left switch with two ingress AQs.
+        let mut sim = exp.sim;
+        let pipe = sim
+            .net
+            .pipeline_mut::<AqPipeline>(aq_netsim::ids::NodeId(0), 0)
+            .expect("AQ pipeline on sw_left");
+        assert_eq!(pipe.ingress_table.len(), 2);
+    }
+
+    #[test]
+    fn prl_approach_installs_shapers() {
+        let exp = build_dumbbell(Approach::Prl, &two_long_entities(), ExpConfig::default());
+        let mut sim = exp.sim;
+        for (_, vms) in &exp.entity_vms {
+            for vm in vms {
+                let up = sim.net.host_uplink(*vm);
+                assert!(
+                    sim.net.discipline_mut::<HtbShaper>(up).is_some(),
+                    "shaper on {vm}"
+                );
+            }
+        }
+    }
+}

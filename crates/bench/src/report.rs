@@ -1,0 +1,61 @@
+//! Plain-text table/series reporting shared by the figure harnesses.
+//!
+//! Every harness prints: a header naming the paper artifact it
+//! regenerates, the parameter axis, and one row per configuration — the
+//! same rows/series the paper reports, so paper-vs-measured comparison is
+//! a side-by-side read.
+
+/// Print the standard harness banner.
+pub fn banner(artifact: &str, description: &str) {
+    println!();
+    println!("================================================================");
+    println!("{artifact}: {description}");
+    println!("================================================================");
+}
+
+/// Print a header row followed by a separator.
+pub fn header(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$} ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Print one row of already-formatted cells.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$} ", w = w));
+    }
+    println!("{line}");
+}
+
+/// Format Gbit/s with two decimals.
+pub fn gbps(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a ratio with two decimals.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format an optional seconds value.
+pub fn secs(v: Option<f64>) -> String {
+    match v {
+        Some(s) => format!("{s:.3}s"),
+        None => "unfinished".to_string(),
+    }
+}
+
+/// Print a note line under a table.
+pub fn note(text: &str) {
+    println!("  note: {text}");
+}
+
+/// Paper-reported value for side-by-side comparison.
+pub fn paper_row(label: &str, text: &str) {
+    println!("  paper {label}: {text}");
+}

@@ -1,0 +1,248 @@
+//! The AQ data plane (§4.2): a switch pipeline stage matching packets'
+//! AQ id tags at ingress and egress.
+//!
+//! When a packet arrives at a switch, the stage checks the header's
+//! ingress-position AQ tag; a default (zero) tag means no AQ operation.
+//! Otherwise the matching [`AqInstance`] runs Algorithm 1 + Algorithm 2 on
+//! the packet. After routing, the same procedure runs for the
+//! egress-position tag. Either match may drop, mark, or add virtual delay.
+//!
+//! The pipeline also implements the paper's §6 *work-conservation* bypass:
+//! in [`WorkConservation::BypassWhenIdle`] mode egress-position AQs are
+//! skipped while the chosen output port's physical queue is empty, letting
+//! entities exceed their allocations when there is no contention.
+
+use crate::config::AqConfig;
+use crate::feedback::{process_packet, AqVerdict};
+use crate::table::AqTable;
+use aq_netsim::ids::PortId;
+use aq_netsim::node::{PipelineVerdict, SwitchPipeline};
+use aq_netsim::packet::{AqTag, Packet};
+use aq_netsim::time::Time;
+
+/// Work-conservation policy (§6 Discussions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkConservation {
+    /// Strict guarantees: AQs always enforce (the paper's default — the
+    /// in/outbound VM guarantees of §2.3 are *contradictory* to work
+    /// conservation).
+    #[default]
+    Off,
+    /// Bypass egress-position AQs while the output physical queue is empty,
+    /// so entities may grab spare bandwidth; enforcement resumes the moment
+    /// queuing appears.
+    BypassWhenIdle,
+}
+
+/// Per-pipeline counters.
+#[derive(Debug, Default, Clone)]
+pub struct PipelineStats {
+    /// Packets processed against an ingress-position AQ.
+    pub ingress_matches: u64,
+    /// Packets processed against an egress-position AQ.
+    pub egress_matches: u64,
+    /// Packets dropped by AQ limits (either position).
+    pub drops: u64,
+    /// Packets CE-marked by AQs.
+    pub marks: u64,
+    /// Egress matches skipped by the bypass-when-idle mode.
+    pub bypassed: u64,
+}
+
+/// The AQ pipeline stage deployed on a switch.
+pub struct AqPipeline {
+    /// AQs matched by the packet's ingress-position tag.
+    pub ingress_table: AqTable,
+    /// AQs matched by the packet's egress-position tag.
+    pub egress_table: AqTable,
+    /// Work-conservation mode.
+    pub work_conservation: WorkConservation,
+    /// Counters.
+    pub stats: PipelineStats,
+}
+
+impl AqPipeline {
+    /// An empty pipeline (no AQs deployed) with strict enforcement.
+    pub fn new() -> AqPipeline {
+        AqPipeline {
+            ingress_table: AqTable::new(),
+            egress_table: AqTable::new(),
+            work_conservation: WorkConservation::Off,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Deploy an AQ at the ingress position.
+    pub fn deploy_ingress(&mut self, cfg: AqConfig) {
+        self.ingress_table.deploy(cfg);
+    }
+
+    /// Deploy an AQ at the egress position.
+    pub fn deploy_egress(&mut self, cfg: AqConfig) {
+        self.egress_table.deploy(cfg);
+    }
+
+    fn apply(table: &mut AqTable, stats: &mut PipelineStats, now: Time, tag: AqTag, pkt: &mut Packet) -> PipelineVerdict {
+        let Some(aq) = table.get_mut(tag) else {
+            // Unknown tag: the controller never granted it; forward
+            // untouched (the packet claims an AQ that does not exist here).
+            return PipelineVerdict::Forward;
+        };
+        match process_packet(aq, now, pkt) {
+            AqVerdict::Drop => {
+                stats.drops += 1;
+                PipelineVerdict::Drop
+            }
+            AqVerdict::ForwardMarked => {
+                stats.marks += 1;
+                PipelineVerdict::Forward
+            }
+            AqVerdict::Forward | AqVerdict::ForwardWithDelay { .. } => PipelineVerdict::Forward,
+        }
+    }
+}
+
+impl Default for AqPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SwitchPipeline for AqPipeline {
+    fn ingress(&mut self, now: Time, pkt: &mut Packet) -> PipelineVerdict {
+        if !pkt.aq_ingress.is_some() {
+            return PipelineVerdict::Forward;
+        }
+        self.stats.ingress_matches += 1;
+        Self::apply(
+            &mut self.ingress_table,
+            &mut self.stats,
+            now,
+            pkt.aq_ingress,
+            pkt,
+        )
+    }
+
+    fn egress(
+        &mut self,
+        now: Time,
+        pkt: &mut Packet,
+        _out_port: PortId,
+        backlog_bytes: u64,
+    ) -> PipelineVerdict {
+        if !pkt.aq_egress.is_some() {
+            return PipelineVerdict::Forward;
+        }
+        if self.work_conservation == WorkConservation::BypassWhenIdle && backlog_bytes == 0 {
+            self.stats.bypassed += 1;
+            return PipelineVerdict::Forward;
+        }
+        self.stats.egress_matches += 1;
+        Self::apply(
+            &mut self.egress_table,
+            &mut self.stats,
+            now,
+            pkt.aq_egress,
+            pkt,
+        )
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CcPolicy;
+    use aq_netsim::ids::{EntityId, FlowId, NodeId};
+    use aq_netsim::time::Rate;
+
+    fn cfg(id: u32, limit: u64) -> AqConfig {
+        AqConfig {
+            id: AqTag(id),
+            rate: Rate::from_gbps(1),
+            limit_bytes: limit,
+            cc: CcPolicy::DropBased,
+        }
+    }
+
+    fn pkt(ing: u32, egr: u32) -> Packet {
+        let mut p = Packet::data(
+            FlowId(1),
+            EntityId(1),
+            NodeId(0),
+            NodeId(1),
+            0,
+            1000,
+            false,
+            Time::ZERO,
+        );
+        p.aq_ingress = AqTag(ing);
+        p.aq_egress = AqTag(egr);
+        p
+    }
+
+    #[test]
+    fn default_tags_bypass_all_aq_processing() {
+        let mut pipe = AqPipeline::new();
+        pipe.deploy_ingress(cfg(1, 10));
+        let mut p = pkt(0, 0);
+        assert_eq!(pipe.ingress(Time::ZERO, &mut p), PipelineVerdict::Forward);
+        assert_eq!(
+            pipe.egress(Time::ZERO, &mut p, PortId(0), 0),
+            PipelineVerdict::Forward
+        );
+        assert_eq!(pipe.stats.ingress_matches, 0);
+    }
+
+    #[test]
+    fn ingress_aq_enforces_limit() {
+        let mut pipe = AqPipeline::new();
+        pipe.deploy_ingress(cfg(1, 1500));
+        let mut a = pkt(1, 0);
+        let mut b = pkt(1, 0);
+        assert_eq!(pipe.ingress(Time::ZERO, &mut a), PipelineVerdict::Forward);
+        assert_eq!(pipe.ingress(Time::ZERO, &mut b), PipelineVerdict::Drop);
+        assert_eq!(pipe.stats.drops, 1);
+    }
+
+    #[test]
+    fn ingress_and_egress_tables_are_independent() {
+        let mut pipe = AqPipeline::new();
+        pipe.deploy_ingress(cfg(1, 1_000_000));
+        pipe.deploy_egress(cfg(1, 1_000_000));
+        let mut p = pkt(1, 1);
+        pipe.ingress(Time::ZERO, &mut p);
+        pipe.egress(Time::ZERO, &mut p, PortId(0), 100);
+        assert_eq!(pipe.ingress_table.get(AqTag(1)).unwrap().gap.bytes(), 1060);
+        assert_eq!(pipe.egress_table.get(AqTag(1)).unwrap().gap.bytes(), 1060);
+    }
+
+    #[test]
+    fn unknown_tag_forwards_untouched() {
+        let mut pipe = AqPipeline::new();
+        let mut p = pkt(42, 0);
+        assert_eq!(pipe.ingress(Time::ZERO, &mut p), PipelineVerdict::Forward);
+    }
+
+    #[test]
+    fn bypass_when_idle_skips_egress_enforcement_only_when_queue_empty() {
+        let mut pipe = AqPipeline::new();
+        pipe.work_conservation = WorkConservation::BypassWhenIdle;
+        pipe.deploy_egress(cfg(1, 500)); // limit smaller than one packet
+        let mut p = pkt(0, 1);
+        // Empty output queue: bypass, no drop even though gap would exceed.
+        assert_eq!(
+            pipe.egress(Time::ZERO, &mut p, PortId(0), 0),
+            PipelineVerdict::Forward
+        );
+        assert_eq!(pipe.stats.bypassed, 1);
+        // Queue built up: enforcement resumes.
+        assert_eq!(
+            pipe.egress(Time::ZERO, &mut p, PortId(0), 3000),
+            PipelineVerdict::Drop
+        );
+    }
+}

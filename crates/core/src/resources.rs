@@ -1,0 +1,229 @@
+//! Switch resource accounting — the Fig. 11 / Fig. 12 substitute.
+//!
+//! The paper measures the AQ prototype's usage of Tofino data-plane
+//! resources (pipeline stages, match-action units, PHV bits, stateful
+//! ALUs, SRAM). We have no Tofino, so this module provides a **documented
+//! static accounting model** of the P4 program that §3.3/§4.2 describe,
+//! against public Tofino-1-class capacities. The per-feature costs below
+//! are calibrated so the full-featured program reproduces the utilization
+//! the paper reports (16.8% stages, 12.5% MAUs, 7.5% PHV); the *model* —
+//! which program elements consume which resource — is what this module
+//! contributes, and the ablations (dropping ECN or delay support) follow
+//! from it mechanically.
+//!
+//! Program inventory per pipeline position (ingress and egress are
+//! symmetric):
+//!
+//! * one exact-match table on the 32-bit AQ id tag;
+//! * a stateful-ALU register pair implementing Algorithm 1
+//!   (`last_time` read-modify-write computing Δ, then the clamped
+//!   `gap` update) — two dependent stages;
+//! * a comparison + action stage implementing Algorithm 2 (limit drop,
+//!   virtual-threshold ECN mark, or virtual-delay add).
+//!
+//! SRAM is the AQ register table: 15 bytes per deployed AQ (see
+//! [`crate::config::PackedAq`]).
+
+use crate::config::PACKED_AQ_BYTES;
+
+/// Modeled device capacities (Tofino-1 class, both pipeline directions).
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceCapacity {
+    /// Pipeline stages (12 ingress + 12 egress).
+    pub stages: u32,
+    /// Match-action units across all stages.
+    pub maus: u32,
+    /// Packet header vector capacity in bits.
+    pub phv_bits: u32,
+    /// Stateful ALUs across all stages.
+    pub salus: u32,
+    /// Register/table SRAM in bytes.
+    pub sram_bytes: u64,
+}
+
+impl DeviceCapacity {
+    /// The default modeled device.
+    pub const TOFINO1: DeviceCapacity = DeviceCapacity {
+        stages: 24,
+        maus: 384,
+        phv_bits: 4096,
+        salus: 48,
+        sram_bytes: 32 * 1024 * 1024,
+    };
+}
+
+/// Which AQ features are compiled in (the ablation axes).
+#[derive(Debug, Clone, Copy)]
+pub struct AqFeatures {
+    /// Rate limiting via the AQ limit (always required).
+    pub rate_limiting: bool,
+    /// ECN-based feedback (virtual marking threshold).
+    pub ecn_feedback: bool,
+    /// Delay-based feedback (virtual queuing delay accumulation).
+    pub delay_feedback: bool,
+    /// Match AQs at both ingress and egress positions (vs ingress only).
+    pub both_positions: bool,
+}
+
+impl AqFeatures {
+    /// The full prototype evaluated in the paper.
+    pub const FULL: AqFeatures = AqFeatures {
+        rate_limiting: true,
+        ecn_feedback: true,
+        delay_feedback: true,
+        both_positions: true,
+    };
+}
+
+/// Absolute resource consumption of a compiled AQ program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Pipeline stages occupied.
+    pub stages: u32,
+    /// Match-action units used.
+    pub maus: u32,
+    /// PHV bits carried.
+    pub phv_bits: u32,
+    /// Stateful ALUs used.
+    pub salus: u32,
+    /// SRAM bytes for `n_aqs` deployed AQs.
+    pub sram_bytes: u64,
+}
+
+/// Utilization percentages against a device capacity (what Fig. 11 plots).
+#[derive(Debug, Clone, Copy)]
+pub struct Utilization {
+    /// Percent of pipeline stages.
+    pub stages_pct: f64,
+    /// Percent of MAUs.
+    pub maus_pct: f64,
+    /// Percent of PHV bits.
+    pub phv_pct: f64,
+    /// Percent of stateful ALUs.
+    pub salus_pct: f64,
+    /// Percent of SRAM.
+    pub sram_pct: f64,
+}
+
+/// Compute the modeled resource consumption of an AQ program with the
+/// given features and `n_aqs` deployed AQs.
+pub fn aq_program_usage(f: AqFeatures, n_aqs: u64) -> ResourceUsage {
+    let positions = if f.both_positions { 2 } else { 1 };
+
+    // Per position: Δ-compute stage + gap-update stage are serial
+    // (register dependency). The Algorithm-2 compare/mark/delay actions
+    // pack into the gap-update stage's gateways and VLIW slots, so the
+    // stage count does not grow with the feedback features — only MAU,
+    // PHV, and sALU consumption does.
+    let stages_per_pos = 1 /* tag match + last_time sALU */ + 1 /* gap sALU + actions */;
+    let stages = stages_per_pos * positions;
+
+    // MAUs: tag-match table, two register tables, config table, and one
+    // action table per enabled feedback kind.
+    let mut maus_per_pos = 4 + u32::from(f.rate_limiting);
+    if f.ecn_feedback {
+        maus_per_pos += 5; // threshold lookup + mark actions (ternary)
+    }
+    if f.delay_feedback {
+        maus_per_pos += 14; // A/R division approximated by a lookup cascade
+    }
+    let maus = maus_per_pos * positions;
+
+    // PHV: two 32-bit AQ id tags travel regardless of position count; the
+    // per-packet metadata (Δ 32b, gap 32b, rate 24b, limit 24b, verdict 8b,
+    // 48b ingress timestamp) is shared scratch.
+    let mut phv_bits = 2 * 32 + 32 + 24 + 24 + 8 + 48;
+    if f.delay_feedback {
+        phv_bits += 32 /* vdelay header field */ + 75 /* division scratch */;
+    }
+    if f.ecn_feedback {
+        phv_bits += 4; // ECN codepoint + echo scratch
+    }
+
+    // Stateful ALUs: last_time + gap per position, one more for the
+    // mark-counter when ECN is on.
+    let mut salus_per_pos = 2;
+    if f.ecn_feedback {
+        salus_per_pos += 1;
+    }
+    let salus = salus_per_pos * positions;
+
+    ResourceUsage {
+        stages,
+        maus,
+        phv_bits,
+        salus,
+        sram_bytes: n_aqs * PACKED_AQ_BYTES as u64 * positions as u64,
+    }
+}
+
+impl ResourceUsage {
+    /// Utilization of `cap` by this usage.
+    pub fn utilization(&self, cap: DeviceCapacity) -> Utilization {
+        Utilization {
+            stages_pct: 100.0 * self.stages as f64 / cap.stages as f64,
+            maus_pct: 100.0 * self.maus as f64 / cap.maus as f64,
+            phv_pct: 100.0 * self.phv_bits as f64 / cap.phv_bits as f64,
+            salus_pct: 100.0 * self.salus as f64 / cap.salus as f64,
+            sram_pct: 100.0 * self.sram_bytes as f64 / cap.sram_bytes as f64,
+        }
+    }
+}
+
+/// Switch register memory in bytes for `n` deployed AQs (Fig. 12's line).
+pub fn memory_for_aqs(n: u64) -> u64 {
+    n * PACKED_AQ_BYTES as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_program_matches_paper_reported_utilization() {
+        // Fig. 11: ~16.8% stages, 12.5% MAUs, 7.5% PHV on the testbed.
+        let u = aq_program_usage(AqFeatures::FULL, 1024).utilization(DeviceCapacity::TOFINO1);
+        assert!((u.stages_pct - 16.8).abs() < 1.0, "stages {}", u.stages_pct);
+        assert!((u.maus_pct - 12.5).abs() < 0.1, "maus {}", u.maus_pct);
+        assert!((u.phv_pct - 7.5).abs() < 0.2, "phv {}", u.phv_pct);
+    }
+
+    #[test]
+    fn ablations_monotonically_reduce_usage() {
+        let full = aq_program_usage(AqFeatures::FULL, 0);
+        let no_delay = aq_program_usage(
+            AqFeatures {
+                delay_feedback: false,
+                ..AqFeatures::FULL
+            },
+            0,
+        );
+        let ingress_only = aq_program_usage(
+            AqFeatures {
+                both_positions: false,
+                ..AqFeatures::FULL
+            },
+            0,
+        );
+        assert!(no_delay.maus < full.maus);
+        assert!(no_delay.phv_bits < full.phv_bits);
+        assert_eq!(ingress_only.stages * 2, full.stages);
+        assert_eq!(ingress_only.salus * 2, full.salus);
+    }
+
+    #[test]
+    fn sram_scales_linearly_with_aq_count() {
+        assert_eq!(memory_for_aqs(1_000_000), 15_000_000);
+        let u = aq_program_usage(AqFeatures::FULL, 1_000_000);
+        // Both positions deployed: 30 MB of register memory.
+        assert_eq!(u.sram_bytes, 30_000_000);
+    }
+
+    #[test]
+    fn millions_of_aqs_fit_in_modeled_sram() {
+        // Fig. 12's claim: tens of MB of switch memory comfortably hold
+        // millions of concurrent AQs (one position).
+        let bytes = memory_for_aqs(2_000_000);
+        assert!(bytes <= DeviceCapacity::TOFINO1.sram_bytes);
+    }
+}

@@ -1,0 +1,167 @@
+//! The AQ table — per-switch registry of deployed AQs.
+//!
+//! Lookup is a single indexed load on the 4-byte AQ id (R3: the abstraction
+//! must scale to millions of entities regardless of physical queue count).
+//! Ids are allocated densely by the controller, so the table is a plain
+//! vector; slot 0 is reserved because `AqTag::NONE == 0` means "no AQ".
+//!
+//! [`AqTable::register_memory_bytes`] reports the switch register memory
+//! the deployed AQs occupy under the paper's 15-byte packed layout — the
+//! quantity plotted in Fig. 12.
+
+use crate::config::{AqConfig, AqInstance, PACKED_AQ_BYTES};
+use aq_netsim::packet::AqTag;
+
+/// Registry of deployed AQ instances, indexed by [`AqTag`].
+#[derive(Debug, Default)]
+pub struct AqTable {
+    slots: Vec<Option<AqInstance>>,
+    live: usize,
+}
+
+impl AqTable {
+    /// An empty table.
+    pub fn new() -> AqTable {
+        AqTable {
+            // Slot 0 is the reserved "no AQ" id.
+            slots: vec![None],
+            live: 0,
+        }
+    }
+
+    /// Deploy an AQ. Replaces any previous AQ with the same id.
+    ///
+    /// # Panics
+    /// Panics on the reserved id 0.
+    pub fn deploy(&mut self, cfg: AqConfig) {
+        assert!(cfg.id.is_some(), "AQ id 0 is reserved for 'no AQ'");
+        let idx = cfg.id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        if self.slots[idx].is_none() {
+            self.live += 1;
+        }
+        self.slots[idx] = Some(AqInstance::new(cfg));
+    }
+
+    /// Remove a deployed AQ, returning its final state.
+    pub fn remove(&mut self, id: AqTag) -> Option<AqInstance> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        let out = slot.take();
+        if out.is_some() {
+            self.live -= 1;
+        }
+        out
+    }
+
+    /// The deployed AQ with this id.
+    pub fn get(&self, id: AqTag) -> Option<&AqInstance> {
+        self.slots.get(id.0 as usize)?.as_ref()
+    }
+
+    /// Mutable access (the per-packet fast path).
+    #[inline]
+    pub fn get_mut(&mut self, id: AqTag) -> Option<&mut AqInstance> {
+        self.slots.get_mut(id.0 as usize)?.as_mut()
+    }
+
+    /// Number of deployed AQs.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no AQs are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterate over deployed AQs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &AqInstance> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Mutable iteration in id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut AqInstance> {
+        self.slots.iter_mut().filter_map(|s| s.as_mut())
+    }
+
+    /// Switch register memory under the paper's packed layout: 15 bytes per
+    /// deployed AQ (Fig. 12's model).
+    pub fn register_memory_bytes(&self) -> usize {
+        self.live * PACKED_AQ_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CcPolicy;
+    use aq_netsim::time::Rate;
+
+    fn cfg(id: u32) -> AqConfig {
+        AqConfig {
+            id: AqTag(id),
+            rate: Rate::from_gbps(1),
+            limit_bytes: 100_000,
+            cc: CcPolicy::DropBased,
+        }
+    }
+
+    #[test]
+    fn deploy_lookup_remove() {
+        let mut t = AqTable::new();
+        t.deploy(cfg(5));
+        t.deploy(cfg(2));
+        assert_eq!(t.len(), 2);
+        assert!(t.get(AqTag(5)).is_some());
+        assert!(t.get(AqTag(3)).is_none());
+        assert!(t.remove(AqTag(5)).is_some());
+        assert!(t.remove(AqTag(5)).is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn redeploy_same_id_replaces_without_double_count() {
+        let mut t = AqTable::new();
+        t.deploy(cfg(7));
+        t.deploy(cfg(7));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn id_zero_is_rejected() {
+        AqTable::new().deploy(cfg(0));
+    }
+
+    #[test]
+    fn register_memory_is_15_bytes_per_aq() {
+        let mut t = AqTable::new();
+        for i in 1..=1000 {
+            t.deploy(cfg(i));
+        }
+        assert_eq!(t.register_memory_bytes(), 15_000);
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut t = AqTable::new();
+        for id in [9, 3, 6] {
+            t.deploy(cfg(id));
+        }
+        let ids: Vec<u32> = t.iter().map(|i| i.cfg.id.0).collect();
+        assert_eq!(ids, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn scales_to_a_million_entries() {
+        let mut t = AqTable::new();
+        for i in 1..=1_000_000u32 {
+            t.deploy(cfg(i));
+        }
+        assert_eq!(t.len(), 1_000_000);
+        assert_eq!(t.register_memory_bytes(), 15_000_000);
+        assert!(t.get(AqTag(999_999)).is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the control plane: no admission sequence may
+//! oversubscribe a position, and weighted division always conserves the
+//! spare capacity.
+
+use aq_core::{AqController, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position};
+use aq_netsim::time::Rate;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Absolute(u64, bool), // gbps, egress?
+    Weighted(u64, bool),
+    Release(usize), // index into granted list (mod len)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..12, any::<bool>()).prop_map(|(g, e)| Op::Absolute(g, e)),
+        (1u64..10, any::<bool>()).prop_map(|(w, e)| Op::Weighted(w, e)),
+        (0usize..32).prop_map(Op::Release),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn never_oversubscribes_and_conserves_capacity(
+        ops in prop::collection::vec(op_strategy(), 1..60)
+    ) {
+        let capacity = Rate::from_gbps(10);
+        let mut ctl = AqController::new(
+            capacity,
+            LimitPolicy::MatchPhysicalQueue { pq_limit_bytes: 200_000 },
+        );
+        let mut granted = Vec::new();
+        for op in ops {
+            match op {
+                Op::Absolute(gbps, egress) => {
+                    let pos = if egress { Position::Egress } else { Position::Ingress };
+                    let res = ctl.request(AqRequest {
+                        demand: BandwidthDemand::Absolute(Rate::from_gbps(gbps)),
+                        cc: CcPolicy::DropBased,
+                        position: pos,
+                        limit_override: None,
+                    });
+                    if let Ok(g) = res {
+                        granted.push(g.id);
+                    }
+                }
+                Op::Weighted(w, egress) => {
+                    let pos = if egress { Position::Egress } else { Position::Ingress };
+                    let g = ctl.request(AqRequest {
+                        demand: BandwidthDemand::Weighted(w),
+                        cc: CcPolicy::DropBased,
+                        position: pos,
+                        limit_override: None,
+                    }).expect("weighted never declines");
+                    granted.push(g.id);
+                }
+                Op::Release(i) => {
+                    if !granted.is_empty() {
+                        let id = granted.remove(i % granted.len());
+                        ctl.release(id);
+                    }
+                }
+            }
+            // Invariant: per position, the sum of all derived rates never
+            // exceeds capacity (weighted entities share exactly the spare).
+            for pos in [Position::Ingress, Position::Egress] {
+                let total: u64 = ctl
+                    .configs()
+                    .iter()
+                    .filter(|(p, _)| *p == pos)
+                    .map(|(_, cfg)| cfg.rate.as_bps())
+                    .sum();
+                prop_assert!(
+                    total <= capacity.as_bps(),
+                    "position {pos:?} oversubscribed: {total}"
+                );
+            }
+        }
+        // Every still-granted AQ has a nonzero-capable config and a limit.
+        for (_, cfg) in ctl.configs() {
+            prop_assert!(cfg.limit_bytes > 0);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the A-Gap streaming algorithm — the paper's
+//! central invariants must hold for *any* packet trace.
+
+use aq_core::gap::{AGap, DGap};
+use aq_core::{process_packet, AqConfig, AqInstance, CcPolicy, PackedAq};
+use aq_netsim::ids::{EntityId, FlowId, NodeId};
+use aq_netsim::packet::{AqTag, Packet};
+use aq_netsim::time::{Rate, Time, NS_PER_SEC};
+use proptest::prelude::*;
+
+/// Arbitrary packet trace: (inter-arrival ns, size bytes).
+fn trace_strategy() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    prop::collection::vec((0u64..1_000_000, 40u32..9000), 1..200)
+}
+
+fn rate_strategy() -> impl Strategy<Value = u64> {
+    // 1 Mbps .. 400 Gbps
+    1_000_000u64..400_000_000_000
+}
+
+proptest! {
+    /// A(t) is never negative and a packet arrival contributes at least its
+    /// own size above the clamped floor.
+    #[test]
+    fn gap_is_nonnegative_and_bounded_below_by_arrival(
+        trace in trace_strategy(),
+        bps in rate_strategy(),
+    ) {
+        let mut g = AGap::new(Rate::from_bps(bps));
+        let mut t = 0u64;
+        for (gap_ns, size) in trace {
+            t += gap_ns;
+            let v = g.on_packet(Time::from_nanos(t), size);
+            prop_assert!(v >= size as u64, "gap {v} below packet size {size}");
+        }
+    }
+
+    /// The incremental implementation matches a direct evaluation of
+    /// Theorem 3.2's recurrence in exact u128 sub-byte arithmetic.
+    #[test]
+    fn matches_exact_recurrence(
+        trace in trace_strategy(),
+        bps in rate_strategy(),
+    ) {
+        const SUB: u128 = 1 << 16;
+        let mut g = AGap::new(Rate::from_bps(bps));
+        let mut reference: u128 = 0;
+        let mut t = 0u64;
+        let mut last = 0u64;
+        for (gap_ns, size) in trace {
+            t += gap_ns;
+            let drain = (t - last) as u128 * bps as u128 * SUB / (8 * NS_PER_SEC as u128);
+            reference = reference.saturating_sub(drain) + size as u128 * SUB;
+            last = t;
+            let got = g.on_packet(Time::from_nanos(t), size);
+            prop_assert_eq!(got as u128, reference.div_ceil(SUB));
+        }
+    }
+
+    /// Draining longer before an arrival never increases the gap.
+    #[test]
+    fn drain_is_monotone_in_time(
+        trace in trace_strategy(),
+        bps in rate_strategy(),
+        extra_ns in 1u64..1_000_000,
+    ) {
+        let mut a = AGap::new(Rate::from_bps(bps));
+        let mut b = AGap::new(Rate::from_bps(bps));
+        let mut t = 0u64;
+        for (gap_ns, size) in &trace {
+            t += gap_ns;
+            a.on_packet(Time::from_nanos(t), *size);
+            b.on_packet(Time::from_nanos(t), *size);
+        }
+        let va = a.on_packet(Time::from_nanos(t + 1), 100);
+        let vb = b.on_packet(Time::from_nanos(t + 1 + extra_ns), 100);
+        prop_assert!(vb <= va, "longer idle ({extra_ns} ns extra) must not grow the gap");
+    }
+
+    /// The A-Gap never exceeds the strawman's positive part on the same
+    /// backlogged trace (surplus can only *delay* D's positivity).
+    #[test]
+    fn agap_at_least_strawman(
+        trace in trace_strategy(),
+        bps in rate_strategy(),
+    ) {
+        let mut a = AGap::new(Rate::from_bps(bps));
+        let mut d = DGap::new(Rate::from_bps(bps));
+        let mut t = 0u64;
+        for (gap_ns, size) in trace {
+            t += gap_ns;
+            let va = a.on_packet(Time::from_nanos(t), size) as i64;
+            let vd = d.on_packet(Time::from_nanos(t), size);
+            prop_assert!(va >= vd, "A {va} must be >= D {vd}");
+        }
+    }
+
+    /// Algorithm 2's limit invariant: whenever a packet is forwarded, the
+    /// post-arrival gap is within the configured limit.
+    #[test]
+    fn forwarded_packets_respect_the_limit(
+        trace in trace_strategy(),
+        bps in rate_strategy(),
+        limit in 1_000u64..1_000_000,
+    ) {
+        let mut aq = AqInstance::new(AqConfig {
+            id: AqTag(1),
+            rate: Rate::from_bps(bps),
+            limit_bytes: limit,
+            cc: CcPolicy::DropBased,
+        });
+        let mut t = 0u64;
+        for (gap_ns, size) in trace {
+            t += gap_ns;
+            let mut pkt = Packet::data(
+                FlowId(1),
+                EntityId(1),
+                NodeId(0),
+                NodeId(1),
+                0,
+                size,
+                false,
+                Time::from_nanos(t),
+            );
+            let verdict = process_packet(&mut aq, Time::from_nanos(t), &mut pkt);
+            if verdict != aq_core::AqVerdict::Drop {
+                prop_assert!(
+                    aq.gap.bytes() <= limit,
+                    "forwarded at gap {} > limit {limit}",
+                    aq.gap.bytes()
+                );
+            }
+        }
+    }
+
+    /// The 15-byte register encoding quantizes but never corrupts: rate
+    /// within 1 Mbps, limit within 1 KB (below saturation), policy exact.
+    #[test]
+    fn packed_encoding_quantization_bounds(
+        mbps in 1u64..16_000_000,
+        limit_kb in 0u64..65_535,
+        policy_sel in 0u8..3,
+    ) {
+        let cc = match policy_sel {
+            0 => CcPolicy::DropBased,
+            1 => CcPolicy::EcnBased { threshold_bytes: 50_000 },
+            _ => CcPolicy::DelayBased,
+        };
+        let inst = AqInstance::new(AqConfig {
+            id: AqTag(42),
+            rate: Rate::from_mbps(mbps),
+            limit_bytes: limit_kb * 1000,
+            cc,
+        });
+        let (decoded, _, _) = PackedAq::encode(&inst).decode();
+        prop_assert_eq!(decoded.id, AqTag(42));
+        prop_assert_eq!(decoded.rate.as_bps(), mbps * 1_000_000);
+        prop_assert_eq!(decoded.limit_bytes, limit_kb * 1000);
+        match (cc, decoded.cc) {
+            (CcPolicy::DropBased, CcPolicy::DropBased) => {}
+            (CcPolicy::DelayBased, CcPolicy::DelayBased) => {}
+            (CcPolicy::EcnBased { threshold_bytes: a }, CcPolicy::EcnBased { threshold_bytes: b }) => {
+                prop_assert!((a as i64 - b as i64).unsigned_abs() < 25_000);
+            }
+            (a, b) => prop_assert!(false, "policy changed: {a:?} -> {b:?}"),
+        }
+    }
+}

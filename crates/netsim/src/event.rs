@@ -1,0 +1,146 @@
+//! The deterministic event queue.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is the
+//! order of insertion; ties in time therefore resolve in FIFO order and a
+//! run is exactly reproducible given the same inputs and seed.
+
+use crate::ids::{AgentId, NodeId, PortId};
+use crate::packet::Packet;
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet finishes propagating over a link and arrives at `node`.
+    Arrive { node: NodeId, packet: Packet },
+    /// The transmitter of `port` finishes serializing its current packet.
+    TxComplete { port: PortId },
+    /// A shaped port reaches its next release time and should re-check its
+    /// queue discipline.
+    PortWake { port: PortId },
+    /// A timer armed by node application logic fires; `token` is opaque to
+    /// the simulator.
+    NodeTimer { node: NodeId, token: u64 },
+    /// A timer armed by a control-plane agent fires.
+    AgentTimer { agent: AgentId, token: u64 },
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Time,
+    /// Insertion order; breaks time ties deterministically.
+    pub seq: u64,
+    /// The action.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The pending-event set.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` to fire at `time`.
+    pub fn push(&mut self, time: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(p: u32) -> EventKind {
+        EventKind::PortWake { port: PortId(p) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(30), wake(3));
+        q.push(Time::from_nanos(10), wake(1));
+        q.push(Time::from_nanos(20), wake(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_nanos())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(Time::from_nanos(5), wake(i));
+        }
+        let mut seen = Vec::new();
+        while let Some(e) = q.pop() {
+            if let EventKind::PortWake { port } = e.kind {
+                seen.push(port.0);
+            }
+        }
+        assert_eq!(seen, (0..100u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_nanos(7), wake(0));
+        q.push(Time::from_nanos(3), wake(0));
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(3)));
+        assert_eq!(q.len(), 2);
+    }
+}

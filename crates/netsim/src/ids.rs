@@ -1,0 +1,94 @@
+//! Strongly-typed identifiers used across the simulator.
+//!
+//! Every object class that can be referenced across module boundaries gets a
+//! newtype id rather than a bare `usize`, so the compiler rejects e.g.
+//! indexing the node table with a port id.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index form for table lookups.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node (host or switch) in the topology.
+    NodeId,
+    "n"
+);
+id_type!(
+    /// An output port on a node; scoped globally, not per node.
+    PortId,
+    "p"
+);
+id_type!(
+    /// A unidirectional link between two ports.
+    LinkId,
+    "l"
+);
+id_type!(
+    /// A transport flow (one direction of one connection).
+    FlowId,
+    "f"
+);
+id_type!(
+    /// A traffic *entity* in the paper's sense: an application, a
+    /// CC-algorithm aggregate, or a VM — the unit that receives a bandwidth
+    /// guarantee. Entity 0 is reserved for "unclassified" traffic.
+    EntityId,
+    "e"
+);
+id_type!(
+    /// A control-plane agent (e.g. a dynamic rate-limiter controller).
+    AgentId,
+    "a"
+);
+
+impl EntityId {
+    /// Traffic not belonging to any declared entity.
+    pub const NONE: EntityId = EntityId(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefixes() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", EntityId(7)), "e7");
+    }
+
+    #[test]
+    fn ids_convert_to_indexes() {
+        assert_eq!(NodeId::from(5usize).index(), 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! # aq-netsim — deterministic packet-level network simulator
+//!
+//! The simulation substrate for the Augmented Queue reproduction. The paper
+//! evaluates AQ inside NS3 (with BMv2 software switches) and on a Tofino
+//! testbed; this crate replaces both with a self-contained, deterministic
+//! discrete-event simulator:
+//!
+//! * [`time`] — integer nanosecond clocks and exact bit-rate arithmetic;
+//! * [`event`] — the `(time, insertion-order)` event queue;
+//! * [`packet`] — packets with transport, ECN, and AQ header fields;
+//! * [`queue`] — the physical FIFO queue (taildrop + ECN threshold) and the
+//!   [`queue::QueueDiscipline`] trait alternative disciplines implement;
+//! * [`link`]/[`port`] — line-rate serialization and propagation;
+//! * [`node`] — the [`node::HostApp`] and [`node::SwitchPipeline`]
+//!   extension traits (transports attach to hosts, AQ attaches to switches);
+//! * [`topology`] — builders for the paper's dumbbell and star topologies;
+//! * [`sim`] — the event loop, routing, and control-plane agents;
+//! * [`stats`] — per-entity throughput/delay/completion measurement.
+//!
+//! The simulator is single-threaded and allocation-light; determinism is a
+//! hard requirement so every figure in the evaluation regenerates exactly.
+
+pub mod event;
+pub mod ids;
+pub mod link;
+pub mod node;
+pub mod packet;
+pub mod port;
+pub mod queue;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use ids::{AgentId, EntityId, FlowId, LinkId, NodeId, PortId};
+pub use node::{HostApp, HostCtx, PipelineVerdict, SwitchPipeline};
+pub use packet::{AqTag, Ecn, Packet, TransportHeader, ACK_BYTES, HEADER_BYTES, MSS};
+pub use queue::{Enqueued, FifoConfig, FifoQueue, QueueDiscipline};
+pub use sim::{Agent, AgentCtx, Network, Simulator};
+pub use stats::{jain_index, minmax_ratio, DelayRecorder, StatsHub, WindowedCounter};
+pub use time::{Duration, Rate, Time, NS_PER_SEC};
+pub use topology::{dumbbell, dumbbell_asym, fat_tree, star, Dumbbell, FatTree, NetBuilder, Star};

@@ -1,0 +1,67 @@
+//! Output ports: a queue discipline plus a transmitter state machine.
+//!
+//! The transmitter serializes one packet at a time at the attached link's
+//! line rate. When the discipline defers release (a shaper), the port arms a
+//! single wake event for the release instant; duplicate wakes are suppressed
+//! so shaped ports do not flood the event queue.
+
+use crate::ids::{LinkId, NodeId, PortId};
+use crate::packet::Packet;
+use crate::queue::QueueDiscipline;
+use crate::time::Time;
+
+/// Per-port cumulative counters.
+#[derive(Debug, Default, Clone)]
+pub struct PortStats {
+    /// Packets fully serialized onto the wire.
+    pub tx_pkts: u64,
+    /// Bytes fully serialized onto the wire.
+    pub tx_bytes: u64,
+    /// Packets rejected by the queue discipline (taildrop / limiter drop).
+    pub queue_drops: u64,
+}
+
+/// An output port.
+pub struct Port {
+    /// This port's id.
+    pub id: PortId,
+    /// The node the port belongs to.
+    pub node: NodeId,
+    /// The link the port feeds.
+    pub link: LinkId,
+    /// Buffering/scheduling discipline (physical FIFO by default).
+    pub queue: Box<dyn QueueDiscipline>,
+    /// Packet currently being serialized, if any.
+    pub in_flight: Option<Packet>,
+    /// A `PortWake` event is pending for this time; used to suppress
+    /// duplicate wake events for shaped queues.
+    pub wake_at: Option<Time>,
+    /// Cumulative counters.
+    pub stats: PortStats,
+}
+
+impl Port {
+    /// A fresh idle port.
+    pub fn new(id: PortId, node: NodeId, link: LinkId, queue: Box<dyn QueueDiscipline>) -> Port {
+        Port {
+            id,
+            node,
+            link,
+            queue,
+            in_flight: None,
+            wake_at: None,
+            stats: PortStats::default(),
+        }
+    }
+
+    /// Whether the transmitter is currently serializing a packet.
+    pub fn busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Total bytes buffered in the discipline (not counting the packet on
+    /// the wire).
+    pub fn backlog_bytes(&self) -> u64 {
+        self.queue.backlog_bytes()
+    }
+}

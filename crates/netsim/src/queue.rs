@@ -1,0 +1,264 @@
+//! Queue disciplines for output ports.
+//!
+//! The default discipline is the paper's *physical queue* (PQ): a FIFO with
+//! a byte limit (taildrop) and an optional instantaneous-queue ECN marking
+//! threshold, exactly the drop/mark behaviour DCTCP-style data center
+//! switches expose. Alternative disciplines (HTB shaping, DRR per-flow
+//! queueing) implement [`QueueDiscipline`] in the `aq-baselines` crate and
+//! plug into the same port.
+
+use crate::packet::Packet;
+use crate::time::Time;
+use std::collections::VecDeque;
+
+/// Outcome of offering a packet to a queue discipline.
+#[derive(Debug)]
+pub enum Enqueued {
+    /// The packet was accepted and buffered.
+    Ok,
+    /// The discipline rejected the packet (e.g. taildrop); returned so the
+    /// port can account the loss.
+    Dropped(Packet),
+}
+
+/// A buffering/scheduling discipline attached to an output port.
+///
+/// The port transmitter drives the discipline: it calls [`ready_at`] to
+/// learn when the next packet may leave (allowing shaped disciplines to
+/// defer release) and [`dequeue`] when the line is free at or after that
+/// time.
+///
+/// [`ready_at`]: QueueDiscipline::ready_at
+/// [`dequeue`]: QueueDiscipline::dequeue
+pub trait QueueDiscipline {
+    /// Offer a packet for buffering at time `now`.
+    fn enqueue(&mut self, now: Time, pkt: Packet) -> Enqueued;
+
+    /// Earliest time the head packet may be released, or `None` when no
+    /// packet is buffered. A plain FIFO returns `Some(now)` whenever
+    /// non-empty; a shaper returns the next token-availability instant.
+    fn ready_at(&mut self, now: Time) -> Option<Time>;
+
+    /// Remove and return the next packet to transmit. Called only when
+    /// `ready_at(now) <= now`. Implementations stamp queueing delay onto
+    /// the packet.
+    fn dequeue(&mut self, now: Time) -> Option<Packet>;
+
+    /// Bytes currently buffered.
+    fn backlog_bytes(&self) -> u64;
+
+    /// Packets currently buffered.
+    fn backlog_pkts(&self) -> usize;
+
+    /// Downcast hook so controllers (e.g. a dynamic rate limiter agent) can
+    /// reconfigure a concrete discipline through the trait object.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Configuration of a physical FIFO queue.
+#[derive(Clone, Copy, Debug)]
+pub struct FifoConfig {
+    /// Taildrop limit in bytes. Arriving packets that would push the backlog
+    /// beyond this are dropped.
+    pub limit_bytes: u64,
+    /// Instantaneous-queue ECN threshold in bytes (DCTCP's `K`); `None`
+    /// disables it. RED-style semantics: a packet arriving to a backlog of
+    /// at least this many bytes is marked CE if ECN-capable and **dropped
+    /// if not** — non-ECT traffic must not ride the buffer headroom that
+    /// exists only to absorb marked traffic's reaction lag.
+    pub ecn_threshold_bytes: Option<u64>,
+}
+
+impl Default for FifoConfig {
+    fn default() -> Self {
+        // 1 MB of buffer, marking disabled — a generic deep-buffered port.
+        FifoConfig {
+            limit_bytes: 1_000_000,
+            ecn_threshold_bytes: None,
+        }
+    }
+}
+
+impl FifoConfig {
+    /// A typical shallow-buffered DCTCP-style port: `limit` bytes of buffer
+    /// with marking threshold `k` bytes.
+    pub fn with_ecn(limit_bytes: u64, k: u64) -> FifoConfig {
+        FifoConfig {
+            limit_bytes,
+            ecn_threshold_bytes: Some(k),
+        }
+    }
+}
+
+/// The physical FIFO queue (the paper's "PQ").
+pub struct FifoQueue {
+    cfg: FifoConfig,
+    buf: VecDeque<(Packet, Time)>,
+    backlog: u64,
+    /// Cumulative taildrop count (reported through port stats as well; kept
+    /// here for white-box tests).
+    pub drops: u64,
+    /// Cumulative CE marks applied by this queue.
+    pub marks: u64,
+}
+
+impl FifoQueue {
+    /// An empty FIFO with the given configuration.
+    pub fn new(cfg: FifoConfig) -> FifoQueue {
+        FifoQueue {
+            cfg,
+            buf: VecDeque::new(),
+            backlog: 0,
+            drops: 0,
+            marks: 0,
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> FifoConfig {
+        self.cfg
+    }
+}
+
+impl QueueDiscipline for FifoQueue {
+    fn enqueue(&mut self, now: Time, mut pkt: Packet) -> Enqueued {
+        if self.backlog + pkt.size as u64 > self.cfg.limit_bytes {
+            self.drops += 1;
+            return Enqueued::Dropped(pkt);
+        }
+        if let Some(k) = self.cfg.ecn_threshold_bytes {
+            // RED-style threshold on instantaneous arrival queue depth:
+            // mark ECT packets, drop non-ECT ones.
+            if self.backlog >= k {
+                if pkt.ecn.can_mark() {
+                    pkt.ecn = crate::packet::Ecn::CongestionExperienced;
+                    self.marks += 1;
+                } else {
+                    self.drops += 1;
+                    return Enqueued::Dropped(pkt);
+                }
+            }
+        }
+        self.backlog += pkt.size as u64;
+        self.buf.push_back((pkt, now));
+        Enqueued::Ok
+    }
+
+    fn ready_at(&mut self, now: Time) -> Option<Time> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        let (mut pkt, enq_at) = self.buf.pop_front()?;
+        self.backlog -= pkt.size as u64;
+        pkt.pq_delay_ns += now.since(enq_at).as_nanos();
+        Some(pkt)
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.backlog
+    }
+
+    fn backlog_pkts(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EntityId, FlowId, NodeId};
+    use crate::packet::{Ecn, MSS};
+
+    fn pkt(size_payload: u32) -> Packet {
+        Packet::data(
+            FlowId(1),
+            EntityId(1),
+            NodeId(0),
+            NodeId(1),
+            0,
+            size_payload,
+            false,
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn fifo_preserves_order_and_backlog() {
+        let mut q = FifoQueue::new(FifoConfig::default());
+        for seq in 0..3u64 {
+            let mut p = pkt(MSS);
+            p.uid = seq;
+            assert!(matches!(q.enqueue(Time::ZERO, p), Enqueued::Ok));
+        }
+        assert_eq!(q.backlog_pkts(), 3);
+        assert_eq!(q.backlog_bytes(), 3 * (MSS as u64 + 60));
+        let uids: Vec<u64> = std::iter::from_fn(|| q.dequeue(Time::ZERO))
+            .map(|p| p.uid)
+            .collect();
+        assert_eq!(uids, vec![0, 1, 2]);
+        assert_eq!(q.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn taildrop_when_limit_exceeded() {
+        let mut q = FifoQueue::new(FifoConfig {
+            limit_bytes: 2 * 1060,
+            ecn_threshold_bytes: None,
+        });
+        assert!(matches!(q.enqueue(Time::ZERO, pkt(MSS)), Enqueued::Ok));
+        assert!(matches!(q.enqueue(Time::ZERO, pkt(MSS)), Enqueued::Ok));
+        assert!(matches!(
+            q.enqueue(Time::ZERO, pkt(MSS)),
+            Enqueued::Dropped(_)
+        ));
+        assert_eq!(q.drops, 1);
+        assert_eq!(q.backlog_pkts(), 2);
+    }
+
+    #[test]
+    fn ecn_marks_capable_and_drops_incapable_at_threshold() {
+        let mut q = FifoQueue::new(FifoConfig::with_ecn(1_000_000, 1060));
+        let mut capable = pkt(MSS);
+        capable.ecn = Ecn::Capable;
+        // Below threshold: no mark.
+        assert!(matches!(q.enqueue(Time::ZERO, capable.clone()), Enqueued::Ok));
+        // Backlog now 1060 >= K: next capable packet is marked.
+        assert!(matches!(q.enqueue(Time::ZERO, capable.clone()), Enqueued::Ok));
+        // Non-ECT traffic is dropped at the threshold (RED semantics).
+        assert!(matches!(
+            q.enqueue(Time::ZERO, pkt(MSS)),
+            Enqueued::Dropped(_)
+        ));
+        let a = q.dequeue(Time::ZERO).unwrap();
+        let b = q.dequeue(Time::ZERO).unwrap();
+        assert!(!a.ecn.is_marked());
+        assert!(b.ecn.is_marked());
+        assert_eq!(q.marks, 1);
+        assert_eq!(q.drops, 1);
+    }
+
+    #[test]
+    fn dequeue_stamps_queueing_delay() {
+        let mut q = FifoQueue::new(FifoConfig::default());
+        q.enqueue(Time::from_micros(10), pkt(MSS));
+        let p = q.dequeue(Time::from_micros(35)).unwrap();
+        assert_eq!(p.pq_delay_ns, 25_000);
+    }
+
+    #[test]
+    fn ready_at_reflects_occupancy() {
+        let mut q = FifoQueue::new(FifoConfig::default());
+        assert_eq!(q.ready_at(Time::ZERO), None);
+        q.enqueue(Time::ZERO, pkt(MSS));
+        assert_eq!(q.ready_at(Time::from_nanos(5)), Some(Time::from_nanos(5)));
+    }
+}

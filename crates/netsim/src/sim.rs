@@ -1,0 +1,536 @@
+//! The discrete-event simulation core.
+//!
+//! [`Simulator`] owns the [`Network`] (nodes, ports, links, routes), the
+//! event queue, the measurement hub, and any control-plane [`Agent`]s. A
+//! run is fully deterministic: events fire in `(time, insertion)` order and
+//! all randomness lives in seeded generators owned by host apps and
+//! workload generators.
+//!
+//! Packet life cycle:
+//!
+//! 1. a host app calls [`HostCtx::send`]; the simulator routes the packet
+//!    and offers it to the uplink port's queue discipline;
+//! 2. the port transmitter serializes it at line rate (`TxComplete`), then
+//!    the packet propagates over the link (`Arrive` at the peer);
+//! 3. a switch runs its ingress pipelines, routes, runs its egress
+//!    pipelines, and offers the packet to the chosen output port;
+//! 4. at the destination host the simulator records delivery stats and
+//!    hands the packet to the app.
+
+use crate::event::{EventKind, EventQueue};
+use crate::ids::{AgentId, NodeId, PortId};
+use crate::link::Link;
+use crate::node::{HostApp, HostCtx, Node, NodeKind, PipelineVerdict};
+use crate::packet::{Packet, TransportHeader};
+use crate::port::Port;
+use crate::queue::Enqueued;
+use crate::stats::StatsHub;
+use crate::time::{Duration, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The static network: nodes, ports, links, and precomputed routes.
+pub struct Network {
+    /// All nodes, indexed by [`NodeId`].
+    pub nodes: Vec<Node>,
+    /// All output ports, indexed by [`PortId`].
+    pub ports: Vec<Port>,
+    /// All unidirectional links, indexed by [`LinkId`].
+    pub links: Vec<Link>,
+    /// `routes[node][dst]` is the set of equal-cost next-hop ports on
+    /// `node` toward `dst` (ECMP); flows hash onto one of them.
+    pub routes: Vec<Vec<Vec<PortId>>>,
+}
+
+impl Network {
+    /// The output port `node` uses to reach `dst` for the given flow.
+    /// Equal-cost paths are selected by a deterministic per-flow hash
+    /// (ECMP): every packet of a flow takes the same path, different
+    /// flows spread across the path set.
+    pub fn route(&self, node: NodeId, dst: NodeId, flow: crate::ids::FlowId) -> Option<PortId> {
+        let set = &self.routes[node.index()][dst.index()];
+        match set.len() {
+            0 => None,
+            1 => Some(set[0]),
+            n => {
+                // Knuth multiplicative hash over (flow, node) so the same
+                // flow picks independently at each hop.
+                let h = (flow.0 as u64 ^ ((node.0 as u64) << 32))
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Some(set[(h >> 32) as usize % n])
+            }
+        }
+    }
+
+    /// All equal-cost next hops from `node` toward `dst`.
+    pub fn route_set(&self, node: NodeId, dst: NodeId) -> &[PortId] {
+        &self.routes[node.index()][dst.index()]
+    }
+
+    /// Attach a data-plane pipeline stage to a switch.
+    ///
+    /// # Panics
+    /// Panics if `node` is a host.
+    pub fn add_pipeline(&mut self, node: NodeId, pipe: Box<dyn crate::node::SwitchPipeline>) {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Switch { pipelines, .. } => pipelines.push(pipe),
+            NodeKind::Host { .. } => panic!("{node} is a host, not a switch"),
+        }
+    }
+
+    /// Install (or replace) the application on a host.
+    ///
+    /// # Panics
+    /// Panics if `node` is a switch.
+    pub fn set_app(&mut self, node: NodeId, app: Box<dyn HostApp>) {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Host { app: slot } => *slot = Some(app),
+            NodeKind::Switch { .. } => panic!("{node} is a switch, not a host"),
+        }
+    }
+
+    /// Mutable access to a host's app, downcast to its concrete type.
+    /// `None` if the node has no app or the type does not match.
+    pub fn app_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Host { app } => app.as_mut()?.as_any_mut().downcast_mut::<T>(),
+            NodeKind::Switch { .. } => None,
+        }
+    }
+
+    /// Mutable access to the `i`-th pipeline of a switch, downcast to its
+    /// concrete type.
+    pub fn pipeline_mut<T: 'static>(&mut self, node: NodeId, i: usize) -> Option<&mut T> {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Switch { pipelines, .. } => {
+                pipelines.get_mut(i)?.as_any_mut().downcast_mut::<T>()
+            }
+            NodeKind::Host { .. } => None,
+        }
+    }
+
+    /// Mutable access to a port's queue discipline, downcast to its
+    /// concrete type (e.g. to retune an HTB shaper).
+    pub fn discipline_mut<T: 'static>(&mut self, port: PortId) -> Option<&mut T> {
+        self.ports[port.index()]
+            .queue
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// The single uplink port of a host (panics if the node has several
+    /// ports; use explicit routing for multi-homed nodes).
+    pub fn host_uplink(&self, node: NodeId) -> PortId {
+        let ports = &self.nodes[node.index()].ports;
+        assert_eq!(ports.len(), 1, "{node} is multi-homed; route explicitly");
+        ports[0]
+    }
+
+    /// Cumulative drops in switch pipelines at `node` (0 for hosts).
+    pub fn pipeline_drops(&self, node: NodeId) -> u64 {
+        match &self.nodes[node.index()].kind {
+            NodeKind::Switch { pipeline_drops, .. } => *pipeline_drops,
+            NodeKind::Host { .. } => 0,
+        }
+    }
+}
+
+/// Timer requests an agent makes during a callback.
+pub struct AgentCtx {
+    /// The agent being called.
+    pub agent: AgentId,
+    /// Current simulation time.
+    pub now: Time,
+    pub(crate) timers: Vec<(Time, u64)>,
+}
+
+impl AgentCtx {
+    /// A fresh context (the simulator builds these before each callback;
+    /// public so agents can be unit-tested standalone).
+    pub fn new(agent: AgentId, now: Time) -> AgentCtx {
+        AgentCtx {
+            agent,
+            now,
+            timers: Vec::new(),
+        }
+    }
+
+    /// Arm a timer firing [`Agent::on_timer`] at absolute time `at`.
+    pub fn arm_timer_at(&mut self, at: Time, token: u64) {
+        self.timers.push((at, token));
+    }
+
+    /// Arm a timer `after` from now.
+    pub fn arm_timer_in(&mut self, after: Duration, token: u64) {
+        let at = self.now + after;
+        self.timers.push((at, token));
+    }
+}
+
+/// A control-plane agent with periodic global visibility — e.g. the
+/// ElasticSwitch-style dynamic rate limiter, or an AQ work-conservation
+/// reallocator. Unlike host apps, agents may inspect and mutate the whole
+/// network when their timers fire.
+pub trait Agent {
+    /// Called once at simulation start.
+    fn on_start(&mut self, net: &mut Network, stats: &mut StatsHub, ctx: &mut AgentCtx);
+
+    /// Called when one of the agent's timers fires.
+    fn on_timer(&mut self, net: &mut Network, stats: &mut StatsHub, ctx: &mut AgentCtx, token: u64);
+}
+
+/// The simulator.
+pub struct Simulator {
+    /// Current simulation time.
+    now: Time,
+    /// The network under simulation.
+    pub net: Network,
+    /// Measurements.
+    pub stats: StatsHub,
+    events: EventQueue,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    next_uid: u64,
+    started: bool,
+    /// Total events processed (diagnostics; also the unit criterion
+    /// throughput benches report against).
+    pub processed_events: u64,
+    /// Seeded RNG for forwarding jitter (the only randomness inside the
+    /// simulator core).
+    rng: SmallRng,
+    /// Maximum per-hop forwarding jitter in nanoseconds.
+    jitter_ns: u64,
+    /// Per-link monotonic arrival clamp so jitter never reorders a link.
+    last_arrival: Vec<Time>,
+}
+
+impl Simulator {
+    /// Wrap a built network in a fresh simulator at time zero.
+    ///
+    /// Per-hop forwarding jitter defaults to 800 ns (about one MTU
+    /// serialization time at 10 Gbps): real switch forwarding latency
+    /// varies at this scale under load, and without jitter a perfectly
+    /// deterministic simulator phase-locks same-rate flows at taildrop
+    /// boundaries (one flow's packets always land exactly when a slot
+    /// frees, the other's always find the queue full), producing
+    /// pathological sharing no physical network exhibits. Randomizing the
+    /// arrival phase across a full packet slot makes the contended-slot
+    /// winner uniform, which is what AIMD fairness analysis assumes. The
+    /// jitter is drawn from a seeded RNG and never reorders packets on a
+    /// link, so runs stay exactly reproducible.
+    pub fn new(net: Network) -> Simulator {
+        let links = net.links.len();
+        Simulator {
+            now: Time::ZERO,
+            net,
+            stats: StatsHub::new(),
+            events: EventQueue::new(),
+            agents: Vec::new(),
+            next_uid: 0,
+            started: false,
+            processed_events: 0,
+            rng: SmallRng::seed_from_u64(0x5176_u64),
+            jitter_ns: 800,
+            last_arrival: vec![Time::ZERO; links],
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Override the forwarding-jitter bound (0 disables jitter entirely —
+    /// useful for exact-latency unit tests).
+    pub fn set_forwarding_jitter(&mut self, max: Duration) {
+        self.jitter_ns = max.as_nanos();
+    }
+
+    /// Reseed the simulator's jitter RNG (per-repetition seeds in
+    /// experiment sweeps).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// Register a control-plane agent. Its `on_start` runs when the
+    /// simulation starts.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(Some(agent));
+        id
+    }
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // Host apps first, in node order, then agents — all at time zero.
+        for n in 0..self.net.nodes.len() {
+            let node = NodeId(n as u32);
+            if self.net.nodes[n].is_host() {
+                self.with_app(node, |app, ctx| app.on_start(ctx));
+            }
+        }
+        for a in 0..self.agents.len() {
+            let id = AgentId(a as u32);
+            let mut agent = self.agents[a].take().expect("agent reentrancy");
+            let mut ctx = AgentCtx {
+                agent: id,
+                now: self.now,
+                timers: Vec::new(),
+            };
+            agent.on_start(&mut self.net, &mut self.stats, &mut ctx);
+            self.agents[a] = Some(agent);
+            for (at, token) in ctx.timers {
+                self.events
+                    .push(at, EventKind::AgentTimer { agent: id, token });
+            }
+        }
+    }
+
+    /// Run until simulation time `t` (inclusive of events at `t`); the
+    /// clock then reads `t`.
+    pub fn run_until(&mut self, t: Time) {
+        self.start();
+        while let Some(et) = self.events.peek_time() {
+            if et > t {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            self.now = ev.time;
+            self.processed_events += 1;
+            self.dispatch(ev.kind);
+        }
+        self.now = t;
+    }
+
+    /// Run until no events remain or `max_events` more have fired.
+    /// Returns true if the event queue drained.
+    pub fn run_until_idle(&mut self, max_events: u64) -> bool {
+        self.start();
+        let mut budget = max_events;
+        while let Some(ev) = self.events.pop() {
+            self.now = ev.time;
+            self.processed_events += 1;
+            self.dispatch(ev.kind);
+            budget -= 1;
+            if budget == 0 {
+                return self.events.is_empty();
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Arrive { node, packet } => self.on_arrive(node, packet),
+            EventKind::TxComplete { port } => self.on_tx_complete(port),
+            EventKind::PortWake { port } => {
+                let p = &mut self.net.ports[port.index()];
+                if p.wake_at == Some(self.now) {
+                    p.wake_at = None;
+                }
+                self.try_transmit(port);
+            }
+            EventKind::NodeTimer { node, token } => {
+                self.with_app(node, |app, ctx| app.on_timer(ctx, token));
+            }
+            EventKind::AgentTimer { agent, token } => {
+                let idx = agent.index();
+                let mut a = self.agents[idx].take().expect("agent reentrancy");
+                let mut ctx = AgentCtx {
+                    agent,
+                    now: self.now,
+                    timers: Vec::new(),
+                };
+                a.on_timer(&mut self.net, &mut self.stats, &mut ctx, token);
+                self.agents[idx] = Some(a);
+                for (at, token) in ctx.timers {
+                    self.events.push(at, EventKind::AgentTimer { agent, token });
+                }
+            }
+        }
+    }
+
+    /// Run a host-app callback with a fresh context, then apply the side
+    /// effects it requested (sends, timers).
+    fn with_app(&mut self, node: NodeId, f: impl FnOnce(&mut dyn HostApp, &mut HostCtx<'_>)) {
+        let slot = match &mut self.net.nodes[node.index()].kind {
+            NodeKind::Host { app } => app,
+            NodeKind::Switch { .. } => panic!("{node} is not a host"),
+        };
+        let Some(mut app) = slot.take() else {
+            return; // host without an app silently sinks packets
+        };
+        let mut ctx = HostCtx::new(self.now, node, &mut self.stats);
+        f(app.as_mut(), &mut ctx);
+        let HostCtx { sends, timers, .. } = ctx;
+        match &mut self.net.nodes[node.index()].kind {
+            NodeKind::Host { app: slot } => *slot = Some(app),
+            NodeKind::Switch { .. } => unreachable!(),
+        }
+        for pkt in sends {
+            self.inject(node, pkt);
+        }
+        for (at, token) in timers {
+            self.events.push(at, EventKind::NodeTimer { node, token });
+        }
+    }
+
+    /// Route a packet out of `node` and offer it to the uplink port.
+    fn inject(&mut self, node: NodeId, mut pkt: Packet) {
+        pkt.uid = self.next_uid;
+        self.next_uid += 1;
+        let Some(port) = self.net.route(node, pkt.dst, pkt.flow) else {
+            panic!("no route from {node} to {}", pkt.dst);
+        };
+        self.enqueue_at_port(port, pkt);
+    }
+
+    fn enqueue_at_port(&mut self, port: PortId, pkt: Packet) {
+        let entity = pkt.entity;
+        let p = &mut self.net.ports[port.index()];
+        match p.queue.enqueue(self.now, pkt) {
+            Enqueued::Ok => self.try_transmit(port),
+            Enqueued::Dropped(_) => {
+                p.stats.queue_drops += 1;
+                self.stats.on_drop(entity);
+            }
+        }
+    }
+
+    fn try_transmit(&mut self, port: PortId) {
+        let now = self.now;
+        let p = &mut self.net.ports[port.index()];
+        if p.busy() {
+            return;
+        }
+        match p.queue.ready_at(now) {
+            None => {}
+            Some(t) if t <= now => {
+                let pkt = p
+                    .queue
+                    .dequeue(now)
+                    .expect("discipline reported ready but gave no packet");
+                let link = &self.net.links[p.link.index()];
+                let dur = link.rate.transmit_time(pkt.size as u64);
+                p.in_flight = Some(pkt);
+                self.events
+                    .push(now + dur, EventKind::TxComplete { port });
+            }
+            Some(t) => {
+                // Shaped release in the future: arm one wake for the
+                // earliest known release instant.
+                if p.wake_at.map_or(true, |w| t < w) {
+                    p.wake_at = Some(t);
+                    self.events.push(t, EventKind::PortWake { port });
+                }
+            }
+        }
+    }
+
+    fn on_tx_complete(&mut self, port: PortId) {
+        let p = &mut self.net.ports[port.index()];
+        let pkt = p.in_flight.take().expect("TxComplete on idle port");
+        p.stats.tx_pkts += 1;
+        p.stats.tx_bytes += pkt.size as u64;
+        let link = &self.net.links[p.link.index()];
+        let to = link.to_node;
+        let lidx = p.link.index();
+        let jitter = if self.jitter_ns > 0 {
+            Duration::from_nanos(self.rng.gen_range(0..=self.jitter_ns))
+        } else {
+            Duration::ZERO
+        };
+        // Jitter must not reorder packets already launched on this link.
+        let at = (self.now + link.prop_delay + jitter).max(self.last_arrival[lidx]);
+        self.last_arrival[lidx] = at;
+        self.events
+            .push(at, EventKind::Arrive { node: to, packet: pkt });
+        self.try_transmit(port);
+    }
+
+    fn on_arrive(&mut self, node: NodeId, pkt: Packet) {
+        match &self.net.nodes[node.index()].kind {
+            NodeKind::Host { .. } => {
+                debug_assert_eq!(pkt.dst, node, "packet routed to wrong host");
+                let counts = matches!(
+                    pkt.transport,
+                    TransportHeader::Data { .. } | TransportHeader::Datagram
+                );
+                if counts {
+                    self.stats.on_delivery(
+                        self.now,
+                        pkt.entity,
+                        pkt.payload() as u64,
+                        pkt.pq_delay_ns,
+                        pkt.vdelay_ns,
+                    );
+                }
+                self.with_app(node, |app, ctx| app.on_packet(ctx, pkt));
+            }
+            NodeKind::Switch { .. } => self.forward_through_switch(node, pkt),
+        }
+    }
+
+    fn forward_through_switch(&mut self, node: NodeId, mut pkt: Packet) {
+        let now = self.now;
+        // Ingress pipelines.
+        let entity = pkt.entity;
+        let verdict = {
+            let NodeKind::Switch {
+                pipelines,
+                pipeline_drops,
+            } = &mut self.net.nodes[node.index()].kind
+            else {
+                unreachable!()
+            };
+            let mut v = PipelineVerdict::Forward;
+            for pipe in pipelines.iter_mut() {
+                if pipe.ingress(now, &mut pkt) == PipelineVerdict::Drop {
+                    v = PipelineVerdict::Drop;
+                    break;
+                }
+            }
+            if v == PipelineVerdict::Drop {
+                *pipeline_drops += 1;
+            }
+            v
+        };
+        if verdict == PipelineVerdict::Drop {
+            self.stats.on_drop(entity);
+            return;
+        }
+        // Routing (ECMP by flow hash).
+        let Some(out_port) = self.net.route(node, pkt.dst, pkt.flow) else {
+            panic!("switch {node} has no route to {}", pkt.dst);
+        };
+        // Egress pipelines.
+        let backlog = self.net.ports[out_port.index()].queue.backlog_bytes();
+        let verdict = {
+            let NodeKind::Switch {
+                pipelines,
+                pipeline_drops,
+            } = &mut self.net.nodes[node.index()].kind
+            else {
+                unreachable!()
+            };
+            let mut v = PipelineVerdict::Forward;
+            for pipe in pipelines.iter_mut() {
+                if pipe.egress(now, &mut pkt, out_port, backlog) == PipelineVerdict::Drop {
+                    v = PipelineVerdict::Drop;
+                    break;
+                }
+            }
+            if v == PipelineVerdict::Drop {
+                *pipeline_drops += 1;
+            }
+            v
+        };
+        if verdict == PipelineVerdict::Drop {
+            self.stats.on_drop(entity);
+            return;
+        }
+        self.enqueue_at_port(out_port, pkt);
+    }
+}

@@ -1,0 +1,401 @@
+//! Measurement infrastructure shared by all experiments.
+//!
+//! The hub records, per *entity* (the paper's unit of bandwidth guarantee):
+//! delivered payload bytes (total and as a windowed time series), physical
+//! and virtual queuing-delay samples, and flow lifecycles (for workload /
+//! flow completion times). Free functions compute the fairness metrics the
+//! paper reports.
+
+use crate::ids::{EntityId, FlowId};
+use crate::time::{Duration, Time};
+use std::collections::BTreeMap;
+
+/// Bytes counted into fixed-size time windows; yields a throughput series.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    window: Duration,
+    buckets: Vec<u64>,
+}
+
+impl WindowedCounter {
+    /// A counter with the given window size.
+    pub fn new(window: Duration) -> WindowedCounter {
+        assert!(window.as_nanos() > 0, "window must be positive");
+        WindowedCounter {
+            window,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Add `bytes` at time `now`.
+    pub fn record(&mut self, now: Time, bytes: u64) {
+        let idx = (now.as_nanos() / self.window.as_nanos()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += bytes;
+    }
+
+    /// The configured window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Raw per-window byte counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Throughput series in bits/s, one point per window.
+    pub fn rate_series_bps(&self) -> Vec<f64> {
+        let w = self.window.as_secs_f64();
+        self.buckets.iter().map(|b| *b as f64 * 8.0 / w).collect()
+    }
+
+    /// Average throughput in bits/s over `[from, to)`, counting empty
+    /// windows as zero.
+    pub fn avg_bps(&self, from: Time, to: Time) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let w = self.window.as_nanos();
+        let first = (from.as_nanos() / w) as usize;
+        let last = (to.as_nanos().saturating_sub(1) / w) as usize;
+        let mut bytes = 0u64;
+        for i in first..=last {
+            bytes += self.buckets.get(i).copied().unwrap_or(0);
+        }
+        bytes as f64 * 8.0 / (to - from).as_secs_f64()
+    }
+}
+
+/// Collects delay samples (nanoseconds) and reports percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct DelayRecorder {
+    samples: Vec<u64>,
+}
+
+impl DelayRecorder {
+    /// Record one delay sample.
+    pub fn record(&mut self, ns: u64) {
+        self.samples.push(ns);
+    }
+
+    /// Number of samples collected.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `p`-th percentile (0.0–100.0) by nearest-rank, or `None` when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.max(1).min(sorted.len()) - 1])
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|s| *s as f64).sum::<f64>() / self.samples.len() as f64)
+    }
+}
+
+/// Per-entity measurements.
+#[derive(Debug, Clone)]
+pub struct EntityStats {
+    /// Payload bytes delivered to destination hosts.
+    pub rx_bytes: u64,
+    /// Delivered payload as a windowed throughput series.
+    pub rx_series: WindowedCounter,
+    /// Physical queuing delay experienced by delivered data packets.
+    pub pq_delay: DelayRecorder,
+    /// Virtual queuing delay accumulated by AQs on delivered data packets.
+    pub vdelay: DelayRecorder,
+    /// Packets of this entity dropped anywhere (taildrop, shaper, AQ limit).
+    pub drops: u64,
+}
+
+impl EntityStats {
+    fn new(window: Duration) -> EntityStats {
+        EntityStats {
+            rx_bytes: 0,
+            rx_series: WindowedCounter::new(window),
+            pq_delay: DelayRecorder::default(),
+            vdelay: DelayRecorder::default(),
+            drops: 0,
+        }
+    }
+}
+
+/// Lifecycle of one registered flow.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// Owning entity.
+    pub entity: EntityId,
+    /// Flow payload size in bytes (0 for long-lived flows).
+    pub bytes: u64,
+    /// When the flow was started.
+    pub start: Time,
+    /// When the flow completed (receiver holds all bytes), if it has.
+    pub end: Option<Time>,
+}
+
+impl FlowRecord {
+    /// Completion time if finished.
+    pub fn fct(&self) -> Option<Duration> {
+        self.end.map(|e| e - self.start)
+    }
+}
+
+/// The shared measurement sink owned by the simulator.
+#[derive(Debug, Default)]
+pub struct StatsHub {
+    window: Option<Duration>,
+    entities: BTreeMap<EntityId, EntityStats>,
+    flows: BTreeMap<FlowId, FlowRecord>,
+    /// Record every Nth delay sample (1 = all). Reduces memory for very
+    /// long runs without biasing percentiles.
+    pub delay_decimation: u64,
+    delay_seen: u64,
+}
+
+impl StatsHub {
+    /// A hub sampling throughput with the given window (default 10 ms when
+    /// unset).
+    pub fn new() -> StatsHub {
+        StatsHub {
+            window: None,
+            entities: BTreeMap::new(),
+            flows: BTreeMap::new(),
+            delay_decimation: 1,
+            delay_seen: 0,
+        }
+    }
+
+    /// Override the throughput-sampling window (must be called before any
+    /// traffic is recorded).
+    pub fn set_window(&mut self, w: Duration) {
+        self.window = Some(w);
+    }
+
+    fn window(&self) -> Duration {
+        self.window.unwrap_or(Duration::from_millis(10))
+    }
+
+    /// Per-entity stats, creating the slot on first touch.
+    pub fn entity_mut(&mut self, e: EntityId) -> &mut EntityStats {
+        let w = self.window();
+        self.entities
+            .entry(e)
+            .or_insert_with(|| EntityStats::new(w))
+    }
+
+    /// Read-only per-entity stats.
+    pub fn entity(&self, e: EntityId) -> Option<&EntityStats> {
+        self.entities.get(&e)
+    }
+
+    /// All entities with any recorded traffic.
+    pub fn entities(&self) -> impl Iterator<Item = (&EntityId, &EntityStats)> {
+        self.entities.iter()
+    }
+
+    /// Called by the simulator when a data packet reaches its destination.
+    pub fn on_delivery(&mut self, now: Time, entity: EntityId, payload: u64, pq_ns: u64, vd_ns: u64) {
+        self.delay_seen += 1;
+        let sample = self.delay_seen % self.delay_decimation.max(1) == 0;
+        let es = self.entity_mut(entity);
+        es.rx_bytes += payload;
+        es.rx_series.record(now, payload);
+        if sample {
+            es.pq_delay.record(pq_ns);
+            es.vdelay.record(vd_ns);
+        }
+    }
+
+    /// Called wherever a packet of `entity` is dropped (queue taildrop,
+    /// shaper rejection, or AQ pipeline drop).
+    pub fn on_drop(&mut self, entity: EntityId) {
+        self.entity_mut(entity).drops += 1;
+    }
+
+    /// Declare a flow before it starts so its completion can be awaited.
+    pub fn register_flow(&mut self, flow: FlowId, entity: EntityId, bytes: u64, start: Time) {
+        self.flows.insert(
+            flow,
+            FlowRecord {
+                entity,
+                bytes,
+                start,
+                end: None,
+            },
+        );
+    }
+
+    /// Mark a flow complete (first call wins).
+    pub fn flow_completed(&mut self, flow: FlowId, now: Time) {
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            if rec.end.is_none() {
+                rec.end = Some(now);
+            }
+        }
+    }
+
+    /// Lifecycle record of one flow.
+    pub fn flow(&self, flow: FlowId) -> Option<&FlowRecord> {
+        self.flows.get(&flow)
+    }
+
+    /// All registered flows.
+    pub fn flows(&self) -> impl Iterator<Item = (&FlowId, &FlowRecord)> {
+        self.flows.iter()
+    }
+
+    /// Workload completion time for an entity: latest flow end minus
+    /// earliest flow start across its registered flows. `None` until every
+    /// flow of the entity has completed (or if it has none).
+    pub fn entity_completion(&self, entity: EntityId) -> Option<Duration> {
+        let mut first_start = Time::MAX;
+        let mut last_end = Time::ZERO;
+        let mut any = false;
+        for rec in self.flows.values().filter(|r| r.entity == entity) {
+            any = true;
+            first_start = first_start.min(rec.start);
+            last_end = last_end.max(rec.end?);
+        }
+        any.then(|| last_end - first_start)
+    }
+
+    /// Fraction of an entity's registered flows that have completed.
+    pub fn entity_completed_fraction(&self, entity: EntityId) -> f64 {
+        let (mut total, mut done) = (0u64, 0u64);
+        for rec in self.flows.values().filter(|r| r.entity == entity) {
+            total += 1;
+            if rec.end.is_some() {
+                done += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            done as f64 / total as f64
+        }
+    }
+}
+
+/// Jain's fairness index over per-entity allocations: 1.0 = perfectly fair.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sumsq)
+}
+
+/// The paper's *entity fairness* (§5.2): ratio of the smaller of two values
+/// to the larger; 1.0 = perfectly fair, 0.0 when either is zero.
+pub fn minmax_ratio(a: f64, b: f64) -> f64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    if hi == 0.0 {
+        1.0
+    } else {
+        lo / hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_counter_buckets_by_time() {
+        let mut c = WindowedCounter::new(Duration::from_millis(10));
+        c.record(Time::from_millis(1), 100);
+        c.record(Time::from_millis(9), 50);
+        c.record(Time::from_millis(15), 200);
+        assert_eq!(c.buckets(), &[150, 200]);
+        // 150 bytes in 10 ms = 120 kbit/s.
+        assert!((c.rate_series_bps()[0] - 120_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_bps_counts_empty_windows() {
+        let mut c = WindowedCounter::new(Duration::from_millis(10));
+        c.record(Time::from_millis(5), 1000);
+        // 1000 bytes over 40 ms = 200 kbit/s.
+        let avg = c.avg_bps(Time::ZERO, Time::from_millis(40));
+        assert!((avg - 200_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut d = DelayRecorder::default();
+        for v in 1..=100u64 {
+            d.record(v);
+        }
+        assert_eq!(d.percentile(50.0), Some(50));
+        assert_eq!(d.percentile(95.0), Some(95));
+        assert_eq!(d.percentile(100.0), Some(100));
+        assert_eq!(d.percentile(1.0), Some(1));
+        assert!(DelayRecorder::default().percentile(50.0).is_none());
+    }
+
+    #[test]
+    fn entity_completion_spans_first_start_to_last_end() {
+        let mut s = StatsHub::new();
+        let e = EntityId(1);
+        s.register_flow(FlowId(1), e, 100, Time::from_millis(1));
+        s.register_flow(FlowId(2), e, 100, Time::from_millis(3));
+        assert_eq!(s.entity_completion(e), None);
+        s.flow_completed(FlowId(1), Time::from_millis(10));
+        assert_eq!(s.entity_completion(e), None); // flow 2 pending
+        s.flow_completed(FlowId(2), Time::from_millis(20));
+        assert_eq!(s.entity_completion(e), Some(Duration::from_millis(19)));
+        assert!((s.entity_completed_fraction(e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_completed_first_call_wins() {
+        let mut s = StatsHub::new();
+        s.register_flow(FlowId(1), EntityId(1), 10, Time::ZERO);
+        s.flow_completed(FlowId(1), Time::from_millis(5));
+        s.flow_completed(FlowId(1), Time::from_millis(9));
+        assert_eq!(s.flow(FlowId(1)).unwrap().end, Some(Time::from_millis(5)));
+    }
+
+    #[test]
+    fn delivery_accumulates_per_entity() {
+        let mut s = StatsHub::new();
+        s.on_delivery(Time::from_millis(2), EntityId(3), 1000, 500, 700);
+        s.on_delivery(Time::from_millis(4), EntityId(3), 1000, 900, 100);
+        let es = s.entity(EntityId(3)).unwrap();
+        assert_eq!(es.rx_bytes, 2000);
+        assert_eq!(es.pq_delay.len(), 2);
+        assert_eq!(es.pq_delay.percentile(100.0), Some(900));
+    }
+
+    #[test]
+    fn fairness_metrics() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert!((minmax_ratio(5.0, 10.0) - 0.5).abs() < 1e-12);
+        assert!((minmax_ratio(10.0, 5.0) - 0.5).abs() < 1e-12);
+        assert!((minmax_ratio(0.0, 0.0) - 1.0).abs() < 1e-12);
+    }
+}

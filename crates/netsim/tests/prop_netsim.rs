@@ -1,0 +1,156 @@
+//! Property tests for the simulator substrate: exact unit arithmetic,
+//! FIFO conservation, and end-to-end determinism.
+
+use aq_netsim::ids::{EntityId, FlowId, NodeId};
+use aq_netsim::packet::Packet;
+use aq_netsim::queue::{Enqueued, FifoConfig, FifoQueue, QueueDiscipline};
+use aq_netsim::stats::WindowedCounter;
+use aq_netsim::time::{Duration, Rate, Time, NS_PER_SEC};
+use proptest::prelude::*;
+
+proptest! {
+    /// `transmit_time` is exact up to its documented round-up: sending the
+    /// bytes the rate claims fit in a duration never takes longer than
+    /// that duration plus one nanosecond of rounding.
+    #[test]
+    fn rate_conversions_are_mutually_consistent(
+        bps in 1_000u64..400_000_000_000,
+        bytes in 1u64..10_000_000,
+    ) {
+        let r = Rate::from_bps(bps);
+        let d = r.transmit_time(bytes);
+        // The duration must cover the bytes…
+        prop_assert!(r.bytes_in(d) >= bytes.saturating_sub(1));
+        // …and not be more than one ns-rounding too generous.
+        if d.as_nanos() > 1 {
+            let d_minus = Duration::from_nanos(d.as_nanos() - 1);
+            prop_assert!(r.bytes_in(d_minus) <= bytes);
+        }
+    }
+
+    /// Exact byte accounting: `bytes_in` equals floor(bps·ns / 8e9).
+    #[test]
+    fn bytes_in_matches_exact_arithmetic(
+        bps in 1u64..400_000_000_000,
+        ns in 0u64..10_000_000_000,
+    ) {
+        let expect = (bps as u128 * ns as u128 / (8 * NS_PER_SEC as u128)) as u64;
+        prop_assert_eq!(Rate::from_bps(bps).bytes_in(Duration::from_nanos(ns)), expect);
+    }
+
+    /// A FIFO conserves packets in order and never exceeds its byte limit.
+    #[test]
+    fn fifo_conserves_order_and_limit(
+        sizes in prop::collection::vec(40u32..9000, 1..200),
+        limit in 10_000u64..500_000,
+    ) {
+        let mut q = FifoQueue::new(FifoConfig {
+            limit_bytes: limit,
+            ecn_threshold_bytes: None,
+        });
+        let mut accepted = Vec::new();
+        for (uid, payload) in sizes.iter().enumerate() {
+            let mut p = Packet::data(
+                FlowId(1),
+                EntityId(1),
+                NodeId(0),
+                NodeId(1),
+                0,
+                *payload,
+                false,
+                Time::ZERO,
+            );
+            p.uid = uid as u64;
+            match q.enqueue(Time::ZERO, p) {
+                Enqueued::Ok => accepted.push(uid as u64),
+                Enqueued::Dropped(_) => {}
+            }
+            prop_assert!(q.backlog_bytes() <= limit);
+        }
+        let drained: Vec<u64> =
+            std::iter::from_fn(|| q.dequeue(Time::ZERO)).map(|p| p.uid).collect();
+        prop_assert_eq!(accepted, drained);
+        prop_assert_eq!(q.backlog_bytes(), 0);
+    }
+
+    /// Windowed counters conserve bytes: the bucket sum equals the total
+    /// recorded regardless of timing.
+    #[test]
+    fn windowed_counter_conserves_bytes(
+        points in prop::collection::vec((0u64..10_000_000_000, 1u64..1_000_000), 1..200),
+        window_ms in 1u64..1000,
+    ) {
+        let mut c = WindowedCounter::new(Duration::from_millis(window_ms));
+        let mut total = 0u64;
+        for (t, b) in points {
+            c.record(Time::from_nanos(t), b);
+            total += b;
+        }
+        prop_assert_eq!(c.buckets().iter().sum::<u64>(), total);
+    }
+}
+
+/// Two identical simulations produce bit-identical measurement outcomes —
+/// the determinism contract everything else relies on.
+#[test]
+fn simulation_is_deterministic() {
+    use aq_netsim::topology::dumbbell;
+    use aq_netsim::Simulator;
+
+    fn run(seed: u64) -> (u64, u64, Vec<u64>) {
+        let d = dumbbell(
+            2,
+            Rate::from_gbps(10),
+            Duration::from_micros(10),
+            FifoConfig::default(),
+        );
+        let mut net = d.net;
+        // A raw packet generator app is overkill; reuse the port stats from
+        // an idle network with injected traffic via a tiny app.
+        struct Blaster {
+            src: NodeId,
+            dst: NodeId,
+            sent: u64,
+        }
+        impl aq_netsim::HostApp for Blaster {
+            fn on_start(&mut self, ctx: &mut aq_netsim::HostCtx<'_>) {
+                ctx.arm_timer_in(Duration::from_nanos(100), 0);
+            }
+            fn on_packet(&mut self, _ctx: &mut aq_netsim::HostCtx<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, ctx: &mut aq_netsim::HostCtx<'_>, _token: u64) {
+                if self.sent < 5000 {
+                    self.sent += 1;
+                    ctx.send(Packet::datagram(
+                        FlowId(1),
+                        EntityId(1),
+                        self.src,
+                        self.dst,
+                        1000,
+                        ctx.now,
+                    ));
+                    ctx.arm_timer_in(Duration::from_nanos(700), 0);
+                }
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let (src, dst) = (d.left[0], d.right[0]);
+        net.set_app(src, Box::new(Blaster { src, dst, sent: 0 }));
+        let mut sim = Simulator::new(net);
+        sim.set_seed(seed);
+        sim.run_until(Time::from_millis(50));
+        let es = sim.stats.entity(EntityId(1)).expect("traffic");
+        (
+            es.rx_bytes,
+            sim.processed_events,
+            es.rx_series.buckets().to_vec(),
+        )
+    }
+
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a, b, "same seed must reproduce exactly");
+    let c = run(8);
+    assert_eq!(a.0, c.0, "jitter must not change delivered byte counts");
+}

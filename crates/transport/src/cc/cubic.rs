@@ -1,0 +1,176 @@
+//! CUBIC (Ha, Rhee, Xu 2008 / RFC 8312): window growth follows a cubic
+//! function of time since the last loss, with a TCP-friendly lower bound.
+
+use super::{clamp_cwnd, AckSignals, CongestionControl, MAX_CWND};
+use aq_netsim::time::{Duration, Time};
+
+/// CUBIC's scaling constant (RFC 8312 §4.1).
+const C: f64 = 0.4;
+/// Multiplicative decrease factor (RFC 8312 §4.5).
+const BETA: f64 = 0.7;
+
+/// CUBIC state.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window size just before the last reduction.
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<Time>,
+    /// Time for the cubic to return to `w_max`.
+    k: f64,
+    /// Reno-equivalent window for the TCP-friendly region.
+    w_est: f64,
+    last_rtt: Duration,
+}
+
+impl Cubic {
+    /// Initial window of 10 segments.
+    pub fn new() -> Cubic {
+        Cubic {
+            cwnd: 10.0,
+            ssthresh: MAX_CWND,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            last_rtt: Duration::from_micros(100),
+        }
+    }
+
+    fn enter_epoch(&mut self, now: Time) {
+        self.epoch_start = Some(now);
+        self.k = if self.cwnd < self.w_max {
+            ((self.w_max - self.cwnd) / C).cbrt()
+        } else {
+            0.0
+        };
+        self.w_est = self.cwnd;
+    }
+
+    /// The cubic target window `W(t) = C(t−K)³ + w_max`.
+    fn w_cubic(&self, t: f64) -> f64 {
+        C * (t - self.k).powi(3) + self.w_max
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(&mut self, sig: &AckSignals) {
+        self.last_rtt = sig.rtt;
+        if self.cwnd < self.ssthresh {
+            self.cwnd = clamp_cwnd(self.cwnd + sig.newly_acked as f64);
+            return;
+        }
+        if self.epoch_start.is_none() {
+            self.enter_epoch(sig.now);
+        }
+        let t = (sig.now - self.epoch_start.expect("epoch set above")).as_secs_f64();
+        let rtt = sig.rtt.as_secs_f64().max(1e-6);
+        // TCP-friendly region estimate (RFC 8312 §4.2), grown per ACK.
+        self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) * sig.newly_acked as f64 / self.cwnd;
+        let target = self.w_cubic(t + rtt);
+        let next = if target > self.cwnd {
+            // Concave/convex region: approach the target within one RTT.
+            self.cwnd + (target - self.cwnd) / self.cwnd * sig.newly_acked as f64
+        } else {
+            // At or past the plateau: minimal growth.
+            self.cwnd + 0.01 * sig.newly_acked as f64 / self.cwnd
+        };
+        self.cwnd = clamp_cwnd(next.max(self.w_est));
+    }
+
+    fn on_loss(&mut self, _now: Time) {
+        self.w_max = self.cwnd;
+        self.cwnd = clamp_cwnd(self.cwnd * BETA);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+    }
+
+    fn on_timeout(&mut self, _now: Time) {
+        self.w_max = self.cwnd;
+        self.ssthresh = clamp_cwnd(self.cwnd * BETA);
+        self.cwnd = 1.0;
+        self.epoch_start = None;
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn name(&self) -> &'static str {
+        "CUBIC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::sig;
+    use super::*;
+
+    #[test]
+    fn slow_start_until_first_loss() {
+        let mut cc = Cubic::new();
+        for _ in 0..20 {
+            cc.on_ack(&sig(100, 50, 50, false));
+        }
+        assert_eq!(cc.cwnd(), 30.0);
+    }
+
+    #[test]
+    fn loss_reduces_by_beta_and_sets_wmax() {
+        let mut cc = Cubic::new();
+        for _ in 0..90 {
+            cc.on_ack(&sig(100, 50, 50, false));
+        }
+        let w = cc.cwnd();
+        cc.on_loss(Time::from_millis(1));
+        assert!((cc.cwnd() - w * BETA).abs() < 1e-9);
+        assert_eq!(cc.w_max, w);
+    }
+
+    #[test]
+    fn growth_is_slow_near_wmax_fast_far_from_it() {
+        let mut cc = Cubic::new();
+        for _ in 0..90 {
+            cc.on_ack(&sig(0, 50, 50, false));
+        }
+        cc.on_loss(Time::from_millis(1));
+        let w_after_loss = cc.cwnd();
+        // Just after the loss (t small, below w_max): concave growth.
+        let mut near = cc.clone();
+        for i in 0..50 {
+            near.on_ack(&sig(1_000 + i * 50, 50, 50, false));
+        }
+        let early_growth = near.cwnd() - w_after_loss;
+        // Much later (t >> K ≈ 4.2 s here, convex region): the same number
+        // of ACKs grows the window by more, and the window exceeds w_max.
+        let mut far = near.clone();
+        let last = far.cwnd();
+        for i in 0..50 {
+            far.on_ack(&sig(10_000_000 + i * 50, 50, 50, false));
+        }
+        let late_growth = far.cwnd() - last;
+        assert!(
+            late_growth > early_growth,
+            "late {late_growth} vs early {early_growth}"
+        );
+        assert!(far.cwnd() > cc.w_max, "convex region should exceed w_max");
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_segment() {
+        let mut cc = Cubic::new();
+        for _ in 0..50 {
+            cc.on_ack(&sig(100, 50, 50, false));
+        }
+        cc.on_timeout(Time::from_millis(2));
+        assert_eq!(cc.cwnd(), 1.0);
+    }
+}

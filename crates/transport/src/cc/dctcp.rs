@@ -1,0 +1,181 @@
+//! DCTCP (Alizadeh et al., SIGCOMM 2010): ECN-fraction-proportional
+//! multiplicative decrease.
+//!
+//! The sender maintains `α`, an EWMA of the fraction of acknowledged
+//! segments carrying an ECN echo, updated once per window of data
+//! (`g = 1/16`), and on windows containing any mark reduces
+//! `cwnd ← cwnd · (1 − α/2)`. Growth is standard slow start / Reno
+//! congestion avoidance.
+
+use super::{clamp_cwnd, AckSignals, CongestionControl, MAX_CWND};
+use aq_netsim::time::Time;
+
+/// EWMA gain for the marked fraction (the paper's recommended 1/16).
+const G: f64 = 1.0 / 16.0;
+
+/// DCTCP state.
+#[derive(Debug, Clone)]
+pub struct Dctcp {
+    cwnd: f64,
+    ssthresh: f64,
+    /// EWMA of the marked fraction.
+    pub alpha: f64,
+    /// Segments acked in the current observation window.
+    acked_in_window: u64,
+    /// Of which, carried an ECN echo.
+    marked_in_window: u64,
+    /// The window ends when `cum_ack` passes this sequence.
+    window_end: u64,
+}
+
+impl Dctcp {
+    /// Initial window of 10 segments; α starts at zero.
+    pub fn new() -> Dctcp {
+        Dctcp {
+            cwnd: 10.0,
+            ssthresh: MAX_CWND,
+            alpha: 0.0,
+            acked_in_window: 0,
+            marked_in_window: 0,
+            window_end: 0,
+        }
+    }
+}
+
+impl Default for Dctcp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn on_ack(&mut self, sig: &AckSignals) {
+        self.acked_in_window += sig.newly_acked;
+        if sig.ecn_echo {
+            self.marked_in_window += sig.newly_acked.max(1);
+            // A mark ends slow start immediately (per the DCTCP paper the
+            // first mark is treated like conventional ECN).
+            if self.cwnd < self.ssthresh {
+                self.ssthresh = self.cwnd;
+            }
+        }
+        // Window growth: slow start or Reno-style.
+        for _ in 0..sig.newly_acked {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0;
+            } else {
+                self.cwnd += 1.0 / self.cwnd;
+            }
+        }
+        self.cwnd = clamp_cwnd(self.cwnd);
+        // One observation window ≈ one RTT of data.
+        if sig.cum_ack >= self.window_end {
+            if self.acked_in_window > 0 {
+                let f = self.marked_in_window as f64 / self.acked_in_window as f64;
+                self.alpha = (1.0 - G) * self.alpha + G * f;
+                if self.marked_in_window > 0 {
+                    self.cwnd = clamp_cwnd(self.cwnd * (1.0 - self.alpha / 2.0));
+                    self.ssthresh = self.cwnd;
+                }
+            }
+            self.acked_in_window = 0;
+            self.marked_in_window = 0;
+            self.window_end = sig.snd_nxt;
+        }
+    }
+
+    fn on_loss(&mut self, _now: Time) {
+        // DCTCP falls back to conventional halving on loss.
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = clamp_cwnd(self.ssthresh);
+    }
+
+    fn on_timeout(&mut self, _now: Time) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn name(&self) -> &'static str {
+        "DCTCP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aq_netsim::time::{Duration, Time};
+
+    fn ack(newly: u64, ecn: bool, cum: u64, nxt: u64) -> AckSignals {
+        AckSignals {
+            now: Time::from_micros(100),
+            newly_acked: newly,
+            rtt: Duration::from_micros(60),
+            min_rtt: Duration::from_micros(50),
+            queuing_delay: Duration::from_micros(10),
+            ecn_echo: ecn,
+            snd_nxt: nxt,
+            cum_ack: cum,
+        }
+    }
+
+    #[test]
+    fn alpha_converges_to_marking_fraction() {
+        let mut cc = Dctcp::new();
+        // 50% of segments marked, over many windows of 10 segments each.
+        let mut cum = 0;
+        for w in 0..400 {
+            for i in 0..10u64 {
+                cum += 1;
+                let marked = i % 2 == 0;
+                // window_end logic: pass snd_nxt well ahead.
+                cc.on_ack(&ack(1, marked, cum, cum + 10));
+            }
+            let _ = w;
+        }
+        assert!(
+            (cc.alpha - 0.5).abs() < 0.1,
+            "alpha {} should approach 0.5",
+            cc.alpha
+        );
+    }
+
+    #[test]
+    fn unmarked_windows_do_not_reduce() {
+        let mut cc = Dctcp::new();
+        cc.on_loss(Time::ZERO); // exit slow start deterministically
+        let w0 = cc.cwnd();
+        let mut cum = 0;
+        for _ in 0..50 {
+            cum += 1;
+            cc.on_ack(&ack(1, false, cum, cum + 5));
+        }
+        assert!(cc.cwnd() > w0);
+        assert_eq!(cc.alpha, 0.0);
+    }
+
+    #[test]
+    fn fully_marked_windows_halve_eventually() {
+        let mut cc = Dctcp::new();
+        let mut cum = 0;
+        // Persistent 100% marking: alpha -> 1, decrease -> cwnd/2 per RTT;
+        // combined with +1/window increase, cwnd must collapse toward min.
+        for _ in 0..600 {
+            cum += 1;
+            cc.on_ack(&ack(1, true, cum, cum + 2));
+        }
+        assert!(cc.alpha > 0.9, "alpha {}", cc.alpha);
+        assert!(cc.cwnd() < 4.0, "cwnd {}", cc.cwnd());
+    }
+
+    #[test]
+    fn first_mark_exits_slow_start() {
+        let mut cc = Dctcp::new();
+        assert!(cc.cwnd() < cc.ssthresh);
+        cc.on_ack(&ack(1, true, 1, 20));
+        assert!(cc.ssthresh <= cc.cwnd());
+    }
+}

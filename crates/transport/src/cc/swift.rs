@@ -1,0 +1,150 @@
+//! Swift (Kumar et al., SIGCOMM 2020): delay-target congestion control.
+//!
+//! The sender compares the measured queuing delay against a target; below
+//! target it increases additively, above target it decreases
+//! multiplicatively in proportion to the overshoot, clamped by a maximum
+//! decrease factor, at most once per RTT. Under AQ the delay signal is the
+//! switch-accumulated *virtual* queuing delay instead of the measured
+//! end-to-end queuing delay (§3.3.2 of the AQ paper).
+
+use super::{clamp_cwnd, AckSignals, CongestionControl};
+use aq_netsim::time::{Duration, Time};
+
+/// Additive increase per RTT (segments).
+const AI: f64 = 1.0;
+/// Multiplicative-decrease gain.
+const BETA: f64 = 0.8;
+/// Maximum fractional decrease in one RTT.
+const MAX_MDF: f64 = 0.5;
+
+/// Swift state.
+#[derive(Debug, Clone)]
+pub struct Swift {
+    cwnd: f64,
+    /// Target queuing delay.
+    pub target: Duration,
+    /// Earliest time another multiplicative decrease is permitted.
+    next_decrease_at: Time,
+}
+
+impl Swift {
+    /// A Swift instance aiming at `target` queuing delay.
+    pub fn new(target: Duration) -> Swift {
+        Swift {
+            cwnd: 10.0,
+            target,
+            next_decrease_at: Time::ZERO,
+        }
+    }
+}
+
+impl CongestionControl for Swift {
+    fn on_ack(&mut self, sig: &AckSignals) {
+        let delay = sig.queuing_delay;
+        if delay <= self.target {
+            // Additive increase, spread across the ACKs of one window.
+            if self.cwnd >= 1.0 {
+                self.cwnd += AI * sig.newly_acked as f64 / self.cwnd;
+            } else {
+                self.cwnd += AI * sig.newly_acked as f64;
+            }
+        } else if sig.now >= self.next_decrease_at {
+            let over = (delay.as_secs_f64() - self.target.as_secs_f64()) / delay.as_secs_f64();
+            let factor = (1.0 - BETA * over).max(1.0 - MAX_MDF);
+            self.cwnd *= factor;
+            // At most one decrease per RTT.
+            self.next_decrease_at = sig.now + sig.rtt;
+        }
+        self.cwnd = clamp_cwnd(self.cwnd);
+    }
+
+    fn on_loss(&mut self, now: Time) {
+        if now >= self.next_decrease_at {
+            self.cwnd = clamp_cwnd(self.cwnd * (1.0 - MAX_MDF));
+            self.next_decrease_at = now + Duration::from_micros(50);
+        }
+    }
+
+    fn on_timeout(&mut self, _now: Time) {
+        self.cwnd = 1.0;
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn name(&self) -> &'static str {
+        "Swift"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::sig;
+    use super::*;
+
+    fn swift() -> Swift {
+        Swift::new(Duration::from_micros(50))
+    }
+
+    #[test]
+    fn grows_below_target() {
+        let mut cc = swift();
+        let w0 = cc.cwnd();
+        for i in 0..100 {
+            // queuing delay 10us < 50us target
+            cc.on_ack(&sig(i * 60, 60, 50, false));
+        }
+        assert!(cc.cwnd() > w0);
+    }
+
+    #[test]
+    fn decreases_proportionally_above_target() {
+        let mut cc = swift();
+        // queuing delay 100us, target 50us: over = 0.5, factor = 0.6.
+        cc.on_ack(&sig(1000, 150, 50, false));
+        assert!((cc.cwnd() - 6.0).abs() < 1e-9, "cwnd {}", cc.cwnd());
+    }
+
+    #[test]
+    fn at_most_one_decrease_per_rtt() {
+        let mut cc = swift();
+        cc.on_ack(&sig(1000, 150, 50, false));
+        let w = cc.cwnd();
+        // Immediately following over-target ACKs within the same RTT do
+        // not decrease again.
+        cc.on_ack(&sig(1010, 150, 50, false));
+        cc.on_ack(&sig(1020, 150, 50, false));
+        assert_eq!(cc.cwnd(), w);
+        // After an RTT, the next decrease applies.
+        cc.on_ack(&sig(1000 + 151, 150, 50, false));
+        assert!(cc.cwnd() < w);
+    }
+
+    #[test]
+    fn decrease_is_clamped_by_max_mdf() {
+        let mut cc = swift();
+        // Enormous overshoot: factor would be negative without the clamp.
+        cc.on_ack(&sig(1000, 5050, 50, false));
+        assert!((cc.cwnd() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_near_target_under_delay_proportional_feedback() {
+        // Close the loop: model queuing delay as proportional to cwnd
+        // (20 us per segment beyond 1), target 100 us -> fixed point at
+        // cwnd ~ 6.
+        let mut cc = Swift::new(Duration::from_micros(100));
+        let mut now = 0u64;
+        for _ in 0..2000 {
+            let qd = ((cc.cwnd() - 1.0).max(0.0) * 20.0) as u64;
+            now += 50 + qd;
+            cc.on_ack(&super::super::testutil::sig(now, 50 + qd, 50, false));
+        }
+        assert!(
+            cc.cwnd() > 4.0 && cc.cwnd() < 8.0,
+            "cwnd {} should hover near 6",
+            cc.cwnd()
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Poisson flow arrivals.
+//!
+//! Flows in the web-search workload arrive as a Poisson process whose rate
+//! is chosen to hit a target offered load on a reference link:
+//! `λ = load · capacity / (8 · mean_flow_size)` arrivals per second.
+
+use aq_netsim::time::{Duration, Rate, Time, NS_PER_SEC};
+use rand::Rng;
+
+/// A Poisson arrival-time generator.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    /// Mean arrivals per second.
+    pub lambda: f64,
+}
+
+impl PoissonArrivals {
+    /// Arrivals at `lambda` per second.
+    pub fn new(lambda: f64) -> PoissonArrivals {
+        assert!(lambda > 0.0, "arrival rate must be positive");
+        PoissonArrivals { lambda }
+    }
+
+    /// The rate that offers `load` (0–1] of `capacity` given the workload's
+    /// mean flow size.
+    pub fn for_load(load: f64, capacity: Rate, mean_flow_bytes: f64) -> PoissonArrivals {
+        assert!(load > 0.0, "load must be positive");
+        assert!(mean_flow_bytes > 0.0, "mean flow size must be positive");
+        PoissonArrivals::new(load * capacity.as_bps() as f64 / (8.0 * mean_flow_bytes))
+    }
+
+    /// Draw one exponential inter-arrival gap.
+    pub fn next_gap<R: Rng>(&self, rng: &mut R) -> Duration {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let secs = -u.ln() / self.lambda;
+        Duration::from_nanos((secs * NS_PER_SEC as f64) as u64)
+    }
+
+    /// All arrival instants in `[start, start + horizon)`.
+    pub fn times_in<R: Rng>(&self, rng: &mut R, start: Time, horizon: Duration) -> Vec<Time> {
+        let end = start + horizon;
+        let mut t = start;
+        let mut out = Vec::new();
+        loop {
+            t = t + self.next_gap(rng);
+            if t >= end {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrival_count_matches_lambda() {
+        let p = PoissonArrivals::new(10_000.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let times = p.times_in(&mut rng, Time::ZERO, Duration::from_secs(1));
+        let n = times.len() as f64;
+        // Poisson(10 000): standard deviation = 100, allow ±5σ.
+        assert!((9_500.0..=10_500.0).contains(&n), "count {n}");
+    }
+
+    #[test]
+    fn times_are_sorted_and_within_horizon() {
+        let p = PoissonArrivals::new(5_000.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let start = Time::from_millis(10);
+        let times = p.times_in(&mut rng, start, Duration::from_millis(50));
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(times.iter().all(|t| *t >= start && *t < Time::from_millis(60)));
+    }
+
+    #[test]
+    fn for_load_derives_the_right_rate() {
+        // 10 Gbps at load 0.5 with 625 KB mean flows: 10e9*0.5/(8*625e3)
+        // = 1000 flows/s.
+        let p = PoissonArrivals::for_load(0.5, Rate::from_gbps(10), 625_000.0);
+        assert!((p.lambda - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_is_rejected() {
+        PoissonArrivals::new(0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Traffic matrices: who sends to whom.
+//!
+//! The paper stresses that "the traffic pattern, i.e., the traffic matrix
+//! among all hosts, is arbitrary": any source may talk to any destination
+//! with any volume at any time. These generators produce the patterns the
+//! experiments need — uniformly random pairs (the "arbitrary" default),
+//! fixed pairings, and all-to-one incast.
+
+use aq_netsim::ids::NodeId;
+use rand::Rng;
+
+/// A source of `(src, dst)` pairs.
+#[derive(Debug, Clone)]
+pub enum TrafficMatrix {
+    /// Each flow picks a uniformly random source from `srcs` and an
+    /// independent uniformly random destination from `dsts` (re-drawn if
+    /// equal) — the paper's arbitrary pattern.
+    UniformRandom {
+        /// Candidate sources.
+        srcs: Vec<NodeId>,
+        /// Candidate destinations.
+        dsts: Vec<NodeId>,
+    },
+    /// `pairs[i % len]` in round-robin order — fixed pairings such as the
+    /// dumbbell's left→right mapping.
+    Fixed {
+        /// The repeating pair list.
+        pairs: Vec<(NodeId, NodeId)>,
+    },
+    /// Every flow goes from a random member of `srcs` to the single
+    /// `target` (Fig. 2's inbound-guarantee scenario).
+    AllToOne {
+        /// Candidate sources.
+        srcs: Vec<NodeId>,
+        /// The common destination.
+        target: NodeId,
+    },
+}
+
+impl TrafficMatrix {
+    /// Draw the `i`-th flow's endpoints.
+    pub fn pick<R: Rng>(&self, rng: &mut R, i: usize) -> (NodeId, NodeId) {
+        match self {
+            TrafficMatrix::UniformRandom { srcs, dsts } => {
+                assert!(!srcs.is_empty() && !dsts.is_empty());
+                loop {
+                    let s = srcs[rng.gen_range(0..srcs.len())];
+                    let d = dsts[rng.gen_range(0..dsts.len())];
+                    if s != d {
+                        return (s, d);
+                    }
+                    // Degenerate case: only one host on both sides.
+                    if srcs.len() == 1 && dsts.len() == 1 {
+                        panic!("uniform matrix with identical single src and dst");
+                    }
+                }
+            }
+            TrafficMatrix::Fixed { pairs } => {
+                assert!(!pairs.is_empty());
+                pairs[i % pairs.len()]
+            }
+            TrafficMatrix::AllToOne { srcs, target } => {
+                assert!(!srcs.is_empty());
+                let s = srcs[rng.gen_range(0..srcs.len())];
+                assert_ne!(s, *target, "incast sources must exclude the target");
+                (s, *target)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn nodes(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|i| NodeId(*i)).collect()
+    }
+
+    #[test]
+    fn uniform_never_selfloops_and_covers_pairs() {
+        let m = TrafficMatrix::UniformRandom {
+            srcs: nodes(&[1, 2, 3]),
+            dsts: nodes(&[1, 2, 3]),
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..600 {
+            let (s, d) = m.pick(&mut rng, i);
+            assert_ne!(s, d);
+            seen.insert((s.0, d.0));
+        }
+        assert_eq!(seen.len(), 6, "all ordered pairs appear");
+    }
+
+    #[test]
+    fn fixed_round_robins() {
+        let m = TrafficMatrix::Fixed {
+            pairs: vec![(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))],
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(m.pick(&mut rng, 0), (NodeId(1), NodeId(2)));
+        assert_eq!(m.pick(&mut rng, 1), (NodeId(3), NodeId(4)));
+        assert_eq!(m.pick(&mut rng, 2), (NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn all_to_one_targets_one_host() {
+        let m = TrafficMatrix::AllToOne {
+            srcs: nodes(&[2, 3, 4]),
+            target: NodeId(1),
+        };
+        let mut rng = SmallRng::seed_from_u64(6);
+        for i in 0..100 {
+            let (s, d) = m.pick(&mut rng, i);
+            assert_eq!(d, NodeId(1));
+            assert!((2..=4).contains(&s.0));
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the full Augmented Queue stack.
+pub use aq_baselines as baselines;
+pub use aq_core as core;
+pub use aq_netsim as netsim;
+pub use aq_transport as transport;
+pub use aq_workloads as workloads;

@@ -1,0 +1,113 @@
+//! The §7 accommodation claim: TCP BBR — which consumes delivery rate and
+//! RTT rather than loss/ECN/delay thresholds — also works against an AQ,
+//! because the AQ shapes exactly the signals BBR's model measures.
+
+use augmented_queue::core::{
+    AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
+};
+use augmented_queue::netsim::packet::AqTag;
+use augmented_queue::netsim::queue::FifoConfig;
+use augmented_queue::netsim::time::{Duration, Rate, Time};
+use augmented_queue::netsim::topology::dumbbell;
+use augmented_queue::netsim::{EntityId, Simulator};
+use augmented_queue::transport::{CcAlgo, DelaySignal, FlowKind};
+use augmented_queue::workloads::{add_flows, ensure_transport_hosts, goodput_gbps, long_flows};
+
+#[test]
+fn bbr_saturates_a_plain_bottleneck() {
+    let d = dumbbell(
+        1,
+        Rate::from_gbps(10),
+        Duration::from_micros(10),
+        FifoConfig {
+            limit_bytes: 200_000,
+            ecn_threshold_bytes: None,
+        },
+    );
+    let mut net = d.net;
+    ensure_transport_hosts(&mut net);
+    add_flows(
+        &mut net,
+        long_flows(
+            EntityId(1),
+            &[(d.left[0], d.right[0])],
+            2,
+            FlowKind::Tcp(CcAlgo::Bbr),
+            AqTag::NONE,
+            AqTag::NONE,
+            DelaySignal::MeasuredRtt,
+            1,
+        ),
+    );
+    let mut sim = Simulator::new(net);
+    sim.run_until(Time::from_millis(200));
+    let g = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(50), Time::from_millis(200));
+    assert!(g > 8.0, "BBR should fill the 10 Gbps link: {g}");
+    // BBR's model keeps the queue bounded well below taildrop depth.
+    let p95 = sim
+        .stats
+        .entity(EntityId(1))
+        .unwrap()
+        .pq_delay
+        .percentile(95.0)
+        .unwrap();
+    assert!(
+        p95 < 150_000,
+        "BBR should not bufferbloat a 160 us buffer: p95 {p95} ns"
+    );
+}
+
+#[test]
+fn bbr_converges_to_its_aq_allocation() {
+    // A 4 Gbps AQ on a 10 Gbps link: no physical queue ever builds, so
+    // BBR's bandwidth estimate must come from the AQ's policing of its
+    // delivery rate.
+    let d = dumbbell(
+        1,
+        Rate::from_gbps(10),
+        Duration::from_micros(10),
+        FifoConfig {
+            limit_bytes: 200_000,
+            ecn_threshold_bytes: None,
+        },
+    );
+    let mut ctl = AqController::new(
+        Rate::from_gbps(10),
+        LimitPolicy::MatchPhysicalQueue {
+            pq_limit_bytes: 200_000,
+        },
+    );
+    let g = ctl
+        .request(AqRequest {
+            demand: BandwidthDemand::Absolute(Rate::from_gbps(4)),
+            cc: CcPolicy::DropBased,
+            position: Position::Ingress,
+            limit_override: None,
+        })
+        .expect("admits");
+    let mut pipe = AqPipeline::new();
+    ctl.deploy_all(&mut pipe);
+    let mut net = d.net;
+    net.add_pipeline(d.sw_left, Box::new(pipe));
+    ensure_transport_hosts(&mut net);
+    add_flows(
+        &mut net,
+        long_flows(
+            EntityId(1),
+            &[(d.left[0], d.right[0])],
+            2,
+            FlowKind::Tcp(CcAlgo::Bbr),
+            g.id,
+            AqTag::NONE,
+            DelaySignal::MeasuredRtt,
+            1,
+        ),
+    );
+    let mut sim = Simulator::new(net);
+    sim.run_until(Time::from_millis(300));
+    let gp = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(100), Time::from_millis(300));
+    assert!(
+        (3.0..=4.0).contains(&gp),
+        "BBR entity should converge near its 4 Gbps allocation (3.77 payload): {gp}"
+    );
+}

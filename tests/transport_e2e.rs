@@ -1,0 +1,211 @@
+//! End-to-end transport sanity over the simulator: saturation, fairness,
+//! completion, loss recovery — the load-bearing behaviours every
+//! experiment harness builds on.
+
+use augmented_queue::netsim::queue::FifoConfig;
+use augmented_queue::netsim::time::{Duration, Rate, Time};
+use augmented_queue::netsim::topology::dumbbell;
+use augmented_queue::netsim::{EntityId, FlowId, Simulator};
+use augmented_queue::transport::{CcAlgo, FlowSpec, TransportHost};
+
+/// One long flow per left/right host pair, all sharing the core link.
+fn run_long_flows(ccs: &[CcAlgo], secs_ms: u64, core_fifo: FifoConfig) -> (Simulator, Vec<EntityId>) {
+    let d = dumbbell(ccs.len(), Rate::from_gbps(10), Duration::from_micros(10), core_fifo);
+    let mut sim = Simulator::new(d.net);
+    let mut entities = Vec::new();
+    for (i, cc) in ccs.iter().enumerate() {
+        let src = d.left[i];
+        let dst = d.right[i];
+        let entity = EntityId(i as u32 + 1);
+        entities.push(entity);
+        let mut host = TransportHost::new(src);
+        host.add_flow(FlowSpec::long_tcp(FlowId(i as u32 + 1), entity, src, dst, *cc));
+        sim.net.set_app(src, Box::new(host));
+        sim.net.set_app(dst, Box::new(TransportHost::new(dst)));
+    }
+    sim.run_until(Time::from_millis(secs_ms));
+    (sim, entities)
+}
+
+fn goodput_gbps(sim: &Simulator, e: EntityId, from_ms: u64, to_ms: u64) -> f64 {
+    sim.stats
+        .entity(e)
+        .map(|es| {
+            es.rx_series
+                .avg_bps(Time::from_millis(from_ms), Time::from_millis(to_ms))
+                / 1e9
+        })
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn single_cubic_flow_saturates_the_bottleneck() {
+    let (sim, es) = run_long_flows(&[CcAlgo::Cubic], 100, FifoConfig::default());
+    let g = goodput_gbps(&sim, es[0], 20, 100);
+    assert!(g > 8.5, "goodput {g} Gbps should approach 10 Gbps line rate");
+}
+
+#[test]
+fn single_dctcp_flow_saturates_with_ecn() {
+    let (sim, es) = run_long_flows(&[CcAlgo::Dctcp], 100, FifoConfig::with_ecn(1_000_000, 65_000));
+    let g = goodput_gbps(&sim, es[0], 20, 100);
+    assert!(g > 8.5, "goodput {g} Gbps should approach 10 Gbps line rate");
+}
+
+#[test]
+fn single_swift_flow_saturates_with_low_delay() {
+    let (sim, es) = run_long_flows(
+        &[CcAlgo::Swift {
+            target: Duration::from_micros(100),
+        }],
+        100,
+        FifoConfig::default(),
+    );
+    let g = goodput_gbps(&sim, es[0], 20, 100);
+    assert!(g > 8.0, "goodput {g} Gbps should approach line rate");
+    // Swift should keep queuing delay near its target, far below what a
+    // loss-based flow would build in a 1 MB buffer (= 800 us at 10 Gbps).
+    let p95 = sim.stats.entity(es[0]).unwrap().pq_delay.percentile(95.0).unwrap();
+    assert!(p95 < 400_000, "p95 queuing delay {p95} ns should stay near target");
+}
+
+#[test]
+fn two_newreno_flows_share_fairly() {
+    // A DC-realistic shallow buffer (200 KB at 10 Gbps ≈ 160 µs) keeps
+    // AIMD convergence cycles short enough to equalize within the run;
+    // the deep-buffer monopolization regime is exercised elsewhere.
+    let shallow = FifoConfig {
+        limit_bytes: 200_000,
+        ecn_threshold_bytes: None,
+    };
+    let (sim, es) = run_long_flows(&[CcAlgo::NewReno, CcAlgo::NewReno], 400, shallow);
+    let a = goodput_gbps(&sim, es[0], 100, 400);
+    let b = goodput_gbps(&sim, es[1], 100, 400);
+    assert!(a + b > 8.5, "sum {a}+{b} should fill the link");
+    let ratio = a.min(b) / a.max(b);
+    assert!(ratio > 0.5, "long-run NewReno fairness {ratio} ({a} vs {b})");
+}
+
+#[test]
+fn dctcp_starves_cubic_in_a_shared_ecn_queue() {
+    // The Fig. 1 motivation effect: with a shallow ECN threshold, DCTCP
+    // keeps the queue short so CUBIC sees ECN-less taildrop only rarely,
+    // while CUBIC's occasional queue spikes mark DCTCP mildly; DCTCP wins
+    // a dominant share.
+    let (sim, es) = run_long_flows(
+        &[CcAlgo::Cubic, CcAlgo::Dctcp],
+        200,
+        FifoConfig::with_ecn(200_000, 65_000),
+    );
+    let cubic = goodput_gbps(&sim, es[0], 50, 200);
+    let dctcp = goodput_gbps(&sim, es[1], 50, 200);
+    assert!(
+        dctcp > 2.0 * cubic,
+        "DCTCP ({dctcp}) should dominate CUBIC ({cubic}) in a shared queue"
+    );
+}
+
+#[test]
+fn finite_flow_completes_and_reports_fct() {
+    let d = dumbbell(1, Rate::from_gbps(10), Duration::from_micros(10), FifoConfig::default());
+    let src = d.left[0];
+    let dst = d.right[0];
+    let mut sim = Simulator::new(d.net);
+    let mut host = TransportHost::new(src);
+    // 1 MB transfer.
+    host.add_flow(FlowSpec::sized_tcp(
+        FlowId(1),
+        EntityId(1),
+        src,
+        dst,
+        CcAlgo::Cubic,
+        1_000_000,
+        Time::from_millis(1),
+    ));
+    sim.net.set_app(src, Box::new(host));
+    sim.net.set_app(dst, Box::new(TransportHost::new(dst)));
+    sim.run_until(Time::from_millis(100));
+    let rec = sim.stats.flow(FlowId(1)).expect("registered");
+    let fct = rec.fct().expect("completed");
+    // 1 MB at 10 Gbps is 0.8 ms minimum; slow start stretches it.
+    assert!(fct >= Duration::from_micros(800), "fct {fct}");
+    assert!(fct < Duration::from_millis(30), "fct {fct}");
+    assert_eq!(sim.stats.entity_completed_fraction(EntityId(1)), 1.0);
+}
+
+#[test]
+fn loss_is_recovered_through_a_tiny_buffer() {
+    // Fast edges into a slow, 10-packet-buffered core force repeated
+    // loss; the transfer must still complete exactly.
+    use augmented_queue::netsim::topology::NetBuilder;
+    let mut b = NetBuilder::new();
+    let src = b.add_host();
+    let dst = b.add_host();
+    let sw_l = b.add_switch();
+    let sw_r = b.add_switch();
+    let big = FifoConfig::default();
+    b.connect_symmetric(src, sw_l, Rate::from_gbps(40), Duration::from_micros(2), big);
+    b.connect_symmetric(dst, sw_r, Rate::from_gbps(40), Duration::from_micros(2), big);
+    b.connect_symmetric(
+        sw_l,
+        sw_r,
+        Rate::from_gbps(10),
+        Duration::from_micros(10),
+        FifoConfig {
+            limit_bytes: 11_000,
+            ecn_threshold_bytes: None,
+        },
+    );
+    let mut sim = Simulator::new(b.build());
+    let mut host = TransportHost::new(src);
+    host.add_flow(FlowSpec::sized_tcp(
+        FlowId(1),
+        EntityId(1),
+        src,
+        dst,
+        CcAlgo::NewReno,
+        2_000_000,
+        Time::ZERO,
+    ));
+    sim.net.set_app(src, Box::new(host));
+    sim.net.set_app(dst, Box::new(TransportHost::new(dst)));
+    sim.run_until(Time::from_millis(500));
+    let rec = sim.stats.flow(FlowId(1)).expect("registered");
+    assert!(rec.end.is_some(), "flow must complete despite losses");
+    // The receiver got every byte exactly once into the reassembled stream.
+    let es = sim.stats.entity(EntityId(1)).expect("entity");
+    assert!(es.rx_bytes >= 2_000_000, "rx {} >= payload", es.rx_bytes);
+    assert!(es.drops > 0, "the tiny buffer must actually drop");
+}
+
+#[test]
+fn udp_starves_tcp_through_a_shared_queue() {
+    use augmented_queue::netsim::topology::star;
+    let s = star(3, Rate::from_gbps(10), Duration::from_micros(10), FifoConfig::default());
+    let mut sim = Simulator::new(s.net);
+    // Host 0 and 1 both send to host 2: UDP at line rate vs CUBIC.
+    let mut h0 = TransportHost::new(s.hosts[0]);
+    h0.add_flow(FlowSpec::long_udp(
+        FlowId(1),
+        EntityId(1),
+        s.hosts[0],
+        s.hosts[2],
+        Rate::from_gbps(10),
+    ));
+    let mut h1 = TransportHost::new(s.hosts[1]);
+    h1.add_flow(FlowSpec::long_tcp(
+        FlowId(2),
+        EntityId(2),
+        s.hosts[1],
+        s.hosts[2],
+        CcAlgo::Cubic,
+    ));
+    sim.net.set_app(s.hosts[0], Box::new(h0));
+    sim.net.set_app(s.hosts[1], Box::new(h1));
+    sim.net.set_app(s.hosts[2], Box::new(TransportHost::new(s.hosts[2])));
+    sim.run_until(Time::from_millis(100));
+    let udp = goodput_gbps(&sim, EntityId(1), 20, 100);
+    let tcp = goodput_gbps(&sim, EntityId(2), 20, 100);
+    assert!(udp > 8.0, "UDP grabs the link: {udp}");
+    assert!(tcp < 1.5, "TCP is starved: {tcp}");
+}
