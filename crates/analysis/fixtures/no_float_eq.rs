@@ -1,0 +1,18 @@
+// Fixture for the `no-float-eq` rule.
+
+pub fn classify(x: f64, y: f64, n: u64) -> bool {
+    let a = x == 0.0; // expect-lint: no-float-eq
+    let b = 1e-9 != y; // expect-lint: no-float-eq
+    let c = n as f64 == y; // expect-lint: no-float-eq
+    let d = x == f64::INFINITY; // expect-lint: no-float-eq
+    // Integer equality and float ordering comparisons must not fire.
+    let ok1 = n == 10;
+    let ok2 = x <= 1.0 && y >= 0.5;
+    // A float comparison in a comment must not fire: x == 0.0
+    let banner = "x == 0.0 in a string must not fire";
+    let _ = banner;
+    // aq-lint: allow(no-float-eq)
+    let sanctioned = x == 1.0;
+    let also = y != 2.5; // aq-lint: allow(no-float-eq)
+    a && b && c && d && ok1 && ok2 && sanctioned && also
+}

@@ -1,0 +1,24 @@
+// Fixture for the `no-hash-collections` rule. Not compiled; linted by
+// tests/static_analysis.rs with an in-scope path. Lines tagged
+// `expect-lint: <rule>` must produce exactly one diagnostic; the
+// `aq-lint: allow(...)` lines must produce none.
+
+use std::collections::HashMap; // expect-lint: no-hash-collections
+use std::collections::HashSet; // expect-lint: no-hash-collections
+use std::collections::BTreeMap;
+
+pub struct FlowTable {
+    by_id: HashMap<u64, u64>, // expect-lint: no-hash-collections
+    ordered: BTreeMap<u64, u64>,
+}
+
+pub fn build() -> HashSet<u64> { // expect-lint: no-hash-collections
+    // A mention of HashMap in a comment must not fire.
+    let s = "HashMap in a string must not fire";
+    let _ = s;
+    // aq-lint: allow(no-hash-collections)
+    let sanctioned: HashMap<u64, u64> = HashMap::new();
+    let also_sanctioned = HashSet::new(); // aq-lint: allow(no-hash-collections)
+    let _ = (sanctioned, also_sanctioned);
+    HashSet::new() // expect-lint: no-hash-collections
+}

@@ -1,0 +1,17 @@
+// Fixture for the `no-narrowing-cast` rule.
+
+pub fn pack(bytes: u64, delta: i64) -> (u64, u64) {
+    let lo = bytes as u32; // expect-lint: no-narrowing-cast
+    let sd = delta as i32; // expect-lint: no-narrowing-cast
+    // Widening and same-width casts must not fire.
+    let wide = lo as u64;
+    let also_wide = sd as i64;
+    // `as u32` in a comment must not fire.
+    let s = "bytes as u32 in a string must not fire";
+    let _ = s;
+    // aq-lint: allow(no-narrowing-cast)
+    let sanctioned = (bytes & 0xffff_ffff) as u32;
+    let also = delta as i32; // aq-lint: allow(no-narrowing-cast)
+    let _ = (sanctioned, also);
+    (wide, also_wide as u64)
+}

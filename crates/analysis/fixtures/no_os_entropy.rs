@@ -1,0 +1,19 @@
+// Fixture for the `no-os-entropy` rule.
+
+use rand::thread_rng; // expect-lint: no-os-entropy
+use rand::rngs::OsRng; // expect-lint: no-os-entropy
+
+pub fn draw() -> u64 {
+    let mut rng = thread_rng(); // expect-lint: no-os-entropy
+    let seeded = SmallRng::from_entropy(); // expect-lint: no-os-entropy
+    // thread_rng named in a comment must not fire.
+    let s = "thread_rng in a string must not fire";
+    let _ = (s, seeded);
+    // Seeded construction is the sanctioned path and must not fire.
+    let ok = SmallRng::seed_from_u64(0x5176);
+    // aq-lint: allow(no-os-entropy)
+    let sanctioned = OsRng;
+    let also = thread_rng(); // aq-lint: allow(no-os-entropy)
+    let _ = (rng.next_u64(), ok, sanctioned, also);
+    0
+}

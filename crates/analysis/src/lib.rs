@@ -1,0 +1,211 @@
+//! # aq-analysis — determinism lint engine
+//!
+//! A dependency-free, source-level lint engine for the Augmented Queue
+//! workspace. The repository's headline claim is *reproducibility*: the
+//! same scenario and seed must produce byte-identical results on any
+//! machine. The compiler cannot enforce that property, so this crate
+//! walks the workspace sources with `std::fs` and checks a small set of
+//! named rules (see [`rules::RULES`]) that ban the usual sources of
+//! nondeterminism — hash-ordered collections in simulator state, wall
+//! clock reads, OS entropy, float equality, and narrowing casts on
+//! 64-bit counters.
+//!
+//! Diagnostics carry `file:line` positions. A violation that is
+//! deliberate is suppressed per line with the escape hatch
+//!
+//! ```text
+//! let masked = x as u32; // aq-lint: allow(no-narrowing-cast)
+//! ```
+//!
+//! or with a standalone `// aq-lint: allow(<rule>)` comment on the line
+//! directly above. `tests/static_analysis.rs` at the workspace root runs
+//! [`lint_workspace`] over the tree and fails on any unsuppressed
+//! violation; `crates/analysis/fixtures/` holds one fixture per rule
+//! proving that each rule both fires and honors its escape.
+
+pub mod rules;
+pub mod scan;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use rules::{allowed_per_line, check_line, in_scope, RULES};
+use scan::{scan, tokens};
+
+/// One lint finding, positioned at `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward-slash separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name, e.g. `no-wall-clock`.
+    pub rule: String,
+    /// What was found on the line.
+    pub message: String,
+    /// The offending line's code text, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}: `{}`",
+            self.path, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Lint a single file's text. `rel_path` is the workspace-relative path
+/// (forward slashes) used both for rule scoping and in diagnostics.
+pub fn lint_file(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let lines = scan(text);
+    let allowed = allowed_per_line(&lines);
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        // Typos in the escape hatch must not silently suppress nothing:
+        // an allow() naming an unknown rule is itself a violation.
+        for name in &allowed[idx] {
+            if !RULES.iter().any(|r| r.name == *name) {
+                out.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: "unknown-rule-in-allow".to_string(),
+                    message: format!("`aq-lint: allow({name})` names no known rule"),
+                    snippet: line.code.trim().to_string(),
+                });
+            }
+        }
+        if line.code.trim().is_empty() {
+            continue;
+        }
+        let toks = tokens(&line.code);
+        if toks.is_empty() {
+            continue;
+        }
+        for rule in RULES {
+            if !in_scope(rule.name, rel_path) {
+                continue;
+            }
+            if allowed[idx].iter().any(|a| a == rule.name) {
+                continue;
+            }
+            for message in check_line(rule.name, &toks) {
+                out.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: rule.name.to_string(),
+                    message,
+                    snippet: line.code.trim().to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Deterministically collect every lintable `.rs` file under `root`
+/// (workspace-relative, sorted). Skips build output, VCS metadata, and
+/// this crate's own lint fixtures (which violate the rules on purpose).
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, Path::new(""), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(abs: &Path, rel: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(abs)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel_child = rel.join(name);
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            if rel_child == Path::new("crates/analysis/fixtures") {
+                continue;
+            }
+            walk(&path, &rel_child, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(rel_child);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every source file in the workspace rooted at `root`. Diagnostics
+/// come back in (path, line) order.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for rel in collect_sources(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        out.extend(lint_file(&rel_str, &text));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_file_reports_position_and_rule() {
+        let diags = lint_file(
+            "crates/core/src/x.rs",
+            "use std::collections::BTreeMap;\nuse std::collections::HashMap;\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[0].rule, "no-hash-collections");
+        assert!(diags[0].to_string().starts_with("crates/core/src/x.rs:2:"));
+    }
+
+    #[test]
+    fn allow_escape_suppresses_only_named_rule() {
+        let src = "let a = x as u32; // aq-lint: allow(no-narrowing-cast)\n\
+                   let b = y as u32; // aq-lint: allow(no-float-eq)\n";
+        let diags = lint_file("crates/netsim/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let diags = lint_file(
+            "crates/core/src/x.rs",
+            "let a = 1; // aq-lint: allow(no-such-rule)\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unknown-rule-in-allow");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_clean() {
+        let diags = lint_file(
+            "crates/core/tests/t.rs",
+            "use std::collections::HashMap;\nlet x = a as u32;\n",
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let diags = lint_file(
+            "crates/core/src/x.rs",
+            "// HashMap is banned here\nlet s = \"HashMap\";\n",
+        );
+        assert!(diags.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! CLI front end: `cargo run -p aq-analysis [--root <dir>]`.
+//!
+//! Prints every diagnostic and exits nonzero if any were found, so the
+//! linter can gate CI directly in addition to running inside
+//! `tests/static_analysis.rs`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => {
+                for rule in aq_analysis::rules::RULES {
+                    println!("{:<22} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (supported: --root <dir>, --rules)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match aq_analysis::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("aq-analysis: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("aq-analysis: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("aq-analysis: walk failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

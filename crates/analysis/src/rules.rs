@@ -1,0 +1,286 @@
+//! The named determinism rules.
+//!
+//! Every rule reports `file:line` diagnostics and can be suppressed for a
+//! single line with `// aq-lint: allow(<rule>)` — either trailing on the
+//! offending line or standalone on the line directly above it. Rules are
+//! source-level heuristics, deliberately dependency-free; they catch the
+//! patterns that have historically corrupted reproduction runs, not every
+//! conceivable variant.
+
+use crate::scan::{ScannedLine, Token};
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule name as used in diagnostics and `aq-lint: allow(...)`.
+    pub name: &'static str,
+    /// One-line rationale.
+    pub summary: &'static str,
+}
+
+/// All rules, in evaluation order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "no-hash-collections",
+        summary: "std HashMap/HashSet iteration order is nondeterministic; \
+                  use BTreeMap/BTreeSet or index-keyed Vecs in sim-state crates",
+    },
+    RuleInfo {
+        name: "no-wall-clock",
+        summary: "Instant::now/SystemTime::now leak host time into results; \
+                  only bench code may read the wall clock",
+    },
+    RuleInfo {
+        name: "no-os-entropy",
+        summary: "thread_rng/from_entropy/OsRng draw OS entropy; all randomness \
+                  must flow from seeded SmallRng",
+    },
+    RuleInfo {
+        name: "no-float-eq",
+        summary: "==/!= on floating-point values is representation-fragile; \
+                  compare against an epsilon or use integer arithmetic",
+    },
+    RuleInfo {
+        name: "no-narrowing-cast",
+        summary: "`as u32`/`as i32` silently truncates byte/time counters in \
+                  core and netsim; use u64 or an explicit checked/masked conversion",
+    },
+];
+
+/// Whether `rule` applies to the file at workspace-relative `path`
+/// (forward-slash separated).
+pub fn in_scope(rule: &str, path: &str) -> bool {
+    const SIM_STATE_SRC: &[&str] = &[
+        "crates/core/src/",
+        "crates/netsim/src/",
+        "crates/transport/src/",
+        "crates/baselines/src/",
+        "crates/workloads/src/",
+    ];
+    match rule {
+        // Iteration-order and float-equality nondeterminism matter where
+        // simulator/switch state lives and evolves.
+        "no-hash-collections" | "no-float-eq" => SIM_STATE_SRC.iter().any(|p| path.starts_with(p)),
+        // Wall-clock reads are legitimate only in benchmarking code (the
+        // vendored criterion harness and the bench crate).
+        "no-wall-clock" => !path.starts_with("crates/bench/") && !path.starts_with("vendor/"),
+        // OS entropy is banned everywhere, no exceptions.
+        "no-os-entropy" => true,
+        // Byte and time counters are 64-bit in core and netsim; a stray
+        // 32-bit cast wraps after ~4 GB or ~4 s.
+        "no-narrowing-cast" => {
+            path.starts_with("crates/core/src/") || path.starts_with("crates/netsim/src/")
+        }
+        _ => false,
+    }
+}
+
+/// Run one rule against one line of tokenized code. Returns a message for
+/// each violation found on the line.
+pub fn check_line(rule: &str, toks: &[Token]) -> Vec<String> {
+    match rule {
+        "no-hash-collections" => banned_idents(toks, &["HashMap", "HashSet"]),
+        "no-wall-clock" => banned_calls(toks, &["Instant", "SystemTime"], "now"),
+        "no-os-entropy" => banned_idents(toks, &["thread_rng", "from_entropy", "OsRng"]),
+        "no-float-eq" => float_eq(toks),
+        "no-narrowing-cast" => narrowing_cast(toks),
+        _ => Vec::new(),
+    }
+}
+
+fn banned_idents(toks: &[Token], banned: &[&str]) -> Vec<String> {
+    toks.iter()
+        .filter_map(Token::ident)
+        .filter(|id| banned.contains(id))
+        .map(|id| format!("use of `{id}`"))
+        .collect()
+}
+
+/// Flags `Type::method` token triples for any of the given types.
+fn banned_calls(toks: &[Token], types: &[&str], method: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for w in toks.windows(3) {
+        if let [Token::Ident(t), Token::Punct(p), Token::Ident(m)] = w {
+            if p == "::" && m == method && types.contains(&t.as_str()) {
+                out.push(format!("call of `{t}::{m}`"));
+            }
+        }
+    }
+    out
+}
+
+/// Flags `==` / `!=` with a float-typed operand, detected as: a float
+/// literal on either side, an `as f64`/`as f32` cast directly before the
+/// operator, or an `f64::CONST` / `f32::CONST` path adjacent to it. (A
+/// comparison of two float *variables* is type-blind to a source linter
+/// and is left to `clippy::float_cmp`.)
+fn float_eq(toks: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Token::Punct(op) = t else { continue };
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        let before = &toks[..i];
+        let after = &toks[i + 1..];
+        if float_operand_ending(before) || float_operand_starting(after) {
+            out.push(format!("`{op}` on a floating-point operand"));
+        }
+    }
+    out
+}
+
+/// Does a float-typed expression end at the end of `toks`?
+fn float_operand_ending(toks: &[Token]) -> bool {
+    match toks {
+        [.., t] if t.is_float_literal() => true,
+        // `expr as f64 ==`
+        [.., Token::Ident(a), Token::Ident(f)] if a == "as" && (f == "f64" || f == "f32") => true,
+        // `f64::NAN ==`
+        [.., Token::Ident(f), Token::Punct(c), Token::Ident(_)]
+            if c == "::" && (f == "f64" || f == "f32") =>
+        {
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Does a float-typed expression start at the beginning of `toks`?
+fn float_operand_starting(toks: &[Token]) -> bool {
+    match toks {
+        [t, ..] if t.is_float_literal() => true,
+        // `== f64::NAN`
+        [Token::Ident(f), Token::Punct(c), ..] if c == "::" && (f == "f64" || f == "f32") => true,
+        _ => false,
+    }
+}
+
+/// Flags `as u32` / `as i32`.
+fn narrowing_cast(toks: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    for w in toks.windows(2) {
+        if let [Token::Ident(a), Token::Ident(ty)] = w {
+            if a == "as" && (ty == "u32" || ty == "i32") {
+                out.push(format!("narrowing `as {ty}` cast"));
+            }
+        }
+    }
+    out
+}
+
+/// Rule names suppressed on each line by `aq-lint: allow(...)` directives:
+/// a trailing comment suppresses its own line; a standalone comment line
+/// suppresses the next line that has code on it (and chains across
+/// further standalone comment lines).
+pub fn allowed_per_line(lines: &[ScannedLine]) -> Vec<Vec<String>> {
+    let mut allowed: Vec<Vec<String>> = vec![Vec::new(); lines.len()];
+    let mut pending: Vec<String> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let mut here = parse_allows(&line.comment);
+        let has_code = !line.code.trim().is_empty();
+        if has_code {
+            here.append(&mut pending);
+            allowed[idx] = here;
+        } else {
+            pending.append(&mut here);
+        }
+    }
+    allowed
+}
+
+/// Extract rule names from an `aq-lint: allow(a, b)` directive. The
+/// directive must sit at the *start* of the comment (after the comment
+/// markers), so prose that merely mentions the syntax — like this doc
+/// comment — is not a directive.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let body = comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
+    let Some(rest) = body.strip_prefix("aq-lint:") else {
+        return Vec::new();
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Vec::new();
+    };
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{scan, tokens};
+
+    fn msgs(rule: &str, code: &str) -> Vec<String> {
+        check_line(rule, &tokens(code))
+    }
+
+    #[test]
+    fn hash_collections_fire_on_use_and_type_position() {
+        assert!(!msgs("no-hash-collections", "use std::collections::HashMap;").is_empty());
+        assert!(!msgs("no-hash-collections", "x: HashSet<u32>,").is_empty());
+        assert!(msgs("no-hash-collections", "x: BTreeMap<u32, u64>,").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_fires_on_now_only() {
+        assert!(!msgs("no-wall-clock", "let t = Instant::now();").is_empty());
+        assert!(!msgs("no-wall-clock", "let t = SystemTime::now();").is_empty());
+        assert!(msgs("no-wall-clock", "let d: Instant = cached;").is_empty());
+    }
+
+    #[test]
+    fn float_eq_heuristics() {
+        assert!(!msgs("no-float-eq", "if x == 0.0 {").is_empty());
+        assert!(!msgs("no-float-eq", "if 1e-9 != y {").is_empty());
+        assert!(!msgs("no-float-eq", "if a as f64 == b {").is_empty());
+        assert!(!msgs("no-float-eq", "if v == f64::NAN {").is_empty());
+        assert!(msgs("no-float-eq", "if a == b {").is_empty());
+        assert!(msgs("no-float-eq", "if n == 10 {").is_empty());
+        assert!(msgs("no-float-eq", "let ok = x <= 1.0;").is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_flags_u32_and_i32_only() {
+        assert!(!msgs("no-narrowing-cast", "let x = big as u32;").is_empty());
+        assert!(!msgs("no-narrowing-cast", "let x = big as i32;").is_empty());
+        assert!(msgs("no-narrowing-cast", "let x = small as u64;").is_empty());
+    }
+
+    #[test]
+    fn scope_boundaries() {
+        assert!(in_scope("no-hash-collections", "crates/core/src/table.rs"));
+        assert!(!in_scope(
+            "no-hash-collections",
+            "crates/core/tests/prop_gap.rs"
+        ));
+        assert!(in_scope("no-wall-clock", "examples/scalability.rs"));
+        assert!(!in_scope("no-wall-clock", "crates/bench/benches/micro.rs"));
+        assert!(in_scope("no-os-entropy", "vendor/rand/src/lib.rs"));
+        assert!(!in_scope(
+            "no-narrowing-cast",
+            "crates/transport/src/flow.rs"
+        ));
+    }
+
+    #[test]
+    fn allow_directives_trailing_and_preceding() {
+        let lines = scan(
+            "let a = x as u32; // aq-lint: allow(no-narrowing-cast)\n\
+             // aq-lint: allow(no-wall-clock, no-float-eq)\n\
+             let b = Instant::now();\n\
+             let c = y as u32;\n",
+        );
+        let allowed = allowed_per_line(&lines);
+        assert_eq!(allowed[0], vec!["no-narrowing-cast".to_string()]);
+        assert!(allowed[1].is_empty());
+        assert_eq!(allowed[2].len(), 2);
+        assert!(allowed[3].is_empty());
+    }
+}

@@ -100,7 +100,9 @@ impl ElasticSwitch {
 
     /// Current limit of a managed pair, if any.
     pub fn pair_rate(&self, src: NodeId, dst: NodeId) -> Option<Rate> {
-        self.pairs.get(&(src, dst)).map(|p| Rate::from_bps(p.rate_bps))
+        self.pairs
+            .get(&(src, dst))
+            .map(|p| Rate::from_bps(p.rate_bps))
     }
 
     fn in_guarantee(&self, host: NodeId) -> Option<Rate> {
@@ -219,7 +221,13 @@ impl Agent for ElasticSwitch {
         ctx.arm_timer_in(self.interval, 0);
     }
 
-    fn on_timer(&mut self, net: &mut Network, _stats: &mut StatsHub, ctx: &mut AgentCtx, _token: u64) {
+    fn on_timer(
+        &mut self,
+        net: &mut Network,
+        _stats: &mut StatsHub,
+        ctx: &mut AgentCtx,
+        _token: u64,
+    ) {
         self.adjust(net, ctx);
         ctx.arm_timer_in(self.interval, 0);
     }
@@ -229,8 +237,8 @@ impl Agent for ElasticSwitch {
 mod tests {
     use super::*;
     use crate::htb::Classify;
-    use aq_netsim::time::Time;
     use aq_netsim::queue::FifoConfig;
+    use aq_netsim::time::Time;
     use aq_netsim::topology::NetBuilder;
 
     /// Star of 3 VM hosts with ByDst shapers on their uplinks.
@@ -326,8 +334,7 @@ mod tests {
             // Keep a heavy backlog (≈11 Gbps of unmet demand per interval)
             // so the pair always looks hungry.
             fake_demand(&mut net, &vms[1], dst, 20_000);
-            let mut ctx =
-                AgentCtx::new(aq_netsim::ids::AgentId(0), Time::from_millis(15 * round));
+            let mut ctx = AgentCtx::new(aq_netsim::ids::AgentId(0), Time::from_millis(15 * round));
             agent.on_timer(&mut net, &mut stats, &mut ctx, 0);
             let r = agent.pair_rate(vms[1].host, dst).expect("managed").as_bps();
             assert!(r >= last, "rate should ramp: {r} vs {last}");

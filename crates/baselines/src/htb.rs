@@ -141,7 +141,12 @@ pub struct HtbShaper {
 impl HtbShaper {
     /// A shaper whose classes default to `default_rate`, with the given
     /// bucket burst and per-class buffer limit.
-    pub fn new(classify: Classify, default_rate: Rate, burst_bytes: u64, per_class_limit: u64) -> HtbShaper {
+    pub fn new(
+        classify: Classify,
+        default_rate: Rate,
+        burst_bytes: u64,
+        per_class_limit: u64,
+    ) -> HtbShaper {
         HtbShaper {
             classify,
             default_rate,
@@ -182,7 +187,10 @@ impl HtbShaper {
 
     /// Bytes released by a class so far (demand signal for DRL).
     pub fn class_released(&self, key: ClassKey) -> u64 {
-        self.classes.get(&key).map(|c| c.released_bytes).unwrap_or(0)
+        self.classes
+            .get(&key)
+            .map(|c| c.released_bytes)
+            .unwrap_or(0)
     }
 
     /// Bytes currently queued in a class (backlog = unmet demand).
@@ -236,7 +244,7 @@ impl QueueDiscipline for HtbShaper {
             }
             let head = c.queue.front().expect("nonempty").0.size as u64;
             let t = c.bucket.ready_time(now, head);
-            if t <= now && best.map_or(true, |(bt, _)| t < bt) {
+            if t <= now && best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, *key));
             }
         }
@@ -351,7 +359,10 @@ mod tests {
         let mut s = HtbShaper::new(Classify::All, Rate::from_gbps(1), 1060, 2120);
         assert!(matches!(s.enqueue(Time::ZERO, pkt(1, 2)), Enqueued::Ok));
         assert!(matches!(s.enqueue(Time::ZERO, pkt(1, 2)), Enqueued::Ok));
-        assert!(matches!(s.enqueue(Time::ZERO, pkt(1, 2)), Enqueued::Dropped(_)));
+        assert!(matches!(
+            s.enqueue(Time::ZERO, pkt(1, 2)),
+            Enqueued::Dropped(_)
+        ));
     }
 
     #[test]

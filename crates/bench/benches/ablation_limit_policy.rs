@@ -91,11 +91,7 @@ fn run(policy: LimitPolicy) -> (f64, u64) {
         Time::from_millis(100),
         Time::from_millis(400),
     );
-    let drops = sim
-        .stats
-        .entity(EntityId(1))
-        .map(|e| e.drops)
-        .unwrap_or(0);
+    let drops = sim.stats.entity(EntityId(1)).map(|e| e.drops).unwrap_or(0);
     (small, drops)
 }
 

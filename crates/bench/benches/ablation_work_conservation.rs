@@ -117,15 +117,17 @@ fn run(mode: Mode) -> Vec<(f64, f64)> {
     add_flows(&mut net, b_flows);
     let mut sim = Simulator::new(net);
     if mode == Mode::Reallocate {
-        sim.add_agent(Box::new(WorkConservingReallocator::new(ReallocatorConfig {
-            switch: sw,
-            pipeline_index: 0,
-            capacity: Rate::from_gbps(10),
-            guarantees: [(ga.id, Rate::from_gbps(5)), (gb.id, Rate::from_gbps(5))]
-                .into_iter()
-                .collect(),
-            interval: Duration::from_millis(10),
-        })));
+        sim.add_agent(Box::new(WorkConservingReallocator::new(
+            ReallocatorConfig {
+                switch: sw,
+                pipeline_index: 0,
+                capacity: Rate::from_gbps(10),
+                guarantees: [(ga.id, Rate::from_gbps(5)), (gb.id, Rate::from_gbps(5))]
+                    .into_iter()
+                    .collect(),
+                interval: Duration::from_millis(10),
+            },
+        )));
     }
     let mut out = Vec::new();
     for w in 0..(END_MS / 100) {

@@ -9,7 +9,9 @@
 //! dominates loss-based ones, and the delay-based algorithm starves
 //! against everyone.
 
-use aq_bench::{build_dumbbell, report, steady_goodput, Approach, EntitySetup, ExpConfig, LongKind, Traffic};
+use aq_bench::{
+    build_dumbbell, report, steady_goodput, Approach, EntitySetup, ExpConfig, LongKind, Traffic,
+};
 use aq_netsim::ids::EntityId;
 use aq_netsim::time::{Duration, Time};
 use aq_transport::CcAlgo;
@@ -64,8 +66,18 @@ fn main() {
         };
         let mut exp = build_dumbbell(Approach::Pq, &entities, cfg);
         exp.sim.run_until(Time::from_millis(400));
-        let ga = steady_goodput(&exp.sim, EntityId(1), Time::from_millis(100), Time::from_millis(400));
-        let gb = steady_goodput(&exp.sim, EntityId(2), Time::from_millis(100), Time::from_millis(400));
+        let ga = steady_goodput(
+            &exp.sim,
+            EntityId(1),
+            Time::from_millis(100),
+            Time::from_millis(400),
+        );
+        let gb = steady_goodput(
+            &exp.sim,
+            EntityId(2),
+            Time::from_millis(100),
+            Time::from_millis(400),
+        );
         report::row(
             &[
                 format!("{}+{}", a.name(), b.name()),

@@ -21,7 +21,10 @@ fn completion(approach: Approach, n_vms: usize, seed: u64) -> f64 {
         n_vms,
         cc: CcAlgo::Cubic,
         weight: 1,
-        traffic: Traffic::WebSearchClosed { n_flows: N_FLOWS, size_scale: 8.0 },
+        traffic: Traffic::WebSearchClosed {
+            n_flows: N_FLOWS,
+            size_scale: 8.0,
+        },
     }];
     let mut exp = build_dumbbell(
         approach,

@@ -23,14 +23,20 @@ fn fairness(approach: Approach, b_vms: usize, seed: u64) -> f64 {
             n_vms: 1,
             cc: CcAlgo::Cubic,
             weight: 1,
-            traffic: Traffic::WebSearchClosed { n_flows: N_FLOWS, size_scale: 8.0 },
+            traffic: Traffic::WebSearchClosed {
+                n_flows: N_FLOWS,
+                size_scale: 8.0,
+            },
         },
         EntitySetup {
             entity: EntityId(2),
             n_vms: b_vms,
             cc: CcAlgo::Cubic,
             weight: 1,
-            traffic: Traffic::WebSearchClosed { n_flows: N_FLOWS, size_scale: 8.0 },
+            traffic: Traffic::WebSearchClosed {
+                n_flows: N_FLOWS,
+                size_scale: 8.0,
+            },
         },
     ];
     let mut exp = build_dumbbell(

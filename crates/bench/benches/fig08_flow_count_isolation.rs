@@ -38,8 +38,18 @@ fn shares(approach: Approach, b_flows: usize, weights: (u64, u64)) -> (f64, f64)
     let mut exp = build_dumbbell(approach, &entities, ExpConfig::default());
     exp.sim.run_until(Time::from_millis(500));
     (
-        steady_goodput(&exp.sim, EntityId(1), Time::from_millis(150), Time::from_millis(500)),
-        steady_goodput(&exp.sim, EntityId(2), Time::from_millis(150), Time::from_millis(500)),
+        steady_goodput(
+            &exp.sim,
+            EntityId(1),
+            Time::from_millis(150),
+            Time::from_millis(500),
+        ),
+        steady_goodput(
+            &exp.sim,
+            EntityId(2),
+            Time::from_millis(150),
+            Time::from_millis(500),
+        ),
     )
 }
 

@@ -52,7 +52,11 @@ fn run(use_aq: bool) -> Vec<Vec<f64>> {
     // at k * JOIN_GAP_MS.
     for k in 0..N {
         let entity = EntityId(k as u32 + 1);
-        let tag = if use_aq { AqTag(k as u32 + 1) } else { AqTag::NONE };
+        let tag = if use_aq {
+            AqTag(k as u32 + 1)
+        } else {
+            AqTag::NONE
+        };
         let pairs: Vec<(NodeId, NodeId)> = vec![(d.left[k], d.right[k])];
         let kind = if k == UDP_INDEX {
             FlowKind::Udp {
@@ -123,7 +127,9 @@ fn print_series(label: &str, series: &[Vec<f64>]) {
     println!("\n{label}: per-entity throughput (Gbps) in each 100 ms window");
     let widths = [12, 7, 7, 7, 7, 7, 7, 7];
     report::header(
-        &["entity", "0.1s", "0.2s", "0.3s", "0.4s", "0.5s", "0.6s", "0.7s"],
+        &[
+            "entity", "0.1s", "0.2s", "0.3s", "0.4s", "0.5s", "0.6s", "0.7s",
+        ],
         &widths,
     );
     for (k, s) in series.iter().enumerate() {

@@ -22,14 +22,20 @@ fn run(approach: Approach, ccs: (CcAlgo, CcAlgo)) -> (f64, f64) {
             n_vms: 4,
             cc: ccs.0,
             weight: 1,
-            traffic: Traffic::WebSearchClosed { n_flows: N_FLOWS, size_scale: 8.0 },
+            traffic: Traffic::WebSearchClosed {
+                n_flows: N_FLOWS,
+                size_scale: 8.0,
+            },
         },
         EntitySetup {
             entity: EntityId(2),
             n_vms: 4,
             cc: ccs.1,
             weight: 1,
-            traffic: Traffic::WebSearchClosed { n_flows: N_FLOWS, size_scale: 8.0 },
+            traffic: Traffic::WebSearchClosed {
+                n_flows: N_FLOWS,
+                size_scale: 8.0,
+            },
         },
     ];
     let cfg = ExpConfig {

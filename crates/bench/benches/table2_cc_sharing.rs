@@ -108,8 +108,14 @@ fn main() {
     let widths = [36, 26, 26];
     report::header(&["congestion control", "PQ (Gbps)", "AQ (Gbps)"], &widths);
     for row in &rows {
-        let pq: Vec<String> = run(Approach::Pq, row).iter().map(|g| format!("{g:.1}")).collect();
-        let aq: Vec<String> = run(Approach::Aq, row).iter().map(|g| format!("{g:.1}")).collect();
+        let pq: Vec<String> = run(Approach::Pq, row)
+            .iter()
+            .map(|g| format!("{g:.1}"))
+            .collect();
+        let aq: Vec<String> = run(Approach::Aq, row)
+            .iter()
+            .map(|g| format!("{g:.1}"))
+            .collect();
         report::row(
             &[row.label.to_string(), pq.join("+"), aq.join("+")],
             &widths,

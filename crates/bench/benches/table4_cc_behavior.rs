@@ -113,10 +113,7 @@ fn main() {
         "throughput and p95 queuing delay: PQ at 25 Gbps vs AQ (25 Gbps of 100 Gbps)",
     );
     let widths = [12, 12, 12, 12, 12];
-    report::header(
-        &["CC", "PQ Gbps", "PQ p95", "AQ Gbps", "AQ p95"],
-        &widths,
-    );
+    report::header(&["CC", "PQ Gbps", "PQ p95", "AQ Gbps", "AQ p95"], &widths);
     for cc in [CcAlgo::Cubic, CcAlgo::NewReno, CcAlgo::Dctcp] {
         let (pt, pd) = run(cc, false);
         let (at, ad) = run(cc, true);

@@ -303,7 +303,10 @@ fn install_traffic(
                 add_flows(&mut sim.net, spec.generate(flow_base));
                 flow_base += *n_flows as u32;
             }
-            Traffic::WebSearchClosed { n_flows, size_scale } => {
+            Traffic::WebSearchClosed {
+                n_flows,
+                size_scale,
+            } => {
                 // Every entity replays the *same* trace (same seed): the
                 // paper's entities "both run the web search trace", and a
                 // shared flow list is what makes completion times

@@ -89,9 +89,7 @@ impl WorkConservingReallocator {
         loop {
             let hungry: Vec<AqTag> = alloc
                 .iter()
-                .filter(|(id, a)| {
-                    demand.get(id).map(|d| d.as_bps()).unwrap_or(0) > **a
-                })
+                .filter(|(id, a)| demand.get(id).map(|d| d.as_bps()).unwrap_or(0) > **a)
                 .map(|(id, _)| *id)
                 .collect();
             if hungry.is_empty() || spare == 0 {
@@ -132,7 +130,13 @@ impl Agent for WorkConservingReallocator {
         ctx.arm_timer_in(self.cfg.interval, 0);
     }
 
-    fn on_timer(&mut self, net: &mut Network, _stats: &mut StatsHub, ctx: &mut AgentCtx, _token: u64) {
+    fn on_timer(
+        &mut self,
+        net: &mut Network,
+        _stats: &mut StatsHub,
+        ctx: &mut AgentCtx,
+        _token: u64,
+    ) {
         self.reallocate(net, ctx);
         ctx.arm_timer_in(self.cfg.interval, 0);
     }
@@ -179,7 +183,10 @@ mod tests {
         let mut net = b.build();
         let mut pipe = pipe_with(guarantees);
         for (id, bytes) in arrived {
-            pipe.ingress_table.get_mut(AqTag(*id)).unwrap().arrived_bytes = *bytes;
+            pipe.ingress_table
+                .get_mut(AqTag(*id))
+                .unwrap()
+                .arrived_bytes = *bytes;
         }
         net.add_pipeline(sw, Box::new(pipe));
         let cfg = ReallocatorConfig {
@@ -222,11 +229,7 @@ mod tests {
     #[test]
     fn both_hungry_split_at_guarantees() {
         // Both demand the full link: each ends at its 5 Gbps guarantee.
-        let rates = run_round(
-            &[(1, 5), (2, 5)],
-            &[(1, 1_250_000), (2, 1_250_000)],
-            10,
-        );
+        let rates = run_round(&[(1, 5), (2, 5)], &[(1, 1_250_000), (2, 1_250_000)], 10);
         let a = rates[&1] as f64;
         let b = rates[&2] as f64;
         assert!((a - b).abs() / a.max(b) < 0.01, "{a} vs {b}");

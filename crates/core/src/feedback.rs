@@ -43,6 +43,16 @@ pub fn process_packet(aq: &mut AqInstance, now: Time, pkt: &mut Packet) -> AqVer
         aq.drops += 1;
         return AqVerdict::Drop;
     }
+    // Algorithm 2's post-condition for the forward path: the gap of every
+    // packet allowed through is within the AQ limit, and the drop branch
+    // above restored the pre-arrival gap, so the limit can never be
+    // exceeded by a forwarded packet's contribution.
+    aq_netsim::invariant!(
+        gap <= aq.cfg.limit_bytes,
+        "forwarding with gap {gap} above limit {} (aq={:?})",
+        aq.cfg.limit_bytes,
+        aq.cfg.id,
+    );
     // Every forwarded packet carries the accumulated virtual queuing delay
     // A(k)/R regardless of the CC policy — delay-based CC consumes it as
     // feedback, and the testbed's Table-4 measurement reads it for every
@@ -104,8 +114,14 @@ mod tests {
         let mut aq = inst(CcPolicy::DropBased, 2000);
         let mut p = pkt(false);
         // 1060-byte packets back-to-back at t=0: gaps 1060, 2120 (> 2000).
-        assert_eq!(process_packet(&mut aq, Time::ZERO, &mut p), AqVerdict::Forward);
-        assert_eq!(process_packet(&mut aq, Time::ZERO, &mut p.clone()), AqVerdict::Drop);
+        assert_eq!(
+            process_packet(&mut aq, Time::ZERO, &mut p),
+            AqVerdict::Forward
+        );
+        assert_eq!(
+            process_packet(&mut aq, Time::ZERO, &mut p.clone()),
+            AqVerdict::Drop
+        );
         assert_eq!(aq.drops, 1);
         // Dropped packet's bytes were removed: gap back to 1060.
         assert_eq!(aq.gap.bytes(), 1060);
@@ -121,7 +137,10 @@ mod tests {
         );
         let mut a = pkt(true);
         let mut b = pkt(true);
-        assert_eq!(process_packet(&mut aq, Time::ZERO, &mut a), AqVerdict::Forward);
+        assert_eq!(
+            process_packet(&mut aq, Time::ZERO, &mut a),
+            AqVerdict::Forward
+        );
         assert_eq!(
             process_packet(&mut aq, Time::ZERO, &mut b),
             AqVerdict::ForwardMarked
@@ -134,7 +153,10 @@ mod tests {
     fn ecn_never_marks_incapable_traffic() {
         let mut aq = inst(CcPolicy::EcnBased { threshold_bytes: 0 }, 1_000_000);
         let mut p = pkt(false);
-        assert_eq!(process_packet(&mut aq, Time::ZERO, &mut p), AqVerdict::Forward);
+        assert_eq!(
+            process_packet(&mut aq, Time::ZERO, &mut p),
+            AqVerdict::Forward
+        );
         assert!(!p.ecn.is_marked());
     }
 

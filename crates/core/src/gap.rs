@@ -80,6 +80,13 @@ impl AGap {
     pub fn on_packet(&mut self, now: Time, size: u32) -> u64 {
         self.drain_to(now);
         self.gap_sub = self.gap_sub.saturating_add(size as u64 * SUB);
+        // A(p_k.time) = max{0, ...} + p_k.size: after an arrival the gap
+        // holds at least the packet just accounted (unless saturated).
+        aq_netsim::invariant!(
+            self.gap_sub >= size as u64 * SUB || self.gap_sub == u64::MAX,
+            "gap lost the arrival contribution: gap_sub={} size={size}",
+            self.gap_sub,
+        );
         self.bytes()
     }
 
@@ -89,9 +96,22 @@ impl AGap {
         if now <= self.last_time {
             return;
         }
+        let before = self.gap_sub;
         let drained = drained_sub(self.rate, now - self.last_time);
         self.gap_sub = self.gap_sub.saturating_sub(drained);
         self.last_time = now;
+        // Draining is monotone: no arrival, so the gap must not grow, and
+        // the clock must not run backwards past the guard above.
+        aq_netsim::invariant!(
+            self.gap_sub <= before,
+            "drain increased the gap: before={before} after={}",
+            self.gap_sub,
+        );
+        aq_netsim::invariant!(
+            self.last_time == now,
+            "drain left a stale clock: last_time={:?} now={now:?}",
+            self.last_time,
+        );
     }
 
     /// Current gap in whole bytes, rounded up.
@@ -115,6 +135,20 @@ impl AGap {
         // gap_sub / 2^16 bytes * 8 bits / bps seconds.
         let ns = (self.gap_sub as u128 * 8 * NS_PER_SEC as u128)
             / (SUB as u128 * self.rate.as_bps() as u128);
+        // Consistency with the whole-byte view: the delay computed from
+        // sub-bytes must bracket `bytes()/R` to within one byte's worth of
+        // transmission time (bytes() rounds up, the division truncates).
+        aq_netsim::invariant!(
+            {
+                let byte_ns = 8 * NS_PER_SEC as u128 / self.rate.as_bps() as u128;
+                let from_bytes =
+                    self.bytes() as u128 * 8 * NS_PER_SEC as u128 / self.rate.as_bps() as u128;
+                ns <= from_bytes && from_bytes <= ns + byte_ns + 2
+            },
+            "virtual delay inconsistent with gap: ns={ns} gap_bytes={} rate_bps={}",
+            self.bytes(),
+            self.rate.as_bps(),
+        );
         Duration::from_nanos(ns.min(u64::MAX as u128) as u64)
     }
 

@@ -82,7 +82,13 @@ impl AqPipeline {
         self.egress_table.deploy(cfg);
     }
 
-    fn apply(table: &mut AqTable, stats: &mut PipelineStats, now: Time, tag: AqTag, pkt: &mut Packet) -> PipelineVerdict {
+    fn apply(
+        table: &mut AqTable,
+        stats: &mut PipelineStats,
+        now: Time,
+        tag: AqTag,
+        pkt: &mut Packet,
+    ) -> PipelineVerdict {
         let Some(aq) = table.get_mut(tag) else {
             // Unknown tag: the controller never granted it; forward
             // untouched (the packet claims an AQ that does not exist here).

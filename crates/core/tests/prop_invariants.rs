@@ -1,0 +1,182 @@
+//! Property-based exercise of the runtime invariant layer.
+//!
+//! The `invariant!` checks inside [`AGap`] (arrival contribution, drain
+//! monotonicity, virtual-delay consistency) fire on *every* call when the
+//! `invariants` feature is on — so driving the accumulator through
+//! arbitrary interleavings of `on_packet` / `drain_to` / `deduct` /
+//! `set_rate` is itself the assertion: any sequence that broke an
+//! invariant would panic the test. On top of that, each property restates
+//! the invariant externally so the test also guards the default build,
+//! where the internal checks compile to nothing.
+//!
+//! CI runs this suite both ways (see .github/workflows/ci.yml).
+
+use aq_core::gap::AGap;
+use aq_netsim::time::{Rate, Time, NS_PER_SEC};
+use proptest::prelude::*;
+
+/// One step applied to the accumulator.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Advance by Δns and account an arrival of the given size.
+    Packet(u64, u32),
+    /// Advance by Δns and drain with no arrival.
+    Drain(u64),
+    /// Undo a just-dropped packet of the given size.
+    Deduct(u32),
+    /// Advance by Δns, then change the allocated rate to the given bps.
+    SetRate(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..2_000_000, 40u32..9000).prop_map(|(d, s)| Op::Packet(d, s)),
+        (0u64..2_000_000).prop_map(Op::Drain),
+        (40u32..9000).prop_map(Op::Deduct),
+        (0u64..2_000_000, 1_000_000u64..400_000_000_000).prop_map(|(d, r)| Op::SetRate(d, r)),
+    ]
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(op_strategy(), 1..150)
+}
+
+proptest! {
+    /// No interleaving of the four mutators violates the A-Gap invariants:
+    /// the gap stays within its arrival-driven bounds, draining never
+    /// increases it, and the clock never runs backwards.
+    #[test]
+    fn agap_survives_arbitrary_op_sequences(
+        ops in ops_strategy(),
+        bps in 1_000_000u64..400_000_000_000,
+    ) {
+        let mut g = AGap::new(Rate::from_bps(bps));
+        let mut total_arrived: u64 = 0;
+        let mut t = 0u64;
+        for op in ops {
+            let before = g.bytes();
+            match op {
+                Op::Packet(dns, size) => {
+                    t += dns;
+                    let v = g.on_packet(Time::from_nanos(t), size);
+                    total_arrived = total_arrived.saturating_add(size as u64);
+                    prop_assert!(
+                        v >= size as u64,
+                        "arrival lost: gap {v} < size {size}"
+                    );
+                    prop_assert!(
+                        v <= total_arrived,
+                        "gap {v} exceeds all bytes ever arrived {total_arrived}"
+                    );
+                }
+                Op::Drain(dns) => {
+                    t += dns;
+                    g.drain_to(Time::from_nanos(t));
+                    prop_assert!(
+                        g.bytes() <= before,
+                        "drain grew the gap: {before} -> {}",
+                        g.bytes()
+                    );
+                }
+                Op::Deduct(size) => {
+                    g.deduct(size);
+                    prop_assert!(
+                        g.bytes() <= before,
+                        "deduct grew the gap: {before} -> {}",
+                        g.bytes()
+                    );
+                }
+                Op::SetRate(dns, rate_bps) => {
+                    t += dns;
+                    g.set_rate(Time::from_nanos(t), Rate::from_bps(rate_bps));
+                    prop_assert!(
+                        g.bytes() <= before,
+                        "rate change grew the gap: {before} -> {}",
+                        g.bytes()
+                    );
+                    prop_assert_eq!(g.rate().as_bps(), rate_bps);
+                }
+            }
+            prop_assert!(
+                g.last_time() <= Time::from_nanos(t),
+                "clock overshot: last_time {:?} > now {t}",
+                g.last_time()
+            );
+        }
+    }
+
+    /// `virtual_delay` is always consistent with `bytes()/rate`: the
+    /// sub-byte computation and the whole-byte view agree to within the
+    /// transmission time of a single byte (plus rounding).
+    #[test]
+    fn virtual_delay_matches_bytes_over_rate(
+        ops in ops_strategy(),
+        bps in 1_000_000u64..400_000_000_000,
+    ) {
+        let mut g = AGap::new(Rate::from_bps(bps));
+        let mut t = 0u64;
+        for op in ops {
+            match op {
+                Op::Packet(dns, size) => {
+                    t += dns;
+                    g.on_packet(Time::from_nanos(t), size);
+                }
+                Op::Drain(dns) => {
+                    t += dns;
+                    g.drain_to(Time::from_nanos(t));
+                }
+                Op::Deduct(size) => g.deduct(size),
+                Op::SetRate(dns, rate_bps) => {
+                    t += dns;
+                    g.set_rate(Time::from_nanos(t), Rate::from_bps(rate_bps));
+                }
+            }
+            let vd = g.virtual_delay().as_nanos() as u128;
+            let rate = g.rate().as_bps() as u128;
+            let from_bytes = g.bytes() as u128 * 8 * NS_PER_SEC as u128 / rate;
+            let byte_ns = 8 * NS_PER_SEC as u128 / rate;
+            prop_assert!(
+                vd <= from_bytes && from_bytes <= vd + byte_ns + 2,
+                "virtual delay {vd} ns inconsistent with {} bytes at {rate} bps",
+                g.bytes()
+            );
+        }
+    }
+
+    /// Deduct exactly reverses an arrival at the same instant (the
+    /// Algorithm 2 drop path restores the pre-arrival gap).
+    #[test]
+    fn deduct_restores_pre_arrival_gap(
+        warmup in ops_strategy(),
+        size in 40u32..9000,
+        bps in 1_000_000u64..400_000_000_000,
+    ) {
+        let mut g = AGap::new(Rate::from_bps(bps));
+        let mut t = 0u64;
+        for op in warmup {
+            match op {
+                Op::Packet(dns, s) => {
+                    t += dns;
+                    g.on_packet(Time::from_nanos(t), s);
+                }
+                Op::Drain(dns) => {
+                    t += dns;
+                    g.drain_to(Time::from_nanos(t));
+                }
+                Op::Deduct(s) => g.deduct(s),
+                Op::SetRate(dns, r) => {
+                    t += dns;
+                    g.set_rate(Time::from_nanos(t), Rate::from_bps(r));
+                }
+            }
+        }
+        let before = g.bytes();
+        g.on_packet(Time::from_nanos(t), size);
+        g.deduct(size);
+        prop_assert_eq!(
+            g.bytes(),
+            before,
+            "drop path failed to restore the gap"
+        );
+    }
+}

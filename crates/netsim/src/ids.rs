@@ -21,7 +21,10 @@ macro_rules! id_type {
 
         impl From<usize> for $name {
             fn from(v: usize) -> Self {
-                $name(v as u32)
+                match u32::try_from(v) {
+                    Ok(v) => $name(v),
+                    Err(_) => panic!("entity index {v} exceeds u32 id space"),
+                }
             }
         }
 

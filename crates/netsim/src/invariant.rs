@@ -1,0 +1,68 @@
+//! Runtime invariant layer (the `invariants` cargo feature).
+//!
+//! The simulator's correctness arguments lean on a handful of conservation
+//! and monotonicity properties — the event clock never goes backwards, a
+//! FIFO neither creates nor destroys bytes, an A-Gap never goes negative
+//! and never grows while draining. Violations of these are silent
+//! corruption: results stay plausible-looking while being wrong.
+//!
+//! The [`invariant!`] macro asserts such properties in the hot paths. With
+//! the `invariants` feature **off** (the default) the checks compile to
+//! nothing, so release benchmarking is unaffected; with it **on**
+//! (`cargo test --features invariants`) a violation panics with the failed
+//! condition, a formatted context message, and the `file:line` of the
+//! check site.
+//!
+//! The condition is evaluated against the *calling crate's* `invariants`
+//! feature, so every workspace crate that uses the macro declares its own
+//! `invariants` feature and forwards it to `aq-netsim/invariants`.
+
+/// Assert a structural invariant when the `invariants` feature is enabled.
+///
+/// ```
+/// use aq_netsim::invariant;
+/// let (before, after) = (10u64, 7u64);
+/// invariant!(
+///     after <= before,
+///     "drain increased the gap: before={before} after={after}"
+/// );
+/// ```
+///
+/// The first argument is the condition; the rest is a `format!`-style
+/// message naming the state involved. Both are type-checked in every
+/// build, but with the feature disabled the branch is `false &&
+/// ...` — dead code the optimizer removes — so invariants cost nothing
+/// in normal runs.
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr, $($ctx:tt)+) => {
+        if ::core::cfg!(feature = "invariants") && !($cond) {
+            ::core::panic!(
+                "invariant violated: `{}`: {}",
+                ::core::stringify!($cond),
+                ::core::format_args!($($ctx)+),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passing_invariant_is_silent() {
+        invariant!(1 + 1 == 2, "arithmetic broke");
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "invariants"), ignore = "needs --features invariants")]
+    fn failing_invariant_panics_with_context() {
+        let err = std::panic::catch_unwind(|| {
+            let backlog = 5u64;
+            invariant!(backlog == 0, "queue not drained: backlog={backlog}");
+        })
+        .expect_err("should panic under --features invariants");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("backlog == 0"), "missing condition: {msg}");
+        assert!(msg.contains("backlog=5"), "missing context: {msg}");
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod event;
 pub mod ids;
+pub mod invariant;
 pub mod link;
 pub mod node;
 pub mod packet;

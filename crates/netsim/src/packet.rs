@@ -133,6 +133,7 @@ pub struct Packet {
 
 impl Packet {
     /// Build a full-size data segment.
+    #[allow(clippy::too_many_arguments)]
     pub fn data(
         flow: FlowId,
         entity: EntityId,
@@ -161,7 +162,13 @@ impl Packet {
     }
 
     /// Build an ACK for `data` flowing back from `src` (the data receiver).
-    pub fn ack_for(data: &Packet, cum_ack: u64, sack_hi: u64, fin_acked: bool, now: Time) -> Packet {
+    pub fn ack_for(
+        data: &Packet,
+        cum_ack: u64,
+        sack_hi: u64,
+        fin_acked: bool,
+        now: Time,
+    ) -> Packet {
         let this_seq = match data.transport {
             TransportHeader::Data { seq, .. } => seq,
             _ => 0,

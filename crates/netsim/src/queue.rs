@@ -100,6 +100,13 @@ pub struct FifoQueue {
     pub drops: u64,
     /// Cumulative CE marks applied by this queue.
     pub marks: u64,
+    /// Cumulative bytes offered to [`QueueDiscipline::enqueue`]
+    /// (accepted or not).
+    pub enqueued_bytes: u64,
+    /// Cumulative bytes handed back out by [`QueueDiscipline::dequeue`].
+    pub dequeued_bytes: u64,
+    /// Cumulative bytes of rejected (taildropped / non-ECT-at-K) packets.
+    pub dropped_bytes: u64,
 }
 
 impl FifoQueue {
@@ -111,6 +118,9 @@ impl FifoQueue {
             backlog: 0,
             drops: 0,
             marks: 0,
+            enqueued_bytes: 0,
+            dequeued_bytes: 0,
+            dropped_bytes: 0,
         }
     }
 
@@ -118,14 +128,37 @@ impl FifoQueue {
     pub fn config(&self) -> FifoConfig {
         self.cfg
     }
+
+    /// Byte conservation: every byte ever offered is either still
+    /// resident, was handed out, or was dropped — the buffer neither
+    /// creates nor destroys bytes.
+    fn check_conservation(&self) {
+        crate::invariant!(
+            self.enqueued_bytes == self.dequeued_bytes + self.dropped_bytes + self.backlog,
+            "FIFO byte conservation broken: enqueued={} dequeued={} dropped={} backlog={}",
+            self.enqueued_bytes,
+            self.dequeued_bytes,
+            self.dropped_bytes,
+            self.backlog,
+        );
+        crate::invariant!(
+            self.backlog <= self.cfg.limit_bytes,
+            "backlog {} exceeds taildrop limit {}",
+            self.backlog,
+            self.cfg.limit_bytes,
+        );
+    }
 }
 
 impl QueueDiscipline for FifoQueue {
     fn enqueue(&mut self, now: Time, mut pkt: Packet) -> Enqueued {
+        self.enqueued_bytes += pkt.size as u64;
         if self.backlog + pkt.size as u64 > self.cfg.limit_bytes {
             self.drops += 1;
+            self.dropped_bytes += pkt.size as u64;
             return Enqueued::Dropped(pkt);
         }
+        let marked_upstream = pkt.ecn.is_marked();
         if let Some(k) = self.cfg.ecn_threshold_bytes {
             // RED-style threshold on instantaneous arrival queue depth:
             // mark ECT packets, drop non-ECT ones.
@@ -135,12 +168,28 @@ impl QueueDiscipline for FifoQueue {
                     self.marks += 1;
                 } else {
                     self.drops += 1;
+                    self.dropped_bytes += pkt.size as u64;
+                    self.check_conservation();
                     return Enqueued::Dropped(pkt);
                 }
             }
         }
+        // A mark applied *here* (not carried in from an upstream hop) is
+        // legitimate only at or above the instantaneous threshold K.
+        crate::invariant!(
+            marked_upstream
+                || !pkt.ecn.is_marked()
+                || self
+                    .cfg
+                    .ecn_threshold_bytes
+                    .is_some_and(|k| self.backlog >= k),
+            "CE mark applied below threshold: backlog={} K={:?}",
+            self.backlog,
+            self.cfg.ecn_threshold_bytes,
+        );
         self.backlog += pkt.size as u64;
         self.buf.push_back((pkt, now));
+        self.check_conservation();
         Enqueued::Ok
     }
 
@@ -154,8 +203,16 @@ impl QueueDiscipline for FifoQueue {
 
     fn dequeue(&mut self, now: Time) -> Option<Packet> {
         let (mut pkt, enq_at) = self.buf.pop_front()?;
+        crate::invariant!(
+            self.backlog >= pkt.size as u64,
+            "dequeue of {} bytes from a backlog of only {}",
+            pkt.size,
+            self.backlog,
+        );
         self.backlog -= pkt.size as u64;
+        self.dequeued_bytes += pkt.size as u64;
         pkt.pq_delay_ns += now.since(enq_at).as_nanos();
+        self.check_conservation();
         Some(pkt)
     }
 
@@ -230,9 +287,15 @@ mod tests {
         let mut capable = pkt(MSS);
         capable.ecn = Ecn::Capable;
         // Below threshold: no mark.
-        assert!(matches!(q.enqueue(Time::ZERO, capable.clone()), Enqueued::Ok));
+        assert!(matches!(
+            q.enqueue(Time::ZERO, capable.clone()),
+            Enqueued::Ok
+        ));
         // Backlog now 1060 >= K: next capable packet is marked.
-        assert!(matches!(q.enqueue(Time::ZERO, capable.clone()), Enqueued::Ok));
+        assert!(matches!(
+            q.enqueue(Time::ZERO, capable.clone()),
+            Enqueued::Ok
+        ));
         // Non-ECT traffic is dropped at the threshold (RED semantics).
         assert!(matches!(
             q.enqueue(Time::ZERO, pkt(MSS)),

@@ -55,8 +55,8 @@ impl Network {
             n => {
                 // Knuth multiplicative hash over (flow, node) so the same
                 // flow picks independently at each hop.
-                let h = (flow.0 as u64 ^ ((node.0 as u64) << 32))
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let h =
+                    (flow.0 as u64 ^ ((node.0 as u64) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 Some(set[(h >> 32) as usize % n])
             }
         }
@@ -254,7 +254,7 @@ impl Simulator {
     /// Register a control-plane agent. Its `on_start` runs when the
     /// simulation starts.
     pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
-        let id = AgentId(self.agents.len() as u32);
+        let id = AgentId::from(self.agents.len());
         self.agents.push(Some(agent));
         id
     }
@@ -266,13 +266,13 @@ impl Simulator {
         self.started = true;
         // Host apps first, in node order, then agents — all at time zero.
         for n in 0..self.net.nodes.len() {
-            let node = NodeId(n as u32);
+            let node = NodeId::from(n);
             if self.net.nodes[n].is_host() {
                 self.with_app(node, |app, ctx| app.on_start(ctx));
             }
         }
         for a in 0..self.agents.len() {
-            let id = AgentId(a as u32);
+            let id = AgentId::from(a);
             let mut agent = self.agents[a].take().expect("agent reentrancy");
             let mut ctx = AgentCtx {
                 agent: id,
@@ -297,6 +297,12 @@ impl Simulator {
                 break;
             }
             let ev = self.events.pop().expect("peeked");
+            crate::invariant!(
+                ev.time >= self.now,
+                "event clock moved backwards: now={} event={}",
+                self.now,
+                ev.time,
+            );
             self.now = ev.time;
             self.processed_events += 1;
             self.dispatch(ev.kind);
@@ -310,6 +316,12 @@ impl Simulator {
         self.start();
         let mut budget = max_events;
         while let Some(ev) = self.events.pop() {
+            crate::invariant!(
+                ev.time >= self.now,
+                "event clock moved backwards: now={} event={}",
+                self.now,
+                ev.time,
+            );
             self.now = ev.time;
             self.processed_events += 1;
             self.dispatch(ev.kind);
@@ -415,17 +427,15 @@ impl Simulator {
                 let link = &self.net.links[p.link.index()];
                 let dur = link.rate.transmit_time(pkt.size as u64);
                 p.in_flight = Some(pkt);
-                self.events
-                    .push(now + dur, EventKind::TxComplete { port });
+                self.events.push(now + dur, EventKind::TxComplete { port });
             }
-            Some(t) => {
-                // Shaped release in the future: arm one wake for the
-                // earliest known release instant.
-                if p.wake_at.map_or(true, |w| t < w) {
-                    p.wake_at = Some(t);
-                    self.events.push(t, EventKind::PortWake { port });
-                }
+            // Shaped release in the future: arm one wake for the
+            // earliest known release instant.
+            Some(t) if p.wake_at.is_none_or(|w| t < w) => {
+                p.wake_at = Some(t);
+                self.events.push(t, EventKind::PortWake { port });
             }
+            Some(_) => {}
         }
     }
 
@@ -445,8 +455,13 @@ impl Simulator {
         // Jitter must not reorder packets already launched on this link.
         let at = (self.now + link.prop_delay + jitter).max(self.last_arrival[lidx]);
         self.last_arrival[lidx] = at;
-        self.events
-            .push(at, EventKind::Arrive { node: to, packet: pkt });
+        self.events.push(
+            at,
+            EventKind::Arrive {
+                node: to,
+                packet: pkt,
+            },
+        );
         self.try_transmit(port);
     }
 

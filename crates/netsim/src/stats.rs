@@ -213,9 +213,16 @@ impl StatsHub {
     }
 
     /// Called by the simulator when a data packet reaches its destination.
-    pub fn on_delivery(&mut self, now: Time, entity: EntityId, payload: u64, pq_ns: u64, vd_ns: u64) {
+    pub fn on_delivery(
+        &mut self,
+        now: Time,
+        entity: EntityId,
+        payload: u64,
+        pq_ns: u64,
+        vd_ns: u64,
+    ) {
         self.delay_seen += 1;
-        let sample = self.delay_seen % self.delay_decimation.max(1) == 0;
+        let sample = self.delay_seen.is_multiple_of(self.delay_decimation.max(1));
         let es = self.entity_mut(entity);
         es.rx_bytes += payload;
         es.rx_series.record(now, payload);
@@ -302,7 +309,7 @@ pub fn jain_index(xs: &[f64]) -> f64 {
     }
     let sum: f64 = xs.iter().sum();
     let sumsq: f64 = xs.iter().map(|x| x * x).sum();
-    if sumsq == 0.0 {
+    if sumsq <= 0.0 {
         return 1.0;
     }
     sum * sum / (xs.len() as f64 * sumsq)
@@ -312,7 +319,7 @@ pub fn jain_index(xs: &[f64]) -> f64 {
 /// to the larger; 1.0 = perfectly fair, 0.0 when either is zero.
 pub fn minmax_ratio(a: f64, b: f64) -> f64 {
     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-    if hi == 0.0 {
+    if hi <= 0.0 {
         1.0
     } else {
         lo / hi

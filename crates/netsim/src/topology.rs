@@ -31,7 +31,7 @@ impl NetBuilder {
 
     /// Add a host (its app is installed later with [`Network::set_app`]).
     pub fn add_host(&mut self) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let id = NodeId::from(self.nodes.len());
         self.nodes.push(Node {
             id,
             kind: NodeKind::Host { app: None },
@@ -42,7 +42,7 @@ impl NetBuilder {
 
     /// Add a switch with no pipelines (a plain physical-queue switch).
     pub fn add_switch(&mut self) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let id = NodeId::from(self.nodes.len());
         self.nodes.push(Node {
             id,
             kind: NodeKind::Switch {
@@ -66,8 +66,20 @@ impl NetBuilder {
         fifo_a_to_b: FifoConfig,
         fifo_b_to_a: FifoConfig,
     ) -> (PortId, PortId) {
-        let p_ab = self.half_link(a, b, rate, prop_delay, Box::new(FifoQueue::new(fifo_a_to_b)));
-        let p_ba = self.half_link(b, a, rate, prop_delay, Box::new(FifoQueue::new(fifo_b_to_a)));
+        let p_ab = self.half_link(
+            a,
+            b,
+            rate,
+            prop_delay,
+            Box::new(FifoQueue::new(fifo_a_to_b)),
+        );
+        let p_ba = self.half_link(
+            b,
+            a,
+            rate,
+            prop_delay,
+            Box::new(FifoQueue::new(fifo_b_to_a)),
+        );
         (p_ab, p_ba)
     }
 
@@ -93,8 +105,8 @@ impl NetBuilder {
         prop_delay: Duration,
         queue: Box<dyn QueueDiscipline>,
     ) -> PortId {
-        let port = PortId(self.ports.len() as u32);
-        let link = LinkId(self.links.len() as u32);
+        let port = PortId::from(self.ports.len());
+        let link = LinkId::from(self.links.len());
         self.links.push(Link {
             id: link,
             from_port: port,
@@ -184,12 +196,7 @@ pub struct Dumbbell {
 /// bottleneck for left→right traffic) uses `core_fifo`; edge links get
 /// generous buffers and the same rate, so the core is the unique
 /// bottleneck.
-pub fn dumbbell(
-    pairs: usize,
-    rate: Rate,
-    prop_delay: Duration,
-    core_fifo: FifoConfig,
-) -> Dumbbell {
+pub fn dumbbell(pairs: usize, rate: Rate, prop_delay: Duration, core_fifo: FifoConfig) -> Dumbbell {
     dumbbell_asym(pairs, rate, rate, prop_delay, core_fifo)
 }
 
@@ -221,7 +228,9 @@ pub fn dumbbell_asym(
         b.connect_symmetric(h, sw_right, edge_rate, prop_delay, edge_fifo);
         right.push(h);
     }
-    let (core_port, _) = b.connect(sw_left, sw_right, core_rate, prop_delay, core_fifo, core_fifo);
+    let (core_port, _) = b.connect(
+        sw_left, sw_right, core_rate, prop_delay, core_fifo, core_fifo,
+    );
     Dumbbell {
         left,
         right,
@@ -301,7 +310,10 @@ pub struct FatTree {
 /// # Panics
 /// Panics unless `k` is even and ≥ 2.
 pub fn fat_tree(k: usize, rate: Rate, prop_delay: Duration, fifo: FifoConfig) -> FatTree {
-    assert!(k >= 2 && k % 2 == 0, "fat tree requires even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat tree requires even k >= 2"
+    );
     let half = k / 2;
     let mut b = NetBuilder::new();
     let edge_fifo = FifoConfig {
@@ -354,7 +366,12 @@ mod tests {
 
     #[test]
     fn dumbbell_routes_cross_traffic_through_core() {
-        let d = dumbbell(3, Rate::from_gbps(10), Duration::from_micros(10), FifoConfig::default());
+        let d = dumbbell(
+            3,
+            Rate::from_gbps(10),
+            Duration::from_micros(10),
+            FifoConfig::default(),
+        );
         // Left host 0 reaches right host 0 via its uplink; the left switch
         // forwards over the core port.
         let l0 = d.left[0];
@@ -367,7 +384,12 @@ mod tests {
 
     #[test]
     fn star_downlinks_match_hosts() {
-        let s = star(4, Rate::from_gbps(25), Duration::from_micros(5), FifoConfig::default());
+        let s = star(
+            4,
+            Rate::from_gbps(25),
+            Duration::from_micros(5),
+            FifoConfig::default(),
+        );
         for (i, h) in s.hosts.iter().enumerate() {
             assert_eq!(s.net.route(s.switch, *h, FlowId(1)), Some(s.downlinks[i]));
             // Every other host routes via its single uplink.

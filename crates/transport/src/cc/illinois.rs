@@ -129,8 +129,8 @@ mod tests {
     fn low_delay_uses_aggressive_alpha() {
         let mut cc = Illinois::new();
         cc.on_loss(Time::ZERO); // exit slow start
-        // Establish a delay history with one congested sample, then
-        // low-delay samples pull the average down.
+                                // Establish a delay history with one congested sample, then
+                                // low-delay samples pull the average down.
         cc.on_ack(&sig(0, 1000, 100, false));
         for i in 0..200 {
             cc.on_ack(&sig(i * 100, 101, 100, false));

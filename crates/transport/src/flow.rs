@@ -67,7 +67,13 @@ pub struct FlowSpec {
 
 impl FlowSpec {
     /// A long-lived TCP flow with default MSS and measured-RTT delay.
-    pub fn long_tcp(flow: FlowId, entity: EntityId, src: NodeId, dst: NodeId, cc: CcAlgo) -> FlowSpec {
+    pub fn long_tcp(
+        flow: FlowId,
+        entity: EntityId,
+        src: NodeId,
+        dst: NodeId,
+        cc: CcAlgo,
+    ) -> FlowSpec {
         FlowSpec {
             flow,
             entity,
@@ -102,7 +108,13 @@ impl FlowSpec {
     }
 
     /// A long-lived paced UDP flow at `rate`.
-    pub fn long_udp(flow: FlowId, entity: EntityId, src: NodeId, dst: NodeId, rate: Rate) -> FlowSpec {
+    pub fn long_udp(
+        flow: FlowId,
+        entity: EntityId,
+        src: NodeId,
+        dst: NodeId,
+        rate: Rate,
+    ) -> FlowSpec {
         FlowSpec {
             kind: FlowKind::Udp { rate },
             ..FlowSpec::long_tcp(flow, entity, src, dst, CcAlgo::NewReno)
@@ -181,16 +193,20 @@ mod tests {
 
     #[test]
     fn long_lived_flow_has_no_end() {
-        let s = FlowSpec::long_tcp(FlowId(1), EntityId(1), NodeId(0), NodeId(1), CcAlgo::NewReno);
+        let s = FlowSpec::long_tcp(
+            FlowId(1),
+            EntityId(1),
+            NodeId(0),
+            NodeId(1),
+            CcAlgo::NewReno,
+        );
         assert_eq!(s.total_segments(), None);
         assert_eq!(s.segment_payload(12345), MSS);
     }
 
     #[test]
     fn builders_set_tags_and_delay_signal() {
-        let s = spec(1000)
-            .with_aq(AqTag(3), AqTag(4))
-            .with_virtual_delay();
+        let s = spec(1000).with_aq(AqTag(3), AqTag(4)).with_virtual_delay();
         assert_eq!(s.aq_ingress, AqTag(3));
         assert_eq!(s.aq_egress, AqTag(4));
         assert_eq!(s.delay_signal, DelaySignal::VirtualDelay);

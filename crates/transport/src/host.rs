@@ -154,7 +154,16 @@ impl HostApp for TransportHost {
                 fin_acked,
             } => {
                 let finished = if let Some(s) = self.senders.get_mut(&pkt.flow) {
-                    s.on_ack(ctx, cum_ack, sack_hi, this_seq, ecn_echo, vdelay_echo_ns, ts_echo, fin_acked);
+                    s.on_ack(
+                        ctx,
+                        cum_ack,
+                        sack_hi,
+                        this_seq,
+                        ecn_echo,
+                        vdelay_echo_ns,
+                        ts_echo,
+                        fin_acked,
+                    );
                     Self::arm_rto_if_needed(ctx, s, pkt.flow);
                     s.finished
                 } else {
@@ -238,7 +247,8 @@ mod tests {
             NodeId(1),
             CcAlgo::Cubic,
         ));
-        let mut spec2 = FlowSpec::long_tcp(FlowId(2), EntityId(1), NodeId(0), NodeId(1), CcAlgo::Cubic);
+        let mut spec2 =
+            FlowSpec::long_tcp(FlowId(2), EntityId(1), NodeId(0), NodeId(1), CcAlgo::Cubic);
         spec2.start = Time::from_millis(5);
         h.add_flow(spec2);
         let mut stats = StatsHub::new();

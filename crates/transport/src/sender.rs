@@ -300,7 +300,7 @@ impl SenderFlow {
         let rtt = now - ts_echo;
         if rtt > Duration::ZERO {
             self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
-            if self.srtt_ns == 0.0 {
+            if self.srtt_ns <= 0.0 {
                 self.srtt_ns = rtt.as_nanos() as f64;
                 self.rttvar_ns = rtt.as_nanos() as f64 / 2.0;
             } else {
@@ -320,8 +320,7 @@ impl SenderFlow {
             self.in_flight.remove(&this_seq);
             self.lost.remove(&this_seq);
             self.sacked.insert(this_seq);
-            self.highest_sacked =
-                Some(self.highest_sacked.map_or(this_seq, |h| h.max(this_seq)));
+            self.highest_sacked = Some(self.highest_sacked.map_or(this_seq, |h| h.max(this_seq)));
         }
 
         if cum_ack > self.cum_ack {
@@ -416,7 +415,16 @@ mod tests {
     /// Shorthand: deliver an ACK covering `this_seq` with cumulative `cum`.
     fn ack(s: &mut SenderFlow, now_us: u64, cum: u64, this_seq: u64) -> Vec<Packet> {
         with_ctx(Time::from_micros(now_us), |ctx| {
-            s.on_ack(ctx, cum, this_seq + 1, this_seq, false, 0, Time::ZERO, false)
+            s.on_ack(
+                ctx,
+                cum,
+                this_seq + 1,
+                this_seq,
+                false,
+                0,
+                Time::ZERO,
+                false,
+            )
         })
     }
 

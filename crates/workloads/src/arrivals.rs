@@ -42,7 +42,7 @@ impl PoissonArrivals {
         let mut t = start;
         let mut out = Vec::new();
         loop {
-            t = t + self.next_gap(rng);
+            t += self.next_gap(rng);
             if t >= end {
                 return out;
             }
@@ -76,7 +76,9 @@ mod tests {
         for w in times.windows(2) {
             assert!(w[0] <= w[1]);
         }
-        assert!(times.iter().all(|t| *t >= start && *t < Time::from_millis(60)));
+        assert!(times
+            .iter()
+            .all(|t| *t >= start && *t < Time::from_millis(60)));
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A plain web-search workload: `n_flows` flows at `load`, uniformly
     /// random endpoints, no AQ tags.
+    #[allow(clippy::too_many_arguments)]
     pub fn web_search(
         entity: EntityId,
         srcs: Vec<NodeId>,
@@ -102,7 +103,7 @@ impl WorkloadSpec {
         let mut t = self.start;
         let mut flows = Vec::with_capacity(self.n_flows);
         for i in 0..self.n_flows {
-            t = t + arrivals.next_gap(&mut rng);
+            t += arrivals.next_gap(&mut rng);
             let bytes = dist.sample(&mut rng);
             let (src, dst) = matrix.pick(&mut rng, i);
             let mut spec = FlowSpec::sized_tcp(
@@ -224,8 +225,9 @@ impl ClosedWorkload {
                 }
             };
             let id = FlowId(flow_id_base + i as u32);
-            let mut spec = FlowSpec::sized_tcp(id, self.entity, src, dst, self.cc, bytes, self.start)
-                .with_aq(self.aq_ingress, self.aq_egress);
+            let mut spec =
+                FlowSpec::sized_tcp(id, self.entity, src, dst, self.cc, bytes, self.start)
+                    .with_aq(self.aq_ingress, self.aq_egress);
             spec.delay_signal = self.delay_signal;
             if let Some(prev) = tails[vm] {
                 spec = spec.chained_after(prev);
@@ -371,7 +373,12 @@ mod tests {
 
     #[test]
     fn install_helpers_wire_flows_to_hosts() {
-        let d = dumbbell(2, Rate::from_gbps(10), Duration::from_micros(10), FifoConfig::default());
+        let d = dumbbell(
+            2,
+            Rate::from_gbps(10),
+            Duration::from_micros(10),
+            FifoConfig::default(),
+        );
         let mut net = d.net;
         ensure_transport_hosts(&mut net);
         let spec = WorkloadSpec::web_search(

@@ -115,7 +115,11 @@ mod tests {
         // interpolation slack).
         assert!((8_000..=12_500).contains(&q(0.30)), "p30 {}", q(0.30));
         assert!((160_000..=250_000).contains(&q(0.80)), "p80 {}", q(0.80));
-        assert!((1_600_000..=2_500_000).contains(&q(0.95)), "p95 {}", q(0.95));
+        assert!(
+            (1_600_000..=2_500_000).contains(&q(0.95)),
+            "p95 {}",
+            q(0.95)
+        );
     }
 
     #[test]

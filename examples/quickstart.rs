@@ -97,8 +97,18 @@ fn main() {
     // 5. Simulate and measure.
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(300));
-    let a = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(100), Time::from_millis(300));
-    let b = goodput_gbps(&sim.stats, EntityId(2), Time::from_millis(100), Time::from_millis(300));
+    let a = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(100),
+        Time::from_millis(300),
+    );
+    let b = goodput_gbps(
+        &sim.stats,
+        EntityId(2),
+        Time::from_millis(100),
+        Time::from_millis(300),
+    );
     println!("tenant A (1 flow):  {a:.2} Gbps");
     println!("tenant B (8 flows): {b:.2} Gbps");
     println!("despite the 1-vs-8 flow count, equal weights give each ~half the link.");

@@ -10,9 +10,7 @@
 //! reports the per-packet processing cost and the register memory the
 //! table would occupy on a switch (15 bytes per AQ).
 
-use augmented_queue::core::{
-    process_packet, AqConfig, AqPipeline, AqTable, AqVerdict, CcPolicy,
-};
+use augmented_queue::core::{process_packet, AqConfig, AqPipeline, AqTable, AqVerdict, CcPolicy};
 use augmented_queue::netsim::packet::{AqTag, Packet};
 use augmented_queue::netsim::time::{Rate, Time};
 use augmented_queue::netsim::{EntityId, FlowId, NodeId};
@@ -23,7 +21,7 @@ const PACKETS: u64 = 2_000_000;
 
 fn main() {
     // Deploy a million AQs with a spread of allocated rates.
-    let start = Instant::now();
+    let start = Instant::now(); // aq-lint: allow(no-wall-clock)
     let mut table = AqTable::new();
     for i in 1..=N_AQS {
         table.deploy(AqConfig {
@@ -60,7 +58,7 @@ fn main() {
         Time::ZERO,
     );
     pkt.ecn = augmented_queue::netsim::packet::Ecn::Capable;
-    let start = Instant::now();
+    let start = Instant::now(); // aq-lint: allow(no-wall-clock)
     let mut t = 0u64;
     let mut dropped = 0u64;
     for i in 0..PACKETS {
@@ -91,7 +89,7 @@ fn main() {
         });
     }
     use augmented_queue::netsim::SwitchPipeline;
-    let start = Instant::now();
+    let start = Instant::now(); // aq-lint: allow(no-wall-clock)
     for i in 0..PACKETS {
         pkt.aq_ingress = AqTag((i % N_AQS as u64) as u32 + 1);
         t += 50;

@@ -94,8 +94,18 @@ fn run(with_aq: bool) -> (f64, f64) {
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(400));
     (
-        goodput_gbps(&sim.stats, A_OUT, Time::from_millis(100), Time::from_millis(400)),
-        goodput_gbps(&sim.stats, A_IN, Time::from_millis(100), Time::from_millis(400)),
+        goodput_gbps(
+            &sim.stats,
+            A_OUT,
+            Time::from_millis(100),
+            Time::from_millis(400),
+        ),
+        goodput_gbps(
+            &sim.stats,
+            A_IN,
+            Time::from_millis(100),
+            Time::from_millis(400),
+        ),
     )
 }
 

@@ -41,8 +41,12 @@ fn aq_isolates_tcp_from_a_udp_bully() {
             pq_limit_bytes: PQ_LIMIT,
         },
     );
-    let g_udp = ctl.request(weighted_request(CcPolicy::DropBased)).expect("grant");
-    let g_tcp = ctl.request(weighted_request(CcPolicy::DropBased)).expect("grant");
+    let g_udp = ctl
+        .request(weighted_request(CcPolicy::DropBased))
+        .expect("grant");
+    let g_tcp = ctl
+        .request(weighted_request(CcPolicy::DropBased))
+        .expect("grant");
     let mut pipe = AqPipeline::new();
     ctl.deploy_all(&mut pipe);
     let mut net = d.net;
@@ -78,12 +82,28 @@ fn aq_isolates_tcp_from_a_udp_bully() {
     );
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(300));
-    let udp = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(100), Time::from_millis(300));
-    let tcp = goodput_gbps(&sim.stats, EntityId(2), Time::from_millis(100), Time::from_millis(300));
+    let udp = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(100),
+        Time::from_millis(300),
+    );
+    let tcp = goodput_gbps(
+        &sim.stats,
+        EntityId(2),
+        Time::from_millis(100),
+        Time::from_millis(300),
+    );
     // Paper: each entity gets ~1/2 of the link with >95% saturation of its
     // allocation.
-    assert!((4.5..=5.3).contains(&udp), "UDP entity got {udp} Gbps, want ~5");
-    assert!((4.0..=5.3).contains(&tcp), "TCP entity got {tcp} Gbps, want ~5");
+    assert!(
+        (4.5..=5.3).contains(&udp),
+        "UDP entity got {udp} Gbps, want ~5"
+    );
+    assert!(
+        (4.0..=5.3).contains(&tcp),
+        "TCP entity got {tcp} Gbps, want ~5"
+    );
 }
 
 #[test]
@@ -130,7 +150,12 @@ fn aq_rate_limits_udp_in_absolute_mode() {
     );
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(100));
-    let gp = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(20), Time::from_millis(100));
+    let gp = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(20),
+        Time::from_millis(100),
+    );
     // The AQ limits *wire* bytes; goodput is payload, so the expected
     // value is 2 Gbps × 1000/1060 ≈ 1.887 Gbps.
     assert!(
@@ -157,7 +182,9 @@ fn aq_lets_dctcp_and_cubic_coexist() {
             pq_limit_bytes: PQ_LIMIT,
         },
     );
-    let g_cubic = ctl.request(weighted_request(CcPolicy::DropBased)).expect("grant");
+    let g_cubic = ctl
+        .request(weighted_request(CcPolicy::DropBased))
+        .expect("grant");
     let g_dctcp = ctl
         .request(weighted_request(CcPolicy::EcnBased {
             threshold_bytes: 30_000,
@@ -196,8 +223,18 @@ fn aq_lets_dctcp_and_cubic_coexist() {
     );
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(400));
-    let cubic = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(100), Time::from_millis(400));
-    let dctcp = goodput_gbps(&sim.stats, EntityId(2), Time::from_millis(100), Time::from_millis(400));
+    let cubic = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(100),
+        Time::from_millis(400),
+    );
+    let dctcp = goodput_gbps(
+        &sim.stats,
+        EntityId(2),
+        Time::from_millis(100),
+        Time::from_millis(400),
+    );
     let ratio = cubic.min(dctcp) / cubic.max(dctcp);
     assert!(
         ratio > 0.8,
@@ -253,7 +290,12 @@ fn aq_drives_swift_with_virtual_delay() {
     );
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(200));
-    let gp = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(50), Time::from_millis(200));
+    let gp = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(50),
+        Time::from_millis(200),
+    );
     assert!(
         (4.2..=5.2).contains(&gp),
         "Swift entity reached {gp} Gbps of its 5 Gbps allocation"
@@ -386,7 +428,12 @@ fn work_conservation_bypass_lets_entities_exceed_allocations_when_idle() {
         );
         let mut sim = Simulator::new(net);
         sim.run_until(Time::from_millis(100));
-        let gp = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(20), Time::from_millis(100));
+        let gp = goodput_gbps(
+            &sim.stats,
+            EntityId(1),
+            Time::from_millis(20),
+            Time::from_millis(100),
+        );
         assert!(
             (lo..=hi).contains(&gp),
             "mode {mode:?}: got {gp} Gbps, want in [{lo}, {hi}]"
@@ -410,8 +457,12 @@ fn flow_count_does_not_change_entity_shares() {
             pq_limit_bytes: PQ_LIMIT,
         },
     );
-    let ga = ctl.request(weighted_request(CcPolicy::DropBased)).expect("grant");
-    let gb = ctl.request(weighted_request(CcPolicy::DropBased)).expect("grant");
+    let ga = ctl
+        .request(weighted_request(CcPolicy::DropBased))
+        .expect("grant");
+    let gb = ctl
+        .request(weighted_request(CcPolicy::DropBased))
+        .expect("grant");
     let mut pipe = AqPipeline::new();
     ctl.deploy_all(&mut pipe);
     let mut net = d.net;
@@ -445,8 +496,18 @@ fn flow_count_does_not_change_entity_shares() {
     );
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(400));
-    let a = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(100), Time::from_millis(400));
-    let b = goodput_gbps(&sim.stats, EntityId(2), Time::from_millis(100), Time::from_millis(400));
+    let a = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(100),
+        Time::from_millis(400),
+    );
+    let b = goodput_gbps(
+        &sim.stats,
+        EntityId(2),
+        Time::from_millis(100),
+        Time::from_millis(400),
+    );
     let ratio = a.min(b) / a.max(b);
     assert!(
         ratio > 0.75,

@@ -2,16 +2,18 @@
 //! simulator — these are full substrates, not mocks, so they get the same
 //! black-box treatment as AQ.
 
-use augmented_queue::baselines::{ClassKey, Classify, DrrQueue, ElasticSwitch, HtbShaper, VmConfig};
+use augmented_queue::baselines::{
+    ClassKey, Classify, DrrQueue, ElasticSwitch, HtbShaper, VmConfig,
+};
+use augmented_queue::netsim::packet::AqTag;
 use augmented_queue::netsim::queue::FifoConfig;
 use augmented_queue::netsim::time::{Duration, Rate, Time};
 use augmented_queue::netsim::topology::{dumbbell, NetBuilder};
 use augmented_queue::netsim::{EntityId, FlowId, Simulator};
+use augmented_queue::transport::DelaySignal;
+use augmented_queue::transport::FlowKind;
 use augmented_queue::transport::{CcAlgo, FlowSpec, TransportHost};
 use augmented_queue::workloads::{add_flows, ensure_transport_hosts, goodput_gbps, long_flows};
-use augmented_queue::transport::FlowKind;
-use augmented_queue::netsim::packet::AqTag;
-use augmented_queue::transport::DelaySignal;
 
 #[test]
 fn htb_shaper_holds_udp_to_its_class_rate() {
@@ -48,7 +50,12 @@ fn htb_shaper_holds_udp_to_its_class_rate() {
     );
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(100));
-    let g = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(20), Time::from_millis(100));
+    let g = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(20),
+        Time::from_millis(100),
+    );
     // 2 Gbps wire = 1.887 Gbps payload.
     assert!((1.8..=1.95).contains(&g), "shaped to {g} Gbps, want ~1.89");
 }
@@ -87,7 +94,12 @@ fn htb_tcp_fills_its_class_rate() {
     );
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(200));
-    let g = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(50), Time::from_millis(200));
+    let g = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(50),
+        Time::from_millis(200),
+    );
     assert!((2.4..=2.9).contains(&g), "TCP through 3G shaper got {g}");
 }
 
@@ -136,7 +148,12 @@ fn elastic_switch_reallocates_toward_demand_within_15ms_epochs() {
     let mut sim = Simulator::new(net);
     sim.add_agent(Box::new(ElasticSwitch::new(cfgs)));
     sim.run_until(Time::from_millis(300));
-    let g = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(150), Time::from_millis(300));
+    let g = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(150),
+        Time::from_millis(300),
+    );
     assert!(
         g > 6.5,
         "work-conserving DRL should lift the active VM beyond its 5G guarantee: {g}"
@@ -185,7 +202,13 @@ fn drr_equalizes_flows_that_a_fifo_would_not() {
     let mut net = b.build();
     ensure_transport_hosts(&mut net);
     let mut host_a = TransportHost::new(a);
-    host_a.add_flow(FlowSpec::long_tcp(FlowId(1), EntityId(1), a, dst, CcAlgo::Cubic));
+    host_a.add_flow(FlowSpec::long_tcp(
+        FlowId(1),
+        EntityId(1),
+        a,
+        dst,
+        CcAlgo::Cubic,
+    ));
     net.set_app(a, Box::new(host_a));
     let mut host_c = TransportHost::new(c);
     for i in 0..7 {
@@ -200,8 +223,18 @@ fn drr_equalizes_flows_that_a_fifo_would_not() {
     net.set_app(c, Box::new(host_c));
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(300));
-    let ga = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(100), Time::from_millis(300));
-    let gc = goodput_gbps(&sim.stats, EntityId(2), Time::from_millis(100), Time::from_millis(300));
+    let ga = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(100),
+        Time::from_millis(300),
+    );
+    let gc = goodput_gbps(
+        &sim.stats,
+        EntityId(2),
+        Time::from_millis(100),
+        Time::from_millis(300),
+    );
     assert!(ga + gc > 8.0, "link utilized: {ga} + {gc}");
     let share = gc / (ga + gc);
     assert!(

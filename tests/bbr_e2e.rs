@@ -41,7 +41,12 @@ fn bbr_saturates_a_plain_bottleneck() {
     );
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(200));
-    let g = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(50), Time::from_millis(200));
+    let g = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(50),
+        Time::from_millis(200),
+    );
     assert!(g > 8.0, "BBR should fill the 10 Gbps link: {g}");
     // BBR's model keeps the queue bounded well below taildrop depth.
     let p95 = sim
@@ -105,7 +110,12 @@ fn bbr_converges_to_its_aq_allocation() {
     );
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(300));
-    let gp = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(100), Time::from_millis(300));
+    let gp = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(100),
+        Time::from_millis(300),
+    );
     assert!(
         (3.0..=4.0).contains(&gp),
         "BBR entity should converge near its 4 Gbps allocation (3.77 payload): {gp}"

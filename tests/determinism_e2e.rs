@@ -1,0 +1,108 @@
+//! Same seed ⇒ byte-identical run.
+//!
+//! The repository's reproducibility contract, checked end to end: two
+//! executions of the same full-stack AQ scenario with the same seed must
+//! produce *identical* statistics — not statistically similar, identical.
+//! The digest covers the Debug rendering of the entire [`StatsHub`]
+//! (per-entity byte/packet/drop/mark counters, delay percentiles,
+//! windowed throughput) plus the processed-event count, so any divergence
+//! anywhere in the event stream shows up.
+//!
+//! Everything that could break this is policed elsewhere: the
+//! `no-os-entropy` / `no-wall-clock` / `no-hash-collections` lint rules
+//! (tests/static_analysis.rs) ban the sources of host-dependent state,
+//! and the vendored `rand` has no entropy-based constructors at all.
+
+use augmented_queue::core::{
+    AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
+};
+use augmented_queue::netsim::packet::AqTag;
+use augmented_queue::netsim::queue::FifoConfig;
+use augmented_queue::netsim::time::{Duration, Rate, Time};
+use augmented_queue::netsim::topology::dumbbell;
+use augmented_queue::netsim::{EntityId, Simulator};
+use augmented_queue::transport::{CcAlgo, DelaySignal, FlowKind};
+use augmented_queue::workloads::{add_flows, ensure_transport_hosts, long_flows};
+
+/// Run a mixed UDP + CUBIC dumbbell scenario under AQ and digest every
+/// observable statistic.
+fn run_digest(seed: u64) -> String {
+    let d = dumbbell(
+        2,
+        Rate::from_gbps(10),
+        Duration::from_micros(10),
+        FifoConfig::default(),
+    );
+    let mut ctl = AqController::new(
+        Rate::from_gbps(10),
+        LimitPolicy::MatchPhysicalQueue {
+            pq_limit_bytes: 200_000,
+        },
+    );
+    let request = |cc| AqRequest {
+        demand: BandwidthDemand::Weighted(1),
+        cc,
+        position: Position::Ingress,
+        limit_override: None,
+    };
+    let g_udp = ctl.request(request(CcPolicy::DropBased)).expect("grant");
+    let g_tcp = ctl.request(request(CcPolicy::DropBased)).expect("grant");
+    let mut pipe = AqPipeline::new();
+    ctl.deploy_all(&mut pipe);
+    let mut net = d.net;
+    net.add_pipeline(d.sw_left, Box::new(pipe));
+    ensure_transport_hosts(&mut net);
+    add_flows(
+        &mut net,
+        long_flows(
+            EntityId(1),
+            &[(d.left[0], d.right[0])],
+            1,
+            FlowKind::Udp {
+                rate: Rate::from_gbps(10),
+            },
+            g_udp.id,
+            AqTag::NONE,
+            DelaySignal::MeasuredRtt,
+            1,
+        ),
+    );
+    add_flows(
+        &mut net,
+        long_flows(
+            EntityId(2),
+            &[(d.left[1], d.right[1])],
+            4,
+            FlowKind::Tcp(CcAlgo::Cubic),
+            g_tcp.id,
+            AqTag::NONE,
+            DelaySignal::MeasuredRtt,
+            100,
+        ),
+    );
+    let mut sim = Simulator::new(net);
+    sim.set_seed(seed);
+    sim.run_until(Time::from_millis(60));
+    format!(
+        "events={} now={:?} stats={:?}",
+        sim.processed_events,
+        sim.now(),
+        sim.stats
+    )
+}
+
+#[test]
+fn same_seed_same_bytes() {
+    let a = run_digest(0x5176_0001);
+    let b = run_digest(0x5176_0001);
+    assert_eq!(a, b, "two same-seed runs diverged");
+}
+
+#[test]
+fn different_seed_different_jitter_stream() {
+    // Sanity check that the digest is sensitive enough to notice change:
+    // a different seed perturbs forwarding jitter and must show up.
+    let a = run_digest(0x5176_0001);
+    let b = run_digest(0x0BAD_CAFE);
+    assert_ne!(a, b, "digest failed to register a seed change");
+}

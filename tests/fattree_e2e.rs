@@ -26,9 +26,7 @@ fn ecmp_spreads_an_entity_across_core_paths() {
     );
     let mut net = ft.net;
     ensure_transport_hosts(&mut net);
-    let pairs: Vec<_> = (0..4)
-        .map(|i| (ft.hosts[i], ft.hosts[12 + i]))
-        .collect();
+    let pairs: Vec<_> = (0..4).map(|i| (ft.hosts[i], ft.hosts[12 + i])).collect();
     add_flows(
         &mut net,
         long_flows(
@@ -58,7 +56,12 @@ fn ecmp_spreads_an_entity_across_core_paths() {
         active_cores >= 3,
         "ECMP should engage most core switches, got {active_cores}/4"
     );
-    let g = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(10), Time::from_millis(50));
+    let g = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(10),
+        Time::from_millis(50),
+    );
     assert!(g > 8.0, "multipath aggregate should exceed one path: {g}");
 }
 
@@ -109,10 +112,18 @@ fn edge_aq_limits_an_entity_across_all_its_ecmp_paths() {
     );
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(200));
-    let gp = goodput_gbps(&sim.stats, EntityId(1), Time::from_millis(50), Time::from_millis(200));
+    let gp = goodput_gbps(
+        &sim.stats,
+        EntityId(1),
+        Time::from_millis(50),
+        Time::from_millis(200),
+    );
     assert!(
         (2.2..=2.9).contains(&gp),
         "entity limited to ~2.83 Gbps payload across all paths, got {gp}"
     );
-    assert!(sim.net.pipeline_drops(ft.edge[0]) > 0, "AQ enforced at the ToR");
+    assert!(
+        sim.net.pipeline_drops(ft.edge[0]) > 0,
+        "AQ enforced at the ToR"
+    );
 }

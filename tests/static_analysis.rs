@@ -1,0 +1,130 @@
+//! Tier-1 gate for the determinism lint engine (`crates/analysis`).
+//!
+//! Two halves:
+//!
+//! 1. the whole workspace tree must be lint-clean — any new use of a
+//!    banned nondeterminism pattern fails CI here with a `file:line`
+//!    diagnostic unless explicitly sanctioned with
+//!    `// aq-lint: allow(<rule>)`;
+//! 2. a fixture self-test proving the engine itself works: for every rule
+//!    there is a fixture in `crates/analysis/fixtures/` whose
+//!    `expect-lint:`-tagged lines must each produce exactly that
+//!    diagnostic, and whose `aq-lint: allow(...)` lines must produce
+//!    none. A rule that silently stopped firing (or an escape hatch that
+//!    stopped suppressing) fails this test, so the clean-tree check in
+//!    part 1 cannot rot into a no-op.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use aq_analysis::rules::RULES;
+use aq_analysis::{lint_file, lint_workspace};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_tree_is_lint_clean() {
+    let diags = lint_workspace(workspace_root()).expect("workspace walk failed");
+    assert!(
+        diags.is_empty(),
+        "determinism lint violations (sanction intentional ones with \
+         `// aq-lint: allow(<rule>)`):\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// (fixture file, rule under test, synthetic in-scope path to lint as).
+const FIXTURES: &[(&str, &str, &str)] = &[
+    (
+        "no_hash_collections.rs",
+        "no-hash-collections",
+        "crates/core/src/fixture.rs",
+    ),
+    ("no_wall_clock.rs", "no-wall-clock", "src/fixture.rs"),
+    (
+        "no_os_entropy.rs",
+        "no-os-entropy",
+        "crates/workloads/src/fixture.rs",
+    ),
+    (
+        "no_float_eq.rs",
+        "no-float-eq",
+        "crates/netsim/src/fixture.rs",
+    ),
+    (
+        "no_narrowing_cast.rs",
+        "no-narrowing-cast",
+        "crates/netsim/src/fixture.rs",
+    ),
+];
+
+#[test]
+fn every_rule_has_a_fixture() {
+    let covered: BTreeSet<&str> = FIXTURES.iter().map(|(_, rule, _)| *rule).collect();
+    for rule in RULES {
+        assert!(
+            covered.contains(rule.name),
+            "rule `{}` has no fixture in crates/analysis/fixtures/",
+            rule.name
+        );
+    }
+}
+
+#[test]
+fn fixtures_fire_exactly_on_tagged_lines_and_escapes_suppress() {
+    for (file, rule, lint_as) in FIXTURES {
+        let path = workspace_root().join("crates/analysis/fixtures").join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+
+        // Lines tagged `expect-lint: <rule>` are the expected diagnostics.
+        let expected: BTreeSet<(usize, String)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains(&format!("expect-lint: {rule}")))
+            .map(|(i, _)| (i + 1, (*rule).to_string()))
+            .collect();
+        assert!(
+            !expected.is_empty(),
+            "{file}: fixture has no `expect-lint: {rule}` lines"
+        );
+
+        // Every fixture must also demonstrate the escape hatch, both
+        // trailing and standalone-preceding.
+        let escapes = text.matches("aq-lint: allow(").count();
+        assert!(
+            escapes >= 2,
+            "{file}: expected at least two `aq-lint: allow(...)` escapes, found {escapes}"
+        );
+
+        let actual: BTreeSet<(usize, String)> = lint_file(lint_as, &text)
+            .into_iter()
+            .map(|d| (d.line, d.rule))
+            .collect();
+
+        let missing: Vec<_> = expected.difference(&actual).collect();
+        let unexpected: Vec<_> = actual.difference(&expected).collect();
+        assert!(
+            missing.is_empty() && unexpected.is_empty(),
+            "{file} linted as {lint_as}:\n  rule did not fire on: {missing:?}\n  \
+             unexpected diagnostics (escape hatch broken or cross-rule noise): {unexpected:?}"
+        );
+    }
+}
+
+#[test]
+fn diagnostics_are_ordered_and_positioned() {
+    // The engine's output must be deterministic: (path, line) ordered, so
+    // CI diffs are stable run to run.
+    let diags = lint_workspace(workspace_root()).expect("workspace walk failed");
+    let keys: Vec<(&str, usize)> = diags.iter().map(|d| (d.path.as_str(), d.line)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "diagnostics are not in (path, line) order");
+}

@@ -9,8 +9,17 @@ use augmented_queue::netsim::{EntityId, FlowId, Simulator};
 use augmented_queue::transport::{CcAlgo, FlowSpec, TransportHost};
 
 /// One long flow per left/right host pair, all sharing the core link.
-fn run_long_flows(ccs: &[CcAlgo], secs_ms: u64, core_fifo: FifoConfig) -> (Simulator, Vec<EntityId>) {
-    let d = dumbbell(ccs.len(), Rate::from_gbps(10), Duration::from_micros(10), core_fifo);
+fn run_long_flows(
+    ccs: &[CcAlgo],
+    secs_ms: u64,
+    core_fifo: FifoConfig,
+) -> (Simulator, Vec<EntityId>) {
+    let d = dumbbell(
+        ccs.len(),
+        Rate::from_gbps(10),
+        Duration::from_micros(10),
+        core_fifo,
+    );
     let mut sim = Simulator::new(d.net);
     let mut entities = Vec::new();
     for (i, cc) in ccs.iter().enumerate() {
@@ -19,7 +28,13 @@ fn run_long_flows(ccs: &[CcAlgo], secs_ms: u64, core_fifo: FifoConfig) -> (Simul
         let entity = EntityId(i as u32 + 1);
         entities.push(entity);
         let mut host = TransportHost::new(src);
-        host.add_flow(FlowSpec::long_tcp(FlowId(i as u32 + 1), entity, src, dst, *cc));
+        host.add_flow(FlowSpec::long_tcp(
+            FlowId(i as u32 + 1),
+            entity,
+            src,
+            dst,
+            *cc,
+        ));
         sim.net.set_app(src, Box::new(host));
         sim.net.set_app(dst, Box::new(TransportHost::new(dst)));
     }
@@ -42,14 +57,24 @@ fn goodput_gbps(sim: &Simulator, e: EntityId, from_ms: u64, to_ms: u64) -> f64 {
 fn single_cubic_flow_saturates_the_bottleneck() {
     let (sim, es) = run_long_flows(&[CcAlgo::Cubic], 100, FifoConfig::default());
     let g = goodput_gbps(&sim, es[0], 20, 100);
-    assert!(g > 8.5, "goodput {g} Gbps should approach 10 Gbps line rate");
+    assert!(
+        g > 8.5,
+        "goodput {g} Gbps should approach 10 Gbps line rate"
+    );
 }
 
 #[test]
 fn single_dctcp_flow_saturates_with_ecn() {
-    let (sim, es) = run_long_flows(&[CcAlgo::Dctcp], 100, FifoConfig::with_ecn(1_000_000, 65_000));
+    let (sim, es) = run_long_flows(
+        &[CcAlgo::Dctcp],
+        100,
+        FifoConfig::with_ecn(1_000_000, 65_000),
+    );
     let g = goodput_gbps(&sim, es[0], 20, 100);
-    assert!(g > 8.5, "goodput {g} Gbps should approach 10 Gbps line rate");
+    assert!(
+        g > 8.5,
+        "goodput {g} Gbps should approach 10 Gbps line rate"
+    );
 }
 
 #[test]
@@ -65,8 +90,17 @@ fn single_swift_flow_saturates_with_low_delay() {
     assert!(g > 8.0, "goodput {g} Gbps should approach line rate");
     // Swift should keep queuing delay near its target, far below what a
     // loss-based flow would build in a 1 MB buffer (= 800 us at 10 Gbps).
-    let p95 = sim.stats.entity(es[0]).unwrap().pq_delay.percentile(95.0).unwrap();
-    assert!(p95 < 400_000, "p95 queuing delay {p95} ns should stay near target");
+    let p95 = sim
+        .stats
+        .entity(es[0])
+        .unwrap()
+        .pq_delay
+        .percentile(95.0)
+        .unwrap();
+    assert!(
+        p95 < 400_000,
+        "p95 queuing delay {p95} ns should stay near target"
+    );
 }
 
 #[test]
@@ -83,7 +117,10 @@ fn two_newreno_flows_share_fairly() {
     let b = goodput_gbps(&sim, es[1], 100, 400);
     assert!(a + b > 8.5, "sum {a}+{b} should fill the link");
     let ratio = a.min(b) / a.max(b);
-    assert!(ratio > 0.5, "long-run NewReno fairness {ratio} ({a} vs {b})");
+    assert!(
+        ratio > 0.5,
+        "long-run NewReno fairness {ratio} ({a} vs {b})"
+    );
 }
 
 #[test]
@@ -107,7 +144,12 @@ fn dctcp_starves_cubic_in_a_shared_ecn_queue() {
 
 #[test]
 fn finite_flow_completes_and_reports_fct() {
-    let d = dumbbell(1, Rate::from_gbps(10), Duration::from_micros(10), FifoConfig::default());
+    let d = dumbbell(
+        1,
+        Rate::from_gbps(10),
+        Duration::from_micros(10),
+        FifoConfig::default(),
+    );
     let src = d.left[0];
     let dst = d.right[0];
     let mut sim = Simulator::new(d.net);
@@ -144,8 +186,20 @@ fn loss_is_recovered_through_a_tiny_buffer() {
     let sw_l = b.add_switch();
     let sw_r = b.add_switch();
     let big = FifoConfig::default();
-    b.connect_symmetric(src, sw_l, Rate::from_gbps(40), Duration::from_micros(2), big);
-    b.connect_symmetric(dst, sw_r, Rate::from_gbps(40), Duration::from_micros(2), big);
+    b.connect_symmetric(
+        src,
+        sw_l,
+        Rate::from_gbps(40),
+        Duration::from_micros(2),
+        big,
+    );
+    b.connect_symmetric(
+        dst,
+        sw_r,
+        Rate::from_gbps(40),
+        Duration::from_micros(2),
+        big,
+    );
     b.connect_symmetric(
         sw_l,
         sw_r,
@@ -181,7 +235,12 @@ fn loss_is_recovered_through_a_tiny_buffer() {
 #[test]
 fn udp_starves_tcp_through_a_shared_queue() {
     use augmented_queue::netsim::topology::star;
-    let s = star(3, Rate::from_gbps(10), Duration::from_micros(10), FifoConfig::default());
+    let s = star(
+        3,
+        Rate::from_gbps(10),
+        Duration::from_micros(10),
+        FifoConfig::default(),
+    );
     let mut sim = Simulator::new(s.net);
     // Host 0 and 1 both send to host 2: UDP at line rate vs CUBIC.
     let mut h0 = TransportHost::new(s.hosts[0]);
@@ -202,7 +261,8 @@ fn udp_starves_tcp_through_a_shared_queue() {
     ));
     sim.net.set_app(s.hosts[0], Box::new(h0));
     sim.net.set_app(s.hosts[1], Box::new(h1));
-    sim.net.set_app(s.hosts[2], Box::new(TransportHost::new(s.hosts[2])));
+    sim.net
+        .set_app(s.hosts[2], Box::new(TransportHost::new(s.hosts[2])));
     sim.run_until(Time::from_millis(100));
     let udp = goodput_gbps(&sim, EntityId(1), 20, 100);
     let tcp = goodput_gbps(&sim, EntityId(2), 20, 100);

@@ -1,0 +1,156 @@
+//! Vendored, dependency-free subset of the `criterion` 0.5 bench API.
+//!
+//! The build environment has no access to crates.io (see
+//! `vendor/README.md`), so this crate provides the slice of criterion the
+//! `aq-bench` micro-benchmarks use: groups, throughput annotation,
+//! `bench_function`, and `Bencher::iter`, with median-of-samples
+//! plain-text reporting. No plotting, no statistical regression analysis.
+//!
+//! This is bench-only code: it is the one place in the workspace allowed
+//! to read the wall clock (see the `no-wall-clock` rule in
+//! `crates/analysis`, which exempts bench code wholesale).
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+            sample_size: 30,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples taken per benchmark (default 30).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        let mut samples = b.samples_ns;
+        if samples.is_empty() {
+            println!("  {id:<28} <no iterations>");
+            return self;
+        }
+        samples.sort_unstable_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / median * 1e9 / 1e6),
+            Throughput::Bytes(n) => {
+                format!(" ({:.1} MiB/s)", n as f64 / median * 1e9 / (1 << 20) as f64)
+            }
+        });
+        println!(
+            "  {id:<28} median {:>12.1} ns/iter over {} samples{}",
+            median,
+            samples.len(),
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Finish the group (reporting already happened incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly: a warmup batch first, then `sample_size`
+    /// timed batches, each batch sized so it runs long enough to be
+    /// observable above timer resolution.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and batch-size calibration: aim for ~1 ms per batch.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            if elapsed > 1_000_000 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / batch as f64);
+        }
+    }
+}
+
+/// Group several bench functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

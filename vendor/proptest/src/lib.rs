@@ -1,0 +1,416 @@
+//! Vendored, dependency-free subset of the `proptest` 1.x API.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the slice of `proptest` its property tests actually use (see
+//! `vendor/README.md`). Differences from upstream, all in the direction of
+//! *determinism*:
+//!
+//! * Case generation is seeded from a hash of the test's module path and
+//!   name — every run of every machine explores the identical case
+//!   sequence. There is no OS entropy anywhere.
+//! * There is no shrinking. A failing case reports its full `Debug`
+//!   rendering and its case index; rerunning reproduces it exactly.
+//! * `.proptest-regressions` files are tolerated but not consumed (their
+//!   `cc` hashes are meaningful only to upstream proptest's generator).
+//!   They remain in-tree so switching back to upstream replays them.
+//!
+//! Supported surface: `proptest!` (with optional `#![proptest_config]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, `prop_oneof!`,
+//! range and tuple strategies, `Just`, `any`, `prop::collection::vec`,
+//! `Strategy::prop_map`/`boxed`, and `ProptestConfig::with_cases`.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+pub mod strategy;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy, Union};
+
+/// Deterministic generator driving case generation (xoshiro256++ seeded
+/// with SplitMix64, the same construction as the vendored `rand`).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator seeded from an arbitrary label (e.g. the test name), so
+    /// each test explores its own — but fixed — case sequence.
+    pub fn from_label(label: &str) -> TestRng {
+        // FNV-1a over the label, then SplitMix64 expansion.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// A generator from a numeric seed.
+    pub fn from_seed(mut state: u64) -> TestRng {
+        let mut s = [0u64; 4];
+        for word in s.iter_mut() {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            *word = z;
+        }
+        if s == [0; 4] {
+            s = [1, 0, 0, 0];
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, span)`; `span` must be positive.
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "empty sampling span");
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A failed property (returned by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default; override per-block with `with_cases` or
+        // globally with the PROPTEST_CASES environment variable.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+
+    /// Effective case count (environment override wins).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Run one property: generate `cases` inputs from `strat`, run `body` on
+/// each, and panic with full context on the first failure. This is the
+/// engine behind the `proptest!` macro.
+pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strat: &S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+    S::Value: Debug,
+{
+    let cases = config.effective_cases();
+    let mut rng = TestRng::from_label(name);
+    for case in 0..cases {
+        let value = strat.generate(&mut rng);
+        let rendering = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "proptest: property `{name}` failed at case {case}/{cases}: {e}\n  input: {rendering}"
+            ),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                panic!(
+                    "proptest: property `{name}` panicked at case {case}/{cases}: {msg}\n  input: {rendering}"
+                )
+            }
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection` in upstream paths).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of `elem` with a length drawn from
+    /// `size`. See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy with element strategy `elem` and length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec length range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs, via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+
+    /// Mirror of upstream's `prelude::prop` module path alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a property, failing the case (with formatted
+/// context) rather than panicking, so the harness can report the input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Assert two expressions differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)) => {};
+    (@with_config ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strat = ($($strat,)+);
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                &strat,
+                |($($arg,)+)| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+// ---- Range strategies (defined here so `strategy` stays focused) ----
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation_per_label() {
+        let s = crate::collection::vec(0u64..100, 1..10);
+        let mut a = crate::TestRng::from_label("x");
+        let mut b = crate::TestRng::from_label("x");
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u64..20, w in -5i64..5) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((-5..5).contains(&w));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(xs in prop::collection::vec(0u32..10, 3..7)) {
+            prop_assert!((3..7).contains(&xs.len()));
+            for x in xs {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn prop_map_and_oneof_compose(
+            v in prop_oneof![
+                (0u64..10).prop_map(|x| x * 2),
+                (100u64..110).prop_map(|x| x + 1),
+            ]
+        ) {
+            prop_assert!(v % 2 == 0 && v < 20 || (101..111).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_is_honored(b in any::<bool>()) {
+            let _ = b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input:")]
+    fn failing_property_reports_input() {
+        crate::run_property(
+            "demo",
+            &ProptestConfig::with_cases(5),
+            &(0u64..10,),
+            |(v,)| {
+                prop_assert!(v > 100, "v was {v}");
+                Ok(())
+            },
+        );
+    }
+}
