@@ -10,7 +10,7 @@
 
 use aq_netsim::ids::FlowId;
 use aq_netsim::packet::Packet;
-use aq_netsim::queue::{Enqueued, QueueDiscipline};
+use aq_netsim::queue::{DropCause, Enqueued, QueueDiscipline};
 use aq_netsim::time::Time;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -58,7 +58,7 @@ impl QueueDiscipline for DrrQueue {
     fn enqueue(&mut self, now: Time, pkt: Packet) -> Enqueued {
         if self.backlog + pkt.size as u64 > self.limit_bytes {
             self.drops += 1;
-            return Enqueued::Dropped(pkt);
+            return Enqueued::Dropped(pkt, DropCause::Taildrop);
         }
         let flow = pkt.flow;
         let f = self.flows.entry(flow).or_default();
@@ -201,7 +201,7 @@ mod tests {
         assert!(matches!(q.enqueue(Time::ZERO, pkt(2, 1000)), Enqueued::Ok));
         assert!(matches!(
             q.enqueue(Time::ZERO, pkt(3, 1000)),
-            Enqueued::Dropped(_)
+            Enqueued::Dropped(_, DropCause::Taildrop)
         ));
         assert_eq!(q.drops, 1);
     }

@@ -11,7 +11,7 @@
 
 use aq_netsim::ids::{EntityId, NodeId};
 use aq_netsim::packet::Packet;
-use aq_netsim::queue::{Enqueued, QueueDiscipline};
+use aq_netsim::queue::{DropCause, Enqueued, QueueDiscipline};
 use aq_netsim::time::{Duration, Rate, Time, NS_PER_SEC};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -209,14 +209,14 @@ impl QueueDiscipline for HtbShaper {
         // A packet larger than the bucket burst could never be released
         // and would wedge its class; configure burst >= MTU.
         if pkt.size as u64 > self.burst_bytes {
-            return Enqueued::Dropped(pkt);
+            return Enqueued::Dropped(pkt, DropCause::Shaper);
         }
         let key = self.key_for(&pkt);
         let limit = self.per_class_limit;
         let class = self.class_mut(key);
         if class.backlog + pkt.size as u64 > limit {
             class.drops += 1;
-            return Enqueued::Dropped(pkt);
+            return Enqueued::Dropped(pkt, DropCause::Shaper);
         }
         class.backlog += pkt.size as u64;
         class.queue.push_back((pkt, now));
@@ -361,7 +361,7 @@ mod tests {
         assert!(matches!(s.enqueue(Time::ZERO, pkt(1, 2)), Enqueued::Ok));
         assert!(matches!(
             s.enqueue(Time::ZERO, pkt(1, 2)),
-            Enqueued::Dropped(_)
+            Enqueued::Dropped(_, DropCause::Shaper)
         ));
     }
 

@@ -11,7 +11,7 @@
 
 use aq_netsim::ids::EntityId;
 use aq_netsim::packet::Packet;
-use aq_netsim::queue::{Enqueued, QueueDiscipline};
+use aq_netsim::queue::{DropCause, Enqueued, QueueDiscipline};
 use aq_netsim::time::Time;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -79,7 +79,7 @@ impl QueueDiscipline for WfqQueue {
     fn enqueue(&mut self, now: Time, pkt: Packet) -> Enqueued {
         if self.backlog + pkt.size as u64 > self.limit_bytes {
             self.drops += 1;
-            return Enqueued::Dropped(pkt);
+            return Enqueued::Dropped(pkt, DropCause::Taildrop);
         }
         self.backlog += pkt.size as u64;
         let entity = pkt.entity;
@@ -199,7 +199,7 @@ mod tests {
         assert!(matches!(q.enqueue(Time::ZERO, pkt(2, 1000)), Enqueued::Ok));
         assert!(matches!(
             q.enqueue(Time::ZERO, pkt(3, 1000)),
-            Enqueued::Dropped(_)
+            Enqueued::Dropped(_, DropCause::Taildrop)
         ));
         assert_eq!(q.drops, 1);
     }

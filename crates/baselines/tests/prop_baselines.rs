@@ -114,7 +114,7 @@ proptest! {
             p.uid = uid as u64;
             match q.enqueue(Time::ZERO, p) {
                 Enqueued::Ok => enqueued.entry(*f).or_default().push(uid as u64),
-                Enqueued::Dropped(_) => unreachable!("limit is huge"),
+                Enqueued::Dropped(..) => unreachable!("limit is huge"),
             }
         }
         let mut dequeued: BTreeMap<u32, Vec<u64>> = BTreeMap::new();

@@ -11,6 +11,7 @@
 //! so the small entity cannot even hold a burst of two segments.
 
 use aq_bench::report;
+use aq_bench::report::RunReport;
 use aq_core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
@@ -25,7 +26,7 @@ use aq_workloads::{add_flows, ensure_transport_hosts, goodput_gbps, long_flows};
 
 const PQ_LIMIT: u64 = 200_000;
 
-fn run(policy: LimitPolicy) -> (f64, u64) {
+fn run(policy: LimitPolicy, label: &str, rep: &mut RunReport) -> (f64, u64) {
     let d = dumbbell(
         2,
         Rate::from_gbps(10),
@@ -92,6 +93,7 @@ fn run(policy: LimitPolicy) -> (f64, u64) {
         Time::from_millis(400),
     );
     let drops = sim.stats.entity(EntityId(1)).map(|e| e.drops).unwrap_or(0);
+    rep.capture(label, &mut sim);
     (small, drops)
 }
 
@@ -124,13 +126,15 @@ fn main() {
             },
         ),
     ];
+    let mut rep = RunReport::new("ablation_limit_policy");
     for (name, policy) in cases {
-        let (gbps, drops) = run(policy);
+        let (gbps, drops) = run(policy, name, &mut rep);
         report::row(
             &[name.to_string(), format!("{gbps:.3}"), format!("{drops}")],
             &widths,
         );
     }
+    rep.write().expect("write run report");
     report::note(
         "expected: the 100 Mbps entity reaches ~0.094 Gbps payload under MatchPhysicalQueue; \
          a proportional limit without a floor (2 KB here, under two packets) causes excess \

@@ -8,6 +8,7 @@
 //! Both must still protect B once it becomes active.
 
 use aq_bench::report;
+use aq_bench::report::RunReport;
 use aq_core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
     ReallocatorConfig, WorkConservation, WorkConservingReallocator,
@@ -32,7 +33,7 @@ enum Mode {
     Reallocate,
 }
 
-fn run(mode: Mode) -> Vec<(f64, f64)> {
+fn run(mode: Mode, label: &str, rep: &mut RunReport) -> Vec<(f64, f64)> {
     let d = dumbbell(
         2,
         Rate::from_gbps(10),
@@ -139,6 +140,7 @@ fn run(mode: Mode) -> Vec<(f64, f64)> {
             goodput_gbps(&sim.stats, EntityId(2), t0, t1),
         ));
     }
+    rep.capture(label, &mut sim);
     out
 }
 
@@ -147,6 +149,7 @@ fn main() {
         "Ablation: work conservation (§6)",
         "entity A active throughout; entity B joins at 0.3 s (equal 5 Gbps shares)",
     );
+    let mut rep = RunReport::new("ablation_work_conservation");
     for (name, mode) in [
         ("strict AQ", Mode::Strict),
         ("bypass-when-idle", Mode::Bypass),
@@ -155,7 +158,7 @@ fn main() {
         println!("\n{name}: per-100ms window throughput (A / B, Gbps)");
         let widths = [8, 12, 12];
         report::header(&["window", "A", "B"], &widths);
-        for (w, (a, b)) in run(mode).iter().enumerate() {
+        for (w, (a, b)) in run(mode, name, &mut rep).iter().enumerate() {
             report::row(
                 &[
                     format!("{:.1}s", (w as f64 + 1.0) * 0.1),
@@ -166,6 +169,7 @@ fn main() {
             );
         }
     }
+    rep.write().expect("write run report");
     report::note(
         "expected: strict pins A at ~4.7 before and after B joins; both conservation \
          modes let A reach ~9.4 while B is idle, then return to ~4.7 each",

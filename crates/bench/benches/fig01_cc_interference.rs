@@ -9,6 +9,7 @@
 //! dominates loss-based ones, and the delay-based algorithm starves
 //! against everyone.
 
+use aq_bench::report::RunReport;
 use aq_bench::{
     build_dumbbell, report, steady_goodput, Approach, EntitySetup, ExpConfig, LongKind, Traffic,
 };
@@ -37,6 +38,7 @@ fn main() {
     ];
     let widths = [22, 12, 12];
     report::header(&["pair", "first Gbps", "second Gbps"], &widths);
+    let mut rep = RunReport::new("fig01_cc_interference");
     for (a, b) in pairs {
         let entities = vec![
             EntitySetup {
@@ -86,7 +88,9 @@ fn main() {
             ],
             &widths,
         );
+        rep.capture(&format!("{}+{}", a.name(), b.name()), &mut exp.sim);
     }
+    rep.write().expect("write run report");
     report::paper_row(
         "CUBIC+DCTCP",
         "0.7 + 8.7 Gbps (ECN-based starves loss-based)",

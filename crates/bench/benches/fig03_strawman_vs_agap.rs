@@ -13,6 +13,7 @@
 //! turns positive, then overcorrects far below the allocated rate.
 
 use aq_bench::report;
+use aq_bench::report::RunReport;
 use aq_core::gap::{AGap, DGap};
 use aq_netsim::time::{Rate, Time};
 
@@ -82,6 +83,21 @@ fn main() {
     }
     let d_growth = d_peaks.last().unwrap() / d_peaks.first().unwrap();
     let a_growth = a_peaks.last().unwrap() / a_peaks.first().unwrap();
+    let mut rep = RunReport::new("fig03_strawman_vs_agap");
+    for (label, peaks, growth) in [
+        ("strawman_dt", &d_peaks, d_growth),
+        ("agap_at", &a_peaks, a_growth),
+    ] {
+        let mut metrics: Vec<(String, f64)> = peaks
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (format!("peak_r{i}_gbps"), *p))
+            .collect();
+        metrics.push(("growth_rlast_over_r0".to_string(), growth));
+        let borrowed: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        rep.capture_metrics(label, &borrowed);
+    }
+    rep.write().expect("write run report");
     println!("  D(t) peak growth r_last/r0 = {d_growth:.2} (surplus banked, escalates)");
     println!("  A(t) peak growth r_last/r0 = {a_growth:.2} (surplus clamped, stable)");
     report::paper_row(

@@ -7,6 +7,7 @@
 //! VM count, while PRL and DRL grow with the VM count because fixed /
 //! lagging per-VM splits cannot follow the arbitrary traffic pattern.
 
+use aq_bench::report::RunReport;
 use aq_bench::{build_dumbbell, report, run_workload, Approach, EntitySetup, ExpConfig, Traffic};
 use aq_netsim::ids::EntityId;
 use aq_netsim::time::Time;
@@ -15,7 +16,7 @@ use aq_transport::CcAlgo;
 const N_FLOWS: usize = 64;
 const SEEDS: [u64; 3] = [1, 2, 3];
 
-fn completion(approach: Approach, n_vms: usize, seed: u64) -> f64 {
+fn completion(approach: Approach, n_vms: usize, seed: u64, rep: &mut RunReport) -> f64 {
     let entities = vec![EntitySetup {
         entity: EntityId(1),
         n_vms,
@@ -35,6 +36,10 @@ fn completion(approach: Approach, n_vms: usize, seed: u64) -> f64 {
         },
     );
     let done = run_workload(&mut exp.sim, &[EntityId(1)], Time::from_secs(20));
+    rep.capture(
+        &format!("{}_vms{}_seed{}", approach.name(), n_vms, seed),
+        &mut exp.sim,
+    );
     done[0].unwrap_or(20.0)
 }
 
@@ -45,16 +50,24 @@ fn main() {
     );
     let widths = [6, 8, 8, 8, 8];
     report::header(&["#VMs", "PQ", "AQ", "PRL", "DRL"], &widths);
+    let mut rep = RunReport::new("fig06_completion_vs_vms");
     for n_vms in [1usize, 2, 4, 8] {
-        let avg = |a: Approach| -> f64 {
-            SEEDS.iter().map(|s| completion(a, n_vms, *s)).sum::<f64>() / SEEDS.len() as f64
+        let rep = &mut rep;
+        let mut avg = |a: Approach| -> f64 {
+            SEEDS
+                .iter()
+                .map(|s| completion(a, n_vms, *s, rep))
+                .sum::<f64>()
+                / SEEDS.len() as f64
         };
-        let pq = avg(Approach::Pq);
+        let avgs: Vec<f64> = Approach::ALL.iter().map(|a| avg(*a)).collect();
+        let pq = avgs[0];
         let cells: Vec<String> = std::iter::once(format!("{n_vms}"))
-            .chain(Approach::ALL.iter().map(|a| format!("{:.2}", avg(*a) / pq)))
+            .chain(avgs.iter().map(|v| format!("{:.2}", v / pq)))
             .collect();
         report::row(&cells, &widths);
     }
+    rep.write().expect("write run report");
     report::paper_row(
         "Fig. 6",
         "AQ ~= PQ = 1.0 at all VM counts; PRL and DRL completion grows with #VMs",

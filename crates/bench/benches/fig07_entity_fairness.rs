@@ -7,6 +7,7 @@
 //! flow-level fair sharing favours the entity with more VMs/flows; PRL
 //! and DRL decay because B's split allocation is underutilized.
 
+use aq_bench::report::RunReport;
 use aq_bench::{build_dumbbell, report, run_workload, Approach, EntitySetup, ExpConfig, Traffic};
 use aq_netsim::ids::EntityId;
 use aq_netsim::stats::minmax_ratio;
@@ -16,7 +17,7 @@ use aq_transport::CcAlgo;
 const N_FLOWS: usize = 64;
 const SEEDS: [u64; 3] = [2, 3, 4];
 
-fn fairness(approach: Approach, b_vms: usize, seed: u64) -> f64 {
+fn fairness(approach: Approach, b_vms: usize, seed: u64, rep: &mut RunReport) -> f64 {
     let entities = vec![
         EntitySetup {
             entity: EntityId(1),
@@ -52,6 +53,10 @@ fn fairness(approach: Approach, b_vms: usize, seed: u64) -> f64 {
         &[EntityId(1), EntityId(2)],
         Time::from_secs(20),
     );
+    rep.capture(
+        &format!("{}_bvms{}_seed{}", approach.name(), b_vms, seed),
+        &mut exp.sim,
+    );
     minmax_ratio(done[0].unwrap_or(20.0), done[1].unwrap_or(20.0))
 }
 
@@ -62,16 +67,22 @@ fn main() {
     );
     let widths = [10, 8, 8, 8, 8];
     report::header(&["B #VMs", "PQ", "AQ", "PRL", "DRL"], &widths);
+    let mut rep = RunReport::new("fig07_entity_fairness");
     for b_vms in [1usize, 2, 4, 8] {
+        let rep = &mut rep;
         let cells: Vec<String> = std::iter::once(format!("{b_vms}"))
             .chain(Approach::ALL.iter().map(|a| {
-                let f: f64 =
-                    SEEDS.iter().map(|s| fairness(*a, b_vms, *s)).sum::<f64>() / SEEDS.len() as f64;
+                let f: f64 = SEEDS
+                    .iter()
+                    .map(|s| fairness(*a, b_vms, *s, rep))
+                    .sum::<f64>()
+                    / SEEDS.len() as f64;
                 format!("{f:.2}")
             }))
             .collect();
         report::row(&cells, &widths);
     }
+    rep.write().expect("write run report");
     report::paper_row(
         "Fig. 7",
         "AQ ~1.0 at all counts; at 8 VMs PQ ~0.14 (A 7.2x slower), PRL 0.16, DRL 0.21",

@@ -5,6 +5,7 @@
 //! under AQ the split follows the configured weights (1:1 and 1:2)
 //! regardless of flow count.
 
+use aq_bench::report::RunReport;
 use aq_bench::{
     build_dumbbell, report, steady_goodput, Approach, EntitySetup, ExpConfig, LongKind, Traffic,
 };
@@ -12,7 +13,12 @@ use aq_netsim::ids::EntityId;
 use aq_netsim::time::Time;
 use aq_transport::CcAlgo;
 
-fn shares(approach: Approach, b_flows: usize, weights: (u64, u64)) -> (f64, f64) {
+fn shares(
+    approach: Approach,
+    b_flows: usize,
+    weights: (u64, u64),
+    rep: &mut RunReport,
+) -> (f64, f64) {
     let entities = vec![
         EntitySetup {
             entity: EntityId(1),
@@ -37,7 +43,7 @@ fn shares(approach: Approach, b_flows: usize, weights: (u64, u64)) -> (f64, f64)
     ];
     let mut exp = build_dumbbell(approach, &entities, ExpConfig::default());
     exp.sim.run_until(Time::from_millis(500));
-    (
+    let out = (
         steady_goodput(
             &exp.sim,
             EntityId(1),
@@ -50,7 +56,18 @@ fn shares(approach: Approach, b_flows: usize, weights: (u64, u64)) -> (f64, f64)
             Time::from_millis(150),
             Time::from_millis(500),
         ),
-    )
+    );
+    rep.capture(
+        &format!(
+            "{}_w{}to{}_bflows{}",
+            approach.name(),
+            weights.0,
+            weights.1,
+            b_flows
+        ),
+        &mut exp.sim,
+    );
+    out
 }
 
 fn main() {
@@ -71,10 +88,11 @@ fn main() {
         ],
         &widths,
     );
+    let mut rep = RunReport::new("fig08_flow_count_isolation");
     for b_flows in [1usize, 4, 16, 64] {
-        let (pa, pb) = shares(Approach::Pq, b_flows, (1, 1));
-        let (a11, b11) = shares(Approach::Aq, b_flows, (1, 1));
-        let (a12, b12) = shares(Approach::Aq, b_flows, (1, 2));
+        let (pa, pb) = shares(Approach::Pq, b_flows, (1, 1), &mut rep);
+        let (a11, b11) = shares(Approach::Aq, b_flows, (1, 1), &mut rep);
+        let (a12, b12) = shares(Approach::Aq, b_flows, (1, 2), &mut rep);
         report::row(
             &[
                 format!("{b_flows}"),
@@ -88,6 +106,7 @@ fn main() {
             &widths,
         );
     }
+    rep.write().expect("write run report");
     report::paper_row(
         "Fig. 8",
         "PQ: B's share tracks its flow count (A starved at 64); AQ: 1:1 and 1:2 by weight",

@@ -9,6 +9,7 @@
 //! ~1/n of the link.
 
 use aq_bench::report;
+use aq_bench::report::RunReport;
 use aq_core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
@@ -26,7 +27,7 @@ const UDP_INDEX: usize = 2; // third joiner is the UDP entity
 const JOIN_GAP_MS: u64 = 100;
 const END_MS: u64 = 700;
 
-fn run(use_aq: bool) -> Vec<Vec<f64>> {
+fn run(use_aq: bool, rep: &mut RunReport) -> Vec<Vec<f64>> {
     let d = dumbbell(
         N,
         Rate::from_gbps(10),
@@ -120,6 +121,7 @@ fn run(use_aq: bool) -> Vec<Vec<f64>> {
             s.push(goodput_gbps(&sim.stats, EntityId(k as u32 + 1), t0, t1));
         }
     }
+    rep.capture(if use_aq { "aq" } else { "pq" }, &mut sim);
     series
 }
 
@@ -149,8 +151,10 @@ fn main() {
         "Figure 9",
         "UDP and TCP entities joining a 10 Gbps link every 100 ms (UDP joins third)",
     );
-    print_series("(a) PQ", &run(false));
-    print_series("(b) AQ", &run(true));
+    let mut rep = RunReport::new("fig09_udp_tcp");
+    print_series("(a) PQ", &run(false, &mut rep));
+    print_series("(b) AQ", &run(true, &mut rep));
+    rep.write().expect("write run report");
     report::paper_row(
         "Fig. 9",
         "PQ: UDP grabs ~all bandwidth once it joins; AQ: every active entity holds ~1/n",

@@ -7,6 +7,7 @@
 //! 0.6; (b) AQ matches PQ's total completion time while PRL and DRL are
 //! significantly slower (under-utilization).
 
+use aq_bench::report::RunReport;
 use aq_bench::{build_dumbbell, report, run_workload, Approach, EntitySetup, ExpConfig, Traffic};
 use aq_netsim::ids::EntityId;
 use aq_netsim::stats::minmax_ratio;
@@ -15,7 +16,7 @@ use aq_transport::CcAlgo;
 
 const N_FLOWS: usize = 64;
 
-fn run(approach: Approach, ccs: (CcAlgo, CcAlgo)) -> (f64, f64) {
+fn run(approach: Approach, ccs: (CcAlgo, CcAlgo), label: &str, rep: &mut RunReport) -> (f64, f64) {
     let entities = vec![
         EntitySetup {
             entity: EntityId(1),
@@ -49,6 +50,7 @@ fn run(approach: Approach, ccs: (CcAlgo, CcAlgo)) -> (f64, f64) {
         Time::from_secs(20),
     );
     let (a, b) = (done[0].unwrap_or(20.0), done[1].unwrap_or(20.0));
+    rep.capture(&format!("{}_{}", approach.name(), label), &mut exp.sim);
     (minmax_ratio(a, b), a.max(b))
 }
 
@@ -68,12 +70,13 @@ fn main() {
     let widths = [16, 8, 8, 8, 8];
     println!("\n(a) entity fairness (1.0 = fair)");
     report::header(&["CC pair", "PQ", "AQ", "PRL", "DRL"], &widths);
+    let mut rep = RunReport::new("fig10_cc_fairness");
     let mut totals: Vec<(String, Vec<f64>)> = Vec::new();
     for (name, ccs) in &combos {
         let mut fair_cells = vec![name.to_string()];
         let mut total_row = Vec::new();
         for a in Approach::ALL {
-            let (fair, total) = run(a, *ccs);
+            let (fair, total) = run(a, *ccs, name, &mut rep);
             fair_cells.push(format!("{fair:.2}"));
             total_row.push(total);
         }
@@ -88,6 +91,7 @@ fn main() {
         cells.extend(row_vals.iter().map(|v| format!("{:.2}", v / pq)));
         report::row(&cells, &widths);
     }
+    rep.write().expect("write run report");
     report::paper_row(
         "Fig. 10",
         "(a) AQ/PRL/DRL ~1.0, PQ ~0.6; (b) AQ ~= PQ, PRL/DRL significantly longer",

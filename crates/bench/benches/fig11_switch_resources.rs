@@ -9,9 +9,10 @@
 //! makes possible.
 
 use aq_bench::report;
+use aq_bench::report::RunReport;
 use aq_core::resources::{aq_program_usage, AqFeatures, DeviceCapacity};
 
-fn print_usage(label: &str, f: AqFeatures, n_aqs: u64) {
+fn print_usage(label: &str, f: AqFeatures, n_aqs: u64, rep: &mut RunReport) {
     let u = aq_program_usage(f, n_aqs).utilization(DeviceCapacity::TOFINO1);
     report::row(
         &[
@@ -23,6 +24,16 @@ fn print_usage(label: &str, f: AqFeatures, n_aqs: u64) {
             format!("{:.2}%", u.sram_pct),
         ],
         &[26, 9, 9, 9, 9, 9],
+    );
+    rep.capture_metrics(
+        label,
+        &[
+            ("stages_pct", u.stages_pct),
+            ("maus_pct", u.maus_pct),
+            ("phv_pct", u.phv_pct),
+            ("salus_pct", u.salus_pct),
+            ("sram_pct", u.sram_pct),
+        ],
     );
 }
 
@@ -36,7 +47,8 @@ fn main() {
         &["configuration", "stages", "MAUs", "PHV", "sALUs", "SRAM"],
         &widths,
     );
-    print_usage("full AQ (64k AQs)", AqFeatures::FULL, 65_536);
+    let mut rep = RunReport::new("fig11_switch_resources");
+    print_usage("full AQ (64k AQs)", AqFeatures::FULL, 65_536, &mut rep);
     print_usage(
         "no delay feedback",
         AqFeatures {
@@ -44,6 +56,7 @@ fn main() {
             ..AqFeatures::FULL
         },
         65_536,
+        &mut rep,
     );
     print_usage(
         "no ECN feedback",
@@ -52,6 +65,7 @@ fn main() {
             ..AqFeatures::FULL
         },
         65_536,
+        &mut rep,
     );
     print_usage(
         "ingress position only",
@@ -60,8 +74,10 @@ fn main() {
             ..AqFeatures::FULL
         },
         65_536,
+        &mut rep,
     );
-    print_usage("full AQ (1M AQs)", AqFeatures::FULL, 1_000_000);
+    print_usage("full AQ (1M AQs)", AqFeatures::FULL, 1_000_000, &mut rep);
+    rep.write().expect("write run report");
     report::paper_row(
         "Fig. 11",
         "prototype uses 16.8% pipeline stages, 12.5% MAUs, 7.5% PHV on the Tofino testbed",

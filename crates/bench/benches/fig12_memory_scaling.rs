@@ -8,6 +8,7 @@
 //! verifies that millions of AQs fit comfortably in tens of MB.
 
 use aq_bench::report;
+use aq_bench::report::RunReport;
 use aq_core::resources::DeviceCapacity;
 use aq_core::{AqConfig, AqTable, CcPolicy};
 use aq_netsim::packet::AqTag;
@@ -34,6 +35,7 @@ fn main() {
     let widths = [12, 16, 18];
     report::header(&["#AQs", "memory", "% of 32 MiB SRAM"], &widths);
     let cap = DeviceCapacity::TOFINO1.sram_bytes as f64;
+    let mut rep = RunReport::new("fig12_memory_scaling");
     for n in [1_000u32, 10_000, 100_000, 1_000_000, 2_000_000] {
         let t = table_with(n);
         let bytes = t.register_memory_bytes();
@@ -51,7 +53,15 @@ fn main() {
             ],
             &widths,
         );
+        rep.capture_metrics(
+            &format!("aqs_{n}"),
+            &[
+                ("register_memory_bytes", bytes as f64),
+                ("sram_pct", 100.0 * bytes as f64 / cap),
+            ],
+        );
     }
+    rep.write().expect("write run report");
     report::paper_row(
         "Fig. 12",
         "linear in #AQs; programmable switches with tens of MB comfortably hold millions",

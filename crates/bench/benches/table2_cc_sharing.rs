@@ -6,6 +6,7 @@
 //! every pair splitting ~4.7+4.7 Gbps and the 4-entity UDP mix splitting
 //! ~2.3 Gbps each.
 
+use aq_bench::report::RunReport;
 use aq_bench::{
     build_dumbbell, report, steady_goodput, Approach, EntitySetup, ExpConfig, LongKind, Traffic,
 };
@@ -24,7 +25,7 @@ struct Row {
     entities: Vec<(usize, CcAlgo, LongKind)>, // (n flows, cc, kind)
 }
 
-fn run(approach: Approach, row: &Row) -> Vec<f64> {
+fn run(approach: Approach, row: &Row, rep: &mut RunReport) -> Vec<f64> {
     let entities: Vec<EntitySetup> = row
         .entities
         .iter()
@@ -43,7 +44,7 @@ fn run(approach: Approach, row: &Row) -> Vec<f64> {
     };
     let mut exp = build_dumbbell(approach, &entities, cfg);
     exp.sim.run_until(Time::from_millis(1500));
-    (1..=row.entities.len())
+    let out = (1..=row.entities.len())
         .map(|e| {
             steady_goodput(
                 &exp.sim,
@@ -52,7 +53,9 @@ fn run(approach: Approach, row: &Row) -> Vec<f64> {
                 Time::from_millis(1500),
             )
         })
-        .collect()
+        .collect();
+    rep.capture(&format!("{}_{}", approach.name(), row.label), &mut exp.sim);
+    out
 }
 
 fn main() {
@@ -107,12 +110,13 @@ fn main() {
     ];
     let widths = [36, 26, 26];
     report::header(&["congestion control", "PQ (Gbps)", "AQ (Gbps)"], &widths);
+    let mut rep = RunReport::new("table2_cc_sharing");
     for row in &rows {
-        let pq: Vec<String> = run(Approach::Pq, row)
+        let pq: Vec<String> = run(Approach::Pq, row, &mut rep)
             .iter()
             .map(|g| format!("{g:.1}"))
             .collect();
-        let aq: Vec<String> = run(Approach::Aq, row)
+        let aq: Vec<String> = run(Approach::Aq, row, &mut rep)
             .iter()
             .map(|g| format!("{g:.1}"))
             .collect();
@@ -121,6 +125,7 @@ fn main() {
             &widths,
         );
     }
+    rep.write().expect("write run report");
     report::paper_row(
         "Table 2",
         "PQ: 0.7+8.7 (CUBIC+DCTCP), 9.1+0.2 (CUBIC+Swift), UDP mix 8.9+0.1+0.2+0.1; \

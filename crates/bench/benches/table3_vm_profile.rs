@@ -15,6 +15,7 @@
 
 use aq_baselines::{Classify, ElasticSwitch, HtbShaper, VmConfig};
 use aq_bench::report;
+use aq_bench::report::RunReport;
 use aq_core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
@@ -67,7 +68,7 @@ fn rate_range(sim: &Simulator, e: EntityId, from_ms: u64, to_ms: u64) -> (f64, f
     }
 }
 
-fn run(approach: Approach) -> ((f64, f64), (f64, f64)) {
+fn run(approach: Approach, label: &str, rep: &mut RunReport) -> ((f64, f64), (f64, f64)) {
     let s = star(
         4,
         Rate::from_gbps(LINK),
@@ -191,6 +192,7 @@ fn run(approach: Approach) -> ((f64, f64), (f64, f64)) {
         sim.add_agent(Box::new(ElasticSwitch::with_hose_cap(cfgs)));
     }
     sim.run_until(Time::from_millis(600));
+    rep.capture(label, &mut sim);
     (
         rate_range(&sim, OUTBOUND, 150, 550),
         rate_range(&sim, INBOUND, 150, 550),
@@ -212,13 +214,14 @@ fn main() {
         ],
         &widths,
     );
+    let mut rep = RunReport::new("table3_vm_profile");
     for (name, approach) in [
         ("PQ", Approach::Pq),
         ("PRL", Approach::Prl),
         ("DRL", Approach::Drl),
         ("AQ", Approach::Aq),
     ] {
-        let ((olo, ohi), (ilo, ihi)) = run(approach);
+        let ((olo, ohi), (ilo, ihi)) = run(approach, name, &mut rep);
         report::row(
             &[
                 name.into(),
@@ -228,6 +231,7 @@ fn main() {
             &widths,
         );
     }
+    rep.write().expect("write run report");
     report::paper_row(
         "Table 3",
         "PQ 23.1~23.6 both; PRL out 4.8~5.1 / in 14.6~15.3; DRL 3.1~4.9 / 3.3~4.8; AQ ~5 both",

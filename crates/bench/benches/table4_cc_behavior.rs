@@ -8,6 +8,7 @@
 //! threshold equal to the PQ's configuration).
 
 use aq_bench::report;
+use aq_bench::report::RunReport;
 use aq_core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
@@ -25,7 +26,7 @@ const LIMIT: u64 = 2_000_000;
 const ECN_K: u64 = 200_000;
 const FLOWS: usize = 8;
 
-fn run(cc: CcAlgo, use_aq: bool) -> (f64, u64) {
+fn run(cc: CcAlgo, use_aq: bool, rep: &mut RunReport) -> (f64, u64) {
     // Hosts always have 100 Gbps NICs; only the core differs between the
     // two environments, so all queueing concentrates at the core.
     let (core, ecn) = if use_aq {
@@ -104,6 +105,10 @@ fn run(cc: CcAlgo, use_aq: bool) -> (f64, u64) {
     } else {
         es.pq_delay.percentile(95.0).unwrap_or(0)
     };
+    rep.capture(
+        &format!("{}_{}", cc.name(), if use_aq { "aq" } else { "pq" }),
+        &mut sim,
+    );
     (tput, p95)
 }
 
@@ -114,9 +119,10 @@ fn main() {
     );
     let widths = [12, 12, 12, 12, 12];
     report::header(&["CC", "PQ Gbps", "PQ p95", "AQ Gbps", "AQ p95"], &widths);
+    let mut rep = RunReport::new("table4_cc_behavior");
     for cc in [CcAlgo::Cubic, CcAlgo::NewReno, CcAlgo::Dctcp] {
-        let (pt, pd) = run(cc, false);
-        let (at, ad) = run(cc, true);
+        let (pt, pd) = run(cc, false, &mut rep);
+        let (at, ad) = run(cc, true, &mut rep);
         report::row(
             &[
                 cc.name().to_string(),
@@ -128,6 +134,7 @@ fn main() {
             &widths,
         );
     }
+    rep.write().expect("write run report");
     report::paper_row(
         "Table 4",
         "CUBIC 23.6/698us vs 23.6/687us; NewReno 23.6/721 vs 23.6/712; DCTCP 23.5/88 vs 23.6/86",

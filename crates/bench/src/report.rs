@@ -1,9 +1,27 @@
-//! Plain-text table/series reporting shared by the figure harnesses.
+//! Run reporting: plain-text tables for the terminal plus the structured
+//! [`RunReport`] artifact every harness and example emits.
 //!
 //! Every harness prints: a header naming the paper artifact it
 //! regenerates, the parameter axis, and one row per configuration — the
 //! same rows/series the paper reports, so paper-vs-measured comparison is
 //! a side-by-side read.
+//!
+//! Alongside the tables, a [`RunReport`] serializes the whole `StatsHub`
+//! — entity series, port series (byte conservation, drop causes, ECN
+//! marks, occupancy), AQ summaries (gap statistics, limit drops), and
+//! fairness indices — to CSV/JSON files under `target/run_reports/<name>/`.
+//! Output is deterministic: all maps iterate in `BTreeMap` order and every
+//! float is printed with fixed precision, so report bytes are identical
+//! across same-seed runs (the determinism e2e digests them).
+
+use aq_core::{export_aq_table, AqPipeline, AqTable};
+use aq_netsim::ids::NodeId;
+use aq_netsim::node::NodeKind;
+use aq_netsim::sim::Simulator;
+use aq_netsim::stats::{jain_index, AqPosition, StatsHub};
+use aq_netsim::time::Time;
+use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// Print the standard harness banner.
 pub fn banner(artifact: &str, description: &str) {
@@ -58,4 +76,665 @@ pub fn note(text: &str) {
 /// Paper-reported value for side-by-side comparison.
 pub fn paper_row(label: &str, text: &str) {
     println!("  paper {label}: {text}");
+}
+
+/// Fixed-precision float formatting shared by every serializer, so report
+/// bytes never depend on locale or default `Display` shortest-repr quirks.
+fn f6(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_default()
+}
+
+fn opt_f6(v: Option<f64>) -> String {
+    v.map(f6).unwrap_or_default()
+}
+
+/// Minimal JSON string escape (labels and names are plain ASCII in
+/// practice, but quoting must still be correct).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One entity's snapshot inside a [`RunReport`] section.
+#[derive(Debug, Clone)]
+pub struct EntityRow {
+    /// Entity id.
+    pub entity: u64,
+    /// Payload bytes delivered.
+    pub rx_bytes: u64,
+    /// Average goodput over `[0, now)` in Gbit/s.
+    pub goodput_gbps: f64,
+    /// Packets of this entity dropped anywhere.
+    pub drops: u64,
+    /// Physical queuing delay p50 (ns), if any samples.
+    pub pq_p50_ns: Option<u64>,
+    /// Physical queuing delay p99 (ns), if any samples.
+    pub pq_p99_ns: Option<u64>,
+    /// Virtual (AQ) queuing delay p50 (ns), if any samples.
+    pub vq_p50_ns: Option<u64>,
+    /// Virtual (AQ) queuing delay p99 (ns), if any samples.
+    pub vq_p99_ns: Option<u64>,
+    /// Flows registered for this entity.
+    pub flows: u64,
+    /// Flows that completed.
+    pub flows_completed: u64,
+    /// Workload completion time (s), once every flow finished.
+    pub completion_s: Option<f64>,
+    /// Windowed goodput series in bit/s.
+    pub rate_series_bps: Vec<f64>,
+}
+
+/// One port's snapshot inside a [`RunReport`] section — the serialized
+/// image of [`aq_netsim::stats::PortStats`].
+#[derive(Debug, Clone)]
+pub struct PortRow {
+    /// Node owning the port.
+    pub node: u64,
+    /// Port id.
+    pub port: u64,
+    /// Bytes offered to the discipline.
+    pub enqueued_bytes: u64,
+    /// Bytes released for transmission.
+    pub dequeued_bytes: u64,
+    /// Bytes of rejected packets.
+    pub dropped_bytes: u64,
+    /// Bytes buffered at capture time.
+    pub resident_bytes: u64,
+    /// Whether `enqueued == dequeued + dropped + resident` held.
+    pub conserves: bool,
+    /// Taildrop packet count.
+    pub taildrops: u64,
+    /// RED (non-ECT over threshold) packet count.
+    pub red_drops: u64,
+    /// Shaper-rejection packet count.
+    pub shaper_drops: u64,
+    /// AQ-limit drops attributed to this port (upstream of the queue).
+    pub aq_drops: u64,
+    /// Cumulative CE marks applied by the discipline.
+    pub ecn_marks: u64,
+    /// Packets fully serialized onto the wire.
+    pub tx_pkts: u64,
+    /// Bytes fully serialized onto the wire.
+    pub tx_bytes: u64,
+    /// Peak buffered bytes over the run.
+    pub peak_occupancy_bytes: u64,
+    /// Per-window peak backlog series (bytes).
+    pub occupancy: Vec<u64>,
+}
+
+/// One AQ instance's snapshot inside a [`RunReport`] section.
+#[derive(Debug, Clone)]
+pub struct AqRow {
+    /// AQ tag.
+    pub tag: u32,
+    /// `"ingress"` or `"egress"`.
+    pub position: &'static str,
+    /// Configured rate (bit/s).
+    pub rate_bps: u64,
+    /// Configured AQ limit (bytes).
+    pub limit_bytes: u64,
+    /// Bytes that arrived at the AQ.
+    pub arrived_bytes: u64,
+    /// Packets dropped by the AQ limit.
+    pub limit_drops: u64,
+    /// CE marks applied by the AQ.
+    pub marks: u64,
+    /// Gap observations behind the max/mean.
+    pub gap_samples: u64,
+    /// Max A-Gap carried by a forwarded packet (bytes).
+    pub max_gap_bytes: u64,
+    /// Mean A-Gap over forwarded packets (bytes).
+    pub mean_gap_bytes: f64,
+}
+
+/// One labelled capture: the full hub state at one point of the run.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Harness-chosen label (e.g. the parameter-axis value of this row).
+    pub label: String,
+    /// Simulation time at capture (ns).
+    pub now_ns: u64,
+    /// Events processed at capture.
+    pub events: u64,
+    /// Jain fairness index over entity goodputs.
+    pub jain_goodput: f64,
+    /// Entity rows, in entity-id order.
+    pub entities: Vec<EntityRow>,
+    /// Port rows, in port-id order.
+    pub ports: Vec<PortRow>,
+    /// AQ rows, in (tag, position) order.
+    pub aqs: Vec<AqRow>,
+    /// Harness-defined scalar metrics (model-only harnesses like the
+    /// fig. 11 resource accounting), in harness-chosen order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A structured, deterministic artifact of one harness run.
+///
+/// Every `fig*` bench and example builds one `RunReport`, [`capture`]s the
+/// `StatsHub` once per configuration it runs (one [`Section`] each), and
+/// [`write`]s the result under `target/run_reports/<name>/` as
+/// `report.json` + `entities.csv` + `ports.csv` + `aqs.csv`.
+///
+/// All rows come from `BTreeMap` iteration and all floats are printed with
+/// fixed precision, so two same-seed runs produce byte-identical files —
+/// the determinism e2e test digests the rendered bytes.
+///
+/// [`capture`]: RunReport::capture
+/// [`write`]: RunReport::write
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    name: String,
+    sections: Vec<Section>,
+}
+
+impl RunReport {
+    /// An empty report; `name` becomes the artifact directory name.
+    pub fn new(name: &str) -> RunReport {
+        RunReport {
+            name: name.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// The artifact name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Captured sections, in capture order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Capture the current state of a simulation as one section.
+    ///
+    /// First walks every switch's pipelines and exports any
+    /// [`AqPipeline`]'s AQ summaries into the hub (idempotent), then
+    /// snapshots entity/port/AQ rows.
+    pub fn capture(&mut self, label: &str, sim: &mut Simulator) {
+        for n in 0..sim.net.nodes.len() {
+            let pipes = match &sim.net.nodes[n].kind {
+                NodeKind::Switch { pipelines, .. } => pipelines.len(),
+                NodeKind::Host { .. } => 0,
+            };
+            for i in 0..pipes {
+                if let Some(pipe) = sim.net.pipeline_mut::<AqPipeline>(NodeId::from(n), i) {
+                    pipe.export_stats(&mut sim.stats);
+                }
+            }
+        }
+        let (now, events) = (sim.now(), sim.processed_events);
+        self.capture_hub(label, now, events, &sim.stats);
+    }
+
+    /// Capture from a bare [`StatsHub`] (harnesses that run AQ tables or
+    /// resource models without a simulator).
+    pub fn capture_hub(&mut self, label: &str, now: Time, events: u64, hub: &StatsHub) {
+        let mut entities = Vec::new();
+        for (&e, es) in hub.entities() {
+            let goodput_bps = if now > Time::ZERO {
+                es.rx_series.avg_bps(Time::ZERO, now)
+            } else {
+                0.0
+            };
+            let (mut flows, mut done) = (0u64, 0u64);
+            for (_, rec) in hub.flows().filter(|(_, r)| r.entity == e) {
+                flows += 1;
+                if rec.end.is_some() {
+                    done += 1;
+                }
+            }
+            entities.push(EntityRow {
+                entity: e.0 as u64,
+                rx_bytes: es.rx_bytes,
+                goodput_gbps: goodput_bps / 1e9,
+                drops: es.drops,
+                pq_p50_ns: es.pq_delay.percentile(50.0),
+                pq_p99_ns: es.pq_delay.percentile(99.0),
+                vq_p50_ns: es.vdelay.percentile(50.0),
+                vq_p99_ns: es.vdelay.percentile(99.0),
+                flows,
+                flows_completed: done,
+                completion_s: hub.entity_completion(e).map(|d| d.as_secs_f64()),
+                rate_series_bps: es.rx_series.rate_series_bps(),
+            });
+        }
+        let ports = hub
+            .ports()
+            .map(|(&p, ps)| PortRow {
+                node: ps.node.0 as u64,
+                port: p.0 as u64,
+                enqueued_bytes: ps.enqueued_bytes,
+                dequeued_bytes: ps.dequeued_bytes,
+                dropped_bytes: ps.dropped_bytes,
+                resident_bytes: ps.resident_bytes,
+                conserves: ps.conserves(),
+                taildrops: ps.taildrops,
+                red_drops: ps.red_drops,
+                shaper_drops: ps.shaper_drops,
+                aq_drops: ps.aq_drops,
+                ecn_marks: ps.ecn_marks,
+                tx_pkts: ps.tx_pkts,
+                tx_bytes: ps.tx_bytes,
+                peak_occupancy_bytes: ps.peak_occupancy_bytes(),
+                occupancy: ps.occupancy.buckets().to_vec(),
+            })
+            .collect();
+        let aqs = hub
+            .aq_summaries()
+            .map(|s| AqRow {
+                tag: s.tag,
+                position: s.position.label(),
+                rate_bps: s.rate_bps,
+                limit_bytes: s.limit_bytes,
+                arrived_bytes: s.arrived_bytes,
+                limit_drops: s.limit_drops,
+                marks: s.marks,
+                gap_samples: s.gap_samples,
+                max_gap_bytes: s.max_gap_bytes,
+                mean_gap_bytes: s.mean_gap_bytes,
+            })
+            .collect();
+        let goodputs: Vec<f64> = entities.iter().map(|e| e.goodput_gbps).collect();
+        self.sections.push(Section {
+            label: label.to_string(),
+            now_ns: now.as_nanos(),
+            events,
+            jain_goodput: jain_index(&goodputs),
+            entities,
+            ports,
+            aqs,
+            metrics: Vec::new(),
+        });
+    }
+
+    /// Capture a section of harness-defined scalar metrics — the path for
+    /// model-only harnesses (resource accounting, memory scaling, measure-
+    /// function cycles) with no hub to snapshot. Order is preserved.
+    pub fn capture_metrics(&mut self, label: &str, metrics: &[(&str, f64)]) {
+        self.sections.push(Section {
+            label: label.to_string(),
+            now_ns: 0,
+            events: 0,
+            jain_goodput: 1.0,
+            entities: Vec::new(),
+            ports: Vec::new(),
+            aqs: Vec::new(),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// Capture a bare [`AqTable`] (no simulator, no hub) as one section
+    /// containing only AQ rows — the path used by table-only harnesses
+    /// like the scalability example and the fig. 11/12 resource models.
+    pub fn capture_table(&mut self, label: &str, table: &AqTable, position: AqPosition) {
+        let mut hub = StatsHub::new();
+        export_aq_table(table, position, &mut hub);
+        self.capture_hub(label, Time::ZERO, 0, &hub);
+    }
+
+    /// Render all artifact files as `(filename, contents)` pairs:
+    /// `report.json`, `entities.csv`, `ports.csv`, `aqs.csv`,
+    /// `metrics.csv`.
+    pub fn render(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("report.json", self.render_json()),
+            ("entities.csv", self.render_entities_csv()),
+            ("ports.csv", self.render_ports_csv()),
+            ("aqs.csv", self.render_aqs_csv()),
+            ("metrics.csv", self.render_metrics_csv()),
+        ]
+    }
+
+    /// The full report as deterministic JSON.
+    pub fn render_json(&self) -> String {
+        let mut j = String::new();
+        let _ = write!(j, "{{\"name\":{},\"sections\":[", json_str(&self.name));
+        for (si, s) in self.sections.iter().enumerate() {
+            if si > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"label\":{},\"now_ns\":{},\"events\":{},\"jain_goodput\":{}",
+                json_str(&s.label),
+                s.now_ns,
+                s.events,
+                f6(s.jain_goodput)
+            );
+            j.push_str(",\"entities\":[");
+            for (i, e) in s.entities.iter().enumerate() {
+                if i > 0 {
+                    j.push(',');
+                }
+                let _ = write!(
+                    j,
+                    "{{\"entity\":{},\"rx_bytes\":{},\"goodput_gbps\":{},\"drops\":{}",
+                    e.entity,
+                    e.rx_bytes,
+                    f6(e.goodput_gbps),
+                    e.drops
+                );
+                for (k, v) in [
+                    ("pq_p50_ns", e.pq_p50_ns),
+                    ("pq_p99_ns", e.pq_p99_ns),
+                    ("vq_p50_ns", e.vq_p50_ns),
+                    ("vq_p99_ns", e.vq_p99_ns),
+                ] {
+                    match v {
+                        Some(v) => {
+                            let _ = write!(j, ",\"{k}\":{v}");
+                        }
+                        None => {
+                            let _ = write!(j, ",\"{k}\":null");
+                        }
+                    }
+                }
+                let _ = write!(
+                    j,
+                    ",\"flows\":{},\"flows_completed\":{}",
+                    e.flows, e.flows_completed
+                );
+                match e.completion_s {
+                    Some(v) => {
+                        let _ = write!(j, ",\"completion_s\":{}", f6(v));
+                    }
+                    None => j.push_str(",\"completion_s\":null"),
+                }
+                j.push_str(",\"rate_series_bps\":[");
+                for (i, r) in e.rate_series_bps.iter().enumerate() {
+                    if i > 0 {
+                        j.push(',');
+                    }
+                    j.push_str(&f6(*r));
+                }
+                j.push_str("]}");
+            }
+            j.push_str("],\"ports\":[");
+            for (i, p) in s.ports.iter().enumerate() {
+                if i > 0 {
+                    j.push(',');
+                }
+                let _ = write!(
+                    j,
+                    "{{\"node\":{},\"port\":{},\"enqueued_bytes\":{},\"dequeued_bytes\":{},\
+                     \"dropped_bytes\":{},\"resident_bytes\":{},\"conserves\":{},\
+                     \"taildrops\":{},\"red_drops\":{},\"shaper_drops\":{},\"aq_drops\":{},\
+                     \"ecn_marks\":{},\"tx_pkts\":{},\"tx_bytes\":{},\"peak_occupancy_bytes\":{}",
+                    p.node,
+                    p.port,
+                    p.enqueued_bytes,
+                    p.dequeued_bytes,
+                    p.dropped_bytes,
+                    p.resident_bytes,
+                    p.conserves,
+                    p.taildrops,
+                    p.red_drops,
+                    p.shaper_drops,
+                    p.aq_drops,
+                    p.ecn_marks,
+                    p.tx_pkts,
+                    p.tx_bytes,
+                    p.peak_occupancy_bytes
+                );
+                j.push_str(",\"occupancy\":[");
+                for (i, o) in p.occupancy.iter().enumerate() {
+                    if i > 0 {
+                        j.push(',');
+                    }
+                    let _ = write!(j, "{o}");
+                }
+                j.push_str("]}");
+            }
+            j.push_str("],\"metrics\":{");
+            for (i, (k, v)) in s.metrics.iter().enumerate() {
+                if i > 0 {
+                    j.push(',');
+                }
+                let _ = write!(j, "{}:{}", json_str(k), f6(*v));
+            }
+            j.push_str("},\"aqs\":[");
+            for (i, a) in s.aqs.iter().enumerate() {
+                if i > 0 {
+                    j.push(',');
+                }
+                let _ = write!(
+                    j,
+                    "{{\"tag\":{},\"position\":{},\"rate_bps\":{},\"limit_bytes\":{},\
+                     \"arrived_bytes\":{},\"limit_drops\":{},\"marks\":{},\"gap_samples\":{},\
+                     \"max_gap_bytes\":{},\"mean_gap_bytes\":{}}}",
+                    a.tag,
+                    json_str(a.position),
+                    a.rate_bps,
+                    a.limit_bytes,
+                    a.arrived_bytes,
+                    a.limit_drops,
+                    a.marks,
+                    a.gap_samples,
+                    a.max_gap_bytes,
+                    f6(a.mean_gap_bytes)
+                );
+            }
+            j.push_str("]}");
+        }
+        j.push_str("]}\n");
+        j
+    }
+
+    /// Per-entity rows as CSV (one row per section × entity).
+    pub fn render_entities_csv(&self) -> String {
+        let mut c = String::from(
+            "section,entity,rx_bytes,goodput_gbps,drops,pq_p50_ns,pq_p99_ns,vq_p50_ns,\
+             vq_p99_ns,flows,flows_completed,completion_s\n",
+        );
+        for s in &self.sections {
+            for e in &s.entities {
+                let _ = writeln!(
+                    c,
+                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    s.label,
+                    e.entity,
+                    e.rx_bytes,
+                    f6(e.goodput_gbps),
+                    e.drops,
+                    opt_u64(e.pq_p50_ns),
+                    opt_u64(e.pq_p99_ns),
+                    opt_u64(e.vq_p50_ns),
+                    opt_u64(e.vq_p99_ns),
+                    e.flows,
+                    e.flows_completed,
+                    opt_f6(e.completion_s),
+                );
+            }
+        }
+        c
+    }
+
+    /// Per-port rows as CSV (one row per section × port).
+    pub fn render_ports_csv(&self) -> String {
+        let mut c = String::from(
+            "section,node,port,enqueued_bytes,dequeued_bytes,dropped_bytes,resident_bytes,\
+             conserves,taildrops,red_drops,shaper_drops,aq_drops,ecn_marks,tx_pkts,tx_bytes,\
+             peak_occupancy_bytes\n",
+        );
+        for s in &self.sections {
+            for p in &s.ports {
+                let _ = writeln!(
+                    c,
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    s.label,
+                    p.node,
+                    p.port,
+                    p.enqueued_bytes,
+                    p.dequeued_bytes,
+                    p.dropped_bytes,
+                    p.resident_bytes,
+                    p.conserves,
+                    p.taildrops,
+                    p.red_drops,
+                    p.shaper_drops,
+                    p.aq_drops,
+                    p.ecn_marks,
+                    p.tx_pkts,
+                    p.tx_bytes,
+                    p.peak_occupancy_bytes,
+                );
+            }
+        }
+        c
+    }
+
+    /// Per-AQ rows as CSV (one row per section × AQ).
+    pub fn render_aqs_csv(&self) -> String {
+        let mut c = String::from(
+            "section,tag,position,rate_bps,limit_bytes,arrived_bytes,limit_drops,marks,\
+             gap_samples,max_gap_bytes,mean_gap_bytes\n",
+        );
+        for s in &self.sections {
+            for a in &s.aqs {
+                let _ = writeln!(
+                    c,
+                    "{},{},{},{},{},{},{},{},{},{},{}",
+                    s.label,
+                    a.tag,
+                    a.position,
+                    a.rate_bps,
+                    a.limit_bytes,
+                    a.arrived_bytes,
+                    a.limit_drops,
+                    a.marks,
+                    a.gap_samples,
+                    a.max_gap_bytes,
+                    f6(a.mean_gap_bytes),
+                );
+            }
+        }
+        c
+    }
+
+    /// Harness-defined scalar metrics as CSV (one row per section × key).
+    pub fn render_metrics_csv(&self) -> String {
+        let mut c = String::from("section,key,value\n");
+        for s in &self.sections {
+            for (k, v) in &s.metrics {
+                let _ = writeln!(c, "{},{},{}", s.label, k, f6(*v));
+            }
+        }
+        c
+    }
+
+    /// Write all artifact files under `target/run_reports/<name>/` and
+    /// print the directory. Returns the directory path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/run_reports"
+        ))
+        .join(&self.name);
+        std::fs::create_dir_all(&dir)?;
+        for (file, contents) in self.render() {
+            std::fs::write(dir.join(file), contents)?;
+        }
+        println!("  run report: target/run_reports/{}/", self.name);
+        Ok(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aq_core::config::CcPolicy;
+    use aq_core::config::Position;
+    use aq_core::controller::{AqController, AqRequest, BandwidthDemand, LimitPolicy};
+    use aq_netsim::ids::{EntityId, FlowId, PortId};
+    use aq_netsim::time::Rate;
+
+    fn sample_hub() -> StatsHub {
+        let mut hub = StatsHub::new();
+        hub.on_delivery(Time::from_millis(2), EntityId(1), 3000, 500, 100);
+        hub.on_drop(EntityId(1));
+        hub.register_flow(FlowId(1), EntityId(1), 3000, Time::ZERO);
+        hub.flow_completed(FlowId(1), Time::from_millis(2));
+        hub.on_port_enqueue(Time::from_millis(1), NodeId(0), PortId(4), 1000, 1000, 0);
+        hub.on_port_dequeue(Time::from_millis(2), NodeId(0), PortId(4), 1000, 0);
+        hub.on_port_tx(NodeId(0), PortId(4), 1000);
+        hub
+    }
+
+    #[test]
+    fn report_bytes_are_stable_across_identical_captures() {
+        let hub = sample_hub();
+        let render = |hub: &StatsHub| {
+            let mut r = RunReport::new("unit");
+            r.capture_hub("row1", Time::from_millis(10), 42, hub);
+            r.render()
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect::<Vec<_>>()
+                .join("\x1e")
+        };
+        assert_eq!(render(&hub), render(&hub));
+    }
+
+    #[test]
+    fn csv_row_counts_match_sections() {
+        let hub = sample_hub();
+        let mut r = RunReport::new("unit");
+        r.capture_hub("a", Time::from_millis(10), 1, &hub);
+        r.capture_hub("b", Time::from_millis(10), 2, &hub);
+        // header + 2 sections x 1 entity.
+        assert_eq!(r.render_entities_csv().lines().count(), 3);
+        assert_eq!(r.render_ports_csv().lines().count(), 3);
+        let s = r.sections();
+        assert_eq!(s.len(), 2);
+        assert!(s[0].ports[0].conserves);
+        assert_eq!(s[0].entities[0].flows_completed, 1);
+    }
+
+    #[test]
+    fn capture_table_emits_aq_rows_without_a_simulator() {
+        let mut ctl = AqController::new(
+            Rate::from_gbps(10),
+            LimitPolicy::MatchPhysicalQueue {
+                pq_limit_bytes: 150_000,
+            },
+        );
+        for _ in 0..3 {
+            ctl.request(AqRequest {
+                demand: BandwidthDemand::Weighted(1),
+                cc: CcPolicy::DropBased,
+                position: Position::Ingress,
+                limit_override: None,
+            })
+            .expect("weighted grants admit");
+        }
+        let mut table = AqTable::new();
+        for (_, cfg) in ctl.configs() {
+            table.deploy(cfg);
+        }
+        let mut r = RunReport::new("unit");
+        r.capture_table("3aqs", &table, AqPosition::Ingress);
+        assert_eq!(r.sections()[0].aqs.len(), 3);
+        assert!(r.render_aqs_csv().lines().count() == 4);
+    }
 }

@@ -53,6 +53,10 @@ pub fn process_packet(aq: &mut AqInstance, now: Time, pkt: &mut Packet) -> AqVer
         aq.cfg.limit_bytes,
         aq.cfg.id,
     );
+    // Gap telemetry covers forwarded packets only: the drop branch above
+    // restored the pre-arrival gap, so observing here keeps the invariant
+    // `max_gap_bytes <= limit_bytes` that reports and tests rely on.
+    aq.gap_track.observe(gap);
     // Every forwarded packet carries the accumulated virtual queuing delay
     // A(k)/R regardless of the CC policy — delay-based CC consumes it as
     // feedback, and the testbed's Table-4 measurement reads it for every

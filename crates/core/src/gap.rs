@@ -158,6 +158,57 @@ impl AGap {
     }
 }
 
+/// Streaming summary of the A-Gap values carried by an AQ's *forwarded*
+/// packets — the per-AQ telemetry behind `StatsHub` AQ summaries.
+///
+/// Only three words of state (count, sum, max), so tracking costs nothing
+/// next to the gap update itself, and no samples are stored: the summary
+/// is exact for max and mean, which is what the run reports need.
+///
+/// ```
+/// use aq_core::GapTrack;
+///
+/// let mut t = GapTrack::default();
+/// t.observe(1000);
+/// t.observe(3000);
+/// assert_eq!(t.samples(), 2);
+/// assert_eq!(t.max_bytes(), 3000);
+/// assert!((t.mean_bytes() - 2000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GapTrack {
+    samples: u64,
+    sum_bytes: u128,
+    max_bytes: u64,
+}
+
+impl GapTrack {
+    /// Record one observed gap value (bytes).
+    pub fn observe(&mut self, gap_bytes: u64) {
+        self.samples += 1;
+        self.sum_bytes += gap_bytes as u128;
+        self.max_bytes = self.max_bytes.max(gap_bytes);
+    }
+
+    /// Number of observations.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest observed gap in bytes (0 when no observations).
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Mean observed gap in bytes (0.0 when no observations).
+    pub fn mean_bytes(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.sum_bytes as f64 / self.samples as f64
+    }
+}
+
 /// The strawman discrepancy `D(t)` of §3.2.1 (Expression 4–5): the signed
 /// integrated difference, which *banks surplus* when the entity underuses
 /// its allocation during backlogged periods. Kept only to reproduce

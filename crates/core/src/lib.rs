@@ -44,6 +44,8 @@
 //! assert_eq!(ctl.rate_of(grant.id), Some(Rate::from_gbps(10)));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod conservation;
 pub mod controller;
@@ -57,8 +59,8 @@ pub use config::{AqConfig, AqInstance, CcPolicy, PackedAq, Position, PACKED_AQ_B
 pub use conservation::{ReallocatorConfig, WorkConservingReallocator};
 pub use controller::{AqController, AqRequest, BandwidthDemand, Grant, GrantError, LimitPolicy};
 pub use feedback::{process_packet, AqVerdict};
-pub use gap::{AGap, DGap, GAP_FRAC_BITS};
-pub use pipeline::{AqPipeline, PipelineStats, WorkConservation};
+pub use gap::{AGap, DGap, GapTrack, GAP_FRAC_BITS};
+pub use pipeline::{export_aq_table, AqPipeline, PipelineStats, WorkConservation};
 pub use resources::{
     aq_program_usage, memory_for_aqs, AqFeatures, DeviceCapacity, ResourceUsage, Utilization,
 };

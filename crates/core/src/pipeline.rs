@@ -3,7 +3,8 @@
 //!
 //! When a packet arrives at a switch, the stage checks the header's
 //! ingress-position AQ tag; a default (zero) tag means no AQ operation.
-//! Otherwise the matching [`AqInstance`] runs Algorithm 1 + Algorithm 2 on
+//! Otherwise the matching [`AqInstance`](crate::config::AqInstance) runs
+//! Algorithm 1 + Algorithm 2 on
 //! the packet. After routing, the same procedure runs for the
 //! egress-position tag. Either match may drop, mark, or add virtual delay.
 //!
@@ -18,7 +19,33 @@ use crate::table::AqTable;
 use aq_netsim::ids::PortId;
 use aq_netsim::node::{PipelineVerdict, SwitchPipeline};
 use aq_netsim::packet::{AqTag, Packet};
+use aq_netsim::stats::{AqPosition, AqSummary, StatsHub};
 use aq_netsim::time::Time;
+
+/// Export an end-of-run [`AqSummary`] for every AQ deployed in `table`
+/// into the hub, keyed by `(tag, position)`. Idempotent: re-exporting
+/// replaces the previous summary, so reports may be captured repeatedly
+/// during a run.
+///
+/// Free function (rather than a table method) so harnesses that drive an
+/// [`AqTable`] directly — without a pipeline or simulator, like the
+/// scalability example — can still publish telemetry.
+pub fn export_aq_table(table: &AqTable, position: AqPosition, hub: &mut StatsHub) {
+    for inst in table.iter() {
+        hub.record_aq_summary(AqSummary {
+            tag: inst.cfg.id.0,
+            position,
+            rate_bps: inst.cfg.rate.as_bps(),
+            limit_bytes: inst.cfg.limit_bytes,
+            arrived_bytes: inst.arrived_bytes,
+            limit_drops: inst.drops,
+            marks: inst.marks,
+            gap_samples: inst.gap_track.samples(),
+            max_gap_bytes: inst.gap_track.max_bytes(),
+            mean_gap_bytes: inst.gap_track.mean_bytes(),
+        });
+    }
+}
 
 /// Work-conservation policy (§6 Discussions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,6 +107,13 @@ impl AqPipeline {
     /// Deploy an AQ at the egress position.
     pub fn deploy_egress(&mut self, cfg: AqConfig) {
         self.egress_table.deploy(cfg);
+    }
+
+    /// Export summaries of every deployed AQ (both positions) into the
+    /// hub. Harnesses call this before serializing a run report.
+    pub fn export_stats(&self, hub: &mut StatsHub) {
+        export_aq_table(&self.ingress_table, AqPosition::Ingress, hub);
+        export_aq_table(&self.egress_table, AqPosition::Egress, hub);
     }
 
     fn apply(
@@ -231,6 +265,34 @@ mod tests {
         let mut pipe = AqPipeline::new();
         let mut p = pkt(42, 0);
         assert_eq!(pipe.ingress(Time::ZERO, &mut p), PipelineVerdict::Forward);
+    }
+
+    #[test]
+    fn export_stats_publishes_both_positions() {
+        let mut pipe = AqPipeline::new();
+        pipe.deploy_ingress(cfg(1, 1500));
+        pipe.deploy_egress(cfg(2, 1_000_000));
+        let mut a = pkt(1, 2);
+        let mut b = pkt(1, 0);
+        pipe.ingress(Time::ZERO, &mut a);
+        pipe.egress(Time::ZERO, &mut a, PortId(0), 100);
+        pipe.ingress(Time::ZERO, &mut b); // 2120 > 1500: limit drop
+        let mut hub = aq_netsim::StatsHub::new();
+        pipe.export_stats(&mut hub);
+        let all: Vec<_> = hub.aq_summaries().collect();
+        assert_eq!(all.len(), 2);
+        let ing = &all[0];
+        assert_eq!(ing.tag, 1);
+        assert_eq!(ing.position, aq_netsim::AqPosition::Ingress);
+        assert_eq!(ing.limit_drops, 1);
+        assert_eq!(ing.arrived_bytes, 2120);
+        // Only the forwarded packet is observed, so max gap <= limit.
+        assert_eq!(ing.gap_samples, 1);
+        assert_eq!(ing.max_gap_bytes, 1060);
+        let egr = &all[1];
+        assert_eq!(egr.tag, 2);
+        assert_eq!(egr.position, aq_netsim::AqPosition::Egress);
+        assert_eq!(egr.gap_samples, 1);
     }
 
     #[test]

@@ -14,17 +14,38 @@ use std::collections::BinaryHeap;
 #[derive(Debug)]
 pub enum EventKind {
     /// A packet finishes propagating over a link and arrives at `node`.
-    Arrive { node: NodeId, packet: Packet },
+    Arrive {
+        /// The receiving node.
+        node: NodeId,
+        /// The arriving packet.
+        packet: Packet,
+    },
     /// The transmitter of `port` finishes serializing its current packet.
-    TxComplete { port: PortId },
+    TxComplete {
+        /// The transmitting port.
+        port: PortId,
+    },
     /// A shaped port reaches its next release time and should re-check its
     /// queue discipline.
-    PortWake { port: PortId },
+    PortWake {
+        /// The port to re-check.
+        port: PortId,
+    },
     /// A timer armed by node application logic fires; `token` is opaque to
     /// the simulator.
-    NodeTimer { node: NodeId, token: u64 },
+    NodeTimer {
+        /// The node whose app armed the timer.
+        node: NodeId,
+        /// Opaque token chosen by the app when arming.
+        token: u64,
+    },
     /// A timer armed by a control-plane agent fires.
-    AgentTimer { agent: AgentId, token: u64 },
+    AgentTimer {
+        /// The agent that armed the timer.
+        agent: AgentId,
+        /// Opaque token chosen by the agent when arming.
+        token: u64,
+    },
 }
 
 /// A scheduled event.

@@ -6,7 +6,8 @@
 //! and never grows while draining. Violations of these are silent
 //! corruption: results stay plausible-looking while being wrong.
 //!
-//! The [`invariant!`] macro asserts such properties in the hot paths. With
+//! The [`invariant!`](crate::invariant!) macro asserts such properties in
+//! the hot paths. With
 //! the `invariants` feature **off** (the default) the checks compile to
 //! nothing, so release benchmarking is unaffected; with it **on**
 //! (`cargo test --features invariants`) a violation panics with the failed

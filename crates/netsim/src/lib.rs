@@ -15,10 +15,26 @@
 //!   extension traits (transports attach to hosts, AQ attaches to switches);
 //! * [`topology`] — builders for the paper's dumbbell and star topologies;
 //! * [`sim`] — the event loop, routing, and control-plane agents;
-//! * [`stats`] — per-entity throughput/delay/completion measurement.
+//! * [`stats`] — per-entity, per-port, and per-AQ measurement (the
+//!   observability layer every experiment reads its results from).
 //!
 //! The simulator is single-threaded and allocation-light; determinism is a
 //! hard requirement so every figure in the evaluation regenerates exactly.
+//!
+//! ## The `invariants` feature
+//!
+//! The `invariants` cargo feature compiles in runtime checks of the
+//! properties the correctness argument rests on (FIFO byte conservation,
+//! ECN marking only at/above threshold, event-clock monotonicity, …) via
+//! the [`invariant!`] macro. With the feature off — the default — the
+//! checks cost nothing; with it on, a violation panics with structured
+//! context. Enable it in CI and when debugging:
+//!
+//! ```bash
+//! cargo test --workspace --features invariants
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod event;
 pub mod ids;
@@ -36,8 +52,11 @@ pub mod topology;
 pub use ids::{AgentId, EntityId, FlowId, LinkId, NodeId, PortId};
 pub use node::{HostApp, HostCtx, PipelineVerdict, SwitchPipeline};
 pub use packet::{AqTag, Ecn, Packet, TransportHeader, ACK_BYTES, HEADER_BYTES, MSS};
-pub use queue::{Enqueued, FifoConfig, FifoQueue, QueueDiscipline};
+pub use queue::{DropCause, Enqueued, FifoConfig, FifoQueue, QueueDiscipline};
 pub use sim::{Agent, AgentCtx, Network, Simulator};
-pub use stats::{jain_index, minmax_ratio, DelayRecorder, StatsHub, WindowedCounter};
+pub use stats::{
+    jain_index, minmax_ratio, AqPosition, AqSummary, DelayRecorder, PortStats, StatsHub,
+    WindowedCounter,
+};
 pub use time::{Duration, Rate, Time, NS_PER_SEC};
 pub use topology::{dumbbell, dumbbell_asym, fat_tree, star, Dumbbell, FatTree, NetBuilder, Star};

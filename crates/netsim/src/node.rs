@@ -128,9 +128,13 @@ pub enum NodeKind {
     /// A host. The app slot is `Option` so the simulator can temporarily
     /// take the app out while running a callback (avoiding aliased
     /// borrows of the node table).
-    Host { app: Option<Box<dyn HostApp>> },
+    Host {
+        /// The installed application, if any.
+        app: Option<Box<dyn HostApp>>,
+    },
     /// A switch with an ordered list of pipeline stages.
     Switch {
+        /// Pipeline stages, run in order on every forwarded packet.
         pipelines: Vec<Box<dyn SwitchPipeline>>,
         /// Packets dropped by pipeline verdicts (e.g. AQ limit drops).
         pipeline_drops: u64,

@@ -66,9 +66,13 @@ impl AqTag {
 /// Transport-layer header of a simulation packet.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TransportHeader {
-    /// A data segment: `seq` is the segment index within the flow (0-based),
-    /// `fin` marks the last segment of a finite flow.
-    Data { seq: u64, fin: bool },
+    /// A data segment.
+    Data {
+        /// Segment index within the flow (0-based).
+        seq: u64,
+        /// Marks the last segment of a finite flow.
+        fin: bool,
+    },
     /// A cumulative + selective acknowledgment.
     Ack {
         /// Next segment index expected in order (all below received).
@@ -108,8 +112,9 @@ pub struct Packet {
     pub flow: FlowId,
     /// The entity (application / CC aggregate / VM) that owns the flow.
     pub entity: EntityId,
-    /// Source and destination hosts.
+    /// Source host.
     pub src: NodeId,
+    /// Destination host.
     pub dst: NodeId,
     /// Total wire size in bytes (headers + payload).
     pub size: u32,

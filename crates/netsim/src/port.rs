@@ -10,9 +10,14 @@ use crate::packet::Packet;
 use crate::queue::QueueDiscipline;
 use crate::time::Time;
 
-/// Per-port cumulative counters.
+/// Per-port cumulative transmit/drop counters kept on the port itself.
+///
+/// These are the port's own cheap counters, updated inline by the
+/// transmitter; the richer per-port telemetry (byte conservation, drop
+/// causes, occupancy series) lives in [`crate::stats::PortStats`] inside
+/// the [`crate::stats::StatsHub`].
 #[derive(Debug, Default, Clone)]
-pub struct PortStats {
+pub struct PortCounters {
     /// Packets fully serialized onto the wire.
     pub tx_pkts: u64,
     /// Bytes fully serialized onto the wire.
@@ -37,7 +42,7 @@ pub struct Port {
     /// duplicate wake events for shaped queues.
     pub wake_at: Option<Time>,
     /// Cumulative counters.
-    pub stats: PortStats,
+    pub stats: PortCounters,
 }
 
 impl Port {
@@ -50,7 +55,7 @@ impl Port {
             queue,
             in_flight: None,
             wake_at: None,
-            stats: PortStats::default(),
+            stats: PortCounters::default(),
         }
     }
 

@@ -11,14 +11,38 @@ use crate::packet::Packet;
 use crate::time::Time;
 use std::collections::VecDeque;
 
+/// Why a packet was rejected at (or in front of) an output port.
+///
+/// Disciplines report the first three causes through
+/// [`Enqueued::Dropped`]; [`DropCause::AqLimit`] is used by the simulator
+/// when attributing switch-pipeline (AQ limit) drops to the output port
+/// the packet would have taken, so per-port telemetry in
+/// [`crate::stats::StatsHub`] can separate buffer pressure from policy
+/// drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropCause {
+    /// Buffer full: accepting the packet would exceed the byte limit.
+    Taildrop,
+    /// Non-ECT packet arriving at or above the ECN threshold (RED
+    /// semantics: mark the capable, drop the incapable).
+    RedNonEct,
+    /// Rejected by a shaper (e.g. a packet larger than its token-bucket
+    /// burst, which could never be released).
+    Shaper,
+    /// Dropped by an AQ pipeline limit before reaching the port queue.
+    /// Never produced by a [`QueueDiscipline`]; only used for stats
+    /// attribution.
+    AqLimit,
+}
+
 /// Outcome of offering a packet to a queue discipline.
 #[derive(Debug)]
 pub enum Enqueued {
     /// The packet was accepted and buffered.
     Ok,
-    /// The discipline rejected the packet (e.g. taildrop); returned so the
+    /// The discipline rejected the packet; returned with the cause so the
     /// port can account the loss.
-    Dropped(Packet),
+    Dropped(Packet, DropCause),
 }
 
 /// A buffering/scheduling discipline attached to an output port.
@@ -49,6 +73,13 @@ pub trait QueueDiscipline {
 
     /// Packets currently buffered.
     fn backlog_pkts(&self) -> usize;
+
+    /// Cumulative CE marks this discipline has applied. Disciplines that
+    /// never mark keep the default of zero; the simulator mirrors this into
+    /// per-port telemetry ([`crate::stats::PortStats::ecn_marks`]).
+    fn ecn_marks(&self) -> u64 {
+        0
+    }
 
     /// Downcast hook so controllers (e.g. a dynamic rate limiter agent) can
     /// reconfigure a concrete discipline through the trait object.
@@ -156,7 +187,7 @@ impl QueueDiscipline for FifoQueue {
         if self.backlog + pkt.size as u64 > self.cfg.limit_bytes {
             self.drops += 1;
             self.dropped_bytes += pkt.size as u64;
-            return Enqueued::Dropped(pkt);
+            return Enqueued::Dropped(pkt, DropCause::Taildrop);
         }
         let marked_upstream = pkt.ecn.is_marked();
         if let Some(k) = self.cfg.ecn_threshold_bytes {
@@ -170,7 +201,7 @@ impl QueueDiscipline for FifoQueue {
                     self.drops += 1;
                     self.dropped_bytes += pkt.size as u64;
                     self.check_conservation();
-                    return Enqueued::Dropped(pkt);
+                    return Enqueued::Dropped(pkt, DropCause::RedNonEct);
                 }
             }
         }
@@ -224,6 +255,10 @@ impl QueueDiscipline for FifoQueue {
         self.buf.len()
     }
 
+    fn ecn_marks(&self) -> u64 {
+        self.marks
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
@@ -275,7 +310,7 @@ mod tests {
         assert!(matches!(q.enqueue(Time::ZERO, pkt(MSS)), Enqueued::Ok));
         assert!(matches!(
             q.enqueue(Time::ZERO, pkt(MSS)),
-            Enqueued::Dropped(_)
+            Enqueued::Dropped(_, DropCause::Taildrop)
         ));
         assert_eq!(q.drops, 1);
         assert_eq!(q.backlog_pkts(), 2);
@@ -299,8 +334,9 @@ mod tests {
         // Non-ECT traffic is dropped at the threshold (RED semantics).
         assert!(matches!(
             q.enqueue(Time::ZERO, pkt(MSS)),
-            Enqueued::Dropped(_)
+            Enqueued::Dropped(_, DropCause::RedNonEct)
         ));
+        assert_eq!(q.ecn_marks(), 1);
         let a = q.dequeue(Time::ZERO).unwrap();
         let b = q.dequeue(Time::ZERO).unwrap();
         assert!(!a.ecn.is_marked());

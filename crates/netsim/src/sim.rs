@@ -35,7 +35,7 @@ pub struct Network {
     pub nodes: Vec<Node>,
     /// All output ports, indexed by [`PortId`].
     pub ports: Vec<Port>,
-    /// All unidirectional links, indexed by [`LinkId`].
+    /// All unidirectional links, indexed by [`LinkId`](crate::ids::LinkId).
     pub links: Vec<Link>,
     /// `routes[node][dst]` is the set of equal-cost next-hop ports on
     /// `node` toward `dst` (ECMP); flows hash onto one of them.
@@ -400,12 +400,22 @@ impl Simulator {
     }
 
     fn enqueue_at_port(&mut self, port: PortId, pkt: Packet) {
+        let now = self.now;
         let entity = pkt.entity;
+        let bytes = pkt.size as u64;
         let p = &mut self.net.ports[port.index()];
-        match p.queue.enqueue(self.now, pkt) {
-            Enqueued::Ok => self.try_transmit(port),
-            Enqueued::Dropped(_) => {
+        let node = p.node;
+        match p.queue.enqueue(now, pkt) {
+            Enqueued::Ok => {
+                let backlog = p.queue.backlog_bytes();
+                let marks = p.queue.ecn_marks();
+                self.stats
+                    .on_port_enqueue(now, node, port, bytes, backlog, marks);
+                self.try_transmit(port);
+            }
+            Enqueued::Dropped(_, cause) => {
                 p.stats.queue_drops += 1;
+                self.stats.on_port_queue_drop(node, port, bytes, cause);
                 self.stats.on_drop(entity);
             }
         }
@@ -424,9 +434,13 @@ impl Simulator {
                     .queue
                     .dequeue(now)
                     .expect("discipline reported ready but gave no packet");
+                let bytes = pkt.size as u64;
+                let backlog = p.queue.backlog_bytes();
+                let node = p.node;
                 let link = &self.net.links[p.link.index()];
-                let dur = link.rate.transmit_time(pkt.size as u64);
+                let dur = link.rate.transmit_time(bytes);
                 p.in_flight = Some(pkt);
+                self.stats.on_port_dequeue(now, node, port, bytes, backlog);
                 self.events.push(now + dur, EventKind::TxComplete { port });
             }
             // Shaped release in the future: arm one wake for the
@@ -444,6 +458,7 @@ impl Simulator {
         let pkt = p.in_flight.take().expect("TxComplete on idle port");
         p.stats.tx_pkts += 1;
         p.stats.tx_bytes += pkt.size as u64;
+        self.stats.on_port_tx(p.node, port, pkt.size as u64);
         let link = &self.net.links[p.link.index()];
         let to = link.to_node;
         let lidx = p.link.index();
@@ -513,6 +528,12 @@ impl Simulator {
             v
         };
         if verdict == PipelineVerdict::Drop {
+            // Attribute the pipeline drop to the port the packet would
+            // have taken (the routing decision is deterministic, so the
+            // lookup is exact even though the packet never reaches it).
+            if let Some(out) = self.net.route(node, pkt.dst, pkt.flow) {
+                self.stats.on_port_aq_drop(node, out);
+            }
             self.stats.on_drop(entity);
             return;
         }
@@ -543,6 +564,7 @@ impl Simulator {
             v
         };
         if verdict == PipelineVerdict::Drop {
+            self.stats.on_port_aq_drop(node, out_port);
             self.stats.on_drop(entity);
             return;
         }

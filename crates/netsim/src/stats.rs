@@ -1,13 +1,27 @@
 //! Measurement infrastructure shared by all experiments.
 //!
-//! The hub records, per *entity* (the paper's unit of bandwidth guarantee):
-//! delivered payload bytes (total and as a windowed time series), physical
-//! and virtual queuing-delay samples, and flow lifecycles (for workload /
-//! flow completion times). Free functions compute the fairness metrics the
-//! paper reports.
+//! The hub records three kinds of state, mirroring what the paper's
+//! evaluation (§5) reads off real switches:
+//!
+//! * per *entity* (the paper's unit of bandwidth guarantee): delivered
+//!   payload bytes (total and as a windowed time series), physical and
+//!   virtual queuing-delay samples, and flow lifecycles (for workload /
+//!   flow completion times);
+//! * per *(switch, port)*: the conservation counters of the attached queue
+//!   discipline (enqueued/dequeued/dropped bytes), drop causes (taildrop vs
+//!   RED vs shaper vs AQ limit), ECN marks, and a windowed queue-occupancy
+//!   series ([`PortStats`]);
+//! * per *AQ instance*: an [`AqSummary`] of gap statistics and limit drops,
+//!   exported by `aq-core`'s pipeline.
+//!
+//! Free functions compute the fairness metrics the paper reports. All maps
+//! are `BTreeMap`s so iteration (and hence any serialized report) is
+//! deterministic.
 
-use crate::ids::{EntityId, FlowId};
+use crate::ids::{EntityId, FlowId, NodeId, PortId};
+use crate::queue::DropCause;
 use crate::time::{Duration, Time};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// Bytes counted into fixed-size time windows; yields a throughput series.
@@ -29,11 +43,42 @@ impl WindowedCounter {
 
     /// Add `bytes` at time `now`.
     pub fn record(&mut self, now: Time, bytes: u64) {
+        let idx = self.bucket_index(now);
+        self.buckets[idx] += bytes;
+    }
+
+    /// Record a *gauge* sample at time `now`, keeping the per-window
+    /// maximum instead of a sum. Used for queue-occupancy series: each
+    /// bucket then holds the peak value observed during that window.
+    ///
+    /// A counter instance should be fed exclusively through [`record`]
+    /// (sum semantics) or exclusively through `record_max` (peak-gauge
+    /// semantics); mixing the two on one instance yields meaningless
+    /// buckets.
+    ///
+    /// ```
+    /// use aq_netsim::stats::WindowedCounter;
+    /// use aq_netsim::time::{Duration, Time};
+    ///
+    /// let mut occ = WindowedCounter::new(Duration::from_millis(10));
+    /// occ.record_max(Time::from_millis(1), 400);
+    /// occ.record_max(Time::from_millis(9), 250); // same window, smaller
+    /// occ.record_max(Time::from_millis(12), 90);
+    /// assert_eq!(occ.buckets(), &[400, 90]);
+    /// ```
+    ///
+    /// [`record`]: WindowedCounter::record
+    pub fn record_max(&mut self, now: Time, value: u64) {
+        let idx = self.bucket_index(now);
+        self.buckets[idx] = self.buckets[idx].max(value);
+    }
+
+    fn bucket_index(&mut self, now: Time) -> usize {
         let idx = (now.as_nanos() / self.window.as_nanos()) as usize;
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }
-        self.buckets[idx] += bytes;
+        idx
     }
 
     /// The configured window.
@@ -70,9 +115,21 @@ impl WindowedCounter {
 }
 
 /// Collects delay samples (nanoseconds) and reports percentiles.
-#[derive(Debug, Clone, Default)]
+///
+/// Percentile queries sort lazily: the first [`percentile`] call after new
+/// samples arrive sorts once into an internal cache, and subsequent queries
+/// reuse it, so asking for p50/p99/p999 in a report costs one sort total.
+///
+/// [`percentile`]: DelayRecorder::percentile
+#[derive(Clone, Default)]
 pub struct DelayRecorder {
     samples: Vec<u64>,
+    /// Sorted copy of `samples`, rebuilt lazily. Since [`record`] only ever
+    /// appends, the cache is stale exactly when its length differs from
+    /// `samples.len()`.
+    ///
+    /// [`record`]: DelayRecorder::record
+    sorted: RefCell<Vec<u64>>,
 }
 
 impl DelayRecorder {
@@ -97,8 +154,12 @@ impl DelayRecorder {
         if self.samples.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
+        let mut sorted = self.sorted.borrow_mut();
+        if sorted.len() != self.samples.len() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_unstable();
+        }
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
         Some(sorted[rank.max(1).min(sorted.len()) - 1])
     }
@@ -109,6 +170,17 @@ impl DelayRecorder {
             return None;
         }
         Some(self.samples.iter().map(|s| *s as f64).sum::<f64>() / self.samples.len() as f64)
+    }
+}
+
+impl std::fmt::Debug for DelayRecorder {
+    /// Prints only the recorded samples — the lazy sort cache is query
+    /// state, and including it would make `{:?}` output (used by the
+    /// determinism e2e digest) depend on whether percentiles were read.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DelayRecorder")
+            .field("samples", &self.samples)
+            .finish()
     }
 }
 
@@ -125,6 +197,10 @@ pub struct EntityStats {
     pub vdelay: DelayRecorder,
     /// Packets of this entity dropped anywhere (taildrop, shaper, AQ limit).
     pub drops: u64,
+    /// Deliveries seen by this entity, for delay-sample decimation. Kept
+    /// per entity so `delay_decimation > 1` samples every entity at the
+    /// same rate regardless of interleaving.
+    delay_seen: u64,
 }
 
 impl EntityStats {
@@ -135,8 +211,142 @@ impl EntityStats {
             pq_delay: DelayRecorder::default(),
             vdelay: DelayRecorder::default(),
             drops: 0,
+            delay_seen: 0,
         }
     }
+}
+
+/// Per-`(switch, port)` telemetry, mirroring the conservation counters of
+/// the attached queue discipline plus transmit and drop-cause accounting.
+///
+/// Fed by the simulator at every enqueue/drop/dequeue/tx-complete, so it
+/// works for *any* [`crate::queue::QueueDiscipline`] (FIFO, HTB shaper,
+/// DRR), not just [`crate::queue::FifoQueue`]. The byte identity
+///
+/// ```text
+/// enqueued_bytes == dequeued_bytes + dropped_bytes + resident_bytes
+/// ```
+///
+/// holds at every event boundary (see [`PortStats::conserves`]); it is the
+/// hub-side image of the FIFO conservation invariant.
+#[derive(Debug, Clone)]
+pub struct PortStats {
+    /// Node owning the port.
+    pub node: NodeId,
+    /// Packets fully serialized onto the wire.
+    pub tx_pkts: u64,
+    /// Bytes fully serialized onto the wire.
+    pub tx_bytes: u64,
+    /// Bytes offered to the discipline (accepted or rejected).
+    pub enqueued_bytes: u64,
+    /// Bytes handed back out by the discipline for transmission.
+    pub dequeued_bytes: u64,
+    /// Bytes of rejected packets (all causes below).
+    pub dropped_bytes: u64,
+    /// Bytes currently buffered (discipline backlog at last event).
+    pub resident_bytes: u64,
+    /// Packets rejected because the buffer byte limit was reached.
+    pub taildrops: u64,
+    /// Non-ECT packets dropped at the ECN threshold (RED semantics).
+    pub red_drops: u64,
+    /// Packets rejected by a shaper discipline.
+    pub shaper_drops: u64,
+    /// Packets dropped by an AQ pipeline limit *before* reaching this
+    /// port's queue. Attribution only — these bytes never enter the
+    /// discipline, so they are **not** part of the byte identity above.
+    pub aq_drops: u64,
+    /// Cumulative CE marks applied by the discipline.
+    pub ecn_marks: u64,
+    /// Windowed queue-occupancy series: per-window *peak* backlog in bytes
+    /// (fed through [`WindowedCounter::record_max`]).
+    pub occupancy: WindowedCounter,
+}
+
+impl PortStats {
+    fn new(node: NodeId, window: Duration) -> PortStats {
+        PortStats {
+            node,
+            tx_pkts: 0,
+            tx_bytes: 0,
+            enqueued_bytes: 0,
+            dequeued_bytes: 0,
+            dropped_bytes: 0,
+            resident_bytes: 0,
+            taildrops: 0,
+            red_drops: 0,
+            shaper_drops: 0,
+            aq_drops: 0,
+            ecn_marks: 0,
+            occupancy: WindowedCounter::new(window),
+        }
+    }
+
+    /// Total packets rejected at the queue boundary (excludes `aq_drops`,
+    /// which happen upstream in the switch pipeline).
+    pub fn queue_drops(&self) -> u64 {
+        self.taildrops + self.red_drops + self.shaper_drops
+    }
+
+    /// Whether the port-level byte identity
+    /// `enqueued == dequeued + dropped + resident` holds.
+    pub fn conserves(&self) -> bool {
+        self.enqueued_bytes == self.dequeued_bytes + self.dropped_bytes + self.resident_bytes
+    }
+
+    /// Peak buffered bytes observed over the whole run (max over the
+    /// occupancy series).
+    pub fn peak_occupancy_bytes(&self) -> u64 {
+        self.occupancy.buckets().iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Which stage of the switch pipeline an AQ sits in (mirrors `aq-core`'s
+/// `Position` without introducing a dependency cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AqPosition {
+    /// Matched on the receiving port, before routing.
+    Ingress,
+    /// Matched on the sending port, after routing.
+    Egress,
+}
+
+impl AqPosition {
+    /// Lowercase label used in serialized reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AqPosition::Ingress => "ingress",
+            AqPosition::Egress => "egress",
+        }
+    }
+}
+
+/// End-of-run summary of one AQ instance, exported into the hub by
+/// `aq-core`'s pipeline (`AqPipeline::export_stats`).
+///
+/// Plain data (no `aq-core` types) so `aq-netsim` stays dependency-free;
+/// the tag/position pair is the identity of the AQ within a run.
+#[derive(Debug, Clone)]
+pub struct AqSummary {
+    /// The AQ's tag (entity identifier carried in packets).
+    pub tag: u32,
+    /// Pipeline stage the AQ is deployed at.
+    pub position: AqPosition,
+    /// Configured drain rate in bits/s.
+    pub rate_bps: u64,
+    /// Configured AQ limit in bytes.
+    pub limit_bytes: u64,
+    /// Bytes that arrived at the AQ (forwarded or dropped).
+    pub arrived_bytes: u64,
+    /// Packets dropped because the gap exceeded the AQ limit.
+    pub limit_drops: u64,
+    /// CE marks applied by the AQ (ECN-based CC policy).
+    pub marks: u64,
+    /// Number of gap observations behind the max/mean below.
+    pub gap_samples: u64,
+    /// Maximum A-Gap (bytes) carried by any forwarded packet.
+    pub max_gap_bytes: u64,
+    /// Mean A-Gap (bytes) over forwarded packets; 0.0 when no samples.
+    pub mean_gap_bytes: f64,
 }
 
 /// Lifecycle of one registered flow.
@@ -160,15 +370,39 @@ impl FlowRecord {
 }
 
 /// The shared measurement sink owned by the simulator.
+///
+/// The simulator feeds it at every delivery, enqueue, drop, dequeue, and
+/// tx-complete; readers get per-entity, per-port, and per-AQ views with
+/// deterministic (`BTreeMap`) iteration order. The port feed maintains
+/// the conservation identity `enqueued == dequeued + dropped + resident`
+/// at every event boundary:
+///
+/// ```
+/// use aq_netsim::ids::{NodeId, PortId};
+/// use aq_netsim::queue::DropCause;
+/// use aq_netsim::stats::StatsHub;
+/// use aq_netsim::time::Time;
+///
+/// let mut hub = StatsHub::new();
+/// let (node, port) = (NodeId(0), PortId(0));
+/// // A 1500 B packet is buffered, then a second one taildrops.
+/// hub.on_port_enqueue(Time::from_micros(1), node, port, 1500, 1500, 0);
+/// hub.on_port_queue_drop(node, port, 1500, DropCause::Taildrop);
+/// let ps = hub.port(port).unwrap();
+/// assert!(ps.conserves());
+/// assert_eq!((ps.enqueued_bytes, ps.resident_bytes), (3000, 1500));
+/// assert_eq!((ps.taildrops, ps.dropped_bytes), (1, 1500));
+/// ```
 #[derive(Debug, Default)]
 pub struct StatsHub {
     window: Option<Duration>,
     entities: BTreeMap<EntityId, EntityStats>,
     flows: BTreeMap<FlowId, FlowRecord>,
-    /// Record every Nth delay sample (1 = all). Reduces memory for very
-    /// long runs without biasing percentiles.
+    ports: BTreeMap<PortId, PortStats>,
+    aqs: BTreeMap<(u32, AqPosition), AqSummary>,
+    /// Record every Nth delay sample per entity (1 = all). Reduces memory
+    /// for very long runs without biasing percentiles.
     pub delay_decimation: u64,
-    delay_seen: u64,
 }
 
 impl StatsHub {
@@ -179,8 +413,9 @@ impl StatsHub {
             window: None,
             entities: BTreeMap::new(),
             flows: BTreeMap::new(),
+            ports: BTreeMap::new(),
+            aqs: BTreeMap::new(),
             delay_decimation: 1,
-            delay_seen: 0,
         }
     }
 
@@ -221,12 +456,12 @@ impl StatsHub {
         pq_ns: u64,
         vd_ns: u64,
     ) {
-        self.delay_seen += 1;
-        let sample = self.delay_seen.is_multiple_of(self.delay_decimation.max(1));
+        let decimation = self.delay_decimation.max(1);
         let es = self.entity_mut(entity);
         es.rx_bytes += payload;
         es.rx_series.record(now, payload);
-        if sample {
+        es.delay_seen += 1;
+        if es.delay_seen.is_multiple_of(decimation) {
             es.pq_delay.record(pq_ns);
             es.vdelay.record(vd_ns);
         }
@@ -236,6 +471,107 @@ impl StatsHub {
     /// shaper rejection, or AQ pipeline drop).
     pub fn on_drop(&mut self, entity: EntityId) {
         self.entity_mut(entity).drops += 1;
+    }
+
+    /// Per-port stats, creating the slot on first touch.
+    pub fn port_mut(&mut self, node: NodeId, port: PortId) -> &mut PortStats {
+        let w = self.window();
+        self.ports
+            .entry(port)
+            .or_insert_with(|| PortStats::new(node, w))
+    }
+
+    /// Read-only per-port stats.
+    pub fn port(&self, port: PortId) -> Option<&PortStats> {
+        self.ports.get(&port)
+    }
+
+    /// All ports that have seen any traffic, in `PortId` order.
+    pub fn ports(&self) -> impl Iterator<Item = (&PortId, &PortStats)> {
+        self.ports.iter()
+    }
+
+    /// Called by the simulator when a discipline accepts a packet.
+    /// `backlog` is the discipline's backlog *after* the enqueue and
+    /// `marks_total` its cumulative CE-mark counter.
+    pub fn on_port_enqueue(
+        &mut self,
+        now: Time,
+        node: NodeId,
+        port: PortId,
+        bytes: u64,
+        backlog: u64,
+        marks_total: u64,
+    ) {
+        let ps = self.port_mut(node, port);
+        ps.enqueued_bytes += bytes;
+        ps.resident_bytes = backlog;
+        ps.ecn_marks = marks_total;
+        ps.occupancy.record_max(now, backlog);
+    }
+
+    /// Called by the simulator when a discipline rejects a packet. Offered
+    /// bytes are still counted into `enqueued_bytes` (mirroring the FIFO
+    /// counters) so the conservation identity holds.
+    pub fn on_port_queue_drop(&mut self, node: NodeId, port: PortId, bytes: u64, cause: DropCause) {
+        let ps = self.port_mut(node, port);
+        // Pipeline drops never traverse the queue; they are attributed
+        // through `on_port_aq_drop` and do not enter the byte identity.
+        if cause == DropCause::AqLimit {
+            ps.aq_drops += 1;
+            return;
+        }
+        ps.enqueued_bytes += bytes;
+        ps.dropped_bytes += bytes;
+        match cause {
+            DropCause::Taildrop => ps.taildrops += 1,
+            DropCause::RedNonEct => ps.red_drops += 1,
+            DropCause::Shaper => ps.shaper_drops += 1,
+            DropCause::AqLimit => unreachable!(),
+        }
+    }
+
+    /// Called by the simulator when a discipline releases a packet for
+    /// transmission. `backlog` is the backlog *after* the dequeue.
+    pub fn on_port_dequeue(
+        &mut self,
+        now: Time,
+        node: NodeId,
+        port: PortId,
+        bytes: u64,
+        backlog: u64,
+    ) {
+        let ps = self.port_mut(node, port);
+        ps.dequeued_bytes += bytes;
+        ps.resident_bytes = backlog;
+        ps.occupancy.record_max(now, backlog);
+    }
+
+    /// Called by the simulator when a packet finishes serializing onto the
+    /// wire.
+    pub fn on_port_tx(&mut self, node: NodeId, port: PortId, bytes: u64) {
+        let ps = self.port_mut(node, port);
+        ps.tx_pkts += 1;
+        ps.tx_bytes += bytes;
+    }
+
+    /// Attribute an AQ-pipeline (limit) drop to the output port the packet
+    /// would have taken. Packet-count only: the bytes never entered the
+    /// port queue.
+    pub fn on_port_aq_drop(&mut self, node: NodeId, port: PortId) {
+        self.port_mut(node, port).aq_drops += 1;
+    }
+
+    /// Record (or replace) the end-of-run summary of one AQ instance,
+    /// keyed by `(tag, position)`. Re-exporting is idempotent, so reports
+    /// may be captured repeatedly during a run.
+    pub fn record_aq_summary(&mut self, s: AqSummary) {
+        self.aqs.insert((s.tag, s.position), s);
+    }
+
+    /// All exported AQ summaries, in `(tag, position)` order.
+    pub fn aq_summaries(&self) -> impl Iterator<Item = &AqSummary> {
+        self.aqs.values()
     }
 
     /// Declare a flow before it starts so its completion can be awaited.
@@ -395,6 +731,91 @@ mod tests {
         assert_eq!(es.rx_bytes, 2000);
         assert_eq!(es.pq_delay.len(), 2);
         assert_eq!(es.pq_delay.percentile(100.0), Some(900));
+    }
+
+    #[test]
+    fn record_max_keeps_per_window_peak() {
+        let mut c = WindowedCounter::new(Duration::from_millis(10));
+        c.record_max(Time::from_millis(1), 500);
+        c.record_max(Time::from_millis(8), 300);
+        c.record_max(Time::from_millis(12), 900);
+        c.record_max(Time::from_millis(19), 100);
+        assert_eq!(c.buckets(), &[500, 900]);
+    }
+
+    #[test]
+    fn percentile_cache_follows_new_samples() {
+        let mut d = DelayRecorder::default();
+        d.record(10);
+        d.record(30);
+        assert_eq!(d.percentile(100.0), Some(30));
+        // The sorted cache must be invalidated by the new sample.
+        d.record(20);
+        assert_eq!(d.percentile(50.0), Some(20));
+        assert_eq!(d.percentile(100.0), Some(30));
+    }
+
+    #[test]
+    fn delay_decimation_is_per_entity() {
+        let mut s = StatsHub::new();
+        s.delay_decimation = 2;
+        // Interleave deliveries of two entities. With a per-entity counter
+        // each entity keeps every 2nd of *its own* samples (2 of 4); a
+        // global counter would sample them unevenly.
+        for i in 0..4u64 {
+            s.on_delivery(Time::from_millis(i), EntityId(1), 100, 10 + i, 0);
+            s.on_delivery(Time::from_millis(i), EntityId(2), 100, 20 + i, 0);
+        }
+        assert_eq!(s.entity(EntityId(1)).unwrap().pq_delay.len(), 2);
+        assert_eq!(s.entity(EntityId(2)).unwrap().pq_delay.len(), 2);
+    }
+
+    #[test]
+    fn port_feed_methods_preserve_byte_identity() {
+        let mut s = StatsHub::new();
+        let (n, p) = (NodeId(0), PortId(7));
+        s.on_port_enqueue(Time::from_millis(1), n, p, 1000, 1000, 0);
+        s.on_port_enqueue(Time::from_millis(2), n, p, 1000, 2000, 1);
+        s.on_port_queue_drop(n, p, 1000, DropCause::Taildrop);
+        s.on_port_dequeue(Time::from_millis(3), n, p, 1000, 1000);
+        s.on_port_tx(n, p, 1000);
+        // AQ-limit drops are attribution-only and must not disturb bytes.
+        s.on_port_queue_drop(n, p, 1000, DropCause::AqLimit);
+        let ps = s.port(p).unwrap();
+        assert!(ps.conserves());
+        assert_eq!(ps.enqueued_bytes, 3000);
+        assert_eq!(ps.dequeued_bytes, 1000);
+        assert_eq!(ps.dropped_bytes, 1000);
+        assert_eq!(ps.resident_bytes, 1000);
+        assert_eq!(ps.taildrops, 1);
+        assert_eq!(ps.aq_drops, 1);
+        assert_eq!(ps.queue_drops(), 1);
+        assert_eq!(ps.ecn_marks, 1);
+        assert_eq!(ps.tx_pkts, 1);
+        assert_eq!(ps.peak_occupancy_bytes(), 2000);
+    }
+
+    #[test]
+    fn aq_summary_reexport_is_idempotent() {
+        let mut s = StatsHub::new();
+        let mk = |drops| AqSummary {
+            tag: 5,
+            position: AqPosition::Ingress,
+            rate_bps: 1_000_000_000,
+            limit_bytes: 150_000,
+            arrived_bytes: 1_000,
+            limit_drops: drops,
+            marks: 0,
+            gap_samples: 10,
+            max_gap_bytes: 3_000,
+            mean_gap_bytes: 1_500.0,
+        };
+        s.record_aq_summary(mk(1));
+        s.record_aq_summary(mk(2));
+        let all: Vec<&AqSummary> = s.aq_summaries().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].limit_drops, 2);
+        assert_eq!(all[0].position.label(), "ingress");
     }
 
     #[test]

@@ -63,7 +63,7 @@ proptest! {
             p.uid = uid as u64;
             match q.enqueue(Time::ZERO, p) {
                 Enqueued::Ok => accepted.push(uid as u64),
-                Enqueued::Dropped(_) => {}
+                Enqueued::Dropped(..) => {}
             }
             prop_assert!(q.backlog_bytes() <= limit);
         }

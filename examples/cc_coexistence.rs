@@ -11,6 +11,7 @@
 //! feedback signal (loss / virtual-threshold ECN / virtual delay) and the
 //! three split the link evenly.
 
+use aq_bench::report::RunReport;
 use augmented_queue::core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
@@ -35,7 +36,7 @@ fn algorithms() -> [CcAlgo; 3] {
     ]
 }
 
-fn run(use_aq: bool) -> Vec<(String, f64)> {
+fn run(use_aq: bool, rep: &mut RunReport) -> Vec<(String, f64)> {
     let d = dumbbell(
         3,
         Rate::from_gbps(LINK_GBPS),
@@ -101,7 +102,7 @@ fn run(use_aq: bool) -> Vec<(String, f64)> {
     }
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(500));
-    algorithms()
+    let out = algorithms()
         .iter()
         .enumerate()
         .map(|(i, cc)| {
@@ -115,18 +116,22 @@ fn run(use_aq: bool) -> Vec<(String, f64)> {
                 ),
             )
         })
-        .collect()
+        .collect();
+    rep.capture(if use_aq { "aq" } else { "pq" }, &mut sim);
+    out
 }
 
 fn main() {
     println!("three entities (5 flows each) share a {LINK_GBPS} Gbps bottleneck\n");
+    let mut rep = RunReport::new("example_cc_coexistence");
     println!("shared physical queue (ECN threshold 65 KB):");
-    for (name, g) in run(false) {
+    for (name, g) in run(false, &mut rep) {
         println!("  {name:<8} {g:5.2} Gbps");
     }
     println!("\nper-entity AQs, equal weights (loss / virtual-ECN / virtual-delay feedback):");
-    for (name, g) in run(true) {
+    for (name, g) in run(true, &mut rep) {
         println!("  {name:<8} {g:5.2} Gbps");
     }
     println!("\nwith AQ each algorithm keeps its own control law but the shares equalize.");
+    rep.write().expect("write run report");
 }

@@ -9,6 +9,7 @@
 //! for weighted AQ grants, deploy the AQ pipeline on the switch, tag each
 //! entity's flows with its AQ id, simulate, and read per-entity goodput.
 
+use aq_bench::report::RunReport;
 use augmented_queue::core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
@@ -113,4 +114,9 @@ fn main() {
     println!("tenant B (8 flows): {b:.2} Gbps");
     println!("despite the 1-vs-8 flow count, equal weights give each ~half the link.");
     assert!((a / b).max(b / a) < 1.5, "shares should be near-equal");
+
+    // 6. Export the structured run report (per-entity, per-port, per-AQ).
+    let mut rep = RunReport::new("example_quickstart");
+    rep.capture("quickstart", &mut sim);
+    rep.write().expect("write run report");
 }

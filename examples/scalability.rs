@@ -10,6 +10,7 @@
 //! reports the per-packet processing cost and the register memory the
 //! table would occupy on a switch (15 bytes per AQ).
 
+use aq_bench::report::RunReport;
 use augmented_queue::core::{process_packet, AqConfig, AqPipeline, AqTable, AqVerdict, CcPolicy};
 use augmented_queue::netsim::packet::{AqTag, Packet};
 use augmented_queue::netsim::time::{Rate, Time};
@@ -101,4 +102,22 @@ fn main() {
         PACKETS as f64 / elapsed.as_secs_f64() / 1e6
     );
     println!("\nmillions of traffic constituents fit in one table — no physical queues needed.");
+
+    // Structured run report. Only simulation-determined values go in (the
+    // wall-clock packet rates above vary run to run and would break the
+    // byte-identical artifact guarantee).
+    let mut rep = RunReport::new("example_scalability");
+    rep.capture_metrics(
+        "million_aq_table",
+        &[
+            ("aqs_deployed", table.len() as f64),
+            (
+                "register_memory_bytes",
+                table.register_memory_bytes() as f64,
+            ),
+            ("packets_processed", PACKETS as f64),
+            ("limit_drops", dropped as f64),
+        ],
+    );
+    rep.write().expect("write run report");
 }

@@ -11,6 +11,7 @@
 //! the bully — to its third of the link, with no cooperation needed from
 //! the bully's end host.
 
+use aq_bench::report::RunReport;
 use augmented_queue::core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
@@ -22,7 +23,7 @@ use augmented_queue::netsim::{EntityId, Simulator};
 use augmented_queue::transport::{CcAlgo, DelaySignal, FlowKind};
 use augmented_queue::workloads::{add_flows, ensure_transport_hosts, goodput_gbps, long_flows};
 
-fn run(use_aq: bool) -> Vec<f64> {
+fn run(use_aq: bool, rep: &mut RunReport) -> Vec<f64> {
     let d = dumbbell(
         3,
         Rate::from_gbps(10),
@@ -91,7 +92,7 @@ fn run(use_aq: bool) -> Vec<f64> {
     }
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(400));
-    (1..=3)
+    let out = (1..=3)
         .map(|e| {
             goodput_gbps(
                 &sim.stats,
@@ -100,17 +101,20 @@ fn run(use_aq: bool) -> Vec<f64> {
                 Time::from_millis(400),
             )
         })
-        .collect()
+        .collect();
+    rep.capture(if use_aq { "aq" } else { "pq" }, &mut sim);
+    out
 }
 
 fn main() {
     println!("tenant 1: UDP at line rate; tenants 2-3: 4 CUBIC flows each; 10 Gbps core\n");
-    let pq = run(false);
+    let mut rep = RunReport::new("example_tenant_isolation");
+    let pq = run(false, &mut rep);
     println!(
         "shared physical queue:  bully {:.2}  tcp-2 {:.2}  tcp-3 {:.2}  (Gbps)",
         pq[0], pq[1], pq[2]
     );
-    let aq = run(true);
+    let aq = run(true, &mut rep);
     println!(
         "equal-weight AQs:       bully {:.2}  tcp-2 {:.2}  tcp-3 {:.2}  (Gbps)",
         aq[0], aq[1], aq[2]
@@ -122,4 +126,5 @@ fn main() {
         aq[0] < 2.0 * aq[1].min(aq[2]),
         "AQ: shares should be comparable"
     );
+    rep.write().expect("write run report");
 }

@@ -11,6 +11,7 @@
 //! inbound one — something neither physical queues (no signal below line
 //! rate) nor sender-side rate limiters (3 × 5 Gbps converge on A) can do.
 
+use aq_bench::report::RunReport;
 use augmented_queue::core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
@@ -25,7 +26,7 @@ use augmented_queue::workloads::{add_flows, ensure_transport_hosts, goodput_gbps
 const A_OUT: EntityId = EntityId(1);
 const A_IN: EntityId = EntityId(2);
 
-fn run(with_aq: bool) -> (f64, f64) {
+fn run(with_aq: bool, rep: &mut RunReport) -> (f64, f64) {
     let s = star(
         4,
         Rate::from_gbps(25),
@@ -93,7 +94,7 @@ fn run(with_aq: bool) -> (f64, f64) {
     }
     let mut sim = Simulator::new(net);
     sim.run_until(Time::from_millis(400));
-    (
+    let out = (
         goodput_gbps(
             &sim.stats,
             A_OUT,
@@ -106,15 +107,19 @@ fn run(with_aq: bool) -> (f64, f64) {
             Time::from_millis(100),
             Time::from_millis(400),
         ),
-    )
+    );
+    rep.capture(if with_aq { "aq" } else { "pq" }, &mut sim);
+    out
 }
 
 fn main() {
     println!("VM A profile: 5 Gbps outbound / 5 Gbps inbound on a 25 Gbps star\n");
-    let (out_pq, in_pq) = run(false);
+    let mut rep = RunReport::new("example_vm_hose_guarantee");
+    let (out_pq, in_pq) = run(false, &mut rep);
     println!("physical queues only:  outbound {out_pq:5.2} Gbps   inbound {in_pq:5.2} Gbps");
-    let (out_aq, in_aq) = run(true);
+    let (out_aq, in_aq) = run(true, &mut rep);
     println!("with bi-directional AQ: outbound {out_aq:5.2} Gbps   inbound {in_aq:5.2} Gbps");
     println!("\nthe AQ pair pins both directions at the profile (~4.7 Gbps payload of 5 Gbps");
     println!("wire) even though the physical queue never sees congestion at 5 of 25 Gbps.");
+    rep.write().expect("write run report");
 }

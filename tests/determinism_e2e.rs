@@ -6,20 +6,23 @@
 //! The digest covers the Debug rendering of the entire [`StatsHub`]
 //! (per-entity byte/packet/drop/mark counters, delay percentiles,
 //! windowed throughput) plus the processed-event count, so any divergence
-//! anywhere in the event stream shows up.
+//! anywhere in the event stream shows up. A second, wider scenario runs
+//! an ECMP fat-tree and additionally digests the rendered `RunReport`
+//! artifact bytes, pinning down the serialization path as well.
 //!
 //! Everything that could break this is policed elsewhere: the
 //! `no-os-entropy` / `no-wall-clock` / `no-hash-collections` lint rules
 //! (tests/static_analysis.rs) ban the sources of host-dependent state,
 //! and the vendored `rand` has no entropy-based constructors at all.
 
+use aq_bench::report::RunReport;
 use augmented_queue::core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
 use augmented_queue::netsim::packet::AqTag;
 use augmented_queue::netsim::queue::FifoConfig;
 use augmented_queue::netsim::time::{Duration, Rate, Time};
-use augmented_queue::netsim::topology::dumbbell;
+use augmented_queue::netsim::topology::{dumbbell, fat_tree};
 use augmented_queue::netsim::{EntityId, Simulator};
 use augmented_queue::transport::{CcAlgo, DelaySignal, FlowKind};
 use augmented_queue::workloads::{add_flows, ensure_transport_hosts, long_flows};
@@ -91,11 +94,108 @@ fn run_digest(seed: u64) -> String {
     )
 }
 
+/// The wide variant: ECMP fat-tree fabric, an AQ-limited entity fanned
+/// out over all core paths, and the digest extended to cover the rendered
+/// [`RunReport`] artifact bytes (JSON + every CSV) on top of the raw
+/// `StatsHub` Debug output. This is the same contract the bench binaries
+/// and examples rely on when they promise byte-identical run-report
+/// artifacts for a given seed.
+fn run_fat_tree_digest(seed: u64) -> String {
+    let ft = fat_tree(
+        4,
+        Rate::from_gbps(10),
+        Duration::from_micros(2),
+        FifoConfig::default(),
+    );
+    let mut ctl = AqController::new(
+        Rate::from_gbps(10),
+        LimitPolicy::MatchPhysicalQueue {
+            pq_limit_bytes: 200_000,
+        },
+    );
+    let g_tcp = ctl
+        .request(AqRequest {
+            demand: BandwidthDemand::Absolute(Rate::from_gbps(3)),
+            cc: CcPolicy::DropBased,
+            position: Position::Ingress,
+            limit_override: None,
+        })
+        .expect("grant");
+    let g_udp = ctl
+        .request(AqRequest {
+            demand: BandwidthDemand::Absolute(Rate::from_gbps(2)),
+            cc: CcPolicy::DropBased,
+            position: Position::Ingress,
+            limit_override: None,
+        })
+        .expect("grant");
+    let mut pipe = AqPipeline::new();
+    ctl.deploy_all(&mut pipe);
+    let mut net = ft.net;
+    // hosts[0..2] share edge switch 0; every ECMP path crosses it.
+    net.add_pipeline(ft.edge[0], Box::new(pipe));
+    ensure_transport_hosts(&mut net);
+    let pairs: Vec<_> = (0..2).map(|i| (ft.hosts[i], ft.hosts[12 + i])).collect();
+    add_flows(
+        &mut net,
+        long_flows(
+            EntityId(1),
+            &pairs,
+            6,
+            FlowKind::Tcp(CcAlgo::Cubic),
+            g_tcp.id,
+            AqTag::NONE,
+            DelaySignal::MeasuredRtt,
+            1,
+        ),
+    );
+    add_flows(
+        &mut net,
+        long_flows(
+            EntityId(2),
+            &[(ft.hosts[1], ft.hosts[13])],
+            1,
+            FlowKind::Udp {
+                rate: Rate::from_gbps(5),
+            },
+            g_udp.id,
+            AqTag::NONE,
+            DelaySignal::MeasuredRtt,
+            100,
+        ),
+    );
+    let mut sim = Simulator::new(net);
+    sim.set_seed(seed);
+    sim.run_until(Time::from_millis(40));
+    let mut rep = RunReport::new("determinism_fat_tree");
+    rep.capture("fat_tree", &mut sim);
+    let artifact: String = rep
+        .render()
+        .into_iter()
+        .map(|(file, bytes)| format!("--- {file}\n{bytes}"))
+        .collect();
+    format!(
+        "events={} now={:?} stats={:?}\n{artifact}",
+        sim.processed_events,
+        sim.now(),
+        sim.stats
+    )
+}
+
 #[test]
 fn same_seed_same_bytes() {
     let a = run_digest(0x5176_0001);
     let b = run_digest(0x5176_0001);
     assert_eq!(a, b, "two same-seed runs diverged");
+}
+
+#[test]
+fn same_seed_same_bytes_fat_tree_with_run_report() {
+    let a = run_fat_tree_digest(0x5176_0002);
+    let b = run_fat_tree_digest(0x5176_0002);
+    assert_eq!(a, b, "fat-tree runs (incl. run-report artifact) diverged");
+    let c = run_fat_tree_digest(0x0BAD_F00D);
+    assert_ne!(a, c, "fat-tree digest failed to register a seed change");
 }
 
 #[test]

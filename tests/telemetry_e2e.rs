@@ -1,0 +1,160 @@
+//! End-to-end checks of the port/AQ telemetry layer.
+//!
+//! The [`StatsHub`] mirrors the queue disciplines' conservation counters
+//! per `(switch, port)` and receives per-AQ gap summaries from the
+//! pipeline. These tests drive full simulations and assert that
+//!
+//! 1. the hub-side byte identity `enqueued == dequeued + dropped +
+//!    resident` holds on every port the run touched,
+//! 2. the hub's image of the bottleneck port agrees exactly with the
+//!    white-box [`FifoQueue`] counters,
+//! 3. AQ-limit drops are attributed to ports (and sum to the switch's
+//!    pipeline drop count) without entering the byte identity, and
+//! 4. the structured [`RunReport`] built from the hub reflects all of the
+//!    above.
+
+use aq_bench::report::RunReport;
+use aq_bench::{build_dumbbell, Approach, EntitySetup, ExpConfig, LongKind, Traffic};
+use augmented_queue::netsim::queue::FifoQueue;
+use augmented_queue::netsim::time::{Rate, Time};
+use augmented_queue::netsim::EntityId;
+use augmented_queue::transport::CcAlgo;
+
+/// A UDP bully plus a CUBIC entity: guarantees sustained overload, so the
+/// bottleneck sees drops in every approach.
+fn contended_entities() -> Vec<EntitySetup> {
+    vec![
+        EntitySetup {
+            entity: EntityId(1),
+            n_vms: 1,
+            cc: CcAlgo::Cubic,
+            weight: 1,
+            traffic: Traffic::Long {
+                n: 1,
+                kind: LongKind::Udp(Rate::from_gbps(10)),
+            },
+        },
+        EntitySetup {
+            entity: EntityId(2),
+            n_vms: 1,
+            cc: CcAlgo::Cubic,
+            weight: 1,
+            traffic: Traffic::Long {
+                n: 4,
+                kind: LongKind::Tcp,
+            },
+        },
+    ]
+}
+
+#[test]
+fn hub_port_counters_conserve_and_match_the_queue() {
+    let entities = contended_entities();
+    let mut exp = build_dumbbell(Approach::Pq, &entities, ExpConfig::default());
+    exp.sim.run_until(Time::from_millis(100));
+
+    // 1. Byte conservation on every port the hub saw.
+    let mut saw_ports = 0;
+    for (pid, ps) in exp.sim.stats.ports() {
+        saw_ports += 1;
+        assert!(
+            ps.conserves(),
+            "port {pid:?}: enqueued={} dequeued={} dropped={} resident={}",
+            ps.enqueued_bytes,
+            ps.dequeued_bytes,
+            ps.dropped_bytes,
+            ps.resident_bytes,
+        );
+    }
+    assert!(saw_ports > 0, "hub recorded no ports");
+
+    // 2. The bottleneck overflowed: taildrops with real bytes behind them.
+    let core = exp
+        .sim
+        .stats
+        .port(exp.core_port)
+        .cloned()
+        .expect("core port in hub");
+    assert!(core.taildrops > 0, "UDP bully should overflow the core PQ");
+    assert!(core.dropped_bytes > 0);
+    assert!(core.tx_pkts > 0 && core.tx_bytes > 0);
+    assert!(core.peak_occupancy_bytes() > 0);
+
+    // 3. The hub's mirror equals the discipline's own white-box counters.
+    let fifo = exp
+        .sim
+        .net
+        .discipline_mut::<FifoQueue>(exp.core_port)
+        .expect("core queue is a FIFO");
+    assert_eq!(core.enqueued_bytes, fifo.enqueued_bytes);
+    assert_eq!(core.dequeued_bytes, fifo.dequeued_bytes);
+    assert_eq!(core.dropped_bytes, fifo.dropped_bytes);
+    assert_eq!(core.queue_drops(), fifo.drops);
+    assert_eq!(core.ecn_marks, fifo.marks);
+}
+
+#[test]
+fn aq_limit_drops_are_attributed_but_outside_the_byte_identity() {
+    let entities = contended_entities();
+    let mut exp = build_dumbbell(Approach::Aq, &entities, ExpConfig::default());
+    exp.sim.run_until(Time::from_millis(100));
+
+    // Conservation still holds everywhere under the AQ pipeline.
+    for (pid, ps) in exp.sim.stats.ports() {
+        assert!(ps.conserves(), "port {pid:?} violates byte identity");
+    }
+
+    // AQ-limit drops happen upstream of the queue; the hub attributes them
+    // to the victim's egress port, and the per-port counts add up to the
+    // switch's pipeline drop counter.
+    let core_node = exp.sim.stats.port(exp.core_port).expect("core port").node;
+    let attributed: u64 = exp.sim.stats.ports().map(|(_, ps)| ps.aq_drops).sum();
+    let pipeline = exp.sim.net.pipeline_drops(core_node);
+    assert!(pipeline > 0, "the bully's AQ should be dropping");
+    assert_eq!(
+        attributed, pipeline,
+        "per-port aq_drops must sum to the pipeline counter"
+    );
+}
+
+#[test]
+fn run_report_reflects_hub_and_gap_telemetry() {
+    let entities = contended_entities();
+    let mut exp = build_dumbbell(Approach::Aq, &entities, ExpConfig::default());
+    exp.sim.run_until(Time::from_millis(100));
+
+    let mut rep = RunReport::new("telemetry_e2e");
+    rep.capture("aq", &mut exp.sim);
+    let section = &rep.sections()[0];
+
+    // Entities made progress and the fairness index is sane.
+    assert_eq!(section.entities.len(), 2);
+    assert!(section.entities.iter().all(|e| e.rx_bytes > 0));
+    assert!(section.jain_goodput > 0.0 && section.jain_goodput <= 1.0);
+
+    // Every port row carries the conservation verdict the hub computed.
+    assert!(!section.ports.is_empty());
+    assert!(section.ports.iter().all(|p| p.conserves));
+
+    // The pipeline exported one summary per deployed AQ; the A-Gap is
+    // sampled on forwarded packets only, so its peak respects the limit.
+    assert_eq!(section.aqs.len(), 2, "two ingress AQs deployed");
+    for aq in &section.aqs {
+        assert_eq!(aq.position, "ingress");
+        assert!(aq.gap_samples > 0, "AQ {} never sampled", aq.tag);
+        assert!(
+            aq.max_gap_bytes <= aq.limit_bytes,
+            "AQ {}: gap {} exceeds limit {}",
+            aq.tag,
+            aq.max_gap_bytes,
+            aq.limit_bytes,
+        );
+        assert!(aq.mean_gap_bytes <= aq.max_gap_bytes as f64);
+        assert!(aq.arrived_bytes > 0);
+    }
+    // The bully's AQ is the one shedding load.
+    assert!(section.aqs.iter().any(|aq| aq.limit_drops > 0));
+
+    // Rendering is pure: identical bytes for identical state.
+    assert_eq!(rep.render(), rep.render());
+}
