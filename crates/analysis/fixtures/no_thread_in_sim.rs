@@ -1,0 +1,21 @@
+// Fixture for the `no-thread-in-sim` rule.
+
+use std::sync::mpsc; // expect-lint: no-thread-in-sim
+use std::thread::JoinHandle; // expect-lint: no-thread-in-sim
+
+pub fn fan_out(work: Vec<u64>) -> u64 {
+    let handle = std::thread::spawn(move || work.len()); // expect-lint: no-thread-in-sim
+    std::thread::scope(|s| { // expect-lint: no-thread-in-sim
+        let _ = s;
+    });
+    // thread::spawn named in a comment must not fire.
+    let s = "thread::spawn in a string must not fire";
+    // The sim's own spawn-like vocabulary must not fire.
+    let flow = scheduler.spawn_flow(7);
+    let scope = Scope::Ingress;
+    // aq-lint: allow(no-thread-in-sim)
+    let sanctioned = std::thread::spawn(|| 1);
+    let (tx, rx) = mpsc::channel(); // aq-lint: allow(no-thread-in-sim)
+    let _ = (s, flow, scope, tx, rx, sanctioned, handle);
+    0
+}

@@ -45,6 +45,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "`as u32`/`as i32` silently truncates byte/time counters in \
                   core and netsim; use u64 or an explicit checked/masked conversion",
     },
+    RuleInfo {
+        name: "no-thread-in-sim",
+        summary: "thread spawning and channels inside sim-state crates break the \
+                  single-threaded determinism contract; run-level parallelism \
+                  lives only in crates/harness",
+    },
 ];
 
 /// Whether `rule` applies to the file at workspace-relative `path`
@@ -71,6 +77,11 @@ pub fn in_scope(rule: &str, path: &str) -> bool {
         "no-narrowing-cast" => {
             path.starts_with("crates/core/src/") || path.starts_with("crates/netsim/src/")
         }
+        // Every simulation run is a single-threaded event loop; scheduling
+        // nondeterminism can only enter through threads or channels. The
+        // sweep harness (crates/harness) parallelizes at whole-run
+        // granularity and is deliberately outside this scope.
+        "no-thread-in-sim" => SIM_STATE_SRC.iter().any(|p| path.starts_with(p)),
         _ => false,
     }
 }
@@ -84,6 +95,7 @@ pub fn check_line(rule: &str, toks: &[Token]) -> Vec<String> {
         "no-os-entropy" => banned_idents(toks, &["thread_rng", "from_entropy", "OsRng"]),
         "no-float-eq" => float_eq(toks),
         "no-narrowing-cast" => narrowing_cast(toks),
+        "no-thread-in-sim" => thread_in_sim(toks),
         _ => Vec::new(),
     }
 }
@@ -154,6 +166,17 @@ fn float_operand_starting(toks: &[Token]) -> bool {
         [Token::Ident(f), Token::Punct(c), ..] if c == "::" && (f == "f64" || f == "f32") => true,
         _ => false,
     }
+}
+
+/// Flags thread spawning (`thread::spawn`, `thread::scope`) and channel
+/// concurrency (`mpsc`, `JoinHandle`). Method-call forms like
+/// `scope.spawn(..)` only occur inside a `thread::scope` block, which is
+/// already flagged at its opening line.
+fn thread_in_sim(toks: &[Token]) -> Vec<String> {
+    let mut out = banned_calls(toks, &["thread"], "spawn");
+    out.extend(banned_calls(toks, &["thread"], "scope"));
+    out.extend(banned_idents(toks, &["mpsc", "JoinHandle"]));
+    out
 }
 
 /// Flags `as u32` / `as i32`.
@@ -254,6 +277,17 @@ mod tests {
     }
 
     #[test]
+    fn thread_in_sim_flags_spawn_scope_and_channels() {
+        assert!(!msgs("no-thread-in-sim", "std::thread::spawn(move || run());").is_empty());
+        assert!(!msgs("no-thread-in-sim", "thread::scope(|s| {").is_empty());
+        assert!(!msgs("no-thread-in-sim", "use std::sync::mpsc;").is_empty());
+        assert!(!msgs("no-thread-in-sim", "let h: JoinHandle<()> = x;").is_empty());
+        // The sim's own vocabulary must not trip it.
+        assert!(msgs("no-thread-in-sim", "self.scheduler.spawn_flow(f);").is_empty());
+        assert!(msgs("no-thread-in-sim", "let scope = Scope::Ingress;").is_empty());
+    }
+
+    #[test]
     fn scope_boundaries() {
         assert!(in_scope("no-hash-collections", "crates/core/src/table.rs"));
         assert!(!in_scope(
@@ -267,6 +301,11 @@ mod tests {
             "no-narrowing-cast",
             "crates/transport/src/flow.rs"
         ));
+        assert!(in_scope("no-thread-in-sim", "crates/netsim/src/sim.rs"));
+        assert!(in_scope("no-thread-in-sim", "crates/baselines/src/drr.rs"));
+        // The harness is the sanctioned home of run-level parallelism.
+        assert!(!in_scope("no-thread-in-sim", "crates/harness/src/pool.rs"));
+        assert!(!in_scope("no-thread-in-sim", "crates/bench/src/lib.rs"));
     }
 
     #[test]

@@ -20,7 +20,13 @@ use aq_netsim::topology::{dumbbell, Dumbbell};
 use aq_transport::{CcAlgo, DelaySignal, FlowKind};
 use aq_workloads::{add_flows, ensure_transport_hosts, long_flows, ClosedWorkload, WorkloadSpec};
 
+pub mod json;
 pub mod report;
+
+// The entity/traffic description types moved to the workload layer so the
+// scenario registry (`aq_workloads::registry`) can name them; re-exported
+// here so every figure bench keeps importing them from `aq_bench`.
+pub use aq_workloads::registry::{EntitySetup, LongKind, Traffic};
 
 /// The four approaches compared throughout §5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,59 +54,6 @@ impl Approach {
             Approach::Drl => "DRL",
         }
     }
-}
-
-/// What an entity sends.
-#[derive(Debug, Clone)]
-pub enum Traffic {
-    /// Open-loop web-search flows: `n_flows` Poisson arrivals at `load`
-    /// of the bottleneck.
-    WebSearch {
-        /// Number of flows.
-        n_flows: usize,
-        /// Offered load fraction of the bottleneck capacity.
-        load: f64,
-    },
-    /// Closed-loop web-search replay: `n_flows` dealt round-robin to the
-    /// entity's VMs, each VM running its list back to back (the paper's
-    /// per-VM trace-replay model for Figs. 6/7/10).
-    WebSearchClosed {
-        /// Total flows across the entity's VMs.
-        n_flows: usize,
-        /// Flow-size multiplier (bandwidth-boundedness knob).
-        size_scale: f64,
-    },
-    /// `n` long-lived flows (TCP of the entity's CC, or UDP at `rate`).
-    Long {
-        /// Flow count.
-        n: usize,
-        /// TCP (entity CC) or UDP.
-        kind: LongKind,
-    },
-}
-
-/// Long-lived flow kind.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum LongKind {
-    /// TCP under the entity's CC algorithm.
-    Tcp,
-    /// UDP at the given rate.
-    Udp(Rate),
-}
-
-/// One entity in an experiment.
-#[derive(Debug, Clone)]
-pub struct EntitySetup {
-    /// Entity id (must be unique and nonzero).
-    pub entity: EntityId,
-    /// Number of sending VMs (left-side hosts) the entity owns.
-    pub n_vms: usize,
-    /// Congestion control used by all the entity's TCP flows.
-    pub cc: CcAlgo,
-    /// Network weight (weighted AQ mode; PRL/DRL derive even splits).
-    pub weight: u64,
-    /// What the entity sends.
-    pub traffic: Traffic,
 }
 
 /// Common experiment parameters.

@@ -14,6 +14,7 @@
 //! float is printed with fixed precision, so report bytes are identical
 //! across same-seed runs (the determinism e2e digests them).
 
+use crate::json::Json;
 use aq_core::{export_aq_table, AqPipeline, AqTable};
 use aq_netsim::ids::NodeId;
 use aq_netsim::node::NodeKind;
@@ -21,7 +22,7 @@ use aq_netsim::sim::Simulator;
 use aq_netsim::stats::{jain_index, AqPosition, StatsHub};
 use aq_netsim::time::Time;
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Print the standard harness banner.
 pub fn banner(artifact: &str, description: &str) {
@@ -646,18 +647,212 @@ impl RunReport {
     /// Write all artifact files under `target/run_reports/<name>/` and
     /// print the directory. Returns the directory path.
     pub fn write(&self) -> std::io::Result<PathBuf> {
-        let dir = PathBuf::from(concat!(
+        let dir = self.write_to(&PathBuf::from(concat!(
             env!("CARGO_MANIFEST_DIR"),
             "/../../target/run_reports"
-        ))
-        .join(&self.name);
+        )))?;
+        println!("  run report: target/run_reports/{}/", self.name);
+        Ok(dir)
+    }
+
+    /// Write all artifact files under `<base>/<name>/` and return that
+    /// directory. The sweep harness gives every `(scenario, params, seed)`
+    /// run its own base, so parallel runs never collide on the shared
+    /// `target/run_reports/<name>/` location that [`write`] uses.
+    ///
+    /// [`write`]: RunReport::write
+    pub fn write_to(&self, base: &Path) -> std::io::Result<PathBuf> {
+        let dir = base.join(&self.name);
         std::fs::create_dir_all(&dir)?;
         for (file, contents) in self.render() {
             std::fs::write(dir.join(file), contents)?;
         }
-        println!("  run report: target/run_reports/{}/", self.name);
         Ok(dir)
     }
+
+    /// Parse the `report.json` rendering back into a [`RunReport`] — the
+    /// read side of [`render_json`], used by the regression gate to load
+    /// committed baselines. Round-trip is exact: floats are fixed-precision
+    /// in the artifact, so `parse_json(r.render_json()).render_json()`
+    /// reproduces the input bytes.
+    ///
+    /// [`render_json`]: RunReport::render_json
+    pub fn parse_json(text: &str) -> Result<RunReport, String> {
+        let doc = crate::json::parse(text).map_err(|e| e.to_string())?;
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("report.json: missing `name`")?
+            .to_string();
+        let mut sections = Vec::new();
+        for s in doc
+            .get("sections")
+            .and_then(Json::as_arr)
+            .ok_or("report.json: missing `sections`")?
+        {
+            sections.push(parse_section(s)?);
+        }
+        Ok(RunReport { name, sections })
+    }
+
+    /// Parse the `metrics.csv` rendering back into per-section
+    /// `(label, key, value)` rows — the read side of
+    /// [`render_metrics_csv`].
+    ///
+    /// [`render_metrics_csv`]: RunReport::render_metrics_csv
+    pub fn parse_metrics_csv(text: &str) -> Result<Vec<(String, String, f64)>, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("section,key,value") => {}
+            other => return Err(format!("metrics.csv: bad header {other:?}")),
+        }
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let mut cols = line.splitn(3, ',');
+            let (section, key, value) = match (cols.next(), cols.next(), cols.next()) {
+                (Some(s), Some(k), Some(v)) => (s, k, v),
+                _ => return Err(format!("metrics.csv row {}: expected 3 columns", i + 2)),
+            };
+            let value: f64 = value
+                .parse()
+                .map_err(|_| format!("metrics.csv row {}: bad value `{value}`", i + 2))?;
+            rows.push((section.to_string(), key.to_string(), value));
+        }
+        Ok(rows)
+    }
+}
+
+fn jget<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{ctx}: missing `{key}`"))
+}
+
+fn jnum(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    jget(obj, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not a number"))
+}
+
+fn juint(obj: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    jget(obj, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not an unsigned integer"))
+}
+
+fn jopt_uint(obj: &Json, key: &str, ctx: &str) -> Result<Option<u64>, String> {
+    match jget(obj, key, ctx)? {
+        Json::Null => Ok(None),
+        v => Ok(Some(v.as_u64().ok_or_else(|| {
+            format!("{ctx}: `{key}` is neither null nor an unsigned integer")
+        })?)),
+    }
+}
+
+fn parse_section(s: &Json) -> Result<Section, String> {
+    let ctx = "section";
+    let mut entities = Vec::new();
+    for e in jget(s, "entities", ctx)?.as_arr().unwrap_or(&[]) {
+        let ctx = "entity";
+        entities.push(EntityRow {
+            entity: juint(e, "entity", ctx)?,
+            rx_bytes: juint(e, "rx_bytes", ctx)?,
+            goodput_gbps: jnum(e, "goodput_gbps", ctx)?,
+            drops: juint(e, "drops", ctx)?,
+            pq_p50_ns: jopt_uint(e, "pq_p50_ns", ctx)?,
+            pq_p99_ns: jopt_uint(e, "pq_p99_ns", ctx)?,
+            vq_p50_ns: jopt_uint(e, "vq_p50_ns", ctx)?,
+            vq_p99_ns: jopt_uint(e, "vq_p99_ns", ctx)?,
+            flows: juint(e, "flows", ctx)?,
+            flows_completed: juint(e, "flows_completed", ctx)?,
+            completion_s: match jget(e, "completion_s", ctx)? {
+                Json::Null => None,
+                v => Some(
+                    v.as_f64()
+                        .ok_or("entity: `completion_s` is neither null nor a number")?,
+                ),
+            },
+            rate_series_bps: jget(e, "rate_series_bps", ctx)?
+                .as_arr()
+                .ok_or("entity: `rate_series_bps` is not an array")?
+                .iter()
+                .map(|r| r.as_f64().ok_or("entity: non-numeric rate sample"))
+                .collect::<Result<_, _>>()?,
+        });
+    }
+    let mut ports = Vec::new();
+    for p in jget(s, "ports", ctx)?.as_arr().unwrap_or(&[]) {
+        let ctx = "port";
+        ports.push(PortRow {
+            node: juint(p, "node", ctx)?,
+            port: juint(p, "port", ctx)?,
+            enqueued_bytes: juint(p, "enqueued_bytes", ctx)?,
+            dequeued_bytes: juint(p, "dequeued_bytes", ctx)?,
+            dropped_bytes: juint(p, "dropped_bytes", ctx)?,
+            resident_bytes: juint(p, "resident_bytes", ctx)?,
+            conserves: jget(p, "conserves", ctx)?
+                .as_bool()
+                .ok_or("port: `conserves` is not a bool")?,
+            taildrops: juint(p, "taildrops", ctx)?,
+            red_drops: juint(p, "red_drops", ctx)?,
+            shaper_drops: juint(p, "shaper_drops", ctx)?,
+            aq_drops: juint(p, "aq_drops", ctx)?,
+            ecn_marks: juint(p, "ecn_marks", ctx)?,
+            tx_pkts: juint(p, "tx_pkts", ctx)?,
+            tx_bytes: juint(p, "tx_bytes", ctx)?,
+            peak_occupancy_bytes: juint(p, "peak_occupancy_bytes", ctx)?,
+            occupancy: jget(p, "occupancy", ctx)?
+                .as_arr()
+                .ok_or("port: `occupancy` is not an array")?
+                .iter()
+                .map(|o| o.as_u64().ok_or("port: non-integer occupancy sample"))
+                .collect::<Result<_, _>>()?,
+        });
+    }
+    let mut aqs = Vec::new();
+    for a in jget(s, "aqs", ctx)?.as_arr().unwrap_or(&[]) {
+        let ctx = "aq";
+        let position = match jget(a, "position", ctx)?.as_str() {
+            Some("ingress") => "ingress",
+            Some("egress") => "egress",
+            other => return Err(format!("aq: unknown position {other:?}")),
+        };
+        aqs.push(AqRow {
+            tag: u32::try_from(juint(a, "tag", ctx)?)
+                .map_err(|_| "aq: `tag` exceeds u32".to_string())?,
+            position,
+            rate_bps: juint(a, "rate_bps", ctx)?,
+            limit_bytes: juint(a, "limit_bytes", ctx)?,
+            arrived_bytes: juint(a, "arrived_bytes", ctx)?,
+            limit_drops: juint(a, "limit_drops", ctx)?,
+            marks: juint(a, "marks", ctx)?,
+            gap_samples: juint(a, "gap_samples", ctx)?,
+            max_gap_bytes: juint(a, "max_gap_bytes", ctx)?,
+            mean_gap_bytes: jnum(a, "mean_gap_bytes", ctx)?,
+        });
+    }
+    let metrics = jget(s, "metrics", ctx)?
+        .as_obj()
+        .ok_or("section: `metrics` is not an object")?
+        .iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|v| (k.clone(), v))
+                .ok_or_else(|| format!("section: metric `{k}` is not a number"))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Section {
+        label: jget(s, "label", ctx)?
+            .as_str()
+            .ok_or("section: `label` is not a string")?
+            .to_string(),
+        now_ns: juint(s, "now_ns", ctx)?,
+        events: juint(s, "events", ctx)?,
+        jain_goodput: jnum(s, "jain_goodput", ctx)?,
+        entities,
+        ports,
+        aqs,
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -709,6 +904,38 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert!(s[0].ports[0].conserves);
         assert_eq!(s[0].entities[0].flows_completed, 1);
+    }
+
+    #[test]
+    fn json_round_trip_reproduces_bytes() {
+        let hub = sample_hub();
+        let mut r = RunReport::new("unit");
+        r.capture_hub("row1", Time::from_millis(10), 42, &hub);
+        r.capture_metrics("model", &[("stages_pct", 16.7), ("maus_pct", 12.5)]);
+        let rendered = r.render_json();
+        let parsed = RunReport::parse_json(&rendered).expect("parse back");
+        assert_eq!(parsed.name(), r.name());
+        assert_eq!(parsed.sections().len(), r.sections().len());
+        assert_eq!(parsed.render_json(), rendered, "round-trip bytes differ");
+    }
+
+    #[test]
+    fn metrics_csv_round_trip() {
+        let mut r = RunReport::new("unit");
+        r.capture_metrics("model", &[("a", 1.0), ("b", -2.25)]);
+        let rows = RunReport::parse_metrics_csv(&r.render_metrics_csv()).expect("parse");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "model");
+        assert_eq!(rows[0].1, "a");
+        assert!((rows[1].2 + 2.25).abs() < 1e-12);
+        assert!(RunReport::parse_metrics_csv("bad,header\n").is_err());
+    }
+
+    #[test]
+    fn parse_json_rejects_malformed_reports() {
+        assert!(RunReport::parse_json("{}").is_err());
+        assert!(RunReport::parse_json("{\"name\":\"x\"}").is_err());
+        assert!(RunReport::parse_json("not json").is_err());
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Seed-ensemble aggregation and the `sweep.json` / `sweep.csv` artifact.
+//!
+//! Per configuration (scenario × approach × params) and per metric, the
+//! seed ensemble collapses to `n / min / mean / max` plus a
+//! normal-approximation 95% confidence half-width (`1.96·sd/√n`, sample
+//! sd). Rendering iterates `BTreeMap`s and prints floats at fixed
+//! precision, so the artifact bytes depend only on the run results —
+//! never on `--jobs` or scheduling. Both renderings have parse
+//! counterparts, and a sweep directory round-trips bit-exactly.
+
+use crate::sweep::RunKey;
+use aq_bench::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One configuration of a sweep: every seed of a (scenario, approach,
+/// params) triple lands in the same config.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConfigKey {
+    /// Scenario name.
+    pub scenario: String,
+    /// Approach name, lowercase.
+    pub approach: String,
+    /// Canonical parameter string.
+    pub params: String,
+}
+
+impl ConfigKey {
+    /// The config a run key belongs to.
+    pub fn of(run: &RunKey) -> ConfigKey {
+        ConfigKey {
+            scenario: run.scenario.clone(),
+            approach: run.approach.clone(),
+            params: run.params.clone(),
+        }
+    }
+}
+
+/// Seed-ensemble summary of one metric in one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Seeds contributing (a metric may be absent in some seeds, e.g.
+    /// `completion_max_s` when one seed misses the deadline).
+    pub n: u64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Ensemble mean.
+    pub mean: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Normal-approximation 95% CI half-width (0 when `n < 2`).
+    pub ci95: f64,
+}
+
+impl Aggregate {
+    /// Collapse one metric's per-seed observations.
+    pub fn from_samples(samples: &[f64]) -> Option<Aggregate> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let ci95 = if samples.len() >= 2 {
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+            1.96 * var.sqrt() / n.sqrt()
+        } else {
+            0.0
+        };
+        Some(Aggregate {
+            n: samples.len() as u64,
+            min,
+            mean,
+            max,
+            ci95,
+        })
+    }
+}
+
+/// A completed sweep: per-run metrics plus per-config aggregates.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Sweep name.
+    pub name: String,
+    /// Raw per-run metric maps, keyed deterministically.
+    pub runs: BTreeMap<RunKey, BTreeMap<String, f64>>,
+    /// Per-config, per-metric seed-ensemble summaries.
+    pub configs: BTreeMap<ConfigKey, BTreeMap<String, Aggregate>>,
+}
+
+impl Sweep {
+    /// Build a sweep from merged run results, computing all aggregates.
+    pub fn from_runs(name: &str, runs: BTreeMap<RunKey, BTreeMap<String, f64>>) -> Sweep {
+        let mut samples: BTreeMap<ConfigKey, BTreeMap<String, Vec<f64>>> = BTreeMap::new();
+        for (key, metrics) in &runs {
+            let per_metric = samples.entry(ConfigKey::of(key)).or_default();
+            for (metric, value) in metrics {
+                per_metric.entry(metric.clone()).or_default().push(*value);
+            }
+        }
+        let configs = samples
+            .into_iter()
+            .map(|(config, metrics)| {
+                let aggs = metrics
+                    .into_iter()
+                    .filter_map(|(m, vals)| Aggregate::from_samples(&vals).map(|a| (m, a)))
+                    .collect();
+                (config, aggs)
+            })
+            .collect();
+        Sweep {
+            name: name.to_string(),
+            runs,
+            configs,
+        }
+    }
+
+    /// Deterministic `sweep.json` bytes.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"sweep\": {},", json_escape(&self.name));
+        out.push_str("  \"configs\": [\n");
+        let n_configs = self.configs.len();
+        for (ci, (config, metrics)) in self.configs.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(
+                out,
+                "      \"scenario\": {},",
+                json_escape(&config.scenario)
+            );
+            let _ = writeln!(
+                out,
+                "      \"approach\": {},",
+                json_escape(&config.approach)
+            );
+            let _ = writeln!(out, "      \"params\": {},", json_escape(&config.params));
+            out.push_str("      \"metrics\": {\n");
+            let n_metrics = metrics.len();
+            for (mi, (metric, a)) in metrics.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {}: {{\"n\": {}, \"min\": {:.6}, \"mean\": {:.6}, \"max\": {:.6}, \"ci95\": {:.6}}}",
+                    json_escape(metric),
+                    a.n,
+                    a.min,
+                    a.mean,
+                    a.max,
+                    a.ci95
+                );
+                out.push_str(if mi + 1 < n_metrics { ",\n" } else { "\n" });
+            }
+            out.push_str("      }\n");
+            out.push_str(if ci + 1 < n_configs {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"runs\": [\n");
+        let n_runs = self.runs.len();
+        for (ri, (key, metrics)) in self.runs.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"scenario\": {},", json_escape(&key.scenario));
+            let _ = writeln!(out, "      \"approach\": {},", json_escape(&key.approach));
+            let _ = writeln!(out, "      \"params\": {},", json_escape(&key.params));
+            let _ = writeln!(out, "      \"seed\": {},", key.seed);
+            out.push_str("      \"metrics\": {");
+            let n_metrics = metrics.len();
+            for (mi, (metric, value)) in metrics.iter().enumerate() {
+                let _ = write!(out, "{}: {:.6}", json_escape(metric), value);
+                if mi + 1 < n_metrics {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("}\n");
+            out.push_str(if ri + 1 < n_runs {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Deterministic `sweep.csv` bytes: one row per (config, metric)
+    /// aggregate.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("scenario,approach,params,metric,n,min,mean,max,ci95\n");
+        for (config, metrics) in &self.configs {
+            for (metric, a) in metrics {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
+                    config.scenario,
+                    config.approach,
+                    config.params,
+                    metric,
+                    a.n,
+                    a.min,
+                    a.mean,
+                    a.max,
+                    a.ci95
+                );
+            }
+        }
+        out
+    }
+
+    /// Write `sweep.json` + `sweep.csv` into `dir`.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("sweep.json"), self.render_json())?;
+        std::fs::write(dir.join("sweep.csv"), self.render_csv())?;
+        Ok(())
+    }
+
+    /// Parse counterpart of [`Sweep::render_json`].
+    pub fn parse_json(text: &str) -> Result<Sweep, String> {
+        let doc = json::parse(text).map_err(|e| format!("sweep.json: {e}"))?;
+        let name = jstr(&doc, "sweep")?;
+        let mut configs = BTreeMap::new();
+        for (i, c) in jarr(&doc, "configs")?.iter().enumerate() {
+            let config = ConfigKey {
+                scenario: jstr(c, "scenario").map_err(|e| format!("configs[{i}]: {e}"))?,
+                approach: jstr(c, "approach").map_err(|e| format!("configs[{i}]: {e}"))?,
+                params: jstr(c, "params").map_err(|e| format!("configs[{i}]: {e}"))?,
+            };
+            let mut metrics = BTreeMap::new();
+            for (metric, a) in jobj(c, "metrics").map_err(|e| format!("configs[{i}]: {e}"))? {
+                let agg = Aggregate {
+                    n: jnum(a, "n")? as u64,
+                    min: jnum(a, "min")?,
+                    mean: jnum(a, "mean")?,
+                    max: jnum(a, "max")?,
+                    ci95: jnum(a, "ci95")?,
+                };
+                metrics.insert(metric.clone(), agg);
+            }
+            configs.insert(config, metrics);
+        }
+        let mut runs = BTreeMap::new();
+        for (i, r) in jarr(&doc, "runs")?.iter().enumerate() {
+            let key = RunKey {
+                scenario: jstr(r, "scenario").map_err(|e| format!("runs[{i}]: {e}"))?,
+                approach: jstr(r, "approach").map_err(|e| format!("runs[{i}]: {e}"))?,
+                params: jstr(r, "params").map_err(|e| format!("runs[{i}]: {e}"))?,
+                seed: r
+                    .get("seed")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("runs[{i}]: missing numeric `seed`"))?,
+            };
+            let mut metrics = BTreeMap::new();
+            for (metric, v) in jobj(r, "metrics").map_err(|e| format!("runs[{i}]: {e}"))? {
+                let value = v
+                    .as_f64()
+                    .ok_or_else(|| format!("runs[{i}]: metric `{metric}` is not a number"))?;
+                metrics.insert(metric.clone(), value);
+            }
+            runs.insert(key, metrics);
+        }
+        Ok(Sweep {
+            name,
+            runs,
+            configs,
+        })
+    }
+
+    /// Parse counterpart of [`Sweep::render_csv`] — returns the aggregate
+    /// rows (the CSV carries no per-run data).
+    pub fn parse_csv(
+        text: &str,
+    ) -> Result<BTreeMap<ConfigKey, BTreeMap<String, Aggregate>>, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("sweep.csv: empty file")?;
+        if header != "scenario,approach,params,metric,n,min,mean,max,ci95" {
+            return Err(format!("sweep.csv: unexpected header `{header}`"));
+        }
+        let mut configs: BTreeMap<ConfigKey, BTreeMap<String, Aggregate>> = BTreeMap::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            // The params field is itself comma-separated (`a=1,b=2`), so
+            // a row has >= 9 comma-split pieces: two leading fields, six
+            // trailing fields, and everything in between is params.
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() < 9 {
+                return Err(format!(
+                    "sweep.csv line {}: expected >= 9 fields, got {}",
+                    lineno + 2,
+                    fields.len()
+                ));
+            }
+            let num = |s: &str, what: &str| -> Result<f64, String> {
+                s.parse::<f64>()
+                    .map_err(|_| format!("sweep.csv line {}: bad {what} `{s}`", lineno + 2))
+            };
+            let tail = &fields[fields.len() - 6..];
+            let config = ConfigKey {
+                scenario: fields[0].to_string(),
+                approach: fields[1].to_string(),
+                params: fields[2..fields.len() - 6].join(","),
+            };
+            let agg = Aggregate {
+                n: num(tail[1], "n")? as u64,
+                min: num(tail[2], "min")?,
+                mean: num(tail[3], "mean")?,
+                max: num(tail[4], "max")?,
+                ci95: num(tail[5], "ci95")?,
+            };
+            configs
+                .entry(config)
+                .or_default()
+                .insert(tail[0].to_string(), agg);
+        }
+        Ok(configs)
+    }
+
+    /// Load a sweep from a directory containing `sweep.json` (as written
+    /// by [`Sweep::write_to`]), cross-checking `sweep.csv` when present.
+    pub fn load_dir(dir: &Path) -> Result<Sweep, String> {
+        let json_path = dir.join("sweep.json");
+        let text = std::fs::read_to_string(&json_path)
+            .map_err(|e| format!("{}: {e}", json_path.display()))?;
+        let sweep = Sweep::parse_json(&text)?;
+        let csv_path = dir.join("sweep.csv");
+        if let Ok(csv_text) = std::fs::read_to_string(&csv_path) {
+            let csv_configs = Sweep::parse_csv(&csv_text)?;
+            let json_keys: Vec<&ConfigKey> = sweep.configs.keys().collect();
+            let csv_keys: Vec<&ConfigKey> = csv_configs.keys().collect();
+            if json_keys != csv_keys {
+                return Err(format!(
+                    "{}: config set disagrees with sweep.json",
+                    csv_path.display()
+                ));
+            }
+        }
+        Ok(sweep)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn jstr(j: &Json, key: &str) -> Result<String, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string `{key}`"))
+}
+
+fn jnum(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number `{key}`"))
+}
+
+fn jarr<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    j.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array `{key}`"))
+}
+
+fn jobj<'a>(j: &'a Json, key: &str) -> Result<&'a [(String, Json)], String> {
+    j.get(key)
+        .and_then(Json::as_obj)
+        .ok_or_else(|| format!("missing object `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sweep() -> Sweep {
+        let mut runs = BTreeMap::new();
+        for seed in [1u64, 2, 3] {
+            let key = RunKey {
+                scenario: "fairness_flows".to_string(),
+                approach: "aq".to_string(),
+                params: "b_flows=1,horizon_ms=5".to_string(),
+                seed,
+            };
+            let mut m = BTreeMap::new();
+            m.insert("jain_goodput".to_string(), 0.9 + 0.01 * seed as f64);
+            m.insert("events".to_string(), 1000.0 * seed as f64);
+            runs.insert(key, m);
+        }
+        Sweep::from_runs("unit", runs)
+    }
+
+    #[test]
+    fn aggregate_math_matches_hand_computation() {
+        let a = Aggregate::from_samples(&[1.0, 2.0, 3.0]).expect("non-empty");
+        assert_eq!(a.n, 3);
+        assert!((a.mean - 2.0).abs() < 1e-12);
+        assert!((a.min - 1.0).abs() < 1e-12);
+        assert!((a.max - 3.0).abs() < 1e-12);
+        // sample sd = 1, ci95 = 1.96/sqrt(3)
+        assert!((a.ci95 - 1.96 / 3f64.sqrt()).abs() < 1e-9);
+
+        let single = Aggregate::from_samples(&[5.0]).expect("non-empty");
+        assert_eq!(single.n, 1);
+        assert!((single.ci95).abs() < 1e-12);
+        assert!(Aggregate::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn json_round_trip_reproduces_bytes() {
+        let sweep = sample_sweep();
+        let rendered = sweep.render_json();
+        let parsed = Sweep::parse_json(&rendered).expect("parses");
+        assert_eq!(parsed.render_json(), rendered);
+        assert_eq!(parsed.runs.len(), 3);
+        assert_eq!(parsed.configs.len(), 1);
+    }
+
+    #[test]
+    fn csv_round_trip_agrees_with_configs() {
+        let sweep = sample_sweep();
+        let parsed = Sweep::parse_csv(&sweep.render_csv()).expect("parses");
+        assert_eq!(parsed.len(), sweep.configs.len());
+        let (config, metrics) = parsed.iter().next().expect("one config");
+        assert_eq!(config.scenario, "fairness_flows");
+        assert!(metrics.contains_key("jain_goodput"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Sweep::parse_json("{").is_err());
+        assert!(Sweep::parse_json("{\"sweep\": \"x\"}").is_err());
+        assert!(Sweep::parse_csv("bogus,header\n").is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! The regression gate: structural + numeric comparison of two sweeps.
+//!
+//! `aq-sweep diff <baseline> <current>` loads both sweep directories,
+//! checks that they describe the same configuration set and metric
+//! surface, then compares every aggregate under per-metric **relative**
+//! tolerances. Counting metrics with inherent seed-level jitter (drops,
+//! events) get loose bounds; fairness and goodput get tight ones. Any
+//! violation renders into a readable table and flips the exit code.
+
+use crate::agg::{Aggregate, ConfigKey, Sweep};
+use std::fmt::Write as _;
+
+/// Per-metric relative tolerances, matched by metric-name prefix.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// `(prefix, relative tolerance)` pairs, first match wins.
+    pub by_prefix: Vec<(String, f64)>,
+    /// Fallback when no prefix matches.
+    pub default: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            by_prefix: vec![
+                // Drop counts are the most seed-sensitive observable.
+                ("drops".to_string(), 0.25),
+                // Event counts shift with retransmission schedules.
+                ("events".to_string(), 0.05),
+                ("jain".to_string(), 0.05),
+                ("completion".to_string(), 0.05),
+                ("goodput".to_string(), 0.05),
+                ("flows_completed".to_string(), 0.02),
+            ],
+            default: 0.02,
+        }
+    }
+}
+
+impl Tolerances {
+    /// The relative tolerance applied to `metric`.
+    pub fn for_metric(&self, metric: &str) -> f64 {
+        self.by_prefix
+            .iter()
+            .find(|(prefix, _)| metric.starts_with(prefix.as_str()))
+            .map(|(_, tol)| *tol)
+            .unwrap_or(self.default)
+    }
+}
+
+/// Relative distance between two observations; 0 when both are ~zero.
+pub fn rel_delta(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom < 1e-9 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// One gate violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which config (empty params/approach for structural violations).
+    pub config: ConfigKey,
+    /// Which metric (or a structural description).
+    pub metric: String,
+    /// Human-readable explanation with both values.
+    pub detail: String,
+}
+
+/// Compare `current` against `baseline`. Returns every violation, most
+/// fundamental (structural) first.
+pub fn diff_sweeps(baseline: &Sweep, current: &Sweep, tol: &Tolerances) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let structural = |config: &ConfigKey, what: String| Violation {
+        config: config.clone(),
+        metric: "<structure>".to_string(),
+        detail: what,
+    };
+    for config in baseline.configs.keys() {
+        if !current.configs.contains_key(config) {
+            violations.push(structural(
+                config,
+                "config missing from current sweep".into(),
+            ));
+        }
+    }
+    for config in current.configs.keys() {
+        if !baseline.configs.contains_key(config) {
+            violations.push(structural(config, "config absent from baseline".into()));
+        }
+    }
+    for (config, base_metrics) in &baseline.configs {
+        let Some(cur_metrics) = current.configs.get(config) else {
+            continue;
+        };
+        for (metric, base) in base_metrics {
+            let Some(cur) = cur_metrics.get(metric) else {
+                violations.push(Violation {
+                    config: config.clone(),
+                    metric: metric.clone(),
+                    detail: "metric missing from current sweep".to_string(),
+                });
+                continue;
+            };
+            violations.extend(compare_aggregate(config, metric, base, cur, tol));
+        }
+        for metric in cur_metrics.keys() {
+            if !base_metrics.contains_key(metric) {
+                violations.push(Violation {
+                    config: config.clone(),
+                    metric: metric.clone(),
+                    detail: "metric absent from baseline".to_string(),
+                });
+            }
+        }
+    }
+    violations
+}
+
+fn compare_aggregate(
+    config: &ConfigKey,
+    metric: &str,
+    base: &Aggregate,
+    cur: &Aggregate,
+    tol: &Tolerances,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if base.n != cur.n {
+        out.push(Violation {
+            config: config.clone(),
+            metric: metric.to_string(),
+            detail: format!(
+                "seed count changed: baseline n={}, current n={}",
+                base.n, cur.n
+            ),
+        });
+    }
+    let allowed = tol.for_metric(metric);
+    for (field, b, c) in [
+        ("mean", base.mean, cur.mean),
+        ("min", base.min, cur.min),
+        ("max", base.max, cur.max),
+    ] {
+        let delta = rel_delta(b, c);
+        if delta > allowed {
+            out.push(Violation {
+                config: config.clone(),
+                metric: metric.to_string(),
+                detail: format!(
+                    "{field}: baseline {b:.6}, current {c:.6} (rel Δ {:.4} > tol {:.4})",
+                    delta, allowed
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Render violations as the gate's human-readable table.
+pub fn render_violations(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} violation(s):", violations.len());
+    let _ = writeln!(out, "{:<60} {:<24} detail", "config", "metric");
+    for v in violations {
+        let config = format!(
+            "{}/{}/{}",
+            v.config.scenario, v.config.approach, v.config.params
+        );
+        let _ = writeln!(out, "{:<60} {:<24} {}", config, v.metric, v.detail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::RunKey;
+    use std::collections::BTreeMap;
+
+    fn sweep_with(jain: f64, drops: f64) -> Sweep {
+        let mut runs = BTreeMap::new();
+        for seed in [1u64, 2] {
+            let key = RunKey {
+                scenario: "s".to_string(),
+                approach: "aq".to_string(),
+                params: "x=1".to_string(),
+                seed,
+            };
+            let mut m = BTreeMap::new();
+            m.insert("jain_goodput".to_string(), jain);
+            m.insert("drops_e1".to_string(), drops);
+            runs.insert(key, m);
+        }
+        Sweep::from_runs("unit", runs)
+    }
+
+    #[test]
+    fn identical_sweeps_pass() {
+        let a = sweep_with(0.95, 100.0);
+        assert!(diff_sweeps(&a, &a, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn loose_metrics_absorb_jitter_that_tight_metrics_flag() {
+        let base = sweep_with(0.95, 100.0);
+        // 20% drop delta is inside drops' 25% budget; jain is untouched.
+        let ok = sweep_with(0.95, 120.0);
+        assert!(diff_sweeps(&base, &ok, &Tolerances::default()).is_empty());
+        // A 20% jain delta blows the 5% budget on mean/min/max.
+        let bad = sweep_with(0.76, 100.0);
+        let violations = diff_sweeps(&base, &bad, &Tolerances::default());
+        assert_eq!(violations.len(), 3);
+        assert!(violations.iter().all(|v| v.metric == "jain_goodput"));
+        let table = render_violations(&violations);
+        assert!(table.contains("jain_goodput"));
+        assert!(table.contains("3 violation(s)"));
+    }
+
+    #[test]
+    fn structural_drift_is_reported() {
+        let base = sweep_with(0.95, 100.0);
+        let mut cur = base.clone();
+        let config = base.configs.keys().next().expect("one config").clone();
+        cur.configs
+            .get_mut(&config)
+            .expect("config")
+            .remove("jain_goodput");
+        let violations = diff_sweeps(&base, &cur, &Tolerances::default());
+        assert!(violations
+            .iter()
+            .any(|v| v.detail.contains("missing from current")));
+    }
+
+    #[test]
+    fn rel_delta_handles_zeros() {
+        assert!(rel_delta(0.0, 0.0).abs() < 1e-12);
+        assert!((rel_delta(0.0, 2.0) - 1.0).abs() < 1e-12);
+        assert!((rel_delta(100.0, 110.0) - 10.0 / 110.0).abs() < 1e-12);
+    }
+}

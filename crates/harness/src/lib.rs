@@ -1,0 +1,85 @@
+//! `aq-harness` — parallel multi-seed sweep orchestrator with a
+//! deterministic regression gate.
+//!
+//! The sim crates answer "what does one seeded run do"; this crate
+//! answers "what do *ensembles* of runs say, and did they change". It
+//! declares sweeps as (scenario × approach × parameter grid × seed set)
+//! over the named scenarios in [`aq_workloads::registry`], fans the runs
+//! over a fixed-size OS-thread pool (`--jobs N`), and merges results into
+//! key-ordered maps so the emitted `sweep.json`/`sweep.csv` are
+//! byte-identical regardless of scheduling. Per-config seed ensembles
+//! collapse to min/mean/max + a normal-approximation 95% CI.
+//!
+//! The `aq-sweep` binary exposes this as a CLI:
+//!
+//! * `aq-sweep list` — scenarios, their parameters, and named sweeps;
+//! * `aq-sweep run` — execute a sweep, write artifacts, check trends;
+//! * `aq-sweep diff` — compare two sweep directories under per-metric
+//!   relative tolerances (the CI regression gate);
+//! * `aq-sweep check` — re-evaluate trend rules on an existing sweep.
+//!
+//! Parallelism lives *only* here: every individual `Simulator` run stays
+//! single-threaded and deterministic, and the `no-thread-in-sim` lint
+//! rule (crates/analysis) keeps threads out of the sim crates.
+
+pub mod agg;
+pub mod diff;
+pub mod pool;
+pub mod sweep;
+pub mod trends;
+
+use aq_bench::Approach;
+use aq_workloads::registry::Params;
+use sweep::{SweepAxis, SweepSpec};
+
+/// The committed-baseline smoke sweep: 2 scenarios × 2 approaches ×
+/// small grids × 3 seeds. Small enough for CI, wide enough to exercise
+/// fairness and completion trends.
+pub fn smoke_spec() -> SweepSpec {
+    let p = |s: &str| Params::parse(s).expect("static smoke grid parses");
+    SweepSpec {
+        name: "smoke".to_string(),
+        axes: vec![
+            SweepAxis {
+                scenario: "fairness_flows".to_string(),
+                approaches: vec![Approach::Pq, Approach::Aq],
+                grid: vec![p("b_flows=1,horizon_ms=20"), p("b_flows=4,horizon_ms=20")],
+                seeds: vec![1, 2, 3],
+            },
+            SweepAxis {
+                scenario: "completion_vms".to_string(),
+                approaches: vec![Approach::Pq, Approach::Aq],
+                grid: vec![p("vms=1"), p("vms=2")],
+                seeds: vec![1, 2, 3],
+            },
+        ],
+    }
+}
+
+/// Named sweep specs addressable from the CLI (`--spec <name>`).
+pub fn named_specs() -> Vec<SweepSpec> {
+    vec![smoke_spec()]
+}
+
+/// Look up a named spec.
+pub fn find_spec(name: &str) -> Option<SweepSpec> {
+    named_specs().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_spec_expands_to_the_documented_size() {
+        let points = sweep::expand(&smoke_spec()).expect("smoke expands");
+        // (2 grid x 2 approaches x 3 seeds) per scenario, 2 scenarios.
+        assert_eq!(points.len(), 24);
+    }
+
+    #[test]
+    fn named_specs_are_findable() {
+        assert!(find_spec("smoke").is_some());
+        assert!(find_spec("nope").is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! `aq-sweep` — the sweep orchestrator CLI.
+//!
+//! ```text
+//! aq-sweep list
+//! aq-sweep run  [--spec smoke] [--jobs N] [--out DIR] [--seeds 1,2,3] [--no-trends]
+//! aq-sweep diff <baseline-dir> <current-dir>
+//! aq-sweep check <sweep-dir>
+//! ```
+//!
+//! Exit codes: `0` success, `1` gate violation (diff tolerance breach or
+//! trend failure), `2` usage or I/O error.
+
+use aq_harness::agg::Sweep;
+use aq_harness::diff::{diff_sweeps, render_violations, Tolerances};
+use aq_harness::sweep::{expand, run_points};
+use aq_harness::trends::{check_trends, DEFAULT_RULES};
+use aq_harness::{find_spec, named_specs};
+use aq_workloads::registry;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+aq-sweep: parallel multi-seed sweep orchestrator with a regression gate
+
+USAGE:
+  aq-sweep list
+      Show registered scenarios (with parameters) and named sweeps.
+  aq-sweep run [--spec NAME] [--jobs N] [--out DIR] [--seeds a,b,c] [--no-trends]
+      Execute a named sweep (default: smoke), write DIR/sweep.json,
+      DIR/sweep.csv and per-run reports under DIR/runs/, then evaluate
+      trend rules. Default out: target/sweeps/<spec>. Default jobs: 1.
+  aq-sweep diff BASELINE_DIR CURRENT_DIR
+      Compare two sweep directories under per-metric relative tolerances;
+      print a violation table and exit 1 on any violation.
+  aq-sweep check SWEEP_DIR
+      Evaluate trend rules against an existing sweep directory.
+
+EXIT CODES: 0 ok, 1 gate violation, 2 usage/I-O error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&args[1..]),
+        "diff" => cmd_diff(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("aq-sweep: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!("scenarios:");
+    for def in registry::registry() {
+        println!("  {:<16} {}", def.name, def.summary);
+        for p in def.params {
+            println!(
+                "    --param {:<12} default {:<8} {}",
+                p.name, p.default, p.help
+            );
+        }
+    }
+    println!("sweeps:");
+    for spec in named_specs() {
+        let n = expand(&spec).map(|p| p.len()).unwrap_or(0);
+        println!("  {:<16} {} runs", spec.name, n);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut spec_name = "smoke".to_string();
+    let mut jobs = 1usize;
+    let mut out: Option<PathBuf> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut run_trends = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => match it.next() {
+                Some(v) => spec_name = v.clone(),
+                None => return usage_err("--spec needs a value"),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => jobs = v,
+                _ => return usage_err("--jobs needs a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage_err("--out needs a value"),
+            },
+            "--seeds" => {
+                let parsed: Option<Vec<u64>> = it
+                    .next()
+                    .map(|v| v.split(',').map(|s| s.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(v) if !v.is_empty() => seeds = Some(v),
+                    _ => return usage_err("--seeds needs a comma-separated u64 list"),
+                }
+            }
+            "--no-trends" => run_trends = false,
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(mut spec) = find_spec(&spec_name) else {
+        return usage_err(&format!("unknown sweep spec `{spec_name}`"));
+    };
+    if let Some(seeds) = seeds {
+        for axis in &mut spec.axes {
+            axis.seeds = seeds.clone();
+        }
+    }
+    let out = out.unwrap_or_else(|| Path::new("target/sweeps").join(&spec.name));
+    let points = match expand(&spec) {
+        Ok(p) => p,
+        Err(e) => return io_err(&e),
+    };
+    println!(
+        "sweep `{}`: {} runs over {} job(s) -> {}",
+        spec.name,
+        points.len(),
+        jobs,
+        out.display()
+    );
+    let merged = match run_points(&points, jobs, Some(&out)) {
+        Ok(m) => m,
+        Err(e) => return io_err(&e),
+    };
+    let sweep = Sweep::from_runs(&spec.name, merged);
+    if let Err(e) = sweep.write_to(&out) {
+        return io_err(&format!("writing sweep artifacts: {e}"));
+    }
+    println!(
+        "wrote {} configs, {} runs: sweep.json + sweep.csv",
+        sweep.configs.len(),
+        sweep.runs.len()
+    );
+    if run_trends {
+        let failures = check_trends(&sweep, DEFAULT_RULES);
+        if !failures.is_empty() {
+            eprintln!("trend check FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::from(1);
+        }
+        println!("trend check passed ({} rules)", DEFAULT_RULES.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let [baseline_dir, current_dir] = args else {
+        return usage_err("diff needs exactly: BASELINE_DIR CURRENT_DIR");
+    };
+    let baseline = match Sweep::load_dir(Path::new(baseline_dir)) {
+        Ok(s) => s,
+        Err(e) => return io_err(&e),
+    };
+    let current = match Sweep::load_dir(Path::new(current_dir)) {
+        Ok(s) => s,
+        Err(e) => return io_err(&e),
+    };
+    let violations = diff_sweeps(&baseline, &current, &Tolerances::default());
+    if violations.is_empty() {
+        println!(
+            "diff clean: {} configs, {} runs match `{}` within tolerances",
+            current.configs.len(),
+            current.runs.len(),
+            baseline.name
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{}", render_violations(&violations));
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let [dir] = args else {
+        return usage_err("check needs exactly: SWEEP_DIR");
+    };
+    let sweep = match Sweep::load_dir(Path::new(dir)) {
+        Ok(s) => s,
+        Err(e) => return io_err(&e),
+    };
+    let failures = check_trends(&sweep, DEFAULT_RULES);
+    if failures.is_empty() {
+        println!("trend check passed ({} rules)", DEFAULT_RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("trend check FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn usage_err(message: &str) -> ExitCode {
+    eprintln!("aq-sweep: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn io_err(message: &str) -> ExitCode {
+    eprintln!("aq-sweep: {message}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,87 @@
+//! Fixed-size OS-thread worker pool for run fan-out.
+//!
+//! Parallelism in this workspace exists at exactly one granularity: whole
+//! simulation runs. Each run is a single-threaded, seeded, deterministic
+//! `Simulator` execution; the pool only decides *when* each run executes,
+//! never *what* it computes. Results come back indexed by task id, so the
+//! caller's merge order — and therefore every byte of merged output — is
+//! independent of scheduling. (The sim crates themselves are barred from
+//! threads by the `no-thread-in-sim` lint rule; this crate is the
+//! sanctioned home of `std::thread`.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `task(0..n_tasks)` over `jobs` worker threads and return the
+/// results in task-index order.
+///
+/// Workers pull the next unclaimed index from a shared counter, so the
+/// pool stays busy even when run durations differ wildly. `jobs` is
+/// clamped to `[1, n_tasks]`. A panicking task propagates after all
+/// workers finish.
+pub fn run_indexed<T, F>(n_tasks: usize, jobs: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, n_tasks);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    let task = &task;
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                let out = task(i);
+                *slots[i].lock().expect("result slot lock") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .unwrap_or_else(|| panic!("task {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order_regardless_of_jobs() {
+        let square = |i: usize| i * i;
+        let serial = run_indexed(17, 1, square);
+        let wide = run_indexed(17, 8, square);
+        assert_eq!(serial, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn zero_tasks_and_oversized_pools_are_fine() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(2, 64, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let n = 100;
+        let out = run_indexed(n, 7, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+        assert_eq!(out.len(), n);
+    }
+}

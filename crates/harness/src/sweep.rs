@@ -1,0 +1,319 @@
+//! Sweep declaration and execution.
+//!
+//! A sweep is `(scenario × approach × parameter grid × seed set)` over the
+//! named scenarios in [`aq_workloads::registry`]. Expansion produces one
+//! [`RunPoint`] per combination, keyed by a totally-ordered [`RunKey`];
+//! execution fans points over the worker pool (see [`crate::pool`]) and
+//! merges results into a `BTreeMap<RunKey, _>`, so the merged artifact is
+//! byte-identical no matter how many jobs ran or how they interleaved.
+//!
+//! Every run also writes its full [`RunReport`] under
+//! `<out>/runs/<run key>/`, one directory per run, so per-seed artifacts
+//! never collide even when written concurrently.
+
+use crate::pool::run_indexed;
+use aq_bench::report::RunReport;
+use aq_bench::{build_dumbbell, run_workload, Approach, ExpConfig};
+use aq_netsim::ids::EntityId;
+use aq_netsim::stats::minmax_ratio;
+use aq_netsim::time::Time;
+use aq_workloads::registry::{self, Params, RunPlan, ScenarioDef};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Identity of one run inside a sweep: the deterministic merge key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RunKey {
+    /// Scenario name from the registry.
+    pub scenario: String,
+    /// Approach name, lowercase (`pq`/`aq`/`prl`/`drl`).
+    pub approach: String,
+    /// Canonical resolved parameter string (see [`Params::canonical`]).
+    pub params: String,
+    /// Workload/jitter seed.
+    pub seed: u64,
+}
+
+impl RunKey {
+    /// Filesystem-safe directory name for this run's report artifacts.
+    pub fn dir_name(&self) -> String {
+        format!(
+            "{}+{}+{}+seed{}",
+            self.scenario, self.approach, self.params, self.seed
+        )
+    }
+}
+
+impl fmt::Display for RunKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {{{}}} seed={}",
+            self.scenario, self.approach, self.params, self.seed
+        )
+    }
+}
+
+/// One expanded point of a sweep, ready to execute.
+#[derive(Debug, Clone)]
+pub struct RunPoint {
+    /// Merge key.
+    pub key: RunKey,
+    /// Scenario blueprint.
+    pub def: &'static ScenarioDef,
+    /// Fully-resolved parameters (defaults merged).
+    pub resolved: Params,
+    /// Sharing approach wrapped around the workload.
+    pub approach: Approach,
+}
+
+/// One axis of a sweep: a scenario crossed with approaches, a parameter
+/// grid, and seeds.
+#[derive(Debug, Clone)]
+pub struct SweepAxis {
+    /// Registry scenario name.
+    pub scenario: String,
+    /// Approaches to compare.
+    pub approaches: Vec<Approach>,
+    /// Parameter overrides, one entry per grid point (an empty `Params`
+    /// is the all-defaults point; an empty grid means just that point).
+    pub grid: Vec<Params>,
+    /// Seed ensemble.
+    pub seeds: Vec<u64>,
+}
+
+/// A declared sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Sweep name (recorded in `sweep.json`).
+    pub name: String,
+    /// Axes, expanded independently and merged.
+    pub axes: Vec<SweepAxis>,
+}
+
+/// Parse an approach name (case-insensitive).
+pub fn parse_approach(name: &str) -> Option<Approach> {
+    match name.to_ascii_lowercase().as_str() {
+        "pq" => Some(Approach::Pq),
+        "aq" => Some(Approach::Aq),
+        "prl" => Some(Approach::Prl),
+        "drl" => Some(Approach::Drl),
+        _ => None,
+    }
+}
+
+/// Expand a spec into its run points, validated, key-sorted, deduplicated.
+pub fn expand(spec: &SweepSpec) -> Result<Vec<RunPoint>, String> {
+    let mut points: BTreeMap<RunKey, RunPoint> = BTreeMap::new();
+    for axis in &spec.axes {
+        let def = registry::find(&axis.scenario)
+            .ok_or_else(|| format!("unknown scenario `{}`", axis.scenario))?;
+        if axis.approaches.is_empty() {
+            return Err(format!("axis `{}` lists no approaches", axis.scenario));
+        }
+        if axis.seeds.is_empty() {
+            return Err(format!("axis `{}` lists no seeds", axis.scenario));
+        }
+        let grid: &[Params] = if axis.grid.is_empty() {
+            &[Params::new()]
+        } else {
+            &axis.grid
+        };
+        for overrides in grid {
+            let resolved = def.resolve(overrides)?;
+            for &approach in &axis.approaches {
+                for &seed in &axis.seeds {
+                    let key = RunKey {
+                        scenario: def.name.to_string(),
+                        approach: approach.name().to_ascii_lowercase(),
+                        params: resolved.canonical(),
+                        seed,
+                    };
+                    points.entry(key.clone()).or_insert(RunPoint {
+                        key,
+                        def,
+                        resolved: resolved.clone(),
+                        approach,
+                    });
+                }
+            }
+        }
+    }
+    Ok(points.into_values().collect())
+}
+
+/// Execute one run point: build the dumbbell experiment, drive it per the
+/// scenario's [`RunPlan`], and distill the canonical metric map. When
+/// `report_base` is given, the full [`RunReport`] is also written under
+/// `<report_base>/<run dir name>/`.
+pub fn execute_run(
+    point: &RunPoint,
+    report_base: Option<&Path>,
+) -> Result<BTreeMap<String, f64>, String> {
+    let plan = (point.def.build)(&point.resolved);
+    let mut exp = build_dumbbell(
+        point.approach,
+        &plan.entities,
+        ExpConfig {
+            seed: point.key.seed,
+            ..Default::default()
+        },
+    );
+    let entity_ids: Vec<EntityId> = plan.entities.iter().map(|e| e.entity).collect();
+    let completions: Vec<Option<f64>> = match plan.run {
+        RunPlan::FixedHorizon { horizon } => {
+            exp.sim.run_until(Time::ZERO + horizon);
+            vec![None; entity_ids.len()]
+        }
+        RunPlan::UntilComplete { deadline } => {
+            run_workload(&mut exp.sim, &entity_ids, Time::ZERO + deadline)
+        }
+    };
+    let mut rep = RunReport::new(&point.key.dir_name());
+    rep.capture("run", &mut exp.sim);
+    if let Some(base) = report_base {
+        rep.write_to(base)
+            .map_err(|e| format!("{}: writing run report: {e}", point.key))?;
+    }
+    let section = rep
+        .sections()
+        .first()
+        .ok_or_else(|| format!("{}: capture produced no section", point.key))?;
+    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+    metrics.insert("events".to_string(), section.events as f64);
+    metrics.insert("jain_goodput".to_string(), section.jain_goodput);
+    let mut total_goodput = 0.0;
+    let mut flows_completed = 0u64;
+    for e in &section.entities {
+        total_goodput += e.goodput_gbps;
+        flows_completed += e.flows_completed;
+        metrics.insert(format!("goodput_e{}_gbps", e.entity), e.goodput_gbps);
+        metrics.insert(format!("drops_e{}", e.entity), e.drops as f64);
+    }
+    metrics.insert("goodput_total_gbps".to_string(), total_goodput);
+    metrics.insert("flows_completed_total".to_string(), flows_completed as f64);
+    for (id, done) in entity_ids.iter().zip(&completions) {
+        if let Some(secs) = done {
+            metrics.insert(format!("completion_e{}_s", id.0), *secs);
+        }
+    }
+    let finished: Vec<f64> = completions.iter().filter_map(|c| *c).collect();
+    if finished.len() == entity_ids.len() && !finished.is_empty() {
+        let max = finished.iter().cloned().fold(f64::MIN, f64::max);
+        let min = finished.iter().cloned().fold(f64::MAX, f64::min);
+        metrics.insert("completion_max_s".to_string(), max);
+        metrics.insert("completion_ratio".to_string(), minmax_ratio(min, max));
+    }
+    Ok(metrics)
+}
+
+/// Execute a whole spec over `jobs` workers. Per-run reports go under
+/// `<out>/runs/`; the caller renders the merged result (see
+/// [`crate::agg::Sweep`]). Point order in the output is key order —
+/// independent of scheduling.
+pub fn run_points(
+    points: &[RunPoint],
+    jobs: usize,
+    out: Option<&Path>,
+) -> Result<BTreeMap<RunKey, BTreeMap<String, f64>>, String> {
+    let report_base = out.map(|o| o.join("runs"));
+    if let Some(base) = &report_base {
+        std::fs::create_dir_all(base).map_err(|e| format!("creating {}: {e}", base.display()))?;
+    }
+    let results = run_indexed(points.len(), jobs, |i| {
+        execute_run(&points[i], report_base.as_deref())
+    });
+    let mut merged = BTreeMap::new();
+    for (point, result) in points.iter().zip(results) {
+        merged.insert(point.key.clone(), result?);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_axis() -> SweepAxis {
+        SweepAxis {
+            scenario: "fairness_flows".to_string(),
+            approaches: vec![Approach::Pq, Approach::Aq],
+            grid: vec![
+                Params::parse("b_flows=1,horizon_ms=5").expect("grid"),
+                Params::parse("b_flows=2,horizon_ms=5").expect("grid"),
+            ],
+            seeds: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn expansion_is_sorted_validated_and_deduplicated() {
+        let spec = SweepSpec {
+            name: "unit".to_string(),
+            axes: vec![tiny_axis(), tiny_axis()],
+        };
+        let points = expand(&spec).expect("expands");
+        // 2 approaches x 2 grid points x 2 seeds, duplicates collapsed.
+        assert_eq!(points.len(), 8);
+        let keys: Vec<&RunKey> = points.iter().map(|p| &p.key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // Resolved params carry defaults alongside overrides.
+        assert!(points[0].key.params.contains("horizon_ms=5"));
+
+        let bad = SweepSpec {
+            name: "unit".to_string(),
+            axes: vec![SweepAxis {
+                scenario: "no_such".to_string(),
+                approaches: vec![Approach::Pq],
+                grid: vec![],
+                seeds: vec![1],
+            }],
+        };
+        assert!(expand(&bad).is_err());
+    }
+
+    #[test]
+    fn dir_names_are_unique_per_point() {
+        let spec = SweepSpec {
+            name: "unit".to_string(),
+            axes: vec![tiny_axis()],
+        };
+        let points = expand(&spec).expect("expands");
+        let mut dirs: Vec<String> = points.iter().map(|p| p.key.dir_name()).collect();
+        dirs.sort();
+        dirs.dedup();
+        assert_eq!(dirs.len(), points.len());
+    }
+
+    #[test]
+    fn execute_run_produces_the_canonical_metric_surface() {
+        let spec = SweepSpec {
+            name: "unit".to_string(),
+            axes: vec![SweepAxis {
+                scenario: "fairness_flows".to_string(),
+                approaches: vec![Approach::Aq],
+                grid: vec![Params::parse("b_flows=1,horizon_ms=5").expect("grid")],
+                seeds: vec![7],
+            }],
+        };
+        let points = expand(&spec).expect("expands");
+        let metrics = execute_run(&points[0], None).expect("runs");
+        for key in [
+            "events",
+            "jain_goodput",
+            "goodput_e1_gbps",
+            "goodput_e2_gbps",
+            "goodput_total_gbps",
+            "drops_e1",
+            "drops_e2",
+            "flows_completed_total",
+        ] {
+            assert!(metrics.contains_key(key), "missing metric `{key}`");
+        }
+        assert!(metrics["events"] > 0.0);
+        assert!(metrics["goodput_total_gbps"] > 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Qualitative trend assertions over a sweep.
+//!
+//! EXPERIMENTS.md records the paper's *shape* expectations (AQ fair where
+//! PQ is not, AQ completion flat as scale grows). The numeric diff gate
+//! only catches drift against a baseline; these rules catch a sweep whose
+//! numbers are self-consistent but *qualitatively wrong* — e.g. AQ losing
+//! fairness to FIFO. `aq-sweep check` (and `run`) evaluates every rule
+//! whose scenario appears in the sweep; rules for absent scenarios are
+//! skipped, not failed.
+
+use crate::agg::{ConfigKey, Sweep};
+use std::collections::BTreeMap;
+
+/// One qualitative expectation.
+#[derive(Debug, Clone)]
+pub enum TrendRule {
+    /// At every shared params point of `scenario`, metric under approach
+    /// `better` must be ≥ the same metric under `worse` minus `slack`.
+    NotWorseThan {
+        /// Scenario name.
+        scenario: &'static str,
+        /// Aggregated metric (compared on ensemble means).
+        metric: &'static str,
+        /// Approach expected to dominate.
+        better: &'static str,
+        /// Approach providing the floor.
+        worse: &'static str,
+        /// Additive slack.
+        slack: f64,
+    },
+    /// At every shared params point of `scenario`, metric under approach
+    /// `faster` must be ≤ `slower`'s value times `factor`.
+    AtMostFactorOf {
+        /// Scenario name.
+        scenario: &'static str,
+        /// Aggregated metric (compared on ensemble means).
+        metric: &'static str,
+        /// Approach expected to stay fast.
+        faster: &'static str,
+        /// Approach providing the ceiling.
+        slower: &'static str,
+        /// Multiplicative headroom.
+        factor: f64,
+    },
+    /// Across all params points of `scenario` under one approach, the
+    /// metric must stay flat: relative spread `(max−min)/max ≤ spread`.
+    FlatAcrossParams {
+        /// Scenario name.
+        scenario: &'static str,
+        /// Aggregated metric (compared on ensemble means).
+        metric: &'static str,
+        /// Approach under test.
+        approach: &'static str,
+        /// Allowed relative spread.
+        spread: f64,
+    },
+}
+
+/// The repo's standing expectations, derived from EXPERIMENTS.md.
+///
+/// * Fig. 8 shape: flow-count unfairness — AQ restores entity fairness
+///   that FIFO (PQ) loses, and entity 1's goodput under AQ does not decay
+///   as entity 2 adds flows.
+/// * Fig. 9 shape: UDP/TCP sharing — AQ keeps the TCP entity alive where
+///   PQ lets UDP take the link.
+/// * Fig. 6/10 shape: AQ completes about as fast as the raw network and
+///   completion stays flat as VM count grows.
+pub const DEFAULT_RULES: &[TrendRule] = &[
+    TrendRule::NotWorseThan {
+        scenario: "fairness_flows",
+        metric: "jain_goodput",
+        better: "aq",
+        worse: "pq",
+        slack: 0.05,
+    },
+    TrendRule::FlatAcrossParams {
+        scenario: "fairness_flows",
+        metric: "goodput_e1_gbps",
+        approach: "aq",
+        spread: 0.20,
+    },
+    TrendRule::NotWorseThan {
+        scenario: "udp_tcp_share",
+        metric: "jain_goodput",
+        better: "aq",
+        worse: "pq",
+        slack: 0.05,
+    },
+    TrendRule::AtMostFactorOf {
+        scenario: "completion_vms",
+        metric: "completion_max_s",
+        faster: "aq",
+        slower: "pq",
+        factor: 1.25,
+    },
+    TrendRule::FlatAcrossParams {
+        scenario: "completion_vms",
+        metric: "completion_max_s",
+        approach: "aq",
+        spread: 0.30,
+    },
+];
+
+/// Mean of `metric` for `(scenario, approach, params)`, if aggregated.
+fn mean_of(
+    sweep: &Sweep,
+    scenario: &str,
+    approach: &str,
+    params: &str,
+    metric: &str,
+) -> Option<f64> {
+    let key = ConfigKey {
+        scenario: scenario.to_string(),
+        approach: approach.to_string(),
+        params: params.to_string(),
+    };
+    sweep.configs.get(&key)?.get(metric).map(|a| a.mean)
+}
+
+/// All params points of `scenario` present under `approach`.
+fn params_points<'a>(sweep: &'a Sweep, scenario: &str, approach: &str) -> Vec<&'a str> {
+    sweep
+        .configs
+        .keys()
+        .filter(|c| c.scenario == scenario && c.approach == approach)
+        .map(|c| c.params.as_str())
+        .collect()
+}
+
+/// Evaluate `rules` against a sweep; returns human-readable failures.
+/// Rules whose scenario/approach pair is absent from the sweep are
+/// skipped — a smoke sweep need not cover every scenario.
+pub fn check_trends(sweep: &Sweep, rules: &[TrendRule]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for rule in rules {
+        match rule {
+            TrendRule::NotWorseThan {
+                scenario,
+                metric,
+                better,
+                worse,
+                slack,
+            } => {
+                for params in params_points(sweep, scenario, better) {
+                    let (Some(b), Some(w)) = (
+                        mean_of(sweep, scenario, better, params, metric),
+                        mean_of(sweep, scenario, worse, params, metric),
+                    ) else {
+                        continue;
+                    };
+                    if b < w - slack {
+                        failures.push(format!(
+                            "{scenario}/{{{params}}}: {metric} under {better} ({b:.4}) \
+                             below {worse} ({w:.4}) beyond slack {slack:.2}"
+                        ));
+                    }
+                }
+            }
+            TrendRule::AtMostFactorOf {
+                scenario,
+                metric,
+                faster,
+                slower,
+                factor,
+            } => {
+                for params in params_points(sweep, scenario, faster) {
+                    let (Some(f), Some(s)) = (
+                        mean_of(sweep, scenario, faster, params, metric),
+                        mean_of(sweep, scenario, slower, params, metric),
+                    ) else {
+                        continue;
+                    };
+                    if f > s * factor {
+                        failures.push(format!(
+                            "{scenario}/{{{params}}}: {metric} under {faster} ({f:.4}) \
+                             exceeds {factor:.2}x {slower} ({s:.4})"
+                        ));
+                    }
+                }
+            }
+            TrendRule::FlatAcrossParams {
+                scenario,
+                metric,
+                approach,
+                spread,
+            } => {
+                let mut values: BTreeMap<&str, f64> = BTreeMap::new();
+                for params in params_points(sweep, scenario, approach) {
+                    if let Some(v) = mean_of(sweep, scenario, approach, params, metric) {
+                        values.insert(params, v);
+                    }
+                }
+                if values.len() < 2 {
+                    continue;
+                }
+                let max = values.values().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let min = values.values().cloned().fold(f64::INFINITY, f64::min);
+                if max > 0.0 && (max - min) / max > *spread {
+                    failures.push(format!(
+                        "{scenario}: {metric} under {approach} not flat across params \
+                         (min {min:.4}, max {max:.4}, spread {:.3} > {spread:.2})",
+                        (max - min) / max
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::RunKey;
+
+    fn sweep_of(points: &[(&str, &str, &str, &str, f64)]) -> Sweep {
+        let mut runs = std::collections::BTreeMap::new();
+        for (scenario, approach, params, metric, value) in points {
+            let key = RunKey {
+                scenario: scenario.to_string(),
+                approach: approach.to_string(),
+                params: params.to_string(),
+                seed: 1,
+            };
+            let entry: &mut std::collections::BTreeMap<String, f64> = runs.entry(key).or_default();
+            entry.insert(metric.to_string(), *value);
+        }
+        Sweep::from_runs("unit", runs)
+    }
+
+    #[test]
+    fn fair_aq_passes_and_unfair_aq_fails() {
+        let good = sweep_of(&[
+            ("fairness_flows", "aq", "b_flows=4", "jain_goodput", 0.99),
+            ("fairness_flows", "pq", "b_flows=4", "jain_goodput", 0.60),
+        ]);
+        assert!(check_trends(&good, DEFAULT_RULES).is_empty());
+        let bad = sweep_of(&[
+            ("fairness_flows", "aq", "b_flows=4", "jain_goodput", 0.50),
+            ("fairness_flows", "pq", "b_flows=4", "jain_goodput", 0.90),
+        ]);
+        let failures = check_trends(&bad, DEFAULT_RULES);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("jain_goodput"));
+    }
+
+    #[test]
+    fn flatness_rule_fires_on_decay() {
+        let decaying = sweep_of(&[
+            ("fairness_flows", "aq", "b_flows=1", "goodput_e1_gbps", 5.0),
+            ("fairness_flows", "aq", "b_flows=8", "goodput_e1_gbps", 1.0),
+        ]);
+        let failures = check_trends(&decaying, DEFAULT_RULES);
+        assert!(failures.iter().any(|f| f.contains("not flat")));
+    }
+
+    #[test]
+    fn rules_for_absent_scenarios_are_skipped() {
+        let unrelated = sweep_of(&[("udp_tcp_share", "aq", "h=1", "jain_goodput", 0.99)]);
+        assert!(check_trends(&unrelated, DEFAULT_RULES).is_empty());
+    }
+
+    #[test]
+    fn completion_factor_rule_fires() {
+        let slow_aq = sweep_of(&[
+            ("completion_vms", "aq", "vms=2", "completion_max_s", 2.0),
+            ("completion_vms", "pq", "vms=2", "completion_max_s", 1.0),
+        ]);
+        let failures = check_trends(&slow_aq, DEFAULT_RULES);
+        assert!(failures.iter().any(|f| f.contains("exceeds")));
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end contracts of the sweep orchestrator.
+//!
+//! * **Scheduling independence** — the same spec run with `jobs = 1` and
+//!   `jobs = 4` must produce byte-identical `sweep.json` / `sweep.csv`
+//!   and identical per-run report artifacts. This is the harness's core
+//!   promise: parallelism changes wall-clock time, never output.
+//! * **The gate fires** — a deliberately perturbed metric must show up as
+//!   a diff violation, and an unperturbed copy must not.
+
+use aq_bench::Approach;
+use aq_harness::agg::Sweep;
+use aq_harness::diff::{diff_sweeps, Tolerances};
+use aq_harness::sweep::{expand, run_points, SweepAxis, SweepSpec};
+use aq_workloads::registry::Params;
+use std::path::PathBuf;
+
+/// A spec small enough for debug-build CI: one scenario, 2 approaches,
+/// 1 grid point, 2 seeds = 4 runs of a few simulated milliseconds.
+fn tiny_spec() -> SweepSpec {
+    SweepSpec {
+        name: "tiny".to_string(),
+        axes: vec![SweepAxis {
+            scenario: "fairness_flows".to_string(),
+            approaches: vec![Approach::Pq, Approach::Aq],
+            grid: vec![Params::parse("b_flows=2,horizon_ms=5").expect("grid")],
+            seeds: vec![1, 2],
+        }],
+    }
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    dir
+}
+
+fn run_into(dir: &PathBuf, jobs: usize) -> Sweep {
+    let spec = tiny_spec();
+    let points = expand(&spec).expect("expands");
+    let merged = run_points(&points, jobs, Some(dir)).expect("runs");
+    let sweep = Sweep::from_runs(&spec.name, merged);
+    sweep.write_to(dir).expect("writes artifacts");
+    sweep
+}
+
+#[test]
+fn jobs_1_and_jobs_4_produce_byte_identical_artifacts() {
+    let serial_dir = scratch_dir("sweep_serial");
+    let wide_dir = scratch_dir("sweep_wide");
+    run_into(&serial_dir, 1);
+    run_into(&wide_dir, 4);
+
+    for artifact in ["sweep.json", "sweep.csv"] {
+        let a = std::fs::read(serial_dir.join(artifact)).expect("serial artifact");
+        let b = std::fs::read(wide_dir.join(artifact)).expect("wide artifact");
+        assert_eq!(a, b, "{artifact} differs between --jobs 1 and --jobs 4");
+    }
+
+    // Per-run report directories: same set, same bytes.
+    let list = |dir: &PathBuf| {
+        let mut names: Vec<String> = std::fs::read_dir(dir.join("runs"))
+            .expect("runs dir")
+            .map(|e| {
+                e.expect("dir entry")
+                    .file_name()
+                    .to_string_lossy()
+                    .into_owned()
+            })
+            .collect();
+        names.sort();
+        names
+    };
+    let serial_runs = list(&serial_dir);
+    assert_eq!(serial_runs, list(&wide_dir));
+    assert_eq!(serial_runs.len(), 4);
+    for run in &serial_runs {
+        let a = std::fs::read(serial_dir.join("runs").join(run).join("report.json"))
+            .expect("serial report");
+        let b = std::fs::read(wide_dir.join("runs").join(run).join("report.json"))
+            .expect("wide report");
+        assert_eq!(a, b, "runs/{run}/report.json differs across job counts");
+    }
+}
+
+#[test]
+fn sweep_dir_round_trips_and_perturbation_fires_the_gate() {
+    let dir = scratch_dir("sweep_gate");
+    let sweep = run_into(&dir, 2);
+
+    // Loading the directory back reproduces the in-memory sweep exactly.
+    let loaded = Sweep::load_dir(&dir).expect("loads");
+    assert_eq!(loaded.render_json(), sweep.render_json());
+    assert!(
+        diff_sweeps(&sweep, &loaded, &Tolerances::default()).is_empty(),
+        "a faithful copy must pass the gate"
+    );
+
+    // Perturb one aggregate well past its tolerance: the gate must fire.
+    let mut perturbed = loaded.clone();
+    let config = perturbed
+        .configs
+        .keys()
+        .find(|c| c.approach == "aq")
+        .expect("aq config")
+        .clone();
+    let jain = perturbed
+        .configs
+        .get_mut(&config)
+        .expect("config metrics")
+        .get_mut("jain_goodput")
+        .expect("jain aggregate");
+    jain.mean *= 0.5;
+    let violations = diff_sweeps(&sweep, &perturbed, &Tolerances::default());
+    assert!(
+        violations.iter().any(|v| v.metric == "jain_goodput"),
+        "halving jain_goodput must violate its 5% tolerance, got: {violations:?}"
+    );
+}

@@ -148,12 +148,15 @@ impl DelayRecorder {
         self.samples.is_empty()
     }
 
-    /// The `p`-th percentile (0.0–100.0) by nearest-rank, or `None` when
-    /// empty.
+    /// The `p`-th percentile by nearest-rank, or `None` when empty or
+    /// when `p` is NaN. `p` is clamped to `[0.0, 100.0]`: `p <= 0` is the
+    /// minimum sample, `p >= 100` the maximum. (A NaN `p` used to cast to
+    /// rank 0 and silently return the minimum; it is now rejected.)
     pub fn percentile(&self, p: f64) -> Option<u64> {
-        if self.samples.is_empty() {
+        if self.samples.is_empty() || p.is_nan() {
             return None;
         }
+        let p = p.clamp(0.0, 100.0);
         let mut sorted = self.sorted.borrow_mut();
         if sorted.len() != self.samples.len() {
             sorted.clear();
@@ -161,7 +164,7 @@ impl DelayRecorder {
             sorted.sort_unstable();
         }
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        Some(sorted[rank.max(1).min(sorted.len()) - 1])
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
     }
 
     /// Arithmetic mean, or `None` when empty.
@@ -697,6 +700,24 @@ mod tests {
         assert_eq!(d.percentile(100.0), Some(100));
         assert_eq!(d.percentile(1.0), Some(1));
         assert!(DelayRecorder::default().percentile(50.0).is_none());
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p_and_rejects_nan() {
+        let mut d = DelayRecorder::default();
+        for v in 1..=10u64 {
+            d.record(v);
+        }
+        // p <= 0 is the minimum sample, p >= 100 the maximum.
+        assert_eq!(d.percentile(0.0), Some(1));
+        assert_eq!(d.percentile(-5.0), Some(1));
+        assert_eq!(d.percentile(100.0), Some(10));
+        assert_eq!(d.percentile(250.0), Some(10));
+        assert_eq!(d.percentile(f64::INFINITY), Some(10));
+        assert_eq!(d.percentile(f64::NEG_INFINITY), Some(1));
+        // NaN must be rejected, not silently mapped to the minimum.
+        assert!(d.percentile(f64::NAN).is_none());
+        assert!(DelayRecorder::default().percentile(f64::NAN).is_none());
     }
 
     #[test]

@@ -9,15 +9,20 @@
 //!   all-to-one incast);
 //! * [`scenario`] — assembly of entity workloads into concrete
 //!   [`aq_transport::FlowSpec`]s and their installation on hosts, plus
-//!   small measurement helpers shared by the figure harnesses.
+//!   small measurement helpers shared by the figure harnesses;
+//! * [`registry`] — named, parameterized scenario blueprints
+//!   ([`EntitySetup`]/[`Traffic`] descriptions enumerable by name) that
+//!   the sweep harness instantiates over parameter grids and seed sets.
 
 pub mod arrivals;
 pub mod matrix;
+pub mod registry;
 pub mod scenario;
 pub mod websearch;
 
 pub use arrivals::PoissonArrivals;
 pub use matrix::TrafficMatrix;
+pub use registry::{EntitySetup, LongKind, Params, RunPlan, ScenarioDef, ScenarioPlan, Traffic};
 pub use scenario::{
     add_flows, ensure_transport_hosts, goodput_gbps, long_flows, run_until_complete,
     ClosedWorkload, WorkloadSpec,

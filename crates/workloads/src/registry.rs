@@ -1,0 +1,501 @@
+//! Named, parameterized scenario registry.
+//!
+//! The sweep harness (`aq-harness`) needs to enumerate experiment
+//! scenarios *by name* and instantiate them over a parameter grid — the
+//! same way the paper's figures are trends over `(scenario × parameter ×
+//! seed)` points rather than single runs. This module holds the
+//! experiment-description vocabulary shared by the figure benches and the
+//! harness:
+//!
+//! * [`EntitySetup`] / [`Traffic`] / [`LongKind`] — what each entity
+//!   sends (moved here from `aq-bench` so scenario descriptions live with
+//!   the workload layer; `aq-bench` re-exports them);
+//! * [`Params`] — a named `f64` parameter assignment with a canonical,
+//!   deterministic string rendering used as a stable sweep key;
+//! * [`ScenarioDef`] — a named blueprint mapping resolved parameters to
+//!   entity setups plus a [`RunPlan`];
+//! * [`registry`] / [`find`] — the enumerable table of blueprints.
+//!
+//! The registry deliberately describes only the *workload* side; which
+//! sharing approach (PQ/AQ/PRL/DRL) wraps it, and on what topology, is
+//! the caller's axis (`aq_bench::build_dumbbell` takes an approach and an
+//! `ExpConfig` alongside the entity list).
+
+use aq_netsim::ids::EntityId;
+use aq_netsim::time::{Duration, Rate};
+use aq_transport::CcAlgo;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What an entity sends.
+#[derive(Debug, Clone)]
+pub enum Traffic {
+    /// Open-loop web-search flows: `n_flows` Poisson arrivals at `load`
+    /// of the bottleneck.
+    WebSearch {
+        /// Number of flows.
+        n_flows: usize,
+        /// Offered load fraction of the bottleneck capacity.
+        load: f64,
+    },
+    /// Closed-loop web-search replay: `n_flows` dealt round-robin to the
+    /// entity's VMs, each VM running its list back to back (the paper's
+    /// per-VM trace-replay model for Figs. 6/7/10).
+    WebSearchClosed {
+        /// Total flows across the entity's VMs.
+        n_flows: usize,
+        /// Flow-size multiplier (bandwidth-boundedness knob).
+        size_scale: f64,
+    },
+    /// `n` long-lived flows (TCP of the entity's CC, or UDP at `rate`).
+    Long {
+        /// Flow count.
+        n: usize,
+        /// TCP (entity CC) or UDP.
+        kind: LongKind,
+    },
+}
+
+/// Long-lived flow kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LongKind {
+    /// TCP under the entity's CC algorithm.
+    Tcp,
+    /// UDP at the given rate.
+    Udp(Rate),
+}
+
+/// One entity in an experiment.
+#[derive(Debug, Clone)]
+pub struct EntitySetup {
+    /// Entity id (must be unique and nonzero).
+    pub entity: EntityId,
+    /// Number of sending VMs (left-side hosts) the entity owns.
+    pub n_vms: usize,
+    /// Congestion control used by all the entity's TCP flows.
+    pub cc: CcAlgo,
+    /// Network weight (weighted AQ mode; PRL/DRL derive even splits).
+    pub weight: u64,
+    /// What the entity sends.
+    pub traffic: Traffic,
+}
+
+/// How long to drive a scenario instance.
+#[derive(Debug, Clone, Copy)]
+pub enum RunPlan {
+    /// Run long-lived traffic for a fixed horizon and measure rates.
+    FixedHorizon {
+        /// Simulated run length.
+        horizon: Duration,
+    },
+    /// Run until every entity's sized workload completes (or `deadline`),
+    /// and measure completion times.
+    UntilComplete {
+        /// Give-up point; unfinished entities report no completion.
+        deadline: Duration,
+    },
+}
+
+/// A fully-resolved scenario instance: the entities plus the run plan.
+#[derive(Debug, Clone)]
+pub struct ScenarioPlan {
+    /// Entity descriptions, in entity-id order.
+    pub entities: Vec<EntitySetup>,
+    /// How long to run.
+    pub run: RunPlan,
+}
+
+/// One named parameter with its default value.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamDef {
+    /// Parameter name as used in grids and canonical keys.
+    pub name: &'static str,
+    /// Value used when a sweep does not override the parameter.
+    pub default: f64,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// A named `f64` parameter assignment.
+///
+/// Keys iterate in `BTreeMap` order, so [`canonical`] renders the same
+/// string for the same assignment regardless of insertion order — the
+/// property the sweep harness relies on for stable run keys and
+/// byte-identical merged output.
+///
+/// [`canonical`]: Params::canonical
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params(BTreeMap<String, f64>);
+
+impl Params {
+    /// An empty assignment.
+    pub fn new() -> Params {
+        Params(BTreeMap::new())
+    }
+
+    /// Set one parameter (overwrites).
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.0.insert(name.to_string(), value);
+    }
+
+    /// Look up one parameter.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.0.get(name).copied()
+    }
+
+    /// Look up one parameter and round it to a count.
+    pub fn get_usize(&self, name: &str) -> Option<usize> {
+        self.get(name).map(|v| v.max(0.0).round() as usize)
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Canonical `name=value` rendering, comma-separated, name-sorted.
+    /// Integral values print without a fraction (`vms=4`), others with
+    /// fixed precision (`load=0.8000`), so the string is deterministic.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}={}", fmt_param(*v));
+        }
+        out
+    }
+
+    /// Parse a `name=value[,name=value...]` assignment (the inverse of
+    /// [`canonical`](Params::canonical); an empty string is an empty
+    /// assignment).
+    pub fn parse(text: &str) -> Result<Params, String> {
+        let mut p = Params::new();
+        for part in text.split(',').filter(|s| !s.trim().is_empty()) {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad parameter `{part}` (expected name=value)"))?;
+            let value: f64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad value in `{part}`"))?;
+            if !value.is_finite() {
+                return Err(format!("non-finite value in `{part}`"));
+            }
+            p.set(k.trim(), value);
+        }
+        Ok(p)
+    }
+}
+
+/// Deterministic parameter-value formatting: integers bare, fractions at
+/// fixed precision.
+fn fmt_param(v: f64) -> String {
+    let t = v.trunc();
+    if (v - t).abs() < 1e-9 {
+        format!("{}", t as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// A named scenario blueprint.
+pub struct ScenarioDef {
+    /// Registry name (also the sweep key prefix).
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Parameters the blueprint understands, with defaults.
+    pub params: &'static [ParamDef],
+    /// Build the plan from a *resolved* parameter set (all params
+    /// present). Use [`ScenarioDef::resolve`] first.
+    pub build: fn(&Params) -> ScenarioPlan,
+}
+
+impl ScenarioDef {
+    /// Merge `overrides` over the blueprint defaults. Unknown parameter
+    /// names are an error, so grid typos cannot silently no-op.
+    pub fn resolve(&self, overrides: &Params) -> Result<Params, String> {
+        for (name, _) in overrides.iter() {
+            if !self.params.iter().any(|p| p.name == name) {
+                return Err(format!(
+                    "scenario `{}` has no parameter `{name}` (has: {})",
+                    self.name,
+                    self.params
+                        .iter()
+                        .map(|p| p.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        let mut resolved = Params::new();
+        for p in self.params {
+            resolved.set(p.name, overrides.get(p.name).unwrap_or(p.default));
+        }
+        Ok(resolved)
+    }
+
+    /// Resolve and build in one step.
+    pub fn plan(&self, overrides: &Params) -> Result<ScenarioPlan, String> {
+        Ok((self.build)(&self.resolve(overrides)?))
+    }
+}
+
+impl std::fmt::Debug for ScenarioDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioDef")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .finish_non_exhaustive()
+    }
+}
+
+fn ms(v: f64) -> Duration {
+    Duration::from_micros((v.max(0.0) * 1000.0) as u64)
+}
+
+fn fairness_flows(p: &Params) -> ScenarioPlan {
+    let b_flows = p.get_usize("b_flows").unwrap_or(4).max(1);
+    ScenarioPlan {
+        entities: vec![
+            EntitySetup {
+                entity: EntityId(1),
+                n_vms: 1,
+                cc: CcAlgo::Cubic,
+                weight: 1,
+                traffic: Traffic::Long {
+                    n: 1,
+                    kind: LongKind::Tcp,
+                },
+            },
+            EntitySetup {
+                entity: EntityId(2),
+                n_vms: 1,
+                cc: CcAlgo::Cubic,
+                weight: 1,
+                traffic: Traffic::Long {
+                    n: b_flows,
+                    kind: LongKind::Tcp,
+                },
+            },
+        ],
+        run: RunPlan::FixedHorizon {
+            horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
+        },
+    }
+}
+
+fn completion_vms(p: &Params) -> ScenarioPlan {
+    let vms = p.get_usize("vms").unwrap_or(2).max(1);
+    let n_flows = p.get_usize("n_flows").unwrap_or(8).max(1);
+    let size_scale = p.get("size_scale").unwrap_or(2.0);
+    let mk = |entity| EntitySetup {
+        entity,
+        n_vms: vms,
+        cc: CcAlgo::Cubic,
+        weight: 1,
+        traffic: Traffic::WebSearchClosed {
+            n_flows,
+            size_scale,
+        },
+    };
+    ScenarioPlan {
+        entities: vec![mk(EntityId(1)), mk(EntityId(2))],
+        run: RunPlan::UntilComplete {
+            deadline: ms(p.get("deadline_ms").unwrap_or(5_000.0)),
+        },
+    }
+}
+
+fn udp_tcp_share(p: &Params) -> ScenarioPlan {
+    let tcp_flows = p.get_usize("tcp_flows").unwrap_or(4).max(1);
+    let udp_gbps = p.get_usize("udp_gbps").unwrap_or(10).max(1);
+    ScenarioPlan {
+        entities: vec![
+            EntitySetup {
+                entity: EntityId(1),
+                n_vms: 1,
+                cc: CcAlgo::Cubic,
+                weight: 1,
+                traffic: Traffic::Long {
+                    n: 1,
+                    kind: LongKind::Udp(Rate::from_gbps(udp_gbps as u64)),
+                },
+            },
+            EntitySetup {
+                entity: EntityId(2),
+                n_vms: 1,
+                cc: CcAlgo::Cubic,
+                weight: 1,
+                traffic: Traffic::Long {
+                    n: tcp_flows,
+                    kind: LongKind::Tcp,
+                },
+            },
+        ],
+        run: RunPlan::FixedHorizon {
+            horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
+        },
+    }
+}
+
+/// All registered scenarios, in name order.
+pub fn registry() -> &'static [ScenarioDef] {
+    const REGISTRY: &[ScenarioDef] = &[
+        ScenarioDef {
+            name: "completion_vms",
+            summary: "two equal entities replay the closed web-search trace over `vms` \
+                      VMs each; completion time vs VM count (Fig. 6 shape)",
+            params: &[
+                ParamDef {
+                    name: "vms",
+                    default: 2.0,
+                    help: "sending VMs per entity",
+                },
+                ParamDef {
+                    name: "n_flows",
+                    default: 8.0,
+                    help: "flows per entity across its VMs",
+                },
+                ParamDef {
+                    name: "size_scale",
+                    default: 2.0,
+                    help: "flow-size multiplier",
+                },
+                ParamDef {
+                    name: "deadline_ms",
+                    default: 5000.0,
+                    help: "completion deadline (simulated ms)",
+                },
+            ],
+            build: completion_vms,
+        },
+        ScenarioDef {
+            name: "fairness_flows",
+            summary: "1 long flow vs `b_flows` long flows; per-entity goodput vs flow \
+                      count (Fig. 8 shape)",
+            params: &[
+                ParamDef {
+                    name: "b_flows",
+                    default: 4.0,
+                    help: "entity B's long-flow count",
+                },
+                ParamDef {
+                    name: "horizon_ms",
+                    default: 40.0,
+                    help: "run length (simulated ms)",
+                },
+            ],
+            build: fairness_flows,
+        },
+        ScenarioDef {
+            name: "udp_tcp_share",
+            summary: "one unreactive UDP entity vs one TCP entity; who holds the link \
+                      (Fig. 9 shape)",
+            params: &[
+                ParamDef {
+                    name: "tcp_flows",
+                    default: 4.0,
+                    help: "TCP entity's flow count",
+                },
+                ParamDef {
+                    name: "udp_gbps",
+                    default: 10.0,
+                    help: "UDP send rate (Gbit/s, whole)",
+                },
+                ParamDef {
+                    name: "horizon_ms",
+                    default: 40.0,
+                    help: "run length (simulated ms)",
+                },
+            ],
+            build: udp_tcp_share,
+        },
+    ];
+    REGISTRY
+}
+
+/// Look up a scenario by name.
+pub fn find(name: &str) -> Option<&'static ScenarioDef> {
+    registry().iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_name_sorted_and_findable() {
+        let names: Vec<_> = registry().iter().map(|s| s.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "registry must stay name-sorted");
+        for n in names {
+            assert!(find(n).is_some());
+        }
+        assert!(find("no_such_scenario").is_none());
+    }
+
+    #[test]
+    fn params_canonical_is_order_independent_and_parses_back() {
+        let mut a = Params::new();
+        a.set("vms", 4.0);
+        a.set("load", 0.8);
+        let mut b = Params::new();
+        b.set("load", 0.8);
+        b.set("vms", 4.0);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.canonical(), "load=0.8000,vms=4");
+        let parsed = Params::parse(&a.canonical()).expect("round-trip");
+        assert_eq!(parsed.canonical(), a.canonical());
+        assert!(Params::parse("vms").is_err());
+        assert!(Params::parse("vms=notanumber").is_err());
+    }
+
+    #[test]
+    fn resolve_applies_defaults_and_rejects_unknown_params() {
+        let def = find("fairness_flows").expect("registered");
+        let resolved = def.resolve(&Params::parse("b_flows=16").expect("parse"));
+        let resolved = resolved.expect("resolves");
+        assert_eq!(resolved.get("b_flows"), Some(16.0));
+        assert_eq!(resolved.get("horizon_ms"), Some(40.0));
+        assert!(def
+            .resolve(&Params::parse("bflows=16").expect("parse"))
+            .is_err());
+    }
+
+    #[test]
+    fn every_scenario_builds_with_defaults() {
+        for def in registry() {
+            let plan = def.plan(&Params::new()).expect("default plan");
+            assert!(!plan.entities.is_empty(), "{}: no entities", def.name);
+            let mut ids: Vec<u32> = plan.entities.iter().map(|e| e.entity.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(
+                ids.len(),
+                plan.entities.len(),
+                "{}: duplicate entity ids",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn completion_vms_scales_with_params() {
+        let def = find("completion_vms").expect("registered");
+        let plan = def
+            .plan(&Params::parse("vms=4,n_flows=12").expect("parse"))
+            .expect("plan");
+        for e in &plan.entities {
+            assert_eq!(e.n_vms, 4);
+            match &e.traffic {
+                Traffic::WebSearchClosed { n_flows, .. } => assert_eq!(*n_flows, 12),
+                other => panic!("unexpected traffic {other:?}"),
+            }
+        }
+        assert!(matches!(plan.run, RunPlan::UntilComplete { .. }));
+    }
+}

@@ -8,7 +8,10 @@
 //! windowed throughput) plus the processed-event count, so any divergence
 //! anywhere in the event stream shows up. A second, wider scenario runs
 //! an ECMP fat-tree and additionally digests the rendered `RunReport`
-//! artifact bytes, pinning down the serialization path as well.
+//! artifact bytes, pinning down the serialization path as well. A third
+//! covers a baseline discipline (PRL rate limiters on a dumbbell): the
+//! sweep harness's regression gate compares AQ against the baselines, so
+//! they must honor the same byte-identical contract.
 //!
 //! Everything that could break this is policed elsewhere: the
 //! `no-os-entropy` / `no-wall-clock` / `no-hash-collections` lint rules
@@ -16,6 +19,7 @@
 //! and the vendored `rand` has no entropy-based constructors at all.
 
 use aq_bench::report::RunReport;
+use aq_bench::{build_dumbbell, Approach, EntitySetup, ExpConfig, LongKind, Traffic};
 use augmented_queue::core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
@@ -101,6 +105,18 @@ fn run_digest(seed: u64) -> String {
 /// and examples rely on when they promise byte-identical run-report
 /// artifacts for a given seed.
 fn run_fat_tree_digest(seed: u64) -> String {
+    let (rep, stats_digest) = fat_tree_report(seed);
+    let artifact: String = rep
+        .render()
+        .into_iter()
+        .map(|(file, bytes)| format!("--- {file}\n{bytes}"))
+        .collect();
+    format!("{stats_digest}\n{artifact}")
+}
+
+/// Build and run the ECMP fat-tree scenario once, returning the captured
+/// [`RunReport`] plus a digest of the raw simulator state.
+fn fat_tree_report(seed: u64) -> (RunReport, String) {
     let ft = fat_tree(
         4,
         Rate::from_gbps(10),
@@ -169,6 +185,53 @@ fn run_fat_tree_digest(seed: u64) -> String {
     sim.run_until(Time::from_millis(40));
     let mut rep = RunReport::new("determinism_fat_tree");
     rep.capture("fat_tree", &mut sim);
+    let digest = format!(
+        "events={} now={:?} stats={:?}",
+        sim.processed_events,
+        sim.now(),
+        sim.stats
+    );
+    (rep, digest)
+}
+
+/// A baseline-discipline dumbbell (PRL: static per-entity rate limiters)
+/// digested the same way: baseline approaches must honor the same
+/// reproducibility contract as AQ, since the harness's regression gate
+/// compares AQ *against* them.
+fn run_baseline_digest(seed: u64) -> String {
+    let entities = vec![
+        EntitySetup {
+            entity: EntityId(1),
+            n_vms: 1,
+            cc: CcAlgo::Cubic,
+            weight: 1,
+            traffic: Traffic::Long {
+                n: 1,
+                kind: LongKind::Tcp,
+            },
+        },
+        EntitySetup {
+            entity: EntityId(2),
+            n_vms: 1,
+            cc: CcAlgo::Cubic,
+            weight: 1,
+            traffic: Traffic::Long {
+                n: 4,
+                kind: LongKind::Tcp,
+            },
+        },
+    ];
+    let mut exp = build_dumbbell(
+        Approach::Prl,
+        &entities,
+        ExpConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    exp.sim.run_until(Time::from_millis(30));
+    let mut rep = RunReport::new("determinism_prl_dumbbell");
+    rep.capture("prl", &mut exp.sim);
     let artifact: String = rep
         .render()
         .into_iter()
@@ -176,9 +239,9 @@ fn run_fat_tree_digest(seed: u64) -> String {
         .collect();
     format!(
         "events={} now={:?} stats={:?}\n{artifact}",
-        sim.processed_events,
-        sim.now(),
-        sim.stats
+        exp.sim.processed_events,
+        exp.sim.now(),
+        exp.sim.stats
     )
 }
 
@@ -196,6 +259,42 @@ fn same_seed_same_bytes_fat_tree_with_run_report() {
     assert_eq!(a, b, "fat-tree runs (incl. run-report artifact) diverged");
     let c = run_fat_tree_digest(0x0BAD_F00D);
     assert_ne!(a, c, "fat-tree digest failed to register a seed change");
+}
+
+#[test]
+fn same_seed_same_bytes_baseline_prl_dumbbell() {
+    let a = run_baseline_digest(0x5176_0003);
+    let b = run_baseline_digest(0x5176_0003);
+    assert_eq!(
+        a, b,
+        "PRL baseline runs (incl. run-report artifact) diverged"
+    );
+    let c = run_baseline_digest(0x0BAD_BEEF);
+    assert_ne!(a, c, "PRL baseline digest failed to register a seed change");
+}
+
+#[test]
+fn fat_tree_report_round_trips_through_the_parser() {
+    // The regression gate reads reports back with `RunReport::parse_json`;
+    // on a real captured run (not a synthetic hub) the parse must
+    // reproduce the rendered bytes exactly, and the metrics CSV must
+    // parse row-for-row.
+    let (rep, _) = fat_tree_report(0x5176_0002);
+    let rendered = rep.render_json();
+    let parsed = RunReport::parse_json(&rendered).expect("captured report parses");
+    assert_eq!(
+        parsed.render_json(),
+        rendered,
+        "fat-tree report JSON round-trip is not byte-exact"
+    );
+    let rows = RunReport::parse_metrics_csv(&rep.render_metrics_csv()).expect("metrics CSV parses");
+    assert_eq!(
+        rows.len(),
+        rep.sections()
+            .iter()
+            .map(|s| s.metrics.len())
+            .sum::<usize>()
+    );
 }
 
 #[test]

@@ -62,6 +62,11 @@ const FIXTURES: &[(&str, &str, &str)] = &[
         "no-narrowing-cast",
         "crates/netsim/src/fixture.rs",
     ),
+    (
+        "no_thread_in_sim.rs",
+        "no-thread-in-sim",
+        "crates/netsim/src/fixture.rs",
+    ),
 ];
 
 #[test]
