@@ -1,0 +1,127 @@
+//! Minimal RFC-4180 CSV field quoting and record splitting.
+//!
+//! The run-report and sweep artifacts are CSV files whose label fields
+//! (section labels, canonical parameter strings) may legitimately contain
+//! commas — `b_flows=2,horizon_ms=5` — or, in principle, quotes. Writing
+//! such fields bare silently corrupts the row and breaks the parse
+//! round-trips the regression gate depends on. These helpers implement
+//! just enough of RFC 4180 to make the round-trip exact:
+//!
+//! * [`quote`] leaves plain fields untouched (so artifact bytes only
+//!   change where quoting is actually required) and wraps fields
+//!   containing a comma, double quote, CR, or LF in double quotes,
+//!   doubling embedded quotes;
+//! * [`split_record`] splits one record into its fields, honoring quoted
+//!   fields and doubled quotes.
+//!
+//! Determinism: both functions are pure string transforms — quoting a
+//! field depends only on its bytes, never on position or environment.
+
+use std::borrow::Cow;
+
+/// Quote one CSV field if (and only if) RFC 4180 requires it.
+pub fn quote(field: &str) -> Cow<'_, str> {
+    if !field.contains([',', '"', '\r', '\n']) {
+        return Cow::Borrowed(field);
+    }
+    let mut out = String::with_capacity(field.len() + 2);
+    out.push('"');
+    for c in field.chars() {
+        if c == '"' {
+            out.push('"');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    Cow::Owned(out)
+}
+
+/// Split one CSV record (no trailing newline) into its fields, honoring
+/// RFC-4180 quoting. Returns an error on a lone `"` inside an unquoted
+/// field or an unterminated quoted field.
+pub fn split_record(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek() {
+            None => {
+                fields.push(cur);
+                return Ok(fields);
+            }
+            Some('"') if cur.is_empty() => {
+                chars.next();
+                // Quoted field: read until the closing quote, unescaping
+                // doubled quotes.
+                loop {
+                    match chars.next() {
+                        None => return Err(format!("unterminated quoted field in `{line}`")),
+                        Some('"') => match chars.peek() {
+                            Some('"') => {
+                                chars.next();
+                                cur.push('"');
+                            }
+                            Some(',') | None => break,
+                            Some(c) => {
+                                return Err(format!(
+                                    "unexpected `{c}` after closing quote in `{line}`"
+                                ))
+                            }
+                        },
+                        Some(c) => cur.push(c),
+                    }
+                }
+            }
+            Some('"') => return Err(format!("bare `\"` inside unquoted field in `{line}`")),
+            Some(',') => {
+                chars.next();
+                fields.push(std::mem::take(&mut cur));
+            }
+            Some(_) => cur.push(chars.next().expect("peeked")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through_unquoted() {
+        assert_eq!(quote("fairness_flows"), "fairness_flows");
+        assert_eq!(quote(""), "");
+        assert_eq!(quote("a=1;b=2"), "a=1;b=2");
+    }
+
+    #[test]
+    fn special_fields_are_quoted_and_round_trip() {
+        assert_eq!(
+            quote("b_flows=2,horizon_ms=5"),
+            "\"b_flows=2,horizon_ms=5\""
+        );
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+        for field in ["plain", "a,b", "q\"uote", "both,\"x\"", "line\nbreak", ""] {
+            let line = format!("{},{},tail", quote("head"), quote(field));
+            let fields = split_record(&line).expect("splits");
+            assert_eq!(
+                fields,
+                vec!["head".to_string(), field.to_string(), "tail".to_string()]
+            );
+        }
+    }
+
+    #[test]
+    fn split_handles_adjacent_and_empty_fields() {
+        assert_eq!(split_record("a,,c").unwrap(), vec!["a", "", "c"]);
+        assert_eq!(split_record("").unwrap(), vec![""]);
+        assert_eq!(split_record(",").unwrap(), vec!["", ""]);
+        assert_eq!(split_record("\"\",x").unwrap(), vec!["", "x"]);
+    }
+
+    #[test]
+    fn split_rejects_malformed_quoting() {
+        assert!(split_record("\"unterminated").is_err());
+        assert!(split_record("a\"b,c").is_err());
+        assert!(split_record("\"x\"y,c").is_err());
+    }
+}

@@ -14,12 +14,14 @@ use aq_core::{
 use aq_netsim::ids::{EntityId, NodeId};
 use aq_netsim::packet::AqTag;
 use aq_netsim::queue::FifoConfig;
-use aq_netsim::sim::Simulator;
+use aq_netsim::sim::{Network, Simulator};
 use aq_netsim::time::{Duration, Rate, Time};
-use aq_netsim::topology::{dumbbell, Dumbbell};
+use aq_netsim::topology::{dumbbell, fat_tree, Dumbbell};
 use aq_transport::{CcAlgo, DelaySignal, FlowKind};
+use aq_workloads::registry::{ScenarioPlan, Topology};
 use aq_workloads::{add_flows, ensure_transport_hosts, long_flows, ClosedWorkload, WorkloadSpec};
 
+pub mod csv;
 pub mod json;
 pub mod report;
 
@@ -121,6 +123,71 @@ pub fn cc_policy_for(cc: CcAlgo) -> CcPolicy {
     }
 }
 
+/// Grant one weighted ingress AQ per entity from a controller sized to
+/// the shared link. Returns the controller (whose configs still need
+/// deploying into one or more pipelines) plus the per-entity tags the
+/// entities' flows must be stamped with.
+fn aq_control(entities: &[EntitySetup], cfg: ExpConfig) -> (AqController, Vec<(EntityId, AqTag)>) {
+    let mut ctl = AqController::new(
+        cfg.link,
+        LimitPolicy::MatchPhysicalQueue {
+            pq_limit_bytes: cfg.pq_limit,
+        },
+    );
+    let mut tags = Vec::new();
+    for e in entities {
+        let grant = ctl
+            .request(AqRequest {
+                demand: BandwidthDemand::Weighted(e.weight),
+                cc: cc_policy_for(e.cc),
+                position: Position::Ingress,
+                limit_override: None,
+            })
+            .expect("weighted grants always admit");
+        tags.push((e.entity, grant.id));
+    }
+    (ctl, tags)
+}
+
+/// Install per-VM HTB shapers on every sending host's uplink. Entity
+/// share = weight-proportional slice of one link; each VM gets
+/// share/n_vms. PRL keeps the split fixed; DRL classifies by destination
+/// and lets the ElasticSwitch agent retune class rates every 15 ms —
+/// for DRL the VM configs that agent needs are returned.
+fn install_rate_limiters(
+    net: &mut Network,
+    approach: Approach,
+    entities: &[EntitySetup],
+    entity_vms: &[(EntityId, Vec<NodeId>)],
+    cfg: ExpConfig,
+) -> Option<Vec<VmConfig>> {
+    let total_w: u64 = entities.iter().map(|e| e.weight).sum();
+    let classify = if approach == Approach::Prl {
+        Classify::All
+    } else {
+        Classify::ByDst
+    };
+    let mut vm_cfgs = Vec::new();
+    for (e, (_, vms)) in entities.iter().zip(entity_vms) {
+        let entity_rate = cfg.link.scaled(e.weight, total_w.max(1));
+        let vm_rate = entity_rate.scaled(1, e.n_vms.max(1) as u64);
+        for vm in vms {
+            let up = net.host_uplink(*vm);
+            net.ports[up.index()].queue =
+                Box::new(HtbShaper::new(classify, vm_rate, 30_000, 4_000_000));
+            vm_cfgs.push(VmConfig {
+                host: *vm,
+                uplink: up,
+                out_guarantee: vm_rate,
+                // No inbound hose constraint binds in these scenarios;
+                // admit up to a full link inbound.
+                in_guarantee: cfg.link,
+            });
+        }
+    }
+    (approach == Approach::Drl).then_some(vm_cfgs)
+}
+
 /// Build a dumbbell experiment: each entity gets `n_vms` left-side hosts
 /// (in declaration order); the right side mirrors the left and is used as
 /// the destination pool by all entities.
@@ -150,58 +217,14 @@ pub fn build_dumbbell(approach: Approach, entities: &[EntitySetup], cfg: ExpConf
     match approach {
         Approach::Pq => {}
         Approach::Aq => {
-            let mut ctl = AqController::new(
-                cfg.link,
-                LimitPolicy::MatchPhysicalQueue {
-                    pq_limit_bytes: cfg.pq_limit,
-                },
-            );
-            for e in entities {
-                let grant = ctl
-                    .request(AqRequest {
-                        demand: BandwidthDemand::Weighted(e.weight),
-                        cc: cc_policy_for(e.cc),
-                        position: Position::Ingress,
-                        limit_override: None,
-                    })
-                    .expect("weighted grants always admit");
-                tags.push((e.entity, grant.id));
-            }
+            let (ctl, granted) = aq_control(entities, cfg);
+            tags = granted;
             let mut pipe = AqPipeline::new();
             ctl.deploy_all(&mut pipe);
             net.add_pipeline(d.sw_left, Box::new(pipe));
         }
         Approach::Prl | Approach::Drl => {
-            // Entity share = weight-proportional slice of the core;
-            // each VM gets share/n_vms. PRL keeps it fixed; DRL lets the
-            // ElasticSwitch agent retune class rates every 15 ms.
-            let total_w: u64 = entities.iter().map(|e| e.weight).sum();
-            let classify = if approach == Approach::Prl {
-                Classify::All
-            } else {
-                Classify::ByDst
-            };
-            let mut vm_cfgs = Vec::new();
-            for (e, (_, vms)) in entities.iter().zip(&entity_vms) {
-                let entity_rate = cfg.link.scaled(e.weight, total_w.max(1));
-                let vm_rate = entity_rate.scaled(1, e.n_vms.max(1) as u64);
-                for vm in vms {
-                    let up = net.host_uplink(*vm);
-                    net.ports[up.index()].queue =
-                        Box::new(HtbShaper::new(classify, vm_rate, 30_000, 4_000_000));
-                    vm_cfgs.push(VmConfig {
-                        host: *vm,
-                        uplink: up,
-                        out_guarantee: vm_rate,
-                        // Receivers are uncontended in the dumbbell; no
-                        // inbound hose constraint binds here.
-                        in_guarantee: cfg.link,
-                    });
-                }
-            }
-            if approach == Approach::Drl {
-                drl_vm_cfgs = Some(vm_cfgs);
-            }
+            drl_vm_cfgs = install_rate_limiters(&mut net, approach, entities, &entity_vms, cfg);
         }
     }
     ensure_transport_hosts(&mut net);
@@ -216,6 +239,93 @@ pub fn build_dumbbell(approach: Approach, entities: &[EntitySetup], cfg: ExpConf
         entity_vms,
         receivers,
         core_port: d.core_port,
+    }
+}
+
+/// Build a fat-tree experiment: entity `i` gets its `n_vms` hosts under
+/// edge switch `i` of pod 0, and every entity sends to the shared
+/// receiver pool under the first edge switch of the *last* pod — all
+/// traffic crosses pods and ECMPs over the core, and the contended
+/// resources are the receiver ToR downlinks. AQ pipelines sit on each
+/// entity's sending ToR (each ToR polices exactly the traffic it
+/// ingresses); PRL/DRL shape at the host uplinks as in the dumbbell.
+pub fn build_fat_tree(
+    approach: Approach,
+    entities: &[EntitySetup],
+    cfg: ExpConfig,
+    k: usize,
+) -> Experiment {
+    let half = k / 2;
+    assert!(
+        entities.len() <= half,
+        "one sending ToR per entity: at most {half} entities on a k={k} fat tree"
+    );
+    let fabric_fifo = FifoConfig {
+        limit_bytes: cfg.pq_limit,
+        ecn_threshold_bytes: cfg.ecn_threshold,
+    };
+    let ft = fat_tree(k, cfg.link, cfg.prop, fabric_fifo);
+    let mut net = ft.net;
+
+    // Hosts are pod-major, `half` per edge switch: entity i's VMs live
+    // under ft.edge[i] in pod 0.
+    let mut entity_vms = Vec::new();
+    for (i, e) in entities.iter().enumerate() {
+        assert!(e.n_vms <= half, "at most {half} hosts per ToR");
+        let base = i * half;
+        entity_vms.push((e.entity, ft.hosts[base..base + e.n_vms].to_vec()));
+    }
+    let rx_base = (k - 1) * half * half;
+    let receivers: Vec<NodeId> = ft.hosts[rx_base..rx_base + half].to_vec();
+    let rx_edge = ft.edge[(k - 1) * half];
+
+    let mut tags: Vec<(EntityId, AqTag)> = Vec::new();
+    let mut drl_vm_cfgs: Option<Vec<VmConfig>> = None;
+    match approach {
+        Approach::Pq => {}
+        Approach::Aq => {
+            let (ctl, granted) = aq_control(entities, cfg);
+            tags = granted;
+            for (i, (_, tag)) in tags.iter().enumerate() {
+                let aq_cfg = ctl
+                    .configs()
+                    .into_iter()
+                    .find(|(_, c)| c.id == *tag)
+                    .expect("granted AQ has a config")
+                    .1;
+                let mut pipe = AqPipeline::new();
+                pipe.deploy_ingress(aq_cfg);
+                net.add_pipeline(ft.edge[i], Box::new(pipe));
+            }
+        }
+        Approach::Prl | Approach::Drl => {
+            drl_vm_cfgs = install_rate_limiters(&mut net, approach, entities, &entity_vms, cfg);
+        }
+    }
+    ensure_transport_hosts(&mut net);
+    // The hottest shared port: the receiver ToR's downlink to the first
+    // receiver — every entity's flow toward that host crosses it.
+    let core_port = net.route_set(rx_edge, receivers[0])[0];
+    let mut sim = Simulator::new(net);
+    sim.set_seed(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+    if let Some(vm_cfgs) = drl_vm_cfgs {
+        sim.add_agent(Box::new(ElasticSwitch::new(vm_cfgs)));
+    }
+    install_traffic(&mut sim, entities, &entity_vms, &receivers, &tags, cfg);
+    Experiment {
+        sim,
+        entity_vms,
+        receivers,
+        core_port,
+    }
+}
+
+/// Build the experiment a scenario plan describes, on the topology the
+/// plan names.
+pub fn build_experiment(approach: Approach, plan: &ScenarioPlan, cfg: ExpConfig) -> Experiment {
+    match plan.topology {
+        Topology::Dumbbell => build_dumbbell(approach, &plan.entities, cfg),
+        Topology::FatTree { k } => build_fat_tree(approach, &plan.entities, cfg, k),
     }
 }
 
@@ -383,6 +493,50 @@ mod tests {
             .pipeline_mut::<AqPipeline>(aq_netsim::ids::NodeId(0), 0)
             .expect("AQ pipeline on sw_left");
         assert_eq!(pipe.ingress_table.len(), 2);
+    }
+
+    #[test]
+    fn all_four_approaches_build_and_run_on_a_fat_tree() {
+        for approach in Approach::ALL {
+            let mut exp = build_fat_tree(approach, &two_long_entities(), ExpConfig::default(), 4);
+            assert_eq!(exp.receivers.len(), 2, "k=4: half hosts under the rx ToR");
+            exp.sim.run_until(Time::from_millis(20));
+            let total: f64 = [EntityId(1), EntityId(2)]
+                .iter()
+                .map(|e| steady_goodput(&exp.sim, *e, Time::from_millis(5), Time::from_millis(20)))
+                .sum();
+            assert!(
+                total > 3.0,
+                "{}: entities moved {} Gbps across pods",
+                approach.name(),
+                total
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tree_aq_deploys_one_pipeline_per_sending_tor() {
+        let cfg = ExpConfig::default();
+        let exp = build_fat_tree(Approach::Aq, &two_long_entities(), cfg, 4);
+        // Node numbering is deterministic: a twin topology yields the
+        // same edge-switch ids as the one inside the experiment.
+        let twin = fat_tree(
+            4,
+            cfg.link,
+            cfg.prop,
+            FifoConfig {
+                limit_bytes: cfg.pq_limit,
+                ecn_threshold_bytes: cfg.ecn_threshold,
+            },
+        );
+        let mut sim = exp.sim;
+        for tor in 0..2 {
+            let pipe = sim
+                .net
+                .pipeline_mut::<AqPipeline>(twin.edge[tor], 0)
+                .expect("AQ pipeline on the sending ToR");
+            assert_eq!(pipe.ingress_table.len(), 1, "ToR {tor} polices one entity");
+        }
     }
 
     #[test]

@@ -317,7 +317,10 @@ impl RunReport {
                 flows,
                 flows_completed: done,
                 completion_s: hub.entity_completion(e).map(|d| d.as_secs_f64()),
-                rate_series_bps: es.rx_series.rate_series_bps(),
+                // Padded to the capture horizon: series lengths must agree
+                // across approaches/seeds of the same scenario so bucket-wise
+                // comparisons (sweep drill-down) line up.
+                rate_series_bps: es.rx_series.rate_series_bps_padded(now),
             });
         }
         let ports = hub
@@ -338,7 +341,7 @@ impl RunReport {
                 tx_pkts: ps.tx_pkts,
                 tx_bytes: ps.tx_bytes,
                 peak_occupancy_bytes: ps.peak_occupancy_bytes(),
-                occupancy: ps.occupancy.buckets().to_vec(),
+                occupancy: ps.occupancy.buckets_padded(now),
             })
             .collect();
         let aqs = hub
@@ -553,7 +556,7 @@ impl RunReport {
                 let _ = writeln!(
                     c,
                     "{},{},{},{},{},{},{},{},{},{},{},{}",
-                    s.label,
+                    crate::csv::quote(&s.label),
                     e.entity,
                     e.rx_bytes,
                     f6(e.goodput_gbps),
@@ -583,7 +586,7 @@ impl RunReport {
                 let _ = writeln!(
                     c,
                     "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                    s.label,
+                    crate::csv::quote(&s.label),
                     p.node,
                     p.port,
                     p.enqueued_bytes,
@@ -616,7 +619,7 @@ impl RunReport {
                 let _ = writeln!(
                     c,
                     "{},{},{},{},{},{},{},{},{},{},{}",
-                    s.label,
+                    crate::csv::quote(&s.label),
                     a.tag,
                     a.position,
                     a.rate_bps,
@@ -638,7 +641,13 @@ impl RunReport {
         let mut c = String::from("section,key,value\n");
         for s in &self.sections {
             for (k, v) in &s.metrics {
-                let _ = writeln!(c, "{},{},{}", s.label, k, f6(*v));
+                let _ = writeln!(
+                    c,
+                    "{},{},{}",
+                    crate::csv::quote(&s.label),
+                    crate::csv::quote(k),
+                    f6(*v)
+                );
             }
         }
         c
@@ -708,15 +717,16 @@ impl RunReport {
         }
         let mut rows = Vec::new();
         for (i, line) in lines.enumerate() {
-            let mut cols = line.splitn(3, ',');
-            let (section, key, value) = match (cols.next(), cols.next(), cols.next()) {
-                (Some(s), Some(k), Some(v)) => (s, k, v),
+            let cols = crate::csv::split_record(line)
+                .map_err(|e| format!("metrics.csv row {}: {e}", i + 2))?;
+            let [section, key, value] = match cols.as_slice() {
+                [s, k, v] => [s, k, v],
                 _ => return Err(format!("metrics.csv row {}: expected 3 columns", i + 2)),
             };
             let value: f64 = value
                 .parse()
                 .map_err(|_| format!("metrics.csv row {}: bad value `{value}`", i + 2))?;
-            rows.push((section.to_string(), key.to_string(), value));
+            rows.push((section.clone(), key.clone(), value));
         }
         Ok(rows)
     }
@@ -929,6 +939,50 @@ mod tests {
         assert_eq!(rows[0].1, "a");
         assert!((rows[1].2 + 2.25).abs() < 1e-12);
         assert!(RunReport::parse_metrics_csv("bad,header\n").is_err());
+    }
+
+    #[test]
+    fn metrics_csv_round_trips_comma_bearing_labels() {
+        // Sweep sections are labelled with canonical param strings, which
+        // contain commas (`b_flows=2,horizon_ms=5`); the CSV round-trip
+        // must keep such a label as one field.
+        let label = "b_flows=2,horizon_ms=5";
+        let mut r = RunReport::new("unit");
+        r.capture_metrics(label, &[("jain_goodput", 0.97)]);
+        let csv = r.render_metrics_csv();
+        assert!(
+            csv.contains("\"b_flows=2,horizon_ms=5\""),
+            "comma-bearing label must be quoted on write: {csv}"
+        );
+        let rows = RunReport::parse_metrics_csv(&csv).expect("quoted label parses");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, label);
+        assert_eq!(rows[0].1, "jain_goodput");
+        // The other per-section CSVs quote the same label field.
+        let hub = sample_hub();
+        let mut r2 = RunReport::new("unit");
+        r2.capture_hub(label, Time::from_millis(10), 1, &hub);
+        for csv in [r2.render_entities_csv(), r2.render_ports_csv()] {
+            assert!(
+                csv.contains("\"b_flows=2,horizon_ms=5\""),
+                "label unquoted in: {csv}"
+            );
+        }
+    }
+
+    #[test]
+    fn capture_pads_series_to_the_capture_horizon() {
+        // sample_hub records its last entity delivery at 2 ms and its last
+        // port event at 2 ms; a capture at 50 ms must still produce series
+        // spanning all five 10 ms windows, with explicit zero tails.
+        let hub = sample_hub();
+        let mut r = RunReport::new("unit");
+        r.capture_hub("pad", Time::from_millis(50), 1, &hub);
+        let s = &r.sections()[0];
+        assert_eq!(s.entities[0].rate_series_bps.len(), 5);
+        assert_eq!(s.ports[0].occupancy.len(), 5);
+        assert_eq!(s.entities[0].rate_series_bps[4], 0.0);
+        assert_eq!(s.ports[0].occupancy[4], 0);
     }
 
     #[test]

@@ -88,9 +88,19 @@ pub struct Sweep {
     pub runs: BTreeMap<RunKey, BTreeMap<String, f64>>,
     /// Per-config, per-metric seed-ensemble summaries.
     pub configs: BTreeMap<ConfigKey, BTreeMap<String, Aggregate>>,
+    /// Runs that errored or panicked, with their messages. Recorded in
+    /// `sweep.json` so a partially-failed sweep is a first-class,
+    /// diffable artifact (and a gate failure).
+    pub failures: BTreeMap<RunKey, String>,
 }
 
 impl Sweep {
+    /// Attach per-run failures (from [`crate::sweep::SweepOutcome`]).
+    pub fn with_failures(mut self, failures: BTreeMap<RunKey, String>) -> Sweep {
+        self.failures = failures;
+        self
+    }
+
     /// Build a sweep from merged run results, computing all aggregates.
     pub fn from_runs(name: &str, runs: BTreeMap<RunKey, BTreeMap<String, f64>>) -> Sweep {
         let mut samples: BTreeMap<ConfigKey, BTreeMap<String, Vec<f64>>> = BTreeMap::new();
@@ -114,6 +124,7 @@ impl Sweep {
             name: name.to_string(),
             runs,
             configs,
+            failures: BTreeMap::new(),
         }
     }
 
@@ -183,6 +194,22 @@ impl Sweep {
                 "    }\n"
             });
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"failures\": [\n");
+        let n_failures = self.failures.len();
+        for (fi, (key, error)) in self.failures.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"scenario\": {},", json_escape(&key.scenario));
+            let _ = writeln!(out, "      \"approach\": {},", json_escape(&key.approach));
+            let _ = writeln!(out, "      \"params\": {},", json_escape(&key.params));
+            let _ = writeln!(out, "      \"seed\": {},", key.seed);
+            let _ = writeln!(out, "      \"error\": {}", json_escape(error));
+            out.push_str(if fi + 1 < n_failures {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
         out.push_str("  ]\n");
         out.push_str("}\n");
         out
@@ -197,10 +224,10 @@ impl Sweep {
                 let _ = writeln!(
                     out,
                     "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
-                    config.scenario,
-                    config.approach,
-                    config.params,
-                    metric,
+                    aq_bench::csv::quote(&config.scenario),
+                    aq_bench::csv::quote(&config.approach),
+                    aq_bench::csv::quote(&config.params),
+                    aq_bench::csv::quote(metric),
                     a.n,
                     a.min,
                     a.mean,
@@ -264,10 +291,30 @@ impl Sweep {
             }
             runs.insert(key, metrics);
         }
+        let mut failures = BTreeMap::new();
+        // Absent in sweeps written before failure tracking existed.
+        if let Some(list) = doc.get("failures").and_then(Json::as_arr) {
+            for (i, f) in list.iter().enumerate() {
+                let key = RunKey {
+                    scenario: jstr(f, "scenario").map_err(|e| format!("failures[{i}]: {e}"))?,
+                    approach: jstr(f, "approach").map_err(|e| format!("failures[{i}]: {e}"))?,
+                    params: jstr(f, "params").map_err(|e| format!("failures[{i}]: {e}"))?,
+                    seed: f
+                        .get("seed")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("failures[{i}]: missing numeric `seed`"))?,
+                };
+                failures.insert(
+                    key,
+                    jstr(f, "error").map_err(|e| format!("failures[{i}]: {e}"))?,
+                );
+            }
+        }
         Ok(Sweep {
             name,
             runs,
             configs,
+            failures,
         })
     }
 
@@ -286,10 +333,13 @@ impl Sweep {
             if line.is_empty() {
                 continue;
             }
-            // The params field is itself comma-separated (`a=1,b=2`), so
-            // a row has >= 9 comma-split pieces: two leading fields, six
-            // trailing fields, and everything in between is params.
-            let fields: Vec<&str> = line.split(',').collect();
+            // RFC-4180 rows quote the params field (it contains commas) and
+            // split to exactly 9 fields. Legacy rows (written before
+            // quoting) left params bare, so an unquoted row with > 9
+            // comma-split pieces re-joins everything between the two
+            // leading and six trailing fields as params.
+            let fields: Vec<String> = aq_bench::csv::split_record(line)
+                .map_err(|e| format!("sweep.csv line {}: {e}", lineno + 2))?;
             if fields.len() < 9 {
                 return Err(format!(
                     "sweep.csv line {}: expected >= 9 fields, got {}",
@@ -308,11 +358,11 @@ impl Sweep {
                 params: fields[2..fields.len() - 6].join(","),
             };
             let agg = Aggregate {
-                n: num(tail[1], "n")? as u64,
-                min: num(tail[2], "min")?,
-                mean: num(tail[3], "mean")?,
-                max: num(tail[4], "max")?,
-                ci95: num(tail[5], "ci95")?,
+                n: num(&tail[1], "n")? as u64,
+                min: num(&tail[2], "min")?,
+                mean: num(&tail[3], "mean")?,
+                max: num(&tail[4], "max")?,
+                ci95: num(&tail[5], "ci95")?,
             };
             configs
                 .entry(config)
@@ -447,5 +497,49 @@ mod tests {
         assert!(Sweep::parse_json("{").is_err());
         assert!(Sweep::parse_json("{\"sweep\": \"x\"}").is_err());
         assert!(Sweep::parse_csv("bogus,header\n").is_err());
+    }
+
+    #[test]
+    fn failures_round_trip_through_json() {
+        let key = RunKey {
+            scenario: "fairness_flows".to_string(),
+            approach: "aq".to_string(),
+            params: "b_flows=9,horizon_ms=5".to_string(),
+            seed: 9,
+        };
+        let sweep = sample_sweep().with_failures(BTreeMap::from([(
+            key.clone(),
+            "panicked: boom".to_string(),
+        )]));
+        let rendered = sweep.render_json();
+        let parsed = Sweep::parse_json(&rendered).expect("parses");
+        assert_eq!(parsed.failures.len(), 1);
+        assert_eq!(parsed.failures[&key], "panicked: boom");
+        assert_eq!(parsed.render_json(), rendered);
+    }
+
+    #[test]
+    fn json_without_failures_key_still_parses() {
+        // Sweeps written before failure tracking carry no `failures` key.
+        let legacy = "{\"sweep\": \"old\", \"configs\": [], \"runs\": []}";
+        let parsed = Sweep::parse_json(legacy).expect("legacy artifact parses");
+        assert!(parsed.failures.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_params_and_still_reads_legacy_bare_rows() {
+        let sweep = sample_sweep();
+        let csv = sweep.render_csv();
+        assert!(
+            csv.contains("\"b_flows=1,horizon_ms=5\""),
+            "comma-bearing params must be quoted: {csv}"
+        );
+        // Legacy rows (pre-quoting) split params across bare commas; the
+        // >= 9-field re-join fallback must still assemble them.
+        let legacy = "scenario,approach,params,metric,n,min,mean,max,ci95\n\
+                      fairness_flows,aq,a=1,b=2,jain_goodput,3,0.9,0.91,0.92,0.01\n";
+        let parsed = Sweep::parse_csv(legacy).expect("legacy row parses");
+        let config = parsed.keys().next().expect("one config");
+        assert_eq!(config.params, "a=1,b=2");
     }
 }

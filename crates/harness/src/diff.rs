@@ -10,13 +10,21 @@
 use crate::agg::{Aggregate, ConfigKey, Sweep};
 use std::fmt::Write as _;
 
-/// Per-metric relative tolerances, matched by metric-name prefix.
+/// Per-metric relative tolerances, matched by metric-name prefix, plus an
+/// absolute-slack floor for count metrics: a purely relative gate turns a
+/// 0 → 1 taildrop in one seed into rel Δ = 1.0 and a false alarm, so small
+/// integer metrics additionally pass whenever `|a − b|` is at or below the
+/// metric's absolute slack, regardless of the ratio.
 #[derive(Debug, Clone)]
 pub struct Tolerances {
     /// `(prefix, relative tolerance)` pairs, first match wins.
     pub by_prefix: Vec<(String, f64)>,
     /// Fallback when no prefix matches.
     pub default: f64,
+    /// `(prefix, absolute slack)` pairs, first match wins; deltas with
+    /// `|a − b| <= slack` never violate. Metrics without a matching prefix
+    /// get zero slack (purely relative, as before).
+    pub abs_slack: Vec<(String, f64)>,
 }
 
 impl Default for Tolerances {
@@ -33,6 +41,19 @@ impl Default for Tolerances {
                 ("flows_completed".to_string(), 0.02),
             ],
             default: 0.02,
+            // Count metrics whose near-zero values make relative deltas
+            // meaningless: a couple of packets either way is noise.
+            abs_slack: vec![
+                ("drops".to_string(), 2.0),
+                ("taildrops".to_string(), 2.0),
+                ("red_drops".to_string(), 2.0),
+                ("shaper_drops".to_string(), 2.0),
+                ("aq_drops".to_string(), 2.0),
+                ("limit_drops".to_string(), 2.0),
+                ("ecn_marks".to_string(), 2.0),
+                ("marks".to_string(), 2.0),
+                ("flows_completed".to_string(), 1.0),
+            ],
         }
     }
 }
@@ -45,6 +66,23 @@ impl Tolerances {
             .find(|(prefix, _)| metric.starts_with(prefix.as_str()))
             .map(|(_, tol)| *tol)
             .unwrap_or(self.default)
+    }
+
+    /// The absolute slack applied to `metric` (0 when no prefix matches).
+    pub fn slack_for_metric(&self, metric: &str) -> f64 {
+        self.abs_slack
+            .iter()
+            .find(|(prefix, _)| metric.starts_with(prefix.as_str()))
+            .map(|(_, slack)| *slack)
+            .unwrap_or(0.0)
+    }
+
+    /// Whether `baseline → current` violates this metric's tolerance:
+    /// the relative delta must exceed the budget AND the absolute delta
+    /// must exceed the metric's slack floor.
+    pub fn violates(&self, metric: &str, baseline: f64, current: f64) -> bool {
+        rel_delta(baseline, current) > self.for_metric(metric)
+            && (baseline - current).abs() > self.slack_for_metric(metric)
     }
 }
 
@@ -78,6 +116,15 @@ pub fn diff_sweeps(baseline: &Sweep, current: &Sweep, tol: &Tolerances) -> Vec<V
         metric: "<structure>".to_string(),
         detail: what,
     };
+    // A failed run in the current sweep is always a gate failure, whatever
+    // the aggregates look like without it.
+    for (key, error) in &current.failures {
+        violations.push(Violation {
+            config: ConfigKey::of(key),
+            metric: "<failure>".to_string(),
+            detail: format!("run seed={} failed: {error}", key.seed),
+        });
+    }
     for config in baseline.configs.keys() {
         if !current.configs.contains_key(config) {
             violations.push(structural(
@@ -138,19 +185,22 @@ fn compare_aggregate(
         });
     }
     let allowed = tol.for_metric(metric);
+    let slack = tol.slack_for_metric(metric);
     for (field, b, c) in [
         ("mean", base.mean, cur.mean),
         ("min", base.min, cur.min),
         ("max", base.max, cur.max),
     ] {
-        let delta = rel_delta(b, c);
-        if delta > allowed {
+        if tol.violates(metric, b, c) {
             out.push(Violation {
                 config: config.clone(),
                 metric: metric.to_string(),
                 detail: format!(
-                    "{field}: baseline {b:.6}, current {c:.6} (rel Δ {:.4} > tol {:.4})",
-                    delta, allowed
+                    "{field}: baseline {b:.6}, current {c:.6} (rel Δ {:.4} > tol {:.4}, abs Δ {:.4} > slack {:.4})",
+                    rel_delta(b, c),
+                    allowed,
+                    (b - c).abs(),
+                    slack
                 ),
             });
         }
@@ -238,5 +288,36 @@ mod tests {
         assert!(rel_delta(0.0, 0.0).abs() < 1e-12);
         assert!((rel_delta(0.0, 2.0) - 1.0).abs() < 1e-12);
         assert!((rel_delta(100.0, 110.0) - 10.0 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_slack_floors_near_zero_count_metrics() {
+        let tol = Tolerances::default();
+        // 0 ↔ 0: never a violation.
+        assert!(!tol.violates("drops_e1", 0.0, 0.0));
+        // 0 → 1 drop: rel Δ = 1.0 blows the 25% budget, but the absolute
+        // delta is within the 2-packet slack — the gate must stay quiet.
+        assert!(!tol.violates("drops_e1", 0.0, 1.0));
+        assert!(!tol.violates("taildrops", 1.0, 0.0));
+        assert!(!tol.violates("ecn_marks", 2.0, 0.0));
+        assert!(!tol.violates("flows_completed_total", 8.0, 9.0));
+        // Just past the slack AND past the relative budget: violation.
+        assert!(tol.violates("drops_e1", 0.0, 3.0));
+        // Large counts: slack is negligible, the relative budget governs.
+        assert!(!tol.violates("drops_e1", 1000.0, 1200.0)); // 20% < 25%
+        assert!(tol.violates("drops_e1", 1000.0, 1500.0)); // 33% > 25%
+                                                           // Metrics with no slack prefix remain purely relative.
+        assert!(tol.violates("jain_goodput", 0.0, 0.1));
+        assert_eq!(tol.slack_for_metric("jain_goodput"), 0.0);
+    }
+
+    #[test]
+    fn zero_to_one_drop_passes_the_full_diff() {
+        let base = sweep_with(0.95, 0.0);
+        let cur = sweep_with(0.95, 1.0);
+        assert!(
+            diff_sweeps(&base, &cur, &Tolerances::default()).is_empty(),
+            "a single extra drop must not fail the gate"
+        );
     }
 }

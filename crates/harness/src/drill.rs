@@ -1,0 +1,415 @@
+//! Per-run drill-down: tracing an aggregate gate violation to the exact
+//! report fields that moved.
+//!
+//! `aq-sweep diff` compares seed-aggregated metrics; when that gate fires
+//! the next question is always *which run, which row, which counter*. Both
+//! sweep directories carry every run's full `report.json` under `runs/`,
+//! so the drill-down loads the run pairs both sides share and compares
+//! them field by field — entity rows by entity id, port rows by
+//! `(node, port)`, AQ rows by `(tag, position)`, scalar metrics by key,
+//! and windowed series bucket by bucket (first differing bucket only, to
+//! keep the table readable). Numeric fields reuse the same [`Tolerances`]
+//! as the aggregate gate — including the absolute-slack floor, so a 0 → 1
+//! drop count is noise here exactly as it is there.
+
+use crate::diff::Tolerances;
+use aq_bench::report::{RunReport, Section};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One field-level difference between a baseline and a current run report.
+#[derive(Debug, Clone)]
+pub struct FieldDiff {
+    /// Run directory name (the [`RunKey`] dir form).
+    ///
+    /// [`RunKey`]: crate::sweep::RunKey
+    pub run: String,
+    /// Section label inside the report.
+    pub section: String,
+    /// Row identity (`entity 1`, `port 0/4`, `aq 3/ingress`, `metric k`),
+    /// empty for section scalars.
+    pub row: String,
+    /// Field name — also the tolerance lookup key.
+    pub field: String,
+    /// Baseline value, formatted ("absent" for a missing row/field).
+    pub baseline: String,
+    /// Current value, formatted.
+    pub current: String,
+}
+
+fn list_runs(dir: &Path) -> BTreeSet<String> {
+    let Ok(entries) = std::fs::read_dir(dir.join("runs")) else {
+        return BTreeSet::new();
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect()
+}
+
+/// Whether a sweep directory carries per-run reports to drill into.
+pub fn has_runs(dir: &Path) -> bool {
+    dir.join("runs").is_dir()
+}
+
+/// Compare every run report present in *both* sweep directories. Runs
+/// present on only one side are skipped — the aggregate gate already
+/// reports config drift. Returns the field diffs plus the number of run
+/// pairs compared.
+pub fn drill_down(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    tol: &Tolerances,
+) -> Result<(Vec<FieldDiff>, usize), String> {
+    let base_runs = list_runs(baseline_dir);
+    let cur_runs = list_runs(current_dir);
+    let shared: Vec<&String> = base_runs.intersection(&cur_runs).collect();
+    let mut diffs = Vec::new();
+    for run in &shared {
+        let load = |dir: &Path| -> Result<RunReport, String> {
+            let path = dir.join("runs").join(run).join("report.json");
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            RunReport::parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+        };
+        let base = load(baseline_dir)?;
+        let cur = load(current_dir)?;
+        diffs.extend(diff_reports(run, &base, &cur, tol));
+    }
+    Ok((diffs, shared.len()))
+}
+
+/// Field-by-field comparison of two parsed run reports.
+pub fn diff_reports(
+    run: &str,
+    baseline: &RunReport,
+    current: &RunReport,
+    tol: &Tolerances,
+) -> Vec<FieldDiff> {
+    let mut out = Vec::new();
+    for bs in baseline.sections() {
+        match current.sections().iter().find(|s| s.label == bs.label) {
+            Some(cs) => diff_sections(run, bs, cs, tol, &mut out),
+            None => out.push(FieldDiff {
+                run: run.to_string(),
+                section: bs.label.clone(),
+                row: String::new(),
+                field: "<section>".to_string(),
+                baseline: "present".to_string(),
+                current: "absent".to_string(),
+            }),
+        }
+    }
+    for cs in current.sections() {
+        if !baseline.sections().iter().any(|s| s.label == cs.label) {
+            out.push(FieldDiff {
+                run: run.to_string(),
+                section: cs.label.clone(),
+                row: String::new(),
+                field: "<section>".to_string(),
+                baseline: "absent".to_string(),
+                current: "present".to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn f6(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+fn diff_sections(run: &str, b: &Section, c: &Section, tol: &Tolerances, out: &mut Vec<FieldDiff>) {
+    let mut push = |row: &str, field: &str, baseline: String, current: String| {
+        out.push(FieldDiff {
+            run: run.to_string(),
+            section: b.label.clone(),
+            row: row.to_string(),
+            field: field.to_string(),
+            baseline,
+            current,
+        });
+    };
+    macro_rules! num {
+        ($row:expr, $field:expr, $b:expr, $c:expr) => {
+            if tol.violates($field, $b as f64, $c as f64) {
+                push($row, $field, f6($b as f64), f6($c as f64));
+            }
+        };
+    }
+    macro_rules! opt {
+        ($row:expr, $field:expr, $b:expr, $c:expr) => {
+            match ($b, $c) {
+                (None, None) => {}
+                (Some(bv), Some(cv)) => num!($row, $field, bv as f64, cv as f64),
+                (bv, cv) => push(
+                    $row,
+                    $field,
+                    bv.map(|v| f6(v as f64)).unwrap_or_else(|| "absent".into()),
+                    cv.map(|v| f6(v as f64)).unwrap_or_else(|| "absent".into()),
+                ),
+            }
+        };
+    }
+    // First differing bucket only: series regressions are almost always a
+    // shift from one point onward, and one coordinate names it.
+    macro_rules! series {
+        ($row:expr, $field:expr, $b:expr, $c:expr) => {
+            if $b.len() != $c.len() {
+                push(
+                    $row,
+                    concat!($field, ".len"),
+                    $b.len().to_string(),
+                    $c.len().to_string(),
+                );
+            } else if let Some(i) =
+                (0..$b.len()).find(|&i| tol.violates($field, $b[i] as f64, $c[i] as f64))
+            {
+                push(
+                    $row,
+                    &format!(concat!($field, "[{}]"), i),
+                    f6($b[i] as f64),
+                    f6($c[i] as f64),
+                );
+            }
+        };
+    }
+
+    if b.now_ns != c.now_ns {
+        push("", "now_ns", b.now_ns.to_string(), c.now_ns.to_string());
+    }
+    num!("", "events", b.events, c.events);
+    num!("", "jain_goodput", b.jain_goodput, c.jain_goodput);
+
+    for be in &b.entities {
+        let row = format!("entity {}", be.entity);
+        let Some(ce) = c.entities.iter().find(|e| e.entity == be.entity) else {
+            push(&row, "<row>", "present".into(), "absent".into());
+            continue;
+        };
+        num!(&row, "rx_bytes", be.rx_bytes, ce.rx_bytes);
+        num!(&row, "goodput_gbps", be.goodput_gbps, ce.goodput_gbps);
+        num!(&row, "drops", be.drops, ce.drops);
+        opt!(&row, "pq_p50_ns", be.pq_p50_ns, ce.pq_p50_ns);
+        opt!(&row, "pq_p99_ns", be.pq_p99_ns, ce.pq_p99_ns);
+        opt!(&row, "vq_p50_ns", be.vq_p50_ns, ce.vq_p50_ns);
+        opt!(&row, "vq_p99_ns", be.vq_p99_ns, ce.vq_p99_ns);
+        num!(&row, "flows", be.flows, ce.flows);
+        num!(
+            &row,
+            "flows_completed",
+            be.flows_completed,
+            ce.flows_completed
+        );
+        opt!(&row, "completion_s", be.completion_s, ce.completion_s);
+        series!(
+            &row,
+            "rate_series_bps",
+            be.rate_series_bps,
+            ce.rate_series_bps
+        );
+    }
+    for ce in &c.entities {
+        if !b.entities.iter().any(|e| e.entity == ce.entity) {
+            let row = format!("entity {}", ce.entity);
+            push(&row, "<row>", "absent".into(), "present".into());
+        }
+    }
+
+    for bp in &b.ports {
+        let row = format!("port {}/{}", bp.node, bp.port);
+        let Some(cp) = c
+            .ports
+            .iter()
+            .find(|p| p.node == bp.node && p.port == bp.port)
+        else {
+            push(&row, "<row>", "present".into(), "absent".into());
+            continue;
+        };
+        num!(&row, "enqueued_bytes", bp.enqueued_bytes, cp.enqueued_bytes);
+        num!(&row, "dequeued_bytes", bp.dequeued_bytes, cp.dequeued_bytes);
+        num!(&row, "dropped_bytes", bp.dropped_bytes, cp.dropped_bytes);
+        num!(&row, "resident_bytes", bp.resident_bytes, cp.resident_bytes);
+        if bp.conserves != cp.conserves {
+            push(
+                &row,
+                "conserves",
+                bp.conserves.to_string(),
+                cp.conserves.to_string(),
+            );
+        }
+        num!(&row, "taildrops", bp.taildrops, cp.taildrops);
+        num!(&row, "red_drops", bp.red_drops, cp.red_drops);
+        num!(&row, "shaper_drops", bp.shaper_drops, cp.shaper_drops);
+        num!(&row, "aq_drops", bp.aq_drops, cp.aq_drops);
+        num!(&row, "ecn_marks", bp.ecn_marks, cp.ecn_marks);
+        num!(&row, "tx_pkts", bp.tx_pkts, cp.tx_pkts);
+        num!(&row, "tx_bytes", bp.tx_bytes, cp.tx_bytes);
+        num!(
+            &row,
+            "peak_occupancy_bytes",
+            bp.peak_occupancy_bytes,
+            cp.peak_occupancy_bytes
+        );
+        series!(&row, "occupancy", bp.occupancy, cp.occupancy);
+    }
+    for cp in &c.ports {
+        if !b
+            .ports
+            .iter()
+            .any(|p| p.node == cp.node && p.port == cp.port)
+        {
+            let row = format!("port {}/{}", cp.node, cp.port);
+            push(&row, "<row>", "absent".into(), "present".into());
+        }
+    }
+
+    for ba in &b.aqs {
+        let row = format!("aq {}/{}", ba.tag, ba.position);
+        let Some(ca) = c
+            .aqs
+            .iter()
+            .find(|a| a.tag == ba.tag && a.position == ba.position)
+        else {
+            push(&row, "<row>", "present".into(), "absent".into());
+            continue;
+        };
+        num!(&row, "rate_bps", ba.rate_bps, ca.rate_bps);
+        num!(&row, "limit_bytes", ba.limit_bytes, ca.limit_bytes);
+        num!(&row, "arrived_bytes", ba.arrived_bytes, ca.arrived_bytes);
+        num!(&row, "limit_drops", ba.limit_drops, ca.limit_drops);
+        num!(&row, "marks", ba.marks, ca.marks);
+        num!(&row, "gap_samples", ba.gap_samples, ca.gap_samples);
+        num!(&row, "max_gap_bytes", ba.max_gap_bytes, ca.max_gap_bytes);
+        num!(&row, "mean_gap_bytes", ba.mean_gap_bytes, ca.mean_gap_bytes);
+    }
+    for ca in &c.aqs {
+        if !b
+            .aqs
+            .iter()
+            .any(|a| a.tag == ca.tag && a.position == ca.position)
+        {
+            let row = format!("aq {}/{}", ca.tag, ca.position);
+            push(&row, "<row>", "absent".into(), "present".into());
+        }
+    }
+
+    for (k, bv) in &b.metrics {
+        let row = format!("metric {k}");
+        match c.metrics.iter().find(|(ck, _)| ck == k) {
+            Some((_, cv)) => num!(&row, k.as_str(), *bv, *cv),
+            None => push(&row, "<row>", f6(*bv), "absent".into()),
+        }
+    }
+    for (k, cv) in &c.metrics {
+        if !b.metrics.iter().any(|(bk, _)| bk == k) {
+            let row = format!("metric {k}");
+            push(&row, "<row>", "absent".into(), f6(*cv));
+        }
+    }
+}
+
+/// Render field diffs as the drill-down's human-readable table.
+pub fn render_field_diffs(diffs: &[FieldDiff]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} per-run field difference(s):", diffs.len());
+    let _ = writeln!(
+        out,
+        "{:<52} {:<28} {:<14} {:<22} {:>16} {:>16}",
+        "run", "section", "row", "field", "baseline", "current"
+    );
+    for d in diffs {
+        let _ = writeln!(
+            out,
+            "{:<52} {:<28} {:<14} {:<22} {:>16} {:>16}",
+            d.run, d.section, d.row, d.field, d.baseline, d.current
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aq_netsim::ids::{EntityId, FlowId, NodeId, PortId};
+    use aq_netsim::stats::StatsHub;
+    use aq_netsim::time::Time;
+
+    /// A hub with one entity, one flow, one port — `delivered` scales the
+    /// payload so reports built from different values genuinely differ.
+    fn hub(delivered: u64, drops: u64) -> StatsHub {
+        let mut h = StatsHub::new();
+        h.on_delivery(Time::from_millis(2), EntityId(1), delivered, 500, 100);
+        for _ in 0..drops {
+            h.on_drop(EntityId(1));
+        }
+        h.register_flow(FlowId(1), EntityId(1), delivered, Time::ZERO);
+        h.flow_completed(FlowId(1), Time::from_millis(2));
+        h.on_port_enqueue(Time::from_millis(1), NodeId(0), PortId(4), 1000, 1000, 0);
+        h.on_port_dequeue(Time::from_millis(2), NodeId(0), PortId(4), 1000, 0);
+        h.on_port_tx(NodeId(0), PortId(4), 1000);
+        h
+    }
+
+    fn report(delivered: u64, drops: u64) -> RunReport {
+        let mut r = RunReport::new("unit");
+        r.capture_hub("run", Time::from_millis(10), 42, &hub(delivered, drops));
+        r
+    }
+
+    #[test]
+    fn identical_reports_produce_no_field_diffs() {
+        let a = report(3000, 0);
+        assert!(diff_reports("r", &a, &a, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn a_moved_counter_is_named_with_its_row_and_field() {
+        let base = report(3000, 0);
+        let cur = report(30_000, 0);
+        let diffs = diff_reports("r", &base, &cur, &Tolerances::default());
+        assert!(
+            diffs
+                .iter()
+                .any(|d| d.row == "entity 1" && d.field == "rx_bytes"),
+            "10x rx_bytes must surface as entity 1 / rx_bytes, got: {diffs:?}"
+        );
+        assert!(
+            diffs
+                .iter()
+                .any(|d| d.row == "entity 1" && d.field.starts_with("rate_series_bps[")),
+            "the moved series bucket must be named, got: {diffs:?}"
+        );
+        let table = render_field_diffs(&diffs);
+        assert!(table.contains("rx_bytes"));
+        assert!(table.contains("entity 1"));
+    }
+
+    #[test]
+    fn a_zero_to_one_drop_is_inside_the_slack_floor() {
+        let base = report(3000, 0);
+        let cur = report(3000, 1);
+        let diffs = diff_reports("r", &base, &cur, &Tolerances::default());
+        assert!(
+            diffs.is_empty(),
+            "one extra drop is noise under the 2-packet slack, got: {diffs:?}"
+        );
+        // Past the slack it is a real difference again.
+        let worse = report(3000, 5);
+        let diffs = diff_reports("r", &base, &worse, &Tolerances::default());
+        assert!(diffs
+            .iter()
+            .any(|d| d.row == "entity 1" && d.field == "drops"));
+    }
+
+    #[test]
+    fn a_missing_section_is_structural() {
+        let base = report(3000, 0);
+        let empty = RunReport::new("unit");
+        let diffs = diff_reports("r", &base, &empty, &Tolerances::default());
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].field, "<section>");
+        assert_eq!(diffs[0].current, "absent");
+    }
+}

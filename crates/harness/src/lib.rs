@@ -24,6 +24,7 @@
 
 pub mod agg;
 pub mod diff;
+pub mod drill;
 pub mod pool;
 pub mod sweep;
 pub mod trends;
@@ -56,9 +57,52 @@ pub fn smoke_spec() -> SweepSpec {
     }
 }
 
+/// The committed-baseline extended sweep: the mixed-CC dumbbell and the
+/// inter-pod fat tree, 2 grid points each × 2 approaches × 3 seeds.
+/// Nightly CI diffs this against `baselines/expected/extended`.
+pub fn extended_spec() -> SweepSpec {
+    let p = |s: &str| Params::parse(s).expect("static extended grid parses");
+    SweepSpec {
+        name: "extended".to_string(),
+        axes: vec![
+            SweepAxis {
+                scenario: "cc_mix".to_string(),
+                approaches: vec![Approach::Pq, Approach::Aq],
+                grid: vec![p("pair=0"), p("pair=1")],
+                seeds: vec![1, 2, 3],
+            },
+            SweepAxis {
+                scenario: "interpod_fattree".to_string(),
+                approaches: vec![Approach::Pq, Approach::Aq],
+                grid: vec![p("b_flows=2"), p("b_flows=4")],
+                seeds: vec![1, 2, 3],
+            },
+        ],
+    }
+}
+
+/// The nightly wide sweep: every registered scenario × all four
+/// approaches × 5 seeds at default grids. Trend-checked only (no
+/// committed baseline — the grid is too wide to keep bytes for).
+pub fn nightly_spec() -> SweepSpec {
+    let axes = aq_workloads::registry::registry()
+        .iter()
+        .map(|def| SweepAxis {
+            scenario: def.name.to_string(),
+            approaches: Approach::ALL.to_vec(),
+            grid: vec![],
+            seeds: vec![1, 2, 3, 4, 5],
+        })
+        .collect();
+    SweepSpec {
+        name: "nightly".to_string(),
+        axes,
+    }
+}
+
 /// Named sweep specs addressable from the CLI (`--spec <name>`).
 pub fn named_specs() -> Vec<SweepSpec> {
-    vec![smoke_spec()]
+    vec![smoke_spec(), extended_spec(), nightly_spec()]
 }
 
 /// Look up a named spec.
@@ -78,8 +122,24 @@ mod tests {
     }
 
     #[test]
+    fn extended_spec_expands_to_the_documented_size() {
+        let points = sweep::expand(&extended_spec()).expect("extended expands");
+        // (2 grid x 2 approaches x 3 seeds) per scenario, 2 scenarios.
+        assert_eq!(points.len(), 24);
+    }
+
+    #[test]
+    fn nightly_spec_covers_every_scenario_and_approach() {
+        let points = sweep::expand(&nightly_spec()).expect("nightly expands");
+        // 5 scenarios x 4 approaches x 5 seeds at the default grid point.
+        assert_eq!(points.len(), 100);
+    }
+
+    #[test]
     fn named_specs_are_findable() {
         assert!(find_spec("smoke").is_some());
+        assert!(find_spec("extended").is_some());
+        assert!(find_spec("nightly").is_some());
         assert!(find_spec("nope").is_none());
     }
 }

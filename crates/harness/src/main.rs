@@ -12,6 +12,7 @@
 
 use aq_harness::agg::Sweep;
 use aq_harness::diff::{diff_sweeps, render_violations, Tolerances};
+use aq_harness::drill;
 use aq_harness::sweep::{expand, run_points};
 use aq_harness::trends::{check_trends, DEFAULT_RULES};
 use aq_harness::{find_spec, named_specs};
@@ -29,9 +30,13 @@ USAGE:
       Execute a named sweep (default: smoke), write DIR/sweep.json,
       DIR/sweep.csv and per-run reports under DIR/runs/, then evaluate
       trend rules. Default out: target/sweeps/<spec>. Default jobs: 1.
-  aq-sweep diff BASELINE_DIR CURRENT_DIR
+  aq-sweep diff [--drill-down] BASELINE_DIR CURRENT_DIR
       Compare two sweep directories under per-metric relative tolerances;
-      print a violation table and exit 1 on any violation.
+      print a violation table and exit 1 on any violation. When both
+      directories carry per-run reports (runs/), each shared run's
+      report.json is also compared field by field, tracing aggregate
+      violations to the exact (run, section, row, field) that moved;
+      --drill-down makes missing runs/ an error instead of a skip.
   aq-sweep check SWEEP_DIR
       Evaluate trend rules against an existing sweep directory.
 
@@ -133,11 +138,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
         jobs,
         out.display()
     );
-    let merged = match run_points(&points, jobs, Some(&out)) {
+    let outcome = match run_points(&points, jobs, Some(&out)) {
         Ok(m) => m,
         Err(e) => return io_err(&e),
     };
-    let sweep = Sweep::from_runs(&spec.name, merged);
+    let sweep = Sweep::from_runs(&spec.name, outcome.metrics).with_failures(outcome.failures);
     if let Err(e) = sweep.write_to(&out) {
         return io_err(&format!("writing sweep artifacts: {e}"));
     }
@@ -146,6 +151,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
         sweep.configs.len(),
         sweep.runs.len()
     );
+    if !sweep.failures.is_empty() {
+        // Artifacts are written (so the failure is diffable), but a
+        // partially-failed sweep is never a green run.
+        eprintln!("{} run(s) FAILED:", sweep.failures.len());
+        for (key, error) in &sweep.failures {
+            eprintln!("  {key}: {error}");
+        }
+        return ExitCode::from(1);
+    }
     if run_trends {
         let failures = check_trends(&sweep, DEFAULT_RULES);
         if !failures.is_empty() {
@@ -161,30 +175,62 @@ fn cmd_run(args: &[String]) -> ExitCode {
 }
 
 fn cmd_diff(args: &[String]) -> ExitCode {
-    let [baseline_dir, current_dir] = args else {
-        return usage_err("diff needs exactly: BASELINE_DIR CURRENT_DIR");
+    let mut force_drill = false;
+    let mut dirs = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--drill-down" => force_drill = true,
+            other => dirs.push(PathBuf::from(other)),
+        }
+    }
+    let [baseline_dir, current_dir] = dirs.as_slice() else {
+        return usage_err("diff needs exactly: [--drill-down] BASELINE_DIR CURRENT_DIR");
     };
-    let baseline = match Sweep::load_dir(Path::new(baseline_dir)) {
+    let baseline = match Sweep::load_dir(baseline_dir) {
         Ok(s) => s,
         Err(e) => return io_err(&e),
     };
-    let current = match Sweep::load_dir(Path::new(current_dir)) {
+    let current = match Sweep::load_dir(current_dir) {
         Ok(s) => s,
         Err(e) => return io_err(&e),
     };
-    let violations = diff_sweeps(&baseline, &current, &Tolerances::default());
-    if violations.is_empty() {
+    let tol = Tolerances::default();
+    let violations = diff_sweeps(&baseline, &current, &tol);
+
+    // Drill down whenever both sides carry per-run reports; --drill-down
+    // turns a missing runs/ directory into a hard error.
+    let both_have_runs = drill::has_runs(baseline_dir) && drill::has_runs(current_dir);
+    if force_drill && !both_have_runs {
+        return io_err("--drill-down needs runs/ under both sweep directories");
+    }
+    let field_diffs = if both_have_runs {
+        match drill::drill_down(baseline_dir, current_dir, &tol) {
+            Ok((diffs, compared)) => {
+                println!("drill-down: {compared} run pair(s) compared");
+                diffs
+            }
+            Err(e) => return io_err(&e),
+        }
+    } else {
+        Vec::new()
+    };
+
+    if violations.is_empty() && field_diffs.is_empty() {
         println!(
             "diff clean: {} configs, {} runs match `{}` within tolerances",
             current.configs.len(),
             current.runs.len(),
             baseline.name
         );
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("{}", render_violations(&violations));
-        ExitCode::from(1)
+        return ExitCode::SUCCESS;
     }
+    if !violations.is_empty() {
+        eprintln!("{}", render_violations(&violations));
+    }
+    if !field_diffs.is_empty() {
+        eprintln!("{}", drill::render_field_diffs(&field_diffs));
+    }
+    ExitCode::from(1)
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {

@@ -9,6 +9,7 @@
 //! threads by the `no-thread-in-sim` lint rule; this crate is the
 //! sanctioned home of `std::thread`.)
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -54,6 +55,28 @@ where
         .collect()
 }
 
+/// Like [`run_indexed`], but a panicking task becomes `Err(message)` in
+/// its slot instead of taking down the whole pool: the remaining tasks
+/// still run, and the caller decides what a failed slot means (the sweep
+/// records it in `sweep.json` and exits nonzero after the grid finishes).
+pub fn run_indexed_caught<T, F>(n_tasks: usize, jobs: usize, task: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(n_tasks, jobs, |i| {
+        catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                "panicked with a non-string payload".to_string()
+            }
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +94,33 @@ mod tests {
     fn zero_tasks_and_oversized_pools_are_fine() {
         assert!(run_indexed(0, 4, |i| i).is_empty());
         assert_eq!(run_indexed(2, 64, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn a_panicking_task_fails_its_slot_but_the_grid_completes() {
+        // The default panic hook would spam test output; silence it for
+        // the deliberately panicking tasks.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = run_indexed_caught(10, 4, |i| {
+            if i == 3 {
+                panic!("task {i} exploded");
+            }
+            if i == 7 {
+                // Non-format panics carry a `&str` payload.
+                panic!("static boom");
+            }
+            i * 2
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(out.len(), 10);
+        for (i, r) in out.iter().enumerate() {
+            match i {
+                3 => assert_eq!(r.as_ref().unwrap_err(), "task 3 exploded"),
+                7 => assert_eq!(r.as_ref().unwrap_err(), "static boom"),
+                _ => assert_eq!(*r.as_ref().unwrap(), i * 2),
+            }
+        }
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! `<out>/runs/<run key>/`, one directory per run, so per-seed artifacts
 //! never collide even when written concurrently.
 
-use crate::pool::run_indexed;
+use crate::pool::run_indexed_caught;
 use aq_bench::report::RunReport;
-use aq_bench::{build_dumbbell, run_workload, Approach, ExpConfig};
+use aq_bench::{build_experiment, pq_ecn_for, run_workload, Approach, ExpConfig};
 use aq_netsim::ids::EntityId;
 use aq_netsim::stats::minmax_ratio;
 use aq_netsim::time::Time;
@@ -143,20 +143,21 @@ pub fn expand(spec: &SweepSpec) -> Result<Vec<RunPoint>, String> {
     Ok(points.into_values().collect())
 }
 
-/// Execute one run point: build the dumbbell experiment, drive it per the
-/// scenario's [`RunPlan`], and distill the canonical metric map. When
-/// `report_base` is given, the full [`RunReport`] is also written under
-/// `<report_base>/<run dir name>/`.
+/// Execute one run point: build the experiment on the scenario's own
+/// topology, drive it per the scenario's [`RunPlan`], and distill the
+/// canonical metric map. When `report_base` is given, the full
+/// [`RunReport`] is also written under `<report_base>/<run dir name>/`.
 pub fn execute_run(
     point: &RunPoint,
     report_base: Option<&Path>,
 ) -> Result<BTreeMap<String, f64>, String> {
     let plan = (point.def.build)(&point.resolved);
-    let mut exp = build_dumbbell(
+    let mut exp = build_experiment(
         point.approach,
-        &plan.entities,
+        &plan,
         ExpConfig {
             seed: point.key.seed,
+            ecn_threshold: pq_ecn_for(point.approach, &plan.entities),
             ..Default::default()
         },
     );
@@ -208,27 +209,53 @@ pub fn execute_run(
     Ok(metrics)
 }
 
+/// Every run of an executed sweep, split into successes and failures.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// Per-run metric maps for runs that completed.
+    pub metrics: BTreeMap<RunKey, BTreeMap<String, f64>>,
+    /// Per-run error/panic messages for runs that did not.
+    pub failures: BTreeMap<RunKey, String>,
+}
+
 /// Execute a whole spec over `jobs` workers. Per-run reports go under
 /// `<out>/runs/`; the caller renders the merged result (see
 /// [`crate::agg::Sweep`]). Point order in the output is key order —
 /// independent of scheduling.
+///
+/// A run that errors — or *panics*, which the pool catches — lands in
+/// [`SweepOutcome::failures`] instead of aborting the sweep: the rest of
+/// the grid still executes, and the caller turns a non-empty failure set
+/// into a nonzero exit after writing the artifacts.
 pub fn run_points(
     points: &[RunPoint],
     jobs: usize,
     out: Option<&Path>,
-) -> Result<BTreeMap<RunKey, BTreeMap<String, f64>>, String> {
+) -> Result<SweepOutcome, String> {
     let report_base = out.map(|o| o.join("runs"));
     if let Some(base) = &report_base {
         std::fs::create_dir_all(base).map_err(|e| format!("creating {}: {e}", base.display()))?;
     }
-    let results = run_indexed(points.len(), jobs, |i| {
+    let results = run_indexed_caught(points.len(), jobs, |i| {
         execute_run(&points[i], report_base.as_deref())
     });
-    let mut merged = BTreeMap::new();
+    let mut outcome = SweepOutcome::default();
     for (point, result) in points.iter().zip(results) {
-        merged.insert(point.key.clone(), result?);
+        match result {
+            Ok(Ok(metrics)) => {
+                outcome.metrics.insert(point.key.clone(), metrics);
+            }
+            Ok(Err(e)) => {
+                outcome.failures.insert(point.key.clone(), e);
+            }
+            Err(panic_msg) => {
+                outcome
+                    .failures
+                    .insert(point.key.clone(), format!("panicked: {panic_msg}"));
+            }
+        }
     }
-    Ok(merged)
+    Ok(outcome)
 }
 
 #[cfg(test)]

@@ -99,6 +99,32 @@ pub const DEFAULT_RULES: &[TrendRule] = &[
         approach: "aq",
         spread: 0.30,
     },
+    // Fig. 10 shape: mixed-CC sharing — AQ isolates entities running
+    // different CC algorithms where a shared FIFO lets the more
+    // aggressive one win.
+    TrendRule::NotWorseThan {
+        scenario: "cc_mix",
+        metric: "jain_goodput",
+        better: "aq",
+        worse: "pq",
+        slack: 0.05,
+    },
+    TrendRule::AtMostFactorOf {
+        scenario: "cc_mix",
+        metric: "completion_max_s",
+        faster: "aq",
+        slower: "pq",
+        factor: 1.30,
+    },
+    // Inter-pod fat tree: AQ's per-entity fairness must survive ECMP and
+    // multi-hop core paths, not just the single dumbbell bottleneck.
+    TrendRule::NotWorseThan {
+        scenario: "interpod_fattree",
+        metric: "jain_goodput",
+        better: "aq",
+        worse: "pq",
+        slack: 0.05,
+    },
 ];
 
 /// Mean of `metric` for `(scenario, approach, params)`, if aggregated.

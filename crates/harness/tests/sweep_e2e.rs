@@ -10,9 +10,10 @@
 use aq_bench::Approach;
 use aq_harness::agg::Sweep;
 use aq_harness::diff::{diff_sweeps, Tolerances};
+use aq_harness::drill::drill_down;
 use aq_harness::sweep::{expand, run_points, SweepAxis, SweepSpec};
 use aq_workloads::registry::Params;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// A spec small enough for debug-build CI: one scenario, 2 approaches,
 /// 1 grid point, 2 seeds = 4 runs of a few simulated milliseconds.
@@ -36,11 +37,12 @@ fn scratch_dir(name: &str) -> PathBuf {
     dir
 }
 
-fn run_into(dir: &PathBuf, jobs: usize) -> Sweep {
+fn run_into(dir: &Path, jobs: usize) -> Sweep {
     let spec = tiny_spec();
     let points = expand(&spec).expect("expands");
-    let merged = run_points(&points, jobs, Some(dir)).expect("runs");
-    let sweep = Sweep::from_runs(&spec.name, merged);
+    let outcome = run_points(&points, jobs, Some(dir)).expect("runs");
+    assert!(outcome.failures.is_empty(), "tiny spec runs cleanly");
+    let sweep = Sweep::from_runs(&spec.name, outcome.metrics);
     sweep.write_to(dir).expect("writes artifacts");
     sweep
 }
@@ -59,7 +61,7 @@ fn jobs_1_and_jobs_4_produce_byte_identical_artifacts() {
     }
 
     // Per-run report directories: same set, same bytes.
-    let list = |dir: &PathBuf| {
+    let list = |dir: &Path| {
         let mut names: Vec<String> = std::fs::read_dir(dir.join("runs"))
             .expect("runs dir")
             .map(|e| {
@@ -81,6 +83,117 @@ fn jobs_1_and_jobs_4_produce_byte_identical_artifacts() {
         let b = std::fs::read(wide_dir.join("runs").join(run).join("report.json"))
             .expect("wide report");
         assert_eq!(a, b, "runs/{run}/report.json differs across job counts");
+    }
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("create copy dir");
+    for entry in std::fs::read_dir(from).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        if src.is_dir() {
+            copy_tree(&src, &dst);
+        } else {
+            std::fs::copy(&src, &dst).expect("copy file");
+        }
+    }
+}
+
+/// Multiply the first occurrence of `"<field>":<int>` in a report by
+/// `factor` (or add `delta`), in place.
+fn perturb_int_field(path: &Path, field: &str, factor: u64, delta: u64) -> (u64, u64) {
+    let text = std::fs::read_to_string(path).expect("read report");
+    let needle = format!("\"{field}\":");
+    let at = text.find(&needle).expect("field present") + needle.len();
+    let end = at
+        + text[at..]
+            .find(|c: char| !c.is_ascii_digit())
+            .expect("digits end");
+    let old: u64 = text[at..end].parse().expect("integer field");
+    let new = old * factor + delta;
+    let patched = format!("{}{}{}", &text[..at], new, &text[end..]);
+    std::fs::write(path, patched).expect("write perturbed report");
+    (old, new)
+}
+
+#[test]
+fn drill_down_names_the_perturbed_field_and_absorbs_one_drop() {
+    let dir = scratch_dir("drill_base");
+    run_into(&dir, 2);
+    let copy = scratch_dir("drill_copy");
+    copy_tree(&dir, &copy);
+
+    // A faithful copy produces zero field diffs over all four run pairs.
+    let tol = Tolerances::default();
+    let (diffs, compared) = drill_down(&dir, &copy, &tol).expect("drills");
+    assert_eq!(compared, 4);
+    assert!(diffs.is_empty(), "faithful copy must be clean: {diffs:?}");
+
+    // One extra drop in one run: inside the absolute slack floor, so the
+    // drill-down (like the aggregate gate) stays quiet.
+    let run = std::fs::read_dir(copy.join("runs"))
+        .expect("runs dir")
+        .next()
+        .expect("a run")
+        .expect("dir entry")
+        .file_name()
+        .to_string_lossy()
+        .into_owned();
+    let report = copy.join("runs").join(&run).join("report.json");
+    perturb_int_field(&report, "drops", 1, 1);
+    let (diffs, _) = drill_down(&dir, &copy, &tol).expect("drills");
+    assert!(diffs.is_empty(), "a 0->1 drop is noise: {diffs:?}");
+
+    // A 10x rx_bytes corruption in the same run: the drill-down names the
+    // run, the entity row, and the field.
+    perturb_int_field(&report, "rx_bytes", 10, 0);
+    let (diffs, _) = drill_down(&dir, &copy, &tol).expect("drills");
+    assert!(
+        diffs
+            .iter()
+            .any(|d| d.run == run && d.row.starts_with("entity") && d.field == "rx_bytes"),
+        "perturbed field must be named with its run and row, got: {diffs:?}"
+    );
+    assert!(
+        diffs.iter().all(|d| d.run == run),
+        "untouched runs must stay clean: {diffs:?}"
+    );
+}
+
+#[test]
+fn new_scenarios_execute_through_the_sweep_path() {
+    let spec = SweepSpec {
+        name: "new_scenarios".to_string(),
+        axes: vec![
+            SweepAxis {
+                scenario: "cc_mix".to_string(),
+                approaches: vec![Approach::Aq],
+                grid: vec![Params::parse("pair=1,n_flows=4").expect("grid")],
+                seeds: vec![1],
+            },
+            SweepAxis {
+                scenario: "interpod_fattree".to_string(),
+                approaches: vec![Approach::Aq],
+                grid: vec![Params::parse("horizon_ms=10").expect("grid")],
+                seeds: vec![1],
+            },
+        ],
+    };
+    let points = expand(&spec).expect("expands");
+    let outcome = run_points(&points, 2, None).expect("runs");
+    assert!(
+        outcome.failures.is_empty(),
+        "new scenarios must run cleanly: {:?}",
+        outcome.failures
+    );
+    assert_eq!(outcome.metrics.len(), 2);
+    for (key, metrics) in &outcome.metrics {
+        assert!(
+            metrics["goodput_total_gbps"] > 0.0,
+            "{key} moved no traffic"
+        );
+        assert!(metrics["jain_goodput"] > 0.0, "{key} has no fairness index");
     }
 }
 

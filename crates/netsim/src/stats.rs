@@ -91,10 +91,41 @@ impl WindowedCounter {
         &self.buckets
     }
 
+    /// The number of windows needed to cover `[0, end)` — the canonical
+    /// padded series length for a run that finished at `end`. Never less
+    /// than the recorded bucket count, so padding cannot truncate.
+    pub fn padded_len(&self, end: Time) -> usize {
+        let w = self.window.as_nanos();
+        let covering = end.as_nanos().div_ceil(w) as usize;
+        covering.max(self.buckets.len())
+    }
+
+    /// Per-window byte counts padded with explicit zero windows out to the
+    /// simulation end time `end`. Raw buckets end at the *last recorded
+    /// event's* window, so two runs of the same horizon can disagree on
+    /// series length merely because one went quiet earlier; exporters
+    /// (e.g. `RunReport`) use this so series of the same scenario align
+    /// bucket-for-bucket across approaches and seeds.
+    pub fn buckets_padded(&self, end: Time) -> Vec<u64> {
+        let mut out = self.buckets.clone();
+        out.resize(self.padded_len(end), 0);
+        out
+    }
+
     /// Throughput series in bits/s, one point per window.
     pub fn rate_series_bps(&self) -> Vec<f64> {
         let w = self.window.as_secs_f64();
         self.buckets.iter().map(|b| *b as f64 * 8.0 / w).collect()
+    }
+
+    /// Throughput series in bits/s padded with explicit zero windows out
+    /// to `end` (see [`buckets_padded`](WindowedCounter::buckets_padded)).
+    pub fn rate_series_bps_padded(&self, end: Time) -> Vec<f64> {
+        let w = self.window.as_secs_f64();
+        self.buckets_padded(end)
+            .into_iter()
+            .map(|b| b as f64 * 8.0 / w)
+            .collect()
     }
 
     /// Average throughput in bits/s over `[from, to)`, counting empty
@@ -678,6 +709,29 @@ mod tests {
         assert_eq!(c.buckets(), &[150, 200]);
         // 150 bytes in 10 ms = 120 kbit/s.
         assert!((c.rate_series_bps()[0] - 120_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn padded_series_cover_the_run_horizon() {
+        let mut c = WindowedCounter::new(Duration::from_millis(10));
+        c.record(Time::from_millis(5), 1000);
+        // Raw buckets stop at the last event's window...
+        assert_eq!(c.buckets(), &[1000]);
+        // ...padding extends to the simulation end with explicit zeros.
+        assert_eq!(c.buckets_padded(Time::from_millis(40)), &[1000, 0, 0, 0]);
+        assert_eq!(c.padded_len(Time::from_millis(40)), 4);
+        // A partial trailing window still counts as covered.
+        assert_eq!(c.padded_len(Time::from_millis(41)), 5);
+        // Padding never truncates recorded buckets.
+        assert_eq!(c.buckets_padded(Time::from_millis(1)), &[1000]);
+        assert_eq!(c.buckets_padded(Time::ZERO), &[1000]);
+        let rates = c.rate_series_bps_padded(Time::from_millis(40));
+        assert_eq!(rates.len(), 4);
+        assert!((rates[0] - 800_000.0).abs() < 1e-9);
+        assert_eq!(&rates[1..], &[0.0, 0.0, 0.0]);
+        // An untouched counter pads to all-zero windows.
+        let empty = WindowedCounter::new(Duration::from_millis(10));
+        assert_eq!(empty.buckets_padded(Time::from_millis(25)), &[0, 0, 0]);
     }
 
     #[test]

@@ -96,6 +96,21 @@ pub enum RunPlan {
     },
 }
 
+/// Physical fabric a scenario instance runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Host-pair dumbbell with a single shared core bottleneck
+    /// (`aq_bench::build_dumbbell`).
+    Dumbbell,
+    /// k-ary ECMP fat tree; entities sit in the first pod (one edge
+    /// switch each) and send to a shared remote pod, so the contention is
+    /// cross-pod and spread over the core paths.
+    FatTree {
+        /// Fat-tree arity (even, ≥ 2; `k = 4` is 16 hosts).
+        k: usize,
+    },
+}
+
 /// A fully-resolved scenario instance: the entities plus the run plan.
 #[derive(Debug, Clone)]
 pub struct ScenarioPlan {
@@ -103,6 +118,8 @@ pub struct ScenarioPlan {
     pub entities: Vec<EntitySetup>,
     /// How long to run.
     pub run: RunPlan,
+    /// Fabric to instantiate.
+    pub topology: Topology,
 }
 
 /// One named parameter with its default value.
@@ -284,6 +301,7 @@ fn fairness_flows(p: &Params) -> ScenarioPlan {
         run: RunPlan::FixedHorizon {
             horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
         },
+        topology: Topology::Dumbbell,
     }
 }
 
@@ -306,6 +324,7 @@ fn completion_vms(p: &Params) -> ScenarioPlan {
         run: RunPlan::UntilComplete {
             deadline: ms(p.get("deadline_ms").unwrap_or(5_000.0)),
         },
+        topology: Topology::Dumbbell,
     }
 }
 
@@ -338,12 +357,100 @@ fn udp_tcp_share(p: &Params) -> ScenarioPlan {
         run: RunPlan::FixedHorizon {
             horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
         },
+        topology: Topology::Dumbbell,
+    }
+}
+
+/// The Swift target queuing delay used whenever a mixed-CC scenario puts
+/// a Swift entity on the fabric (the paper's Fig. 10 configuration).
+const SWIFT_TARGET_US: u64 = 50;
+
+fn cc_mix(p: &Params) -> ScenarioPlan {
+    let n_flows = p.get_usize("n_flows").unwrap_or(8).max(1);
+    let size_scale = p.get("size_scale").unwrap_or(2.0);
+    let swift = CcAlgo::Swift {
+        target: Duration::from_micros(SWIFT_TARGET_US),
+    };
+    // `pair` selects which CC algorithms compete (Fig. 10's axes):
+    // 0 = CUBIC vs DCTCP, 1 = DCTCP vs Swift, 2 = CUBIC vs Swift.
+    let (cc_a, cc_b) = match p.get_usize("pair").unwrap_or(0) {
+        0 => (CcAlgo::Cubic, CcAlgo::Dctcp),
+        1 => (CcAlgo::Dctcp, swift),
+        _ => (CcAlgo::Cubic, swift),
+    };
+    let mk = |entity, cc| EntitySetup {
+        entity,
+        n_vms: 1,
+        cc,
+        weight: 1,
+        traffic: Traffic::WebSearchClosed {
+            n_flows,
+            size_scale,
+        },
+    };
+    ScenarioPlan {
+        entities: vec![mk(EntityId(1), cc_a), mk(EntityId(2), cc_b)],
+        run: RunPlan::UntilComplete {
+            deadline: ms(p.get("deadline_ms").unwrap_or(5_000.0)),
+        },
+        topology: Topology::Dumbbell,
+    }
+}
+
+fn interpod_fattree(p: &Params) -> ScenarioPlan {
+    let a_flows = p.get_usize("a_flows").unwrap_or(1).max(1);
+    let b_flows = p.get_usize("b_flows").unwrap_or(4).max(1);
+    let mk = |entity, n| EntitySetup {
+        entity,
+        n_vms: 2,
+        cc: CcAlgo::Cubic,
+        weight: 1,
+        traffic: Traffic::Long {
+            n,
+            kind: LongKind::Tcp,
+        },
+    };
+    ScenarioPlan {
+        entities: vec![mk(EntityId(1), a_flows), mk(EntityId(2), b_flows)],
+        run: RunPlan::FixedHorizon {
+            horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
+        },
+        topology: Topology::FatTree { k: 4 },
     }
 }
 
 /// All registered scenarios, in name order.
 pub fn registry() -> &'static [ScenarioDef] {
     const REGISTRY: &[ScenarioDef] = &[
+        ScenarioDef {
+            name: "cc_mix",
+            summary: "two entities with different CC algorithms (pair 0: CUBIC vs DCTCP, \
+                      1: DCTCP vs Swift, 2: CUBIC vs Swift) replay the closed web-search \
+                      trace; completion-time fairness across CC mixes (Fig. 10 shape)",
+            params: &[
+                ParamDef {
+                    name: "pair",
+                    default: 0.0,
+                    help: "CC pairing: 0 CUBIC+DCTCP, 1 DCTCP+Swift, 2 CUBIC+Swift",
+                },
+                ParamDef {
+                    name: "n_flows",
+                    default: 8.0,
+                    help: "flows per entity",
+                },
+                ParamDef {
+                    name: "size_scale",
+                    default: 2.0,
+                    help: "flow-size multiplier",
+                },
+                ParamDef {
+                    name: "deadline_ms",
+                    default: 5000.0,
+                    help: "completion deadline (simulated ms)",
+                },
+            ],
+            build: cc_mix,
+        },
         ScenarioDef {
             name: "completion_vms",
             summary: "two equal entities replay the closed web-search trace over `vms` \
@@ -389,6 +496,30 @@ pub fn registry() -> &'static [ScenarioDef] {
                 },
             ],
             build: fairness_flows,
+        },
+        ScenarioDef {
+            name: "interpod_fattree",
+            summary: "k=4 fat tree; two 2-VM entities in pod 0 (one ToR each, `a_flows` \
+                      vs `b_flows` long flows) send cross-pod to shared receivers in the \
+                      last pod; per-entity goodput under ECMP core contention",
+            params: &[
+                ParamDef {
+                    name: "a_flows",
+                    default: 1.0,
+                    help: "entity A's long-flow count",
+                },
+                ParamDef {
+                    name: "b_flows",
+                    default: 4.0,
+                    help: "entity B's long-flow count",
+                },
+                ParamDef {
+                    name: "horizon_ms",
+                    default: 40.0,
+                    help: "run length (simulated ms)",
+                },
+            ],
+            build: interpod_fattree,
         },
         ScenarioDef {
             name: "udp_tcp_share",
@@ -480,6 +611,45 @@ mod tests {
                 "{}: duplicate entity ids",
                 def.name
             );
+        }
+    }
+
+    #[test]
+    fn cc_mix_pairs_select_distinct_cc_algorithms() {
+        let def = find("cc_mix").expect("registered");
+        let expect = |pair: &str, a: CcAlgo, b: CcAlgo| {
+            let plan = def
+                .plan(&Params::parse(pair).expect("parse"))
+                .expect("plan");
+            assert_eq!(plan.entities[0].cc, a, "{pair}: entity 1");
+            assert_eq!(plan.entities[1].cc, b, "{pair}: entity 2");
+            assert!(matches!(plan.run, RunPlan::UntilComplete { .. }));
+            assert_eq!(plan.topology, Topology::Dumbbell);
+        };
+        let swift = CcAlgo::Swift {
+            target: Duration::from_micros(50),
+        };
+        expect("pair=0", CcAlgo::Cubic, CcAlgo::Dctcp);
+        expect("pair=1", CcAlgo::Dctcp, swift);
+        expect("pair=2", CcAlgo::Cubic, swift);
+    }
+
+    #[test]
+    fn interpod_fattree_runs_on_a_fat_tree() {
+        let def = find("interpod_fattree").expect("registered");
+        let plan = def
+            .plan(&Params::parse("a_flows=2,b_flows=6").expect("parse"))
+            .expect("plan");
+        assert_eq!(plan.topology, Topology::FatTree { k: 4 });
+        assert_eq!(plan.entities.len(), 2);
+        for e in &plan.entities {
+            assert_eq!(e.n_vms, 2);
+        }
+        match (&plan.entities[0].traffic, &plan.entities[1].traffic) {
+            (Traffic::Long { n: a, .. }, Traffic::Long { n: b, .. }) => {
+                assert_eq!((*a, *b), (2, 6));
+            }
+            other => panic!("unexpected traffic {other:?}"),
         }
     }
 

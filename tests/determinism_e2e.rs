@@ -8,10 +8,11 @@
 //! windowed throughput) plus the processed-event count, so any divergence
 //! anywhere in the event stream shows up. A second, wider scenario runs
 //! an ECMP fat-tree and additionally digests the rendered `RunReport`
-//! artifact bytes, pinning down the serialization path as well. A third
-//! covers a baseline discipline (PRL rate limiters on a dumbbell): the
-//! sweep harness's regression gate compares AQ against the baselines, so
-//! they must honor the same byte-identical contract.
+//! artifact bytes, pinning down the serialization path as well. Further
+//! scenarios cover the baseline disciplines (PRL's static rate limiters,
+//! DRL's ElasticSwitch agent, and a DRR core queue, all on a dumbbell):
+//! the sweep harness's regression gate compares AQ against the
+//! baselines, so they must honor the same byte-identical contract.
 //!
 //! Everything that could break this is policed elsewhere: the
 //! `no-os-entropy` / `no-wall-clock` / `no-hash-collections` lint rules
@@ -20,6 +21,7 @@
 
 use aq_bench::report::RunReport;
 use aq_bench::{build_dumbbell, Approach, EntitySetup, ExpConfig, LongKind, Traffic};
+use augmented_queue::baselines::DrrQueue;
 use augmented_queue::core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
@@ -194,12 +196,8 @@ fn fat_tree_report(seed: u64) -> (RunReport, String) {
     (rep, digest)
 }
 
-/// A baseline-discipline dumbbell (PRL: static per-entity rate limiters)
-/// digested the same way: baseline approaches must honor the same
-/// reproducibility contract as AQ, since the harness's regression gate
-/// compares AQ *against* them.
-fn run_baseline_digest(seed: u64) -> String {
-    let entities = vec![
+fn unbalanced_entities() -> Vec<EntitySetup> {
+    vec![
         EntitySetup {
             entity: EntityId(1),
             n_vms: 1,
@@ -220,18 +218,31 @@ fn run_baseline_digest(seed: u64) -> String {
                 kind: LongKind::Tcp,
             },
         },
-    ];
+    ]
+}
+
+/// A baseline-approach dumbbell (PRL's static rate limiters or DRL's
+/// ElasticSwitch agent) digested the same way: baseline approaches must
+/// honor the same reproducibility contract as AQ, since the harness's
+/// regression gate compares AQ *against* them. When `drr_core` is set,
+/// the core port's FIFO is additionally swapped for a [`DrrQueue`] so
+/// the per-flow-queue discipline is pinned too.
+fn run_baseline_digest(approach: Approach, drr_core: bool, seed: u64) -> String {
     let mut exp = build_dumbbell(
-        Approach::Prl,
-        &entities,
+        approach,
+        &unbalanced_entities(),
         ExpConfig {
             seed,
             ..Default::default()
         },
     );
+    if drr_core {
+        exp.sim.net.ports[exp.core_port.index()].queue = Box::new(DrrQueue::new(1500, 200_000));
+    }
     exp.sim.run_until(Time::from_millis(30));
-    let mut rep = RunReport::new("determinism_prl_dumbbell");
-    rep.capture("prl", &mut exp.sim);
+    let label = approach.name().to_ascii_lowercase();
+    let mut rep = RunReport::new(&format!("determinism_{label}_dumbbell"));
+    rep.capture(&label, &mut exp.sim);
     let artifact: String = rep
         .render()
         .into_iter()
@@ -263,14 +274,39 @@ fn same_seed_same_bytes_fat_tree_with_run_report() {
 
 #[test]
 fn same_seed_same_bytes_baseline_prl_dumbbell() {
-    let a = run_baseline_digest(0x5176_0003);
-    let b = run_baseline_digest(0x5176_0003);
+    let a = run_baseline_digest(Approach::Prl, false, 0x5176_0003);
+    let b = run_baseline_digest(Approach::Prl, false, 0x5176_0003);
     assert_eq!(
         a, b,
         "PRL baseline runs (incl. run-report artifact) diverged"
     );
-    let c = run_baseline_digest(0x0BAD_BEEF);
+    let c = run_baseline_digest(Approach::Prl, false, 0x0BAD_BEEF);
     assert_ne!(a, c, "PRL baseline digest failed to register a seed change");
+}
+
+#[test]
+fn same_seed_same_bytes_baseline_drl_dumbbell() {
+    // DRL adds the ElasticSwitch agent's periodic rate retuning on top of
+    // the shapers; its control loop must replay byte-identically too.
+    let a = run_baseline_digest(Approach::Drl, false, 0x5176_0004);
+    let b = run_baseline_digest(Approach::Drl, false, 0x5176_0004);
+    assert_eq!(
+        a, b,
+        "DRL baseline runs (incl. run-report artifact) diverged"
+    );
+    let c = run_baseline_digest(Approach::Drl, false, 0x0BAD_D00D);
+    assert_ne!(a, c, "DRL baseline digest failed to register a seed change");
+}
+
+#[test]
+fn same_seed_same_bytes_drr_core_queue() {
+    // Per-flow-queue scheduling (DRR at the core) exercises queue-internal
+    // state the FIFO paths never touch; pin its replay as well.
+    let a = run_baseline_digest(Approach::Pq, true, 0x5176_0005);
+    let b = run_baseline_digest(Approach::Pq, true, 0x5176_0005);
+    assert_eq!(a, b, "DRR-core runs (incl. run-report artifact) diverged");
+    let c = run_baseline_digest(Approach::Pq, true, 0x0BAD_0D0A);
+    assert_ne!(a, c, "DRR-core digest failed to register a seed change");
 }
 
 #[test]

@@ -157,4 +157,27 @@ fn run_report_reflects_hub_and_gap_telemetry() {
 
     // Rendering is pure: identical bytes for identical state.
     assert_eq!(rep.render(), rep.render());
+
+    // Windowed series are padded to the capture horizon: a 100 ms run with
+    // 10 ms windows yields exactly 10 buckets on every entity and port row,
+    // however early its traffic went quiet — the sweep drill-down compares
+    // series bucket-by-bucket, so lengths must line up across rows, seeds
+    // and approaches.
+    for e in &section.entities {
+        assert_eq!(
+            e.rate_series_bps.len(),
+            10,
+            "entity {} series not padded to the horizon",
+            e.entity
+        );
+    }
+    for p in &section.ports {
+        assert_eq!(
+            p.occupancy.len(),
+            10,
+            "port {}/{} occupancy not padded to the horizon",
+            p.node,
+            p.port
+        );
+    }
 }
