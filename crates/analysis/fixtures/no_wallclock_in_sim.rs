@@ -1,0 +1,21 @@
+// Fixture for the `no-wallclock-in-sim` rule: simulation state must never
+// observe host time — simulation time is the only clock. (The harness pool
+// supervisor is the sole sanctioned wall-clock reader outside bench code;
+// see crates/harness/src/pool.rs.)
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn tick() -> Duration {
+    let start = Instant::now(); // expect-lint: no-wallclock-in-sim
+    let _epoch = SystemTime::now(); // expect-lint: no-wallclock-in-sim
+    // Mentioning Instant::now in a comment must not fire.
+    let banner = "SystemTime::now in a string must not fire";
+    let _ = banner;
+    // Using the types without reading the clock is fine.
+    let cached: Instant = start;
+    // aq-lint: allow(no-wallclock-in-sim)
+    let sanctioned = Instant::now();
+    let also = SystemTime::now(); // aq-lint: allow(no-wallclock-in-sim)
+    let _ = also;
+    sanctioned.duration_since(cached)
+}

@@ -28,7 +28,14 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "no-wall-clock",
         summary: "Instant::now/SystemTime::now leak host time into results; \
-                  only bench code may read the wall clock",
+                  only bench code and the harness pool supervisor may read \
+                  the wall clock",
+    },
+    RuleInfo {
+        name: "no-wallclock-in-sim",
+        summary: "sim-state crates must never observe host time — simulation \
+                  time is the only clock; wall-clock watchdogs live solely in \
+                  crates/harness (the sweep pool supervisor)",
     },
     RuleInfo {
         name: "no-os-entropy",
@@ -68,8 +75,20 @@ pub fn in_scope(rule: &str, path: &str) -> bool {
         // simulator/switch state lives and evolves.
         "no-hash-collections" | "no-float-eq" => SIM_STATE_SRC.iter().any(|p| path.starts_with(p)),
         // Wall-clock reads are legitimate only in benchmarking code (the
-        // vendored criterion harness and the bench crate).
-        "no-wall-clock" => !path.starts_with("crates/bench/") && !path.starts_with("vendor/"),
+        // vendored criterion harness and the bench crate) and in the
+        // harness, whose pool supervisor enforces per-run wall-clock
+        // budgets. Sim-state crates are owned by the stricter
+        // `no-wallclock-in-sim` rule below; the scopes are disjoint so a
+        // violation always carries exactly one rule name.
+        "no-wall-clock" => {
+            !path.starts_with("crates/bench/")
+                && !path.starts_with("vendor/")
+                && !path.starts_with("crates/harness/")
+                && !SIM_STATE_SRC.iter().any(|p| path.starts_with(p))
+        }
+        // Simulation results must be a pure function of (scenario, seed):
+        // a host-time read anywhere simulator state evolves breaks that.
+        "no-wallclock-in-sim" => SIM_STATE_SRC.iter().any(|p| path.starts_with(p)),
         // OS entropy is banned everywhere, no exceptions.
         "no-os-entropy" => true,
         // Byte and time counters are 64-bit in core and netsim; a stray
@@ -91,7 +110,9 @@ pub fn in_scope(rule: &str, path: &str) -> bool {
 pub fn check_line(rule: &str, toks: &[Token]) -> Vec<String> {
     match rule {
         "no-hash-collections" => banned_idents(toks, &["HashMap", "HashSet"]),
-        "no-wall-clock" => banned_calls(toks, &["Instant", "SystemTime"], "now"),
+        "no-wall-clock" | "no-wallclock-in-sim" => {
+            banned_calls(toks, &["Instant", "SystemTime"], "now")
+        }
         "no-os-entropy" => banned_idents(toks, &["thread_rng", "from_entropy", "OsRng"]),
         "no-float-eq" => float_eq(toks),
         "no-narrowing-cast" => narrowing_cast(toks),
@@ -259,6 +280,16 @@ mod tests {
     }
 
     #[test]
+    fn wallclock_in_sim_fires_on_the_same_patterns() {
+        assert!(!msgs("no-wallclock-in-sim", "let t = Instant::now();").is_empty());
+        assert!(!msgs("no-wallclock-in-sim", "let t = SystemTime::now();").is_empty());
+        assert!(msgs("no-wallclock-in-sim", "let d: Instant = cached;").is_empty());
+        // The sim's own Time/Duration vocabulary must not trip it.
+        assert!(msgs("no-wallclock-in-sim", "let t = sim.now();").is_empty());
+        assert!(msgs("no-wallclock-in-sim", "let t = Time::from_millis(3);").is_empty());
+    }
+
+    #[test]
     fn float_eq_heuristics() {
         assert!(!msgs("no-float-eq", "if x == 0.0 {").is_empty());
         assert!(!msgs("no-float-eq", "if 1e-9 != y {").is_empty());
@@ -296,6 +327,24 @@ mod tests {
         ));
         assert!(in_scope("no-wall-clock", "examples/scalability.rs"));
         assert!(!in_scope("no-wall-clock", "crates/bench/benches/micro.rs"));
+        // The pool supervisor's watchdog is the harness's sanctioned
+        // wall-clock read; sim-state crates belong to the dedicated rule,
+        // and the two scopes never overlap.
+        assert!(!in_scope("no-wall-clock", "crates/harness/src/pool.rs"));
+        assert!(!in_scope("no-wall-clock", "crates/netsim/src/sim.rs"));
+        assert!(in_scope("no-wallclock-in-sim", "crates/netsim/src/sim.rs"));
+        assert!(in_scope(
+            "no-wallclock-in-sim",
+            "crates/transport/src/sender.rs"
+        ));
+        assert!(!in_scope(
+            "no-wallclock-in-sim",
+            "crates/harness/src/pool.rs"
+        ));
+        assert!(!in_scope(
+            "no-wallclock-in-sim",
+            "crates/netsim/tests/conservation.rs"
+        ));
         assert!(in_scope("no-os-entropy", "vendor/rand/src/lib.rs"));
         assert!(!in_scope(
             "no-narrowing-cast",

@@ -11,14 +11,16 @@ use aq_baselines::{Classify, ElasticSwitch, HtbShaper, VmConfig};
 use aq_core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
+use aq_netsim::fault::FaultPlan;
 use aq_netsim::ids::{EntityId, NodeId};
+use aq_netsim::node::NodeKind;
 use aq_netsim::packet::AqTag;
 use aq_netsim::queue::FifoConfig;
 use aq_netsim::sim::{Network, Simulator};
 use aq_netsim::time::{Duration, Rate, Time};
 use aq_netsim::topology::{dumbbell, fat_tree, Dumbbell};
 use aq_transport::{CcAlgo, DelaySignal, FlowKind};
-use aq_workloads::registry::{ScenarioPlan, Topology};
+use aq_workloads::registry::{PlanFault, ScenarioPlan, Topology};
 use aq_workloads::{add_flows, ensure_transport_hosts, long_flows, ClosedWorkload, WorkloadSpec};
 
 pub mod csv;
@@ -321,12 +323,96 @@ pub fn build_fat_tree(
 }
 
 /// Build the experiment a scenario plan describes, on the topology the
-/// plan names.
+/// plan names, and install the plan's faults against the instantiated
+/// fabric.
 pub fn build_experiment(approach: Approach, plan: &ScenarioPlan, cfg: ExpConfig) -> Experiment {
-    match plan.topology {
+    let mut exp = match plan.topology {
         Topology::Dumbbell => build_dumbbell(approach, &plan.entities, cfg),
         Topology::FatTree { k } => build_fat_tree(approach, &plan.entities, cfg, k),
+    };
+    if !plan.faults.is_empty() {
+        let faults = translate_faults(&exp, &plan.faults, cfg.seed);
+        exp.sim.install_faults(faults);
     }
+    exp
+}
+
+fn fault_at(ms: f64) -> Time {
+    Time::from_micros((ms.max(0.0) * 1000.0) as u64)
+}
+
+fn fault_for(ms: f64) -> Duration {
+    Duration::from_micros((ms.max(0.0) * 1000.0) as u64)
+}
+
+/// Translate a scenario's logical faults onto the instantiated fabric:
+/// "the core link" is the link behind the experiment's bottleneck port,
+/// "the bottleneck switch" is every switch carrying a pipeline stage (or
+/// the bottleneck port's owner when the approach deploys none), and
+/// sender indices count the entities' VMs in declaration order. The fault
+/// RNG seed is derived from the run seed so the corruption streams are
+/// independent of the traffic RNG yet reproduce with the run.
+fn translate_faults(exp: &Experiment, faults: &[PlanFault], seed: u64) -> FaultPlan {
+    let net = &exp.sim.net;
+    let core_link = net.ports[exp.core_port.index()].link;
+    let mut plan = FaultPlan::new(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+    for f in faults {
+        match *f {
+            PlanFault::CoreLinkFlap {
+                first_down_ms,
+                flaps,
+                down_ms,
+                up_ms,
+            } => {
+                plan = plan.flap(
+                    core_link,
+                    fault_at(first_down_ms),
+                    flaps,
+                    fault_for(down_ms),
+                    fault_for(up_ms),
+                );
+            }
+            PlanFault::CoreLinkLoss {
+                from_ms,
+                until_ms,
+                loss_ppm,
+            } => {
+                plan = plan.loss_window(core_link, fault_at(from_ms), fault_at(until_ms), loss_ppm);
+            }
+            PlanFault::AqReset { at_ms } => {
+                let mut targets: Vec<NodeId> = net
+                    .nodes
+                    .iter()
+                    .filter(|n| {
+                        matches!(&n.kind, NodeKind::Switch { pipelines, .. } if !pipelines.is_empty())
+                    })
+                    .map(|n| n.id)
+                    .collect();
+                if targets.is_empty() {
+                    // No pipeline state anywhere (PQ/PRL/DRL): the reboot
+                    // still happens, on the bottleneck switch, as a no-op.
+                    targets.push(net.ports[exp.core_port.index()].node);
+                }
+                for node in targets {
+                    plan = plan.aq_reset(node, fault_at(at_ms));
+                }
+            }
+            PlanFault::SenderBlackout {
+                sender,
+                from_ms,
+                until_ms,
+            } => {
+                let senders: Vec<NodeId> = exp
+                    .entity_vms
+                    .iter()
+                    .flat_map(|(_, vms)| vms.iter().copied())
+                    .collect();
+                let host = senders[sender % senders.len()];
+                plan = plan.blackout(host, fault_at(from_ms), fault_at(until_ms));
+            }
+        }
+    }
+    plan
 }
 
 fn install_traffic(
@@ -536,6 +622,56 @@ mod tests {
                 .pipeline_mut::<AqPipeline>(twin.edge[tor], 0)
                 .expect("AQ pipeline on the sending ToR");
             assert_eq!(pipe.ingress_table.len(), 1, "ToR {tor} polices one entity");
+        }
+    }
+
+    #[test]
+    fn fault_scenarios_translate_install_and_run() {
+        let def = aq_workloads::registry::find("linkflap_dumbbell").expect("registered");
+        let plan = def
+            .plan(
+                &aq_workloads::Params::parse("loss_pct=1,blackout_ms=4,horizon_ms=25")
+                    .expect("parse"),
+            )
+            .expect("plan");
+        let mut exp = build_experiment(Approach::Aq, &plan, ExpConfig::default());
+        exp.sim.run_until(Time::from_millis(25));
+        // 2 flaps (4 events) + loss window (2) + blackout (2) all fired.
+        assert_eq!(exp.sim.fault_log().len(), 8);
+        assert_eq!(exp.sim.fault_totals().injected, 8);
+        // The dead core killed traffic mid-flight and the blackout cost
+        // the paused sender packets.
+        assert!(exp.sim.fault_totals().link_down_drops > 0, "link drops");
+        assert!(exp.sim.fault_totals().pause_drops > 0, "pause drops");
+        // Traffic still moves after the train ends.
+        let total: f64 = [EntityId(1), EntityId(2)]
+            .iter()
+            .map(|e| steady_goodput(&exp.sim, *e, Time::from_millis(20), Time::from_millis(25)))
+            .sum();
+        assert!(total > 1.0, "post-fault goodput recovered: {total}");
+    }
+
+    #[test]
+    fn aq_state_loss_scenario_wipes_and_reconverges() {
+        let def = aq_workloads::registry::find("aq_state_loss").expect("registered");
+        let plan = def
+            .plan(&aq_workloads::Params::parse("wipe_at_ms=5,horizon_ms=15").expect("parse"))
+            .expect("plan");
+        let mut exp = build_experiment(Approach::Aq, &plan, ExpConfig::default());
+        exp.sim.run_until(Time::from_millis(15));
+        let mut report = crate::report::RunReport::new("unit");
+        report.capture("wipe", &mut exp.sim);
+        let s = &report.sections()[0];
+        assert_eq!(s.faults.injected.len(), 1);
+        assert_eq!(s.faults.injected[0].kind, "aq_reset");
+        for a in &s.aqs {
+            assert_eq!(a.wipes, 1, "every AQ wiped once");
+            assert!(
+                a.reconverge_ns > 0 && a.reconverge_ns < u64::MAX,
+                "AQ {} rebuilt from arrivals (reconverge_ns = {})",
+                a.tag,
+                a.reconverge_ns
+            );
         }
     }
 

@@ -124,6 +124,10 @@ pub struct EntityRow {
     pub rx_bytes: u64,
     /// Average goodput over `[0, now)` in Gbit/s.
     pub goodput_gbps: f64,
+    /// Data packets this entity injected (including retransmissions).
+    pub tx_pkts: u64,
+    /// Payload bytes this entity injected (including retransmissions).
+    pub tx_bytes: u64,
     /// Packets of this entity dropped anywhere.
     pub drops: u64,
     /// Physical queuing delay p50 (ns), if any samples.
@@ -170,6 +174,14 @@ pub struct PortRow {
     pub shaper_drops: u64,
     /// AQ-limit drops attributed to this port (upstream of the queue).
     pub aq_drops: u64,
+    /// Packets lost on this port's wire because the link died mid-flight.
+    pub link_drops: u64,
+    /// Packets corrupted on this port's wire by stochastic loss faults.
+    pub corrupt_drops: u64,
+    /// Bytes of frames cut mid-serialization by link death (dequeued but
+    /// never fully transmitted; post-serialization losses are in
+    /// `tx_bytes`).
+    pub wire_dropped_bytes: u64,
     /// Cumulative CE marks applied by the discipline.
     pub ecn_marks: u64,
     /// Packets fully serialized onto the wire.
@@ -205,6 +217,44 @@ pub struct AqRow {
     pub max_gap_bytes: u64,
     /// Mean A-Gap over forwarded packets (bytes).
     pub mean_gap_bytes: f64,
+    /// Fault-injected state wipes this AQ went through.
+    pub wipes: u64,
+    /// Time from the last wipe to gap-state re-convergence (ns); 0 if
+    /// never wiped, `u64::MAX` while still rebuilding.
+    pub reconverge_ns: u64,
+}
+
+/// One injected fault event inside a [`RunReport`] section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRow {
+    /// Injection time (ns).
+    pub at_ns: u64,
+    /// Fault kind label (`link_down`, `aq_reset`, ...).
+    pub kind: String,
+    /// Target id rendering (`l4`, `n9`, ...).
+    pub target: String,
+}
+
+/// The fault-injection summary of one section: what was injected and what
+/// it cost, by cause. Empty/zero for fault-free runs (the section is
+/// always rendered so the artifact schema does not depend on the
+/// scenario).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSummary {
+    /// Applied fault events, in injection order.
+    pub injected: Vec<FaultRow>,
+    /// Packets dropped mid-flight because their link went down.
+    pub link_down_drops: u64,
+    /// Bytes dropped mid-flight because their link went down.
+    pub link_down_dropped_bytes: u64,
+    /// Packets dropped by stochastic corruption faults.
+    pub corrupt_drops: u64,
+    /// Bytes dropped by stochastic corruption faults.
+    pub corrupt_dropped_bytes: u64,
+    /// Packets dropped at blacked-out hosts.
+    pub pause_drops: u64,
+    /// Bytes dropped at blacked-out hosts.
+    pub pause_dropped_bytes: u64,
 }
 
 /// One labelled capture: the full hub state at one point of the run.
@@ -224,6 +274,8 @@ pub struct Section {
     pub ports: Vec<PortRow>,
     /// AQ rows, in (tag, position) order.
     pub aqs: Vec<AqRow>,
+    /// Fault-injection summary (empty for fault-free captures).
+    pub faults: FaultSummary,
     /// Harness-defined scalar metrics (model-only harnesses like the
     /// fig. 11 resource accounting), in harness-chosen order.
     pub metrics: Vec<(String, f64)>,
@@ -285,12 +337,43 @@ impl RunReport {
             }
         }
         let (now, events) = (sim.now(), sim.processed_events);
-        self.capture_hub(label, now, events, &sim.stats);
+        let totals = sim.fault_totals();
+        let faults = FaultSummary {
+            injected: sim
+                .fault_log()
+                .iter()
+                .map(|f| FaultRow {
+                    at_ns: f.at.as_nanos(),
+                    kind: f.kind.to_string(),
+                    target: f.target.clone(),
+                })
+                .collect(),
+            link_down_drops: totals.link_down_drops,
+            link_down_dropped_bytes: totals.link_down_dropped_bytes,
+            corrupt_drops: totals.corrupt_drops,
+            corrupt_dropped_bytes: totals.corrupt_dropped_bytes,
+            pause_drops: totals.pause_drops,
+            pause_dropped_bytes: totals.pause_dropped_bytes,
+        };
+        self.capture_hub_faults(label, now, events, &sim.stats, faults);
     }
 
     /// Capture from a bare [`StatsHub`] (harnesses that run AQ tables or
-    /// resource models without a simulator).
+    /// resource models without a simulator). The section's fault summary
+    /// is empty — only [`capture`](RunReport::capture) sees a simulator's
+    /// fault log.
     pub fn capture_hub(&mut self, label: &str, now: Time, events: u64, hub: &StatsHub) {
+        self.capture_hub_faults(label, now, events, hub, FaultSummary::default());
+    }
+
+    fn capture_hub_faults(
+        &mut self,
+        label: &str,
+        now: Time,
+        events: u64,
+        hub: &StatsHub,
+        faults: FaultSummary,
+    ) {
         let mut entities = Vec::new();
         for (&e, es) in hub.entities() {
             let goodput_bps = if now > Time::ZERO {
@@ -309,6 +392,8 @@ impl RunReport {
                 entity: e.0 as u64,
                 rx_bytes: es.rx_bytes,
                 goodput_gbps: goodput_bps / 1e9,
+                tx_pkts: es.tx_pkts,
+                tx_bytes: es.tx_bytes,
                 drops: es.drops,
                 pq_p50_ns: es.pq_delay.percentile(50.0),
                 pq_p99_ns: es.pq_delay.percentile(99.0),
@@ -337,6 +422,9 @@ impl RunReport {
                 red_drops: ps.red_drops,
                 shaper_drops: ps.shaper_drops,
                 aq_drops: ps.aq_drops,
+                link_drops: ps.link_drops,
+                corrupt_drops: ps.corrupt_drops,
+                wire_dropped_bytes: ps.wire_dropped_bytes,
                 ecn_marks: ps.ecn_marks,
                 tx_pkts: ps.tx_pkts,
                 tx_bytes: ps.tx_bytes,
@@ -357,6 +445,8 @@ impl RunReport {
                 gap_samples: s.gap_samples,
                 max_gap_bytes: s.max_gap_bytes,
                 mean_gap_bytes: s.mean_gap_bytes,
+                wipes: s.wipes,
+                reconverge_ns: s.reconverge_ns,
             })
             .collect();
         let goodputs: Vec<f64> = entities.iter().map(|e| e.goodput_gbps).collect();
@@ -368,6 +458,7 @@ impl RunReport {
             entities,
             ports,
             aqs,
+            faults,
             metrics: Vec::new(),
         });
     }
@@ -384,6 +475,7 @@ impl RunReport {
             entities: Vec::new(),
             ports: Vec::new(),
             aqs: Vec::new(),
+            faults: FaultSummary::default(),
             metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         });
     }
@@ -433,10 +525,13 @@ impl RunReport {
                 }
                 let _ = write!(
                     j,
-                    "{{\"entity\":{},\"rx_bytes\":{},\"goodput_gbps\":{},\"drops\":{}",
+                    "{{\"entity\":{},\"rx_bytes\":{},\"goodput_gbps\":{},\"tx_pkts\":{},\
+                     \"tx_bytes\":{},\"drops\":{}",
                     e.entity,
                     e.rx_bytes,
                     f6(e.goodput_gbps),
+                    e.tx_pkts,
+                    e.tx_bytes,
                     e.drops
                 );
                 for (k, v) in [
@@ -484,6 +579,7 @@ impl RunReport {
                     "{{\"node\":{},\"port\":{},\"enqueued_bytes\":{},\"dequeued_bytes\":{},\
                      \"dropped_bytes\":{},\"resident_bytes\":{},\"conserves\":{},\
                      \"taildrops\":{},\"red_drops\":{},\"shaper_drops\":{},\"aq_drops\":{},\
+                     \"link_drops\":{},\"corrupt_drops\":{},\"wire_dropped_bytes\":{},\
                      \"ecn_marks\":{},\"tx_pkts\":{},\"tx_bytes\":{},\"peak_occupancy_bytes\":{}",
                     p.node,
                     p.port,
@@ -496,6 +592,9 @@ impl RunReport {
                     p.red_drops,
                     p.shaper_drops,
                     p.aq_drops,
+                    p.link_drops,
+                    p.corrupt_drops,
+                    p.wire_dropped_bytes,
                     p.ecn_marks,
                     p.tx_pkts,
                     p.tx_bytes,
@@ -526,7 +625,8 @@ impl RunReport {
                     j,
                     "{{\"tag\":{},\"position\":{},\"rate_bps\":{},\"limit_bytes\":{},\
                      \"arrived_bytes\":{},\"limit_drops\":{},\"marks\":{},\"gap_samples\":{},\
-                     \"max_gap_bytes\":{},\"mean_gap_bytes\":{}}}",
+                     \"max_gap_bytes\":{},\"mean_gap_bytes\":{},\"wipes\":{},\
+                     \"reconverge_ns\":{}}}",
                     a.tag,
                     json_str(a.position),
                     a.rate_bps,
@@ -536,10 +636,37 @@ impl RunReport {
                     a.marks,
                     a.gap_samples,
                     a.max_gap_bytes,
-                    f6(a.mean_gap_bytes)
+                    f6(a.mean_gap_bytes),
+                    a.wipes,
+                    a.reconverge_ns
                 );
             }
-            j.push_str("]}");
+            j.push_str("],\"faults\":{\"injected\":[");
+            for (i, f) in s.faults.injected.iter().enumerate() {
+                if i > 0 {
+                    j.push(',');
+                }
+                let _ = write!(
+                    j,
+                    "{{\"at_ns\":{},\"kind\":{},\"target\":{}}}",
+                    f.at_ns,
+                    json_str(&f.kind),
+                    json_str(&f.target)
+                );
+            }
+            let _ = write!(
+                j,
+                "],\"link_down_drops\":{},\"link_down_dropped_bytes\":{},\
+                 \"corrupt_drops\":{},\"corrupt_dropped_bytes\":{},\
+                 \"pause_drops\":{},\"pause_dropped_bytes\":{}}}",
+                s.faults.link_down_drops,
+                s.faults.link_down_dropped_bytes,
+                s.faults.corrupt_drops,
+                s.faults.corrupt_dropped_bytes,
+                s.faults.pause_drops,
+                s.faults.pause_dropped_bytes
+            );
+            j.push('}');
         }
         j.push_str("]}\n");
         j
@@ -548,18 +675,20 @@ impl RunReport {
     /// Per-entity rows as CSV (one row per section × entity).
     pub fn render_entities_csv(&self) -> String {
         let mut c = String::from(
-            "section,entity,rx_bytes,goodput_gbps,drops,pq_p50_ns,pq_p99_ns,vq_p50_ns,\
-             vq_p99_ns,flows,flows_completed,completion_s\n",
+            "section,entity,rx_bytes,goodput_gbps,tx_pkts,tx_bytes,drops,pq_p50_ns,pq_p99_ns,\
+             vq_p50_ns,vq_p99_ns,flows,flows_completed,completion_s\n",
         );
         for s in &self.sections {
             for e in &s.entities {
                 let _ = writeln!(
                     c,
-                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     crate::csv::quote(&s.label),
                     e.entity,
                     e.rx_bytes,
                     f6(e.goodput_gbps),
+                    e.tx_pkts,
+                    e.tx_bytes,
                     e.drops,
                     opt_u64(e.pq_p50_ns),
                     opt_u64(e.pq_p99_ns),
@@ -578,14 +707,14 @@ impl RunReport {
     pub fn render_ports_csv(&self) -> String {
         let mut c = String::from(
             "section,node,port,enqueued_bytes,dequeued_bytes,dropped_bytes,resident_bytes,\
-             conserves,taildrops,red_drops,shaper_drops,aq_drops,ecn_marks,tx_pkts,tx_bytes,\
-             peak_occupancy_bytes\n",
+             conserves,taildrops,red_drops,shaper_drops,aq_drops,link_drops,corrupt_drops,\
+             wire_dropped_bytes,ecn_marks,tx_pkts,tx_bytes,peak_occupancy_bytes\n",
         );
         for s in &self.sections {
             for p in &s.ports {
                 let _ = writeln!(
                     c,
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     crate::csv::quote(&s.label),
                     p.node,
                     p.port,
@@ -598,6 +727,9 @@ impl RunReport {
                     p.red_drops,
                     p.shaper_drops,
                     p.aq_drops,
+                    p.link_drops,
+                    p.corrupt_drops,
+                    p.wire_dropped_bytes,
                     p.ecn_marks,
                     p.tx_pkts,
                     p.tx_bytes,
@@ -612,13 +744,13 @@ impl RunReport {
     pub fn render_aqs_csv(&self) -> String {
         let mut c = String::from(
             "section,tag,position,rate_bps,limit_bytes,arrived_bytes,limit_drops,marks,\
-             gap_samples,max_gap_bytes,mean_gap_bytes\n",
+             gap_samples,max_gap_bytes,mean_gap_bytes,wipes,reconverge_ns\n",
         );
         for s in &self.sections {
             for a in &s.aqs {
                 let _ = writeln!(
                     c,
-                    "{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     crate::csv::quote(&s.label),
                     a.tag,
                     a.position,
@@ -630,6 +762,8 @@ impl RunReport {
                     a.gap_samples,
                     a.max_gap_bytes,
                     f6(a.mean_gap_bytes),
+                    a.wipes,
+                    a.reconverge_ns,
                 );
             }
         }
@@ -767,6 +901,8 @@ fn parse_section(s: &Json) -> Result<Section, String> {
             entity: juint(e, "entity", ctx)?,
             rx_bytes: juint(e, "rx_bytes", ctx)?,
             goodput_gbps: jnum(e, "goodput_gbps", ctx)?,
+            tx_pkts: juint(e, "tx_pkts", ctx)?,
+            tx_bytes: juint(e, "tx_bytes", ctx)?,
             drops: juint(e, "drops", ctx)?,
             pq_p50_ns: jopt_uint(e, "pq_p50_ns", ctx)?,
             pq_p99_ns: jopt_uint(e, "pq_p99_ns", ctx)?,
@@ -806,6 +942,9 @@ fn parse_section(s: &Json) -> Result<Section, String> {
             red_drops: juint(p, "red_drops", ctx)?,
             shaper_drops: juint(p, "shaper_drops", ctx)?,
             aq_drops: juint(p, "aq_drops", ctx)?,
+            link_drops: juint(p, "link_drops", ctx)?,
+            corrupt_drops: juint(p, "corrupt_drops", ctx)?,
+            wire_dropped_bytes: juint(p, "wire_dropped_bytes", ctx)?,
             ecn_marks: juint(p, "ecn_marks", ctx)?,
             tx_pkts: juint(p, "tx_pkts", ctx)?,
             tx_bytes: juint(p, "tx_bytes", ctx)?,
@@ -838,8 +977,38 @@ fn parse_section(s: &Json) -> Result<Section, String> {
             gap_samples: juint(a, "gap_samples", ctx)?,
             max_gap_bytes: juint(a, "max_gap_bytes", ctx)?,
             mean_gap_bytes: jnum(a, "mean_gap_bytes", ctx)?,
+            wipes: juint(a, "wipes", ctx)?,
+            reconverge_ns: juint(a, "reconverge_ns", ctx)?,
         });
     }
+    let fobj = jget(s, "faults", ctx)?;
+    let mut injected = Vec::new();
+    for f in jget(fobj, "injected", "faults")?
+        .as_arr()
+        .ok_or("faults: `injected` is not an array")?
+    {
+        let ctx = "fault";
+        injected.push(FaultRow {
+            at_ns: juint(f, "at_ns", ctx)?,
+            kind: jget(f, "kind", ctx)?
+                .as_str()
+                .ok_or("fault: `kind` is not a string")?
+                .to_string(),
+            target: jget(f, "target", ctx)?
+                .as_str()
+                .ok_or("fault: `target` is not a string")?
+                .to_string(),
+        });
+    }
+    let faults = FaultSummary {
+        injected,
+        link_down_drops: juint(fobj, "link_down_drops", "faults")?,
+        link_down_dropped_bytes: juint(fobj, "link_down_dropped_bytes", "faults")?,
+        corrupt_drops: juint(fobj, "corrupt_drops", "faults")?,
+        corrupt_dropped_bytes: juint(fobj, "corrupt_dropped_bytes", "faults")?,
+        pause_drops: juint(fobj, "pause_drops", "faults")?,
+        pause_dropped_bytes: juint(fobj, "pause_dropped_bytes", "faults")?,
+    };
     let metrics = jget(s, "metrics", ctx)?
         .as_obj()
         .ok_or("section: `metrics` is not an object")?
@@ -861,6 +1030,7 @@ fn parse_section(s: &Json) -> Result<Section, String> {
         entities,
         ports,
         aqs,
+        faults,
         metrics,
     })
 }
@@ -983,6 +1153,39 @@ mod tests {
         assert_eq!(s.ports[0].occupancy.len(), 5);
         assert_eq!(s.entities[0].rate_series_bps[4], 0.0);
         assert_eq!(s.ports[0].occupancy[4], 0);
+    }
+
+    #[test]
+    fn fault_sections_round_trip_through_json() {
+        let hub = sample_hub();
+        let mut r = RunReport::new("unit");
+        r.capture_hub("clean", Time::from_millis(10), 1, &hub);
+        // Splice a non-trivial fault summary in (capture() fills this from
+        // the simulator; here we exercise the serializer directly).
+        r.sections[0].faults = FaultSummary {
+            injected: vec![
+                FaultRow {
+                    at_ns: 1_000_000,
+                    kind: "link_down".to_string(),
+                    target: "l4".to_string(),
+                },
+                FaultRow {
+                    at_ns: 2_000_000,
+                    kind: "aq_reset".to_string(),
+                    target: "n0".to_string(),
+                },
+            ],
+            link_down_drops: 3,
+            link_down_dropped_bytes: 4500,
+            corrupt_drops: 1,
+            corrupt_dropped_bytes: 1500,
+            pause_drops: 2,
+            pause_dropped_bytes: 3000,
+        };
+        let rendered = r.render_json();
+        let parsed = RunReport::parse_json(&rendered).expect("parse back");
+        assert_eq!(parsed.sections()[0].faults, r.sections[0].faults);
+        assert_eq!(parsed.render_json(), rendered, "round-trip bytes differ");
     }
 
     #[test]

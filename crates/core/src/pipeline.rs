@@ -43,6 +43,8 @@ pub fn export_aq_table(table: &AqTable, position: AqPosition, hub: &mut StatsHub
             gap_samples: inst.gap_track.samples(),
             max_gap_bytes: inst.gap_track.max_bytes(),
             mean_gap_bytes: inst.gap_track.mean_bytes(),
+            wipes: inst.wipes,
+            reconverge_ns: inst.reconverge_ns(),
         });
     }
 }
@@ -128,7 +130,7 @@ impl AqPipeline {
             // untouched (the packet claims an AQ that does not exist here).
             return PipelineVerdict::Forward;
         };
-        match process_packet(aq, now, pkt) {
+        let verdict = match process_packet(aq, now, pkt) {
             AqVerdict::Drop => {
                 stats.drops += 1;
                 PipelineVerdict::Drop
@@ -138,7 +140,11 @@ impl AqPipeline {
                 PipelineVerdict::Forward
             }
             AqVerdict::Forward | AqVerdict::ForwardWithDelay { .. } => PipelineVerdict::Forward,
-        }
+        };
+        // Fault-recovery bookkeeping: after a state wipe, the first gap
+        // level back at the pre-wipe operating point marks re-convergence.
+        aq.note_recovery(now);
+        verdict
     }
 }
 
@@ -185,6 +191,14 @@ impl SwitchPipeline for AqPipeline {
             pkt.aq_egress,
             pkt,
         )
+    }
+
+    fn on_fault_reset(&mut self, now: Time) {
+        // The switch rebooted: both tables lose their dynamic state and
+        // must rebuild it from subsequent arrivals (configs survive — the
+        // controller re-deploys them when the switch comes back).
+        self.ingress_table.wipe(now);
+        self.egress_table.wipe(now);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
@@ -293,6 +307,59 @@ mod tests {
         assert_eq!(egr.tag, 2);
         assert_eq!(egr.position, aq_netsim::AqPosition::Egress);
         assert_eq!(egr.gap_samples, 1);
+    }
+
+    #[test]
+    fn fault_reset_wipes_dynamic_state_but_keeps_configs() {
+        let mut pipe = AqPipeline::new();
+        pipe.deploy_ingress(cfg(1, 1500));
+        pipe.deploy_egress(cfg(2, 1_000_000));
+        let mut a = pkt(1, 2);
+        let mut b = pkt(1, 0);
+        pipe.ingress(Time::ZERO, &mut a);
+        pipe.egress(Time::ZERO, &mut a, PortId(0), 100);
+        pipe.ingress(Time::ZERO, &mut b); // limit drop
+        pipe.on_fault_reset(Time::from_millis(1));
+        // Configs survive the wipe; gaps, counters, and telemetry do not.
+        let ing = pipe.ingress_table.get(AqTag(1)).unwrap();
+        assert_eq!(ing.cfg.limit_bytes, 1500);
+        assert_eq!(ing.gap.bytes(), 0);
+        assert_eq!((ing.drops, ing.arrived_bytes), (0, 0));
+        assert_eq!(ing.gap_track.samples(), 0);
+        assert_eq!(ing.wipes, 1);
+        assert_eq!(ing.wiped_at, Some(Time::from_millis(1)));
+        // Pre-wipe mean gap (one 1060 B sample) becomes the target.
+        assert_eq!(ing.recover_target_bytes, 1060);
+        assert_eq!(ing.reconverge_ns(), u64::MAX); // not yet rebuilt
+        assert_eq!(pipe.egress_table.get(AqTag(2)).unwrap().wipes, 1);
+    }
+
+    #[test]
+    fn wiped_aq_reconverges_from_subsequent_arrivals() {
+        let mut pipe = AqPipeline::new();
+        pipe.deploy_ingress(cfg(1, 10_000));
+        // Build an operating point around one packet's worth of gap.
+        let mut p = pkt(1, 0);
+        pipe.ingress(Time::ZERO, &mut p);
+        pipe.on_fault_reset(Time::from_millis(1));
+        let target = pipe
+            .ingress_table
+            .get(AqTag(1))
+            .unwrap()
+            .recover_target_bytes;
+        assert_eq!(target, 1060);
+        // First post-wipe arrival rebuilds the gap past the target (the
+        // wiped gap restarts at zero, one packet lands it at 1060).
+        let mut q = pkt(1, 0);
+        pipe.ingress(Time::from_millis(2), &mut q);
+        let inst = pipe.ingress_table.get(AqTag(1)).unwrap();
+        assert_eq!(inst.recovered_at, Some(Time::from_millis(2)));
+        assert_eq!(inst.reconverge_ns(), 1_000_000);
+        // The exported summary carries the recovery window.
+        let mut hub = aq_netsim::StatsHub::new();
+        pipe.export_stats(&mut hub);
+        let s = hub.aq_summaries().next().unwrap();
+        assert_eq!((s.wipes, s.reconverge_ns), (1, 1_000_000));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::config::{AqConfig, AqInstance, PACKED_AQ_BYTES};
 use aq_netsim::packet::AqTag;
+use aq_netsim::time::Time;
 
 /// Registry of deployed AQ instances, indexed by [`AqTag`].
 #[derive(Debug, Default)]
@@ -90,6 +91,19 @@ impl AqTable {
     /// deployed AQ (Fig. 12's model).
     pub fn register_memory_bytes(&self) -> usize {
         self.live * PACKED_AQ_BYTES
+    }
+
+    /// Wipe the dynamic state of every deployed AQ at `now` (fault
+    /// injection: the switch rebooted and lost its registers).
+    /// Configurations survive — the controller re-deploys them — but gaps,
+    /// counters, and telemetry restart from zero and must be rebuilt from
+    /// subsequent arrivals (see [`AqInstance::wiped`]).
+    pub fn wipe(&mut self, now: Time) {
+        for slot in self.slots.iter_mut() {
+            if let Some(inst) = slot.take() {
+                *slot = Some(inst.wiped(now));
+            }
+        }
     }
 }
 

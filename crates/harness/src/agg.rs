@@ -8,7 +8,7 @@
 //! never on `--jobs` or scheduling. Both renderings have parse
 //! counterparts, and a sweep directory round-trips bit-exactly.
 
-use crate::sweep::RunKey;
+use crate::sweep::{FailureKind, RunFailure, RunKey};
 use aq_bench::json::{self, Json};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -88,15 +88,15 @@ pub struct Sweep {
     pub runs: BTreeMap<RunKey, BTreeMap<String, f64>>,
     /// Per-config, per-metric seed-ensemble summaries.
     pub configs: BTreeMap<ConfigKey, BTreeMap<String, Aggregate>>,
-    /// Runs that errored or panicked, with their messages. Recorded in
-    /// `sweep.json` so a partially-failed sweep is a first-class,
-    /// diffable artifact (and a gate failure).
-    pub failures: BTreeMap<RunKey, String>,
+    /// Runs that errored, panicked, or timed out, with their kind and
+    /// message. Recorded in `sweep.json` so a partially-failed sweep is a
+    /// first-class, diffable artifact (and a gate failure).
+    pub failures: BTreeMap<RunKey, RunFailure>,
 }
 
 impl Sweep {
     /// Attach per-run failures (from [`crate::sweep::SweepOutcome`]).
-    pub fn with_failures(mut self, failures: BTreeMap<RunKey, String>) -> Sweep {
+    pub fn with_failures(mut self, failures: BTreeMap<RunKey, RunFailure>) -> Sweep {
         self.failures = failures;
         self
     }
@@ -197,13 +197,18 @@ impl Sweep {
         out.push_str("  ],\n");
         out.push_str("  \"failures\": [\n");
         let n_failures = self.failures.len();
-        for (fi, (key, error)) in self.failures.iter().enumerate() {
+        for (fi, (key, failure)) in self.failures.iter().enumerate() {
             out.push_str("    {\n");
             let _ = writeln!(out, "      \"scenario\": {},", json_escape(&key.scenario));
             let _ = writeln!(out, "      \"approach\": {},", json_escape(&key.approach));
             let _ = writeln!(out, "      \"params\": {},", json_escape(&key.params));
             let _ = writeln!(out, "      \"seed\": {},", key.seed);
-            let _ = writeln!(out, "      \"error\": {}", json_escape(error));
+            let _ = writeln!(
+                out,
+                "      \"kind\": {},",
+                json_escape(failure.kind.as_str())
+            );
+            let _ = writeln!(out, "      \"error\": {}", json_escape(&failure.message));
             out.push_str(if fi + 1 < n_failures {
                 "    },\n"
             } else {
@@ -304,9 +309,19 @@ impl Sweep {
                         .and_then(Json::as_u64)
                         .ok_or_else(|| format!("failures[{i}]: missing numeric `seed`"))?,
                 };
+                // Sweeps written before kinds existed carry only the
+                // message; classify those as plain errors.
+                let kind = match f.get("kind").and_then(Json::as_str) {
+                    Some(s) => FailureKind::parse(s)
+                        .ok_or_else(|| format!("failures[{i}]: unknown kind `{s}`"))?,
+                    None => FailureKind::Error,
+                };
                 failures.insert(
                     key,
-                    jstr(f, "error").map_err(|e| format!("failures[{i}]: {e}"))?,
+                    RunFailure {
+                        kind,
+                        message: jstr(f, "error").map_err(|e| format!("failures[{i}]: {e}"))?,
+                    },
                 );
             }
         }
@@ -500,21 +515,35 @@ mod tests {
     }
 
     #[test]
-    fn failures_round_trip_through_json() {
-        let key = RunKey {
+    fn failures_round_trip_through_json_with_distinct_kinds() {
+        let key_of = |seed: u64| RunKey {
             scenario: "fairness_flows".to_string(),
             approach: "aq".to_string(),
             params: "b_flows=9,horizon_ms=5".to_string(),
-            seed: 9,
+            seed,
         };
-        let sweep = sample_sweep().with_failures(BTreeMap::from([(
-            key.clone(),
-            "panicked: boom".to_string(),
-        )]));
+        let sweep = sample_sweep().with_failures(BTreeMap::from([
+            (
+                key_of(8),
+                RunFailure {
+                    kind: FailureKind::Panic,
+                    message: "boom".to_string(),
+                },
+            ),
+            (
+                key_of(9),
+                RunFailure {
+                    kind: FailureKind::Timeout,
+                    message: "run exceeded the 600s wall-clock budget".to_string(),
+                },
+            ),
+        ]));
         let rendered = sweep.render_json();
         let parsed = Sweep::parse_json(&rendered).expect("parses");
-        assert_eq!(parsed.failures.len(), 1);
-        assert_eq!(parsed.failures[&key], "panicked: boom");
+        assert_eq!(parsed.failures.len(), 2);
+        assert_eq!(parsed.failures[&key_of(8)].kind, FailureKind::Panic);
+        assert_eq!(parsed.failures[&key_of(8)].message, "boom");
+        assert_eq!(parsed.failures[&key_of(9)].kind, FailureKind::Timeout);
         assert_eq!(parsed.render_json(), rendered);
     }
 
@@ -524,6 +553,23 @@ mod tests {
         let legacy = "{\"sweep\": \"old\", \"configs\": [], \"runs\": []}";
         let parsed = Sweep::parse_json(legacy).expect("legacy artifact parses");
         assert!(parsed.failures.is_empty());
+    }
+
+    #[test]
+    fn failures_without_a_kind_default_to_error() {
+        // Sweeps written before kind classification carry only `error`.
+        let legacy = "{\"sweep\": \"old\", \"configs\": [], \"runs\": [], \
+                      \"failures\": [{\"scenario\": \"s\", \"approach\": \"aq\", \
+                      \"params\": \"a=1\", \"seed\": 2, \"error\": \"boom\"}]}";
+        let parsed = Sweep::parse_json(legacy).expect("legacy artifact parses");
+        let failure = parsed.failures.values().next().expect("one failure");
+        assert_eq!(failure.kind, FailureKind::Error);
+        assert_eq!(failure.message, "boom");
+        assert!(Sweep::parse_json(&legacy.replace(
+            "\"error\": \"boom\"",
+            "\"kind\": \"bogus\", \"error\": \"boom\""
+        ))
+        .is_err());
     }
 
     #[test]

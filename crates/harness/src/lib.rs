@@ -33,9 +33,10 @@ use aq_bench::Approach;
 use aq_workloads::registry::Params;
 use sweep::{SweepAxis, SweepSpec};
 
-/// The committed-baseline smoke sweep: 2 scenarios × 2 approaches ×
+/// The committed-baseline smoke sweep: 4 scenarios × 2 approaches ×
 /// small grids × 3 seeds. Small enough for CI, wide enough to exercise
-/// fairness and completion trends.
+/// fairness and completion trends plus both fault-injection scenarios
+/// (link flaps and AQ state loss) end to end.
 pub fn smoke_spec() -> SweepSpec {
     let p = |s: &str| Params::parse(s).expect("static smoke grid parses");
     SweepSpec {
@@ -51,6 +52,18 @@ pub fn smoke_spec() -> SweepSpec {
                 scenario: "completion_vms".to_string(),
                 approaches: vec![Approach::Pq, Approach::Aq],
                 grid: vec![p("vms=1"), p("vms=2")],
+                seeds: vec![1, 2, 3],
+            },
+            SweepAxis {
+                scenario: "linkflap_dumbbell".to_string(),
+                approaches: vec![Approach::Pq, Approach::Aq],
+                grid: vec![p("horizon_ms=30")],
+                seeds: vec![1, 2, 3],
+            },
+            SweepAxis {
+                scenario: "aq_state_loss".to_string(),
+                approaches: vec![Approach::Pq, Approach::Aq],
+                grid: vec![p("horizon_ms=25")],
                 seeds: vec![1, 2, 3],
             },
         ],
@@ -117,8 +130,15 @@ mod tests {
     #[test]
     fn smoke_spec_expands_to_the_documented_size() {
         let points = sweep::expand(&smoke_spec()).expect("smoke expands");
-        // (2 grid x 2 approaches x 3 seeds) per scenario, 2 scenarios.
-        assert_eq!(points.len(), 24);
+        // 2-point grids for fairness/completion, 1-point grids for the
+        // two fault scenarios, 2 approaches x 3 seeds each.
+        assert_eq!(points.len(), 36);
+        for scenario in ["linkflap_dumbbell", "aq_state_loss"] {
+            assert!(
+                points.iter().any(|p| p.key.scenario == scenario),
+                "smoke must cover fault scenario `{scenario}`"
+            );
+        }
     }
 
     #[test]
@@ -131,8 +151,8 @@ mod tests {
     #[test]
     fn nightly_spec_covers_every_scenario_and_approach() {
         let points = sweep::expand(&nightly_spec()).expect("nightly expands");
-        // 5 scenarios x 4 approaches x 5 seeds at the default grid point.
-        assert_eq!(points.len(), 100);
+        // 7 scenarios x 4 approaches x 5 seeds at the default grid point.
+        assert_eq!(points.len(), 140);
     }
 
     #[test]

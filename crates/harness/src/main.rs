@@ -26,10 +26,14 @@ aq-sweep: parallel multi-seed sweep orchestrator with a regression gate
 USAGE:
   aq-sweep list
       Show registered scenarios (with parameters) and named sweeps.
-  aq-sweep run [--spec NAME] [--jobs N] [--out DIR] [--seeds a,b,c] [--no-trends]
+  aq-sweep run [--spec NAME] [--jobs N] [--out DIR] [--seeds a,b,c]
+               [--timeout-s S] [--no-trends]
       Execute a named sweep (default: smoke), write DIR/sweep.json,
       DIR/sweep.csv and per-run reports under DIR/runs/, then evaluate
       trend rules. Default out: target/sweeps/<spec>. Default jobs: 1.
+      Each run is supervised under a per-run wall-clock budget (default
+      600 s): an overdue run is abandoned and recorded as a `timeout`
+      failure while the rest of the grid completes.
   aq-sweep diff [--drill-down] BASELINE_DIR CURRENT_DIR
       Compare two sweep directories under per-metric relative tolerances;
       print a violation table and exit 1 on any violation. When both
@@ -89,6 +93,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut seeds: Option<Vec<u64>> = None;
     let mut run_trends = true;
+    let mut timeout_s = 600u64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -114,6 +119,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     _ => return usage_err("--seeds needs a comma-separated u64 list"),
                 }
             }
+            "--timeout-s" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => timeout_s = v,
+                _ => return usage_err("--timeout-s needs a positive integer"),
+            },
             "--no-trends" => run_trends = false,
             other => return usage_err(&format!("unknown flag `{other}`")),
         }
@@ -138,7 +147,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
         jobs,
         out.display()
     );
-    let outcome = match run_points(&points, jobs, Some(&out)) {
+    let timeout = std::time::Duration::from_secs(timeout_s);
+    let outcome = match run_points(&points, jobs, Some(timeout), Some(&out)) {
         Ok(m) => m,
         Err(e) => return io_err(&e),
     };

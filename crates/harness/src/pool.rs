@@ -8,10 +8,18 @@
 //! independent of scheduling. (The sim crates themselves are barred from
 //! threads by the `no-thread-in-sim` lint rule; this crate is the
 //! sanctioned home of `std::thread`.)
+//!
+//! Two pool flavors exist: the scoped [`run_indexed`]/[`run_indexed_caught`]
+//! pair for workloads that are known to terminate, and the hang-proof
+//! [`run_supervised`] pool, which enforces a per-task wall-clock budget
+//! from a supervisor thread so one stuck run cannot stall a whole sweep.
+//! The wall clock is read *only* by the supervisor — never by simulation
+//! code, which the `no-wallclock-in-sim` lint rule enforces.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Run `task(0..n_tasks)` over `jobs` worker threads and return the
 /// results in task-index order.
@@ -65,16 +73,156 @@ where
     F: Fn(usize) -> T + Sync,
 {
     run_indexed(n_tasks, jobs, |i| {
-        catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| {
-            if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else {
-                "panicked with a non-string payload".to_string()
-            }
-        })
+        catch_unwind(AssertUnwindSafe(|| task(i))).map_err(panic_message)
     })
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Outcome of one task under the supervised pool.
+#[derive(Debug)]
+pub enum TaskResult<T> {
+    /// The task returned normally.
+    Done(T),
+    /// The task panicked; the pool caught the unwind and preserved the
+    /// payload message.
+    Panicked(String),
+    /// The task exceeded the per-task wall-clock budget and was abandoned
+    /// by the supervisor.
+    TimedOut,
+}
+
+/// Per-task slot state shared between workers and the supervisor.
+enum Slot<T> {
+    /// No worker has claimed the task yet.
+    Pending,
+    /// A worker started the task at the recorded wall-clock instant.
+    Running(Instant),
+    /// Resolved — by the worker, or by the supervisor for overdue tasks.
+    Finished(TaskResult<T>),
+}
+
+struct Supervised<T, F> {
+    task: F,
+    n_tasks: usize,
+    next: AtomicUsize,
+    slots: Vec<Mutex<Slot<T>>>,
+}
+
+fn supervised_worker<T, F>(pool: Arc<Supervised<T, F>>)
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    loop {
+        let i = pool.next.fetch_add(1, Ordering::Relaxed);
+        if i >= pool.n_tasks {
+            return;
+        }
+        *pool.slots[i].lock().expect("result slot lock") = Slot::Running(Instant::now());
+        let outcome = match catch_unwind(AssertUnwindSafe(|| (pool.task)(i))) {
+            Ok(v) => TaskResult::Done(v),
+            Err(payload) => TaskResult::Panicked(panic_message(payload)),
+        };
+        let mut slot = pool.slots[i].lock().expect("result slot lock");
+        if matches!(*slot, Slot::Finished(_)) {
+            // The supervisor already timed this task out and spawned a
+            // replacement worker: discard the late result and retire so
+            // the pool never runs more than `jobs` live workers.
+            return;
+        }
+        *slot = Slot::Finished(outcome);
+    }
+}
+
+/// Supervisor poll interval: how often overdue tasks are checked for.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(2);
+
+/// Like [`run_indexed_caught`], but *hang-proof*: each task runs on a
+/// detached worker under a wall-clock budget enforced by a supervisor on
+/// the calling thread. A task still running past `timeout` is recorded as
+/// [`TaskResult::TimedOut`], its worker is abandoned (a stuck simulation
+/// cannot be cancelled cooperatively), and a replacement worker is spawned
+/// if unclaimed tasks remain — so one hung run can never stall the rest of
+/// the grid. `timeout: None` disables the watchdog.
+///
+/// The deadline is checked only here, from the supervisor: simulation code
+/// stays free of wall-clock reads (see the `no-wallclock-in-sim` lint
+/// rule), and the sim's own outputs remain deterministic.
+pub fn run_supervised<T, F>(
+    n_tasks: usize,
+    jobs: usize,
+    timeout: Option<Duration>,
+    task: F,
+) -> Vec<TaskResult<T>>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, n_tasks);
+    let pool = Arc::new(Supervised {
+        task,
+        n_tasks,
+        next: AtomicUsize::new(0),
+        slots: (0..n_tasks).map(|_| Mutex::new(Slot::Pending)).collect(),
+    });
+    for _ in 0..jobs {
+        let p = Arc::clone(&pool);
+        std::thread::spawn(move || supervised_worker(p));
+    }
+    loop {
+        let mut finished = 0usize;
+        for slot in &pool.slots {
+            let mut s = slot.lock().expect("result slot lock");
+            match &*s {
+                Slot::Finished(_) => finished += 1,
+                Slot::Running(started) => {
+                    if timeout.is_some_and(|t| started.elapsed() >= t) {
+                        *s = Slot::Finished(TaskResult::TimedOut);
+                        finished += 1;
+                        drop(s);
+                        // The worker stuck on this task is lost; restore
+                        // the pool's parallelism if work remains.
+                        if pool.next.load(Ordering::Relaxed) < n_tasks {
+                            let p = Arc::clone(&pool);
+                            std::thread::spawn(move || supervised_worker(p));
+                        }
+                    }
+                }
+                Slot::Pending => {}
+            }
+        }
+        if finished == n_tasks {
+            break;
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
+    }
+    pool.slots
+        .iter()
+        .map(|slot| {
+            // Swap in a tombstone so an abandoned worker that wakes later
+            // finds the slot resolved and retires without writing.
+            std::mem::replace(
+                &mut *slot.lock().expect("result slot lock"),
+                Slot::Finished(TaskResult::TimedOut),
+            )
+        })
+        .map(|s| match s {
+            Slot::Finished(r) => r,
+            _ => unreachable!("supervisor exits only once every slot is finished"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -120,6 +268,84 @@ mod tests {
                 7 => assert_eq!(r.as_ref().unwrap_err(), "static boom"),
                 _ => assert_eq!(*r.as_ref().unwrap(), i * 2),
             }
+        }
+    }
+
+    #[test]
+    fn supervised_pool_without_timeout_matches_run_indexed() {
+        let out = run_supervised(9, 3, None, |i| i + 1);
+        assert_eq!(out.len(), 9);
+        for (i, r) in out.iter().enumerate() {
+            match r {
+                TaskResult::Done(v) => assert_eq!(*v, i + 1),
+                other => panic!("task {i}: unexpected {other:?}"),
+            }
+        }
+        assert!(run_supervised(0, 4, None, |i| i).is_empty());
+    }
+
+    #[test]
+    fn a_hung_task_times_out_while_the_rest_of_the_grid_completes() {
+        let out = run_supervised(6, 2, Some(Duration::from_millis(200)), |i| {
+            if i == 1 {
+                // A run that never returns: the supervisor must abandon it.
+                std::thread::sleep(Duration::from_secs(120));
+            }
+            i * 3
+        });
+        assert_eq!(out.len(), 6);
+        for (i, r) in out.iter().enumerate() {
+            match (i, r) {
+                (1, TaskResult::TimedOut) => {}
+                (_, TaskResult::Done(v)) => assert_eq!(*v, i * 3),
+                (i, other) => panic!("task {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_replacement_worker_rescues_the_grid_when_the_only_worker_hangs() {
+        // jobs = 1 and the very first task hangs: without a replacement
+        // worker the remaining tasks would never be claimed.
+        let out = run_supervised(4, 1, Some(Duration::from_millis(150)), |i| {
+            if i == 0 {
+                std::thread::sleep(Duration::from_secs(120));
+            }
+            i
+        });
+        assert!(matches!(out[0], TaskResult::TimedOut));
+        for (i, r) in out.iter().enumerate().skip(1) {
+            assert!(
+                matches!(r, TaskResult::Done(v) if *v == i),
+                "task {i}: unexpected {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn panics_and_timeouts_are_reported_as_distinct_kinds() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = run_supervised(5, 2, Some(Duration::from_millis(200)), |i| {
+            match i {
+                0 => panic!("kaboom {i}"),
+                3 => std::thread::sleep(Duration::from_secs(120)),
+                _ => {}
+            }
+            i
+        });
+        std::panic::set_hook(prev);
+        match &out[0] {
+            TaskResult::Panicked(m) => assert_eq!(m, "kaboom 0"),
+            other => panic!("task 0: unexpected {other:?}"),
+        }
+        assert!(matches!(out[3], TaskResult::TimedOut));
+        for i in [1usize, 2, 4] {
+            assert!(
+                matches!(out[i], TaskResult::Done(v) if v == i),
+                "task {i}: unexpected {:?}",
+                out[i]
+            );
         }
     }
 

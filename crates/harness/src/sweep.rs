@@ -11,16 +11,18 @@
 //! `<out>/runs/<run key>/`, one directory per run, so per-seed artifacts
 //! never collide even when written concurrently.
 
-use crate::pool::run_indexed_caught;
+use crate::pool::{run_supervised, TaskResult};
 use aq_bench::report::RunReport;
 use aq_bench::{build_experiment, pq_ecn_for, run_workload, Approach, ExpConfig};
 use aq_netsim::ids::EntityId;
 use aq_netsim::stats::minmax_ratio;
-use aq_netsim::time::Time;
-use aq_workloads::registry::{self, Params, RunPlan, ScenarioDef};
+use aq_netsim::time::{Duration as SimDuration, Time};
+use aq_workloads::registry::{self, Params, PlanFault, RunPlan, ScenarioDef};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Identity of one run inside a sweep: the deterministic merge key.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -143,10 +145,56 @@ pub fn expand(spec: &SweepSpec) -> Result<Vec<RunPoint>, String> {
     Ok(points.into_values().collect())
 }
 
+/// The window of simulation time disturbed by a fault plan, in
+/// milliseconds: from the earliest fault onset to the latest fault end
+/// (flap trains end when the last up transition fires; point faults like
+/// an AQ wipe start and end at their trigger). `None` for a fault-free
+/// plan.
+fn fault_window_ms(faults: &[PlanFault]) -> Option<(f64, f64)> {
+    let mut window: Option<(f64, f64)> = None;
+    for f in faults {
+        let (s, e) = match *f {
+            PlanFault::CoreLinkFlap {
+                first_down_ms,
+                flaps,
+                down_ms,
+                up_ms,
+            } => (
+                first_down_ms,
+                first_down_ms + flaps as f64 * (down_ms + up_ms),
+            ),
+            PlanFault::CoreLinkLoss {
+                from_ms, until_ms, ..
+            } => (from_ms, until_ms),
+            PlanFault::AqReset { at_ms } => (at_ms, at_ms),
+            PlanFault::SenderBlackout {
+                from_ms, until_ms, ..
+            } => (from_ms, until_ms),
+        };
+        window = Some(match window {
+            None => (s, e),
+            Some((ws, we)) => (ws.min(s), we.max(e)),
+        });
+    }
+    window
+}
+
+fn ms_to_sim(ms: f64) -> SimDuration {
+    SimDuration::from_nanos((ms * 1e6).round() as u64)
+}
+
 /// Execute one run point: build the experiment on the scenario's own
 /// topology, drive it per the scenario's [`RunPlan`], and distill the
 /// canonical metric map. When `report_base` is given, the full
 /// [`RunReport`] is also written under `<report_base>/<run dir name>/`.
+///
+/// Fault scenarios (a plan with a non-empty fault set, driven on a fixed
+/// horizon) capture two extra report sections — `prefault` at the first
+/// fault's onset and `fault_end` when the last fault clears — so the
+/// distilled metrics can compare goodput before the disturbance against
+/// goodput after recovery (`postfault_goodput_ratio`), alongside the
+/// per-cause drop counters and AQ re-convergence times from the final
+/// section.
 pub fn execute_run(
     point: &RunPoint,
     report_base: Option<&Path>,
@@ -162,8 +210,20 @@ pub fn execute_run(
         },
     );
     let entity_ids: Vec<EntityId> = plan.entities.iter().map(|e| e.entity).collect();
+    let mut rep = RunReport::new(&point.key.dir_name());
     let completions: Vec<Option<f64>> = match plan.run {
         RunPlan::FixedHorizon { horizon } => {
+            let horizon_ms = horizon.as_secs_f64() * 1e3;
+            if let Some((start_ms, end_ms)) = fault_window_ms(&plan.faults) {
+                if start_ms > 0.0 && start_ms < horizon_ms {
+                    exp.sim.run_until(Time::ZERO + ms_to_sim(start_ms));
+                    rep.capture("prefault", &mut exp.sim);
+                }
+                if end_ms > start_ms && end_ms < horizon_ms {
+                    exp.sim.run_until(Time::ZERO + ms_to_sim(end_ms));
+                    rep.capture("fault_end", &mut exp.sim);
+                }
+            }
             exp.sim.run_until(Time::ZERO + horizon);
             vec![None; entity_ids.len()]
         }
@@ -171,7 +231,6 @@ pub fn execute_run(
             run_workload(&mut exp.sim, &entity_ids, Time::ZERO + deadline)
         }
     };
-    let mut rep = RunReport::new(&point.key.dir_name());
     rep.capture("run", &mut exp.sim);
     if let Some(base) = report_base {
         rep.write_to(base)
@@ -179,7 +238,7 @@ pub fn execute_run(
     }
     let section = rep
         .sections()
-        .first()
+        .last()
         .ok_or_else(|| format!("{}: capture produced no section", point.key))?;
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
     metrics.insert("events".to_string(), section.events as f64);
@@ -206,7 +265,111 @@ pub fn execute_run(
         metrics.insert("completion_max_s".to_string(), max);
         metrics.insert("completion_ratio".to_string(), minmax_ratio(min, max));
     }
+    if !plan.faults.is_empty() {
+        let faults = &section.faults;
+        metrics.insert("faults_injected".to_string(), faults.injected.len() as f64);
+        metrics.insert("link_down_drops".to_string(), faults.link_down_drops as f64);
+        metrics.insert("corrupt_drops".to_string(), faults.corrupt_drops as f64);
+        metrics.insert("pause_drops".to_string(), faults.pause_drops as f64);
+        let wipes: u64 = section.aqs.iter().map(|a| a.wipes).sum();
+        if wipes > 0 {
+            metrics.insert("wipes_total".to_string(), wipes as f64);
+            // An AQ that never re-converged is scored at the full run
+            // length — pessimistic, and guaranteed to trip a re-convergence
+            // ceiling rule.
+            let worst_ns = section
+                .aqs
+                .iter()
+                .filter(|a| a.wipes > 0)
+                .map(|a| {
+                    if a.reconverge_ns == u64::MAX {
+                        section.now_ns
+                    } else {
+                        a.reconverge_ns
+                    }
+                })
+                .max()
+                .unwrap_or(0);
+            metrics.insert("reconverge_ms_max".to_string(), worst_ns as f64 / 1e6);
+        }
+        let pre = rep.sections().iter().find(|s| s.label == "prefault");
+        let base = rep
+            .sections()
+            .iter()
+            .find(|s| s.label == "fault_end")
+            .or(pre);
+        if let (Some(pre), Some(base)) = (pre, base) {
+            if base.now_ns < section.now_ns {
+                let pre_gbps: f64 = pre.entities.iter().map(|e| e.goodput_gbps).sum();
+                let rx = |s: &aq_bench::report::Section| -> u64 {
+                    s.entities.iter().map(|e| e.rx_bytes).sum()
+                };
+                let post_bytes = rx(section).saturating_sub(rx(base));
+                // bits per nanosecond == Gbit/s, exactly.
+                let post_gbps = post_bytes as f64 * 8.0 / (section.now_ns - base.now_ns) as f64;
+                metrics.insert("goodput_prefault_gbps".to_string(), pre_gbps);
+                metrics.insert("goodput_postfault_gbps".to_string(), post_gbps);
+                if pre_gbps > 0.0 {
+                    metrics.insert("postfault_goodput_ratio".to_string(), post_gbps / pre_gbps);
+                }
+            }
+        }
+    }
     Ok(metrics)
+}
+
+/// Why a run failed — the `kind` field of `sweep.json` failure entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailureKind {
+    /// The run returned an error (capture, report I/O, …).
+    Error,
+    /// The run panicked; the pool caught the unwind.
+    Panic,
+    /// The run exceeded its wall-clock budget and was abandoned by the
+    /// pool supervisor.
+    Timeout,
+}
+
+impl FailureKind {
+    /// Stable artifact label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Error => "error",
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+        }
+    }
+
+    /// Parse counterpart of [`FailureKind::as_str`].
+    pub fn parse(s: &str) -> Option<FailureKind> {
+        match s {
+            "error" => Some(FailureKind::Error),
+            "panic" => Some(FailureKind::Panic),
+            "timeout" => Some(FailureKind::Timeout),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One failed run: its classification plus the human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFailure {
+    /// Failure classification.
+    pub kind: FailureKind,
+    /// What happened (error text, panic payload, or the exceeded budget).
+    pub message: String,
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)
+    }
 }
 
 /// Every run of an executed sweep, split into successes and failures.
@@ -214,8 +377,8 @@ pub fn execute_run(
 pub struct SweepOutcome {
     /// Per-run metric maps for runs that completed.
     pub metrics: BTreeMap<RunKey, BTreeMap<String, f64>>,
-    /// Per-run error/panic messages for runs that did not.
-    pub failures: BTreeMap<RunKey, String>,
+    /// Per-run failures (error / panic / timeout) for runs that did not.
+    pub failures: BTreeMap<RunKey, RunFailure>,
 }
 
 /// Execute a whole spec over `jobs` workers. Per-run reports go under
@@ -223,37 +386,57 @@ pub struct SweepOutcome {
 /// [`crate::agg::Sweep`]). Point order in the output is key order —
 /// independent of scheduling.
 ///
-/// A run that errors — or *panics*, which the pool catches — lands in
-/// [`SweepOutcome::failures`] instead of aborting the sweep: the rest of
-/// the grid still executes, and the caller turns a non-empty failure set
-/// into a nonzero exit after writing the artifacts.
+/// A run that errors, *panics* (the pool catches the unwind), or — when
+/// `timeout` is set — overruns its wall-clock budget lands in
+/// [`SweepOutcome::failures`] with a distinct [`FailureKind`] instead of
+/// aborting the sweep: the rest of the grid still executes (the
+/// supervised pool replaces workers lost to hung runs), and the caller
+/// turns a non-empty failure set into a nonzero exit after writing the
+/// artifacts.
 pub fn run_points(
     points: &[RunPoint],
     jobs: usize,
+    timeout: Option<Duration>,
     out: Option<&Path>,
 ) -> Result<SweepOutcome, String> {
     let report_base = out.map(|o| o.join("runs"));
     if let Some(base) = &report_base {
         std::fs::create_dir_all(base).map_err(|e| format!("creating {}: {e}", base.display()))?;
     }
-    let results = run_indexed_caught(points.len(), jobs, |i| {
-        execute_run(&points[i], report_base.as_deref())
+    // The supervised pool detaches its workers (a hung run must not pin
+    // the pool), so the task closure owns its inputs.
+    let shared: Arc<Vec<RunPoint>> = Arc::new(points.to_vec());
+    let base = report_base.clone();
+    let results = run_supervised(points.len(), jobs, timeout, move |i| {
+        execute_run(&shared[i], base.as_deref())
     });
     let mut outcome = SweepOutcome::default();
     for (point, result) in points.iter().zip(results) {
-        match result {
-            Ok(Ok(metrics)) => {
+        let failure = match result {
+            TaskResult::Done(Ok(metrics)) => {
                 outcome.metrics.insert(point.key.clone(), metrics);
+                continue;
             }
-            Ok(Err(e)) => {
-                outcome.failures.insert(point.key.clone(), e);
+            TaskResult::Done(Err(e)) => RunFailure {
+                kind: FailureKind::Error,
+                message: e,
+            },
+            TaskResult::Panicked(m) => RunFailure {
+                kind: FailureKind::Panic,
+                message: m,
+            },
+            TaskResult::TimedOut => {
+                let budget = timeout.expect("timeouts only fire under a budget");
+                RunFailure {
+                    kind: FailureKind::Timeout,
+                    message: format!(
+                        "run exceeded the {:.0}s wall-clock budget",
+                        budget.as_secs_f64()
+                    ),
+                }
             }
-            Err(panic_msg) => {
-                outcome
-                    .failures
-                    .insert(point.key.clone(), format!("panicked: {panic_msg}"));
-            }
-        }
+        };
+        outcome.failures.insert(point.key.clone(), failure);
     }
     Ok(outcome)
 }

@@ -54,6 +54,31 @@ pub enum TrendRule {
         /// Allowed relative spread.
         spread: f64,
     },
+    /// At every params point of `scenario` under `approach`, the metric's
+    /// ensemble mean must be at least `floor` (absolute bound — used where
+    /// no second approach provides a reference, e.g. recovery ratios).
+    AtLeast {
+        /// Scenario name.
+        scenario: &'static str,
+        /// Aggregated metric (checked on ensemble means).
+        metric: &'static str,
+        /// Approach under test.
+        approach: &'static str,
+        /// Smallest acceptable mean.
+        floor: f64,
+    },
+    /// At every params point of `scenario` under `approach`, the metric's
+    /// ensemble mean must be at most `ceiling` (absolute bound).
+    AtMost {
+        /// Scenario name.
+        scenario: &'static str,
+        /// Aggregated metric (checked on ensemble means).
+        metric: &'static str,
+        /// Approach under test.
+        approach: &'static str,
+        /// Largest acceptable mean.
+        ceiling: f64,
+    },
 }
 
 /// The repo's standing expectations, derived from EXPERIMENTS.md.
@@ -124,6 +149,36 @@ pub const DEFAULT_RULES: &[TrendRule] = &[
         better: "aq",
         worse: "pq",
         slack: 0.05,
+    },
+    // Fault robustness: once a link-flap train clears, goodput must
+    // recover to near its pre-fault level (the RTO backoff machinery must
+    // not strand senders), and full-run fairness must survive the outage.
+    TrendRule::AtLeast {
+        scenario: "linkflap_dumbbell",
+        metric: "postfault_goodput_ratio",
+        approach: "aq",
+        floor: 0.6,
+    },
+    TrendRule::AtLeast {
+        scenario: "linkflap_dumbbell",
+        metric: "jain_goodput",
+        approach: "aq",
+        floor: 0.8,
+    },
+    // AQ state loss: a wiped AQ table must re-converge from subsequent
+    // arrivals within a bounded window, and the wipe must not depress
+    // post-wipe goodput.
+    TrendRule::AtMost {
+        scenario: "aq_state_loss",
+        metric: "reconverge_ms_max",
+        approach: "aq",
+        ceiling: 20.0,
+    },
+    TrendRule::AtLeast {
+        scenario: "aq_state_loss",
+        metric: "postfault_goodput_ratio",
+        approach: "aq",
+        floor: 0.6,
     },
 ];
 
@@ -201,6 +256,40 @@ pub fn check_trends(sweep: &Sweep, rules: &[TrendRule]) -> Vec<String> {
                             "{scenario}/{{{params}}}: {metric} under {faster} ({f:.4}) \
                              exceeds {factor:.2}x {slower} ({s:.4})"
                         ));
+                    }
+                }
+            }
+            TrendRule::AtLeast {
+                scenario,
+                metric,
+                approach,
+                floor,
+            } => {
+                for params in params_points(sweep, scenario, approach) {
+                    if let Some(v) = mean_of(sweep, scenario, approach, params, metric) {
+                        if v < *floor {
+                            failures.push(format!(
+                                "{scenario}/{{{params}}}: {metric} under {approach} \
+                                 ({v:.4}) below floor {floor:.2}"
+                            ));
+                        }
+                    }
+                }
+            }
+            TrendRule::AtMost {
+                scenario,
+                metric,
+                approach,
+                ceiling,
+            } => {
+                for params in params_points(sweep, scenario, approach) {
+                    if let Some(v) = mean_of(sweep, scenario, approach, params, metric) {
+                        if v > *ceiling {
+                            failures.push(format!(
+                                "{scenario}/{{{params}}}: {metric} under {approach} \
+                                 ({v:.4}) exceeds ceiling {ceiling:.2}"
+                            ));
+                        }
                     }
                 }
             }
@@ -284,6 +373,61 @@ mod tests {
     fn rules_for_absent_scenarios_are_skipped() {
         let unrelated = sweep_of(&[("udp_tcp_share", "aq", "h=1", "jain_goodput", 0.99)]);
         assert!(check_trends(&unrelated, DEFAULT_RULES).is_empty());
+    }
+
+    #[test]
+    fn absolute_floor_and_ceiling_rules_fire_on_fault_scenarios() {
+        let good = sweep_of(&[
+            (
+                "linkflap_dumbbell",
+                "aq",
+                "flaps=2",
+                "postfault_goodput_ratio",
+                0.95,
+            ),
+            ("linkflap_dumbbell", "aq", "flaps=2", "jain_goodput", 0.97),
+            (
+                "aq_state_loss",
+                "aq",
+                "wipe_at_ms=10",
+                "reconverge_ms_max",
+                3.0,
+            ),
+            (
+                "aq_state_loss",
+                "aq",
+                "wipe_at_ms=10",
+                "postfault_goodput_ratio",
+                1.02,
+            ),
+        ]);
+        assert!(check_trends(&good, DEFAULT_RULES).is_empty());
+
+        let bad = sweep_of(&[
+            (
+                "linkflap_dumbbell",
+                "aq",
+                "flaps=2",
+                "postfault_goodput_ratio",
+                0.2,
+            ),
+            (
+                "aq_state_loss",
+                "aq",
+                "wipe_at_ms=10",
+                "reconverge_ms_max",
+                500.0,
+            ),
+        ]);
+        let failures = check_trends(&bad, DEFAULT_RULES);
+        assert!(
+            failures.iter().any(|f| f.contains("below floor")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("exceeds ceiling")),
+            "{failures:?}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use aq_bench::Approach;
 use aq_harness::agg::Sweep;
 use aq_harness::diff::{diff_sweeps, Tolerances};
 use aq_harness::drill::drill_down;
-use aq_harness::sweep::{expand, run_points, SweepAxis, SweepSpec};
+use aq_harness::sweep::{expand, run_points, FailureKind, SweepAxis, SweepSpec};
 use aq_workloads::registry::Params;
 use std::path::{Path, PathBuf};
 
@@ -37,14 +37,21 @@ fn scratch_dir(name: &str) -> PathBuf {
     dir
 }
 
-fn run_into(dir: &Path, jobs: usize) -> Sweep {
-    let spec = tiny_spec();
-    let points = expand(&spec).expect("expands");
-    let outcome = run_points(&points, jobs, Some(dir)).expect("runs");
-    assert!(outcome.failures.is_empty(), "tiny spec runs cleanly");
+fn run_spec_into(spec: &SweepSpec, dir: &Path, jobs: usize) -> Sweep {
+    let points = expand(spec).expect("expands");
+    let outcome = run_points(&points, jobs, None, Some(dir)).expect("runs");
+    assert!(
+        outcome.failures.is_empty(),
+        "spec must run cleanly: {:?}",
+        outcome.failures
+    );
     let sweep = Sweep::from_runs(&spec.name, outcome.metrics);
     sweep.write_to(dir).expect("writes artifacts");
     sweep
+}
+
+fn run_into(dir: &Path, jobs: usize) -> Sweep {
+    run_spec_into(&tiny_spec(), dir, jobs)
 }
 
 #[test]
@@ -181,7 +188,7 @@ fn new_scenarios_execute_through_the_sweep_path() {
         ],
     };
     let points = expand(&spec).expect("expands");
-    let outcome = run_points(&points, 2, None).expect("runs");
+    let outcome = run_points(&points, 2, None, None).expect("runs");
     assert!(
         outcome.failures.is_empty(),
         "new scenarios must run cleanly: {:?}",
@@ -195,6 +202,131 @@ fn new_scenarios_execute_through_the_sweep_path() {
         );
         assert!(metrics["jain_goodput"] > 0.0, "{key} has no fairness index");
     }
+}
+
+/// The two fault-injection scenarios at small horizons: link flaps (with
+/// residual loss and a sender blackout, so every fault kind is exercised)
+/// and an AQ table wipe.
+fn fault_spec() -> SweepSpec {
+    SweepSpec {
+        name: "faults".to_string(),
+        axes: vec![
+            SweepAxis {
+                scenario: "linkflap_dumbbell".to_string(),
+                approaches: vec![Approach::Aq],
+                grid: vec![Params::parse("horizon_ms=30,loss_pct=1,blackout_ms=4").expect("grid")],
+                seeds: vec![1, 2],
+            },
+            SweepAxis {
+                scenario: "aq_state_loss".to_string(),
+                approaches: vec![Approach::Aq],
+                grid: vec![Params::parse("horizon_ms=25").expect("grid")],
+                seeds: vec![1, 2],
+            },
+        ],
+    }
+}
+
+#[test]
+fn fault_scenarios_are_schedule_independent_and_carry_fault_metrics() {
+    let serial_dir = scratch_dir("fault_serial");
+    let wide_dir = scratch_dir("fault_wide");
+    let spec = fault_spec();
+    let serial = run_spec_into(&spec, &serial_dir, 1);
+    run_spec_into(&spec, &wide_dir, 4);
+
+    // Same seed + same fault plan => byte-identical artifacts regardless
+    // of scheduling, per-run reports included.
+    for artifact in ["sweep.json", "sweep.csv"] {
+        let a = std::fs::read(serial_dir.join(artifact)).expect("serial artifact");
+        let b = std::fs::read(wide_dir.join(artifact)).expect("wide artifact");
+        assert_eq!(a, b, "{artifact} differs between --jobs 1 and --jobs 4");
+    }
+    for entry in std::fs::read_dir(serial_dir.join("runs")).expect("runs dir") {
+        let run = entry.expect("dir entry").file_name();
+        let a = std::fs::read(serial_dir.join("runs").join(&run).join("report.json"))
+            .expect("serial report");
+        let b = std::fs::read(wide_dir.join("runs").join(&run).join("report.json"))
+            .expect("wide report");
+        assert_eq!(a, b, "runs/{run:?}/report.json differs across job counts");
+    }
+
+    // Every fault run distills the fault metric surface.
+    for (key, metrics) in &serial.runs {
+        assert!(
+            metrics["faults_injected"] >= 1.0,
+            "{key} recorded no injected faults"
+        );
+        assert!(
+            metrics.contains_key("goodput_prefault_gbps")
+                && metrics.contains_key("goodput_postfault_gbps")
+                && metrics.contains_key("postfault_goodput_ratio"),
+            "{key} missing pre/post-fault goodput split: {metrics:?}"
+        );
+        match key.scenario.as_str() {
+            "linkflap_dumbbell" => {
+                assert!(
+                    metrics["link_down_drops"] >= 1.0,
+                    "{key}: a flap train must drop in-flight packets"
+                );
+                assert!(
+                    metrics["pause_drops"] >= 1.0,
+                    "{key}: the sender blackout must drop paused traffic"
+                );
+            }
+            "aq_state_loss" => {
+                assert!(metrics["wipes_total"] >= 1.0, "{key}: no AQ wipes recorded");
+                let reconverge = metrics["reconverge_ms_max"];
+                assert!(
+                    reconverge > 0.0 && reconverge < 15.0,
+                    "{key}: wiped AQs must re-converge within the run, got {reconverge}ms"
+                );
+            }
+            other => panic!("unexpected scenario {other}"),
+        }
+    }
+}
+
+#[test]
+fn an_overdue_run_times_out_while_the_rest_of_the_grid_completes() {
+    // One run with a deliberately enormous horizon (minutes of simulated
+    // time — far beyond the wall-clock budget) next to a quick run: the
+    // slow run must land in failures as a `timeout`, the quick one must
+    // still produce metrics, and the rendered sweep.json must carry the
+    // distinct kind.
+    let spec = SweepSpec {
+        name: "overdue".to_string(),
+        axes: vec![SweepAxis {
+            scenario: "fairness_flows".to_string(),
+            approaches: vec![Approach::Aq],
+            grid: vec![
+                Params::parse("b_flows=1,horizon_ms=4").expect("grid"),
+                Params::parse("b_flows=1,horizon_ms=600000").expect("grid"),
+            ],
+            seeds: vec![1],
+        }],
+    };
+    let points = expand(&spec).expect("expands");
+    let outcome =
+        run_points(&points, 2, Some(std::time::Duration::from_secs(2)), None).expect("runs");
+    assert_eq!(outcome.metrics.len(), 1, "the quick run must complete");
+    assert_eq!(outcome.failures.len(), 1, "the slow run must fail");
+    let (key, failure) = outcome.failures.iter().next().expect("one failure");
+    assert!(key.params.contains("horizon_ms=600000"));
+    assert_eq!(failure.kind, FailureKind::Timeout);
+    assert!(failure.message.contains("wall-clock budget"));
+
+    let sweep = Sweep::from_runs(&spec.name, outcome.metrics).with_failures(outcome.failures);
+    let rendered = sweep.render_json();
+    assert!(
+        rendered.contains("\"kind\": \"timeout\""),
+        "sweep.json must tag the timeout kind: {rendered}"
+    );
+    let parsed = Sweep::parse_json(&rendered).expect("parses");
+    assert_eq!(
+        parsed.failures.values().next().expect("failure").kind,
+        FailureKind::Timeout
+    );
 }
 
 #[test]

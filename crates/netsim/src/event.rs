@@ -4,7 +4,7 @@
 //! order of insertion; ties in time therefore resolve in FIFO order and a
 //! run is exactly reproducible given the same inputs and seed.
 
-use crate::ids::{AgentId, NodeId, PortId};
+use crate::ids::{AgentId, LinkId, NodeId, PortId};
 use crate::packet::Packet;
 use crate::time::Time;
 use std::cmp::Ordering;
@@ -19,6 +19,12 @@ pub enum EventKind {
         node: NodeId,
         /// The arriving packet.
         packet: Packet,
+        /// The link the packet propagated over.
+        link: LinkId,
+        /// The link's down-transition epoch captured when the packet was
+        /// launched; a mismatch at arrival means the wire died under the
+        /// packet and it is lost (`DropCause::LinkDown`).
+        launch_downs: u64,
     },
     /// The transmitter of `port` finishes serializing its current packet.
     TxComplete {
@@ -45,6 +51,12 @@ pub enum EventKind {
         agent: AgentId,
         /// Opaque token chosen by the agent when arming.
         token: u64,
+    },
+    /// A scheduled fault from the installed
+    /// [`FaultPlan`](crate::fault::FaultPlan) fires.
+    Fault {
+        /// Index of the fault in the plan's event list.
+        index: usize,
     },
 }
 

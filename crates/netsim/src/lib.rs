@@ -7,6 +7,9 @@
 //!
 //! * [`time`] — integer nanosecond clocks and exact bit-rate arithmetic;
 //! * [`event`] — the `(time, insertion-order)` event queue;
+//! * [`fault`] — the deterministic fault-injection layer ([`FaultPlan`]:
+//!   link down/up and flap trains, stochastic corruption, switch state
+//!   wipes, host blackouts);
 //! * [`packet`] — packets with transport, ECN, and AQ header fields;
 //! * [`queue`] — the physical FIFO queue (taildrop + ECN threshold) and the
 //!   [`queue::QueueDiscipline`] trait alternative disciplines implement;
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod invariant;
 pub mod link;
@@ -49,6 +53,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use fault::{AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultTotals};
 pub use ids::{AgentId, EntityId, FlowId, LinkId, NodeId, PortId};
 pub use node::{HostApp, HostCtx, PipelineVerdict, SwitchPipeline};
 pub use packet::{AqTag, Ecn, Packet, TransportHeader, ACK_BYTES, HEADER_BYTES, MSS};

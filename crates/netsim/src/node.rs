@@ -43,6 +43,14 @@ pub trait SwitchPipeline {
         backlog_bytes: u64,
     ) -> PipelineVerdict;
 
+    /// Fault hook: the switch lost its data-plane state at `now` (e.g. a
+    /// reboot injected by a [`FaultPlan`](crate::fault::FaultPlan)).
+    /// Implementations must discard dynamic per-entity state and rebuild
+    /// it from subsequent arrivals; configuration (deployed by the control
+    /// plane) may be retained. The default is a no-op — a stateless
+    /// pipeline has nothing to lose.
+    fn on_fault_reset(&mut self, _now: Time) {}
+
     /// Downcast hook so the control plane can reconfigure a deployed
     /// pipeline (e.g. update AQ rates) through the trait object.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;

@@ -38,6 +38,10 @@ pub struct Port {
     pub queue: Box<dyn QueueDiscipline>,
     /// Packet currently being serialized, if any.
     pub in_flight: Option<Packet>,
+    /// Link down-transition epoch captured when the in-flight packet
+    /// started serializing; if the link's epoch differs at `TxComplete`,
+    /// the wire died mid-serialization and the packet is lost.
+    pub launch_downs: u64,
     /// A `PortWake` event is pending for this time; used to suppress
     /// duplicate wake events for shaped queues.
     pub wake_at: Option<Time>,
@@ -54,6 +58,7 @@ impl Port {
             link,
             queue,
             in_flight: None,
+            launch_downs: 0,
             wake_at: None,
             stats: PortCounters::default(),
         }

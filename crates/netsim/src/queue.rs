@@ -33,6 +33,15 @@ pub enum DropCause {
     /// Never produced by a [`QueueDiscipline`]; only used for stats
     /// attribution.
     AqLimit,
+    /// Lost on the wire because the link went down while the packet was
+    /// serializing or propagating (fault injection). Never produced by a
+    /// [`QueueDiscipline`]; the bytes already left the queue, so this
+    /// cause is attribution-only in the port byte identity.
+    LinkDown,
+    /// Lost to stochastic corruption on a faulted link. Like
+    /// [`DropCause::LinkDown`], attribution-only: the bytes already left
+    /// the queue.
+    Corrupt,
 }
 
 /// Outcome of offering a packet to a queue discipline.

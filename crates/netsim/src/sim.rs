@@ -18,12 +18,15 @@
 //!    hands the packet to the app.
 
 use crate::event::{EventKind, EventQueue};
-use crate::ids::{AgentId, NodeId, PortId};
+use crate::fault::{
+    AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultState, FaultTotals, LossProcess,
+};
+use crate::ids::{AgentId, LinkId, NodeId, PortId};
 use crate::link::Link;
 use crate::node::{HostApp, HostCtx, Node, NodeKind, PipelineVerdict};
 use crate::packet::{Packet, TransportHeader};
 use crate::port::Port;
-use crate::queue::Enqueued;
+use crate::queue::{DropCause, Enqueued};
 use crate::stats::StatsHub;
 use crate::time::{Duration, Time};
 use rand::rngs::SmallRng;
@@ -201,6 +204,9 @@ pub struct Simulator {
     jitter_ns: u64,
     /// Per-link monotonic arrival clamp so jitter never reorders a link.
     last_arrival: Vec<Time>,
+    /// Installed fault plan plus runtime link/host health (see
+    /// [`crate::fault`]).
+    faults: FaultState,
 }
 
 impl Simulator {
@@ -219,6 +225,7 @@ impl Simulator {
     /// link, so runs stay exactly reproducible.
     pub fn new(net: Network) -> Simulator {
         let links = net.links.len();
+        let nodes = net.nodes.len();
         Simulator {
             now: Time::ZERO,
             net,
@@ -231,7 +238,42 @@ impl Simulator {
             rng: SmallRng::seed_from_u64(0x5176_u64),
             jitter_ns: 800,
             last_arrival: vec![Time::ZERO; links],
+            faults: FaultState::new(links, nodes),
         }
+    }
+
+    /// Install a fault plan; its events are scheduled when the simulation
+    /// starts. Replaces any previously installed plan.
+    ///
+    /// # Panics
+    /// Panics if the simulation has already started (faults are part of a
+    /// run's static inputs, like topology and seeds).
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started,
+            "install_faults must be called before the simulation starts"
+        );
+        self.faults.plan = plan;
+    }
+
+    /// The faults applied so far, in firing order.
+    pub fn fault_log(&self) -> &[AppliedFault] {
+        &self.faults.log
+    }
+
+    /// Run-wide totals of fault-caused packet loss, by cause.
+    pub fn fault_totals(&self) -> &FaultTotals {
+        &self.faults.totals
+    }
+
+    /// Whether `link` is currently up (always true without link faults).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.faults.link_up[link.index()]
+    }
+
+    /// Whether `node` is currently blacked out by a host-pause fault.
+    pub fn host_is_paused(&self, node: NodeId) -> bool {
+        self.faults.paused[node.index()]
     }
 
     /// Current simulation time.
@@ -264,6 +306,12 @@ impl Simulator {
             return;
         }
         self.started = true;
+        // Fault events first: they get the lowest sequence numbers, so a
+        // fault scheduled at the same instant as later-inserted packet
+        // events fires in a fixed, reproducible order.
+        for (index, ev) in self.faults.plan.events.iter().enumerate() {
+            self.events.push(ev.at, EventKind::Fault { index });
+        }
         // Host apps first, in node order, then agents — all at time zero.
         for n in 0..self.net.nodes.len() {
             let node = NodeId::from(n);
@@ -335,7 +383,13 @@ impl Simulator {
 
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
-            EventKind::Arrive { node, packet } => self.on_arrive(node, packet),
+            EventKind::Arrive {
+                node,
+                packet,
+                link,
+                launch_downs,
+            } => self.on_arrive(node, packet, link, launch_downs),
+            EventKind::Fault { index } => self.apply_fault(index),
             EventKind::TxComplete { port } => self.on_tx_complete(port),
             EventKind::PortWake { port } => {
                 let p = &mut self.net.ports[port.index()];
@@ -389,8 +443,101 @@ impl Simulator {
         }
     }
 
+    /// Apply the fault at `index` of the installed plan (see
+    /// [`crate::fault`] for semantics of each kind).
+    fn apply_fault(&mut self, index: usize) {
+        let FaultEvent { kind, .. } = self.faults.plan.events[index];
+        match kind {
+            FaultKind::LinkDown { link } => {
+                let l = link.index();
+                if self.faults.link_up[l] {
+                    self.faults.link_up[l] = false;
+                    // Bump the epoch: packets launched before this instant
+                    // carry the old value and die at their next checkpoint.
+                    self.faults.link_downs[l] += 1;
+                }
+            }
+            FaultKind::LinkUp { link } => {
+                let l = link.index();
+                if !self.faults.link_up[l] {
+                    self.faults.link_up[l] = true;
+                    // The feeding port held its queue while down; resume.
+                    let port = self.net.links[l].from_port;
+                    self.try_transmit(port);
+                }
+            }
+            FaultKind::LossStart { link, loss_ppm } => {
+                // Each loss fault owns a stream derived from (plan seed,
+                // fault index) — independent of the traffic/jitter RNGs.
+                let seed = self.faults.plan.stream_seed(index);
+                self.faults.loss[link.index()] = Some(LossProcess::new(seed, loss_ppm));
+            }
+            FaultKind::LossStop { link } => self.faults.loss[link.index()] = None,
+            FaultKind::AqReset { node } => {
+                if let NodeKind::Switch { pipelines, .. } = &mut self.net.nodes[node.index()].kind {
+                    for pipe in pipelines.iter_mut() {
+                        pipe.on_fault_reset(self.now);
+                    }
+                }
+            }
+            FaultKind::HostPause { node } => self.faults.paused[node.index()] = true,
+            FaultKind::HostResume { node } => self.faults.paused[node.index()] = false,
+        }
+        self.faults.log.push(AppliedFault {
+            at: self.now,
+            kind: kind.label(),
+            target: kind.target(),
+        });
+        self.faults.totals.injected += 1;
+    }
+
+    /// Account a packet lost on `link`'s wire (fault injection),
+    /// attributed to the feeding port. `cut` marks a frame cut
+    /// mid-serialization (it never finished transmitting, so its bytes
+    /// close the port's wire boundary); a post-serialization loss is
+    /// already inside `tx_bytes` and moves only the cause counters.
+    fn wire_drop(&mut self, link: LinkId, pkt: Packet, cause: DropCause, cut: bool) {
+        let bytes = pkt.size as u64;
+        match cause {
+            DropCause::LinkDown => {
+                self.faults.totals.link_down_drops += 1;
+                self.faults.totals.link_down_dropped_bytes += bytes;
+            }
+            DropCause::Corrupt => {
+                self.faults.totals.corrupt_drops += 1;
+                self.faults.totals.corrupt_dropped_bytes += bytes;
+            }
+            _ => unreachable!("wire drops are LinkDown or Corrupt"),
+        }
+        let port = self.net.links[link.index()].from_port;
+        let node = self.net.ports[port.index()].node;
+        self.stats.on_wire_drop(node, port, bytes, cause, cut);
+        self.stats.on_drop(pkt.entity);
+    }
+
+    /// Account a packet dying at the dead NIC of a blacked-out host.
+    fn pause_drop(&mut self, pkt: &Packet) {
+        self.faults.totals.pause_drops += 1;
+        self.faults.totals.pause_dropped_bytes += pkt.size as u64;
+        self.stats.on_drop(pkt.entity);
+    }
+
     /// Route a packet out of `node` and offer it to the uplink port.
     fn inject(&mut self, node: NodeId, mut pkt: Packet) {
+        // Count the injection before any fault can eat the packet, so
+        // per-entity conservation (`tx == delivered + drops + residue`)
+        // holds under blackouts too.
+        let counts = matches!(
+            pkt.transport,
+            TransportHeader::Data { .. } | TransportHeader::Datagram
+        );
+        if counts {
+            self.stats.on_inject(pkt.entity, pkt.payload() as u64);
+        }
+        if self.faults.paused[node.index()] {
+            self.pause_drop(&pkt);
+            return;
+        }
         pkt.uid = self.next_uid;
         self.next_uid += 1;
         let Some(port) = self.net.route(node, pkt.dst, pkt.flow) else {
@@ -427,6 +574,11 @@ impl Simulator {
         if p.busy() {
             return;
         }
+        let lidx = p.link.index();
+        if !self.faults.link_up[lidx] {
+            // Dead link: hold the queue; the LinkUp fault resumes draining.
+            return;
+        }
         match p.queue.ready_at(now) {
             None => {}
             Some(t) if t <= now => {
@@ -437,9 +589,12 @@ impl Simulator {
                 let bytes = pkt.size as u64;
                 let backlog = p.queue.backlog_bytes();
                 let node = p.node;
-                let link = &self.net.links[p.link.index()];
+                let link = &self.net.links[lidx];
                 let dur = link.rate.transmit_time(bytes);
                 p.in_flight = Some(pkt);
+                // Launches only happen on up links, so this is the epoch
+                // of the current up period.
+                p.launch_downs = self.faults.link_downs[lidx];
                 self.stats.on_port_dequeue(now, node, port, bytes, backlog);
                 self.events.push(now + dur, EventKind::TxComplete { port });
             }
@@ -456,12 +611,21 @@ impl Simulator {
     fn on_tx_complete(&mut self, port: PortId) {
         let p = &mut self.net.ports[port.index()];
         let pkt = p.in_flight.take().expect("TxComplete on idle port");
+        let link_id = p.link;
+        let lidx = link_id.index();
+        let launch_downs = p.launch_downs;
+        if !self.faults.link_up[lidx] || self.faults.link_downs[lidx] != launch_downs {
+            // The wire died mid-serialization: the frame was cut and never
+            // reaches the peer (no tx counters — nothing made it out).
+            self.wire_drop(link_id, pkt, DropCause::LinkDown, true);
+            self.try_transmit(port);
+            return;
+        }
         p.stats.tx_pkts += 1;
         p.stats.tx_bytes += pkt.size as u64;
         self.stats.on_port_tx(p.node, port, pkt.size as u64);
-        let link = &self.net.links[p.link.index()];
+        let link = &self.net.links[lidx];
         let to = link.to_node;
-        let lidx = p.link.index();
         let jitter = if self.jitter_ns > 0 {
             Duration::from_nanos(self.rng.gen_range(0..=self.jitter_ns))
         } else {
@@ -475,15 +639,40 @@ impl Simulator {
             EventKind::Arrive {
                 node: to,
                 packet: pkt,
+                link: link_id,
+                launch_downs,
             },
         );
         self.try_transmit(port);
     }
 
-    fn on_arrive(&mut self, node: NodeId, pkt: Packet) {
+    fn on_arrive(&mut self, node: NodeId, pkt: Packet, link: LinkId, launch_downs: u64) {
+        let lidx = link.index();
+        // Wire death during propagation: any down transition since launch
+        // (even if the link is back up by now) loses the packet.
+        if self.faults.link_downs[lidx] != launch_downs {
+            self.wire_drop(link, pkt, DropCause::LinkDown, false);
+            return;
+        }
+        // Stochastic corruption on a faulted link, drawn from the fault's
+        // own seeded stream.
+        let corrupted = match self.faults.loss[lidx].as_mut() {
+            Some(loss) => loss.corrupts(),
+            None => false,
+        };
+        if corrupted {
+            self.wire_drop(link, pkt, DropCause::Corrupt, false);
+            return;
+        }
         match &self.net.nodes[node.index()].kind {
             NodeKind::Host { .. } => {
                 debug_assert_eq!(pkt.dst, node, "packet routed to wrong host");
+                if self.faults.paused[node.index()] {
+                    // Blacked-out receiver: the packet dies at the NIC,
+                    // before delivery accounting and the app callback.
+                    self.pause_drop(&pkt);
+                    return;
+                }
                 let counts = matches!(
                     pkt.transport,
                     TransportHeader::Data { .. } | TransportHeader::Datagram

@@ -221,6 +221,14 @@ impl std::fmt::Debug for DelayRecorder {
 /// Per-entity measurements.
 #[derive(Debug, Clone)]
 pub struct EntityStats {
+    /// Data/datagram packets injected by the entity's sending hosts
+    /// (counting retransmissions; ACKs are excluded). Together with
+    /// [`drops`](EntityStats::drops) this closes the per-entity
+    /// conservation sum for one-way traffic:
+    /// `tx_pkts == delivered + drops + in-network residue`.
+    pub tx_pkts: u64,
+    /// Payload bytes of [`tx_pkts`](EntityStats::tx_pkts).
+    pub tx_bytes: u64,
     /// Payload bytes delivered to destination hosts.
     pub rx_bytes: u64,
     /// Delivered payload as a windowed throughput series.
@@ -240,6 +248,8 @@ pub struct EntityStats {
 impl EntityStats {
     fn new(window: Duration) -> EntityStats {
         EntityStats {
+            tx_pkts: 0,
+            tx_bytes: 0,
             rx_bytes: 0,
             rx_series: WindowedCounter::new(window),
             pq_delay: DelayRecorder::default(),
@@ -289,6 +299,25 @@ pub struct PortStats {
     /// port's queue. Attribution only — these bytes never enter the
     /// discipline, so they are **not** part of the byte identity above.
     pub aq_drops: u64,
+    /// Packets lost on this port's wire because the link died while they
+    /// were serializing or propagating (fault injection). Attribution
+    /// only — the bytes already left the queue (they are counted in
+    /// `dequeued_bytes`), so they are **not** part of the byte identity.
+    pub link_drops: u64,
+    /// Packets lost to stochastic corruption on this port's wire (fault
+    /// injection). Attribution only, like
+    /// [`link_drops`](PortStats::link_drops).
+    pub corrupt_drops: u64,
+    /// Wire bytes of frames cut mid-serialization by link death — the
+    /// only post-queue bytes that never reach
+    /// [`tx_pkts`](PortStats::tx_pkts)' byte counter; with them,
+    /// `dequeued_bytes == tx_bytes + wire_dropped_bytes + serializing`
+    /// closes the post-queue wire boundary. Packets lost *after* full
+    /// serialization (propagation death, corruption) are already inside
+    /// `tx_bytes` and move only [`link_drops`](PortStats::link_drops) /
+    /// [`corrupt_drops`](PortStats::corrupt_drops) here (byte totals for
+    /// them live in [`crate::fault::FaultTotals`]).
+    pub wire_dropped_bytes: u64,
     /// Cumulative CE marks applied by the discipline.
     pub ecn_marks: u64,
     /// Windowed queue-occupancy series: per-window *peak* backlog in bytes
@@ -310,6 +339,9 @@ impl PortStats {
             red_drops: 0,
             shaper_drops: 0,
             aq_drops: 0,
+            link_drops: 0,
+            corrupt_drops: 0,
+            wire_dropped_bytes: 0,
             ecn_marks: 0,
             occupancy: WindowedCounter::new(window),
         }
@@ -381,6 +413,12 @@ pub struct AqSummary {
     pub max_gap_bytes: u64,
     /// Mean A-Gap (bytes) over forwarded packets; 0.0 when no samples.
     pub mean_gap_bytes: f64,
+    /// Times this AQ's dynamic state was wiped by an injected fault.
+    pub wipes: u64,
+    /// Nanoseconds from the latest wipe to re-convergence (rebuilt gap
+    /// back at its pre-wipe operating point): 0 when never wiped,
+    /// `u64::MAX` while still rebuilding.
+    pub reconverge_ns: u64,
 }
 
 /// Lifecycle of one registered flow.
@@ -544,24 +582,71 @@ impl StatsHub {
         ps.occupancy.record_max(now, backlog);
     }
 
-    /// Called by the simulator when a discipline rejects a packet. Offered
-    /// bytes are still counted into `enqueued_bytes` (mirroring the FIFO
-    /// counters) so the conservation identity holds.
+    /// Called by the simulator when a packet of `entity` is injected by a
+    /// sending host app (data/datagram only; `payload` is payload bytes).
+    pub fn on_inject(&mut self, entity: EntityId, payload: u64) {
+        let es = self.entity_mut(entity);
+        es.tx_pkts += 1;
+        es.tx_bytes += payload;
+    }
+
+    /// Called by the simulator when a packet is dropped at (or past) a
+    /// port. Queue-boundary causes count their offered bytes into
+    /// `enqueued_bytes` (mirroring the FIFO counters) so the conservation
+    /// identity holds; AQ-pipeline drops are attribution-only because
+    /// their bytes never entered the queue. Wire deaths are fed through
+    /// [`on_wire_drop`](StatsHub::on_wire_drop) instead.
     pub fn on_port_queue_drop(&mut self, node: NodeId, port: PortId, bytes: u64, cause: DropCause) {
         let ps = self.port_mut(node, port);
-        // Pipeline drops never traverse the queue; they are attributed
-        // through `on_port_aq_drop` and do not enter the byte identity.
-        if cause == DropCause::AqLimit {
-            ps.aq_drops += 1;
-            return;
-        }
-        ps.enqueued_bytes += bytes;
-        ps.dropped_bytes += bytes;
         match cause {
-            DropCause::Taildrop => ps.taildrops += 1,
-            DropCause::RedNonEct => ps.red_drops += 1,
-            DropCause::Shaper => ps.shaper_drops += 1,
-            DropCause::AqLimit => unreachable!(),
+            // Pipeline drops never traverse the queue; they are attributed
+            // through `on_port_aq_drop` and do not enter the byte identity.
+            DropCause::AqLimit => ps.aq_drops += 1,
+            DropCause::LinkDown | DropCause::Corrupt => {
+                unreachable!("wire deaths are fed through on_wire_drop")
+            }
+            DropCause::Taildrop => {
+                ps.enqueued_bytes += bytes;
+                ps.dropped_bytes += bytes;
+                ps.taildrops += 1;
+            }
+            DropCause::RedNonEct => {
+                ps.enqueued_bytes += bytes;
+                ps.dropped_bytes += bytes;
+                ps.red_drops += 1;
+            }
+            DropCause::Shaper => {
+                ps.enqueued_bytes += bytes;
+                ps.dropped_bytes += bytes;
+                ps.shaper_drops += 1;
+            }
+        }
+    }
+
+    /// Called by the simulator when a packet dies on a port's wire (link
+    /// death or stochastic corruption). `cut` marks a frame cut
+    /// mid-serialization: its bytes left the queue but never finished
+    /// transmitting, so they enter
+    /// [`wire_dropped_bytes`](PortStats::wire_dropped_bytes) to close the
+    /// wire boundary. A packet lost *after* full serialization
+    /// (propagation death, corruption) is already counted in `tx_bytes`,
+    /// so only its cause counter moves.
+    pub fn on_wire_drop(
+        &mut self,
+        node: NodeId,
+        port: PortId,
+        bytes: u64,
+        cause: DropCause,
+        cut: bool,
+    ) {
+        let ps = self.port_mut(node, port);
+        match cause {
+            DropCause::LinkDown => ps.link_drops += 1,
+            DropCause::Corrupt => ps.corrupt_drops += 1,
+            _ => unreachable!("wire drops are LinkDown or Corrupt"),
+        }
+        if cut {
+            ps.wire_dropped_bytes += bytes;
         }
     }
 
@@ -854,8 +939,14 @@ mod tests {
         s.on_port_queue_drop(n, p, 1000, DropCause::Taildrop);
         s.on_port_dequeue(Time::from_millis(3), n, p, 1000, 1000);
         s.on_port_tx(n, p, 1000);
-        // AQ-limit drops are attribution-only and must not disturb bytes.
+        // AQ-limit and wire (fault) drops are attribution-only and must
+        // not disturb the queue byte identity. Only a frame cut
+        // mid-serialization contributes its bytes to the wire boundary; a
+        // post-serialization death is already inside tx_bytes.
         s.on_port_queue_drop(n, p, 1000, DropCause::AqLimit);
+        s.on_wire_drop(n, p, 900, DropCause::LinkDown, true);
+        s.on_wire_drop(n, p, 850, DropCause::LinkDown, false);
+        s.on_wire_drop(n, p, 800, DropCause::Corrupt, false);
         let ps = s.port(p).unwrap();
         assert!(ps.conserves());
         assert_eq!(ps.enqueued_bytes, 3000);
@@ -864,6 +955,9 @@ mod tests {
         assert_eq!(ps.resident_bytes, 1000);
         assert_eq!(ps.taildrops, 1);
         assert_eq!(ps.aq_drops, 1);
+        assert_eq!(ps.link_drops, 2);
+        assert_eq!(ps.corrupt_drops, 1);
+        assert_eq!(ps.wire_dropped_bytes, 900);
         assert_eq!(ps.queue_drops(), 1);
         assert_eq!(ps.ecn_marks, 1);
         assert_eq!(ps.tx_pkts, 1);
@@ -884,6 +978,8 @@ mod tests {
             gap_samples: 10,
             max_gap_bytes: 3_000,
             mean_gap_bytes: 1_500.0,
+            wipes: 0,
+            reconverge_ns: 0,
         };
         s.record_aq_summary(mk(1));
         s.record_aq_summary(mk(2));

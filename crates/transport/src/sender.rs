@@ -27,6 +27,12 @@ const DUPACK_THRESHOLD: u64 = 3;
 const MIN_RTO: Duration = Duration::from_millis(1);
 /// Upper bound on the retransmission timeout.
 const MAX_RTO: Duration = Duration::from_millis(200);
+/// Cap on the exponential RTO backoff: consecutive timeouts double the
+/// timeout up to `2^MAX_RTO_BACKOFF` times the base value (and the result
+/// is always clamped to [`MAX_RTO`]). Further timeouts hold the cap
+/// instead of widening the shift — a sender sitting through a long
+/// blackout must keep probing, not go silent for an unbounded interval.
+const MAX_RTO_BACKOFF: u32 = 6;
 
 /// Sender-side state of one reliable flow.
 pub struct SenderFlow {
@@ -45,6 +51,11 @@ pub struct SenderFlow {
     sacked: BTreeSet<u64>,
     /// Marked lost, awaiting retransmission.
     lost: BTreeSet<u64>,
+    /// Sequences that have been retransmitted at least once and are not
+    /// yet cumulatively acknowledged. An ACK covering one of these is
+    /// ambiguous — it may answer any copy — so it yields no RTT sample
+    /// (Karn's rule).
+    retransmitted: BTreeSet<u64>,
     /// Highest SACKed sequence (FACK edge), if any.
     highest_sacked: Option<u64>,
     /// Fast-recovery end point: one cc reduction per window of loss.
@@ -91,6 +102,7 @@ impl SenderFlow {
             in_flight: BTreeMap::new(),
             sacked: BTreeSet::new(),
             lost: BTreeSet::new(),
+            retransmitted: BTreeSet::new(),
             highest_sacked: None,
             recovery_point: None,
             force_retransmit: false,
@@ -145,7 +157,7 @@ impl SenderFlow {
         } else {
             MIN_RTO
         };
-        let backed = base.saturating_mul(1u64 << self.rto_backoff.min(6));
+        let backed = base.saturating_mul(1u64 << self.rto_backoff.min(MAX_RTO_BACKOFF));
         backed.clamp(MIN_RTO, MAX_RTO)
     }
 
@@ -185,6 +197,7 @@ impl SenderFlow {
                 let pkt = self.build_segment(seq, ctx.now);
                 ctx.send(pkt);
                 self.in_flight.insert(seq, ctx.now);
+                self.retransmitted.insert(seq);
                 self.segments_sent += 1;
                 self.retransmissions += 1;
             }
@@ -195,6 +208,7 @@ impl SenderFlow {
                 let pkt = self.build_segment(seq, ctx.now);
                 ctx.send(pkt);
                 self.in_flight.insert(seq, ctx.now);
+                self.retransmitted.insert(seq);
                 self.segments_sent += 1;
                 self.retransmissions += 1;
                 continue;
@@ -267,7 +281,7 @@ impl SenderFlow {
                 break;
             }
         }
-        for set in [&mut self.sacked, &mut self.lost] {
+        for set in [&mut self.sacked, &mut self.lost, &mut self.retransmitted] {
             while let Some(&s) = set.iter().next() {
                 if s < cum {
                     set.remove(&s);
@@ -295,10 +309,14 @@ impl SenderFlow {
             return;
         }
         let now = ctx.now;
-        // RTT sample from the echoed per-packet timestamp (valid even for
-        // retransmissions, since the echo is of the copy that arrived).
+        // RTT sample from the echoed per-packet timestamp. Karn's rule: a
+        // segment that was ever retransmitted yields no sample — the echo
+        // cannot be trusted to identify which copy it answers, and a late
+        // original arriving after the retransmission would inflate srtt
+        // right when the timer most needs to stay honest.
         let rtt = now - ts_echo;
-        if rtt > Duration::ZERO {
+        let karn_ambiguous = self.retransmitted.contains(&this_seq);
+        if rtt > Duration::ZERO && !karn_ambiguous {
             self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
             if self.srtt_ns <= 0.0 {
                 self.srtt_ns = rtt.as_nanos() as f64;
@@ -363,7 +381,7 @@ impl SenderFlow {
             return;
         }
         self.timeouts += 1;
-        self.rto_backoff += 1;
+        self.rto_backoff = (self.rto_backoff + 1).min(MAX_RTO_BACKOFF);
         // Everything unacknowledged is presumed lost.
         while let Some((&s, _)) = self.in_flight.iter().next() {
             self.in_flight.remove(&s);
@@ -549,6 +567,103 @@ mod tests {
         ack(&mut s, 60, 0, 5);
         assert_eq!(s.recoveries, 1);
         assert!(s.in_recovery());
+    }
+
+    #[test]
+    fn rto_backoff_is_capped_at_max_backoff() {
+        let mut s = SenderFlow::new(spec(None));
+        with_ctx(Time::ZERO, |ctx| s.start(ctx));
+        // A long blackout: far more timeouts than the cap.
+        for i in 0..20u64 {
+            with_ctx(Time::from_millis(10 * (i + 1)), |ctx| s.on_rto(ctx));
+        }
+        assert_eq!(s.timeouts, 20);
+        assert_eq!(s.rto_backoff, MAX_RTO_BACKOFF, "backoff holds the cap");
+        // No RTT sample yet, so the base is the 1 ms floor: capped backoff
+        // gives 2^6 = 64 ms, still under MAX_RTO.
+        assert_eq!(s.rto(), Duration::from_millis(64));
+    }
+
+    #[test]
+    fn multi_rto_blackout_backs_off_exponentially_then_recovers() {
+        let mut s = SenderFlow::new(spec(None));
+        with_ctx(Time::ZERO, |ctx| s.start(ctx));
+        // One clean sample: srtt = 500 us, rttvar = 250 us, base = 1.5 ms.
+        with_ctx(Time::from_micros(500), |ctx| {
+            s.on_ack(ctx, 1, 1, 0, false, 0, Time::ZERO, false);
+        });
+        // Blackout: three consecutive timeouts, each doubling the timer.
+        let mut intervals = Vec::new();
+        for i in 0..3u64 {
+            let now = Time::from_millis(5 * (i + 1));
+            with_ctx(now, |ctx| s.on_rto(ctx));
+            intervals.push(s.rto_deadline.expect("armed") - now);
+        }
+        assert_eq!(intervals[0], Duration::from_millis(3)); // 1.5 ms * 2
+        assert_eq!(intervals[1], Duration::from_millis(6)); // 1.5 ms * 4
+        assert_eq!(intervals[2], Duration::from_millis(12)); // 1.5 ms * 8
+        assert_eq!(s.cwnd(), 1.0, "timeout collapses the window");
+        // The path heals: a cumulative ACK for the retransmitted head
+        // resets the backoff and transmission resumes.
+        let sent = with_ctx(Time::from_millis(40), |ctx| {
+            s.on_ack(ctx, 2, 2, 1, false, 0, Time::ZERO, false);
+        });
+        assert_eq!(s.rto_backoff, 0, "cumulative progress resets backoff");
+        assert!(!data_seqs(&sent).is_empty(), "recovery resumes sending");
+    }
+
+    #[test]
+    fn karn_suppresses_rtt_samples_from_retransmissions() {
+        let mut s = SenderFlow::new(spec(None));
+        with_ctx(Time::ZERO, |ctx| s.start(ctx)); // sends 0..10
+                                                  // Clean sample: 500 us.
+        with_ctx(Time::from_micros(500), |ctx| {
+            s.on_ack(ctx, 1, 1, 0, false, 0, Time::ZERO, false);
+        });
+        let srtt_clean = s.srtt().expect("sample");
+        // Blackout: two RTOs; the head of line is retransmitted each time.
+        with_ctx(Time::from_millis(2), |ctx| s.on_rto(ctx));
+        with_ctx(Time::from_millis(10), |ctx| s.on_rto(ctx));
+        // The ACK for the retransmitted head carries an ambiguous echo (it
+        // could answer any copy) with a wildly inflated apparent RTT:
+        // Karn's rule discards the sample.
+        with_ctx(Time::from_millis(40), |ctx| {
+            s.on_ack(ctx, 2, 2, 1, false, 0, Time::ZERO, false);
+        });
+        assert_eq!(
+            s.srtt().expect("kept"),
+            srtt_clean,
+            "ambiguous sample dropped"
+        );
+        // Drain the recovery queue — every segment here is a
+        // retransmission, so srtt still must not move.
+        let mut now_us = 41_000u64;
+        for seq in 2..10u64 {
+            with_ctx(Time::from_micros(now_us), |ctx| {
+                s.on_ack(ctx, seq + 1, seq + 1, seq, false, 0, Time::ZERO, false);
+            });
+            now_us += 100;
+        }
+        assert_eq!(s.srtt().expect("kept"), srtt_clean);
+        // Fresh data (never retransmitted) resumes sampling.
+        let fresh = *s
+            .in_flight
+            .keys()
+            .find(|q| !s.retransmitted.contains(q))
+            .expect("fresh segment in flight");
+        with_ctx(Time::from_micros(now_us), |ctx| {
+            s.on_ack(
+                ctx,
+                fresh + 1,
+                fresh + 1,
+                fresh,
+                false,
+                0,
+                Time::from_micros(now_us - 100),
+                false,
+            );
+        });
+        assert_ne!(s.srtt().expect("resumed"), srtt_clean, "sampling resumes");
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod websearch;
 
 pub use arrivals::PoissonArrivals;
 pub use matrix::TrafficMatrix;
-pub use registry::{EntitySetup, LongKind, Params, RunPlan, ScenarioDef, ScenarioPlan, Traffic};
+pub use registry::{
+    EntitySetup, LongKind, Params, PlanFault, RunPlan, ScenarioDef, ScenarioPlan, Traffic,
+};
 pub use scenario::{
     add_flows, ensure_transport_hosts, goodput_gbps, long_flows, run_until_complete,
     ClosedWorkload, WorkloadSpec,

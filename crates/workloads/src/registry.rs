@@ -111,6 +111,54 @@ pub enum Topology {
     },
 }
 
+/// A fault to inject, described against the scenario's *logical* topology
+/// (the bench layer translates it to concrete link/node ids when it
+/// instantiates the fabric, and derives the fault RNG seed from the run
+/// seed so the whole run stays deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanFault {
+    /// Flap the shared bottleneck link: `flaps` down/up cycles starting at
+    /// `first_down_ms`, each `down_ms` dark then `up_ms` lit.
+    CoreLinkFlap {
+        /// When the first down edge fires (simulated ms).
+        first_down_ms: f64,
+        /// Number of down/up cycles.
+        flaps: u32,
+        /// Dark interval per cycle (simulated ms).
+        down_ms: f64,
+        /// Lit interval between cycles (simulated ms).
+        up_ms: f64,
+    },
+    /// Corrupt packets on the shared bottleneck link with the given
+    /// probability over `[from_ms, until_ms)`.
+    CoreLinkLoss {
+        /// Window start (simulated ms).
+        from_ms: f64,
+        /// Window end (simulated ms).
+        until_ms: f64,
+        /// Corruption probability in parts per million.
+        loss_ppm: u32,
+    },
+    /// Wipe the AQ tables of the bottleneck switch at `at_ms` (switch
+    /// reboot: configs survive via controller re-deploy, dynamic state is
+    /// rebuilt from subsequent arrivals).
+    AqReset {
+        /// Wipe instant (simulated ms).
+        at_ms: f64,
+    },
+    /// Black out one sending host over `[from_ms, until_ms)`: its NIC
+    /// drops all traffic in both directions while timers keep firing, so
+    /// the transport rides RTO backoff through the outage.
+    SenderBlackout {
+        /// Index into the scenario's sender hosts (VM order).
+        sender: usize,
+        /// Blackout start (simulated ms).
+        from_ms: f64,
+        /// Blackout end (simulated ms).
+        until_ms: f64,
+    },
+}
+
 /// A fully-resolved scenario instance: the entities plus the run plan.
 #[derive(Debug, Clone)]
 pub struct ScenarioPlan {
@@ -120,6 +168,8 @@ pub struct ScenarioPlan {
     pub run: RunPlan,
     /// Fabric to instantiate.
     pub topology: Topology,
+    /// Faults to inject (empty for fault-free scenarios).
+    pub faults: Vec<PlanFault>,
 }
 
 /// One named parameter with its default value.
@@ -302,6 +352,7 @@ fn fairness_flows(p: &Params) -> ScenarioPlan {
             horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
         },
         topology: Topology::Dumbbell,
+        faults: vec![],
     }
 }
 
@@ -325,6 +376,7 @@ fn completion_vms(p: &Params) -> ScenarioPlan {
             deadline: ms(p.get("deadline_ms").unwrap_or(5_000.0)),
         },
         topology: Topology::Dumbbell,
+        faults: vec![],
     }
 }
 
@@ -358,6 +410,7 @@ fn udp_tcp_share(p: &Params) -> ScenarioPlan {
             horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
         },
         topology: Topology::Dumbbell,
+        faults: vec![],
     }
 }
 
@@ -394,6 +447,7 @@ fn cc_mix(p: &Params) -> ScenarioPlan {
             deadline: ms(p.get("deadline_ms").unwrap_or(5_000.0)),
         },
         topology: Topology::Dumbbell,
+        faults: vec![],
     }
 }
 
@@ -416,12 +470,115 @@ fn interpod_fattree(p: &Params) -> ScenarioPlan {
             horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
         },
         topology: Topology::FatTree { k: 4 },
+        faults: vec![],
+    }
+}
+
+fn linkflap_dumbbell(p: &Params) -> ScenarioPlan {
+    let n_flows = p.get_usize("n_flows").unwrap_or(4).max(1);
+    let flap_at = p.get("flap_at_ms").unwrap_or(10.0).max(0.0);
+    let flaps = p.get_usize("flaps").unwrap_or(2).max(1) as u32;
+    let down_ms = p.get("down_ms").unwrap_or(2.0).max(0.0);
+    let up_ms = p.get("up_ms").unwrap_or(3.0).max(0.0);
+    let loss_pct = p.get("loss_pct").unwrap_or(0.0).clamp(0.0, 100.0);
+    let blackout_ms = p.get("blackout_ms").unwrap_or(0.0).max(0.0);
+    let mk = |entity| EntitySetup {
+        entity,
+        n_vms: 1,
+        cc: CcAlgo::Cubic,
+        weight: 1,
+        traffic: Traffic::Long {
+            n: n_flows,
+            kind: LongKind::Tcp,
+        },
+    };
+    let mut faults = vec![PlanFault::CoreLinkFlap {
+        first_down_ms: flap_at,
+        flaps,
+        down_ms,
+        up_ms,
+    }];
+    if loss_pct > 0.0 {
+        // The corruption window opens once the flap train ends, so the
+        // recovering senders also ride a lossy core (1% = 10_000 ppm).
+        let train_end = flap_at + flaps as f64 * (down_ms + up_ms);
+        let horizon_ms = p.get("horizon_ms").unwrap_or(40.0);
+        faults.push(PlanFault::CoreLinkLoss {
+            from_ms: train_end,
+            until_ms: horizon_ms,
+            loss_ppm: (loss_pct * 10_000.0).round() as u32,
+        });
+    }
+    if blackout_ms > 0.0 {
+        // Entity 1's (only) sender goes dark alongside the first flap,
+        // exercising multi-RTO backoff and recovery.
+        faults.push(PlanFault::SenderBlackout {
+            sender: 0,
+            from_ms: flap_at,
+            until_ms: flap_at + blackout_ms,
+        });
+    }
+    ScenarioPlan {
+        entities: vec![mk(EntityId(1)), mk(EntityId(2))],
+        run: RunPlan::FixedHorizon {
+            horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
+        },
+        topology: Topology::Dumbbell,
+        faults,
+    }
+}
+
+fn aq_state_loss(p: &Params) -> ScenarioPlan {
+    let n_flows = p.get_usize("n_flows").unwrap_or(4).max(1);
+    let wipe_at = p.get("wipe_at_ms").unwrap_or(10.0).max(0.0);
+    let mk = |entity| EntitySetup {
+        entity,
+        n_vms: 1,
+        cc: CcAlgo::Cubic,
+        weight: 1,
+        traffic: Traffic::Long {
+            n: n_flows,
+            kind: LongKind::Tcp,
+        },
+    };
+    ScenarioPlan {
+        entities: vec![mk(EntityId(1)), mk(EntityId(2))],
+        run: RunPlan::FixedHorizon {
+            horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
+        },
+        topology: Topology::Dumbbell,
+        faults: vec![PlanFault::AqReset { at_ms: wipe_at }],
     }
 }
 
 /// All registered scenarios, in name order.
 pub fn registry() -> &'static [ScenarioDef] {
     const REGISTRY: &[ScenarioDef] = &[
+        ScenarioDef {
+            name: "aq_state_loss",
+            summary: "two equal TCP entities share the dumbbell core; the bottleneck \
+                      switch's AQ tables are wiped mid-run (simulated reboot) and \
+                      per-entity state is rebuilt from subsequent arrivals; measures \
+                      re-convergence time and post-wipe fairness",
+            params: &[
+                ParamDef {
+                    name: "n_flows",
+                    default: 4.0,
+                    help: "long flows per entity",
+                },
+                ParamDef {
+                    name: "wipe_at_ms",
+                    default: 10.0,
+                    help: "AQ table wipe instant (simulated ms)",
+                },
+                ParamDef {
+                    name: "horizon_ms",
+                    default: 40.0,
+                    help: "run length (simulated ms)",
+                },
+            ],
+            build: aq_state_loss,
+        },
         ScenarioDef {
             name: "cc_mix",
             summary: "two entities with different CC algorithms (pair 0: CUBIC vs DCTCP, \
@@ -520,6 +677,56 @@ pub fn registry() -> &'static [ScenarioDef] {
                 },
             ],
             build: interpod_fattree,
+        },
+        ScenarioDef {
+            name: "linkflap_dumbbell",
+            summary: "two equal TCP entities on the dumbbell; the shared core link \
+                      flaps down/up mid-run (optionally followed by a stochastic \
+                      corruption window and a sender blackout); measures drop \
+                      attribution and post-recovery goodput vs the pre-fault level",
+            params: &[
+                ParamDef {
+                    name: "n_flows",
+                    default: 4.0,
+                    help: "long flows per entity",
+                },
+                ParamDef {
+                    name: "flap_at_ms",
+                    default: 10.0,
+                    help: "first down edge (simulated ms)",
+                },
+                ParamDef {
+                    name: "flaps",
+                    default: 2.0,
+                    help: "down/up cycles",
+                },
+                ParamDef {
+                    name: "down_ms",
+                    default: 2.0,
+                    help: "dark interval per cycle (simulated ms)",
+                },
+                ParamDef {
+                    name: "up_ms",
+                    default: 3.0,
+                    help: "lit interval between cycles (simulated ms)",
+                },
+                ParamDef {
+                    name: "loss_pct",
+                    default: 0.0,
+                    help: "post-flap core corruption probability (percent; 0 = off)",
+                },
+                ParamDef {
+                    name: "blackout_ms",
+                    default: 0.0,
+                    help: "entity 1 sender blackout length from the first flap (0 = off)",
+                },
+                ParamDef {
+                    name: "horizon_ms",
+                    default: 40.0,
+                    help: "run length (simulated ms)",
+                },
+            ],
+            build: linkflap_dumbbell,
         },
         ScenarioDef {
             name: "udp_tcp_share",
@@ -650,6 +857,69 @@ mod tests {
                 assert_eq!((*a, *b), (2, 6));
             }
             other => panic!("unexpected traffic {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linkflap_dumbbell_builds_the_full_fault_set() {
+        let def = find("linkflap_dumbbell").expect("registered");
+        let plan = def
+            .plan(&Params::parse("flaps=3,loss_pct=1,blackout_ms=4").expect("parse"))
+            .expect("plan");
+        assert_eq!(plan.topology, Topology::Dumbbell);
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(
+            plan.faults[0],
+            PlanFault::CoreLinkFlap {
+                first_down_ms: 10.0,
+                flaps: 3,
+                down_ms: 2.0,
+                up_ms: 3.0,
+            }
+        );
+        // Loss window opens where the 3-cycle train ends (10 + 3*5 = 25)
+        // and 1% maps to 10_000 ppm.
+        assert_eq!(
+            plan.faults[1],
+            PlanFault::CoreLinkLoss {
+                from_ms: 25.0,
+                until_ms: 40.0,
+                loss_ppm: 10_000,
+            }
+        );
+        assert_eq!(
+            plan.faults[2],
+            PlanFault::SenderBlackout {
+                sender: 0,
+                from_ms: 10.0,
+                until_ms: 14.0,
+            }
+        );
+        // Defaults keep the optional faults off.
+        let bare = def.plan(&Params::new()).expect("plan");
+        assert_eq!(bare.faults.len(), 1);
+        assert!(matches!(bare.faults[0], PlanFault::CoreLinkFlap { .. }));
+    }
+
+    #[test]
+    fn aq_state_loss_schedules_one_wipe() {
+        let def = find("aq_state_loss").expect("registered");
+        let plan = def
+            .plan(&Params::parse("wipe_at_ms=15").expect("parse"))
+            .expect("plan");
+        assert_eq!(plan.faults, vec![PlanFault::AqReset { at_ms: 15.0 }]);
+        assert_eq!(plan.entities.len(), 2);
+        assert!(matches!(plan.run, RunPlan::FixedHorizon { .. }));
+    }
+
+    #[test]
+    fn fault_free_scenarios_carry_no_faults() {
+        for name in ["fairness_flows", "cc_mix", "interpod_fattree"] {
+            let plan = find(name)
+                .expect("registered")
+                .plan(&Params::new())
+                .expect("plan");
+            assert!(plan.faults.is_empty(), "{name} should be fault-free");
         }
     }
 

@@ -20,7 +20,9 @@
 //! and the vendored `rand` has no entropy-based constructors at all.
 
 use aq_bench::report::RunReport;
-use aq_bench::{build_dumbbell, Approach, EntitySetup, ExpConfig, LongKind, Traffic};
+use aq_bench::{
+    build_dumbbell, build_experiment, Approach, EntitySetup, ExpConfig, LongKind, Traffic,
+};
 use augmented_queue::baselines::DrrQueue;
 use augmented_queue::core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
@@ -31,6 +33,7 @@ use augmented_queue::netsim::time::{Duration, Rate, Time};
 use augmented_queue::netsim::topology::{dumbbell, fat_tree};
 use augmented_queue::netsim::{EntityId, Simulator};
 use augmented_queue::transport::{CcAlgo, DelaySignal, FlowKind};
+use augmented_queue::workloads::registry::{self, Params, RunPlan};
 use augmented_queue::workloads::{add_flows, ensure_transport_hosts, long_flows};
 
 /// Run a mixed UDP + CUBIC dumbbell scenario under AQ and digest every
@@ -256,6 +259,51 @@ fn run_baseline_digest(approach: Approach, drr_core: bool, seed: u64) -> String 
     )
 }
 
+/// Build a fault-injection registry scenario (link flap trains, stochastic
+/// corruption, sender blackout, AQ table wipe — whatever the scenario's
+/// `FaultPlan` schedules), run it to its horizon, and digest the raw
+/// simulator state, the fault totals, and the rendered `RunReport`
+/// artifact bytes. Same seed + same fault plan must replay byte-for-byte:
+/// each stochastic corruption window draws from its own stream seeded by
+/// (plan seed, fault index), never from the traffic RNG.
+fn run_fault_scenario_digest(scenario: &str, params: &str, seed: u64) -> String {
+    let def = registry::find(scenario).expect("fault scenario registered");
+    let resolved = def
+        .resolve(&Params::parse(params).expect("params parse"))
+        .expect("params resolve");
+    let plan = (def.build)(&resolved);
+    assert!(
+        !plan.faults.is_empty(),
+        "{scenario}: expected a fault plan to exercise"
+    );
+    let RunPlan::FixedHorizon { horizon } = plan.run else {
+        panic!("{scenario}: fault scenarios run on a fixed horizon");
+    };
+    let mut exp = build_experiment(
+        Approach::Aq,
+        &plan,
+        ExpConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    exp.sim.run_until(Time::ZERO + horizon);
+    let mut rep = RunReport::new(&format!("determinism_{scenario}"));
+    rep.capture("run", &mut exp.sim);
+    let artifact: String = rep
+        .render()
+        .into_iter()
+        .map(|(file, bytes)| format!("--- {file}\n{bytes}"))
+        .collect();
+    format!(
+        "events={} now={:?} faults={:?} stats={:?}\n{artifact}",
+        exp.sim.processed_events,
+        exp.sim.now(),
+        exp.sim.fault_totals(),
+        exp.sim.stats
+    )
+}
+
 #[test]
 fn same_seed_same_bytes() {
     let a = run_digest(0x5176_0001);
@@ -331,6 +379,29 @@ fn fat_tree_report_round_trips_through_the_parser() {
             .map(|s| s.metrics.len())
             .sum::<usize>()
     );
+}
+
+#[test]
+fn same_seed_same_bytes_under_fault_injection() {
+    // Both fault scenarios from the registry: a flap train plus a
+    // stochastic corruption window plus a sender blackout
+    // (linkflap_dumbbell), and a mid-run AQ table wipe with re-convergence
+    // tracking (aq_state_loss). The digest includes the rendered report —
+    // the same contract `aq-sweep` relies on when it promises
+    // schedule-independent, byte-identical artifacts.
+    for (scenario, params) in [
+        (
+            "linkflap_dumbbell",
+            "horizon_ms=30,loss_pct=1,blackout_ms=4",
+        ),
+        ("aq_state_loss", "horizon_ms=25"),
+    ] {
+        let a = run_fault_scenario_digest(scenario, params, 0x5176_0006);
+        let b = run_fault_scenario_digest(scenario, params, 0x5176_0006);
+        assert_eq!(a, b, "{scenario}: same-seed fault runs diverged");
+        let c = run_fault_scenario_digest(scenario, params, 0x0BAD_FA17);
+        assert_ne!(a, c, "{scenario}: digest failed to register a seed change");
+    }
 }
 
 #[test]

@@ -48,6 +48,11 @@ const FIXTURES: &[(&str, &str, &str)] = &[
     ),
     ("no_wall_clock.rs", "no-wall-clock", "src/fixture.rs"),
     (
+        "no_wallclock_in_sim.rs",
+        "no-wallclock-in-sim",
+        "crates/netsim/src/fixture.rs",
+    ),
+    (
         "no_os_entropy.rs",
         "no-os-entropy",
         "crates/workloads/src/fixture.rs",

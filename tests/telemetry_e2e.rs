@@ -15,8 +15,9 @@
 
 use aq_bench::report::RunReport;
 use aq_bench::{build_dumbbell, Approach, EntitySetup, ExpConfig, LongKind, Traffic};
+use augmented_queue::netsim::fault::{FaultKind, FaultPlan};
 use augmented_queue::netsim::queue::FifoQueue;
-use augmented_queue::netsim::time::{Rate, Time};
+use augmented_queue::netsim::time::{Duration, Rate, Time};
 use augmented_queue::netsim::EntityId;
 use augmented_queue::transport::CcAlgo;
 
@@ -115,6 +116,114 @@ fn aq_limit_drops_are_attributed_but_outside_the_byte_identity() {
         attributed, pipeline,
         "per-port aq_drops must sum to the pipeline counter"
     );
+}
+
+#[test]
+fn mid_transfer_link_death_balances_every_conservation_sum() {
+    // One UDP entity saturates the dumbbell; the core link is killed for
+    // 2 ms mid-transfer (losing whatever is serializing or propagating on
+    // it), restored, and near the horizon the sender is blacked out so the
+    // network fully drains. After the drain every conservation identity
+    // must close exactly — in-flight link-death losses are attribution-only
+    // (`wire_dropped_bytes`), never double-counted into the queue identity.
+    let entities = vec![EntitySetup {
+        entity: EntityId(1),
+        n_vms: 1,
+        cc: CcAlgo::Cubic,
+        weight: 1,
+        traffic: Traffic::Long {
+            n: 1,
+            kind: LongKind::Udp(Rate::from_gbps(10)),
+        },
+    }];
+    let mut exp = build_dumbbell(Approach::Pq, &entities, ExpConfig::default());
+    let core_link = exp.sim.net.ports[exp.core_port.index()].link;
+    let sender = exp.entity_vms[0].1[0];
+    let plan = FaultPlan::new(7)
+        .flap(
+            core_link,
+            Time::from_millis(10),
+            1,
+            Duration::from_millis(2),
+            Duration::from_millis(1),
+        )
+        .event(Time::from_millis(30), FaultKind::HostPause { node: sender });
+    exp.sim.install_faults(plan);
+    exp.sim.run_until(Time::from_millis(35));
+
+    // The kill caught traffic mid-flight, and every fault event fired.
+    let totals = exp.sim.fault_totals().clone();
+    assert_eq!(totals.injected, 3, "down + up + pause must all fire");
+    assert!(
+        totals.link_down_drops > 0,
+        "no packet died on the dead link"
+    );
+    assert!(
+        totals.pause_drops > 0,
+        "the blacked-out sender kept sending"
+    );
+
+    // 1. The queue-side byte identity still closes on every port.
+    for (pid, ps) in exp.sim.stats.ports() {
+        assert!(
+            ps.conserves(),
+            "port {pid:?} violates the byte identity under link death"
+        );
+    }
+
+    // 2. The wire-side identity closes on the core port: everything
+    //    dequeued either finished serializing or died on the wire (the
+    //    drained network holds no partially-serialized packet).
+    let core = exp.sim.stats.port(exp.core_port).expect("core port in hub");
+    assert!(
+        core.link_drops > 0,
+        "link-death drops attribute to the core"
+    );
+    assert_eq!(
+        core.dequeued_bytes,
+        core.tx_bytes + core.wire_dropped_bytes,
+        "core wire boundary does not close after the drain"
+    );
+
+    // 3. Hub attribution agrees with the simulator's run-wide fault totals.
+    let attributed_link: u64 = exp.sim.stats.ports().map(|(_, ps)| ps.link_drops).sum();
+    assert_eq!(attributed_link, totals.link_down_drops);
+    // wire_dropped_bytes holds only frames cut mid-serialization; the
+    // totals also include packets lost while propagating, so the hub's
+    // attribution can never exceed them.
+    let attributed_wire_bytes: u64 = exp
+        .sim
+        .stats
+        .ports()
+        .map(|(_, ps)| ps.wire_dropped_bytes)
+        .sum();
+    assert!(attributed_wire_bytes <= totals.link_down_dropped_bytes);
+
+    // 4. Per-entity packet conservation: arrived == delivered +
+    //    dropped-by-cause. UDP datagrams are fixed-size, so delivered
+    //    packets can be recovered exactly from delivered payload bytes.
+    let es = exp.sim.stats.entity(EntityId(1)).expect("entity in hub");
+    assert!(es.tx_pkts > 0 && es.tx_bytes.is_multiple_of(es.tx_pkts));
+    let payload = es.tx_bytes / es.tx_pkts;
+    assert!(es.rx_bytes.is_multiple_of(payload));
+    let delivered_pkts = es.rx_bytes / payload;
+    assert_eq!(
+        es.tx_pkts,
+        delivered_pkts + es.drops,
+        "arrived != delivered + dropped after full drain"
+    );
+
+    // 5. And the per-cause decomposition accounts for every drop: the
+    //    sole entity's losses are exactly the queue taildrops, the wire
+    //    deaths, and the blackout injections — nothing uncategorized.
+    let by_cause: u64 = exp
+        .sim
+        .stats
+        .ports()
+        .map(|(_, ps)| ps.taildrops + ps.shaper_drops + ps.link_drops + ps.corrupt_drops)
+        .sum::<u64>()
+        + totals.pause_drops;
+    assert_eq!(es.drops, by_cause, "a drop escaped cause attribution");
 }
 
 #[test]
