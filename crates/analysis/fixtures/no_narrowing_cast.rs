@@ -15,3 +15,18 @@ pub fn pack(bytes: u64, delta: i64) -> (u64, u64) {
     let _ = (sanctioned, also);
     (wide, also_wide as u64)
 }
+
+pub fn index(total_bytes: u64, now_nanos: u64, window_nanos: u64, id: (u32,)) -> usize {
+    // `as usize` is 32-bit on 32-bit targets, so it truncates byte/time
+    // counters there exactly like `as u32` would.
+    let n = total_bytes as usize; // expect-lint: no-narrowing-cast
+    let w = (now_nanos / window_nanos) as usize; // expect-lint: no-narrowing-cast
+    // Plain index casts are not counters and must not fire.
+    let slot = id.0 as usize;
+    // A counter behind a statement boundary does not taint a later cast.
+    let b = total_bytes; let k = slot as usize;
+    let _ = b;
+    // aq-lint: allow(no-narrowing-cast)
+    let sanctioned_w = (now_nanos / window_nanos) as usize;
+    n + w + k + sanctioned_w
+}

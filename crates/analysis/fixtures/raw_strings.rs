@@ -1,0 +1,26 @@
+// Regression fixture for the scanner's raw/byte-string handling: banned
+// identifiers inside string literals of every flavor are data, not code,
+// and must produce no diagnostics at all when linted as a sim-state file.
+
+pub fn literals() -> Vec<&'static str> {
+    vec![
+        "HashMap thread_rng Instant::now",
+        r"HashMap in a bare raw string",
+        r#"thread_rng with "quotes" inside"#,
+        r##"SystemTime::now with "# inside"##,
+    ]
+}
+
+pub fn byte_literals() -> (&'static [u8], &'static [u8]) {
+    // `b"..."` honors escapes: the escaped quotes must not close the
+    // literal early and leak `HashMap` into lintable code.
+    let escaped = b"x\"HashMap\"y";
+    let raw = br#"thread_rng as raw bytes"#;
+    (escaped, raw)
+}
+
+pub fn still_lints_code(xs: &[(f64, u64)]) -> usize {
+    // The scanner must stay in sync after the literals above: real code
+    // that follows them still fires. (Also proves the fixture is linted.)
+    xs.iter().filter(|(v, _)| *v == 0.5).count() // expect-lint: no-float-eq
+}

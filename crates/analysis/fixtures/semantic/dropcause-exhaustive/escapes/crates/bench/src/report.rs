@@ -1,0 +1,10 @@
+// Report half of the fires fixture: every mapped counter is serialized.
+
+pub struct RunReport {
+    pub taildrops: u64,
+    pub red_drops: u64,
+    pub shaper_drops: u64,
+    pub aq_drops: u64,
+    pub link_drops: u64,
+    pub corrupt_drops: u64,
+}

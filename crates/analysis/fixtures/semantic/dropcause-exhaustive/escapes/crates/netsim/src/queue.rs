@@ -1,0 +1,13 @@
+// Escapes fixture for `dropcause-exhaustive`: the same gaps as the fires
+// tree, sanctioned with the escape hatch (trailing and standalone forms).
+
+pub enum DropCause {
+    Taildrop,
+    RedNonEct,
+    Shaper,
+    AqLimit,
+    // aq-lint: allow(dropcause-exhaustive)
+    LinkDown,
+    Corrupt,
+    Evicted, // aq-lint: allow(dropcause-exhaustive)
+}

@@ -1,0 +1,25 @@
+// StatsHub half of the fires fixture: the `DropCause::LinkDown` arm is
+// missing (its `link_drops` counter still exists, isolating the
+// missing-arm diagnostic from the missing-counter one).
+
+pub struct StatsHub {
+    pub taildrops: u64,
+    pub red_drops: u64,
+    pub shaper_drops: u64,
+    pub aq_drops: u64,
+    pub link_drops: u64,
+    pub corrupt_drops: u64,
+}
+
+impl StatsHub {
+    pub fn account(&mut self, cause: DropCause) {
+        match cause {
+            DropCause::Taildrop => self.taildrops += 1,
+            DropCause::RedNonEct => self.red_drops += 1,
+            DropCause::Shaper => self.shaper_drops += 1,
+            DropCause::AqLimit => self.aq_drops += 1,
+            DropCause::Corrupt => self.corrupt_drops += 1,
+            _ => {}
+        }
+    }
+}

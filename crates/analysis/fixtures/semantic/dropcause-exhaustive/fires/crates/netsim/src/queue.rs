@@ -1,0 +1,12 @@
+// Fires fixture for `dropcause-exhaustive`: one variant with no counter
+// mapping, one mapped variant with no accounting arm in StatsHub.
+
+pub enum DropCause {
+    Taildrop,
+    RedNonEct,
+    Shaper,
+    AqLimit,
+    LinkDown, // expect-lint: dropcause-exhaustive
+    Corrupt,
+    Evicted, // expect-lint: dropcause-exhaustive
+}

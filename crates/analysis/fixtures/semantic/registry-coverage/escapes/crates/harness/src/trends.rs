@@ -1,0 +1,18 @@
+// Trend half of the escapes fixture: the dangling rule is sanctioned with
+// a standalone escape on the line above its anchor.
+
+pub const DEFAULT_RULES: &[TrendRule] = &[
+    TrendRule::AtLeast {
+        scenario: "covered",
+        approach: "aq",
+        metric: "goodput",
+        min: 1.0,
+    },
+    TrendRule::AtLeast {
+        // aq-lint: allow(registry-coverage)
+        scenario: "ghost",
+        approach: "aq",
+        metric: "goodput",
+        min: 1.0,
+    },
+];

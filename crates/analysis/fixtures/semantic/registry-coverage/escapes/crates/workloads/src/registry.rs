@@ -1,0 +1,17 @@
+// Escapes fixture for `registry-coverage`: the same uncovered scenario,
+// sanctioned with a trailing escape on its anchor line.
+
+pub const REGISTRY: &[ScenarioDef] = &[
+    ScenarioDef {
+        name: "covered",
+        summary: "watched by a trend rule and a committed baseline",
+        params: &[],
+        build: covered,
+    },
+    ScenarioDef {
+        name: "orphan", // aq-lint: allow(registry-coverage)
+        summary: "sanctioned while its trend rule and baseline are queued",
+        params: &[],
+        build: orphan,
+    },
+];

@@ -1,0 +1,17 @@
+// Trend half of the fires fixture: `covered` is watched; `ghost` names a
+// scenario the registry does not have — a dangling rule.
+
+pub const DEFAULT_RULES: &[TrendRule] = &[
+    TrendRule::AtLeast {
+        scenario: "covered",
+        approach: "aq",
+        metric: "goodput",
+        min: 1.0,
+    },
+    TrendRule::AtLeast {
+        scenario: "ghost", // expect-lint: registry-coverage
+        approach: "aq",
+        metric: "goodput",
+        min: 1.0,
+    },
+];

@@ -1,0 +1,22 @@
+// Fires fixture for `registry-coverage`: `orphan` is registered but has
+// neither a trend rule nor a committed baseline; param names must never
+// masquerade as scenarios.
+
+pub const REGISTRY: &[ScenarioDef] = &[
+    ScenarioDef {
+        name: "covered",
+        summary: "watched by a trend rule and a committed baseline",
+        params: &[ParamDef {
+            name: "n_flows",
+            default: 4.0,
+            help: "not a scenario name",
+        }],
+        build: covered,
+    },
+    ScenarioDef {
+        name: "orphan", // expect-lint: registry-coverage
+        summary: "nobody watches this scenario",
+        params: &[],
+        build: orphan,
+    },
+];

@@ -1,0 +1,10 @@
+// Escapes fixture for `rng-provenance`: the same unseeded constructors,
+// sanctioned with the escape hatch (trailing and standalone forms).
+
+pub fn make(seed: u64) -> (SmallRng, SmallRng, StdRng) {
+    let seeded = SmallRng::seed_from_u64(seed);
+    let cloned = SmallRng::from_rng(&seeded); // aq-lint: allow(rng-provenance)
+    // aq-lint: allow(rng-provenance)
+    let defaulted = StdRng::default();
+    (seeded, cloned, defaulted)
+}

@@ -1,0 +1,13 @@
+// Fires fixture for `rng-provenance`: RNG constructions that do not go
+// through the seed path.
+
+pub fn make(seed: u64) -> (SmallRng, SmallRng, StdRng) {
+    // The sanctioned constructors are clean.
+    let seeded = SmallRng::seed_from_u64(seed);
+    let from_bytes = SmallRng::from_seed([0; 32]);
+    // Entropy-free but unseeded: deterministic per process, not per seed.
+    let cloned = SmallRng::from_rng(&seeded); // expect-lint: rng-provenance
+    let defaulted = StdRng::default(); // expect-lint: rng-provenance
+    let _ = (from_bytes, cloned);
+    (seeded, cloned, defaulted)
+}

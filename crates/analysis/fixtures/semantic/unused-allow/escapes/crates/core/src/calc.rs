@@ -1,0 +1,12 @@
+// Escapes fixture for `unused-allow`: the same stale directives,
+// sanctioned by naming `unused-allow` in the same allow group.
+
+pub fn calc(total: u64, mask: u64) -> u64 {
+    let packed = (total & mask) as u32; // aq-lint: allow(no-narrowing-cast)
+    // A deliberately kept (e.g. soon-to-return) suppression is sanctioned
+    // by adding `unused-allow` to the group on the guarded line.
+    let wide = total as u64; // aq-lint: allow(no-narrowing-cast, unused-allow)
+    // aq-lint: allow(no-float-eq, unused-allow)
+    let sum = wide + u64::from(packed);
+    sum
+}

@@ -4,33 +4,52 @@
 //! workspace. The repository's headline claim is *reproducibility*: the
 //! same scenario and seed must produce byte-identical results on any
 //! machine. The compiler cannot enforce that property, so this crate
-//! walks the workspace sources with `std::fs` and checks a small set of
-//! named rules (see [`rules::RULES`]) that ban the usual sources of
-//! nondeterminism — hash-ordered collections in simulator state, wall
-//! clock reads, OS entropy, float equality, and narrowing casts on
-//! 64-bit counters.
+//! checks it in two passes:
 //!
-//! Diagnostics carry `file:line` positions. A violation that is
-//! deliberate is suppressed per line with the escape hatch
+//! 1. **Pass 1** ([`index`]) scans every source file once and builds a
+//!    lightweight [`index::WorkspaceIndex`] — items, enum variants,
+//!    qualified paths, struct-literal string fields, and the per-file
+//!    `aq-lint: allow(...)` ledger.
+//! 2. **Pass 2** runs two rule classes (see [`rules::RULES`]):
+//!    *line rules*, token heuristics over one line at a time (hash-ordered
+//!    collections in simulator state, wall-clock reads, OS entropy, float
+//!    equality, narrowing casts on 64-bit counters, threads in sim
+//!    crates); and *semantic rules* ([`semantic`]), cross-file checks over
+//!    the index (RNG seed provenance, `DropCause` accounting
+//!    exhaustiveness, scenario-registry coverage, stale allows).
+//!
+//! Diagnostics carry `file:line` positions and come back in a stable
+//! (path, line, rule, message) order; [`output`] renders them as text,
+//! JSON, or SARIF byte-identically across runs, and [`ratchet`] gates CI
+//! on a committed per-rule violation ledger whose counts can only go
+//! down. A violation that is deliberate is suppressed per line with the
+//! escape hatch
 //!
 //! ```text
 //! let masked = x as u32; // aq-lint: allow(no-narrowing-cast)
 //! ```
 //!
 //! or with a standalone `// aq-lint: allow(<rule>)` comment on the line
-//! directly above. `tests/static_analysis.rs` at the workspace root runs
+//! directly above. Suppressions are themselves audited: an allow that no
+//! longer suppresses anything trips the `unused-allow` rule.
+//! `tests/static_analysis.rs` at the workspace root runs
 //! [`lint_workspace`] over the tree and fails on any unsuppressed
-//! violation; `crates/analysis/fixtures/` holds one fixture per rule
-//! proving that each rule both fires and honors its escape.
+//! violation; `crates/analysis/fixtures/` holds fixtures proving that
+//! every rule both fires and honors its escape.
 
+pub mod index;
+pub mod output;
+pub mod ratchet;
 pub mod rules;
 pub mod scan;
+pub mod semantic;
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use rules::{allowed_per_line, check_line, in_scope, RULES};
-use scan::{scan, tokens};
+use rules::{allow_ledger, allowed_per_line, check_line, in_scope, RuleKind, RULES};
+use scan::{scan, tokens, ScannedLine};
 
 /// One lint finding, positioned at `path:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,11 +76,19 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Lint a single file's text. `rel_path` is the workspace-relative path
-/// (forward slashes) used both for rule scoping and in diagnostics.
-pub fn lint_file(rel_path: &str, text: &str) -> Vec<Diagnostic> {
-    let lines = scan(text);
-    let allowed = allowed_per_line(&lines);
+/// Suppressions consumed in one file: the (effective line, rule) pairs
+/// whose `allow(...)` actually swallowed a diagnostic. The `unused-allow`
+/// rule reports every ledger entry that never lands in this set.
+type UsedAllows = BTreeSet<(usize, String)>;
+
+/// Run the line rules (and the unknown-rule-in-allow audit) over one
+/// scanned file, recording which suppressions were used.
+fn line_pass(
+    rel_path: &str,
+    lines: &[ScannedLine],
+    allowed: &[Vec<String>],
+    used: &mut UsedAllows,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         // Typos in the escape hatch must not silently suppress nothing:
@@ -85,13 +112,18 @@ pub fn lint_file(rel_path: &str, text: &str) -> Vec<Diagnostic> {
             continue;
         }
         for rule in RULES {
-            if !in_scope(rule.name, rel_path) {
+            if rule.kind != RuleKind::Line || !in_scope(rule.name, rel_path) {
+                continue;
+            }
+            let messages = check_line(rule.name, &toks);
+            if messages.is_empty() {
                 continue;
             }
             if allowed[idx].iter().any(|a| a == rule.name) {
+                used.insert((idx + 1, rule.name.to_string()));
                 continue;
             }
-            for message in check_line(rule.name, &toks) {
+            for message in messages {
                 out.push(Diagnostic {
                     path: rel_path.to_string(),
                     line: idx + 1,
@@ -103,6 +135,17 @@ pub fn lint_file(rel_path: &str, text: &str) -> Vec<Diagnostic> {
         }
     }
     out
+}
+
+/// Lint a single file's text with the line rules. `rel_path` is the
+/// workspace-relative path (forward slashes) used both for rule scoping
+/// and in diagnostics. Semantic rules need the whole workspace and run
+/// only under [`lint_workspace`].
+pub fn lint_file(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let lines = scan(text);
+    let allowed = allowed_per_line(&lines);
+    let mut used = UsedAllows::new();
+    line_pass(rel_path, &lines, &allowed, &mut used)
 }
 
 /// Deterministically collect every lintable `.rs` file under `root`
@@ -142,17 +185,162 @@ fn walk(abs: &Path, rel: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()>
     Ok(())
 }
 
-/// Lint every source file in the workspace rooted at `root`. Diagnostics
-/// come back in (path, line) order.
+/// Scenario names present in committed baseline sweeps, scanned from
+/// `baselines/expected/<name>/sweep.json`. A missing baselines directory
+/// yields an empty map (and `registry-coverage` then reports every
+/// registered scenario as uncovered, which is the truth of such a tree).
+fn baseline_scenarios(root: &Path) -> std::io::Result<index::WorkspaceIndex> {
+    let mut idx = index::WorkspaceIndex::default();
+    let expected = root.join("baselines").join("expected");
+    let Ok(dir) = std::fs::read_dir(&expected) else {
+        return Ok(idx);
+    };
+    let mut names: Vec<_> = dir
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .filter(|e| e.path().is_dir())
+        .filter_map(|e| e.file_name().to_str().map(str::to_string))
+        .collect();
+    names.sort();
+    for baseline in names {
+        let sweep = expected.join(&baseline).join("sweep.json");
+        let Ok(text) = std::fs::read_to_string(&sweep) else {
+            continue;
+        };
+        for scenario in scenario_names_in(&text) {
+            let entry = idx.baseline_scenarios.entry(scenario).or_default();
+            if !entry.contains(&baseline) {
+                entry.push(baseline.clone());
+            }
+        }
+    }
+    Ok(idx)
+}
+
+/// Every distinct value of a `"scenario": "..."` key in a JSON text. A
+/// text scan, not a parse: the sweep documents are machine-written and
+/// the analyzer is dependency-free by design.
+fn scenario_names_in(text: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("\"scenario\"") {
+        rest = &rest[at + "\"scenario\"".len()..];
+        let Some(colon) = rest.find(':') else { break };
+        let tail = rest[colon + 1..].trim_start();
+        if let Some(value) = tail.strip_prefix('"') {
+            if let Some(close) = value.find('"') {
+                let name = value[..close].to_string();
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lint every source file in the workspace rooted at `root`: line rules,
+/// then the index-based semantic rules, then the `unused-allow` audit
+/// over what the first two left unconsumed. Diagnostics come back in
+/// (path, line, rule, message) order.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut out = Vec::new();
+    let mut files: Vec<(String, Vec<ScannedLine>, Vec<Vec<String>>)> = Vec::new();
     for rel in collect_sources(root)? {
         let text = std::fs::read_to_string(root.join(&rel))?;
         let rel_str = rel
             .to_string_lossy()
             .replace(std::path::MAIN_SEPARATOR, "/");
-        out.extend(lint_file(&rel_str, &text));
+        let lines = scan(&text);
+        let allowed = allowed_per_line(&lines);
+        files.push((rel_str, lines, allowed));
     }
+
+    // Pass 1: the workspace index (plus committed-baseline coverage).
+    let mut index = baseline_scenarios(root)?;
+    for (rel_str, lines, _) in &files {
+        index.files.push(index::index_file(rel_str, lines));
+    }
+
+    // Pass 2a: line rules, tracking which allows each file consumed.
+    let mut used: Vec<UsedAllows> = Vec::with_capacity(files.len());
+    for (rel_str, lines, allowed) in &files {
+        let mut u = UsedAllows::new();
+        out.extend(line_pass(rel_str, lines, allowed, &mut u));
+        used.push(u);
+    }
+
+    // Pass 2b: semantic rules over the index, same escape hatch.
+    for c in semantic::check_workspace(&index) {
+        let Some(fi) = files.iter().position(|(p, _, _)| *p == c.path) else {
+            continue;
+        };
+        let (_, lines, allowed) = &files[fi];
+        if c.line >= 1
+            && allowed
+                .get(c.line - 1)
+                .is_some_and(|a| a.iter().any(|r| r == c.rule))
+        {
+            used[fi].insert((c.line, c.rule.to_string()));
+            continue;
+        }
+        out.push(Diagnostic {
+            path: c.path,
+            line: c.line,
+            rule: c.rule.to_string(),
+            message: c.message,
+            snippet: lines
+                .get(c.line.wrapping_sub(1))
+                .map(|l| l.code.trim().to_string())
+                .unwrap_or_default(),
+        });
+    }
+
+    // Pass 2c: the `unused-allow` audit. An entry is stale when nothing
+    // consumed it; `allow(unused-allow)` on the same guarded line
+    // sanctions the whole group (and is itself exempt, as are unknown
+    // rule names — those already fired `unknown-rule-in-allow` above).
+    for (fi, (rel_str, lines, _)) in files.iter().enumerate() {
+        let ledger = allow_ledger(lines);
+        let sanctioned_groups: BTreeSet<usize> = ledger
+            .iter()
+            .filter(|e| e.rule == "unused-allow")
+            .map(|e| e.effective_line)
+            .collect();
+        for e in &ledger {
+            if e.rule == "unused-allow" || rules::rule(&e.rule).is_none() {
+                continue;
+            }
+            if e.effective_line > 0 && used[fi].contains(&(e.effective_line, e.rule.clone())) {
+                continue;
+            }
+            if sanctioned_groups.contains(&e.effective_line) {
+                continue;
+            }
+            let line = &lines[e.directive_line - 1];
+            let snippet = if line.code.trim().is_empty() {
+                line.comment.trim().to_string()
+            } else {
+                line.code.trim().to_string()
+            };
+            out.push(Diagnostic {
+                path: rel_str.clone(),
+                line: e.directive_line,
+                rule: "unused-allow".to_string(),
+                message: if e.effective_line == 0 {
+                    format!("`aq-lint: allow({})` guards no code line", e.rule)
+                } else {
+                    format!("`aq-lint: allow({})` suppresses nothing; delete it", e.rule)
+                },
+                snippet,
+            });
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+    });
     Ok(out)
 }
 
@@ -207,5 +395,24 @@ mod tests {
             "// HashMap is banned here\nlet s = \"HashMap\";\n",
         );
         assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_do_not_fire() {
+        // Regression for the scanner's raw/byte-string handling: banned
+        // identifiers inside raw string literals are data, not code.
+        let diags = lint_file(
+            "crates/core/src/x.rs",
+            "let a = r#\"HashMap thread_rng\"#;\nlet b = b\"x\\\"HashMap\\\"y\";\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn scenario_names_are_scanned_from_sweep_text() {
+        let text = "{\"cells\": [\n  {\"scenario\": \"fairness_flows\", \"seed\": 1},\n  \
+                    {\"scenario\": \"cc_mix\"},\n  {\"scenario\": \"fairness_flows\"}\n]}\n";
+        assert_eq!(scenario_names_in(text), ["cc_mix", "fairness_flows"]);
+        assert!(scenario_names_in("{\"scenario\": 3}").is_empty());
     }
 }

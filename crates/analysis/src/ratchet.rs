@@ -1,0 +1,164 @@
+//! The violation ratchet.
+//!
+//! `crates/analysis/ledger.json` commits the sanctioned per-rule
+//! violation count (normally `{}` — a clean tree). `aq-lint ratchet`
+//! compares the current tree against it and fails when any rule's count
+//! *rises* (a new violation slipped in) or *falls* (someone fixed
+//! violations but left the ledger slack — run `aq-lint ratchet --update`
+//! to tighten it, so counts monotonically approach zero and can never
+//! quietly grow back).
+
+use crate::output::per_rule_counts;
+use crate::Diagnostic;
+
+/// Workspace-relative path of the committed ledger.
+pub const LEDGER_PATH: &str = "crates/analysis/ledger.json";
+
+/// Parse the ledger's flat `{"rule": count}` document. Deliberately
+/// strict: the ledger is machine-written by `--update`, so anything the
+/// renderer would not produce is an error, not a guess.
+pub fn parse_ledger(text: &str) -> Result<Vec<(String, usize)>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("ledger is not a JSON object")?
+        .trim();
+    let mut out: Vec<(String, usize)> = Vec::new();
+    if body.is_empty() {
+        return Ok(out);
+    }
+    for entry in body.split(',') {
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("ledger entry `{}` has no `:`", entry.trim()))?;
+        let key = key.trim();
+        let rule = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("ledger key `{key}` is not a quoted string"))?;
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("ledger count for `{rule}` is not a non-negative integer"))?;
+        if out.iter().any(|(r, _)| r == rule) {
+            return Err(format!("ledger lists `{rule}` twice"));
+        }
+        out.push((rule.to_string(), count));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Render counts in the exact shape [`parse_ledger`] accepts. Zero-count
+/// entries are omitted: absence means zero.
+pub fn render_ledger(counts: &[(String, usize)]) -> String {
+    let nonzero: Vec<&(String, usize)> = counts.iter().filter(|(_, n)| *n > 0).collect();
+    if nonzero.is_empty() {
+        return "{}\n".to_string();
+    }
+    let mut out = String::from("{");
+    for (i, (rule, n)) in nonzero.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n  \"{rule}\": {n}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Compare the current diagnostics against the committed ledger. Returns
+/// one failure message per out-of-ratchet rule; empty means the gate
+/// passes.
+pub fn check(ledger: &[(String, usize)], diags: &[Diagnostic]) -> Vec<String> {
+    let current = per_rule_counts(diags);
+    let mut failures = Vec::new();
+    for (rule, have) in &current {
+        let sanctioned = ledger
+            .iter()
+            .find(|(r, _)| r == rule)
+            .map_or(0, |(_, n)| *n);
+        if *have > sanctioned {
+            failures.push(format!(
+                "rule `{rule}`: {have} violation(s), ledger sanctions {sanctioned} — \
+                 fix the new violation(s) or sanction them with `aq-lint: allow({rule})`"
+            ));
+        }
+    }
+    for (rule, sanctioned) in ledger {
+        if crate::rules::rule(rule).is_none() {
+            failures.push(format!(
+                "ledger lists unknown rule `{rule}` — remove it (run `aq-lint ratchet --update`)"
+            ));
+            continue;
+        }
+        let have = current
+            .iter()
+            .find(|(r, _)| r == rule)
+            .map_or(0, |(_, n)| *n);
+        if have < *sanctioned {
+            failures.push(format!(
+                "rule `{rule}`: {have} violation(s), ledger still sanctions {sanctioned} — \
+                 tighten it with `aq-lint ratchet --update` so the count cannot grow back"
+            ));
+        }
+    }
+    failures.sort();
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &str) -> Diagnostic {
+        Diagnostic {
+            path: "a.rs".to_string(),
+            line: 1,
+            rule: rule.to_string(),
+            message: "m".to_string(),
+            snippet: "s".to_string(),
+        }
+    }
+
+    #[test]
+    fn ledger_round_trips() {
+        let counts = vec![
+            ("no-float-eq".to_string(), 2),
+            ("no-wall-clock".to_string(), 0),
+        ];
+        let text = render_ledger(&counts);
+        assert_eq!(
+            parse_ledger(&text).unwrap(),
+            vec![("no-float-eq".to_string(), 2)]
+        );
+        assert_eq!(parse_ledger("{}").unwrap(), vec![]);
+        assert_eq!(render_ledger(&[]), "{}\n");
+        assert!(parse_ledger("[]").is_err());
+        assert!(parse_ledger("{\"a\": 1, \"a\": 2}").is_err());
+        assert!(parse_ledger("{\"a\": -1}").is_err());
+    }
+
+    #[test]
+    fn rises_and_stale_falls_both_fail() {
+        let ledger = vec![("no-float-eq".to_string(), 1)];
+        // Exactly sanctioned: passes.
+        assert!(check(&ledger, &[diag("no-float-eq")]).is_empty());
+        // One more than sanctioned: fails as a rise.
+        let f = check(&ledger, &[diag("no-float-eq"), diag("no-float-eq")]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("sanctions 1"));
+        // Fixed but ledger left slack: fails, demanding --update.
+        let f = check(&ledger, &[]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("tighten"));
+        // A rule absent from the ledger sanctions zero.
+        let f = check(&[], &[diag("no-wall-clock")]);
+        assert_eq!(f.len(), 1);
+        // Unknown rules in the ledger are themselves failures.
+        let f = check(&[("no-such-rule".to_string(), 1)], &[]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("unknown rule"));
+    }
+}

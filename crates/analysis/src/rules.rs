@@ -9,11 +9,23 @@
 
 use crate::scan::{ScannedLine, Token};
 
+/// How a rule is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Pass-2a: a per-line token heuristic over one file at a time.
+    Line,
+    /// Pass-2b: a cross-file rule over the workspace index
+    /// ([`crate::index::WorkspaceIndex`]); see [`crate::semantic`].
+    Semantic,
+}
+
 /// Static description of one rule.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
     /// Rule name as used in diagnostics and `aq-lint: allow(...)`.
     pub name: &'static str,
+    /// Line or semantic (workspace-indexed).
+    pub kind: RuleKind,
     /// One-line rationale.
     pub summary: &'static str,
 }
@@ -22,43 +34,84 @@ pub struct RuleInfo {
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "no-hash-collections",
+        kind: RuleKind::Line,
         summary: "std HashMap/HashSet iteration order is nondeterministic; \
                   use BTreeMap/BTreeSet or index-keyed Vecs in sim-state crates",
     },
     RuleInfo {
         name: "no-wall-clock",
+        kind: RuleKind::Line,
         summary: "Instant::now/SystemTime::now leak host time into results; \
                   only bench code and the harness pool supervisor may read \
                   the wall clock",
     },
     RuleInfo {
         name: "no-wallclock-in-sim",
+        kind: RuleKind::Line,
         summary: "sim-state crates must never observe host time — simulation \
                   time is the only clock; wall-clock watchdogs live solely in \
                   crates/harness (the sweep pool supervisor)",
     },
     RuleInfo {
         name: "no-os-entropy",
+        kind: RuleKind::Line,
         summary: "thread_rng/from_entropy/OsRng draw OS entropy; all randomness \
                   must flow from seeded SmallRng",
     },
     RuleInfo {
         name: "no-float-eq",
+        kind: RuleKind::Line,
         summary: "==/!= on floating-point values is representation-fragile; \
                   compare against an epsilon or use integer arithmetic",
     },
     RuleInfo {
         name: "no-narrowing-cast",
-        summary: "`as u32`/`as i32` silently truncates byte/time counters in \
+        kind: RuleKind::Line,
+        summary: "`as u32`/`as i32` (and `as usize` on byte/time counters, \
+                  which is 32-bit on 32-bit targets) silently truncates in \
                   core and netsim; use u64 or an explicit checked/masked conversion",
     },
     RuleInfo {
         name: "no-thread-in-sim",
+        kind: RuleKind::Line,
         summary: "thread spawning and channels inside sim-state crates break the \
                   single-threaded determinism contract; run-level parallelism \
                   lives only in crates/harness",
     },
+    RuleInfo {
+        name: "rng-provenance",
+        kind: RuleKind::Semantic,
+        summary: "every RNG construction must trace to seed_from_u64/from_seed \
+                  of a propagated seed; entropy-free but unseeded constructors \
+                  (default/new/from_rng) still break (scenario, seed) purity",
+    },
+    RuleInfo {
+        name: "dropcause-exhaustive",
+        kind: RuleKind::Semantic,
+        summary: "every aq_netsim DropCause variant must have an accounting arm \
+                  in StatsHub and a mapped counter serialized by RunReport, so \
+                  a new drop cause cannot silently vanish from reports",
+    },
+    RuleInfo {
+        name: "registry-coverage",
+        kind: RuleKind::Semantic,
+        summary: "every scenario in aq_workloads::registry must be named by at \
+                  least one trend rule and have a committed baseline sweep; \
+                  trend rules naming unregistered scenarios are dangling",
+    },
+    RuleInfo {
+        name: "unused-allow",
+        kind: RuleKind::Semantic,
+        summary: "an `aq-lint: allow(...)` that no longer suppresses any \
+                  diagnostic is stale and hides future violations on its line; \
+                  delete it (or sanction it with allow(unused-allow))",
+    },
 ];
+
+/// Look up a rule by name.
+pub fn rule(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
 
 /// Whether `rule` applies to the file at workspace-relative `path`
 /// (forward-slash separated).
@@ -200,34 +253,97 @@ fn thread_in_sim(toks: &[Token]) -> Vec<String> {
     out
 }
 
-/// Flags `as u32` / `as i32`.
+/// Flags `as u32` / `as i32` always, and `as usize` when the cast source
+/// looks like a byte or time counter (`usize` is 32-bit on 32-bit
+/// targets, so such casts truncate exactly like `as u32` there).
 fn narrowing_cast(toks: &[Token]) -> Vec<String> {
     let mut out = Vec::new();
-    for w in toks.windows(2) {
+    for (i, w) in toks.windows(2).enumerate() {
         if let [Token::Ident(a), Token::Ident(ty)] = w {
-            if a == "as" && (ty == "u32" || ty == "i32") {
+            if a != "as" {
+                continue;
+            }
+            if ty == "u32" || ty == "i32" {
                 out.push(format!("narrowing `as {ty}` cast"));
+            } else if ty == "usize" && counterish_cast_source(&toks[..i]) {
+                out.push(
+                    "`as usize` on a byte/time counter (32-bit on 32-bit targets)".to_string(),
+                );
             }
         }
     }
     out
 }
 
-/// Rule names suppressed on each line by `aq-lint: allow(...)` directives:
-/// a trailing comment suppresses its own line; a standalone comment line
-/// suppresses the next line that has code on it (and chains across
-/// further standalone comment lines).
+/// Does the expression being cast (tokens before the `as`, back to the
+/// nearest statement/assignment boundary) mention a byte- or time-counter
+/// identifier? Plain index casts (`id.0 as usize`) stay clean.
+fn counterish_cast_source(before: &[Token]) -> bool {
+    const COUNTERISH: &[&str] = &["bytes", "nanos", "micros", "millis"];
+    for t in before.iter().rev() {
+        match t {
+            Token::Punct(p) if p == "=" || p == ";" => return false,
+            Token::Ident(id) if COUNTERISH.iter().any(|k| id.contains(k)) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// One `aq-lint: allow(<rule>)` directive occurrence — the unit the
+/// `unused-allow` semantic rule audits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// 1-based line the directive comment sits on (diagnostic anchor).
+    pub directive_line: usize,
+    /// 1-based line the directive guards (the directive's own line for a
+    /// trailing comment, the next code line for a standalone one). `0` if
+    /// a standalone directive is followed by no code at all — such an
+    /// entry can never suppress anything.
+    pub effective_line: usize,
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+}
+
+/// Every allow directive in the file, in source order: a trailing comment
+/// suppresses its own line; a standalone comment line suppresses the next
+/// line that has code on it (and chains across further standalone comment
+/// lines).
+pub fn allow_ledger(lines: &[ScannedLine]) -> Vec<AllowEntry> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    // Indices into `entries` still waiting for their guarded code line.
+    let mut pending: Vec<usize> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let here = parse_allows(&line.comment);
+        let has_code = !line.code.trim().is_empty();
+        for rule in here {
+            let e = AllowEntry {
+                directive_line: idx + 1,
+                effective_line: if has_code { idx + 1 } else { 0 },
+                rule,
+            };
+            if !has_code {
+                pending.push(entries.len());
+            }
+            entries.push(e);
+        }
+        if has_code {
+            for p in pending.drain(..) {
+                entries[p].effective_line = idx + 1;
+            }
+        }
+    }
+    entries
+}
+
+/// Rule names suppressed on each line, derived from [`allow_ledger`].
 pub fn allowed_per_line(lines: &[ScannedLine]) -> Vec<Vec<String>> {
     let mut allowed: Vec<Vec<String>> = vec![Vec::new(); lines.len()];
-    let mut pending: Vec<String> = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        let mut here = parse_allows(&line.comment);
-        let has_code = !line.code.trim().is_empty();
-        if has_code {
-            here.append(&mut pending);
-            allowed[idx] = here;
-        } else {
-            pending.append(&mut here);
+    for e in allow_ledger(lines) {
+        if e.effective_line > 0 {
+            allowed[e.effective_line - 1].push(e.rule);
         }
     }
     allowed
@@ -305,6 +421,47 @@ mod tests {
         assert!(!msgs("no-narrowing-cast", "let x = big as u32;").is_empty());
         assert!(!msgs("no-narrowing-cast", "let x = big as i32;").is_empty());
         assert!(msgs("no-narrowing-cast", "let x = small as u64;").is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_flags_usize_on_counters_only() {
+        // Byte/time counters truncate through `as usize` on 32-bit hosts.
+        assert!(!msgs("no-narrowing-cast", "let i = (t.as_nanos() / w) as usize;").is_empty());
+        assert!(!msgs("no-narrowing-cast", "let n = total_bytes as usize;").is_empty());
+        assert!(!msgs("no-narrowing-cast", "let n = dur.as_millis() as usize;").is_empty());
+        // Plain index casts stay clean.
+        assert!(msgs(
+            "no-narrowing-cast",
+            "let s = self.slots.get(id.0 as usize);"
+        )
+        .is_empty());
+        assert!(msgs("no-narrowing-cast", "let r = (rank).clamp(1, n) as usize;").is_empty());
+        // A counter earlier in the line but behind a statement/assignment
+        // boundary does not taint the cast.
+        assert!(msgs(
+            "no-narrowing-cast",
+            "let b = tx_bytes; let i = idx as usize;"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn allow_ledger_tracks_directive_and_effective_lines() {
+        let lines = scan(
+            "let a = x as u32; // aq-lint: allow(no-narrowing-cast)\n\
+             // aq-lint: allow(no-wall-clock)\n\
+             \n\
+             let b = Instant::now();\n\
+             // aq-lint: allow(no-float-eq)\n",
+        );
+        let ledger = allow_ledger(&lines);
+        assert_eq!(ledger.len(), 3);
+        assert_eq!((ledger[0].directive_line, ledger[0].effective_line), (1, 1));
+        assert_eq!(ledger[0].rule, "no-narrowing-cast");
+        // Standalone directive guards the next code line, across blanks.
+        assert_eq!((ledger[1].directive_line, ledger[1].effective_line), (2, 4));
+        // A trailing directive with no code after it guards nothing.
+        assert_eq!((ledger[2].directive_line, ledger[2].effective_line), (5, 0));
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub struct ScannedLine {
     pub code: String,
     /// Concatenated text of every comment on the line.
     pub comment: String,
+    /// Contents of string literals on this line, in order of appearance.
+    /// Escape sequences are kept raw (`\"` stays two characters); a string
+    /// spanning lines contributes one entry per line it touches. The
+    /// workspace index (pass 1 of the semantic rules) reads these to see
+    /// registry scenario names and trend-rule targets that the blanked
+    /// `code` text deliberately hides.
+    pub strings: Vec<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +46,10 @@ pub fn scan(text: &str) -> Vec<ScannedLine> {
     for line in text.lines() {
         let mut code = String::with_capacity(line.len());
         let mut comment = String::new();
+        let mut strings: Vec<String> = Vec::new();
+        // Contents of the string literal currently open on this line (the
+        // segment on *this* line for multi-line strings).
+        let mut cur = String::new();
         let chars: Vec<char> = line.chars().collect();
         let mut i = 0;
         while i < chars.len() {
@@ -59,6 +70,18 @@ pub fn scan(text: &str) -> Vec<ScannedLine> {
                         state = State::Str;
                         code.push('"');
                         i += 1;
+                    }
+                    // `b"..."` byte strings support the same escapes as
+                    // ordinary strings (`\"` does not close them), so they
+                    // must take the escape-aware path. Routing them through
+                    // the raw-string state used to let an escaped quote
+                    // terminate the literal early and leak its remainder
+                    // into lintable code.
+                    'b' if next == Some('"') => {
+                        state = State::Str;
+                        code.push(' ');
+                        code.push('"');
+                        i += 2;
                     }
                     'r' | 'b' if is_raw_string_start(&chars, i) => {
                         let (hashes, consumed) = raw_string_open(&chars, i);
@@ -105,15 +128,21 @@ pub fn scan(text: &str) -> Vec<ScannedLine> {
                 State::Str => match c {
                     '\\' => {
                         code.push_str("  ");
+                        cur.push('\\');
+                        if let Some(n) = next {
+                            cur.push(n);
+                        }
                         i += 2;
                     }
                     '"' => {
                         state = State::Code;
                         code.push('"');
+                        strings.push(std::mem::take(&mut cur));
                         i += 1;
                     }
                     _ => {
                         code.push(' ');
+                        cur.push(c);
                         i += 1;
                     }
                 },
@@ -124,22 +153,33 @@ pub fn scan(text: &str) -> Vec<ScannedLine> {
                         for _ in 0..hashes {
                             code.push(' ');
                         }
+                        strings.push(std::mem::take(&mut cur));
                         i += 1 + hashes as usize;
                     } else {
                         code.push(' ');
+                        cur.push(c);
                         i += 1;
                     }
                 }
             }
         }
-        // A string continuing past the end of line keeps its state; a line
-        // comment never does.
-        out.push(ScannedLine { code, comment });
+        // A string continuing past the end of line keeps its state (its
+        // partial contents stay with this line); a line comment never does.
+        if !cur.is_empty() {
+            strings.push(std::mem::take(&mut cur));
+        }
+        out.push(ScannedLine {
+            code,
+            comment,
+            strings,
+        });
     }
     out
 }
 
-/// Does `r"`, `r#"`, `br"`, `b"` ... start at `i`?
+/// Does a *raw* string (`r"`, `r#"`, `br"`, `br#"`, ...) start at `i`?
+/// Plain `b"..."` byte strings are escape-aware and handled by the caller
+/// through the ordinary string state.
 fn is_raw_string_start(chars: &[char], i: usize) -> bool {
     // Reject identifiers ending in r/b, e.g. `var"..."` cannot occur but
     // `for r in ..` could be followed by `"` only across tokens; requiring
@@ -163,7 +203,6 @@ fn is_raw_string_start(chars: &[char], i: usize) -> bool {
             }
             chars.get(j) == Some(&'"')
         }
-        Some('"') if chars[i] == 'b' => true, // b"..." byte string
         _ => false,
     }
 }
@@ -344,6 +383,32 @@ mod tests {
         let c = code_of(r##"let s = r#"HashMap"#; let u = 3;"##);
         assert!(!c[0].contains("HashMap"));
         assert!(c[0].contains("let u = 3;"));
+    }
+
+    #[test]
+    fn byte_strings_honor_escaped_quotes() {
+        // Regression: `b"..."` used to be scanned as a raw string, so the
+        // escaped quote closed it early and leaked the tail into code.
+        let c = code_of(r#"let s = b"a\"HashMap\"b"; let u = 3;"#);
+        assert!(!c[0].contains("HashMap"), "leaked: {:?}", c[0]);
+        assert!(c[0].contains("let u = 3;"));
+        // Raw byte strings stay raw: `\"` is a backslash then a real close.
+        let c = code_of(r##"let s = br"x\"; HashMap"##);
+        assert!(c[0].contains("HashMap"), "raw byte string over-blanked");
+    }
+
+    #[test]
+    fn string_contents_are_captured_for_the_index() {
+        let lines = scan("let name = \"aq_state_loss\"; let r = r#\"x\"y\"#;\n");
+        assert_eq!(
+            lines[0].strings,
+            vec!["aq_state_loss".to_string(), "x\"y".to_string()]
+        );
+        // Escapes stay raw, multi-line strings contribute per-line parts.
+        let lines = scan("let a = \"p\\\"q\nrest\"; done\n");
+        assert_eq!(lines[0].strings, vec!["p\\\"q".to_string()]);
+        assert_eq!(lines[1].strings, vec!["rest".to_string()]);
+        assert!(lines[1].code.contains("done"));
     }
 
     #[test]

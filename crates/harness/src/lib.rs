@@ -33,10 +33,10 @@ use aq_bench::Approach;
 use aq_workloads::registry::Params;
 use sweep::{SweepAxis, SweepSpec};
 
-/// The committed-baseline smoke sweep: 4 scenarios × 2 approaches ×
+/// The committed-baseline smoke sweep: 5 scenarios × 2 approaches ×
 /// small grids × 3 seeds. Small enough for CI, wide enough to exercise
-/// fairness and completion trends plus both fault-injection scenarios
-/// (link flaps and AQ state loss) end to end.
+/// fairness, UDP/TCP sharing, and completion trends plus both
+/// fault-injection scenarios (link flaps and AQ state loss) end to end.
 pub fn smoke_spec() -> SweepSpec {
     let p = |s: &str| Params::parse(s).expect("static smoke grid parses");
     SweepSpec {
@@ -46,6 +46,12 @@ pub fn smoke_spec() -> SweepSpec {
                 scenario: "fairness_flows".to_string(),
                 approaches: vec![Approach::Pq, Approach::Aq],
                 grid: vec![p("b_flows=1,horizon_ms=20"), p("b_flows=4,horizon_ms=20")],
+                seeds: vec![1, 2, 3],
+            },
+            SweepAxis {
+                scenario: "udp_tcp_share".to_string(),
+                approaches: vec![Approach::Pq, Approach::Aq],
+                grid: vec![p("horizon_ms=20")],
                 seeds: vec![1, 2, 3],
             },
             SweepAxis {
@@ -130,9 +136,10 @@ mod tests {
     #[test]
     fn smoke_spec_expands_to_the_documented_size() {
         let points = sweep::expand(&smoke_spec()).expect("smoke expands");
-        // 2-point grids for fairness/completion, 1-point grids for the
-        // two fault scenarios, 2 approaches x 3 seeds each.
-        assert_eq!(points.len(), 36);
+        // 2-point grids for fairness/completion, 1-point grids for
+        // UDP/TCP sharing and the two fault scenarios, 2 approaches x
+        // 3 seeds each.
+        assert_eq!(points.len(), 42);
         for scenario in ["linkflap_dumbbell", "aq_state_loss"] {
             assert!(
                 points.iter().any(|p| p.key.scenario == scenario),

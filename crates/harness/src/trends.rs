@@ -81,6 +81,30 @@ pub enum TrendRule {
     },
 }
 
+impl TrendRule {
+    /// The scenario this rule watches. The static analyzer's
+    /// `registry-coverage` rule cross-checks these names against
+    /// `aq_workloads::registry` at lint time; this accessor is the
+    /// runtime counterpart used by the coverage test below.
+    pub fn scenario(&self) -> &'static str {
+        match self {
+            TrendRule::NotWorseThan { scenario, .. }
+            | TrendRule::AtMostFactorOf { scenario, .. }
+            | TrendRule::FlatAcrossParams { scenario, .. }
+            | TrendRule::AtLeast { scenario, .. }
+            | TrendRule::AtMost { scenario, .. } => scenario,
+        }
+    }
+}
+
+/// The distinct scenarios watched by a rule set, sorted.
+pub fn covered_scenarios(rules: &[TrendRule]) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = rules.iter().map(TrendRule::scenario).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 /// The repo's standing expectations, derived from EXPERIMENTS.md.
 ///
 /// * Fig. 8 shape: flow-count unfairness — AQ restores entity fairness
@@ -438,5 +462,27 @@ mod tests {
         ]);
         let failures = check_trends(&slow_aq, DEFAULT_RULES);
         assert!(failures.iter().any(|f| f.contains("exceeds")));
+    }
+
+    #[test]
+    fn default_rules_cover_every_registered_scenario() {
+        // Runtime counterpart of the analyzer's `registry-coverage` rule:
+        // every scenario in the registry must be watched by at least one
+        // default trend rule, and no rule may dangle on an unregistered
+        // scenario name.
+        let covered = covered_scenarios(DEFAULT_RULES);
+        for def in aq_workloads::registry::registry() {
+            assert!(
+                covered.contains(&def.name),
+                "scenario `{}` has no trend rule in DEFAULT_RULES",
+                def.name
+            );
+        }
+        for scenario in covered {
+            assert!(
+                aq_workloads::registry::find(scenario).is_some(),
+                "trend rule names unregistered scenario `{scenario}`"
+            );
+        }
     }
 }

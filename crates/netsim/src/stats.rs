@@ -74,6 +74,7 @@ impl WindowedCounter {
     }
 
     fn bucket_index(&mut self, now: Time) -> usize {
+        // aq-lint: allow(no-narrowing-cast) -- window index, horizon/window small
         let idx = (now.as_nanos() / self.window.as_nanos()) as usize;
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
@@ -96,6 +97,7 @@ impl WindowedCounter {
     /// than the recorded bucket count, so padding cannot truncate.
     pub fn padded_len(&self, end: Time) -> usize {
         let w = self.window.as_nanos();
+        // aq-lint: allow(no-narrowing-cast) -- window count, horizon/window small
         let covering = end.as_nanos().div_ceil(w) as usize;
         covering.max(self.buckets.len())
     }
@@ -135,7 +137,9 @@ impl WindowedCounter {
             return 0.0;
         }
         let w = self.window.as_nanos();
+        // aq-lint: allow(no-narrowing-cast) -- window indexes, horizon/window small
         let first = (from.as_nanos() / w) as usize;
+        // aq-lint: allow(no-narrowing-cast) -- window index, horizon/window small
         let last = (to.as_nanos().saturating_sub(1) / w) as usize;
         let mut bytes = 0u64;
         for i in first..=last {
