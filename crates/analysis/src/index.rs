@@ -5,7 +5,7 @@
 //! which enum variants exist, which qualified paths are called where,
 //! which string literals name scenarios, and which committed baselines
 //! cover them. This module derives those facts from the same
-//! [`crate::scan`] tokenizer — it is an index, not an AST: just enough
+//! [`mod@crate::scan`] tokenizer — it is an index, not an AST: just enough
 //! structure for the rules, tolerant of code it does not understand.
 //!
 //! Everything is ordered deterministically (files sorted by path, items

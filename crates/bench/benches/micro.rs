@@ -87,17 +87,21 @@ fn bench_table(c: &mut Criterion) {
         let mut i = 1u32;
         b.iter(|| {
             i = i % 1_000_000 + 1;
-            black_box(table.get(AqTag(i)).expect("deployed").gap.bytes())
+            black_box(table.rate_of(AqTag(i)).expect("deployed"))
         })
     });
-    g.bench_function("update_1m", |b| {
+    g.bench_function("process_1m", |b| {
         let mut i = 1u32;
         let mut t = 0u64;
+        let mut p = pkt();
         b.iter(|| {
             i = i % 1_000_000 + 1;
             t += 10;
-            let inst = table.get_mut(AqTag(i)).expect("deployed");
-            black_box(inst.gap.on_packet(Time::from_nanos(t), 1060))
+            black_box(
+                table
+                    .process(AqTag(i), Time::from_nanos(t), &mut p)
+                    .expect("deployed"),
+            )
         })
     });
     g.finish();

@@ -375,7 +375,7 @@ impl RunReport {
         faults: FaultSummary,
     ) {
         let mut entities = Vec::new();
-        for (&e, es) in hub.entities() {
+        for (e, es) in hub.entities() {
             let goodput_bps = if now > Time::ZERO {
                 es.rx_series.avg_bps(Time::ZERO, now)
             } else {
@@ -410,7 +410,7 @@ impl RunReport {
         }
         let ports = hub
             .ports()
-            .map(|(&p, ps)| PortRow {
+            .map(|(p, ps)| PortRow {
                 node: ps.node.0 as u64,
                 port: p.0 as u64,
                 enqueued_bytes: ps.enqueued_bytes,

@@ -112,13 +112,14 @@ impl WorkConservingReallocator {
             }
             spare -= consumed;
         }
-        // Apply, preserving accumulated gaps.
+        // Apply, preserving accumulated gaps. The equality guard is not
+        // just an optimization: `set_rate` drains the gap to `now`, and an
+        // extra drain step truncates fixed-point sub-bytes differently
+        // than one combined drain would, perturbing byte-exact baselines.
         for (id, bps) in alloc {
-            if let Some(inst) = pipe.ingress_table.get_mut(id) {
-                let r = Rate::from_bps(bps);
-                if inst.cfg.rate != r {
-                    inst.set_rate(now, r);
-                }
+            let r = Rate::from_bps(bps);
+            if pipe.ingress_table.rate_of(id) != Some(r) {
+                let _ = pipe.ingress_table.update(id, |inst| inst.set_rate(now, r));
             }
         }
         self.rounds += 1;
@@ -184,9 +185,8 @@ mod tests {
         let mut pipe = pipe_with(guarantees);
         for (id, bytes) in arrived {
             pipe.ingress_table
-                .get_mut(AqTag(*id))
-                .unwrap()
-                .arrived_bytes = *bytes;
+                .update(AqTag(*id), |inst| inst.arrived_bytes = *bytes)
+                .expect("deployed");
         }
         net.add_pipeline(sw, Box::new(pipe));
         let cfg = ReallocatorConfig {

@@ -281,12 +281,12 @@ impl AqController {
                 Position::Ingress => &mut pipeline.ingress_table,
                 Position::Egress => &mut pipeline.egress_table,
             };
-            if let Some(inst) = table.get_mut(cfg.id) {
+            let _ = table.update(cfg.id, |inst| {
                 if inst.cfg.rate != cfg.rate {
                     inst.set_rate(now, cfg.rate);
                 }
                 inst.cfg.limit_bytes = cfg.limit_bytes;
-            }
+            });
         }
     }
 }

@@ -14,7 +14,7 @@
 //! entities exceed their allocations when there is no contention.
 
 use crate::config::AqConfig;
-use crate::feedback::{process_packet, AqVerdict};
+use crate::feedback::AqVerdict;
 use crate::table::AqTable;
 use aq_netsim::ids::PortId;
 use aq_netsim::node::{PipelineVerdict, SwitchPipeline};
@@ -125,12 +125,14 @@ impl AqPipeline {
         tag: AqTag,
         pkt: &mut Packet,
     ) -> PipelineVerdict {
-        let Some(aq) = table.get_mut(tag) else {
-            // Unknown tag: the controller never granted it; forward
-            // untouched (the packet claims an AQ that does not exist here).
+        // `AqTable::process` runs Algorithm 1 + 2 on the packed rows and
+        // handles post-wipe recovery bookkeeping; `None` means the
+        // controller never granted this tag, so the packet is forwarded
+        // untouched (it claims an AQ that does not exist here).
+        let Some(verdict) = table.process(tag, now, pkt) else {
             return PipelineVerdict::Forward;
         };
-        let verdict = match process_packet(aq, now, pkt) {
+        match verdict {
             AqVerdict::Drop => {
                 stats.drops += 1;
                 PipelineVerdict::Drop
@@ -140,11 +142,7 @@ impl AqPipeline {
                 PipelineVerdict::Forward
             }
             AqVerdict::Forward | AqVerdict::ForwardWithDelay { .. } => PipelineVerdict::Forward,
-        };
-        // Fault-recovery bookkeeping: after a state wipe, the first gap
-        // level back at the pre-wipe operating point marks re-convergence.
-        aq.note_recovery(now);
-        verdict
+        }
     }
 }
 

@@ -1,23 +1,94 @@
-//! The AQ table — per-switch registry of deployed AQs.
+//! The AQ table — per-switch registry of deployed AQs, stored as a
+//! cache-packed structure of arrays.
 //!
-//! Lookup is a single indexed load on the 4-byte AQ id (R3: the abstraction
-//! must scale to millions of entities regardless of physical queue count).
-//! Ids are allocated densely by the controller, so the table is a plain
+//! Lookup is an indexed load on the 4-byte AQ id (R3: the abstraction must
+//! scale to millions of entities regardless of physical queue count). Ids
+//! are allocated densely by the controller, so the id→row map is a plain
 //! vector; slot 0 is reserved because `AqTag::NONE == 0` means "no AQ".
+//!
+//! ## Layout
+//!
+//! State is split by access frequency into dense parallel column vectors,
+//! mirroring how the paper packs each AQ into 15 bytes of register memory
+//! (4 B id · 3 B rate · 8 B limit/gap/time/CC):
+//!
+//! * `index` — id → dense row (the id bytes live here, as on the switch
+//!   where the id is the match key, not a register field);
+//! * `hot` — the per-packet enforcement state Algorithm 1 + 2 branch on:
+//!   gap, last-update time, rate, limit, CC policy (≈48 B per AQ — wider
+//!   than the switch's 15 B because the simulator keeps nanosecond clocks
+//!   and 2⁻¹⁶-byte fixed point instead of the quantized encodings of
+//!   [`PackedAq`](crate::config::PackedAq));
+//! * `cold` — counters, telemetry, and fault-recovery bookkeeping that are
+//!   written but never branched on in the forward path.
+//!
+//! The fast path is [`AqTable::process`], which runs Algorithm 2 directly
+//! on the rows via [`process_parts`]. [`AqTable::get`] and
+//! [`AqTable::iter`] assemble owned [`AqInstance`] snapshots for control
+//! and telemetry paths; arbitrary mutation goes through the closure-based
+//! [`AqTable::update`], which reassembles and writes back one row.
 //!
 //! [`AqTable::register_memory_bytes`] reports the switch register memory
 //! the deployed AQs occupy under the paper's 15-byte packed layout — the
 //! quantity plotted in Fig. 12.
 
-use crate::config::{AqConfig, AqInstance, PACKED_AQ_BYTES};
-use aq_netsim::packet::AqTag;
-use aq_netsim::time::Time;
+use crate::config::{AqConfig, AqInstance, CcPolicy, PACKED_AQ_BYTES};
+use crate::feedback::{process_parts, AqStateMut, AqVerdict};
+use crate::gap::{AGap, GapTrack};
+use aq_netsim::packet::{AqTag, Packet};
+use aq_netsim::time::{Rate, Time};
 
-/// Registry of deployed AQ instances, indexed by [`AqTag`].
+/// `index` value for "no AQ deployed under this id".
+const VACANT: u32 = u32::MAX;
+
+/// Per-packet enforcement state: everything Algorithm 1 + 2 read to reach
+/// a verdict. One row ≈ 48 bytes, the simulator-precision analogue of the
+/// paper's 15-byte register entry (see module docs for the field mapping).
+#[derive(Debug, Clone)]
+struct HotRow {
+    /// Algorithm-1 state: `aq.gap`, `aq.last_time`, and the drain rate.
+    gap: AGap,
+    /// Allocated rate `R` as configured (kept alongside the gap's drain
+    /// rate so `update` closures that touch only `cfg.rate` round-trip).
+    rate: Rate,
+    /// Maximum A-Gap (`aq.limit`, bytes).
+    limit_bytes: u64,
+    /// Feedback policy.
+    cc: CcPolicy,
+}
+
+/// Counters, telemetry, and fault-recovery bookkeeping — written on the
+/// forward path but never branched on to decide a verdict.
+#[derive(Debug, Clone)]
+struct ColdRow {
+    /// The AQ id (also the key of this row's `index` entry).
+    id: AqTag,
+    /// Packets dropped by the AQ limit.
+    drops: u64,
+    /// Packets CE-marked by this AQ.
+    marks: u64,
+    /// Bytes arrived (demand measurement for work conservation).
+    arrived_bytes: u64,
+    /// Forwarded-packet gap summary.
+    gap_track: GapTrack,
+    /// Times this AQ's dynamic state was wiped by a fault.
+    wipes: u64,
+    /// When the most recent wipe happened.
+    wiped_at: Option<Time>,
+    /// Post-wipe re-convergence target (pre-wipe mean gap, capped).
+    recover_target_bytes: u64,
+    /// When the rebuilt gap first reached the recovery target.
+    recovered_at: Option<Time>,
+}
+
+/// Registry of deployed AQ instances, indexed by [`AqTag`], stored as
+/// dense parallel hot/cold column vectors (see module docs).
 #[derive(Debug, Default)]
 pub struct AqTable {
-    slots: Vec<Option<AqInstance>>,
-    live: usize,
+    /// id → dense row, [`VACANT`] when the id is not deployed.
+    index: Vec<u32>,
+    hot: Vec<HotRow>,
+    cold: Vec<ColdRow>,
 }
 
 impl AqTable {
@@ -25,9 +96,69 @@ impl AqTable {
     pub fn new() -> AqTable {
         AqTable {
             // Slot 0 is the reserved "no AQ" id.
-            slots: vec![None],
-            live: 0,
+            index: vec![VACANT],
+            hot: Vec::new(),
+            cold: Vec::new(),
         }
+    }
+
+    fn dense(&self, id: AqTag) -> Option<usize> {
+        let d = *self.index.get(id.0 as usize)?;
+        (d != VACANT).then_some(d as usize)
+    }
+
+    fn rows(inst: AqInstance) -> (HotRow, ColdRow) {
+        (
+            HotRow {
+                gap: inst.gap,
+                rate: inst.cfg.rate,
+                limit_bytes: inst.cfg.limit_bytes,
+                cc: inst.cfg.cc,
+            },
+            ColdRow {
+                id: inst.cfg.id,
+                drops: inst.drops,
+                marks: inst.marks,
+                arrived_bytes: inst.arrived_bytes,
+                gap_track: inst.gap_track,
+                wipes: inst.wipes,
+                wiped_at: inst.wiped_at,
+                recover_target_bytes: inst.recover_target_bytes,
+                recovered_at: inst.recovered_at,
+            },
+        )
+    }
+
+    fn assemble(&self, d: usize) -> AqInstance {
+        let hot = &self.hot[d];
+        let cold = &self.cold[d];
+        AqInstance {
+            cfg: AqConfig {
+                id: cold.id,
+                rate: hot.rate,
+                limit_bytes: hot.limit_bytes,
+                cc: hot.cc,
+            },
+            gap: hot.gap.clone(),
+            drops: cold.drops,
+            marks: cold.marks,
+            arrived_bytes: cold.arrived_bytes,
+            gap_track: cold.gap_track.clone(),
+            wipes: cold.wipes,
+            wiped_at: cold.wiped_at,
+            recover_target_bytes: cold.recover_target_bytes,
+            recovered_at: cold.recovered_at,
+        }
+    }
+
+    /// Write an instance back into row `d`. The row keeps its id — a
+    /// closure rewriting `cfg.id` cannot corrupt the index.
+    fn write_back(&mut self, d: usize, inst: AqInstance) {
+        let id = self.cold[d].id;
+        let (hot, mut cold) = Self::rows(inst);
+        cold.id = id;
+        self.hot[d] = hot;
+        self.cold[d] = cold;
     }
 
     /// Deploy an AQ. Replaces any previous AQ with the same id.
@@ -37,60 +168,120 @@ impl AqTable {
     pub fn deploy(&mut self, cfg: AqConfig) {
         assert!(cfg.id.is_some(), "AQ id 0 is reserved for 'no AQ'");
         let idx = cfg.id.0 as usize;
-        if idx >= self.slots.len() {
-            self.slots.resize_with(idx + 1, || None);
+        if idx >= self.index.len() {
+            self.index.resize(idx + 1, VACANT);
         }
-        if self.slots[idx].is_none() {
-            self.live += 1;
+        let (hot, cold) = Self::rows(AqInstance::new(cfg));
+        if self.index[idx] == VACANT {
+            self.index[idx] = u32::try_from(self.hot.len()).expect("more than u32::MAX AQs");
+            self.hot.push(hot);
+            self.cold.push(cold);
+        } else {
+            let d = self.index[idx] as usize;
+            self.hot[d] = hot;
+            self.cold[d] = cold;
         }
-        self.slots[idx] = Some(AqInstance::new(cfg));
     }
 
-    /// Remove a deployed AQ, returning its final state.
+    /// Remove a deployed AQ, returning its final state. The vacated dense
+    /// row is back-filled by the last row (ids stay stable, dense order
+    /// does not — iteration is by id, so observable order is unchanged).
     pub fn remove(&mut self, id: AqTag) -> Option<AqInstance> {
-        let slot = self.slots.get_mut(id.0 as usize)?;
-        let out = slot.take();
-        if out.is_some() {
-            self.live -= 1;
+        let d = self.dense(id)?;
+        let out = self.assemble(d);
+        self.hot.swap_remove(d);
+        self.cold.swap_remove(d);
+        if d < self.hot.len() {
+            // The former last row now sits at `d` — repoint its index entry.
+            let resident = self.cold[d].id;
+            self.index[resident.0 as usize] = u32::try_from(d).expect("dense index fits u32");
         }
-        out
+        self.index[id.0 as usize] = VACANT;
+        Some(out)
     }
 
-    /// The deployed AQ with this id.
-    pub fn get(&self, id: AqTag) -> Option<&AqInstance> {
-        self.slots.get(id.0 as usize)?.as_ref()
+    /// An owned snapshot of the deployed AQ with this id, assembled from
+    /// its hot/cold rows. Mutating the snapshot does not touch the table —
+    /// use [`AqTable::update`] or [`AqTable::process`] for that.
+    pub fn get(&self, id: AqTag) -> Option<AqInstance> {
+        Some(self.assemble(self.dense(id)?))
     }
 
-    /// Mutable access (the per-packet fast path).
+    /// The allocated rate of a deployed AQ (hot-row read, no assembly).
+    pub fn rate_of(&self, id: AqTag) -> Option<Rate> {
+        Some(self.hot[self.dense(id)?].rate)
+    }
+
+    /// The per-packet fast path: run Algorithm 1 + 2 for one arrival
+    /// against the AQ matching `id`, directly on the packed rows, and
+    /// update fault-recovery bookkeeping. `None` when no AQ carries this
+    /// id (the caller forwards untouched).
     #[inline]
-    pub fn get_mut(&mut self, id: AqTag) -> Option<&mut AqInstance> {
-        self.slots.get_mut(id.0 as usize)?.as_mut()
+    pub fn process(&mut self, id: AqTag, now: Time, pkt: &mut Packet) -> Option<AqVerdict> {
+        let d = self.dense(id)?;
+        let hot = &mut self.hot[d];
+        let cold = &mut self.cold[d];
+        let verdict = process_parts(
+            AqStateMut {
+                id: cold.id,
+                cc: hot.cc,
+                limit_bytes: hot.limit_bytes,
+                gap: &mut hot.gap,
+                gap_track: &mut cold.gap_track,
+                drops: &mut cold.drops,
+                marks: &mut cold.marks,
+                arrived_bytes: &mut cold.arrived_bytes,
+            },
+            now,
+            pkt,
+        );
+        // Fault-recovery bookkeeping (same rule as
+        // [`AqInstance::note_recovery`]): after a state wipe, the first
+        // gap level back at the pre-wipe operating point marks
+        // re-convergence; first crossing wins.
+        if cold.wiped_at.is_some()
+            && cold.recovered_at.is_none()
+            && hot.gap.bytes() >= cold.recover_target_bytes
+        {
+            cold.recovered_at = Some(now);
+        }
+        Some(verdict)
+    }
+
+    /// Mutate one deployed AQ through an assembled [`AqInstance`] view —
+    /// the control-path escape hatch (rate re-division, test setup).
+    /// Returns the closure's result, or `None` when the id is not
+    /// deployed. Changes to `cfg.id` are discarded on write-back.
+    pub fn update<R>(&mut self, id: AqTag, f: impl FnOnce(&mut AqInstance) -> R) -> Option<R> {
+        let d = self.dense(id)?;
+        let mut inst = self.assemble(d);
+        let out = f(&mut inst);
+        self.write_back(d, inst);
+        Some(out)
     }
 
     /// Number of deployed AQs.
     pub fn len(&self) -> usize {
-        self.live
+        self.hot.len()
     }
 
     /// Whether no AQs are deployed.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.hot.is_empty()
     }
 
-    /// Iterate over deployed AQs in id order.
-    pub fn iter(&self) -> impl Iterator<Item = &AqInstance> {
-        self.slots.iter().filter_map(|s| s.as_ref())
-    }
-
-    /// Mutable iteration in id order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut AqInstance> {
-        self.slots.iter_mut().filter_map(|s| s.as_mut())
+    /// Iterate over owned snapshots of deployed AQs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = AqInstance> + '_ {
+        self.index
+            .iter()
+            .filter(|d| **d != VACANT)
+            .map(|d| self.assemble(*d as usize))
     }
 
     /// Switch register memory under the paper's packed layout: 15 bytes per
     /// deployed AQ (Fig. 12's model).
     pub fn register_memory_bytes(&self) -> usize {
-        self.live * PACKED_AQ_BYTES
+        self.hot.len() * PACKED_AQ_BYTES
     }
 
     /// Wipe the dynamic state of every deployed AQ at `now` (fault
@@ -99,10 +290,9 @@ impl AqTable {
     /// counters, and telemetry restart from zero and must be rebuilt from
     /// subsequent arrivals (see [`AqInstance::wiped`]).
     pub fn wipe(&mut self, now: Time) {
-        for slot in self.slots.iter_mut() {
-            if let Some(inst) = slot.take() {
-                *slot = Some(inst.wiped(now));
-            }
+        for d in 0..self.hot.len() {
+            let wiped = self.assemble(d).wiped(now);
+            self.write_back(d, wiped);
         }
     }
 }
@@ -111,6 +301,7 @@ impl AqTable {
 mod tests {
     use super::*;
     use crate::config::CcPolicy;
+    use aq_netsim::ids::{EntityId, FlowId, NodeId};
     use aq_netsim::time::Rate;
 
     fn cfg(id: u32) -> AqConfig {
@@ -120,6 +311,19 @@ mod tests {
             limit_bytes: 100_000,
             cc: CcPolicy::DropBased,
         }
+    }
+
+    fn pkt(size: u32) -> Packet {
+        Packet::data(
+            FlowId(1),
+            EntityId(1),
+            NodeId(0),
+            NodeId(1),
+            0,
+            size,
+            false,
+            Time::ZERO,
+        )
     }
 
     #[test]
@@ -177,5 +381,109 @@ mod tests {
         assert_eq!(t.len(), 1_000_000);
         assert_eq!(t.register_memory_bytes(), 15_000_000);
         assert!(t.get(AqTag(999_999)).is_some());
+    }
+
+    #[test]
+    fn hot_row_stays_within_one_cache_line() {
+        // The cache-packing claim PERFORMANCE.md documents: the state the
+        // forward path branches on fits well inside a 64-byte line.
+        assert!(
+            std::mem::size_of::<HotRow>() <= 64,
+            "HotRow grew to {} bytes",
+            std::mem::size_of::<HotRow>()
+        );
+    }
+
+    #[test]
+    fn process_matches_the_instance_path_bit_for_bit() {
+        // Same trace through table.process and through a standalone
+        // AqInstance + process_packet: verdicts and final state agree.
+        let mut t = AqTable::new();
+        t.deploy(cfg(1));
+        let mut inst = AqInstance::new(cfg(1));
+        for k in 0..200u64 {
+            let now = Time::from_nanos(k * 700);
+            let mut a = pkt(60_000);
+            let mut b = a.clone();
+            let via_table = t.process(AqTag(1), now, &mut a).expect("deployed");
+            let via_inst = crate::feedback::process_packet(&mut inst, now, &mut b);
+            assert_eq!(via_table, via_inst, "verdict diverged at packet {k}");
+            assert_eq!(a.vdelay_ns, b.vdelay_ns);
+        }
+        let snap = t.get(AqTag(1)).unwrap();
+        assert_eq!(snap.gap.bytes(), inst.gap.bytes());
+        assert_eq!(snap.drops, inst.drops);
+        assert_eq!(snap.arrived_bytes, inst.arrived_bytes);
+        assert!(snap.drops > 0, "trace should exercise the drop branch");
+    }
+
+    #[test]
+    fn process_on_unknown_id_is_none() {
+        let mut t = AqTable::new();
+        t.deploy(cfg(1));
+        assert!(t.process(AqTag(2), Time::ZERO, &mut pkt(1000)).is_none());
+        assert!(t.process(AqTag::NONE, Time::ZERO, &mut pkt(1000)).is_none());
+    }
+
+    #[test]
+    fn update_round_trips_through_the_rows() {
+        let mut t = AqTable::new();
+        t.deploy(cfg(4));
+        let r = Rate::from_gbps(7);
+        t.update(AqTag(4), |inst| inst.set_rate(Time::from_micros(1), r))
+            .expect("deployed");
+        assert_eq!(t.rate_of(AqTag(4)), Some(r));
+        let snap = t.get(AqTag(4)).unwrap();
+        assert_eq!(snap.cfg.rate, r);
+        assert_eq!(snap.gap.rate(), r);
+        assert!(t.update(AqTag(9), |_| ()).is_none());
+    }
+
+    #[test]
+    fn get_returns_a_detached_snapshot() {
+        let mut t = AqTable::new();
+        t.deploy(cfg(1));
+        let mut snap = t.get(AqTag(1)).unwrap();
+        snap.drops = 99;
+        assert_eq!(t.get(AqTag(1)).unwrap().drops, 0);
+    }
+
+    #[test]
+    fn remove_back_fill_keeps_other_ids_resolvable() {
+        let mut t = AqTable::new();
+        for id in 1..=4 {
+            t.deploy(cfg(id));
+        }
+        // Removing an interior id moves the last dense row into its slot.
+        let gone = t.remove(AqTag(2)).expect("deployed");
+        assert_eq!(gone.cfg.id, AqTag(2));
+        for id in [1, 3, 4] {
+            assert_eq!(t.get(AqTag(id)).unwrap().cfg.id, AqTag(id));
+        }
+        // The back-filled row still processes under its own id.
+        // (1000 B of payload + 60 B header = 1060 B on the wire.)
+        assert!(t.process(AqTag(4), Time::ZERO, &mut pkt(1000)).is_some());
+        assert_eq!(t.get(AqTag(4)).unwrap().arrived_bytes, 1060);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn wipe_resets_dynamic_state_and_arms_recovery() {
+        let mut t = AqTable::new();
+        t.deploy(cfg(1));
+        t.process(AqTag(1), Time::ZERO, &mut pkt(1000))
+            .expect("deployed");
+        t.wipe(Time::from_millis(1));
+        let snap = t.get(AqTag(1)).unwrap();
+        assert_eq!(snap.gap.bytes(), 0);
+        // One 1060 B arrival (1000 B payload + 60 B header) sets the mean.
+        assert_eq!((snap.wipes, snap.recover_target_bytes), (1, 1060));
+        // One post-wipe arrival rebuilds the gap past the target.
+        t.process(AqTag(1), Time::from_millis(2), &mut pkt(1000))
+            .expect("deployed");
+        assert_eq!(
+            t.get(AqTag(1)).unwrap().recovered_at,
+            Some(Time::from_millis(2))
+        );
     }
 }

@@ -25,6 +25,7 @@
 pub mod agg;
 pub mod diff;
 pub mod drill;
+pub mod perf;
 pub mod pool;
 pub mod sweep;
 pub mod trends;

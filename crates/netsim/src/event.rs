@@ -3,22 +3,42 @@
 //! Events are ordered by `(time, sequence)` where the sequence number is the
 //! order of insertion; ties in time therefore resolve in FIFO order and a
 //! run is exactly reproducible given the same inputs and seed.
+//!
+//! Two interchangeable scheduler implementations live here:
+//!
+//! * [`SchedulerKind::Wheel`] (default) — a 3-level hierarchical timing
+//!   wheel with 256 slots per level (1.024 µs grain, ~17 s span) and a
+//!   sorted `BTreeMap` overflow for events beyond the current ~17 s
+//!   epoch. Pushes beyond the current slot are O(1); the current slot's
+//!   events sit in a cursor-tracked sorted run, so pops are O(1) and
+//!   same-slot pushes later than all pending events (the common case)
+//!   append in O(1). Discrete-event workloads cluster events tightly in
+//!   time, so slots stay small and the wheel beats the comparison heap's
+//!   O(log n)-of-everything per operation.
+//! * [`SchedulerKind::Heap`] — the original binary-heap scheduler, kept
+//!   as the reference implementation the wheel is property-tested
+//!   against and as a `aq-sweep perf --scheduler heap` baseline.
+//!
+//! Both pop in exactly the same global `(time, seq)` order, so swapping
+//! schedulers cannot change any simulation result — the determinism e2e
+//! suite pins this with byte-identical report digests.
 
 use crate::ids::{AgentId, LinkId, NodeId, PortId};
-use crate::packet::Packet;
+use crate::packet::PacketRef;
 use crate::time::Time;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// What happens when an event fires.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub enum EventKind {
     /// A packet finishes propagating over a link and arrives at `node`.
     Arrive {
         /// The receiving node.
         node: NodeId,
-        /// The arriving packet.
-        packet: Packet,
+        /// The arriving packet, checked out of the simulator's
+        /// [`PacketArena`](crate::packet::PacketArena).
+        packet: PacketRef,
         /// The link the packet propagated over.
         link: LinkId,
         /// The link's down-transition epoch captured when the packet was
@@ -61,7 +81,7 @@ pub enum EventKind {
 }
 
 /// A scheduled event.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub struct Event {
     /// When the event fires.
     pub time: Time,
@@ -91,44 +111,330 @@ impl Ord for Event {
     }
 }
 
-/// The pending-event set.
+/// Which event-scheduler implementation a [`Simulator`](crate::sim::Simulator)
+/// run uses. Both produce identical pop order; the wheel is faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timing wheel (default).
+    #[default]
+    Wheel,
+    /// Binary-heap reference implementation.
+    Heap,
+}
+
+impl SchedulerKind {
+    /// Stable lowercase name (CLI flags, `BENCH_*.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Wheel => "wheel",
+            SchedulerKind::Heap => "heap",
+        }
+    }
+
+    /// Parse counterpart of [`SchedulerKind::name`].
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s {
+            "wheel" => Some(SchedulerKind::Wheel),
+            "heap" => Some(SchedulerKind::Heap),
+            _ => None,
+        }
+    }
+}
+
+/// Slots per wheel level (2^8).
+const SLOTS: usize = 256;
+/// `u64` words per level occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+/// Wheel levels.
+const LEVELS: usize = 3;
+/// Bit shift of each level's slot grain: level 0 slots are 2^10 ns
+/// (1.024 µs) wide, level 1 slots 2^18 ns (262 µs), level 2 slots
+/// 2^26 ns (67 ms).
+const SHIFT: [u32; LEVELS] = [10, 18, 26];
+/// Everything at or beyond 2^34 ns (~17.2 s) from the epoch base lives in
+/// the sorted overflow map.
+const EPOCH_SHIFT: u32 = 34;
+
+/// The hierarchical timing wheel.
+///
+/// Invariants (maintained by `place`/`refill`):
+///
+/// * `batch[cursor..]` holds every pending event whose level-0 slot is at
+///   or before the current position (`pos >> SHIFT[0]`), sorted
+///   *ascending* by `(time, seq)`; `batch[..cursor]` are already-popped
+///   events awaiting bulk reclamation. Popping reads at the cursor in
+///   O(1), and a same-slot push later than everything pending (the
+///   common case: a port's next `TxComplete`, a timer armed for later in
+///   the slot) appends in O(1) — only an out-of-order same-slot push
+///   pays an ordered insert;
+/// * a level-`L` slot only holds events inside the current level-`L+1`
+///   window but beyond the current level-`L` slot, so per-level slot
+///   indices of pending events are always >= the current index;
+/// * `overflow` only holds events in future epochs.
+///
+/// Together these mean the next event is always `batch[cursor]`, and when
+/// the batch drains, the earliest remaining event is in the lowest
+/// occupied slot of the lowest non-empty level (or the overflow head) —
+/// which is exactly what `refill` cascades from.
 #[derive(Default)]
+struct Wheel {
+    /// Current wheel position in nanoseconds; `pos >> SHIFT[0]` is the
+    /// slot the batch covers. Never decreases.
+    pos: u64,
+    /// Front buffer: the current slot's events, ascending `(time, seq)`
+    /// from `cursor` on.
+    batch: Vec<Event>,
+    /// Index of the next unpopped event in `batch`.
+    cursor: usize,
+    /// `LEVELS * SLOTS` slot buckets, level-major.
+    slots: Vec<Vec<Event>>,
+    /// Per-level slot occupancy bitmaps.
+    occ: [[u64; WORDS]; LEVELS],
+    /// Far-future events, keyed by `(time ns, seq)`.
+    overflow: BTreeMap<(u64, u64), EventKind>,
+    /// Total pending events across batch, slots, and overflow.
+    len: usize,
+}
+
+impl Wheel {
+    fn new() -> Wheel {
+        Wheel {
+            slots: std::iter::repeat_with(Vec::new)
+                .take(LEVELS * SLOTS)
+                .collect(),
+            ..Wheel::default()
+        }
+    }
+
+    /// File an event into the batch, a wheel slot, or the overflow,
+    /// according to its time relative to the current position. Used by
+    /// both fresh pushes and re-placement during cascades (the event's
+    /// original `seq` is preserved).
+    fn place(&mut self, ev: Event) {
+        let t = ev.time.as_nanos();
+        if (t >> SHIFT[0]) <= (self.pos >> SHIFT[0]) {
+            // Current slot (or a past-due timer): into the sorted batch.
+            // The `(time, seq)` key is unique, so order is total and
+            // equal-time events still pop FIFO by insertion seq.
+            let key = (ev.time, ev.seq);
+            if self.batch.last().is_none_or(|e| (e.time, e.seq) < key) {
+                self.batch.push(ev);
+            } else {
+                let at = self.cursor
+                    + self.batch[self.cursor..].partition_point(|e| (e.time, e.seq) < key);
+                self.batch.insert(at, ev);
+            }
+            return;
+        }
+        for level in 0..LEVELS {
+            let parent_shift = if level + 1 < LEVELS {
+                SHIFT[level + 1]
+            } else {
+                EPOCH_SHIFT
+            };
+            if (t >> parent_shift) == (self.pos >> parent_shift) {
+                let idx = ((t >> SHIFT[level]) & (SLOTS as u64 - 1)) as usize;
+                self.slots[level * SLOTS + idx].push(ev);
+                self.occ[level][idx / 64] |= 1u64 << (idx % 64);
+                return;
+            }
+        }
+        self.overflow.insert((t, ev.seq), ev.kind);
+    }
+
+    /// Lowest occupied slot index >= `from` at `level`, if any.
+    fn next_occupied(&self, level: usize, from: usize) -> Option<usize> {
+        if from >= SLOTS {
+            return None;
+        }
+        let mut word = from / 64;
+        let mut bits = self.occ[level][word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= WORDS {
+                return None;
+            }
+            bits = self.occ[level][word];
+        }
+    }
+
+    /// Detach slot `idx` of `level`, clearing its occupancy bit. The
+    /// caller returns the (drained) `Vec` via `restore_slot` to recycle
+    /// its capacity.
+    fn take_slot(&mut self, level: usize, idx: usize) -> Vec<Event> {
+        self.occ[level][idx / 64] &= !(1u64 << (idx % 64));
+        std::mem::take(&mut self.slots[level * SLOTS + idx])
+    }
+
+    fn restore_slot(&mut self, level: usize, idx: usize, empty: Vec<Event>) {
+        debug_assert!(empty.is_empty());
+        self.slots[level * SLOTS + idx] = empty;
+    }
+
+    /// Refill the batch from the wheel when it runs dry: advance to the
+    /// next occupied level-0 slot, cascading parent slots (and finally
+    /// the overflow's next epoch) down as the position crosses their
+    /// windows.
+    fn refill(&mut self) {
+        loop {
+            if self.cursor < self.batch.len() || self.len == 0 {
+                return;
+            }
+            self.batch.clear();
+            self.cursor = 0;
+            let cur0 = ((self.pos >> SHIFT[0]) & (SLOTS as u64 - 1)) as usize;
+            if let Some(idx) = self.next_occupied(0, cur0) {
+                // Enter the slot: its events become the new batch.
+                self.pos = (self.pos >> SHIFT[1] << SHIFT[1]) | ((idx as u64) << SHIFT[0]);
+                let mut v = self.take_slot(0, idx);
+                self.batch.append(&mut v);
+                self.batch.sort_unstable_by_key(|e| (e.time, e.seq));
+                self.restore_slot(0, idx, v);
+                continue;
+            }
+            let cur1 = ((self.pos >> SHIFT[1]) & (SLOTS as u64 - 1)) as usize;
+            if let Some(idx) = self.next_occupied(1, cur1 + 1) {
+                self.pos = (self.pos >> SHIFT[2] << SHIFT[2]) | ((idx as u64) << SHIFT[1]);
+                self.cascade(1, idx);
+                continue;
+            }
+            let cur2 = ((self.pos >> SHIFT[2]) & (SLOTS as u64 - 1)) as usize;
+            if let Some(idx) = self.next_occupied(2, cur2 + 1) {
+                self.pos = (self.pos >> EPOCH_SHIFT << EPOCH_SHIFT) | ((idx as u64) << SHIFT[2]);
+                self.cascade(2, idx);
+                continue;
+            }
+            // Wheels empty: pull the overflow's next epoch in.
+            let Some((&(t, _), _)) = self.overflow.first_key_value() else {
+                unreachable!("len > 0 but batch, slots, and overflow are all empty");
+            };
+            let epoch = t >> EPOCH_SHIFT;
+            self.pos = epoch << EPOCH_SHIFT;
+            while let Some((&(t, _), _)) = self.overflow.first_key_value() {
+                if (t >> EPOCH_SHIFT) != epoch {
+                    break;
+                }
+                let ((t, seq), kind) = self.overflow.pop_first().expect("head exists");
+                self.place(Event {
+                    time: Time::from_nanos(t),
+                    seq,
+                    kind,
+                });
+            }
+        }
+    }
+
+    /// Re-place every event of a parent slot now that the position
+    /// entered its window; they land in lower levels (or the batch).
+    fn cascade(&mut self, level: usize, idx: usize) {
+        let mut v = self.take_slot(level, idx);
+        for ev in v.drain(..) {
+            self.place(ev);
+        }
+        self.restore_slot(level, idx, v);
+    }
+
+    fn push(&mut self, ev: Event) {
+        self.len += 1;
+        self.place(ev);
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.refill();
+        let ev = *self.batch.get(self.cursor)?;
+        self.cursor += 1;
+        self.len -= 1;
+        Some(ev)
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        self.refill();
+        self.batch.get(self.cursor).map(|e| e.time)
+    }
+}
+
+enum Imp {
+    Wheel(Box<Wheel>),
+    Heap(BinaryHeap<Event>),
+}
+
+/// The pending-event set.
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    imp: Imp,
     next_seq: u64,
 }
 
+impl Default for EventQueue {
+    fn default() -> EventQueue {
+        EventQueue::new()
+    }
+}
+
 impl EventQueue {
-    /// An empty queue.
+    /// An empty queue using the default scheduler (the timing wheel).
     pub fn new() -> EventQueue {
-        EventQueue::default()
+        EventQueue::with_scheduler(SchedulerKind::default())
+    }
+
+    /// An empty queue using the given scheduler implementation.
+    pub fn with_scheduler(kind: SchedulerKind) -> EventQueue {
+        let imp = match kind {
+            SchedulerKind::Wheel => Imp::Wheel(Box::new(Wheel::new())),
+            SchedulerKind::Heap => Imp::Heap(BinaryHeap::new()),
+        };
+        EventQueue { imp, next_seq: 0 }
+    }
+
+    /// Which scheduler implementation this queue runs.
+    pub fn scheduler(&self) -> SchedulerKind {
+        match self.imp {
+            Imp::Wheel(_) => SchedulerKind::Wheel,
+            Imp::Heap(_) => SchedulerKind::Heap,
+        }
     }
 
     /// Schedule `kind` to fire at `time`.
     pub fn push(&mut self, time: Time, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let ev = Event { time, seq, kind };
+        match &mut self.imp {
+            Imp::Wheel(w) => w.push(ev),
+            Imp::Heap(h) => h.push(ev),
+        }
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        match &mut self.imp {
+            Imp::Wheel(w) => w.pop(),
+            Imp::Heap(h) => h.pop(),
+        }
     }
 
-    /// Time of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+    /// Time of the earliest pending event, if any. Takes `&mut self`
+    /// because the wheel may advance its front buffer to answer.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        match &mut self.imp {
+            Imp::Wheel(w) => w.peek_time(),
+            Imp::Heap(h) => h.peek().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            Imp::Wheel(w) => w.len,
+            Imp::Heap(h) => h.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -140,40 +446,153 @@ mod tests {
         EventKind::PortWake { port: PortId(p) }
     }
 
+    fn both() -> [EventQueue; 2] {
+        [
+            EventQueue::with_scheduler(SchedulerKind::Wheel),
+            EventQueue::with_scheduler(SchedulerKind::Heap),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_nanos(30), wake(3));
-        q.push(Time::from_nanos(10), wake(1));
-        q.push(Time::from_nanos(20), wake(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| e.time.as_nanos())
-            .collect();
-        assert_eq!(order, vec![10, 20, 30]);
+        for mut q in both() {
+            q.push(Time::from_nanos(30), wake(3));
+            q.push(Time::from_nanos(10), wake(1));
+            q.push(Time::from_nanos(20), wake(2));
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|e| e.time.as_nanos())
+                .collect();
+            assert_eq!(order, vec![10, 20, 30]);
+        }
     }
 
     #[test]
     fn equal_times_pop_in_insertion_order() {
-        let mut q = EventQueue::new();
-        for i in 0..100u32 {
-            q.push(Time::from_nanos(5), wake(i));
-        }
-        let mut seen = Vec::new();
-        while let Some(e) = q.pop() {
-            if let EventKind::PortWake { port } = e.kind {
-                seen.push(port.0);
+        for mut q in both() {
+            for i in 0..100u32 {
+                q.push(Time::from_nanos(5), wake(i));
             }
+            let mut seen = Vec::new();
+            while let Some(e) = q.pop() {
+                if let EventKind::PortWake { port } = e.kind {
+                    seen.push(port.0);
+                }
+            }
+            assert_eq!(seen, (0..100u32).collect::<Vec<_>>());
         }
-        assert_eq!(seen, (0..100u32).collect::<Vec<_>>());
     }
 
     #[test]
     fn peek_time_reports_earliest() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(Time::from_nanos(7), wake(0));
-        q.push(Time::from_nanos(3), wake(0));
-        assert_eq!(q.peek_time(), Some(Time::from_nanos(3)));
-        assert_eq!(q.len(), 2);
+        for mut q in both() {
+            assert_eq!(q.peek_time(), None);
+            q.push(Time::from_nanos(7), wake(0));
+            q.push(Time::from_nanos(3), wake(0));
+            assert_eq!(q.peek_time(), Some(Time::from_nanos(3)));
+            assert_eq!(q.len(), 2);
+        }
+    }
+
+    /// Drain `q` fully, returning `(time, port)` pairs in pop order.
+    fn drain(q: &mut EventQueue) -> Vec<(u64, u32)> {
+        std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::PortWake { port } => (e.time.as_nanos(), port.0),
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wheel_matches_heap_across_level_boundaries() {
+        // Times straddling every wheel boundary: slot edges, level-1/2
+        // windows, and the ~17 s epoch (overflow).
+        let times: Vec<u64> = vec![
+            0,
+            1,
+            1023,
+            1024,
+            1025,
+            (1 << 18) - 1,
+            1 << 18,
+            (1 << 18) + 1,
+            (1 << 26) - 1,
+            1 << 26,
+            (1 << 26) + 1,
+            (1 << 34) - 1,
+            1 << 34,
+            (1 << 34) + 1,
+            (1 << 34) + (1 << 26) + (1 << 18) + 1024 + 1,
+            3 << 34,
+            u64::from(u32::MAX) * 16,
+        ];
+        let [mut wheel, mut heap] = both();
+        for (i, &t) in times.iter().enumerate() {
+            let idx = u32::try_from(i).expect("small test index");
+            wheel.push(Time::from_nanos(t), wake(idx));
+            heap.push(Time::from_nanos(t), wake(idx));
+        }
+        assert_eq!(drain(&mut wheel), drain(&mut heap));
+    }
+
+    #[test]
+    fn wheel_matches_heap_under_interleaved_push_pop() {
+        // Deterministic pseudo-random interleaving of pushes (with
+        // monotonically drifting times, like a simulation) and pops.
+        let [mut wheel, mut heap] = both();
+        let mut x: u64 = 0x9E37_79B9;
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let mut now = 0u64;
+        let mut pushed = 0u32;
+        for round in 0..2000 {
+            let delta = step() % 2_000_000; // spans slot and level-1 edges
+            let t = now + delta;
+            wheel.push(Time::from_nanos(t), wake(pushed));
+            heap.push(Time::from_nanos(t), wake(pushed));
+            pushed += 1;
+            if round % 3 == 0 {
+                let (a, b) = (wheel.pop(), heap.pop());
+                match (&a, &b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.time, x.seq), (y.time, y.seq));
+                        now = x.time.as_nanos();
+                    }
+                    _ => assert!(a.is_none() && b.is_none()),
+                }
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        assert_eq!(drain(&mut wheel), drain(&mut heap));
+    }
+
+    #[test]
+    fn past_due_events_pop_immediately_like_the_heap() {
+        // A timer armed in the past (relative to the wheel position) must
+        // pop before everything else — identical to heap semantics.
+        let [mut wheel, mut heap] = both();
+        for q in [&mut wheel, &mut heap] {
+            q.push(Time::from_nanos(500_000), wake(1));
+            let first = q.pop().expect("event");
+            assert_eq!(first.time.as_nanos(), 500_000);
+            q.push(Time::from_nanos(600_000), wake(2));
+            q.push(Time::from_nanos(10), wake(3)); // past-due
+        }
+        assert_eq!(drain(&mut wheel), drain(&mut heap));
+    }
+
+    #[test]
+    fn far_future_events_round_trip_through_overflow() {
+        let mut q = EventQueue::with_scheduler(SchedulerKind::Wheel);
+        let far = (1u64 << 34) * 5 + 12_345;
+        q.push(Time::from_nanos(far), wake(9));
+        q.push(Time::from_nanos(far), wake(10)); // FIFO inside overflow
+        q.push(Time::from_nanos(3), wake(1));
+        assert_eq!(drain(&mut q), vec![(3, 1), (far, 9), (far, 10)]);
+        assert!(q.is_empty());
     }
 }

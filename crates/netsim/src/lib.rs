@@ -53,6 +53,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use event::SchedulerKind;
 pub use fault::{AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultTotals};
 pub use ids::{AgentId, EntityId, FlowId, LinkId, NodeId, PortId};
 pub use node::{HostApp, HostCtx, PipelineVerdict, SwitchPipeline};

@@ -101,9 +101,12 @@ pub enum TransportHeader {
 
 /// A packet traversing the simulated network.
 ///
-/// Packets are moved by value through queues and links; there is no
-/// refcounting or buffer pooling — a packet is a small plain struct and the
-/// simulator is single-threaded.
+/// Packets are moved by value through queues and links — a packet is a
+/// small plain struct and the simulator is single-threaded. While a packet
+/// propagates over a link it is parked in the simulator's [`PacketArena`]
+/// and the in-flight event carries only a [`PacketRef`], keeping events
+/// small and recycling packet storage instead of round-tripping it through
+/// the allocator.
 #[derive(Clone, Debug)]
 pub struct Packet {
     /// Globally unique id (assigned by the simulator on injection).
@@ -245,9 +248,122 @@ impl Packet {
     }
 }
 
+/// Handle to a packet parked in a [`PacketArena`] — the payload of
+/// in-flight [`Arrive`](crate::event::EventKind::Arrive) events. A ref is
+/// checked out exactly once; the slot is recycled on [`PacketArena::take`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketRef(u32);
+
+/// A freelist arena for packets in flight over links.
+///
+/// The event queue stores tens of thousands of pending arrivals; holding
+/// each `Packet` (~112 bytes) inline in its event made every event copy
+/// and every scheduler operation drag that weight around. The arena parks
+/// the packet in a stable slot, events carry a 4-byte [`PacketRef`], and
+/// freed slots are reused in LIFO order — no per-packet allocator traffic
+/// after the high-water mark, and no effect on determinism (slot choice
+/// never influences event order).
+#[derive(Default)]
+pub struct PacketArena {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> PacketArena {
+        PacketArena::default()
+    }
+
+    /// Park `pkt`, returning its handle.
+    pub fn alloc(&mut self, pkt: Packet) -> PacketRef {
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                debug_assert!(slot.is_none(), "freelist pointed at a live slot");
+                *slot = Some(pkt);
+                PacketRef(idx)
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("arena outgrew u32 handles");
+                self.slots.push(Some(pkt));
+                PacketRef(idx)
+            }
+        }
+    }
+
+    /// Check the packet back out, recycling its slot.
+    ///
+    /// # Panics
+    /// Panics if the handle was already taken — every ref is single-use.
+    pub fn take(&mut self, r: PacketRef) -> Packet {
+        let pkt = self.slots[r.0 as usize]
+            .take()
+            .expect("PacketRef taken twice");
+        self.free.push(r.0);
+        pkt
+    }
+
+    /// Packets currently parked.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Slots ever allocated (the high-water mark of in-flight packets).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arena_recycles_slots_lifo() {
+        let mut arena = PacketArena::new();
+        let mk = |seq| {
+            Packet::data(
+                FlowId(1),
+                EntityId(1),
+                NodeId(0),
+                NodeId(1),
+                seq,
+                MSS,
+                false,
+                Time::ZERO,
+            )
+        };
+        let a = arena.alloc(mk(0));
+        let b = arena.alloc(mk(1));
+        assert_eq!(arena.live(), 2);
+        let pa = arena.take(a);
+        assert!(matches!(pa.transport, TransportHeader::Data { seq: 0, .. }));
+        // Freed slot is reused before the arena grows.
+        let c = arena.alloc(mk(2));
+        assert_eq!(c, a);
+        assert_eq!(arena.capacity(), 2);
+        let pb = arena.take(b);
+        assert!(matches!(pb.transport, TransportHeader::Data { seq: 1, .. }));
+        arena.take(c);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn arena_rejects_double_take() {
+        let mut arena = PacketArena::new();
+        let r = arena.alloc(Packet::datagram(
+            FlowId(1),
+            EntityId(1),
+            NodeId(0),
+            NodeId(1),
+            MSS,
+            Time::ZERO,
+        ));
+        arena.take(r);
+        arena.take(r);
+    }
 
     #[test]
     fn data_packet_carries_header_overhead() {

@@ -8,7 +8,7 @@
 use crate::ids::{LinkId, NodeId, PortId};
 use crate::packet::Packet;
 use crate::queue::QueueDiscipline;
-use crate::time::Time;
+use crate::time::{Duration, Time};
 
 /// Per-port cumulative transmit/drop counters kept on the port itself.
 ///
@@ -47,6 +47,13 @@ pub struct Port {
     pub wake_at: Option<Time>,
     /// Cumulative counters.
     pub stats: PortCounters,
+    /// Memo of the last serialization-time computation `(wire bytes,
+    /// duration)`. Traffic on a port is dominated by one or two frame
+    /// sizes (MSS data one way, ACKs the other), and the link rate is
+    /// fixed, so this skips the `u128` division in
+    /// [`crate::time::Rate::transmit_time`] for almost every packet.
+    /// Pure memoization of a pure function — timings are bit-identical.
+    pub tx_memo: (u64, Duration),
 }
 
 impl Port {
@@ -61,6 +68,9 @@ impl Port {
             launch_downs: 0,
             wake_at: None,
             stats: PortCounters::default(),
+            // Matches the real computation for 0 bytes (0 bits → 0 ns), so
+            // the memo is valid from the start.
+            tx_memo: (0, Duration::ZERO),
         }
     }
 

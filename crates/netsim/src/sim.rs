@@ -17,14 +17,14 @@
 //! 4. at the destination host the simulator records delivery stats and
 //!    hands the packet to the app.
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, SchedulerKind};
 use crate::fault::{
     AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultState, FaultTotals, LossProcess,
 };
 use crate::ids::{AgentId, LinkId, NodeId, PortId};
 use crate::link::Link;
 use crate::node::{HostApp, HostCtx, Node, NodeKind, PipelineVerdict};
-use crate::packet::{Packet, TransportHeader};
+use crate::packet::{Packet, PacketArena, TransportHeader};
 use crate::port::Port;
 use crate::queue::{DropCause, Enqueued};
 use crate::stats::StatsHub;
@@ -38,7 +38,7 @@ pub struct Network {
     pub nodes: Vec<Node>,
     /// All output ports, indexed by [`PortId`].
     pub ports: Vec<Port>,
-    /// All unidirectional links, indexed by [`LinkId`](crate::ids::LinkId).
+    /// All unidirectional links, indexed by [`LinkId`].
     pub links: Vec<Link>,
     /// `routes[node][dst]` is the set of equal-cost next-hop ports on
     /// `node` toward `dst` (ECMP); flows hash onto one of them.
@@ -207,6 +207,13 @@ pub struct Simulator {
     /// Installed fault plan plus runtime link/host health (see
     /// [`crate::fault`]).
     faults: FaultState,
+    /// Freelist arena parking packets in flight over links; `Arrive`
+    /// events carry a [`PacketRef`](crate::packet::PacketRef) into it.
+    arena: PacketArena,
+    /// Recycled send buffer lent to host-app callbacks.
+    scratch_sends: Vec<Packet>,
+    /// Recycled timer buffer lent to host-app and agent callbacks.
+    scratch_timers: Vec<(Time, u64)>,
 }
 
 impl Simulator {
@@ -239,7 +246,32 @@ impl Simulator {
             jitter_ns: 800,
             last_arrival: vec![Time::ZERO; links],
             faults: FaultState::new(links, nodes),
+            arena: PacketArena::new(),
+            scratch_sends: Vec::new(),
+            scratch_timers: Vec::new(),
         }
+    }
+
+    /// Select the event-scheduler implementation (default:
+    /// [`SchedulerKind::Wheel`]). Both schedulers pop in identical
+    /// `(time, seq)` order, so this cannot change any result — it exists
+    /// for before/after throughput measurement (`aq-sweep perf
+    /// --scheduler heap`) and as a hedge while the wheel is young.
+    ///
+    /// # Panics
+    /// Panics if the simulation has already started.
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        assert!(
+            !self.started,
+            "set_scheduler must be called before the simulation starts"
+        );
+        debug_assert!(self.events.is_empty(), "events scheduled before start");
+        self.events = EventQueue::with_scheduler(kind);
+    }
+
+    /// Which event-scheduler implementation this run uses.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.events.scheduler()
     }
 
     /// Install a fault plan; its events are scheduled when the simulation
@@ -388,7 +420,10 @@ impl Simulator {
                 packet,
                 link,
                 launch_downs,
-            } => self.on_arrive(node, packet, link, launch_downs),
+            } => {
+                let pkt = self.arena.take(packet);
+                self.on_arrive(node, pkt, link, launch_downs);
+            }
             EventKind::Fault { index } => self.apply_fault(index),
             EventKind::TxComplete { port } => self.on_tx_complete(port),
             EventKind::PortWake { port } => {
@@ -407,13 +442,15 @@ impl Simulator {
                 let mut ctx = AgentCtx {
                     agent,
                     now: self.now,
-                    timers: Vec::new(),
+                    timers: std::mem::take(&mut self.scratch_timers),
                 };
                 a.on_timer(&mut self.net, &mut self.stats, &mut ctx, token);
                 self.agents[idx] = Some(a);
-                for (at, token) in ctx.timers {
+                let mut timers = ctx.timers;
+                for (at, token) in timers.drain(..) {
                     self.events.push(at, EventKind::AgentTimer { agent, token });
                 }
+                self.scratch_timers = timers;
             }
         }
     }
@@ -429,18 +466,30 @@ impl Simulator {
             return; // host without an app silently sinks packets
         };
         let mut ctx = HostCtx::new(self.now, node, &mut self.stats);
+        // Lend the recycled buffers to the callback (callbacks never
+        // nest: `inject` below re-enters no app). `mem::take` leaves
+        // fresh empty vecs behind, so even an unexpected nested callback
+        // would be correct, just unrecycled.
+        ctx.sends = std::mem::take(&mut self.scratch_sends);
+        ctx.timers = std::mem::take(&mut self.scratch_timers);
         f(app.as_mut(), &mut ctx);
-        let HostCtx { sends, timers, .. } = ctx;
+        let HostCtx {
+            mut sends,
+            mut timers,
+            ..
+        } = ctx;
         match &mut self.net.nodes[node.index()].kind {
             NodeKind::Host { app: slot } => *slot = Some(app),
             NodeKind::Switch { .. } => unreachable!(),
         }
-        for pkt in sends {
+        for pkt in sends.drain(..) {
             self.inject(node, pkt);
         }
-        for (at, token) in timers {
+        for (at, token) in timers.drain(..) {
             self.events.push(at, EventKind::NodeTimer { node, token });
         }
+        self.scratch_sends = sends;
+        self.scratch_timers = timers;
     }
 
     /// Apply the fault at `index` of the installed plan (see
@@ -590,7 +639,13 @@ impl Simulator {
                 let backlog = p.queue.backlog_bytes();
                 let node = p.node;
                 let link = &self.net.links[lidx];
-                let dur = link.rate.transmit_time(bytes);
+                let dur = if p.tx_memo.0 == bytes {
+                    p.tx_memo.1
+                } else {
+                    let d = link.rate.transmit_time(bytes);
+                    p.tx_memo = (bytes, d);
+                    d
+                };
                 p.in_flight = Some(pkt);
                 // Launches only happen on up links, so this is the epoch
                 // of the current up period.
@@ -638,7 +693,7 @@ impl Simulator {
             at,
             EventKind::Arrive {
                 node: to,
-                packet: pkt,
+                packet: self.arena.alloc(pkt),
                 link: link_id,
                 launch_downs,
             },

@@ -14,9 +14,11 @@
 //! * per *AQ instance*: an [`AqSummary`] of gap statistics and limit drops,
 //!   exported by `aq-core`'s pipeline.
 //!
-//! Free functions compute the fairness metrics the paper reports. All maps
-//! are `BTreeMap`s so iteration (and hence any serialized report) is
-//! deterministic.
+//! Free functions compute the fairness metrics the paper reports. Entity
+//! and port stats live in dense id-indexed vectors (ids are small and
+//! dense, and these are touched on every packet event); flow and AQ
+//! records stay in `BTreeMap`s. Both layouts iterate in id order, so any
+//! serialized report is deterministic.
 
 use crate::ids::{EntityId, FlowId, NodeId, PortId};
 use crate::queue::DropCause;
@@ -25,10 +27,16 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// Bytes counted into fixed-size time windows; yields a throughput series.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct WindowedCounter {
     window: Duration,
     buckets: Vec<u64>,
+    /// Nanosecond bounds `[start, end)` of the most recently indexed
+    /// window. Samples arrive in near-monotonic bursts thousands of times
+    /// per window, so this one-entry cache skips the division in
+    /// `bucket_index` almost always. Pure memoization: the computed index
+    /// is identical either way.
+    cached: (u64, u64, usize),
 }
 
 impl WindowedCounter {
@@ -38,6 +46,7 @@ impl WindowedCounter {
         WindowedCounter {
             window,
             buckets: Vec::new(),
+            cached: (0, 0, 0),
         }
     }
 
@@ -74,8 +83,15 @@ impl WindowedCounter {
     }
 
     fn bucket_index(&mut self, now: Time) -> usize {
-        // aq-lint: allow(no-narrowing-cast) -- window index, horizon/window small
-        let idx = (now.as_nanos() / self.window.as_nanos()) as usize;
+        let ns = now.as_nanos();
+        let (start, end, idx) = self.cached;
+        if ns >= start && ns < end {
+            return idx;
+        }
+        let w = self.window.as_nanos();
+        let idx = (ns / w) as usize;
+        let start = idx as u64 * w;
+        self.cached = (start, start + w, idx);
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }
@@ -146,6 +162,19 @@ impl WindowedCounter {
             bytes += self.buckets.get(i).copied().unwrap_or(0);
         }
         bytes as f64 * 8.0 / (to - from).as_secs_f64()
+    }
+}
+
+impl std::fmt::Debug for WindowedCounter {
+    /// Prints the window and buckets only — the bucket-index cache is
+    /// feed-path memoization, and including it would make `{:?}` output
+    /// (used by the determinism e2e digest) depend on incidental access
+    /// patterns rather than recorded data.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedCounter")
+            .field("window", &self.window)
+            .field("buckets", &self.buckets)
+            .finish()
     }
 }
 
@@ -449,7 +478,7 @@ impl FlowRecord {
 ///
 /// The simulator feeds it at every delivery, enqueue, drop, dequeue, and
 /// tx-complete; readers get per-entity, per-port, and per-AQ views with
-/// deterministic (`BTreeMap`) iteration order. The port feed maintains
+/// deterministic id-ordered iteration. The port feed maintains
 /// the conservation identity `enqueued == dequeued + dropped + resident`
 /// at every event boundary:
 ///
@@ -472,9 +501,13 @@ impl FlowRecord {
 #[derive(Debug, Default)]
 pub struct StatsHub {
     window: Option<Duration>,
-    entities: BTreeMap<EntityId, EntityStats>,
+    /// Dense, indexed by `EntityId`: the per-packet feeders hit this on
+    /// every delivery/inject/drop, so lookups must not pay pointer-chasing
+    /// map costs. `None` = entity never seen.
+    entities: Vec<Option<EntityStats>>,
     flows: BTreeMap<FlowId, FlowRecord>,
-    ports: BTreeMap<PortId, PortStats>,
+    /// Dense, indexed by `PortId` (port ids are globally unique).
+    ports: Vec<Option<PortStats>>,
     aqs: BTreeMap<(u32, AqPosition), AqSummary>,
     /// Record every Nth delay sample per entity (1 = all). Reduces memory
     /// for very long runs without biasing percentiles.
@@ -487,9 +520,9 @@ impl StatsHub {
     pub fn new() -> StatsHub {
         StatsHub {
             window: None,
-            entities: BTreeMap::new(),
+            entities: Vec::new(),
             flows: BTreeMap::new(),
-            ports: BTreeMap::new(),
+            ports: Vec::new(),
             aqs: BTreeMap::new(),
             delay_decimation: 1,
         }
@@ -508,19 +541,24 @@ impl StatsHub {
     /// Per-entity stats, creating the slot on first touch.
     pub fn entity_mut(&mut self, e: EntityId) -> &mut EntityStats {
         let w = self.window();
-        self.entities
-            .entry(e)
-            .or_insert_with(|| EntityStats::new(w))
+        let idx = e.index();
+        if idx >= self.entities.len() {
+            self.entities.resize_with(idx + 1, || None);
+        }
+        self.entities[idx].get_or_insert_with(|| EntityStats::new(w))
     }
 
     /// Read-only per-entity stats.
     pub fn entity(&self, e: EntityId) -> Option<&EntityStats> {
-        self.entities.get(&e)
+        self.entities.get(e.index())?.as_ref()
     }
 
-    /// All entities with any recorded traffic.
-    pub fn entities(&self) -> impl Iterator<Item = (&EntityId, &EntityStats)> {
-        self.entities.iter()
+    /// All entities with any recorded traffic, in `EntityId` order.
+    pub fn entities(&self) -> impl Iterator<Item = (EntityId, &EntityStats)> {
+        self.entities
+            .iter()
+            .enumerate()
+            .filter_map(|(i, es)| Some((EntityId::from(i), es.as_ref()?)))
     }
 
     /// Called by the simulator when a data packet reaches its destination.
@@ -552,19 +590,24 @@ impl StatsHub {
     /// Per-port stats, creating the slot on first touch.
     pub fn port_mut(&mut self, node: NodeId, port: PortId) -> &mut PortStats {
         let w = self.window();
-        self.ports
-            .entry(port)
-            .or_insert_with(|| PortStats::new(node, w))
+        let idx = port.index();
+        if idx >= self.ports.len() {
+            self.ports.resize_with(idx + 1, || None);
+        }
+        self.ports[idx].get_or_insert_with(|| PortStats::new(node, w))
     }
 
     /// Read-only per-port stats.
     pub fn port(&self, port: PortId) -> Option<&PortStats> {
-        self.ports.get(&port)
+        self.ports.get(port.index())?.as_ref()
     }
 
     /// All ports that have seen any traffic, in `PortId` order.
-    pub fn ports(&self) -> impl Iterator<Item = (&PortId, &PortStats)> {
-        self.ports.iter()
+    pub fn ports(&self) -> impl Iterator<Item = (PortId, &PortStats)> {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ps)| Some((PortId::from(i), ps.as_ref()?)))
     }
 
     /// Called by the simulator when a discipline accepts a packet.
@@ -917,6 +960,65 @@ mod tests {
         d.record(20);
         assert_eq!(d.percentile(50.0), Some(20));
         assert_eq!(d.percentile(100.0), Some(30));
+    }
+
+    #[test]
+    fn percentile_queries_leave_the_debug_digest_unchanged() {
+        // The determinism e2e digests `{:?}` of the whole hub; the lazy
+        // sort cache must therefore stay invisible, or merely *reading*
+        // percentiles in a report would change the digest bytes.
+        let mut d = DelayRecorder::default();
+        for s in [50u64, 10, 40, 20, 30] {
+            d.record(s);
+        }
+        let before = format!("{d:?}");
+        assert_eq!(d.percentile(50.0), Some(30));
+        assert_eq!(d.percentile(99.0), Some(50));
+        assert_eq!(
+            format!("{d:?}"),
+            before,
+            "percentile read leaked into Debug"
+        );
+        // Same contract for the windowed counter's bucket-index memo.
+        let mut w = WindowedCounter::new(Duration::from_millis(1));
+        w.record(Time::from_micros(100), 7);
+        let before = format!("{w:?}");
+        w.avg_bps(Time::ZERO, Time::from_micros(200));
+        assert_eq!(format!("{w:?}"), before, "rate query leaked into Debug");
+    }
+
+    #[test]
+    fn window_cache_matches_an_uncached_counter() {
+        // The one-entry bucket-index memo is pure caching: a counter fed
+        // through the cached fast path (many hits in one window, then a
+        // miss into the next) must land every byte in the same bucket as
+        // a fresh counter fed one sample per call.
+        let w = Duration::from_millis(1);
+        let samples = [
+            (0u64, 10u64),
+            (999, 20),   // same window: cache hit
+            (500, 5),    // same window, earlier time: still a hit
+            (1_000, 30), // next window: cache miss, recompute
+            (2_500, 40), // skip a window
+            (2_600, 2),  // hit in the skipped-to window
+        ];
+        let mut cached = WindowedCounter::new(w);
+        for &(us, bytes) in &samples {
+            cached.record(Time::from_micros(us), bytes);
+        }
+        let mut fresh = WindowedCounter::new(w);
+        for &(us, bytes) in &samples {
+            // A throwaway record at a far time between samples defeats the
+            // memo, forcing the slow division path every time.
+            let mut probe = fresh.clone();
+            probe.record(Time::from_micros(us + 10_000), 0);
+            fresh.record(Time::from_micros(us), bytes);
+        }
+        assert_eq!(
+            format!("{cached:?}"),
+            format!("{fresh:?}"),
+            "cached and uncached bucket placement diverged"
+        );
     }
 
     #[test]

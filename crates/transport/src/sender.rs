@@ -17,7 +17,7 @@ use crate::flow::{DelaySignal, FlowKind, FlowSpec};
 use aq_netsim::node::HostCtx;
 use aq_netsim::packet::{Ecn, Packet};
 use aq_netsim::time::{Duration, Time};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::VecDeque;
 
 /// Reordering tolerance: a hole is declared lost once this many segments
 /// beyond it have been SACKed.
@@ -34,6 +34,32 @@ const MAX_RTO: Duration = Duration::from_millis(200);
 /// blackout must keep probing, not go silent for an unbounded interval.
 const MAX_RTO_BACKOFF: u32 = 6;
 
+/// Scoreboard state of one sent, not-yet-cumulatively-acked segment.
+/// The three states are mutually exclusive; SACK moves `InFlight` (or
+/// `Lost`) to `Sacked`, loss marking moves `InFlight` to `Lost`, and a
+/// retransmission moves `Lost` back to `InFlight`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SegState {
+    /// Sent, not cum-acked, not SACKed, not marked lost — the pipe.
+    InFlight,
+    /// SACKed above `cum_ack`.
+    Sacked,
+    /// Marked lost, awaiting retransmission.
+    Lost,
+}
+
+/// Per-segment scoreboard cell (see [`SenderFlow::window`]).
+#[derive(Clone, Copy, Debug)]
+struct SegCell {
+    /// Last transmission time (RACK loss marking).
+    sent_at: Time,
+    state: SegState,
+    /// Retransmitted at least once and not yet cumulatively
+    /// acknowledged. An ACK covering such a segment is ambiguous — it
+    /// may answer any copy — so it yields no RTT sample (Karn's rule).
+    retransmitted: bool,
+}
+
 /// Sender-side state of one reliable flow.
 pub struct SenderFlow {
     /// The flow description.
@@ -44,18 +70,16 @@ pub struct SenderFlow {
     snd_nxt: u64,
     /// All sequences below this are acknowledged.
     cum_ack: u64,
-    /// Sent, not cum-acked, not SACKed, not marked lost — the pipe —
-    /// with each segment's last transmission time (RACK loss marking).
-    in_flight: BTreeMap<u64, Time>,
-    /// SACKed above `cum_ack`.
-    sacked: BTreeSet<u64>,
-    /// Marked lost, awaiting retransmission.
-    lost: BTreeSet<u64>,
-    /// Sequences that have been retransmitted at least once and are not
-    /// yet cumulatively acknowledged. An ACK covering one of these is
-    /// ambiguous — it may answer any copy — so it yields no RTT sample
-    /// (Karn's rule).
-    retransmitted: BTreeSet<u64>,
+    /// The per-segment scoreboard for the active window
+    /// `[cum_ack, snd_nxt)`, indexed by `seq - cum_ack`. Every ACK
+    /// touches the scoreboard several times; a window-relative array
+    /// makes each touch an O(1) index instead of an ordered-map descent,
+    /// and cumulative progress is a run of `pop_front`s.
+    window: VecDeque<SegCell>,
+    /// Number of [`SegState::InFlight`] cells in `window`.
+    in_flight_count: usize,
+    /// Number of [`SegState::Lost`] cells in `window`.
+    lost_count: usize,
     /// Highest SACKed sequence (FACK edge), if any.
     highest_sacked: Option<u64>,
     /// Fast-recovery end point: one cc reduction per window of loss.
@@ -99,10 +123,9 @@ impl SenderFlow {
             total_segments,
             snd_nxt: 0,
             cum_ack: 0,
-            in_flight: BTreeMap::new(),
-            sacked: BTreeSet::new(),
-            lost: BTreeSet::new(),
-            retransmitted: BTreeSet::new(),
+            window: VecDeque::new(),
+            in_flight_count: 0,
+            lost_count: 0,
             highest_sacked: None,
             recovery_point: None,
             force_retransmit: false,
@@ -138,7 +161,53 @@ impl SenderFlow {
 
     /// Segments currently considered in the network.
     pub fn outstanding(&self) -> u64 {
-        self.in_flight.len() as u64
+        self.in_flight_count as u64
+    }
+
+    /// The scoreboard cell of `seq`, if it is inside the active window.
+    fn cell(&self, seq: u64) -> Option<&SegCell> {
+        let i = seq.checked_sub(self.cum_ack)?;
+        self.window.get(i as usize)
+    }
+
+    fn cell_mut(&mut self, seq: u64) -> Option<&mut SegCell> {
+        let i = seq.checked_sub(self.cum_ack)?;
+        self.window.get_mut(i as usize)
+    }
+
+    /// Lowest sequence currently marked lost, if any. O(window) scan,
+    /// but guarded by the counter: in the common loss-free case it costs
+    /// one comparison.
+    fn first_lost(&self) -> Option<u64> {
+        if self.lost_count == 0 {
+            return None;
+        }
+        self.window
+            .iter()
+            .position(|c| c.state == SegState::Lost)
+            .map(|i| self.cum_ack + i as u64)
+    }
+
+    /// Record a (re)transmission of `seq` in the scoreboard: the segment
+    /// (re)enters the pipe stamped `now`. A fresh send must extend the
+    /// window by exactly one cell.
+    fn track_send(&mut self, seq: u64, now: Time, retransmit: bool) {
+        if retransmit {
+            let c = self.cell_mut(seq).expect("retransmit inside the window");
+            debug_assert_eq!(c.state, SegState::Lost);
+            c.state = SegState::InFlight;
+            c.sent_at = now;
+            c.retransmitted = true;
+            self.lost_count -= 1;
+        } else {
+            debug_assert_eq!(seq, self.cum_ack + self.window.len() as u64);
+            self.window.push_back(SegCell {
+                sent_at: now,
+                state: SegState::InFlight,
+                retransmitted: false,
+            });
+        }
+        self.in_flight_count += 1;
     }
 
     /// Whether the sender is in fast recovery.
@@ -192,23 +261,19 @@ impl SenderFlow {
         let wnd = (self.cc.cwnd().floor() as usize).max(1);
         if self.force_retransmit {
             self.force_retransmit = false;
-            if let Some(&seq) = self.lost.iter().next() {
-                self.lost.remove(&seq);
+            if let Some(seq) = self.first_lost() {
                 let pkt = self.build_segment(seq, ctx.now);
                 ctx.send(pkt);
-                self.in_flight.insert(seq, ctx.now);
-                self.retransmitted.insert(seq);
+                self.track_send(seq, ctx.now, true);
                 self.segments_sent += 1;
                 self.retransmissions += 1;
             }
         }
-        while self.in_flight.len() < wnd {
-            if let Some(&seq) = self.lost.iter().next() {
-                self.lost.remove(&seq);
+        while self.in_flight_count < wnd {
+            if let Some(seq) = self.first_lost() {
                 let pkt = self.build_segment(seq, ctx.now);
                 ctx.send(pkt);
-                self.in_flight.insert(seq, ctx.now);
-                self.retransmitted.insert(seq);
+                self.track_send(seq, ctx.now, true);
                 self.segments_sent += 1;
                 self.retransmissions += 1;
                 continue;
@@ -220,12 +285,12 @@ impl SenderFlow {
             }
             let pkt = self.build_segment(self.snd_nxt, ctx.now);
             ctx.send(pkt);
-            self.in_flight.insert(self.snd_nxt, ctx.now);
+            self.track_send(self.snd_nxt, ctx.now, false);
             self.snd_nxt += 1;
             self.segments_sent += 1;
         }
         // (Re)start the retransmission timer while anything is unresolved.
-        let active = !self.in_flight.is_empty() || !self.lost.is_empty();
+        let active = self.in_flight_count > 0 || self.lost_count > 0;
         self.rto_deadline = active.then(|| ctx.now + self.rto());
     }
 
@@ -250,18 +315,21 @@ impl SenderFlow {
         // RACK's initial reordering window is zero (RFC 8985) — the
         // FACK threshold above already absorbs reordering — so the rule
         // reduces to: lost iff sent no later than the delivered copy.
-        let newly_lost: Vec<u64> = self
-            .in_flight
-            .range(..=edge)
-            .filter(|(_, sent)| **sent <= delivered_sent_at)
-            .map(|(seq, _)| *seq)
-            .collect();
-        if newly_lost.is_empty() {
-            return;
+        let base = self.cum_ack;
+        let mut any = false;
+        for (i, c) in self.window.iter_mut().enumerate() {
+            if base + i as u64 > edge {
+                break;
+            }
+            if c.state == SegState::InFlight && c.sent_at <= delivered_sent_at {
+                c.state = SegState::Lost;
+                self.in_flight_count -= 1;
+                self.lost_count += 1;
+                any = true;
+            }
         }
-        for seq in newly_lost {
-            self.in_flight.remove(&seq);
-            self.lost.insert(seq);
+        if !any {
+            return;
         }
         // One congestion response per window of loss, plus one immediate
         // retransmission to keep the ACK clock alive.
@@ -273,22 +341,21 @@ impl SenderFlow {
         }
     }
 
+    /// Drop scoreboard cells below `cum` (cumulative progress). Must be
+    /// called *before* `cum_ack` is advanced to `cum` — the window is
+    /// indexed relative to the old base while popping.
     fn purge_below(&mut self, cum: u64) {
-        while let Some((&s, _)) = self.in_flight.iter().next() {
-            if s < cum {
-                self.in_flight.remove(&s);
-            } else {
+        let mut base = self.cum_ack;
+        while base < cum {
+            let Some(c) = self.window.pop_front() else {
                 break;
+            };
+            match c.state {
+                SegState::InFlight => self.in_flight_count -= 1,
+                SegState::Lost => self.lost_count -= 1,
+                SegState::Sacked => {}
             }
-        }
-        for set in [&mut self.sacked, &mut self.lost, &mut self.retransmitted] {
-            while let Some(&s) = set.iter().next() {
-                if s < cum {
-                    set.remove(&s);
-                } else {
-                    break;
-                }
-            }
+            base += 1;
         }
     }
 
@@ -308,6 +375,12 @@ impl SenderFlow {
         if self.finished {
             return;
         }
+        // The scoreboard is window-relative (cells indexed by
+        // `seq - cum_ack` over `[cum_ack, snd_nxt)`), so a cumulative ACK
+        // past `snd_nxt` is unrepresentable. A well-formed peer never
+        // sends one — it would acknowledge data never transmitted — so a
+        // malformed ACK is treated as covering exactly everything sent.
+        let cum_ack = cum_ack.min(self.snd_nxt);
         let now = ctx.now;
         // RTT sample from the echoed per-packet timestamp. Karn's rule: a
         // segment that was ever retransmitted yields no sample — the echo
@@ -315,7 +388,7 @@ impl SenderFlow {
         // original arriving after the retransmission would inflate srtt
         // right when the timer most needs to stay honest.
         let rtt = now - ts_echo;
-        let karn_ambiguous = self.retransmitted.contains(&this_seq);
+        let karn_ambiguous = self.cell(this_seq).is_some_and(|c| c.retransmitted);
         if rtt > Duration::ZERO && !karn_ambiguous {
             self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
             if self.srtt_ns <= 0.0 {
@@ -335,17 +408,24 @@ impl SenderFlow {
 
         // Scoreboard: the specifically-covered segment leaves the pipe.
         if this_seq >= self.cum_ack {
-            self.in_flight.remove(&this_seq);
-            self.lost.remove(&this_seq);
-            self.sacked.insert(this_seq);
+            let prev = self.cell_mut(this_seq).map(|c| {
+                let was = c.state;
+                c.state = SegState::Sacked;
+                was
+            });
+            match prev {
+                Some(SegState::InFlight) => self.in_flight_count -= 1,
+                Some(SegState::Lost) => self.lost_count -= 1,
+                Some(SegState::Sacked) | None => {}
+            }
             self.highest_sacked = Some(self.highest_sacked.map_or(this_seq, |h| h.max(this_seq)));
         }
 
         if cum_ack > self.cum_ack {
             let newly = cum_ack - self.cum_ack;
+            self.purge_below(cum_ack);
             self.cum_ack = cum_ack;
             self.rto_backoff = 0;
-            self.purge_below(cum_ack);
             if let Some(rp) = self.recovery_point {
                 if cum_ack >= rp {
                     self.recovery_point = None;
@@ -376,16 +456,19 @@ impl SenderFlow {
     /// The retransmission timer fired (already validated by the host
     /// against [`SenderFlow::rto_deadline`]).
     pub fn on_rto(&mut self, ctx: &mut HostCtx<'_>) {
-        if self.finished || (self.in_flight.is_empty() && self.lost.is_empty()) {
+        if self.finished || (self.in_flight_count == 0 && self.lost_count == 0) {
             self.rto_deadline = None;
             return;
         }
         self.timeouts += 1;
         self.rto_backoff = (self.rto_backoff + 1).min(MAX_RTO_BACKOFF);
         // Everything unacknowledged is presumed lost.
-        while let Some((&s, _)) = self.in_flight.iter().next() {
-            self.in_flight.remove(&s);
-            self.lost.insert(s);
+        for c in self.window.iter_mut() {
+            if c.state == SegState::InFlight {
+                c.state = SegState::Lost;
+                self.in_flight_count -= 1;
+                self.lost_count += 1;
+            }
         }
         self.recovery_point = Some(self.snd_nxt);
         self.cc.on_timeout(ctx.now);
@@ -646,10 +729,11 @@ mod tests {
         }
         assert_eq!(s.srtt().expect("kept"), srtt_clean);
         // Fresh data (never retransmitted) resumes sampling.
-        let fresh = *s
-            .in_flight
-            .keys()
-            .find(|q| !s.retransmitted.contains(q))
+        let fresh = (s.cum_ack..s.snd_nxt)
+            .find(|&q| {
+                s.cell(q)
+                    .is_some_and(|c| c.state == SegState::InFlight && !c.retransmitted)
+            })
             .expect("fresh segment in flight");
         with_ctx(Time::from_micros(now_us), |ctx| {
             s.on_ack(

@@ -11,7 +11,7 @@
 //! table would occupy on a switch (15 bytes per AQ).
 
 use aq_bench::report::RunReport;
-use augmented_queue::core::{process_packet, AqConfig, AqPipeline, AqTable, AqVerdict, CcPolicy};
+use augmented_queue::core::{AqConfig, AqPipeline, AqTable, AqVerdict, CcPolicy};
 use augmented_queue::netsim::packet::{AqTag, Packet};
 use augmented_queue::netsim::time::{Rate, Time};
 use augmented_queue::netsim::{EntityId, FlowId, NodeId};
@@ -65,9 +65,8 @@ fn main() {
     for i in 0..PACKETS {
         t += 50;
         let id = AqTag((i % N_AQS as u64) as u32 + 1);
-        let aq = table.get_mut(id).expect("deployed");
         pkt.vdelay_ns = 0;
-        if process_packet(aq, Time::from_nanos(t), &mut pkt) == AqVerdict::Drop {
+        if table.process(id, Time::from_nanos(t), &mut pkt) == Some(AqVerdict::Drop) {
             dropped += 1;
         }
     }
