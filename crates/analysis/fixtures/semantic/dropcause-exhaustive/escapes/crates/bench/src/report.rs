@@ -1,4 +1,6 @@
-// Report half of the fires fixture: every mapped counter is serialized.
+// Report half of the escapes fixture: every mapped counter except
+// `shared_rejects` is serialized; the `SharedBufferReject` gap is
+// sanctioned at its variant line in queue.rs.
 
 pub struct RunReport {
     pub taildrops: u64,

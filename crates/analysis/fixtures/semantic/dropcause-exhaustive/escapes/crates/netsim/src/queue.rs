@@ -9,5 +9,6 @@ pub enum DropCause {
     // aq-lint: allow(dropcause-exhaustive)
     LinkDown,
     Corrupt,
+    SharedBufferReject, // aq-lint: allow(dropcause-exhaustive)
     Evicted, // aq-lint: allow(dropcause-exhaustive)
 }

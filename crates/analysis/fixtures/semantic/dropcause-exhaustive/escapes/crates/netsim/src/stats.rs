@@ -1,6 +1,8 @@
-// StatsHub half of the fires fixture: the `DropCause::LinkDown` arm is
+// StatsHub half of the escapes fixture: the `DropCause::LinkDown` arm is
 // missing (its `link_drops` counter still exists, isolating the
-// missing-arm diagnostic from the missing-counter one).
+// missing-arm diagnostic from the missing-counter one), while
+// `SharedBufferReject` is fully accounted here and only its missing
+// RunReport surface is sanctioned.
 
 pub struct StatsHub {
     pub taildrops: u64,
@@ -9,6 +11,7 @@ pub struct StatsHub {
     pub aq_drops: u64,
     pub link_drops: u64,
     pub corrupt_drops: u64,
+    pub shared_rejects: u64,
 }
 
 impl StatsHub {
@@ -19,6 +22,7 @@ impl StatsHub {
             DropCause::Shaper => self.shaper_drops += 1,
             DropCause::AqLimit => self.aq_drops += 1,
             DropCause::Corrupt => self.corrupt_drops += 1,
+            DropCause::SharedBufferReject => self.shared_rejects += 1,
             _ => {}
         }
     }

@@ -1,4 +1,6 @@
-// Report half of the fires fixture: every mapped counter is serialized.
+// Report half of the fires fixture: every mapped counter except
+// `shared_rejects` is serialized, so `SharedBufferReject` fires the
+// missing-RunReport-surface diagnostic at its variant line.
 
 pub struct RunReport {
     pub taildrops: u64,

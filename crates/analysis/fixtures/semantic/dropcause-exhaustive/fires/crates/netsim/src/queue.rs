@@ -1,5 +1,7 @@
 // Fires fixture for `dropcause-exhaustive`: one variant with no counter
-// mapping, one mapped variant with no accounting arm in StatsHub.
+// mapping, one mapped variant with no accounting arm in StatsHub, and
+// one mapped variant whose counter is maintained but never surfaced in
+// the RunReport serialization.
 
 pub enum DropCause {
     Taildrop,
@@ -8,5 +10,6 @@ pub enum DropCause {
     AqLimit,
     LinkDown, // expect-lint: dropcause-exhaustive
     Corrupt,
+    SharedBufferReject, // expect-lint: dropcause-exhaustive
     Evicted, // expect-lint: dropcause-exhaustive
 }

@@ -94,6 +94,7 @@ const DROPCAUSE_COUNTERS: &[(&str, &str)] = &[
     ("AqLimit", "aq_drops"),
     ("LinkDown", "link_drops"),
     ("Corrupt", "corrupt_drops"),
+    ("SharedBufferReject", "shared_rejects"),
 ];
 
 fn dropcause_exhaustive(index: &WorkspaceIndex, out: &mut Vec<Candidate>) {
@@ -309,14 +310,17 @@ mod tests {
     }
 
     const GOOD_ENUM: &str = "pub enum DropCause { Taildrop, RedNonEct, Shaper, \
-                             AqLimit, LinkDown, Corrupt }\n";
+                             AqLimit, LinkDown, Corrupt, SharedBufferReject }\n";
     const GOOD_STATS: &str = "pub struct StatsHub { taildrops: u64, red_drops: u64, \
-         shaper_drops: u64, aq_drops: u64, link_drops: u64, corrupt_drops: u64 }\n\
+         shaper_drops: u64, aq_drops: u64, link_drops: u64, corrupt_drops: u64, \
+         shared_rejects: u64 }\n\
          fn account(c: DropCause) { match c { DropCause::Taildrop => (), \
          DropCause::RedNonEct => (), DropCause::Shaper => (), DropCause::AqLimit => (), \
-         DropCause::LinkDown => (), DropCause::Corrupt => () } }\n";
+         DropCause::LinkDown => (), DropCause::Corrupt => (), \
+         DropCause::SharedBufferReject => () } }\n";
     const GOOD_REPORT: &str = "pub struct RunReport { taildrops: u64, red_drops: u64, \
-         shaper_drops: u64, aq_drops: u64, link_drops: u64, corrupt_drops: u64 }\n";
+         shaper_drops: u64, aq_drops: u64, link_drops: u64, corrupt_drops: u64, \
+         shared_rejects: u64 }\n";
 
     #[test]
     fn dropcause_clean_tree_is_silent() {
@@ -331,7 +335,7 @@ mod tests {
     #[test]
     fn dropcause_flags_unmapped_variant_and_missing_arm() {
         let enum_src = "pub enum DropCause { Taildrop, RedNonEct, Shaper, \
-                        AqLimit, LinkDown, Corrupt, Evicted }\n";
+                        AqLimit, LinkDown, Corrupt, SharedBufferReject, Evicted }\n";
         let idx = ws(&[
             ("crates/netsim/src/queue.rs", enum_src),
             ("crates/netsim/src/stats.rs", GOOD_STATS),
@@ -358,7 +362,7 @@ mod tests {
     fn dropcause_counter_may_hide_in_report_strings() {
         let report = "pub struct RunReport { x: u64 }\n\
              fn ser() { let s = \"taildrops,red_drops,shaper_drops,aq_drops,\
-             link_drops,corrupt_drops\"; }\n";
+             link_drops,corrupt_drops,shared_rejects\"; }\n";
         let idx = ws(&[
             ("crates/netsim/src/queue.rs", GOOD_ENUM),
             ("crates/netsim/src/stats.rs", GOOD_STATS),

@@ -11,16 +11,21 @@ use aq_baselines::{Classify, ElasticSwitch, HtbShaper, VmConfig};
 use aq_core::{
     AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
 };
+use aq_netsim::buffer::{
+    AdmissionPolicy, DelayDriven, DynamicThreshold, SharedBufferPool, StaticPartition,
+};
 use aq_netsim::fault::FaultPlan;
 use aq_netsim::ids::{EntityId, NodeId};
 use aq_netsim::node::NodeKind;
 use aq_netsim::packet::AqTag;
-use aq_netsim::queue::FifoConfig;
+use aq_netsim::queue::{DisaggRedConfig, DisaggRedQueue, FifoConfig, L4sStepConfig, L4sStepQueue};
 use aq_netsim::sim::{Network, Simulator};
 use aq_netsim::time::{Duration, Rate, Time};
 use aq_netsim::topology::{dumbbell, fat_tree, Dumbbell};
 use aq_transport::{CcAlgo, DelaySignal, FlowKind};
-use aq_workloads::registry::{PlanFault, ScenarioPlan, Topology};
+use aq_workloads::registry::{
+    AdmissionKind, AqmKind, BufferPlan, PlanFault, ScenarioPlan, Topology,
+};
 use aq_workloads::{add_flows, ensure_transport_hosts, long_flows, ClosedWorkload, WorkloadSpec};
 
 pub mod csv;
@@ -330,11 +335,64 @@ pub fn build_experiment(approach: Approach, plan: &ScenarioPlan, cfg: ExpConfig)
         Topology::Dumbbell => build_dumbbell(approach, &plan.entities, cfg),
         Topology::FatTree { k } => build_fat_tree(approach, &plan.entities, cfg, k),
     };
+    if let Some(bp) = plan.buffers {
+        install_buffering(&mut exp, bp, cfg);
+    }
     if !plan.faults.is_empty() {
         let faults = translate_faults(&exp, &plan.faults, cfg.seed);
         exp.sim.install_faults(faults);
     }
     exp
+}
+
+/// Instantiate a scenario's [`BufferPlan`] on the built fabric: swap the
+/// requested AQM onto every switch egress port (host uplinks keep their
+/// approach-specific discipline) and install one shared-buffer pool per
+/// switch, sized by the plan and guarded by its admission policy. Must
+/// run before the simulator starts — the queues are still empty.
+fn install_buffering(exp: &mut Experiment, bp: BufferPlan, cfg: ExpConfig) {
+    let net = &mut exp.sim.net;
+    let mut port_counts = vec![0usize; net.nodes.len()];
+    for p in &net.ports {
+        port_counts[p.node.index()] += 1;
+    }
+    let switches: Vec<NodeId> = net
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.kind, NodeKind::Switch { .. }))
+        .map(|n| n.id)
+        .collect();
+    if bp.aqm != AqmKind::Fifo {
+        for i in 0..net.ports.len() {
+            let node = net.ports[i].node;
+            if !matches!(net.nodes[node.index()].kind, NodeKind::Switch { .. }) {
+                continue;
+            }
+            net.ports[i].queue = match bp.aqm {
+                AqmKind::DisaggRed => Box::new(DisaggRedQueue::new(DisaggRedConfig {
+                    limit_bytes: cfg.pq_limit,
+                    ..DisaggRedConfig::default()
+                })),
+                AqmKind::L4sStep => Box::new(L4sStepQueue::new(L4sStepConfig {
+                    limit_bytes: cfg.pq_limit,
+                    ..L4sStepConfig::default()
+                })),
+                AqmKind::Fifo => unreachable!("guarded above"),
+            };
+        }
+    }
+    for node in switches {
+        let policy: Box<dyn AdmissionPolicy> = match bp.admission {
+            AdmissionKind::StaticPartition => Box::new(StaticPartition),
+            AdmissionKind::DynamicThreshold { alpha } => Box::new(DynamicThreshold::new(alpha)),
+            AdmissionKind::DelayDriven { mark_us, max_us } => Box::new(DelayDriven::new(
+                Duration::from_micros(mark_us),
+                Duration::from_micros(max_us),
+            )),
+        };
+        let pool = SharedBufferPool::new(bp.pool_bytes, port_counts[node.index()], policy);
+        exp.sim.install_shared_buffer(node, pool);
+    }
 }
 
 fn fault_at(ms: f64) -> Time {
@@ -671,6 +729,79 @@ mod tests {
                 "AQ {} rebuilt from arrivals (reconverge_ns = {})",
                 a.tag,
                 a.reconverge_ns
+            );
+        }
+    }
+
+    #[test]
+    fn incast_sharedbuf_installs_pools_and_policies_redistribute_rejects() {
+        let def = aq_workloads::registry::find("incast_sharedbuf").expect("registered");
+        let mut rejects = Vec::new();
+        for admission in 0..3 {
+            let plan = def
+                .plan(
+                    &aq_workloads::Params::parse(&format!("admission={admission},horizon_ms=15"))
+                        .expect("parse"),
+                )
+                .expect("plan");
+            let mut exp = build_experiment(Approach::Pq, &plan, ExpConfig::default());
+            exp.sim.run_until(Time::from_millis(15));
+            let pool = exp
+                .sim
+                .shared_buffer(aq_netsim::ids::NodeId(0))
+                .expect("pool on sw_left");
+            assert!(
+                exp.sim.shared_buffer(aq_netsim::ids::NodeId(1)).is_some(),
+                "pool on sw_right too"
+            );
+            assert!(
+                pool.occupancy() <= pool.capacity_bytes(),
+                "occupancy bounded by capacity"
+            );
+            rejects.push(pool.rejects());
+        }
+        // The three policies must land measurably different reject totals
+        // on the bottleneck switch: static partitioning starves the hot
+        // core port, DT lends it most of the idle pool, delay-driven sits
+        // in between (and marks instead of dropping until max_delay).
+        assert!(rejects[0] > 0, "static partition rejects under incast");
+        assert!(
+            rejects[0] != rejects[1] && rejects[1] != rejects[2] && rejects[0] != rejects[2],
+            "admission policies must redistribute drops distinctly: {rejects:?}"
+        );
+    }
+
+    #[test]
+    fn websearch_aqm_zoo_swaps_switch_egress_disciplines() {
+        let def = aq_workloads::registry::find("websearch_aqm_zoo").expect("registered");
+        for (aqm, _label) in [(1u32, "disagg_red"), (2, "l4s_step")] {
+            let plan = def
+                .plan(
+                    &aq_workloads::Params::parse(&format!("aqm={aqm},horizon_ms=10"))
+                        .expect("parse"),
+                )
+                .expect("plan");
+            let mut exp = build_experiment(Approach::Pq, &plan, ExpConfig::default());
+            // The core bottleneck port (on a switch) runs the chosen AQM.
+            let core = exp.core_port;
+            let swapped = match aqm {
+                1 => exp.sim.net.discipline_mut::<DisaggRedQueue>(core).is_some(),
+                _ => exp.sim.net.discipline_mut::<L4sStepQueue>(core).is_some(),
+            };
+            assert!(swapped, "aqm={aqm}: core port discipline swapped");
+            // Host uplinks keep their FIFO.
+            let up = exp.sim.net.host_uplink(exp.entity_vms[0].1[0]);
+            assert!(
+                exp.sim
+                    .net
+                    .discipline_mut::<aq_netsim::queue::FifoQueue>(up)
+                    .is_some(),
+                "host uplink keeps its FIFO"
+            );
+            exp.sim.run_until(Time::from_millis(10));
+            assert!(
+                exp.sim.shared_buffer(aq_netsim::ids::NodeId(0)).is_some(),
+                "DT pool installed"
             );
         }
     }

@@ -172,6 +172,8 @@ pub struct PortRow {
     pub red_drops: u64,
     /// Shaper-rejection packet count.
     pub shaper_drops: u64,
+    /// Shared-buffer admission rejections at this port.
+    pub shared_rejects: u64,
     /// AQ-limit drops attributed to this port (upstream of the queue).
     pub aq_drops: u64,
     /// Packets lost on this port's wire because the link died mid-flight.
@@ -191,6 +193,30 @@ pub struct PortRow {
     /// Peak buffered bytes over the run.
     pub peak_occupancy_bytes: u64,
     /// Per-window peak backlog series (bytes).
+    pub occupancy: Vec<u64>,
+}
+
+/// One switch's shared-buffer pool snapshot inside a [`RunReport`]
+/// section — the serialized image of [`aq_netsim::stats::BufferStats`].
+#[derive(Debug, Clone)]
+pub struct BufferRow {
+    /// Switch node owning the pool.
+    pub node: u64,
+    /// Admission-policy label (`static`, `dt`, `delay`).
+    pub policy: String,
+    /// Pool capacity (bytes).
+    pub capacity_bytes: u64,
+    /// Pool occupancy at capture time (bytes).
+    pub occupancy_bytes: u64,
+    /// Packets rejected by admission control.
+    pub shared_rejects: u64,
+    /// Bytes of rejected packets.
+    pub rejected_bytes: u64,
+    /// CE marks applied by the admission policy.
+    pub marks: u64,
+    /// Peak pool occupancy over the run (bytes).
+    pub peak_occupancy_bytes: u64,
+    /// Per-window peak pool occupancy series (bytes).
     pub occupancy: Vec<u64>,
 }
 
@@ -272,6 +298,9 @@ pub struct Section {
     pub entities: Vec<EntityRow>,
     /// Port rows, in port-id order.
     pub ports: Vec<PortRow>,
+    /// Shared-buffer pool rows, in node-id order (empty when no switch
+    /// carries a pool).
+    pub buffers: Vec<BufferRow>,
     /// AQ rows, in (tag, position) order.
     pub aqs: Vec<AqRow>,
     /// Fault-injection summary (empty for fault-free captures).
@@ -421,6 +450,7 @@ impl RunReport {
                 taildrops: ps.taildrops,
                 red_drops: ps.red_drops,
                 shaper_drops: ps.shaper_drops,
+                shared_rejects: ps.shared_rejects,
                 aq_drops: ps.aq_drops,
                 link_drops: ps.link_drops,
                 corrupt_drops: ps.corrupt_drops,
@@ -430,6 +460,20 @@ impl RunReport {
                 tx_bytes: ps.tx_bytes,
                 peak_occupancy_bytes: ps.peak_occupancy_bytes(),
                 occupancy: ps.occupancy.buckets_padded(now),
+            })
+            .collect();
+        let buffers = hub
+            .pools()
+            .map(|(n, bs)| BufferRow {
+                node: n.0 as u64,
+                policy: bs.policy.to_string(),
+                capacity_bytes: bs.capacity_bytes,
+                occupancy_bytes: bs.occupancy_bytes,
+                shared_rejects: bs.shared_rejects,
+                rejected_bytes: bs.rejected_bytes,
+                marks: bs.marks,
+                peak_occupancy_bytes: bs.peak_occupancy_bytes(),
+                occupancy: bs.occupancy.buckets_padded(now),
             })
             .collect();
         let aqs = hub
@@ -457,6 +501,7 @@ impl RunReport {
             jain_goodput: jain_index(&goodputs),
             entities,
             ports,
+            buffers,
             aqs,
             faults,
             metrics: Vec::new(),
@@ -474,6 +519,7 @@ impl RunReport {
             jain_goodput: 1.0,
             entities: Vec::new(),
             ports: Vec::new(),
+            buffers: Vec::new(),
             aqs: Vec::new(),
             faults: FaultSummary::default(),
             metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
@@ -490,13 +536,14 @@ impl RunReport {
     }
 
     /// Render all artifact files as `(filename, contents)` pairs:
-    /// `report.json`, `entities.csv`, `ports.csv`, `aqs.csv`,
-    /// `metrics.csv`.
+    /// `report.json`, `entities.csv`, `ports.csv`, `buffers.csv`,
+    /// `aqs.csv`, `metrics.csv`.
     pub fn render(&self) -> Vec<(&'static str, String)> {
         vec![
             ("report.json", self.render_json()),
             ("entities.csv", self.render_entities_csv()),
             ("ports.csv", self.render_ports_csv()),
+            ("buffers.csv", self.render_buffers_csv()),
             ("aqs.csv", self.render_aqs_csv()),
             ("metrics.csv", self.render_metrics_csv()),
         ]
@@ -578,7 +625,8 @@ impl RunReport {
                     j,
                     "{{\"node\":{},\"port\":{},\"enqueued_bytes\":{},\"dequeued_bytes\":{},\
                      \"dropped_bytes\":{},\"resident_bytes\":{},\"conserves\":{},\
-                     \"taildrops\":{},\"red_drops\":{},\"shaper_drops\":{},\"aq_drops\":{},\
+                     \"taildrops\":{},\"red_drops\":{},\"shaper_drops\":{},\
+                     \"shared_rejects\":{},\"aq_drops\":{},\
                      \"link_drops\":{},\"corrupt_drops\":{},\"wire_dropped_bytes\":{},\
                      \"ecn_marks\":{},\"tx_pkts\":{},\"tx_bytes\":{},\"peak_occupancy_bytes\":{}",
                     p.node,
@@ -591,6 +639,7 @@ impl RunReport {
                     p.taildrops,
                     p.red_drops,
                     p.shaper_drops,
+                    p.shared_rejects,
                     p.aq_drops,
                     p.link_drops,
                     p.corrupt_drops,
@@ -602,6 +651,34 @@ impl RunReport {
                 );
                 j.push_str(",\"occupancy\":[");
                 for (i, o) in p.occupancy.iter().enumerate() {
+                    if i > 0 {
+                        j.push(',');
+                    }
+                    let _ = write!(j, "{o}");
+                }
+                j.push_str("]}");
+            }
+            j.push_str("],\"buffers\":[");
+            for (i, b) in s.buffers.iter().enumerate() {
+                if i > 0 {
+                    j.push(',');
+                }
+                let _ = write!(
+                    j,
+                    "{{\"node\":{},\"policy\":{},\"capacity_bytes\":{},\"occupancy_bytes\":{},\
+                     \"shared_rejects\":{},\"rejected_bytes\":{},\"marks\":{},\
+                     \"peak_occupancy_bytes\":{}",
+                    b.node,
+                    json_str(&b.policy),
+                    b.capacity_bytes,
+                    b.occupancy_bytes,
+                    b.shared_rejects,
+                    b.rejected_bytes,
+                    b.marks,
+                    b.peak_occupancy_bytes
+                );
+                j.push_str(",\"occupancy\":[");
+                for (i, o) in b.occupancy.iter().enumerate() {
                     if i > 0 {
                         j.push(',');
                     }
@@ -707,14 +784,14 @@ impl RunReport {
     pub fn render_ports_csv(&self) -> String {
         let mut c = String::from(
             "section,node,port,enqueued_bytes,dequeued_bytes,dropped_bytes,resident_bytes,\
-             conserves,taildrops,red_drops,shaper_drops,aq_drops,link_drops,corrupt_drops,\
-             wire_dropped_bytes,ecn_marks,tx_pkts,tx_bytes,peak_occupancy_bytes\n",
+             conserves,taildrops,red_drops,shaper_drops,shared_rejects,aq_drops,link_drops,\
+             corrupt_drops,wire_dropped_bytes,ecn_marks,tx_pkts,tx_bytes,peak_occupancy_bytes\n",
         );
         for s in &self.sections {
             for p in &s.ports {
                 let _ = writeln!(
                     c,
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     crate::csv::quote(&s.label),
                     p.node,
                     p.port,
@@ -726,6 +803,7 @@ impl RunReport {
                     p.taildrops,
                     p.red_drops,
                     p.shaper_drops,
+                    p.shared_rejects,
                     p.aq_drops,
                     p.link_drops,
                     p.corrupt_drops,
@@ -734,6 +812,32 @@ impl RunReport {
                     p.tx_pkts,
                     p.tx_bytes,
                     p.peak_occupancy_bytes,
+                );
+            }
+        }
+        c
+    }
+
+    /// Per-pool rows as CSV (one row per section × shared-buffer pool).
+    pub fn render_buffers_csv(&self) -> String {
+        let mut c = String::from(
+            "section,node,policy,capacity_bytes,occupancy_bytes,shared_rejects,rejected_bytes,\
+             marks,peak_occupancy_bytes\n",
+        );
+        for s in &self.sections {
+            for b in &s.buffers {
+                let _ = writeln!(
+                    c,
+                    "{},{},{},{},{},{},{},{},{}",
+                    crate::csv::quote(&s.label),
+                    b.node,
+                    crate::csv::quote(&b.policy),
+                    b.capacity_bytes,
+                    b.occupancy_bytes,
+                    b.shared_rejects,
+                    b.rejected_bytes,
+                    b.marks,
+                    b.peak_occupancy_bytes,
                 );
             }
         }
@@ -941,6 +1045,7 @@ fn parse_section(s: &Json) -> Result<Section, String> {
             taildrops: juint(p, "taildrops", ctx)?,
             red_drops: juint(p, "red_drops", ctx)?,
             shaper_drops: juint(p, "shaper_drops", ctx)?,
+            shared_rejects: juint(p, "shared_rejects", ctx)?,
             aq_drops: juint(p, "aq_drops", ctx)?,
             link_drops: juint(p, "link_drops", ctx)?,
             corrupt_drops: juint(p, "corrupt_drops", ctx)?,
@@ -954,6 +1059,29 @@ fn parse_section(s: &Json) -> Result<Section, String> {
                 .ok_or("port: `occupancy` is not an array")?
                 .iter()
                 .map(|o| o.as_u64().ok_or("port: non-integer occupancy sample"))
+                .collect::<Result<_, _>>()?,
+        });
+    }
+    let mut buffers = Vec::new();
+    for b in jget(s, "buffers", ctx)?.as_arr().unwrap_or(&[]) {
+        let ctx = "buffer";
+        buffers.push(BufferRow {
+            node: juint(b, "node", ctx)?,
+            policy: jget(b, "policy", ctx)?
+                .as_str()
+                .ok_or("buffer: `policy` is not a string")?
+                .to_string(),
+            capacity_bytes: juint(b, "capacity_bytes", ctx)?,
+            occupancy_bytes: juint(b, "occupancy_bytes", ctx)?,
+            shared_rejects: juint(b, "shared_rejects", ctx)?,
+            rejected_bytes: juint(b, "rejected_bytes", ctx)?,
+            marks: juint(b, "marks", ctx)?,
+            peak_occupancy_bytes: juint(b, "peak_occupancy_bytes", ctx)?,
+            occupancy: jget(b, "occupancy", ctx)?
+                .as_arr()
+                .ok_or("buffer: `occupancy` is not an array")?
+                .iter()
+                .map(|o| o.as_u64().ok_or("buffer: non-integer occupancy sample"))
                 .collect::<Result<_, _>>()?,
         });
     }
@@ -1029,6 +1157,7 @@ fn parse_section(s: &Json) -> Result<Section, String> {
         jain_goodput: jnum(s, "jain_goodput", ctx)?,
         entities,
         ports,
+        buffers,
         aqs,
         faults,
         metrics,
@@ -1053,6 +1182,16 @@ mod tests {
         hub.on_port_enqueue(Time::from_millis(1), NodeId(0), PortId(4), 1000, 1000, 0);
         hub.on_port_dequeue(Time::from_millis(2), NodeId(0), PortId(4), 1000, 0);
         hub.on_port_tx(NodeId(0), PortId(4), 1000);
+        hub.on_pool_sample(
+            Time::from_millis(1),
+            NodeId(0),
+            "dt",
+            150_000,
+            2120,
+            1,
+            1060,
+            2,
+        );
         hub
     }
 
@@ -1096,6 +1235,27 @@ mod tests {
         let parsed = RunReport::parse_json(&rendered).expect("parse back");
         assert_eq!(parsed.name(), r.name());
         assert_eq!(parsed.sections().len(), r.sections().len());
+        assert_eq!(parsed.render_json(), rendered, "round-trip bytes differ");
+    }
+
+    #[test]
+    fn buffer_rows_render_and_round_trip() {
+        let hub = sample_hub();
+        let mut r = RunReport::new("unit");
+        r.capture_hub("pool", Time::from_millis(10), 1, &hub);
+        let s = &r.sections()[0];
+        assert_eq!(s.buffers.len(), 1);
+        assert_eq!(s.buffers[0].policy, "dt");
+        assert_eq!(s.buffers[0].capacity_bytes, 150_000);
+        assert_eq!(s.buffers[0].occupancy_bytes, 2120);
+        assert_eq!(s.buffers[0].shared_rejects, 1);
+        assert_eq!(s.buffers[0].peak_occupancy_bytes, 2120);
+        assert_eq!(s.buffers[0].occupancy.len(), 1, "padded to 10 ms horizon");
+        // header + 1 section x 1 pool.
+        assert_eq!(r.render_buffers_csv().lines().count(), 2);
+        let rendered = r.render_json();
+        let parsed = RunReport::parse_json(&rendered).expect("parse back");
+        assert_eq!(parsed.sections()[0].buffers.len(), 1);
         assert_eq!(parsed.render_json(), rendered, "round-trip bytes differ");
     }
 

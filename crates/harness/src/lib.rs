@@ -34,10 +34,11 @@ use aq_bench::Approach;
 use aq_workloads::registry::Params;
 use sweep::{SweepAxis, SweepSpec};
 
-/// The committed-baseline smoke sweep: 5 scenarios × 2 approaches ×
+/// The committed-baseline smoke sweep: 7 scenarios × 2 approaches ×
 /// small grids × 3 seeds. Small enough for CI, wide enough to exercise
 /// fairness, UDP/TCP sharing, and completion trends plus both
-/// fault-injection scenarios (link flaps and AQ state loss) end to end.
+/// fault-injection scenarios (link flaps and AQ state loss) and the
+/// shared-buffer layer (admission-policy and AQM axes) end to end.
 pub fn smoke_spec() -> SweepSpec {
     let p = |s: &str| Params::parse(s).expect("static smoke grid parses");
     SweepSpec {
@@ -71,6 +72,26 @@ pub fn smoke_spec() -> SweepSpec {
                 scenario: "aq_state_loss".to_string(),
                 approaches: vec![Approach::Pq, Approach::Aq],
                 grid: vec![p("horizon_ms=25")],
+                seeds: vec![1, 2, 3],
+            },
+            SweepAxis {
+                scenario: "incast_sharedbuf".to_string(),
+                approaches: vec![Approach::Pq, Approach::Aq],
+                grid: vec![
+                    p("admission=0,horizon_ms=20"),
+                    p("admission=1,horizon_ms=20"),
+                    p("admission=2,horizon_ms=20"),
+                ],
+                seeds: vec![1, 2, 3],
+            },
+            SweepAxis {
+                scenario: "websearch_aqm_zoo".to_string(),
+                approaches: vec![Approach::Pq, Approach::Aq],
+                grid: vec![
+                    p("aqm=0,horizon_ms=20"),
+                    p("aqm=1,horizon_ms=20"),
+                    p("aqm=2,horizon_ms=20"),
+                ],
                 seeds: vec![1, 2, 3],
             },
         ],
@@ -138,10 +159,16 @@ mod tests {
     fn smoke_spec_expands_to_the_documented_size() {
         let points = sweep::expand(&smoke_spec()).expect("smoke expands");
         // 2-point grids for fairness/completion, 1-point grids for
-        // UDP/TCP sharing and the two fault scenarios, 2 approaches x
+        // UDP/TCP sharing and the two fault scenarios, 3-point grids for
+        // the shared-buffer admission and AQM axes, 2 approaches x
         // 3 seeds each.
-        assert_eq!(points.len(), 42);
-        for scenario in ["linkflap_dumbbell", "aq_state_loss"] {
+        assert_eq!(points.len(), 78);
+        for scenario in [
+            "linkflap_dumbbell",
+            "aq_state_loss",
+            "incast_sharedbuf",
+            "websearch_aqm_zoo",
+        ] {
             assert!(
                 points.iter().any(|p| p.key.scenario == scenario),
                 "smoke must cover fault scenario `{scenario}`"
@@ -159,8 +186,8 @@ mod tests {
     #[test]
     fn nightly_spec_covers_every_scenario_and_approach() {
         let points = sweep::expand(&nightly_spec()).expect("nightly expands");
-        // 7 scenarios x 4 approaches x 5 seeds at the default grid point.
-        assert_eq!(points.len(), 140);
+        // 9 scenarios x 4 approaches x 5 seeds at the default grid point.
+        assert_eq!(points.len(), 180);
     }
 
     #[test]

@@ -315,6 +315,19 @@ pub fn execute_run(
             }
         }
     }
+    if !section.buffers.is_empty() {
+        let rejects: u64 = section.buffers.iter().map(|b| b.shared_rejects).sum();
+        let marks: u64 = section.buffers.iter().map(|b| b.marks).sum();
+        let peak = section
+            .buffers
+            .iter()
+            .map(|b| b.peak_occupancy_bytes)
+            .max()
+            .unwrap_or(0);
+        metrics.insert("sharedbuf_rejects_total".to_string(), rejects as f64);
+        metrics.insert("sharedbuf_marks_total".to_string(), marks as f64);
+        metrics.insert("pool_peak_bytes".to_string(), peak as f64);
+    }
     Ok(metrics)
 }
 

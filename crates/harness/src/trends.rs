@@ -204,6 +204,37 @@ pub const DEFAULT_RULES: &[TrendRule] = &[
         approach: "aq",
         floor: 0.6,
     },
+    // Shared-buffer incast: AQ must keep two equal entities fair through
+    // a small admission-controlled pool, and the pool occupancy peak must
+    // never exceed the default 150 KB capacity (the hard cap the
+    // SharedBufferPool enforces before any policy runs).
+    TrendRule::AtLeast {
+        scenario: "incast_sharedbuf",
+        metric: "jain_goodput",
+        approach: "aq",
+        floor: 0.8,
+    },
+    TrendRule::AtMost {
+        scenario: "incast_sharedbuf",
+        metric: "pool_peak_bytes",
+        approach: "pq",
+        ceiling: 150_000.0,
+    },
+    // AQM zoo: whatever physical AQM the switch egress runs, AQ's virtual
+    // ECN must keep the two DCTCP entities fair, and the DT-guarded pool
+    // stays within capacity.
+    TrendRule::AtLeast {
+        scenario: "websearch_aqm_zoo",
+        metric: "jain_goodput",
+        approach: "aq",
+        floor: 0.7,
+    },
+    TrendRule::AtMost {
+        scenario: "websearch_aqm_zoo",
+        metric: "pool_peak_bytes",
+        approach: "pq",
+        ceiling: 150_000.0,
+    },
 ];
 
 /// Mean of `metric` for `(scenario, approach, params)`, if aggregated.

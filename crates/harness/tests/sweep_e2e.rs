@@ -93,6 +93,64 @@ fn jobs_1_and_jobs_4_produce_byte_identical_artifacts() {
     }
 }
 
+#[test]
+fn incast_sharedbuf_reports_are_jobs_invariant() {
+    // The shared-buffer layer adds pool state to the hot path (admission
+    // checks, occupancy series, the report `buffers` section); none of it
+    // may leak scheduling: the same incast spec run with `--jobs 1` and
+    // `--jobs 4` must produce byte-identical artifacts and per-run
+    // reports across all three admission policies.
+    let spec = SweepSpec {
+        name: "sharedbuf".to_string(),
+        axes: vec![SweepAxis {
+            scenario: "incast_sharedbuf".to_string(),
+            approaches: vec![Approach::Pq, Approach::Aq],
+            grid: vec![
+                Params::parse("admission=0,horizon_ms=5").expect("grid"),
+                Params::parse("admission=1,horizon_ms=5").expect("grid"),
+                Params::parse("admission=2,horizon_ms=5").expect("grid"),
+            ],
+            seeds: vec![1],
+        }],
+    };
+    let serial_dir = scratch_dir("sharedbuf_serial");
+    let wide_dir = scratch_dir("sharedbuf_wide");
+    run_spec_into(&spec, &serial_dir, 1);
+    run_spec_into(&spec, &wide_dir, 4);
+
+    for artifact in ["sweep.json", "sweep.csv"] {
+        let a = std::fs::read(serial_dir.join(artifact)).expect("serial artifact");
+        let b = std::fs::read(wide_dir.join(artifact)).expect("wide artifact");
+        assert_eq!(a, b, "{artifact} differs between --jobs 1 and --jobs 4");
+    }
+    let mut runs: Vec<PathBuf> = std::fs::read_dir(serial_dir.join("runs"))
+        .expect("runs dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    runs.sort();
+    assert_eq!(runs.len(), 6, "2 approaches x 3 admission policies");
+    for run in &runs {
+        let name = run.file_name().expect("run dir name").to_owned();
+        let a = std::fs::read(run.join("report.json")).expect("serial report");
+        let b = std::fs::read(wide_dir.join("runs").join(&name).join("report.json"))
+            .expect("wide report");
+        assert_eq!(
+            a,
+            b,
+            "runs/{}/report.json differs across job counts",
+            name.to_string_lossy()
+        );
+        // The report actually carries the shared-buffer section it is
+        // pinning: both dumbbell switches exported pool rows.
+        let text = String::from_utf8(a).expect("utf8 report");
+        assert!(
+            text.contains("\"buffers\":[{"),
+            "runs/{}: report carries no buffers section",
+            name.to_string_lossy()
+        );
+    }
+}
+
 fn copy_tree(from: &Path, to: &Path) {
     std::fs::create_dir_all(to).expect("create copy dir");
     for entry in std::fs::read_dir(from).expect("read dir") {

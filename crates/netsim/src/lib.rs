@@ -11,8 +11,12 @@
 //!   link down/up and flap trains, stochastic corruption, switch state
 //!   wipes, host blackouts);
 //! * [`packet`] — packets with transport, ECN, and AQ header fields;
-//! * [`queue`] — the physical FIFO queue (taildrop + ECN threshold) and the
-//!   [`queue::QueueDiscipline`] trait alternative disciplines implement;
+//! * [`queue`] — the physical FIFO queue (taildrop + ECN threshold), the
+//!   [`queue::QueueDiscipline`] trait alternative disciplines implement,
+//!   and the AQM zoo ([`queue::DisaggRedQueue`], [`queue::L4sStepQueue`]);
+//! * [`buffer`] — the per-switch shared buffer pool and its pluggable
+//!   admission policies (static partition, dynamic threshold,
+//!   delay-driven);
 //! * [`link`]/[`port`] — line-rate serialization and propagation;
 //! * [`node`] — the [`node::HostApp`] and [`node::SwitchPipeline`]
 //!   extension traits (transports attach to hosts, AQ attaches to switches);
@@ -39,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod event;
 pub mod fault;
 pub mod ids;
@@ -53,16 +58,23 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use buffer::{
+    Admission, AdmissionCtx, AdmissionPolicy, DelayDriven, DynamicThreshold, SharedBufferPool,
+    StaticPartition,
+};
 pub use event::SchedulerKind;
 pub use fault::{AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultTotals};
 pub use ids::{AgentId, EntityId, FlowId, LinkId, NodeId, PortId};
 pub use node::{HostApp, HostCtx, PipelineVerdict, SwitchPipeline};
 pub use packet::{AqTag, Ecn, Packet, TransportHeader, ACK_BYTES, HEADER_BYTES, MSS};
-pub use queue::{DropCause, Enqueued, FifoConfig, FifoQueue, QueueDiscipline};
+pub use queue::{
+    DisaggRedConfig, DisaggRedQueue, DropCause, Enqueued, FifoConfig, FifoQueue, L4sStepConfig,
+    L4sStepQueue, QueueDiscipline,
+};
 pub use sim::{Agent, AgentCtx, Network, Simulator};
 pub use stats::{
-    jain_index, minmax_ratio, AqPosition, AqSummary, DelayRecorder, PortStats, StatsHub,
-    WindowedCounter,
+    jain_index, minmax_ratio, AqPosition, AqSummary, BufferStats, DelayRecorder, PortStats,
+    StatsHub, WindowedCounter,
 };
 pub use time::{Duration, Rate, Time, NS_PER_SEC};
 pub use topology::{dumbbell, dumbbell_asym, fat_tree, star, Dumbbell, FatTree, NetBuilder, Star};

@@ -6,6 +6,15 @@
 //! switches expose. Alternative disciplines (HTB shaping, DRR per-flow
 //! queueing) implement [`QueueDiscipline`] in the `aq-baselines` crate and
 //! plug into the same port.
+//!
+//! This module also carries a small AQM zoo used by the shared-buffer
+//! experiments: [`DisaggRedQueue`] (iRED-style disaggregated RED, where
+//! the congestion *decision* made on one arrival is *acted on* at a later
+//! arrival) and [`L4sStepQueue`] (L4S-style step/ramp instantaneous
+//! marking). Both are deterministic: where classic RED would draw a
+//! random number, these accumulate the marking probability in a
+//! fixed-point credit and fire when it crosses one — error-diffusion
+//! dithering, bit-identical across runs.
 
 use crate::packet::Packet;
 use crate::time::Time;
@@ -42,6 +51,11 @@ pub enum DropCause {
     /// [`DropCause::LinkDown`], attribution-only: the bytes already left
     /// the queue.
     Corrupt,
+    /// Refused by the switch's shared-buffer admission policy
+    /// ([`crate::buffer::SharedBufferPool`]) before reaching the queue
+    /// discipline. Accounted like a taildrop in the port byte identity:
+    /// the bytes were offered to the port but never buffered.
+    SharedBufferReject,
 }
 
 /// Outcome of offering a packet to a queue discipline.
@@ -273,6 +287,338 @@ impl QueueDiscipline for FifoQueue {
     }
 }
 
+/// Configuration of the iRED-style disaggregated RED discipline.
+#[derive(Clone, Copy, Debug)]
+pub struct DisaggRedConfig {
+    /// Taildrop limit in bytes.
+    pub limit_bytes: u64,
+    /// EWMA backlog at/above which congestion actions start accruing.
+    pub min_thresh_bytes: u64,
+    /// EWMA backlog at/above which every arrival triggers an action.
+    pub max_thresh_bytes: u64,
+    /// EWMA weight as a right-shift: `avg += (backlog − avg) >> shift`.
+    pub ewma_shift: u32,
+}
+
+impl Default for DisaggRedConfig {
+    fn default() -> Self {
+        DisaggRedConfig {
+            limit_bytes: 200_000,
+            min_thresh_bytes: 30_000,
+            max_thresh_bytes: 90_000,
+            ewma_shift: 4,
+        }
+    }
+}
+
+/// iRED-style *disaggregated* RED: the congestion decision and the
+/// congestion action are split in time.
+///
+/// The **decide** stage runs on every arrival: it updates an EWMA of the
+/// backlog and, while the average sits in `[min, max)`, accrues marking
+/// probability `(avg − min) / (max − min)` into a fixed-point credit
+/// (at/above `max` a full action accrues per arrival). Each time the
+/// credit crosses 1.0 a *pending action* is queued — but nothing happens
+/// to the packet that triggered it.
+///
+/// The **act** stage runs first on every arrival: if actions are pending,
+/// the arriving packet absorbs one — CE-marked if ECN-capable, dropped
+/// ([`DropCause::RedNonEct`]) if not. The packet that pays is therefore
+/// never the packet that tripped the decision, which is the disaggregation
+/// iRED introduces to move RED's random-drop work off the enqueue critical
+/// path.
+pub struct DisaggRedQueue {
+    cfg: DisaggRedConfig,
+    buf: VecDeque<(Packet, Time)>,
+    backlog: u64,
+    /// EWMA of the backlog (the RED average queue).
+    avg: u64,
+    /// Fixed-point marking credit, in 1/1000ths of an action.
+    credit_milli: u64,
+    /// Congestion actions decided but not yet applied.
+    pending: u64,
+    /// Cumulative drops (taildrop + non-ECT actions).
+    pub drops: u64,
+    /// Cumulative CE marks applied by the act stage.
+    pub marks: u64,
+    /// Cumulative bytes offered to [`QueueDiscipline::enqueue`].
+    pub enqueued_bytes: u64,
+    /// Cumulative bytes handed back out by [`QueueDiscipline::dequeue`].
+    pub dequeued_bytes: u64,
+    /// Cumulative bytes of rejected packets.
+    pub dropped_bytes: u64,
+}
+
+impl DisaggRedQueue {
+    /// An empty disaggregated-RED queue with the given configuration.
+    pub fn new(cfg: DisaggRedConfig) -> DisaggRedQueue {
+        DisaggRedQueue {
+            cfg,
+            buf: VecDeque::new(),
+            backlog: 0,
+            avg: 0,
+            credit_milli: 0,
+            pending: 0,
+            drops: 0,
+            marks: 0,
+            enqueued_bytes: 0,
+            dequeued_bytes: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    /// Congestion actions currently decided but not yet acted on (white
+    /// box for tests).
+    pub fn pending_actions(&self) -> u64 {
+        self.pending
+    }
+
+    /// Current EWMA backlog (white box for tests).
+    pub fn avg_backlog_bytes(&self) -> u64 {
+        self.avg
+    }
+
+    fn check_conservation(&self) {
+        crate::invariant!(
+            self.enqueued_bytes == self.dequeued_bytes + self.dropped_bytes + self.backlog,
+            "DisaggRed byte conservation broken: enqueued={} dequeued={} dropped={} backlog={}",
+            self.enqueued_bytes,
+            self.dequeued_bytes,
+            self.dropped_bytes,
+            self.backlog,
+        );
+    }
+
+    /// Decide stage: fold the pre-arrival backlog into the EWMA and queue
+    /// pending actions per the RED probability, dithered deterministically.
+    fn decide(&mut self) {
+        let b = self.backlog;
+        if b >= self.avg {
+            self.avg += (b - self.avg) >> self.cfg.ewma_shift;
+        } else {
+            self.avg -= (self.avg - b) >> self.cfg.ewma_shift;
+        }
+        let (min, max) = (self.cfg.min_thresh_bytes, self.cfg.max_thresh_bytes);
+        if self.avg >= max {
+            self.pending += 1;
+        } else if self.avg >= min && max > min {
+            self.credit_milli += (self.avg - min) * 1000 / (max - min);
+            if self.credit_milli >= 1000 {
+                self.credit_milli -= 1000;
+                self.pending += 1;
+            }
+        }
+    }
+}
+
+impl QueueDiscipline for DisaggRedQueue {
+    fn enqueue(&mut self, now: Time, mut pkt: Packet) -> Enqueued {
+        self.enqueued_bytes += pkt.size as u64;
+        if self.backlog + pkt.size as u64 > self.cfg.limit_bytes {
+            self.drops += 1;
+            self.dropped_bytes += pkt.size as u64;
+            self.check_conservation();
+            return Enqueued::Dropped(pkt, DropCause::Taildrop);
+        }
+        // Act stage: an earlier decision is paid for by this arrival.
+        if self.pending > 0 {
+            self.pending -= 1;
+            if pkt.ecn.can_mark() {
+                pkt.ecn = crate::packet::Ecn::CongestionExperienced;
+                self.marks += 1;
+            } else {
+                self.drops += 1;
+                self.dropped_bytes += pkt.size as u64;
+                self.decide();
+                self.check_conservation();
+                return Enqueued::Dropped(pkt, DropCause::RedNonEct);
+            }
+        }
+        self.decide();
+        self.backlog += pkt.size as u64;
+        self.buf.push_back((pkt, now));
+        self.check_conservation();
+        Enqueued::Ok
+    }
+
+    fn ready_at(&mut self, now: Time) -> Option<Time> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        let (mut pkt, enq_at) = self.buf.pop_front()?;
+        self.backlog -= pkt.size as u64;
+        self.dequeued_bytes += pkt.size as u64;
+        pkt.pq_delay_ns += now.since(enq_at).as_nanos();
+        self.check_conservation();
+        Some(pkt)
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.backlog
+    }
+
+    fn backlog_pkts(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn ecn_marks(&self) -> u64 {
+        self.marks
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Configuration of the L4S-style step/ramp marking discipline.
+#[derive(Clone, Copy, Debug)]
+pub struct L4sStepConfig {
+    /// Taildrop limit in bytes.
+    pub limit_bytes: u64,
+    /// Instantaneous backlog at which the marking ramp starts.
+    pub step_low_bytes: u64,
+    /// Instantaneous backlog at/above which every ECT arrival is marked.
+    /// When `step_high_bytes <= step_low_bytes` the ramp degenerates to a
+    /// pure step at `step_low_bytes`.
+    pub step_high_bytes: u64,
+}
+
+impl Default for L4sStepConfig {
+    fn default() -> Self {
+        L4sStepConfig {
+            limit_bytes: 200_000,
+            step_low_bytes: 10_000,
+            step_high_bytes: 40_000,
+        }
+    }
+}
+
+/// L4S-style immediate marking: ECT arrivals are CE-marked on the
+/// *instantaneous* backlog, with a linear ramp between `step_low` and
+/// `step_high` (deterministically dithered, like [`DisaggRedQueue`]) and a
+/// hard step at `step_high`. Non-ECT traffic is never marked — it only
+/// taildrops at the limit, mirroring how an L4S queue treats classic
+/// traffic that cannot understand the finer-grained signal.
+pub struct L4sStepQueue {
+    cfg: L4sStepConfig,
+    buf: VecDeque<(Packet, Time)>,
+    backlog: u64,
+    /// Fixed-point ramp credit, in 1/1000ths of a mark.
+    credit_milli: u64,
+    /// Cumulative taildrops.
+    pub drops: u64,
+    /// Cumulative CE marks.
+    pub marks: u64,
+    /// Cumulative bytes offered to [`QueueDiscipline::enqueue`].
+    pub enqueued_bytes: u64,
+    /// Cumulative bytes handed back out by [`QueueDiscipline::dequeue`].
+    pub dequeued_bytes: u64,
+    /// Cumulative bytes of rejected packets.
+    pub dropped_bytes: u64,
+}
+
+impl L4sStepQueue {
+    /// An empty L4S step queue with the given configuration.
+    pub fn new(cfg: L4sStepConfig) -> L4sStepQueue {
+        L4sStepQueue {
+            cfg,
+            buf: VecDeque::new(),
+            backlog: 0,
+            credit_milli: 0,
+            drops: 0,
+            marks: 0,
+            enqueued_bytes: 0,
+            dequeued_bytes: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    fn check_conservation(&self) {
+        crate::invariant!(
+            self.enqueued_bytes == self.dequeued_bytes + self.dropped_bytes + self.backlog,
+            "L4sStep byte conservation broken: enqueued={} dequeued={} dropped={} backlog={}",
+            self.enqueued_bytes,
+            self.dequeued_bytes,
+            self.dropped_bytes,
+            self.backlog,
+        );
+    }
+
+    /// Whether an ECT arrival seeing `backlog` bytes should be marked.
+    fn should_mark(&mut self, backlog: u64) -> bool {
+        let (low, high) = (self.cfg.step_low_bytes, self.cfg.step_high_bytes);
+        if backlog >= high.max(low) {
+            return true;
+        }
+        if backlog >= low && high > low {
+            self.credit_milli += (backlog - low) * 1000 / (high - low);
+            if self.credit_milli >= 1000 {
+                self.credit_milli -= 1000;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl QueueDiscipline for L4sStepQueue {
+    fn enqueue(&mut self, now: Time, mut pkt: Packet) -> Enqueued {
+        self.enqueued_bytes += pkt.size as u64;
+        if self.backlog + pkt.size as u64 > self.cfg.limit_bytes {
+            self.drops += 1;
+            self.dropped_bytes += pkt.size as u64;
+            self.check_conservation();
+            return Enqueued::Dropped(pkt, DropCause::Taildrop);
+        }
+        if pkt.ecn.can_mark() && self.should_mark(self.backlog) {
+            pkt.ecn = crate::packet::Ecn::CongestionExperienced;
+            self.marks += 1;
+        }
+        self.backlog += pkt.size as u64;
+        self.buf.push_back((pkt, now));
+        self.check_conservation();
+        Enqueued::Ok
+    }
+
+    fn ready_at(&mut self, now: Time) -> Option<Time> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        let (mut pkt, enq_at) = self.buf.pop_front()?;
+        self.backlog -= pkt.size as u64;
+        self.dequeued_bytes += pkt.size as u64;
+        pkt.pq_delay_ns += now.since(enq_at).as_nanos();
+        self.check_conservation();
+        Some(pkt)
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.backlog
+    }
+
+    fn backlog_pkts(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn ecn_marks(&self) -> u64 {
+        self.marks
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,5 +714,119 @@ mod tests {
         assert_eq!(q.ready_at(Time::ZERO), None);
         q.enqueue(Time::ZERO, pkt(MSS));
         assert_eq!(q.ready_at(Time::from_nanos(5)), Some(Time::from_nanos(5)));
+    }
+
+    #[test]
+    fn disagg_red_decides_on_one_arrival_and_acts_on_a_later_one() {
+        let mut q = DisaggRedQueue::new(DisaggRedConfig {
+            limit_bytes: 1_000_000,
+            min_thresh_bytes: 1_000,
+            max_thresh_bytes: 2_000,
+            ewma_shift: 0, // avg tracks backlog exactly: deterministic test
+        });
+        let ect = |_: u32| {
+            let mut p = pkt(MSS);
+            p.ecn = Ecn::Capable;
+            p
+        };
+        // Fill past max_thresh: the decide stage reads the pre-arrival
+        // backlog, so the third arrival sees 2120 B ≥ max and queues a
+        // pending action — but is itself untouched.
+        for _ in 0..3 {
+            assert!(matches!(q.enqueue(Time::ZERO, ect(0)), Enqueued::Ok));
+        }
+        assert_eq!(q.marks, 0, "the deciding packet must not pay");
+        assert!(q.pending_actions() > 0, "decision queued for later");
+        // The next arrival absorbs the pending action as a CE mark.
+        let pending = q.pending_actions();
+        assert!(matches!(q.enqueue(Time::ZERO, ect(0)), Enqueued::Ok));
+        assert_eq!(q.marks, 1);
+        assert!(q.pending_actions() >= pending - 1);
+        // A non-ECT arrival pays a pending action with a drop instead.
+        while q.pending_actions() == 0 {
+            q.enqueue(Time::ZERO, ect(0));
+        }
+        assert!(matches!(
+            q.enqueue(Time::ZERO, pkt(MSS)),
+            Enqueued::Dropped(_, DropCause::RedNonEct)
+        ));
+        // Conservation holds throughout (checked by the invariant when
+        // enabled; re-derive it here so the test bites without features).
+        assert_eq!(
+            q.enqueued_bytes,
+            q.dequeued_bytes + q.dropped_bytes + q.backlog_bytes()
+        );
+    }
+
+    #[test]
+    fn disagg_red_taildrops_at_the_limit() {
+        let mut q = DisaggRedQueue::new(DisaggRedConfig {
+            limit_bytes: 2 * 1060,
+            min_thresh_bytes: 1_000_000,
+            max_thresh_bytes: 2_000_000,
+            ewma_shift: 4,
+        });
+        assert!(matches!(q.enqueue(Time::ZERO, pkt(MSS)), Enqueued::Ok));
+        assert!(matches!(q.enqueue(Time::ZERO, pkt(MSS)), Enqueued::Ok));
+        assert!(matches!(
+            q.enqueue(Time::ZERO, pkt(MSS)),
+            Enqueued::Dropped(_, DropCause::Taildrop)
+        ));
+        let p = q.dequeue(Time::from_micros(3)).unwrap();
+        assert_eq!(p.pq_delay_ns, 3_000);
+    }
+
+    #[test]
+    fn l4s_step_marks_every_ect_arrival_above_the_step() {
+        let mut q = L4sStepQueue::new(L4sStepConfig {
+            limit_bytes: 1_000_000,
+            step_low_bytes: 1060,
+            step_high_bytes: 1060, // degenerate ramp: pure step
+        });
+        let mut ect = pkt(MSS);
+        ect.ecn = Ecn::Capable;
+        assert!(matches!(q.enqueue(Time::ZERO, ect.clone()), Enqueued::Ok));
+        assert_eq!(q.marks, 0, "below the step: no mark");
+        assert!(matches!(q.enqueue(Time::ZERO, ect.clone()), Enqueued::Ok));
+        assert!(matches!(q.enqueue(Time::ZERO, ect.clone()), Enqueued::Ok));
+        assert_eq!(q.marks, 2, "every ECT arrival at/above the step marks");
+        // Non-ECT traffic is never marked, only taildropped at the limit.
+        assert!(matches!(q.enqueue(Time::ZERO, pkt(MSS)), Enqueued::Ok));
+        assert_eq!(q.marks, 2);
+        let unmarked = q.dequeue(Time::ZERO).unwrap();
+        assert!(!unmarked.ecn.is_marked());
+        let marked = q.dequeue(Time::ZERO).unwrap();
+        assert!(marked.ecn.is_marked());
+    }
+
+    #[test]
+    fn l4s_ramp_dithers_between_low_and_high() {
+        let mut q = L4sStepQueue::new(L4sStepConfig {
+            limit_bytes: 1_000_000,
+            step_low_bytes: 0,
+            step_high_bytes: 4 * 1060,
+        });
+        let mut ect = pkt(MSS);
+        ect.ecn = Ecn::Capable;
+        for _ in 0..8 {
+            assert!(matches!(q.enqueue(Time::ZERO, ect.clone()), Enqueued::Ok));
+        }
+        // In the ramp region some but not all arrivals mark, and re-running
+        // the identical sequence reproduces the identical count.
+        assert!(q.marks > 0 && q.marks < 8, "ramp marked {} of 8", q.marks);
+        let first = q.marks;
+        let mut q2 = L4sStepQueue::new(L4sStepConfig {
+            limit_bytes: 1_000_000,
+            step_low_bytes: 0,
+            step_high_bytes: 4 * 1060,
+        });
+        for _ in 0..8 {
+            q2.enqueue(Time::ZERO, ect.clone());
+        }
+        assert_eq!(q2.marks, first, "dithered marking must be deterministic");
+        assert_eq!(
+            q.enqueued_bytes,
+            q.dequeued_bytes + q.dropped_bytes + q.backlog_bytes()
+        );
     }
 }

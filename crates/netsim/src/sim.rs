@@ -17,6 +17,7 @@
 //! 4. at the destination host the simulator records delivery stats and
 //!    hands the packet to the app.
 
+use crate::buffer::{Admission, SharedBufferPool};
 use crate::event::{EventKind, EventQueue, SchedulerKind};
 use crate::fault::{
     AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultState, FaultTotals, LossProcess,
@@ -207,6 +208,10 @@ pub struct Simulator {
     /// Installed fault plan plus runtime link/host health (see
     /// [`crate::fault`]).
     faults: FaultState,
+    /// Per-switch shared buffer pools, indexed by [`NodeId`]; `None` for
+    /// nodes without one (all hosts, and switches left on isolated
+    /// per-port buffering).
+    pools: Vec<Option<SharedBufferPool>>,
     /// Freelist arena parking packets in flight over links; `Arrive`
     /// events carry a [`PacketRef`](crate::packet::PacketRef) into it.
     arena: PacketArena,
@@ -246,6 +251,7 @@ impl Simulator {
             jitter_ns: 800,
             last_arrival: vec![Time::ZERO; links],
             faults: FaultState::new(links, nodes),
+            pools: (0..nodes).map(|_| None).collect(),
             arena: PacketArena::new(),
             scratch_sends: Vec::new(),
             scratch_timers: Vec::new(),
@@ -286,6 +292,32 @@ impl Simulator {
             "install_faults must be called before the simulation starts"
         );
         self.faults.plan = plan;
+    }
+
+    /// Install a shared buffer pool on a switch: every enqueue at any of
+    /// the switch's ports is arbitrated by the pool's admission policy
+    /// before the port's queue discipline sees the packet (rejections
+    /// surface as [`DropCause::SharedBufferReject`]). Replaces any
+    /// previously installed pool.
+    ///
+    /// # Panics
+    /// Panics if the simulation has already started, or if `node` is a
+    /// host (hosts keep their private NIC buffers).
+    pub fn install_shared_buffer(&mut self, node: NodeId, pool: SharedBufferPool) {
+        assert!(
+            !self.started,
+            "install_shared_buffer must be called before the simulation starts"
+        );
+        assert!(
+            !self.net.nodes[node.index()].is_host(),
+            "{node} is a host; shared buffers belong to switches"
+        );
+        self.pools[node.index()] = Some(pool);
+    }
+
+    /// The shared buffer pool installed on `node`, if any.
+    pub fn shared_buffer(&self, node: NodeId) -> Option<&SharedBufferPool> {
+        self.pools[node.index()].as_ref()
     }
 
     /// The faults applied so far, in firing order.
@@ -595,18 +627,69 @@ impl Simulator {
         self.enqueue_at_port(port, pkt);
     }
 
-    fn enqueue_at_port(&mut self, port: PortId, pkt: Packet) {
+    fn enqueue_at_port(&mut self, port: PortId, mut pkt: Packet) {
         let now = self.now;
         let entity = pkt.entity;
         let bytes = pkt.size as u64;
+        let (node, link) = {
+            let p = &self.net.ports[port.index()];
+            (p.node, p.link)
+        };
+        // Shared-buffer admission: a switch with an installed pool
+        // arbitrates every enqueue across its ports before the queue
+        // discipline sees the packet. Hosts never carry a pool.
+        if let Some(pool) = self.pools[node.index()].as_mut() {
+            let drain = self.net.links[link.index()].rate;
+            match pool.admit(port, bytes, drain) {
+                Admission::Admit => {}
+                Admission::AdmitMark => {
+                    if pkt.ecn.can_mark() {
+                        pkt.ecn = crate::packet::Ecn::CongestionExperienced;
+                        pool.note_mark();
+                    }
+                }
+                Admission::Reject => {
+                    self.stats.on_pool_sample(
+                        now,
+                        node,
+                        pool.policy_name(),
+                        pool.capacity_bytes(),
+                        pool.occupancy(),
+                        pool.rejects(),
+                        pool.rejected_bytes(),
+                        pool.marks(),
+                    );
+                    let p = &mut self.net.ports[port.index()];
+                    p.stats.queue_drops += 1;
+                    self.stats
+                        .on_port_queue_drop(node, port, bytes, DropCause::SharedBufferReject);
+                    self.stats.on_drop(entity);
+                    return;
+                }
+            }
+        }
         let p = &mut self.net.ports[port.index()];
-        let node = p.node;
         match p.queue.enqueue(now, pkt) {
             Enqueued::Ok => {
                 let backlog = p.queue.backlog_bytes();
                 let marks = p.queue.ecn_marks();
                 self.stats
                     .on_port_enqueue(now, node, port, bytes, backlog, marks);
+                // Commit pool bytes only after the discipline accepted, so
+                // a taildrop never leaks pool occupancy.
+                if let Some(pool) = self.pools[node.index()].as_mut() {
+                    pool.commit(port, bytes);
+                    self.stats.on_pool_sample(
+                        now,
+                        node,
+                        pool.policy_name(),
+                        pool.capacity_bytes(),
+                        pool.occupancy(),
+                        pool.rejects(),
+                        pool.rejected_bytes(),
+                        pool.marks(),
+                    );
+                }
                 self.try_transmit(port);
             }
             Enqueued::Dropped(_, cause) => {
@@ -651,6 +734,21 @@ impl Simulator {
                 // of the current up period.
                 p.launch_downs = self.faults.link_downs[lidx];
                 self.stats.on_port_dequeue(now, node, port, bytes, backlog);
+                // The packet left the queue for the wire: its shared-buffer
+                // bytes are freed for other ports to claim.
+                if let Some(pool) = self.pools[node.index()].as_mut() {
+                    pool.release(port, bytes);
+                    self.stats.on_pool_sample(
+                        now,
+                        node,
+                        pool.policy_name(),
+                        pool.capacity_bytes(),
+                        pool.occupancy(),
+                        pool.rejects(),
+                        pool.rejected_bytes(),
+                        pool.marks(),
+                    );
+                }
                 self.events.push(now + dur, EventKind::TxComplete { port });
             }
             // Shaped release in the future: arm one wake for the

@@ -11,6 +11,9 @@
 //!   discipline (enqueued/dequeued/dropped bytes), drop causes (taildrop vs
 //!   RED vs shaper vs AQ limit), ECN marks, and a windowed queue-occupancy
 //!   series ([`PortStats`]);
+//! * per *switch shared buffer*: pool occupancy (windowed peak series),
+//!   admission rejections, and admission marks ([`BufferStats`]), mirrored
+//!   from the switch's [`crate::buffer::SharedBufferPool`];
 //! * per *AQ instance*: an [`AqSummary`] of gap statistics and limit drops,
 //!   exported by `aq-core`'s pipeline.
 //!
@@ -328,6 +331,11 @@ pub struct PortStats {
     pub red_drops: u64,
     /// Packets rejected by a shaper discipline.
     pub shaper_drops: u64,
+    /// Packets refused by the switch's shared-buffer admission policy
+    /// ([`crate::buffer::SharedBufferPool`]) before reaching the queue
+    /// discipline. Counted like taildrops in the byte identity: the bytes
+    /// were offered to the port but never buffered.
+    pub shared_rejects: u64,
     /// Packets dropped by an AQ pipeline limit *before* reaching this
     /// port's queue. Attribution only — these bytes never enter the
     /// discipline, so they are **not** part of the byte identity above.
@@ -371,6 +379,7 @@ impl PortStats {
             taildrops: 0,
             red_drops: 0,
             shaper_drops: 0,
+            shared_rejects: 0,
             aq_drops: 0,
             link_drops: 0,
             corrupt_drops: 0,
@@ -383,7 +392,7 @@ impl PortStats {
     /// Total packets rejected at the queue boundary (excludes `aq_drops`,
     /// which happen upstream in the switch pipeline).
     pub fn queue_drops(&self) -> u64 {
-        self.taildrops + self.red_drops + self.shaper_drops
+        self.taildrops + self.red_drops + self.shaper_drops + self.shared_rejects
     }
 
     /// Whether the port-level byte identity
@@ -393,6 +402,57 @@ impl PortStats {
     }
 
     /// Peak buffered bytes observed over the whole run (max over the
+    /// occupancy series).
+    pub fn peak_occupancy_bytes(&self) -> u64 {
+        self.occupancy.buckets().iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Per-switch shared-buffer telemetry, mirroring the cumulative counters
+/// of the switch's [`crate::buffer::SharedBufferPool`] plus a windowed
+/// occupancy series.
+///
+/// Fed by the simulator after every pool event (admission commit, release,
+/// rejection, mark); counters are *mirrored* absolutely from the pool, so
+/// repeated report captures stay idempotent.
+#[derive(Debug, Clone)]
+pub struct BufferStats {
+    /// Switch owning the pool.
+    pub node: NodeId,
+    /// Installed admission-policy label (`static` / `dt` / `delay`).
+    pub policy: &'static str,
+    /// Total pool capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Pool-wide occupancy in bytes at the last sample.
+    pub occupancy_bytes: u64,
+    /// Packets refused by the admission policy
+    /// ([`crate::queue::DropCause::SharedBufferReject`]); the same events
+    /// are attributed per port in [`PortStats::shared_rejects`].
+    pub shared_rejects: u64,
+    /// Bytes of refused packets.
+    pub rejected_bytes: u64,
+    /// CE marks applied on admission (delay-driven policies).
+    pub marks: u64,
+    /// Windowed pool-occupancy series: per-window *peak* occupancy in
+    /// bytes (fed through [`WindowedCounter::record_max`]).
+    pub occupancy: WindowedCounter,
+}
+
+impl BufferStats {
+    fn new(node: NodeId, policy: &'static str, capacity_bytes: u64, window: Duration) -> Self {
+        BufferStats {
+            node,
+            policy,
+            capacity_bytes,
+            occupancy_bytes: 0,
+            shared_rejects: 0,
+            rejected_bytes: 0,
+            marks: 0,
+            occupancy: WindowedCounter::new(window),
+        }
+    }
+
+    /// Peak pool occupancy observed over the whole run (max over the
     /// occupancy series).
     pub fn peak_occupancy_bytes(&self) -> u64 {
         self.occupancy.buckets().iter().copied().max().unwrap_or(0)
@@ -508,6 +568,9 @@ pub struct StatsHub {
     flows: BTreeMap<FlowId, FlowRecord>,
     /// Dense, indexed by `PortId` (port ids are globally unique).
     ports: Vec<Option<PortStats>>,
+    /// Dense, indexed by `NodeId`: per-switch shared-buffer telemetry.
+    /// `None` = node has no pool (hosts, or pool never sampled).
+    pools: Vec<Option<BufferStats>>,
     aqs: BTreeMap<(u32, AqPosition), AqSummary>,
     /// Record every Nth delay sample per entity (1 = all). Reduces memory
     /// for very long runs without biasing percentiles.
@@ -523,6 +586,7 @@ impl StatsHub {
             entities: Vec::new(),
             flows: BTreeMap::new(),
             ports: Vec::new(),
+            pools: Vec::new(),
             aqs: BTreeMap::new(),
             delay_decimation: 1,
         }
@@ -667,6 +731,11 @@ impl StatsHub {
                 ps.dropped_bytes += bytes;
                 ps.shaper_drops += 1;
             }
+            DropCause::SharedBufferReject => {
+                ps.enqueued_bytes += bytes;
+                ps.dropped_bytes += bytes;
+                ps.shared_rejects += 1;
+            }
         }
     }
 
@@ -726,6 +795,59 @@ impl StatsHub {
     /// port queue.
     pub fn on_port_aq_drop(&mut self, node: NodeId, port: PortId) {
         self.port_mut(node, port).aq_drops += 1;
+    }
+
+    /// Per-switch shared-buffer stats, creating the slot on first touch.
+    pub fn pool_mut(
+        &mut self,
+        node: NodeId,
+        policy: &'static str,
+        capacity_bytes: u64,
+    ) -> &mut BufferStats {
+        let w = self.window();
+        let idx = node.index();
+        if idx >= self.pools.len() {
+            self.pools.resize_with(idx + 1, || None);
+        }
+        self.pools[idx].get_or_insert_with(|| BufferStats::new(node, policy, capacity_bytes, w))
+    }
+
+    /// Read-only per-switch shared-buffer stats.
+    pub fn pool(&self, node: NodeId) -> Option<&BufferStats> {
+        self.pools.get(node.index())?.as_ref()
+    }
+
+    /// All switches with sampled shared-buffer pools, in `NodeId` order.
+    pub fn pools(&self) -> impl Iterator<Item = (NodeId, &BufferStats)> {
+        self.pools
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bs)| Some((NodeId::from(i), bs.as_ref()?)))
+    }
+
+    /// Called by the simulator after every shared-buffer pool event
+    /// (admission commit, release, rejection, or mark). The cumulative
+    /// counters are mirrored absolutely from the pool — like
+    /// [`PortStats::ecn_marks`], so repeated samples are idempotent — and
+    /// `occupancy_bytes` feeds the per-window peak series.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_pool_sample(
+        &mut self,
+        now: Time,
+        node: NodeId,
+        policy: &'static str,
+        capacity_bytes: u64,
+        occupancy_bytes: u64,
+        shared_rejects: u64,
+        rejected_bytes: u64,
+        marks: u64,
+    ) {
+        let bs = self.pool_mut(node, policy, capacity_bytes);
+        bs.occupancy_bytes = occupancy_bytes;
+        bs.shared_rejects = shared_rejects;
+        bs.rejected_bytes = rejected_bytes;
+        bs.marks = marks;
+        bs.occupancy.record_max(now, occupancy_bytes);
     }
 
     /// Record (or replace) the end-of-run summary of one AQ instance,
@@ -1043,6 +1165,7 @@ mod tests {
         s.on_port_enqueue(Time::from_millis(1), n, p, 1000, 1000, 0);
         s.on_port_enqueue(Time::from_millis(2), n, p, 1000, 2000, 1);
         s.on_port_queue_drop(n, p, 1000, DropCause::Taildrop);
+        s.on_port_queue_drop(n, p, 500, DropCause::SharedBufferReject);
         s.on_port_dequeue(Time::from_millis(3), n, p, 1000, 1000);
         s.on_port_tx(n, p, 1000);
         // AQ-limit and wire (fault) drops are attribution-only and must
@@ -1055,19 +1178,44 @@ mod tests {
         s.on_wire_drop(n, p, 800, DropCause::Corrupt, false);
         let ps = s.port(p).unwrap();
         assert!(ps.conserves());
-        assert_eq!(ps.enqueued_bytes, 3000);
+        assert_eq!(ps.enqueued_bytes, 3500);
         assert_eq!(ps.dequeued_bytes, 1000);
-        assert_eq!(ps.dropped_bytes, 1000);
+        assert_eq!(ps.dropped_bytes, 1500);
         assert_eq!(ps.resident_bytes, 1000);
         assert_eq!(ps.taildrops, 1);
+        assert_eq!(ps.shared_rejects, 1);
         assert_eq!(ps.aq_drops, 1);
         assert_eq!(ps.link_drops, 2);
         assert_eq!(ps.corrupt_drops, 1);
         assert_eq!(ps.wire_dropped_bytes, 900);
-        assert_eq!(ps.queue_drops(), 1);
+        assert_eq!(ps.queue_drops(), 2);
         assert_eq!(ps.ecn_marks, 1);
         assert_eq!(ps.tx_pkts, 1);
         assert_eq!(ps.peak_occupancy_bytes(), 2000);
+    }
+
+    #[test]
+    fn pool_samples_mirror_counters_and_keep_windowed_peaks() {
+        let mut s = StatsHub::new();
+        let n = NodeId(2);
+        s.on_pool_sample(Time::from_millis(1), n, "dt", 150_000, 40_000, 0, 0, 0);
+        s.on_pool_sample(Time::from_millis(4), n, "dt", 150_000, 25_000, 1, 1060, 2);
+        s.on_pool_sample(Time::from_millis(12), n, "dt", 150_000, 9_000, 1, 1060, 2);
+        let bs = s.pool(n).unwrap();
+        assert_eq!(bs.policy, "dt");
+        assert_eq!(bs.capacity_bytes, 150_000);
+        // Counters are mirrored absolutely (idempotent re-sampling)...
+        assert_eq!(bs.shared_rejects, 1);
+        assert_eq!(bs.rejected_bytes, 1060);
+        assert_eq!(bs.marks, 2);
+        assert_eq!(bs.occupancy_bytes, 9_000);
+        // ...and the series keeps per-window peaks.
+        assert_eq!(bs.occupancy.buckets(), &[40_000, 9_000]);
+        assert_eq!(bs.peak_occupancy_bytes(), 40_000);
+        // Hosts without pools stay invisible.
+        assert!(s.pool(NodeId(0)).is_none());
+        let nodes: Vec<NodeId> = s.pools().map(|(id, _)| id).collect();
+        assert_eq!(nodes, vec![n]);
     }
 
     #[test]

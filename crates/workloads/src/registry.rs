@@ -159,6 +159,77 @@ pub enum PlanFault {
     },
 }
 
+/// Which admission policy guards a scenario's per-switch shared-buffer
+/// pools (the bench layer maps these onto
+/// `aq_netsim::buffer::AdmissionPolicy` implementations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionKind {
+    /// Static per-port partition — today's reference behavior.
+    StaticPartition,
+    /// Classic dynamic threshold: admit while the port holds less than
+    /// `alpha ×` the free pool space.
+    DynamicThreshold {
+        /// DT alpha.
+        alpha: f64,
+    },
+    /// BShare-style delay-driven admission: mark/reject by the projected
+    /// queueing delay of the arriving packet.
+    DelayDriven {
+        /// Projected delay at/above which admitted packets are CE-marked
+        /// (µs).
+        mark_us: u64,
+        /// Projected delay above which packets are rejected (µs).
+        max_us: u64,
+    },
+}
+
+impl AdmissionKind {
+    /// Stable report label, matching the netsim policy names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionKind::StaticPartition => "static",
+            AdmissionKind::DynamicThreshold { .. } => "dt",
+            AdmissionKind::DelayDriven { .. } => "delay",
+        }
+    }
+}
+
+/// Which queue discipline a scenario runs on switch egress ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AqmKind {
+    /// Taildrop FIFO with optional ECN threshold — the default fabric.
+    Fifo,
+    /// iRED-style disaggregated RED (split decide/act stages).
+    DisaggRed,
+    /// L4S-style step/ramp marking.
+    L4sStep,
+}
+
+impl AqmKind {
+    /// Stable report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AqmKind::Fifo => "fifo",
+            AqmKind::DisaggRed => "disagg_red",
+            AqmKind::L4sStep => "l4s_step",
+        }
+    }
+}
+
+/// The shared-buffer layer a scenario instantiates on every switch: one
+/// pool per switch, guarded by an admission policy, with a chosen AQM on
+/// the switch egress ports. `None` on a [`ScenarioPlan`] keeps the
+/// classic per-port-FIFO fabric with no pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferPlan {
+    /// Pool capacity per switch (bytes, shared by all its ports).
+    pub pool_bytes: u64,
+    /// Admission policy consulted on every switch enqueue.
+    pub admission: AdmissionKind,
+    /// Queue discipline on switch egress ports.
+    pub aqm: AqmKind,
+}
+
 /// A fully-resolved scenario instance: the entities plus the run plan.
 #[derive(Debug, Clone)]
 pub struct ScenarioPlan {
@@ -170,6 +241,8 @@ pub struct ScenarioPlan {
     pub topology: Topology,
     /// Faults to inject (empty for fault-free scenarios).
     pub faults: Vec<PlanFault>,
+    /// Shared-buffer/AQM layer (`None` = classic per-port FIFOs).
+    pub buffers: Option<BufferPlan>,
 }
 
 /// One named parameter with its default value.
@@ -353,6 +426,7 @@ fn fairness_flows(p: &Params) -> ScenarioPlan {
         },
         topology: Topology::Dumbbell,
         faults: vec![],
+        buffers: None,
     }
 }
 
@@ -377,6 +451,7 @@ fn completion_vms(p: &Params) -> ScenarioPlan {
         },
         topology: Topology::Dumbbell,
         faults: vec![],
+        buffers: None,
     }
 }
 
@@ -411,6 +486,7 @@ fn udp_tcp_share(p: &Params) -> ScenarioPlan {
         },
         topology: Topology::Dumbbell,
         faults: vec![],
+        buffers: None,
     }
 }
 
@@ -448,6 +524,7 @@ fn cc_mix(p: &Params) -> ScenarioPlan {
         },
         topology: Topology::Dumbbell,
         faults: vec![],
+        buffers: None,
     }
 }
 
@@ -471,6 +548,7 @@ fn interpod_fattree(p: &Params) -> ScenarioPlan {
         },
         topology: Topology::FatTree { k: 4 },
         faults: vec![],
+        buffers: None,
     }
 }
 
@@ -525,6 +603,7 @@ fn linkflap_dumbbell(p: &Params) -> ScenarioPlan {
         },
         topology: Topology::Dumbbell,
         faults,
+        buffers: None,
     }
 }
 
@@ -548,6 +627,86 @@ fn aq_state_loss(p: &Params) -> ScenarioPlan {
         },
         topology: Topology::Dumbbell,
         faults: vec![PlanFault::AqReset { at_ms: wipe_at }],
+        buffers: None,
+    }
+}
+
+/// Map the `admission` parameter (0 static, 1 DT, 2 delay-driven) plus
+/// the DT alpha onto an [`AdmissionKind`]. The delay thresholds are fixed
+/// at 50 µs (mark) / 200 µs (reject) — at 10 Gbit/s those project to
+/// ~62 KB and ~250 KB of port backlog respectively.
+fn admission_kind(p: &Params) -> AdmissionKind {
+    match p.get_usize("admission").unwrap_or(0) {
+        0 => AdmissionKind::StaticPartition,
+        1 => AdmissionKind::DynamicThreshold {
+            alpha: p.get("dt_alpha").unwrap_or(1.0).clamp(0.001, 64.0),
+        },
+        _ => AdmissionKind::DelayDriven {
+            mark_us: 50,
+            max_us: 200,
+        },
+    }
+}
+
+fn pool_bytes(p: &Params) -> u64 {
+    (p.get("pool_kb").unwrap_or(150.0).max(1.0) * 1000.0).round() as u64
+}
+
+fn incast_sharedbuf(p: &Params) -> ScenarioPlan {
+    let senders = p.get_usize("senders").unwrap_or(4).max(1);
+    let flows = p.get_usize("flows").unwrap_or(8).max(1);
+    let mk = |entity| EntitySetup {
+        entity,
+        n_vms: senders,
+        cc: CcAlgo::Cubic,
+        weight: 1,
+        traffic: Traffic::Long {
+            n: flows,
+            kind: LongKind::Tcp,
+        },
+    };
+    ScenarioPlan {
+        entities: vec![mk(EntityId(1)), mk(EntityId(2))],
+        run: RunPlan::FixedHorizon {
+            horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
+        },
+        topology: Topology::Dumbbell,
+        faults: vec![],
+        buffers: Some(BufferPlan {
+            pool_bytes: pool_bytes(p),
+            admission: admission_kind(p),
+            aqm: AqmKind::Fifo,
+        }),
+    }
+}
+
+fn websearch_aqm_zoo(p: &Params) -> ScenarioPlan {
+    let n_flows = p.get_usize("n_flows").unwrap_or(20).max(1);
+    let load = p.get("load").unwrap_or(0.8).clamp(0.05, 2.0);
+    let aqm = match p.get_usize("aqm").unwrap_or(0) {
+        0 => AqmKind::Fifo,
+        1 => AqmKind::DisaggRed,
+        _ => AqmKind::L4sStep,
+    };
+    let mk = |entity| EntitySetup {
+        entity,
+        n_vms: 2,
+        cc: CcAlgo::Dctcp,
+        weight: 1,
+        traffic: Traffic::WebSearch { n_flows, load },
+    };
+    ScenarioPlan {
+        entities: vec![mk(EntityId(1)), mk(EntityId(2))],
+        run: RunPlan::FixedHorizon {
+            horizon: ms(p.get("horizon_ms").unwrap_or(40.0)),
+        },
+        topology: Topology::Dumbbell,
+        faults: vec![],
+        buffers: Some(BufferPlan {
+            pool_bytes: pool_bytes(p),
+            admission: AdmissionKind::DynamicThreshold { alpha: 1.0 },
+            aqm,
+        }),
     }
 }
 
@@ -655,6 +814,48 @@ pub fn registry() -> &'static [ScenarioDef] {
             build: fairness_flows,
         },
         ScenarioDef {
+            name: "incast_sharedbuf",
+            summary: "2×`senders` TCP entities converge on the dumbbell core through a \
+                      small per-switch shared buffer pool; the `admission` axis contrasts \
+                      static partitioning, dynamic threshold (DT), and delay-driven \
+                      (BShare-style) admission by where drops land and how high the pool \
+                      fills",
+            params: &[
+                ParamDef {
+                    name: "admission",
+                    default: 0.0,
+                    help: "admission policy: 0 static partition, 1 dynamic threshold, \
+                           2 delay-driven",
+                },
+                ParamDef {
+                    name: "dt_alpha",
+                    default: 1.0,
+                    help: "DT alpha (admission=1 only)",
+                },
+                ParamDef {
+                    name: "pool_kb",
+                    default: 150.0,
+                    help: "shared pool capacity per switch (KB)",
+                },
+                ParamDef {
+                    name: "senders",
+                    default: 4.0,
+                    help: "sending VMs per entity",
+                },
+                ParamDef {
+                    name: "flows",
+                    default: 8.0,
+                    help: "long flows per entity",
+                },
+                ParamDef {
+                    name: "horizon_ms",
+                    default: 40.0,
+                    help: "run length (simulated ms)",
+                },
+            ],
+            build: incast_sharedbuf,
+        },
+        ScenarioDef {
             name: "interpod_fattree",
             summary: "k=4 fat tree; two 2-VM entities in pod 0 (one ToR each, `a_flows` \
                       vs `b_flows` long flows) send cross-pod to shared receivers in the \
@@ -750,6 +951,42 @@ pub fn registry() -> &'static [ScenarioDef] {
                 },
             ],
             build: udp_tcp_share,
+        },
+        ScenarioDef {
+            name: "websearch_aqm_zoo",
+            summary: "two DCTCP entities drive open-loop web-search arrivals through a \
+                      DT-guarded shared buffer; the `aqm` axis swaps the switch egress \
+                      discipline (FIFO+ECN, iRED-style disaggregated RED, L4S step \
+                      marking) to contrast physical AQM signals against AQ's virtual \
+                      ECN (the Aq approach)",
+            params: &[
+                ParamDef {
+                    name: "aqm",
+                    default: 0.0,
+                    help: "egress discipline: 0 FIFO, 1 disaggregated RED, 2 L4S step",
+                },
+                ParamDef {
+                    name: "load",
+                    default: 0.8,
+                    help: "offered load fraction of the bottleneck",
+                },
+                ParamDef {
+                    name: "n_flows",
+                    default: 20.0,
+                    help: "web-search flows per entity",
+                },
+                ParamDef {
+                    name: "pool_kb",
+                    default: 150.0,
+                    help: "shared pool capacity per switch (KB)",
+                },
+                ParamDef {
+                    name: "horizon_ms",
+                    default: 40.0,
+                    help: "run length (simulated ms)",
+                },
+            ],
+            build: websearch_aqm_zoo,
         },
     ];
     REGISTRY
@@ -914,12 +1151,72 @@ mod tests {
 
     #[test]
     fn fault_free_scenarios_carry_no_faults() {
-        for name in ["fairness_flows", "cc_mix", "interpod_fattree"] {
+        for name in [
+            "fairness_flows",
+            "cc_mix",
+            "interpod_fattree",
+            "incast_sharedbuf",
+            "websearch_aqm_zoo",
+        ] {
             let plan = find(name)
                 .expect("registered")
                 .plan(&Params::new())
                 .expect("plan");
             assert!(plan.faults.is_empty(), "{name} should be fault-free");
+        }
+    }
+
+    #[test]
+    fn classic_scenarios_carry_no_buffer_plan() {
+        for def in registry() {
+            let plan = def.plan(&Params::new()).expect("plan");
+            let expect_pool = matches!(def.name, "incast_sharedbuf" | "websearch_aqm_zoo");
+            assert_eq!(
+                plan.buffers.is_some(),
+                expect_pool,
+                "{}: unexpected buffer plan presence",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn incast_sharedbuf_selects_admission_policies() {
+        let def = find("incast_sharedbuf").expect("registered");
+        let expect = |params: &str, label: &str| {
+            let plan = def
+                .plan(&Params::parse(params).expect("parse"))
+                .expect("plan");
+            let bp = plan.buffers.expect("buffer plan");
+            assert_eq!(bp.admission.label(), label, "{params}");
+            assert_eq!(bp.aqm, AqmKind::Fifo);
+            assert_eq!(bp.pool_bytes, 150_000);
+        };
+        expect("admission=0", "static");
+        expect("admission=1", "dt");
+        expect("admission=2", "delay");
+        let plan = def
+            .plan(&Params::parse("admission=1,dt_alpha=0.5,pool_kb=80").expect("parse"))
+            .expect("plan");
+        let bp = plan.buffers.expect("buffer plan");
+        assert_eq!(bp.pool_bytes, 80_000);
+        assert_eq!(bp.admission, AdmissionKind::DynamicThreshold { alpha: 0.5 });
+    }
+
+    #[test]
+    fn websearch_aqm_zoo_selects_disciplines() {
+        let def = find("websearch_aqm_zoo").expect("registered");
+        for (v, label) in [(0.0, "fifo"), (1.0, "disagg_red"), (2.0, "l4s_step")] {
+            let mut p = Params::new();
+            p.set("aqm", v);
+            let plan = def.plan(&p).expect("plan");
+            let bp = plan.buffers.expect("buffer plan");
+            assert_eq!(bp.aqm.label(), label);
+            assert_eq!(bp.admission.label(), "dt");
+            for e in &plan.entities {
+                assert_eq!(e.cc, CcAlgo::Dctcp);
+                assert!(matches!(e.traffic, Traffic::WebSearch { .. }));
+            }
         }
     }
 

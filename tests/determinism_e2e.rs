@@ -364,18 +364,21 @@ fn wheel_and_heap_schedulers_produce_identical_bytes() {
     // The timing wheel replaced the binary heap as the default scheduler
     // for speed; the contract is that the swap is invisible — both pop in
     // identical `(time, seq)` order, so every scenario must replay
-    // byte-for-byte regardless of scheduler. Checked on all five smoke
+    // byte-for-byte regardless of scheduler. Checked on all seven smoke
     // scenarios (the same grid points the perf harness measures),
-    // including the `UntilComplete` workload path (`completion_vms`).
+    // including the `UntilComplete` workload path (`completion_vms`) and
+    // the shared-buffer layer (admission policies and the AQM zoo).
     for (scenario, params) in [
         ("aq_state_loss", "horizon_ms=25,n_flows=4,wipe_at_ms=10"),
         ("completion_vms", "deadline_ms=5000,n_flows=8,size_scale=2,vms=1"),
         ("fairness_flows", "b_flows=1,horizon_ms=20"),
+        ("incast_sharedbuf", "admission=1,horizon_ms=20"),
         (
             "linkflap_dumbbell",
             "blackout_ms=0,down_ms=2,flap_at_ms=10,flaps=2,horizon_ms=30,loss_pct=0,n_flows=4,up_ms=3",
         ),
         ("udp_tcp_share", "horizon_ms=20,tcp_flows=4,udp_gbps=10"),
+        ("websearch_aqm_zoo", "aqm=1,horizon_ms=20"),
     ] {
         let wheel = run_scheduler_digest(scenario, params, 1, SchedulerKind::Wheel);
         let heap = run_scheduler_digest(scenario, params, 1, SchedulerKind::Heap);

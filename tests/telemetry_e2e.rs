@@ -14,12 +14,15 @@
 //!    above.
 
 use aq_bench::report::RunReport;
-use aq_bench::{build_dumbbell, Approach, EntitySetup, ExpConfig, LongKind, Traffic};
+use aq_bench::{
+    build_dumbbell, build_experiment, Approach, EntitySetup, ExpConfig, LongKind, Traffic,
+};
 use augmented_queue::netsim::fault::{FaultKind, FaultPlan};
 use augmented_queue::netsim::queue::FifoQueue;
 use augmented_queue::netsim::time::{Duration, Rate, Time};
-use augmented_queue::netsim::EntityId;
+use augmented_queue::netsim::{EntityId, NodeId};
 use augmented_queue::transport::CcAlgo;
+use augmented_queue::workloads::registry::{self, Params};
 
 /// A UDP bully plus a CUBIC entity: guarantees sustained overload, so the
 /// bottleneck sees drops in every approach.
@@ -224,6 +227,86 @@ fn mid_transfer_link_death_balances_every_conservation_sum() {
         .sum::<u64>()
         + totals.pause_drops;
     assert_eq!(es.drops, by_cause, "a drop escaped cause attribution");
+}
+
+#[test]
+fn shared_buffer_pool_occupancy_conserves_across_link_kill() {
+    // `incast_sharedbuf` installs a SharedBufferPool on both dumbbell
+    // switches. Step the run in 1 ms windows and, at every sample, check
+    // the pool against the disciplines it mirrors: each per-port share
+    // equals that port's discipline backlog, the shares sum to the pool
+    // occupancy, and the occupancy never exceeds the pool capacity —
+    // including across a mid-run core-link kill (down 2 ms at 10 ms),
+    // which freezes draining and slams the pool into its admission
+    // ceiling while the conservation identity must keep closing.
+    let def = registry::find("incast_sharedbuf").expect("registered scenario");
+    let params = Params::parse("admission=0,horizon_ms=30").expect("params parse");
+    let plan = def.plan(&params).expect("plan builds");
+    let mut exp = build_experiment(Approach::Pq, &plan, ExpConfig::default());
+
+    let core_link = exp.sim.net.ports[exp.core_port.index()].link;
+    let faults = FaultPlan::new(11).flap(
+        core_link,
+        Time::from_millis(10),
+        1,
+        Duration::from_millis(2),
+        Duration::from_millis(1),
+    );
+    exp.sim.install_faults(faults);
+
+    let mut pool_samples = 0u32;
+    let mut peak = 0u64;
+    for ms in 1..=30u64 {
+        exp.sim.run_until(Time::from_millis(ms));
+        for node in &exp.sim.net.nodes {
+            let Some(pool) = exp.sim.shared_buffer(node.id) else {
+                continue;
+            };
+            let mut share_sum = 0u64;
+            for &pid in &node.ports {
+                let backlog = exp.sim.net.ports[pid.index()].queue.backlog_bytes();
+                assert_eq!(
+                    pool.port_occupancy(pid),
+                    backlog,
+                    "t={ms}ms node {:?} port {pid:?}: pool share diverged \
+                     from the discipline backlog",
+                    node.id,
+                );
+                share_sum += backlog;
+            }
+            assert_eq!(
+                share_sum,
+                pool.occupancy(),
+                "t={ms}ms node {:?}: port shares do not sum to the pool \
+                 occupancy",
+                node.id,
+            );
+            assert!(
+                pool.occupancy() <= pool.capacity_bytes(),
+                "t={ms}ms node {:?}: pool occupancy {} exceeds capacity {}",
+                node.id,
+                pool.occupancy(),
+                pool.capacity_bytes(),
+            );
+            peak = peak.max(pool.occupancy());
+            pool_samples += 1;
+        }
+    }
+
+    // Both switch pools were sampled at all 30 windows, the incast
+    // actually filled buffer, the kill+restore both fired, and the
+    // static partition rejected load at the left switch.
+    assert_eq!(pool_samples, 60, "expected 2 pools x 30 windowed samples");
+    assert!(peak > 0, "incast never occupied the shared buffer");
+    assert_eq!(exp.sim.fault_totals().injected, 2, "down + up must fire");
+    let left = exp
+        .sim
+        .shared_buffer(NodeId(0))
+        .expect("left switch carries a pool");
+    assert!(
+        left.rejects() > 0,
+        "static partition should reject under incast + link kill"
+    );
 }
 
 #[test]
