@@ -1,0 +1,28 @@
+// Fixture for the `no-cross-shard-mutation` rule (scoped to the sharded
+// simulation driver, crates/netsim/src/shard.rs).
+
+use std::sync::atomic::AtomicU64; // expect-lint: no-cross-shard-mutation
+use std::sync::mpsc; // expect-lint: no-cross-shard-mutation
+use std::sync::{Condvar, RwLock}; // expect-lint: no-cross-shard-mutation
+
+static mut ROUNDS: u64 = 0; // expect-lint: no-cross-shard-mutation
+
+pub fn rogue_sync(shards: u64) -> u64 {
+    let counter = AtomicUsize::new(0); // expect-lint: no-cross-shard-mutation
+    let handle: JoinHandle<()> = std::thread::spawn(|| {}); // expect-lint: no-cross-shard-mutation
+    let hot = unsafe { read_volatile(&shards) }; // expect-lint: no-cross-shard-mutation
+    // The sanctioned vocabulary must not fire: Mutex-guarded cells,
+    // barriers, scoped threads, and claim-cursor locking.
+    let cells: Vec<Mutex<u64>> = Vec::new();
+    let barrier = Barrier::new(2);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {});
+    });
+    // Atomics named in a comment (AtomicBool) or string must not fire.
+    let s = "AtomicBool in a string must not fire";
+    // aq-lint: allow(no-cross-shard-mutation)
+    let sanctioned = RwLock::new(0u64);
+    let escaped = Condvar::new(); // aq-lint: allow(no-cross-shard-mutation)
+    let _ = (counter, handle, hot, cells, barrier, s, sanctioned, escaped);
+    0
+}

@@ -79,6 +79,15 @@ pub const RULES: &[RuleInfo] = &[
                   lives only in crates/harness",
     },
     RuleInfo {
+        name: "no-cross-shard-mutation",
+        kind: RuleKind::Line,
+        summary: "the sharded-simulation driver may synchronize only through \
+                  Mutex-guarded shard cells, barriers, and scoped threads; \
+                  atomics, RwLock, Condvar, channels, unscoped spawns, \
+                  `static mut`, and `unsafe` invite cross-shard mutation \
+                  that scheduling order can observe",
+    },
+    RuleInfo {
         name: "rng-provenance",
         kind: RuleKind::Semantic,
         summary: "every RNG construction must trace to seed_from_u64/from_seed \
@@ -116,6 +125,9 @@ pub fn rule(name: &str) -> Option<&'static RuleInfo> {
 /// Whether `rule` applies to the file at workspace-relative `path`
 /// (forward-slash separated).
 pub fn in_scope(rule: &str, path: &str) -> bool {
+    /// The one file in sim-state crates allowed to touch threads: the
+    /// sharded-simulation driver, scope of `no-cross-shard-mutation`.
+    const SHARD_DRIVER_SRC: &str = "crates/netsim/src/shard.rs";
     const SIM_STATE_SRC: &[&str] = &[
         "crates/core/src/",
         "crates/netsim/src/",
@@ -152,8 +164,18 @@ pub fn in_scope(rule: &str, path: &str) -> bool {
         // Every simulation run is a single-threaded event loop; scheduling
         // nondeterminism can only enter through threads or channels. The
         // sweep harness (crates/harness) parallelizes at whole-run
-        // granularity and is deliberately outside this scope.
-        "no-thread-in-sim" => SIM_STATE_SRC.iter().any(|p| path.starts_with(p)),
+        // granularity and is deliberately outside this scope. The one
+        // in-simulator exception is the sharded driver (netsim's
+        // `shard.rs`), which owns run-level parallelism and is policed by
+        // the stricter `no-cross-shard-mutation` rule instead; the scopes
+        // are disjoint so a violation carries exactly one rule name.
+        "no-thread-in-sim" => {
+            SIM_STATE_SRC.iter().any(|p| path.starts_with(p)) && path != SHARD_DRIVER_SRC
+        }
+        // The sharded driver is allowed threads, but only the
+        // deterministic synchronization vocabulary: Mutex-guarded shard
+        // cells, barriers, scoped threads.
+        "no-cross-shard-mutation" => path == SHARD_DRIVER_SRC,
         _ => false,
     }
 }
@@ -170,6 +192,7 @@ pub fn check_line(rule: &str, toks: &[Token]) -> Vec<String> {
         "no-float-eq" => float_eq(toks),
         "no-narrowing-cast" => narrowing_cast(toks),
         "no-thread-in-sim" => thread_in_sim(toks),
+        "no-cross-shard-mutation" => cross_shard_mutation(toks),
         _ => Vec::new(),
     }
 }
@@ -250,6 +273,34 @@ fn thread_in_sim(toks: &[Token]) -> Vec<String> {
     let mut out = banned_calls(toks, &["thread"], "spawn");
     out.extend(banned_calls(toks, &["thread"], "scope"));
     out.extend(banned_idents(toks, &["mpsc", "JoinHandle"]));
+    out
+}
+
+/// Flags every shared-mutability primitive except the sharded driver's
+/// sanctioned vocabulary (Mutex, Barrier, `thread::scope` + `scope.spawn`):
+/// atomics (`Atomic*`), `RwLock`, `Condvar`, `mpsc`, `JoinHandle`,
+/// unscoped `thread::spawn`, `static mut`, and `unsafe`. Any of these lets
+/// one shard observe another mid-round, which turns worker scheduling
+/// order into simulation input.
+fn cross_shard_mutation(toks: &[Token]) -> Vec<String> {
+    let mut out = banned_calls(toks, &["thread"], "spawn");
+    out.extend(banned_idents(
+        toks,
+        &["RwLock", "Condvar", "mpsc", "JoinHandle", "unsafe"],
+    ));
+    out.extend(
+        toks.iter()
+            .filter_map(Token::ident)
+            .filter(|id| id.starts_with("Atomic"))
+            .map(|id| format!("use of atomic `{id}`")),
+    );
+    for w in toks.windows(2) {
+        if let [Token::Ident(a), Token::Ident(b)] = w {
+            if a == "static" && b == "mut" {
+                out.push("`static mut` shared state".to_string());
+            }
+        }
+    }
     out
 }
 
@@ -476,6 +527,40 @@ mod tests {
     }
 
     #[test]
+    fn cross_shard_mutation_flags_everything_but_mutex_and_barrier() {
+        for line in [
+            "let n = AtomicUsize::new(0);",
+            "use std::sync::atomic::AtomicU64;",
+            "let flag: AtomicBool = AtomicBool::new(false);",
+            "let l = RwLock::new(state);",
+            "let cv = Condvar::new();",
+            "let (tx, rx) = mpsc::channel();",
+            "let h: JoinHandle<()> = handle;",
+            "std::thread::spawn(move || run());",
+            "static mut COUNTER: u64 = 0;",
+            "unsafe { *ptr += 1 }",
+        ] {
+            assert!(
+                !msgs("no-cross-shard-mutation", line).is_empty(),
+                "must fire on: {line}"
+            );
+        }
+        // The sanctioned vocabulary stays clean.
+        for line in [
+            "let cells: Vec<Mutex<Simulator>> = Vec::new();",
+            "let b = Barrier::new(jobs + 1);",
+            "std::thread::scope(|scope| {",
+            "scope.spawn(|| loop {",
+            "let mut cursor = claim.lock().expect(\"claim lock poisoned\");",
+        ] {
+            assert!(
+                msgs("no-cross-shard-mutation", line).is_empty(),
+                "must not fire on: {line}"
+            );
+        }
+    }
+
+    #[test]
     fn scope_boundaries() {
         assert!(in_scope("no-hash-collections", "crates/core/src/table.rs"));
         assert!(!in_scope(
@@ -501,6 +586,23 @@ mod tests {
         assert!(!in_scope(
             "no-wallclock-in-sim",
             "crates/netsim/tests/conservation.rs"
+        ));
+        // The sharded driver swaps `no-thread-in-sim` for the stricter
+        // `no-cross-shard-mutation`; every other netsim file keeps the
+        // thread ban and stays outside the shard rule.
+        assert!(!in_scope("no-thread-in-sim", "crates/netsim/src/shard.rs"));
+        assert!(in_scope(
+            "no-cross-shard-mutation",
+            "crates/netsim/src/shard.rs"
+        ));
+        assert!(in_scope("no-thread-in-sim", "crates/netsim/src/sim.rs"));
+        assert!(!in_scope(
+            "no-cross-shard-mutation",
+            "crates/netsim/src/sim.rs"
+        ));
+        assert!(!in_scope(
+            "no-cross-shard-mutation",
+            "crates/harness/src/pool.rs"
         ));
         assert!(in_scope("no-os-entropy", "vendor/rand/src/lib.rs"));
         assert!(!in_scope(

@@ -19,6 +19,7 @@ use aq_netsim::ids::{EntityId, NodeId};
 use aq_netsim::node::NodeKind;
 use aq_netsim::packet::AqTag;
 use aq_netsim::queue::{DisaggRedConfig, DisaggRedQueue, FifoConfig, L4sStepConfig, L4sStepQueue};
+use aq_netsim::shard::{ShardPlan, ShardedSim};
 use aq_netsim::sim::{Network, Simulator};
 use aq_netsim::time::{Duration, Rate, Time};
 use aq_netsim::topology::{dumbbell, fat_tree, Dumbbell};
@@ -116,6 +117,12 @@ pub struct Experiment {
     pub receivers: Vec<NodeId>,
     /// The dumbbell's core bottleneck port.
     pub core_port: aq_netsim::ids::PortId,
+    /// Topology-derived shard ownership map (one shard per fat-tree pod
+    /// plus a core shard; dumbbells split at the core link) for the
+    /// sharded engine. Runs that cannot shard (agents installed, star
+    /// topologies, zero-delay cross links) fall back to the reference
+    /// engine via [`ShardedSim::partition`]'s `Err` arm.
+    pub shard_plan: ShardPlan,
 }
 
 /// AQ CC policy for a transport CC algorithm, with the paper's virtual
@@ -206,6 +213,7 @@ pub fn build_dumbbell(approach: Approach, entities: &[EntitySetup], cfg: ExpConf
         ecn_threshold_bytes: cfg.ecn_threshold,
     };
     let d: Dumbbell = dumbbell(pairs, cfg.link, cfg.prop, core_fifo);
+    let shard_plan = d.shard_plan();
     let mut net = d.net;
 
     // Assign VMs to entities in order.
@@ -246,6 +254,7 @@ pub fn build_dumbbell(approach: Approach, entities: &[EntitySetup], cfg: ExpConf
         entity_vms,
         receivers,
         core_port: d.core_port,
+        shard_plan,
     }
 }
 
@@ -272,6 +281,7 @@ pub fn build_fat_tree(
         ecn_threshold_bytes: cfg.ecn_threshold,
     };
     let ft = fat_tree(k, cfg.link, cfg.prop, fabric_fifo);
+    let shard_plan = ft.shard_plan();
     let mut net = ft.net;
 
     // Hosts are pod-major, `half` per edge switch: entity i's VMs live
@@ -324,6 +334,7 @@ pub fn build_fat_tree(
         entity_vms,
         receivers,
         core_port,
+        shard_plan,
     }
 }
 
@@ -564,6 +575,63 @@ fn install_traffic(
 /// Steady-state goodput of an entity in Gbit/s over `[warmup, until)`.
 pub fn steady_goodput(sim: &Simulator, e: EntityId, warmup: Time, until: Time) -> f64 {
     aq_workloads::goodput_gbps(&sim.stats, e, warmup, until)
+}
+
+/// Run a simulator to `until` on the sharded engine with `jobs` worker
+/// threads, merging shards back into one reporting simulator at the end.
+/// Runs that cannot be partitioned (installed agents, a single shard,
+/// zero-lookahead cross links) fall back to the reference engine, so the
+/// result is well-defined — and byte-identical — for every input.
+pub fn run_sharded_until(sim: Simulator, plan: &ShardPlan, jobs: usize, until: Time) -> Simulator {
+    match ShardedSim::partition(sim, plan, jobs) {
+        Ok(mut sharded) => {
+            sharded.run_until(until);
+            sharded.finish()
+        }
+        Err(mut sim) => {
+            sim.run_until(until);
+            sim
+        }
+    }
+}
+
+/// Sharded twin of [`run_workload`]: drive the experiment's simulator on
+/// `jobs` workers until every entity's workload completes (or `deadline`),
+/// polling completion every 10 ms exactly like the reference path, then
+/// merge and report per-entity completion times in seconds.
+pub fn run_workload_sharded(
+    sim: Simulator,
+    plan: &ShardPlan,
+    jobs: usize,
+    entities: &[EntityId],
+    deadline: Time,
+) -> (Simulator, Vec<Option<f64>>) {
+    let check_every = Duration::from_millis(10);
+    let merged = match ShardedSim::partition(sim, plan, jobs) {
+        Ok(mut sharded) => {
+            let mut t = sharded.now();
+            loop {
+                t = (t + check_every).min(deadline);
+                sharded.run_until(t);
+                let done = entities
+                    .iter()
+                    .all(|e| sharded.entity_completed_fraction(*e) >= 1.0);
+                if done || t >= deadline {
+                    break;
+                }
+            }
+            sharded.finish()
+        }
+        Err(mut sim) => {
+            aq_workloads::run_until_complete(&mut sim, entities, deadline, check_every);
+            sim
+        }
+    };
+    let times = entities
+        .iter()
+        .map(|e| merged.stats.entity_completion(*e).map(|d| d.as_secs_f64()))
+        .collect();
+    (merged, times)
 }
 
 /// Run until all entities' workloads complete (or `deadline`); returns

@@ -236,12 +236,12 @@ impl AqTable {
             pkt,
         );
         // Fault-recovery bookkeeping (same rule as
-        // [`AqInstance::note_recovery`]): after a state wipe, the first
-        // gap level back at the pre-wipe operating point marks
-        // re-convergence; first crossing wins.
+        // [`AqInstance::note_recovery`]): a wiped AQ counts as
+        // re-converged once it has processed a pre-wipe operating point's
+        // worth of arrivals; first crossing wins.
         if cold.wiped_at.is_some()
             && cold.recovered_at.is_none()
-            && hot.gap.bytes() >= cold.recover_target_bytes
+            && cold.arrived_bytes >= cold.recover_target_bytes
         {
             cold.recovered_at = Some(now);
         }

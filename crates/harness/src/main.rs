@@ -47,11 +47,14 @@ USAGE:
       Evaluate trend rules against an existing sweep directory.
   aq-sweep perf [--spec NAME] [--repeat N] [--out FILE] [--baseline FILE]
                 [--update] [--tolerance F] [--counter-tolerance F]
-                [--scheduler wheel|heap]
+                [--scheduler wheel|heap] [--jobs LIST]
       Measure engine throughput (events/sec, packets/sec) on one
       representative run per scenario of a named sweep (default: smoke;
       default repeat: 3, fastest repeat wins) and write a BENCH json
-      (default out: target/perf/BENCH_<spec>.json). With --baseline,
+      (default out: target/perf/BENCH_<spec>.json). --jobs takes a comma
+      list of engine parallelism levels and measures every scenario at
+      each one: 0 (the default) is the single-threaded reference engine,
+      N > 0 the sharded engine with N worker threads. With --baseline,
       diff against a committed BENCH json: deterministic counters are
       gated two-sided (default 5%), wall-clock throughput one-sided
       (default 50% — only slowdowns fail; improvements always pass).
@@ -287,12 +290,21 @@ fn cmd_perf(args: &[String]) -> ExitCode {
     let mut wall_tol = perf::WALL_TOLERANCE;
     let mut counter_tol = perf::COUNTER_TOLERANCE;
     let mut scheduler = SchedulerKind::default();
+    let mut jobs_axis: Vec<u64> = vec![0];
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--spec" => match it.next() {
                 Some(v) => spec_name = v.clone(),
                 None => return usage_err("--spec needs a value"),
+            },
+            "--jobs" => match it.next().map(|v| parse_jobs_axis(v)) {
+                Some(Ok(list)) => jobs_axis = list,
+                _ => {
+                    return usage_err(
+                        "--jobs needs a comma list of worker counts (0 = reference engine)",
+                    )
+                }
             },
             "--repeat" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v >= 1 => repeat = v,
@@ -334,23 +346,26 @@ fn cmd_perf(args: &[String]) -> ExitCode {
     };
     let picked = perf::perf_points(&points);
     println!(
-        "perf `{}`: {} scenario(s), {} repeat(s), scheduler `{}`",
+        "perf `{}`: {} scenario(s), {} repeat(s), scheduler `{}`, jobs {:?}",
         spec.name,
         picked.len(),
         repeat,
-        scheduler.name()
+        scheduler.name(),
+        jobs_axis
     );
-    let mut records = Vec::with_capacity(picked.len());
+    let mut records = Vec::with_capacity(picked.len() * jobs_axis.len());
     for point in &picked {
-        match perf::measure(point, repeat, scheduler) {
-            Ok(r) => {
-                println!(
-                    "  {:<20} {:>10} events  {:>9.0} events/sec  {:>9.0} pkts/sec",
-                    r.scenario, r.events, r.events_per_sec, r.pkts_per_sec
-                );
-                records.push(r);
+        for &jobs in &jobs_axis {
+            match perf::measure(point, repeat, scheduler, jobs) {
+                Ok(r) => {
+                    println!(
+                        "  {:<20} jobs={} {:>10} events  {:>9.0} events/sec  {:>9.0} pkts/sec",
+                        r.scenario, r.jobs, r.events, r.events_per_sec, r.pkts_per_sec
+                    );
+                    records.push(r);
+                }
+                Err(e) => return io_err(&e),
             }
-            Err(e) => return io_err(&e),
         }
     }
     let bench = perf::PerfBench {
@@ -403,6 +418,27 @@ fn cmd_perf(args: &[String]) -> ExitCode {
         }
         ExitCode::from(1)
     }
+}
+
+/// Parse a `--jobs` comma list (`"0,1,4"`) into parallelism levels.
+/// `0` means the single-threaded reference engine; duplicates are
+/// rejected so one BENCH document never carries ambiguous rows.
+fn parse_jobs_axis(text: &str) -> Result<Vec<u64>, String> {
+    let mut out = Vec::new();
+    for part in text.split(',') {
+        let v: u64 = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad jobs value `{part}`"))?;
+        if out.contains(&v) {
+            return Err(format!("duplicate jobs value `{v}`"));
+        }
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err("empty jobs list".to_string());
+    }
+    Ok(out)
 }
 
 fn usage_err(message: &str) -> ExitCode {

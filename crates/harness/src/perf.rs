@@ -24,7 +24,9 @@
 
 use crate::sweep::RunPoint;
 use aq_bench::json::{self, Json};
-use aq_bench::{build_experiment, pq_ecn_for, run_workload, ExpConfig};
+use aq_bench::{
+    build_experiment, pq_ecn_for, run_sharded_until, run_workload, run_workload_sharded, ExpConfig,
+};
 use aq_netsim::ids::EntityId;
 use aq_netsim::time::Time;
 use aq_netsim::SchedulerKind;
@@ -56,6 +58,11 @@ pub struct PerfRecord {
     pub params: String,
     /// Workload/jitter seed.
     pub seed: u64,
+    /// Engine parallelism: `0` is the single-threaded reference engine;
+    /// `N > 0` is the sharded engine with `N` worker threads. The
+    /// deterministic counters must not depend on this axis — only the
+    /// wall-clock columns may.
+    pub jobs: u64,
     /// Events processed by the simulator (deterministic).
     pub events: u64,
     /// Packets transmitted across all ports (deterministic).
@@ -106,14 +113,19 @@ pub fn perf_points(points: &[RunPoint]) -> Vec<RunPoint> {
 
 /// Drive one perf point `repeat` times and distill a [`PerfRecord`].
 ///
-/// The timer brackets only the run loop (experiment construction is
-/// excluded); the deterministic counters must be identical across
-/// repeats or the measurement is rejected — a perf harness that
-/// quietly measures nondeterministic runs would hide engine bugs.
+/// `jobs = 0` drives the single-threaded reference engine; `jobs > 0`
+/// drives the sharded engine with that many worker threads (falling back
+/// to the reference engine when the run cannot shard — agents installed,
+/// single-shard topology). The timer brackets only the run loop
+/// (experiment construction is excluded); the deterministic counters
+/// must be identical across repeats or the measurement is rejected — a
+/// perf harness that quietly measures nondeterministic runs would hide
+/// engine bugs.
 pub fn measure(
     point: &RunPoint,
     repeat: usize,
     scheduler: SchedulerKind,
+    jobs: u64,
 ) -> Result<PerfRecord, String> {
     let mut best_wall = u64::MAX;
     let mut counters: Option<(u64, u64, u64)> = None;
@@ -131,18 +143,38 @@ pub fn measure(
         exp.sim.set_scheduler(scheduler);
         let entity_ids: Vec<EntityId> = plan.entities.iter().map(|e| e.entity).collect();
         let start = Instant::now();
-        match plan.run {
-            RunPlan::FixedHorizon { horizon } => {
-                exp.sim.run_until(Time::ZERO + horizon);
+        let done = if jobs == 0 {
+            match plan.run {
+                RunPlan::FixedHorizon { horizon } => {
+                    exp.sim.run_until(Time::ZERO + horizon);
+                }
+                RunPlan::UntilComplete { deadline } => {
+                    run_workload(&mut exp.sim, &entity_ids, Time::ZERO + deadline);
+                }
             }
-            RunPlan::UntilComplete { deadline } => {
-                run_workload(&mut exp.sim, &entity_ids, Time::ZERO + deadline);
+            exp.sim
+        } else {
+            let workers = usize::try_from(jobs).unwrap_or(usize::MAX);
+            match plan.run {
+                RunPlan::FixedHorizon { horizon } => {
+                    run_sharded_until(exp.sim, &exp.shard_plan, workers, Time::ZERO + horizon)
+                }
+                RunPlan::UntilComplete { deadline } => {
+                    run_workload_sharded(
+                        exp.sim,
+                        &exp.shard_plan,
+                        workers,
+                        &entity_ids,
+                        Time::ZERO + deadline,
+                    )
+                    .0
+                }
             }
-        }
+        };
         let wall = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let events = exp.sim.processed_events;
-        let tx_pkts: u64 = exp.sim.stats.ports().map(|(_, ps)| ps.tx_pkts).sum();
-        let sim_ns = exp.sim.now().as_nanos();
+        let events = done.processed_events;
+        let tx_pkts: u64 = done.stats.ports().map(|(_, ps)| ps.tx_pkts).sum();
+        let sim_ns = done.now().as_nanos();
         match counters {
             None => counters = Some((events, tx_pkts, sim_ns)),
             Some(prev) if prev != (events, tx_pkts, sim_ns) => {
@@ -163,6 +195,7 @@ pub fn measure(
         approach: point.key.approach.clone(),
         params: point.key.params.clone(),
         seed: point.key.seed,
+        jobs,
         events,
         tx_pkts,
         sim_ns,
@@ -186,6 +219,7 @@ pub fn render_json(bench: &PerfBench) -> String {
         let _ = writeln!(out, "      \"approach\": \"{}\",", r.approach);
         let _ = writeln!(out, "      \"params\": \"{}\",", r.params);
         let _ = writeln!(out, "      \"seed\": {},", r.seed);
+        let _ = writeln!(out, "      \"jobs\": {},", r.jobs);
         let _ = writeln!(out, "      \"events\": {},", r.events);
         let _ = writeln!(out, "      \"tx_pkts\": {},", r.tx_pkts);
         let _ = writeln!(out, "      \"sim_ns\": {},", r.sim_ns);
@@ -234,6 +268,7 @@ pub fn parse_bench(text: &str) -> Result<PerfBench, String> {
             approach: field_str(rec, "approach")?,
             params: field_str(rec, "params")?,
             seed: field_u64(rec, "seed")?,
+            jobs: field_u64(rec, "jobs")?,
             events: field_u64(rec, "events")?,
             tx_pkts: field_u64(rec, "tx_pkts")?,
             sim_ns: field_u64(rec, "sim_ns")?,
@@ -281,8 +316,8 @@ pub fn diff_bench(
     }
     let ident = |r: &PerfRecord| {
         format!(
-            "{} [{}] {{{}}} seed={}",
-            r.scenario, r.approach, r.params, r.seed
+            "{} [{}] {{{}}} seed={} jobs={}",
+            r.scenario, r.approach, r.params, r.seed, r.jobs
         )
     };
     for b in &baseline.records {
@@ -291,6 +326,7 @@ pub fn diff_bench(
                 && c.approach == b.approach
                 && c.params == b.params
                 && c.seed == b.seed
+                && c.jobs == b.jobs
         }) else {
             violations.push(format!("{}: record missing from current bench", ident(b)));
             continue;
@@ -330,6 +366,7 @@ pub fn diff_bench(
                 && b.approach == c.approach
                 && b.params == c.params
                 && b.seed == c.seed
+                && b.jobs == c.jobs
         });
         if !known {
             violations.push(format!(
@@ -357,6 +394,7 @@ mod tests {
                 approach: "aq".to_string(),
                 params: "b_flows=1,horizon_ms=20".to_string(),
                 seed: 1,
+                jobs: 0,
                 events: 100_000,
                 tx_pkts: 40_000,
                 sim_ns: 20_000_000,
@@ -442,16 +480,44 @@ mod tests {
         };
         let points = expand(&spec).expect("expands");
         let picked = perf_points(&points);
-        let r1 = measure(&picked[0], 2, SchedulerKind::default()).expect("measures");
+        let r1 = measure(&picked[0], 2, SchedulerKind::default(), 0).expect("measures");
         assert!(r1.events > 0);
         assert!(r1.tx_pkts > 0);
         assert_eq!(r1.sim_ns, 2_000_000);
         assert!(r1.events_per_sec > 0.0);
-        let r2 = measure(&picked[0], 1, SchedulerKind::default()).expect("measures");
+        let r2 = measure(&picked[0], 1, SchedulerKind::default(), 0).expect("measures");
         assert_eq!(
             (r1.events, r1.tx_pkts, r1.sim_ns),
             (r2.events, r2.tx_pkts, r2.sim_ns),
             "counters are seed properties, not timing properties"
         );
+    }
+
+    #[test]
+    fn sharded_measure_reproduces_the_reference_counters() {
+        // The jobs axis may only move wall-clock columns: the deterministic
+        // counters of a sharded measurement must equal the reference
+        // engine's, for both a shardable dumbbell and a fallback run.
+        let spec = SweepSpec {
+            name: "unit".to_string(),
+            axes: vec![SweepAxis {
+                scenario: "fairness_flows".to_string(),
+                approaches: vec![Approach::Aq],
+                grid: vec![Params::parse("b_flows=1,horizon_ms=2").expect("grid")],
+                seeds: vec![1],
+            }],
+        };
+        let points = expand(&spec).expect("expands");
+        let picked = perf_points(&points);
+        let reference = measure(&picked[0], 1, SchedulerKind::default(), 0).expect("measures");
+        for jobs in [1, 2, 4] {
+            let sharded = measure(&picked[0], 1, SchedulerKind::default(), jobs).expect("measures");
+            assert_eq!(
+                (reference.events, reference.tx_pkts, reference.sim_ns),
+                (sharded.events, sharded.tx_pkts, sharded.sim_ns),
+                "jobs={jobs} moved a deterministic counter"
+            );
+            assert_eq!(sharded.jobs, jobs);
+        }
     }
 }

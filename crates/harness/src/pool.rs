@@ -106,6 +106,12 @@ enum Slot<T> {
     Pending,
     /// A worker started the task at the recorded wall-clock instant.
     Running(Instant),
+    /// The watchdog fired while the task was running: a replacement
+    /// worker has been spawned, but the original worker keeps a grace
+    /// window (recorded here) to deliver a result that raced the
+    /// deadline. The worker's real outcome wins; only a slot still
+    /// overdue after the grace hardens into [`TaskResult::TimedOut`].
+    Overdue(Instant),
     /// Resolved — by the worker, or by the supervisor for overdue tasks.
     Finished(TaskResult<T>),
 }
@@ -133,18 +139,42 @@ where
             Err(payload) => TaskResult::Panicked(panic_message(payload)),
         };
         let mut slot = pool.slots[i].lock().expect("result slot lock");
-        if matches!(*slot, Slot::Finished(_)) {
-            // The supervisor already timed this task out and spawned a
-            // replacement worker: discard the late result and retire so
-            // the pool never runs more than `jobs` live workers.
-            return;
+        match *slot {
+            Slot::Finished(_) => {
+                // The supervisor already hardened this task to TimedOut
+                // and spawned a replacement worker: discard the late
+                // result and retire so the pool never runs more than
+                // `jobs` live workers.
+                return;
+            }
+            Slot::Overdue(_) => {
+                // The watchdog fired while the result was in flight. The
+                // real outcome wins — a run that finished in the same
+                // tick the watchdog fired is a success, recorded exactly
+                // once — but a replacement worker already took this
+                // worker's place, so retire after writing.
+                *slot = Slot::Finished(outcome);
+                return;
+            }
+            Slot::Pending | Slot::Running(_) => {
+                *slot = Slot::Finished(outcome);
+            }
         }
-        *slot = Slot::Finished(outcome);
     }
 }
 
 /// Supervisor poll interval: how often overdue tasks are checked for.
 const SUPERVISOR_POLL: Duration = Duration::from_millis(2);
+
+/// How long an overdue task's original worker keeps the right to deliver
+/// its result before the slot hardens into [`TaskResult::TimedOut`].
+/// Covers the race where a run finishes in the same supervisor tick the
+/// watchdog fires: the worker has computed the outcome but not yet taken
+/// the slot lock. Sized generously so an oversubscribed machine cannot
+/// preempt a finishing worker past it; a genuinely hung run is merely
+/// reported one grace window later, which is noise against any real
+/// timeout budget.
+const OVERDUE_GRACE: Duration = Duration::from_millis(25);
 
 /// Like [`run_indexed_caught`], but *hang-proof*: each task runs on a
 /// detached worker under a wall-clock budget enforced by a supervisor on
@@ -177,9 +207,10 @@ where
         next: AtomicUsize::new(0),
         slots: (0..n_tasks).map(|_| Mutex::new(Slot::Pending)).collect(),
     });
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::with_capacity(jobs);
     for _ in 0..jobs {
         let p = Arc::clone(&pool);
-        std::thread::spawn(move || supervised_worker(p));
+        workers.push(std::thread::spawn(move || supervised_worker(p)));
     }
     loop {
         let mut finished = 0usize;
@@ -189,15 +220,23 @@ where
                 Slot::Finished(_) => finished += 1,
                 Slot::Running(started) => {
                     if timeout.is_some_and(|t| started.elapsed() >= t) {
-                        *s = Slot::Finished(TaskResult::TimedOut);
-                        finished += 1;
+                        // Don't declare the timeout yet: the worker may
+                        // have finished in this very tick and be about
+                        // to write. Mark the slot overdue (the worker's
+                        // result still wins during the grace window) and
+                        // restore the pool's parallelism if work remains.
+                        *s = Slot::Overdue(Instant::now());
                         drop(s);
-                        // The worker stuck on this task is lost; restore
-                        // the pool's parallelism if work remains.
                         if pool.next.load(Ordering::Relaxed) < n_tasks {
                             let p = Arc::clone(&pool);
-                            std::thread::spawn(move || supervised_worker(p));
+                            workers.push(std::thread::spawn(move || supervised_worker(p)));
                         }
+                    }
+                }
+                Slot::Overdue(since) => {
+                    if since.elapsed() >= OVERDUE_GRACE {
+                        *s = Slot::Finished(TaskResult::TimedOut);
+                        finished += 1;
                     }
                 }
                 Slot::Pending => {}
@@ -207,6 +246,14 @@ where
             break;
         }
         std::thread::sleep(SUPERVISOR_POLL);
+    }
+    // Reap every worker that ran to completion; only genuinely hung
+    // workers (whose tasks were hardened to TimedOut) stay detached —
+    // a stuck simulation cannot be cancelled cooperatively.
+    for handle in workers {
+        if handle.is_finished() {
+            let _ = handle.join();
+        }
     }
     pool.slots
         .iter()
@@ -347,6 +394,33 @@ mod tests {
                 out[i]
             );
         }
+    }
+
+    #[test]
+    fn a_task_finishing_as_the_watchdog_fires_is_recorded_once_as_success() {
+        // With a zero timeout every task is "overdue" the instant it
+        // starts, so every completion races the watchdog — the worst
+        // case of the deadline race. Each run still finishes within the
+        // grace window, so each must be recorded exactly once, as its
+        // real result, never as TimedOut.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran_in_task = Arc::clone(&ran);
+        let out = run_supervised(32, 4, Some(Duration::ZERO), move |i| {
+            ran_in_task.fetch_add(1, Ordering::Relaxed);
+            i * 5
+        });
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            assert!(
+                matches!(r, TaskResult::Done(v) if *v == i * 5),
+                "task {i}: finished run misrecorded as {r:?}"
+            );
+        }
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            32,
+            "every task claimed exactly once despite replacement workers"
+        );
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub struct AdmissionCtx {
 /// Policies are pure deciders: they never mutate pool state. The pool
 /// enforces the hard capacity cap itself before the policy is consulted,
 /// so a policy only shapes *how* the remaining headroom is shared.
-pub trait AdmissionPolicy {
+pub trait AdmissionPolicy: Send {
     /// Decide the fate of one arriving packet.
     fn admit(&self, ctx: &AdmissionCtx) -> Admission;
 

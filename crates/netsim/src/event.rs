@@ -29,6 +29,28 @@ use crate::time::Time;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 
+/// Sequence-number band for `Arrive` events. Arrivals do not draw from
+/// the insertion counter: their sequence number is computed from the
+/// launching link's identity and per-link launch count (see
+/// [`arrive_seq`]), so it is *intrinsic* to the packet — a sharded run
+/// delivering the same arrival into a different shard's queue reproduces
+/// the exact same `(time, seq)` key, and therefore the exact same
+/// tie-break, as the single-threaded reference engine. The band's high
+/// bit puts every arrival *after* all same-time non-arrival events, in
+/// both engines, regardless of push order.
+pub const SEQ_BAND_ARRIVE: u64 = 1 << 63;
+
+/// Bits reserved for the per-link launch counter inside an arrive seq.
+const ARRIVE_COUNT_BITS: u32 = 40;
+
+/// The intrinsic sequence number of the `count`-th packet launched onto
+/// `link` (see [`SEQ_BAND_ARRIVE`]). Same-time arrivals order by
+/// `(link, launch count)` — a total, engine-independent order.
+pub fn arrive_seq(link: LinkId, count: u64) -> u64 {
+    debug_assert!(count < (1 << ARRIVE_COUNT_BITS), "launch counter overflow");
+    SEQ_BAND_ARRIVE | ((link.0 as u64) << ARRIVE_COUNT_BITS) | count
+}
+
 /// What happens when an event fires.
 #[derive(Debug, Clone, Copy)]
 pub enum EventKind {
@@ -41,10 +63,6 @@ pub enum EventKind {
         packet: PacketRef,
         /// The link the packet propagated over.
         link: LinkId,
-        /// The link's down-transition epoch captured when the packet was
-        /// launched; a mismatch at arrival means the wire died under the
-        /// packet and it is lost (`DropCause::LinkDown`).
-        launch_downs: u64,
     },
     /// The transmitter of `port` finishes serializing its current packet.
     TxComplete {
@@ -400,6 +418,23 @@ impl EventQueue {
     pub fn push(&mut self, time: Time, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        debug_assert!(
+            seq < SEQ_BAND_ARRIVE,
+            "insertion counter ran into the arrive band"
+        );
+        let ev = Event { time, seq, kind };
+        match &mut self.imp {
+            Imp::Wheel(w) => w.push(ev),
+            Imp::Heap(h) => h.push(ev),
+        }
+    }
+
+    /// Schedule `kind` at `time` under an explicit, caller-computed
+    /// sequence number (an [`arrive_seq`] band value). The insertion
+    /// counter is not consumed, so the key is identical no matter which
+    /// queue — or which shard's queue — the event is pushed into.
+    pub fn push_with_seq(&mut self, time: Time, seq: u64, kind: EventKind) {
+        debug_assert!(seq >= SEQ_BAND_ARRIVE, "explicit seqs must be banded");
         let ev = Event { time, seq, kind };
         match &mut self.imp {
             Imp::Wheel(w) => w.push(ev),

@@ -234,6 +234,10 @@ pub struct AppliedFault {
     pub kind: &'static str,
     /// [`FaultKind::target`] of the fault.
     pub target: String,
+    /// Index of the fault in its [`FaultPlan`]. Same-time entries sort by
+    /// plan order, which makes logs produced by independent shards merge
+    /// back into exactly the single-threaded log.
+    pub plan_index: usize,
 }
 
 /// Run-wide totals of fault-caused packet loss, by cause.
@@ -275,6 +279,124 @@ impl LossProcess {
     }
 }
 
+/// One corruption window on a link, precomputed from the plan.
+///
+/// `stop` is [`Time::MAX`] for a window the plan never closes. The
+/// stochastic process is created lazily on the first packet whose arrival
+/// lands in the window, seeded from the opening fault's plan index — so a
+/// window draws the same stream no matter which shard evaluates it.
+pub(crate) struct LossWindow {
+    start: Time,
+    stop: Time,
+    loss_ppm: u32,
+    stream_seed: u64,
+    process: Option<LossProcess>,
+}
+
+/// The precomputed wire fate of every link: when it dies and when it
+/// corrupts.
+///
+/// Faults are plan data, so a packet's fate on the wire is decidable the
+/// moment it launches: the down-transitions and corruption windows of each
+/// link are replayed from the plan up front (with the same up-state guards
+/// [`apply_fault`](crate::sim::Simulator) uses), and the launch path asks
+/// two questions — does a down-transition fall inside my flight interval,
+/// and does a corruption window cover my arrival? Evaluating fate at
+/// launch instead of arrival is what lets a shard decide the fate of a
+/// cross-shard packet without consulting the destination shard's state.
+pub(crate) struct WireFate {
+    /// Per link: effective down-transition times, in firing order.
+    downs: Vec<Vec<Time>>,
+    /// Per link: corruption windows ordered by start, non-overlapping (a
+    /// `LossStart` inside an open window closes it, as the live engine's
+    /// process-overwrite did).
+    windows: Vec<Vec<LossWindow>>,
+}
+
+impl WireFate {
+    /// Fault-free fate for `links` links.
+    pub(crate) fn new(links: usize) -> WireFate {
+        WireFate {
+            downs: vec![Vec::new(); links],
+            windows: (0..links).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Replay `plan` into per-link schedules. Events are applied in the
+    /// order the event queue would fire them: `(time, plan index)`.
+    pub(crate) fn from_plan(plan: &FaultPlan, links: usize) -> WireFate {
+        let mut fate = WireFate::new(links);
+        let mut order: Vec<usize> = (0..plan.events.len()).collect();
+        order.sort_by_key(|&i| (plan.events[i].at, i));
+        let mut up = vec![true; links];
+        let mut open: Vec<Option<usize>> = vec![None; links];
+        for i in order {
+            let ev = &plan.events[i];
+            match ev.kind {
+                FaultKind::LinkDown { link } => {
+                    let l = link.index();
+                    if up[l] {
+                        up[l] = false;
+                        fate.downs[l].push(ev.at);
+                    }
+                }
+                FaultKind::LinkUp { link } => up[link.index()] = true,
+                FaultKind::LossStart { link, loss_ppm } => {
+                    let l = link.index();
+                    if let Some(w) = open[l].take() {
+                        fate.windows[l][w].stop = ev.at;
+                    }
+                    open[l] = Some(fate.windows[l].len());
+                    fate.windows[l].push(LossWindow {
+                        start: ev.at,
+                        stop: Time::MAX,
+                        loss_ppm,
+                        stream_seed: plan.stream_seed(i),
+                        process: None,
+                    });
+                }
+                FaultKind::LossStop { link } => {
+                    let l = link.index();
+                    if let Some(w) = open[l].take() {
+                        fate.windows[l][w].stop = ev.at;
+                    }
+                }
+                FaultKind::AqReset { .. }
+                | FaultKind::HostPause { .. }
+                | FaultKind::HostResume { .. } => {}
+            }
+        }
+        fate
+    }
+
+    /// Does a down-transition land strictly after launch and at-or-before
+    /// arrival? Transitions exactly at the arrival instant kill the packet
+    /// because fault events outrank arrivals in the same-time tie-break.
+    pub(crate) fn cut_in_flight(&self, link: usize, launched: Time, arrives: Time) -> bool {
+        self.downs[link]
+            .iter()
+            .any(|&d| launched < d && d <= arrives)
+    }
+
+    /// Draw the corruption trial for a packet arriving on `link` at
+    /// `arrives`; `true` means the packet dies on the wire. Windows are
+    /// half-open `[start, stop)` — an arrival sharing an instant with
+    /// `LossStart` is corrupted-checked, one sharing with `LossStop` is
+    /// not, matching the fault-before-arrival tie-break.
+    pub(crate) fn corrupts(&mut self, link: usize, arrives: Time) -> bool {
+        for w in &mut self.windows[link] {
+            if w.start <= arrives && arrives < w.stop {
+                let ppm = w.loss_ppm;
+                return w
+                    .process
+                    .get_or_insert_with(|| LossProcess::new(w.stream_seed, ppm))
+                    .corrupts();
+            }
+        }
+        false
+    }
+}
+
 /// The simulator's runtime fault state: installed plan plus per-link and
 /// per-node health, the applied-fault log, and loss totals.
 pub(crate) struct FaultState {
@@ -282,11 +404,12 @@ pub(crate) struct FaultState {
     /// Per-link health; packets only launch onto up links.
     pub(crate) link_up: Vec<bool>,
     /// Cumulative down-transitions per link. Packets capture the epoch at
-    /// launch; any mismatch at a later checkpoint means the wire died (and
+    /// launch; any mismatch at serialization end means the wire died (and
     /// possibly revived) underneath them, so they are lost.
     pub(crate) link_downs: Vec<u64>,
-    /// Active corruption process per link.
-    pub(crate) loss: Vec<Option<LossProcess>>,
+    /// Launch-time wire fate: precomputed down-transitions and corruption
+    /// windows per link.
+    pub(crate) wire: WireFate,
     /// Per-node blackout flag.
     pub(crate) paused: Vec<bool>,
     pub(crate) log: Vec<AppliedFault>,
@@ -299,7 +422,7 @@ impl FaultState {
             plan: FaultPlan::default(),
             link_up: vec![true; links],
             link_downs: vec![0; links],
-            loss: (0..links).map(|_| None).collect(),
+            wire: WireFate::new(links),
             paused: vec![false; nodes],
             log: Vec::new(),
             totals: FaultTotals::default(),
@@ -366,6 +489,66 @@ mod tests {
         };
         assert_eq!(draws(3), draws(3));
         assert_ne!(draws(3), draws(4));
+    }
+
+    #[test]
+    fn wire_fate_counts_guarded_down_transitions_only() {
+        // A second LinkDown on an already-dead link is a no-op, exactly as
+        // apply_fault's up-state guard makes it.
+        let plan = FaultPlan::new(1)
+            .event(
+                Time::from_millis(5),
+                FaultKind::LinkDown { link: LinkId(0) },
+            )
+            .event(
+                Time::from_millis(6),
+                FaultKind::LinkDown { link: LinkId(0) },
+            )
+            .event(Time::from_millis(7), FaultKind::LinkUp { link: LinkId(0) })
+            .event(
+                Time::from_millis(9),
+                FaultKind::LinkDown { link: LinkId(0) },
+            );
+        let fate = WireFate::from_plan(&plan, 1);
+        // In flight across the first death only.
+        assert!(fate.cut_in_flight(0, Time::from_millis(4), Time::from_millis(5)));
+        // Launch exactly at the transition is covered by the serialization
+        // cut check, not the flight interval.
+        assert!(!fate.cut_in_flight(0, Time::from_millis(5), Time::from_millis(6)));
+        // The redundant second down is not a transition.
+        assert!(!fate.cut_in_flight(0, Time::from_nanos(5_000_001), Time::from_millis(8)));
+        assert!(fate.cut_in_flight(0, Time::from_millis(8), Time::from_millis(10)));
+    }
+
+    #[test]
+    fn wire_fate_windows_are_half_open_and_seed_stable() {
+        let plan = FaultPlan::new(3).loss_window(
+            LinkId(0),
+            Time::from_millis(10),
+            Time::from_millis(20),
+            PPM,
+        );
+        let mut fate = WireFate::from_plan(&plan, 1);
+        assert!(!fate.corrupts(0, Time::from_nanos(9_999_999)));
+        assert!(fate.corrupts(0, Time::from_millis(10)));
+        assert!(fate.corrupts(0, Time::from_nanos(19_999_999)));
+        assert!(!fate.corrupts(0, Time::from_millis(20)));
+        // Two independent replays of the same plan draw the same stream.
+        let draws = |n: u64| {
+            let mut f = WireFate::from_plan(
+                &FaultPlan::new(3).loss_window(
+                    LinkId(0),
+                    Time::from_millis(10),
+                    Time::from_millis(20),
+                    PPM / 2,
+                ),
+                1,
+            );
+            (0..n)
+                .map(|i| f.corrupts(0, Time::from_nanos(10_000_000 + i)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draws(64), draws(64));
     }
 
     #[test]

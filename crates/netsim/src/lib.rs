@@ -53,6 +53,7 @@ pub mod node;
 pub mod packet;
 pub mod port;
 pub mod queue;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -71,6 +72,7 @@ pub use queue::{
     DisaggRedConfig, DisaggRedQueue, DropCause, Enqueued, FifoConfig, FifoQueue, L4sStepConfig,
     L4sStepQueue, QueueDiscipline,
 };
+pub use shard::{ShardPlan, ShardedSim};
 pub use sim::{Agent, AgentCtx, Network, Simulator};
 pub use stats::{
     jain_index, minmax_ratio, AqPosition, AqSummary, BufferStats, DelayRecorder, PortStats,

@@ -26,7 +26,7 @@ pub enum PipelineVerdict {
 ///
 /// The AQ data plane in `aq-core` implements this trait; a vanilla switch
 /// has no pipelines and every packet is simply forwarded.
-pub trait SwitchPipeline {
+pub trait SwitchPipeline: Send {
     /// Ingress-pipeline processing. May rewrite header fields (ECN,
     /// virtual delay) and may drop.
     fn ingress(&mut self, now: Time, pkt: &mut Packet) -> PipelineVerdict;
@@ -116,7 +116,7 @@ impl<'a> HostCtx<'a> {
 }
 
 /// Application logic running on a host: transports, traffic sources, sinks.
-pub trait HostApp {
+pub trait HostApp: Send {
     /// Called once at simulation start (time zero) before any packet moves.
     fn on_start(&mut self, ctx: &mut HostCtx<'_>);
 

@@ -251,8 +251,18 @@ impl Packet {
 /// Handle to a packet parked in a [`PacketArena`] — the payload of
 /// in-flight [`Arrive`](crate::event::EventKind::Arrive) events. A ref is
 /// checked out exactly once; the slot is recycled on [`PacketArena::take`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct PacketRef(u32);
+
+/// Deliberately opaque: the slot index is freelist-recycled scheduling
+/// state, so printing it would leak event-schedule history into any
+/// `Debug` output that embeds a ref (and per-shard arenas assign slots
+/// independently, so the index is not even comparable across engines).
+impl std::fmt::Debug for PacketRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PacketRef(·)")
+    }
+}
 
 /// A freelist arena for packets in flight over links.
 ///
@@ -273,6 +283,17 @@ impl PacketArena {
     /// An empty arena.
     pub fn new() -> PacketArena {
         PacketArena::default()
+    }
+
+    /// An empty arena with backing storage reserved for `n` slots.
+    ///
+    /// Only the `Vec` allocation is pre-sized; slot *assignment* is
+    /// identical to a fresh arena (first alloc gets slot 0, and so on),
+    /// so pre-sizing can never change observable behavior.
+    pub fn with_capacity(n: usize) -> PacketArena {
+        let mut a = PacketArena::default();
+        a.slots.reserve(n);
+        a
     }
 
     /// Park `pkt`, returning its handle.
@@ -347,6 +368,71 @@ mod tests {
         assert!(matches!(pb.transport, TransportHeader::Data { seq: 1, .. }));
         arena.take(c);
         assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn arena_slot_assignment_ignores_reserved_capacity() {
+        // A pre-sized arena must hand out exactly the same refs, in the
+        // same order, as a fresh one — capacity is an allocator hint, not
+        // simulation state.
+        let mk = |seq| {
+            Packet::data(
+                FlowId(1),
+                EntityId(1),
+                NodeId(0),
+                NodeId(1),
+                seq,
+                MSS,
+                false,
+                Time::ZERO,
+            )
+        };
+        let mut cold = PacketArena::new();
+        let mut warm = PacketArena::with_capacity(1024);
+        let mut refs_cold = Vec::new();
+        let mut refs_warm = Vec::new();
+        for seq in 0..8 {
+            refs_cold.push(cold.alloc(mk(seq)));
+            refs_warm.push(warm.alloc(mk(seq)));
+        }
+        // Interleave frees and reallocs; the LIFO freelist must evolve
+        // identically on both sides.
+        cold.take(refs_cold[2]);
+        warm.take(refs_warm[2]);
+        cold.take(refs_cold[5]);
+        warm.take(refs_warm[5]);
+        for seq in 8..11 {
+            refs_cold.push(cold.alloc(mk(seq)));
+            refs_warm.push(warm.alloc(mk(seq)));
+        }
+        assert_eq!(refs_cold, refs_warm);
+        assert_eq!(cold.capacity(), warm.capacity());
+    }
+
+    #[test]
+    fn packet_ref_debug_is_opaque() {
+        let mut arena = PacketArena::new();
+        let r0 = arena.alloc(Packet::datagram(
+            FlowId(1),
+            EntityId(1),
+            NodeId(0),
+            NodeId(1),
+            MSS,
+            Time::ZERO,
+        ));
+        arena.take(r0);
+        let r1 = arena.alloc(Packet::datagram(
+            FlowId(1),
+            EntityId(1),
+            NodeId(0),
+            NodeId(1),
+            MSS,
+            Time::ZERO,
+        ));
+        // Recycled slot, but the rendered form must not reveal which slot
+        // was handed out — schedule history stays out of Debug output.
+        assert_eq!(format!("{:?}", r0), format!("{:?}", r1));
+        assert!(!format!("{:?}", r1).contains('0'));
     }
 
     #[test]

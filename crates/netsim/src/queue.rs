@@ -77,7 +77,7 @@ pub enum Enqueued {
 ///
 /// [`ready_at`]: QueueDiscipline::ready_at
 /// [`dequeue`]: QueueDiscipline::dequeue
-pub trait QueueDiscipline {
+pub trait QueueDiscipline: Send {
     /// Offer a packet for buffering at time `now`.
     fn enqueue(&mut self, now: Time, pkt: Packet) -> Enqueued;
 

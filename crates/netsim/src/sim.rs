@@ -18,10 +18,8 @@
 //!    hands the packet to the app.
 
 use crate::buffer::{Admission, SharedBufferPool};
-use crate::event::{EventKind, EventQueue, SchedulerKind};
-use crate::fault::{
-    AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultState, FaultTotals, LossProcess,
-};
+use crate::event::{arrive_seq, EventKind, EventQueue, SchedulerKind};
+use crate::fault::{AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultState, FaultTotals};
 use crate::ids::{AgentId, LinkId, NodeId, PortId};
 use crate::link::Link;
 use crate::node::{HostApp, HostCtx, Node, NodeKind, PipelineVerdict};
@@ -30,8 +28,6 @@ use crate::port::Port;
 use crate::queue::{DropCause, Enqueued};
 use crate::stats::StatsHub;
 use crate::time::{Duration, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// The static network: nodes, ports, links, and precomputed routes.
 pub struct Network {
@@ -175,7 +171,7 @@ impl AgentCtx {
 /// ElasticSwitch-style dynamic rate limiter, or an AQ work-conservation
 /// reallocator. Unlike host apps, agents may inspect and mutate the whole
 /// network when their timers fire.
-pub trait Agent {
+pub trait Agent: Send {
     /// Called once at simulation start.
     fn on_start(&mut self, net: &mut Network, stats: &mut StatsHub, ctx: &mut AgentCtx);
 
@@ -183,38 +179,81 @@ pub trait Agent {
     fn on_timer(&mut self, net: &mut Network, stats: &mut StatsHub, ctx: &mut AgentCtx, token: u64);
 }
 
+/// A packet launched onto a link whose receiving node lives on another
+/// shard: the payload of the cross-shard event log. The `(time, seq)` pair
+/// is the packet's intrinsic arrival key (see
+/// [`arrive_seq`](crate::event::arrive_seq)), so the receiving shard's
+/// queue pops it in exactly the order a single-threaded run would.
+pub(crate) struct CrossMsg {
+    pub(crate) time: Time,
+    pub(crate) seq: u64,
+    pub(crate) node: NodeId,
+    pub(crate) link: LinkId,
+    pub(crate) pkt: Packet,
+}
+
+/// Per-shard context installed by the sharded driver: which shard this
+/// simulator is, who owns every node, and the outbox collecting launches
+/// bound for other shards.
+pub(crate) struct ShardCtx {
+    pub(crate) me: u32,
+    /// Node index → owning shard.
+    pub(crate) owner: Vec<u32>,
+    pub(crate) outbox: Vec<CrossMsg>,
+}
+
+/// SplitMix64 finalizer: the stateless hash behind per-launch forwarding
+/// jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// The simulator.
 pub struct Simulator {
     /// Current simulation time.
-    now: Time,
+    pub(crate) now: Time,
     /// The network under simulation.
     pub net: Network,
     /// Measurements.
     pub stats: StatsHub,
-    events: EventQueue,
-    agents: Vec<Option<Box<dyn Agent>>>,
-    next_uid: u64,
-    started: bool,
+    pub(crate) events: EventQueue,
+    pub(crate) agents: Vec<Option<Box<dyn Agent>>>,
+    pub(crate) next_uid: u64,
+    pub(crate) started: bool,
     /// Total events processed (diagnostics; also the unit criterion
     /// throughput benches report against).
     pub processed_events: u64,
-    /// Seeded RNG for forwarding jitter (the only randomness inside the
-    /// simulator core).
-    rng: SmallRng,
+    /// Seed of the forwarding-jitter hash (the only randomness inside the
+    /// simulator core). Jitter is a pure function of
+    /// `(seed, link, launch index)`, so any shard computes the same draw
+    /// for the same launch regardless of global event interleaving.
+    pub(crate) jitter_seed: u64,
     /// Maximum per-hop forwarding jitter in nanoseconds.
-    jitter_ns: u64,
+    pub(crate) jitter_ns: u64,
     /// Per-link monotonic arrival clamp so jitter never reorders a link.
-    last_arrival: Vec<Time>,
+    pub(crate) last_arrival: Vec<Time>,
+    /// Per-link launch counter: drives both the jitter hash and the
+    /// intrinsic arrival sequence ([`arrive_seq`](crate::event::arrive_seq)).
+    pub(crate) launch_count: Vec<u64>,
     /// Installed fault plan plus runtime link/host health (see
     /// [`crate::fault`]).
-    faults: FaultState,
+    pub(crate) faults: FaultState,
     /// Per-switch shared buffer pools, indexed by [`NodeId`]; `None` for
     /// nodes without one (all hosts, and switches left on isolated
     /// per-port buffering).
-    pools: Vec<Option<SharedBufferPool>>,
+    pub(crate) pools: Vec<Option<SharedBufferPool>>,
     /// Freelist arena parking packets in flight over links; `Arrive`
     /// events carry a [`PacketRef`](crate::packet::PacketRef) into it.
-    arena: PacketArena,
+    pub(crate) arena: PacketArena,
+    /// Sharding context, when this simulator is one shard of a
+    /// [`ShardedSim`](crate::shard::ShardedSim) run; `None` for the
+    /// single-threaded reference engine.
+    pub(crate) shard: Option<ShardCtx>,
     /// Recycled send buffer lent to host-app callbacks.
     scratch_sends: Vec<Packet>,
     /// Recycled timer buffer lent to host-app and agent callbacks.
@@ -247,12 +286,14 @@ impl Simulator {
             next_uid: 0,
             started: false,
             processed_events: 0,
-            rng: SmallRng::seed_from_u64(0x5176_u64),
+            jitter_seed: 0x5176,
             jitter_ns: 800,
             last_arrival: vec![Time::ZERO; links],
+            launch_count: vec![0; links],
             faults: FaultState::new(links, nodes),
             pools: (0..nodes).map(|_| None).collect(),
             arena: PacketArena::new(),
+            shard: None,
             scratch_sends: Vec::new(),
             scratch_timers: Vec::new(),
         }
@@ -291,6 +332,7 @@ impl Simulator {
             !self.started,
             "install_faults must be called before the simulation starts"
         );
+        self.faults.wire = crate::fault::WireFate::from_plan(&plan, self.net.links.len());
         self.faults.plan = plan;
     }
 
@@ -351,10 +393,26 @@ impl Simulator {
         self.jitter_ns = max.as_nanos();
     }
 
-    /// Reseed the simulator's jitter RNG (per-repetition seeds in
+    /// Reseed the simulator's jitter hash (per-repetition seeds in
     /// experiment sweeps).
     pub fn set_seed(&mut self, seed: u64) {
-        self.rng = SmallRng::seed_from_u64(seed);
+        self.jitter_seed = seed;
+    }
+
+    /// The forwarding-jitter draw for the next launch on `link`: a pure
+    /// hash of `(seed, link, launch index)`. Replaces the old stateful
+    /// jitter RNG, whose draw order was the *global* launch interleaving —
+    /// unknowable to a shard that sees only its own links.
+    fn jitter_for(&self, link: usize) -> Duration {
+        if self.jitter_ns == 0 {
+            return Duration::ZERO;
+        }
+        let x = splitmix64(
+            self.jitter_seed
+                ^ (link as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ self.launch_count[link].wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        Duration::from_nanos(x % (self.jitter_ns + 1))
     }
 
     /// Register a control-plane agent. Its `on_start` runs when the
@@ -372,8 +430,28 @@ impl Simulator {
         self.started = true;
         // Fault events first: they get the lowest sequence numbers, so a
         // fault scheduled at the same instant as later-inserted packet
-        // events fires in a fixed, reproducible order.
-        for (index, ev) in self.faults.plan.events.iter().enumerate() {
+        // events fires in a fixed, reproducible order. A shard schedules
+        // only the faults it owns — link faults belong to the shard of the
+        // feeding port's node, node faults to the node's shard — so every
+        // fault is applied exactly once across the fleet.
+        for index in 0..self.faults.plan.events.len() {
+            let ev = self.faults.plan.events[index];
+            if let Some(ctx) = &self.shard {
+                let owner_node = match ev.kind {
+                    FaultKind::LinkDown { link }
+                    | FaultKind::LinkUp { link }
+                    | FaultKind::LossStart { link, .. }
+                    | FaultKind::LossStop { link } => {
+                        self.net.ports[self.net.links[link.index()].from_port.index()].node
+                    }
+                    FaultKind::AqReset { node }
+                    | FaultKind::HostPause { node }
+                    | FaultKind::HostResume { node } => node,
+                };
+                if ctx.owner[owner_node.index()] != ctx.me {
+                    continue;
+                }
+            }
             self.events.push(ev.at, EventKind::Fault { index });
         }
         // Host apps first, in node order, then agents — all at time zero.
@@ -445,16 +523,77 @@ impl Simulator {
         true
     }
 
+    /// Schedule start-of-run events (faults, host `on_start`, agents) if
+    /// the run has not started yet. Idempotent; the sharded driver calls
+    /// this on every shard before computing the first synchronization
+    /// horizon, because an unstarted shard has an empty event queue.
+    pub(crate) fn ensure_started(&mut self) {
+        self.start();
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub(crate) fn next_event_time(&mut self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// Process every event strictly before `h` (the conservative-lookahead
+    /// round body). Unlike [`run_until`](Simulator::run_until) the clock
+    /// is *not* advanced to `h` afterwards: `h` is a synchronization
+    /// horizon, not a chunk boundary, so rounds leave the clock at the
+    /// last processed event and only the driver's final `run_until` pins
+    /// every shard to the chunk target.
+    pub(crate) fn run_until_before(&mut self, h: Time) {
+        self.start();
+        while let Some(et) = self.events.peek_time() {
+            if et >= h {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            crate::invariant!(
+                ev.time >= self.now,
+                "event clock moved backwards: now={} event={}",
+                self.now,
+                ev.time,
+            );
+            self.now = ev.time;
+            self.processed_events += 1;
+            self.dispatch(ev.kind);
+        }
+    }
+
+    /// Replay one cross-shard launch into this shard's queue under its
+    /// intrinsic `(time, seq)` key.
+    pub(crate) fn deliver_cross(&mut self, msg: CrossMsg) {
+        let packet = self.arena.alloc(msg.pkt);
+        self.events.push_with_seq(
+            msg.time,
+            msg.seq,
+            EventKind::Arrive {
+                node: msg.node,
+                packet,
+                link: msg.link,
+            },
+        );
+    }
+
+    /// Drain the outbox of cross-shard launches accumulated since the last
+    /// call. Empty for the single-threaded engine.
+    pub(crate) fn take_outbox(&mut self) -> Vec<CrossMsg> {
+        match &mut self.shard {
+            Some(ctx) => std::mem::take(&mut ctx.outbox),
+            None => Vec::new(),
+        }
+    }
+
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Arrive {
                 node,
                 packet,
-                link,
-                launch_downs,
+                link: _,
             } => {
                 let pkt = self.arena.take(packet);
-                self.on_arrive(node, pkt, link, launch_downs);
+                self.on_arrive(node, pkt);
             }
             EventKind::Fault { index } => self.apply_fault(index),
             EventKind::TxComplete { port } => self.on_tx_complete(port),
@@ -547,13 +686,10 @@ impl Simulator {
                     self.try_transmit(port);
                 }
             }
-            FaultKind::LossStart { link, loss_ppm } => {
-                // Each loss fault owns a stream derived from (plan seed,
-                // fault index) — independent of the traffic/jitter RNGs.
-                let seed = self.faults.plan.stream_seed(index);
-                self.faults.loss[link.index()] = Some(LossProcess::new(seed, loss_ppm));
-            }
-            FaultKind::LossStop { link } => self.faults.loss[link.index()] = None,
+            // Corruption windows are precomputed into the launch-time
+            // [`WireFate`](crate::fault) schedule when the plan is
+            // installed; firing here only records the log entry.
+            FaultKind::LossStart { .. } | FaultKind::LossStop { .. } => {}
             FaultKind::AqReset { node } => {
                 if let NodeKind::Switch { pipelines, .. } = &mut self.net.nodes[node.index()].kind {
                     for pipe in pipelines.iter_mut() {
@@ -568,6 +704,7 @@ impl Simulator {
             at: self.now,
             kind: kind.label(),
             target: kind.target(),
+            plan_index: index,
         });
         self.faults.totals.injected += 1;
     }
@@ -779,44 +916,59 @@ impl Simulator {
         self.stats.on_port_tx(p.node, port, pkt.size as u64);
         let link = &self.net.links[lidx];
         let to = link.to_node;
-        let jitter = if self.jitter_ns > 0 {
-            Duration::from_nanos(self.rng.gen_range(0..=self.jitter_ns))
-        } else {
-            Duration::ZERO
-        };
+        let prop = link.prop_delay;
+        let jitter = self.jitter_for(lidx);
         // Jitter must not reorder packets already launched on this link.
-        let at = (self.now + link.prop_delay + jitter).max(self.last_arrival[lidx]);
+        let at = (self.now + prop + jitter).max(self.last_arrival[lidx]);
         self.last_arrival[lidx] = at;
-        self.events.push(
+        let seq = arrive_seq(link_id, self.launch_count[lidx]);
+        self.launch_count[lidx] += 1;
+        // Launch-time wire fate. Faults are plan data, so whether the wire
+        // dies under this packet or corrupts it is already decided; ruling
+        // here (instead of at arrival) means the receiving side — possibly
+        // another shard — never consults this link's fault state. Per-link
+        // launch order equals arrival order (the clamp above), so the
+        // corruption stream is drawn in arrival order exactly as the
+        // arrival-time check did.
+        if self.faults.wire.cut_in_flight(lidx, self.now, at) {
+            self.wire_drop(link_id, pkt, DropCause::LinkDown, false);
+            self.try_transmit(port);
+            return;
+        }
+        if self.faults.wire.corrupts(lidx, at) {
+            self.wire_drop(link_id, pkt, DropCause::Corrupt, false);
+            self.try_transmit(port);
+            return;
+        }
+        // A launch bound for a node another shard owns goes to the outbox;
+        // the driver replays it into the owner's queue under the identical
+        // `(time, seq)` key.
+        if let Some(ctx) = &mut self.shard {
+            if ctx.owner[to.index()] != ctx.me {
+                ctx.outbox.push(CrossMsg {
+                    time: at,
+                    seq,
+                    node: to,
+                    link: link_id,
+                    pkt,
+                });
+                self.try_transmit(port);
+                return;
+            }
+        }
+        self.events.push_with_seq(
             at,
+            seq,
             EventKind::Arrive {
                 node: to,
                 packet: self.arena.alloc(pkt),
                 link: link_id,
-                launch_downs,
             },
         );
         self.try_transmit(port);
     }
 
-    fn on_arrive(&mut self, node: NodeId, pkt: Packet, link: LinkId, launch_downs: u64) {
-        let lidx = link.index();
-        // Wire death during propagation: any down transition since launch
-        // (even if the link is back up by now) loses the packet.
-        if self.faults.link_downs[lidx] != launch_downs {
-            self.wire_drop(link, pkt, DropCause::LinkDown, false);
-            return;
-        }
-        // Stochastic corruption on a faulted link, drawn from the fault's
-        // own seeded stream.
-        let corrupted = match self.faults.loss[lidx].as_mut() {
-            Some(loss) => loss.corrupts(),
-            None => false,
-        };
-        if corrupted {
-            self.wire_drop(link, pkt, DropCause::Corrupt, false);
-            return;
-        }
+    fn on_arrive(&mut self, node: NodeId, pkt: Packet) {
         match &self.net.nodes[node.index()].kind {
             NodeKind::Host { .. } => {
                 debug_assert_eq!(pkt.dst, node, "packet routed to wrong host");

@@ -149,6 +149,24 @@ impl WindowedCounter {
             .collect()
     }
 
+    /// Add another counter's buckets into this one, window for window.
+    /// Both counters must use the same window size; the result is as if
+    /// every sample had been fed to a single counter (sum semantics) —
+    /// which is why gauge-fed (`record_max`) counters must never be
+    /// merged across writers that could observe the same instant.
+    pub fn merge_add(&mut self, other: &WindowedCounter) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge counters with different windows"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+    }
+
     /// Average throughput in bits/s over `[from, to)`, counting empty
     /// windows as zero.
     pub fn avg_bps(&self, from: Time, to: Time) -> f64 {
@@ -241,15 +259,30 @@ impl DelayRecorder {
         }
         Some(self.samples.iter().map(|s| *s as f64).sum::<f64>() / self.samples.len() as f64)
     }
+
+    /// Fold another recorder's samples into this one. Percentiles and the
+    /// (sorted) `Debug` rendering are order-blind, so merging is exact.
+    pub fn merge(&mut self, other: DelayRecorder) {
+        self.samples.extend(other.samples);
+    }
 }
 
 impl std::fmt::Debug for DelayRecorder {
-    /// Prints only the recorded samples — the lazy sort cache is query
-    /// state, and including it would make `{:?}` output (used by the
-    /// determinism e2e digest) depend on whether percentiles were read.
+    /// Prints the recorded samples in *sorted* order — the lazy sort cache
+    /// is query state, and the raw insertion order would leak which sink
+    /// (single-threaded hub, or one of several shard hubs merged back
+    /// together) collected each sample. Every statistic the recorder
+    /// exports is order-blind, so sorting loses nothing and makes the
+    /// determinism e2e digest agree across engines.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sorted = self.sorted.borrow_mut();
+        if sorted.len() != self.samples.len() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_unstable();
+        }
         f.debug_struct("DelayRecorder")
-            .field("samples", &self.samples)
+            .field("samples", &*sorted)
             .finish()
     }
 }
@@ -566,6 +599,13 @@ pub struct StatsHub {
     /// map costs. `None` = entity never seen.
     entities: Vec<Option<EntityStats>>,
     flows: BTreeMap<FlowId, FlowRecord>,
+    /// Completions reported for flows this hub has no record of. A sharded
+    /// run registers a flow at the sender's shard but completes it at the
+    /// receiver's; the receiving hub stages the end time here (first call
+    /// wins) until [`absorb`](StatsHub::absorb) reunites it with the
+    /// record. Empty at digest time in both engines — the single-threaded
+    /// hub always sees the registration first.
+    orphan_ends: BTreeMap<FlowId, Time>,
     /// Dense, indexed by `PortId` (port ids are globally unique).
     ports: Vec<Option<PortStats>>,
     /// Dense, indexed by `NodeId`: per-switch shared-buffer telemetry.
@@ -585,10 +625,22 @@ impl StatsHub {
             window: None,
             entities: Vec::new(),
             flows: BTreeMap::new(),
+            orphan_ends: BTreeMap::new(),
             ports: Vec::new(),
             pools: Vec::new(),
             aqs: BTreeMap::new(),
             delay_decimation: 1,
+        }
+    }
+
+    /// An empty hub with this hub's configuration (sampling window and
+    /// delay decimation) — the per-shard sink constructor, so merged
+    /// series bucket identically to a single-threaded run.
+    pub fn fresh_like(&self) -> StatsHub {
+        StatsHub {
+            window: self.window,
+            delay_decimation: self.delay_decimation,
+            ..StatsHub::new()
         }
     }
 
@@ -875,13 +927,26 @@ impl StatsHub {
         );
     }
 
-    /// Mark a flow complete (first call wins).
+    /// Mark a flow complete (first call wins). A completion for a flow
+    /// this hub never registered is staged as an orphan end — in a sharded
+    /// run the record lives in the sender shard's hub and is settled by
+    /// [`absorb`](StatsHub::absorb).
     pub fn flow_completed(&mut self, flow: FlowId, now: Time) {
         if let Some(rec) = self.flows.get_mut(&flow) {
             if rec.end.is_none() {
                 rec.end = Some(now);
             }
+        } else {
+            self.orphan_ends.entry(flow).or_insert(now);
         }
+    }
+
+    /// Flows whose completion was reported to this hub without a matching
+    /// record (see [`flow_completed`](StatsHub::flow_completed)), with the
+    /// staged end times. Cross-hub completion polling treats these as
+    /// done; the set empties once hubs are merged.
+    pub fn orphan_ends(&self) -> impl Iterator<Item = (&FlowId, &Time)> {
+        self.orphan_ends.iter()
     }
 
     /// Lifecycle record of one flow.
@@ -907,6 +972,100 @@ impl StatsHub {
             last_end = last_end.max(rec.end?);
         }
         any.then(|| last_end - first_start)
+    }
+
+    /// Fold another hub into this one — the cross-shard stats merge.
+    ///
+    /// Entity counters and delay samples are summed/concatenated and
+    /// throughput series added bucket-wise (exact: the merged hub is as if
+    /// one hub had seen every delivery). Flow records are unioned and
+    /// orphan ends settled against them. Port and pool slots are *moved*:
+    /// every port/pool event of a run happens on the shard owning the
+    /// node, so exactly one hub has data for any slot — two writers for
+    /// one slot is a sharding bug and panics.
+    pub fn absorb(&mut self, other: StatsHub) {
+        debug_assert_eq!(
+            self.window, other.window,
+            "merging differently-windowed hubs"
+        );
+        for (i, es) in other.entities.into_iter().enumerate() {
+            let Some(src) = es else { continue };
+            let dst = self.entity_mut(EntityId::from(i));
+            dst.tx_pkts += src.tx_pkts;
+            dst.tx_bytes += src.tx_bytes;
+            dst.rx_bytes += src.rx_bytes;
+            dst.rx_series.merge_add(&src.rx_series);
+            dst.pq_delay.merge(src.pq_delay);
+            dst.vdelay.merge(src.vdelay);
+            dst.drops += src.drops;
+            dst.delay_seen += src.delay_seen;
+        }
+        for (id, rec) in other.flows {
+            match self.flows.entry(id) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(rec);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    // A flow registers on exactly one shard; a duplicate
+                    // record can only carry the missing end time.
+                    if o.get().end.is_none() {
+                        o.get_mut().end = rec.end;
+                    }
+                }
+            }
+        }
+        for (id, t) in other.orphan_ends {
+            self.orphan_ends.entry(id).or_insert(t);
+        }
+        let settled: Vec<FlowId> = self
+            .orphan_ends
+            .iter()
+            .filter(|(id, _)| self.flows.contains_key(id))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in settled {
+            let t = self
+                .orphan_ends
+                .remove(&id)
+                .expect("settled orphan vanished");
+            let rec = self
+                .flows
+                .get_mut(&id)
+                .expect("settled orphan lost its record");
+            if rec.end.is_none() {
+                rec.end = Some(t);
+            }
+        }
+        if other.ports.len() > self.ports.len() {
+            self.ports.resize_with(other.ports.len(), || None);
+        }
+        for (i, ps) in other.ports.into_iter().enumerate() {
+            if let Some(ps) = ps {
+                assert!(
+                    self.ports[i].is_none(),
+                    "port {i} has stats in two shard hubs"
+                );
+                self.ports[i] = Some(ps);
+            }
+        }
+        if other.pools.len() > self.pools.len() {
+            self.pools.resize_with(other.pools.len(), || None);
+        }
+        for (i, bs) in other.pools.into_iter().enumerate() {
+            if let Some(bs) = bs {
+                assert!(
+                    self.pools[i].is_none(),
+                    "pool {i} has stats in two shard hubs"
+                );
+                self.pools[i] = Some(bs);
+            }
+        }
+        for (key, s) in other.aqs {
+            assert!(
+                self.aqs.insert(key, s).is_none(),
+                "AQ summary exported by two shard hubs"
+            );
+        }
     }
 
     /// Fraction of an entity's registered flows that have completed.

@@ -192,6 +192,21 @@ pub struct Dumbbell {
     pub net: Network,
 }
 
+impl Dumbbell {
+    /// The canonical two-shard plan: shard 0 = left switch plus left
+    /// hosts, shard 1 = right switch plus right hosts. The only
+    /// cross-shard links are the two core directions, so the lookahead
+    /// window is the core propagation delay.
+    pub fn shard_plan(&self) -> crate::shard::ShardPlan {
+        let mut owner = vec![0u32; self.net.nodes.len()];
+        owner[self.sw_right.index()] = 1;
+        for h in &self.right {
+            owner[h.index()] = 1;
+        }
+        crate::shard::ShardPlan::new(owner)
+    }
+}
+
 /// Build a dumbbell with `pairs` hosts per side. The core link (the
 /// bottleneck for left→right traffic) uses `core_fifo`; edge links get
 /// generous buffers and the same rate, so the core is the unique
@@ -299,6 +314,32 @@ pub struct FatTree {
     pub core: Vec<NodeId>,
     /// The built network.
     pub net: Network,
+}
+
+impl FatTree {
+    /// The canonical plan from the sharded-simulation design: one shard
+    /// per pod plus a core shard. Shard 0 owns every core switch; shard
+    /// `p + 1` owns pod `p`'s aggregation switches, edge switches, and
+    /// hosts. Every cross-shard link is an agg↔core link, so the
+    /// lookahead window is the (uniform) link propagation delay.
+    pub fn shard_plan(&self) -> crate::shard::ShardPlan {
+        let mut half = 1usize;
+        while half * half < self.core.len() {
+            half += 1;
+        }
+        let pod = |i: usize, per_pod: usize| u32::try_from(i / per_pod).expect("pod count") + 1;
+        let mut owner = vec![0u32; self.net.nodes.len()];
+        for (i, n) in self.agg.iter().enumerate() {
+            owner[n.index()] = pod(i, half);
+        }
+        for (i, n) in self.edge.iter().enumerate() {
+            owner[n.index()] = pod(i, half);
+        }
+        for (i, n) in self.hosts.iter().enumerate() {
+            owner[n.index()] = pod(i, half * half);
+        }
+        crate::shard::ShardPlan::new(owner)
+    }
 }
 
 /// Build a k-ary fat tree: `k` pods, each with `k/2` edge and `k/2`

@@ -11,10 +11,15 @@
 //! the sorted-overflow path, and pops interleaved mid-stream so refills
 //! happen while later pushes are still arriving.
 
-use aq_netsim::event::{EventKind, EventQueue, SchedulerKind};
-use aq_netsim::ids::NodeId;
+use aq_netsim::event::{arrive_seq, EventKind, EventQueue, SchedulerKind};
+use aq_netsim::ids::{LinkId, NodeId};
 use aq_netsim::time::Time;
 use proptest::prelude::*;
+
+/// One wheel epoch: events at or beyond this many nanoseconds from the
+/// epoch base live in the sorted-overflow map until a refill pulls their
+/// epoch in.
+const EPOCH_NS: u64 = 1 << 34;
 
 /// Decode one generated op word into a time delta. The low bits select a
 /// scale class so all wheel levels and the overflow map get traffic:
@@ -81,13 +86,35 @@ proptest! {
         // property machine keeps `now` at the latest popped time just as
         // `Simulator::run_until` does.
         let mut now = 0u64;
+        let mut arrive_count = 0u64;
         for (i, &word) in ops.iter().enumerate() {
             // Three in four ops push; one in four pops a small burst.
             if word & 0b11 != 0b11 {
-                let t = Time::from_nanos(now + delta_ns(word >> 2));
+                // One in sixteen pushes snaps to an *exact* epoch
+                // boundary (a multiple of 2^34 ns) — the overflow-drain
+                // edge where an off-by-one in the epoch comparison would
+                // strand or resurrect events.
+                let t_ns = if (word >> 2) & 0b1111 == 0b1000 {
+                    ((now >> 34) + 1 + ((word >> 6) & 0b11)) << 34
+                } else {
+                    now + delta_ns(word >> 2)
+                };
+                let t = Time::from_nanos(t_ns);
                 let kind = EventKind::NodeTimer { node: NodeId(0), token: i as u64 };
-                wheel.push(t, kind);
-                heap.push(t, kind);
+                // One in eight pushes carries an arrive-band sequence
+                // number (intrinsic, not from the insertion counter), so
+                // the overflow map's `(time, seq)` keys mix both bands
+                // exactly like a sharded fabric's queues do.
+                if (word >> 2) & 0b111 == 0b101 {
+                    let link = LinkId(u32::try_from((word >> 5) & 0b11).expect("two bits"));
+                    let seq = arrive_seq(link, arrive_count);
+                    arrive_count += 1;
+                    wheel.push_with_seq(t, seq, kind);
+                    heap.push_with_seq(t, seq, kind);
+                } else {
+                    wheel.push(t, kind);
+                    heap.push(t, kind);
+                }
                 prop_assert_eq!(wheel.len(), heap.len());
             } else {
                 let burst = ((word >> 2) & 0b111) as usize;
@@ -99,5 +126,116 @@ proptest! {
         // identical order.
         pop_and_compare(&mut wheel, &mut heap, usize::MAX, &mut now)?;
         prop_assert!(wheel.is_empty() && heap.is_empty());
+    }
+}
+
+/// Events exactly *on* the 2^34 ns epoch boundary, one tick either side
+/// of it, and same-time ties mixing insertion-counter and arrive-band
+/// sequence numbers: the wheel's overflow drain must reproduce the
+/// reference heap's `(time, seq)` stream event for event. An epoch
+/// comparison that used `>` instead of `>=` (or vice versa) would either
+/// strand a boundary event in the overflow or pull it a whole epoch
+/// early, and a drain that re-sorted by time alone would break the
+/// insertion-before-arrival tie-break.
+#[test]
+fn epoch_boundary_events_drain_in_reference_order() {
+    let mut wheel = EventQueue::with_scheduler(SchedulerKind::Wheel);
+    let mut heap = EventQueue::with_scheduler(SchedulerKind::Heap);
+    let timer = |token: u64| EventKind::NodeTimer {
+        node: NodeId(0),
+        token,
+    };
+
+    // Straddle three consecutive epoch boundaries in scrambled push
+    // order; every time gets both an insertion-seq and an arrive-band
+    // event, so each instant has a cross-band tie to break.
+    let mut times = Vec::new();
+    for k in [1u64, 3, 2] {
+        for dt in [0i64, 1, -1] {
+            times.push(k.wrapping_mul(EPOCH_NS).wrapping_add_signed(dt));
+        }
+    }
+    let mut count = 0u64;
+    for (i, &t) in times.iter().enumerate() {
+        let time = Time::from_nanos(t);
+        for q in [&mut wheel, &mut heap] {
+            q.push(time, timer(i as u64));
+            q.push_with_seq(time, arrive_seq(LinkId(7), count), timer(1000 + i as u64));
+        }
+        count += 1;
+    }
+    // A near event forces the wheel to run entirely inside epoch 0
+    // first, so every boundary event above takes the overflow path and
+    // the drains below exercise three separate epoch pulls.
+    for q in [&mut wheel, &mut heap] {
+        q.push(Time::from_nanos(5), timer(999));
+    }
+
+    let mut popped = 0usize;
+    loop {
+        let (a, b) = (wheel.pop(), heap.pop());
+        match (a, b) {
+            (None, None) => break,
+            (Some(x), Some(y)) => {
+                assert_eq!(
+                    (x.time, x.seq),
+                    (y.time, y.seq),
+                    "schedulers diverged at pop {popped}"
+                );
+                popped += 1;
+            }
+            (a, b) => panic!("queue emptiness diverged: wheel={a:?} heap={b:?}"),
+        }
+    }
+    assert_eq!(
+        popped,
+        times.len() * 2 + 1,
+        "no event stranded or duplicated"
+    );
+}
+
+/// A burst of same-time events exactly on an epoch boundary pops with
+/// every insertion-counter event before every arrive-band event, in
+/// FIFO order within each band — on both schedulers. This is the exact
+/// tie-break the sharded engine's determinism proof leans on, probed at
+/// the one instant where the wheel hands over between its overflow map
+/// and its slot hierarchy.
+#[test]
+fn boundary_ties_order_insertions_before_arrivals_on_both_schedulers() {
+    for mut q in [
+        EventQueue::with_scheduler(SchedulerKind::Wheel),
+        EventQueue::with_scheduler(SchedulerKind::Heap),
+    ] {
+        let t = Time::from_nanos(2 * EPOCH_NS);
+        // Interleave the bands on push so pop order cannot be an
+        // accident of push order.
+        for i in 0..4u64 {
+            q.push_with_seq(
+                t,
+                arrive_seq(LinkId(3), i),
+                EventKind::NodeTimer {
+                    node: NodeId(0),
+                    token: 100 + i,
+                },
+            );
+            q.push(
+                t,
+                EventKind::NodeTimer {
+                    node: NodeId(0),
+                    token: i,
+                },
+            );
+        }
+        let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::NodeTimer { token, .. } => token,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            tokens,
+            vec![0, 1, 2, 3, 100, 101, 102, 103],
+            "insertion band must pop before the arrive band, FIFO within each"
+        );
     }
 }

@@ -50,7 +50,7 @@ pub struct AckSignals {
 }
 
 /// A congestion-control algorithm driving one flow's window.
-pub trait CongestionControl {
+pub trait CongestionControl: Send {
     /// Process one ACK.
     fn on_ack(&mut self, sig: &AckSignals);
 

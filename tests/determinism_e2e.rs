@@ -32,7 +32,7 @@ use augmented_queue::netsim::packet::AqTag;
 use augmented_queue::netsim::queue::FifoConfig;
 use augmented_queue::netsim::time::{Duration, Rate, Time};
 use augmented_queue::netsim::topology::{dumbbell, fat_tree};
-use augmented_queue::netsim::{EntityId, SchedulerKind, Simulator};
+use augmented_queue::netsim::{EntityId, SchedulerKind, ShardedSim, Simulator};
 use augmented_queue::transport::{CcAlgo, DelaySignal, FlowKind};
 use augmented_queue::workloads::registry::{self, Params, RunPlan};
 use augmented_queue::workloads::{add_flows, ensure_transport_hosts, long_flows};
@@ -350,6 +350,117 @@ fn run_scheduler_digest(
         exp.sim.now(),
         exp.sim.stats
     )
+}
+
+/// Run one registry scenario either on the single-threaded reference
+/// engine (`jobs == None`) or sharded over `jobs` worker threads, and
+/// digest the raw merged simulator state plus the rendered `RunReport`
+/// artifact bytes. Sharding must be *invisible* in the digest — the
+/// merged shards reproduce the reference event stream exactly — so the
+/// helper panics if a scenario expected to shard falls back.
+fn run_sharded_scenario_digest(
+    scenario: &str,
+    params: &str,
+    seed: u64,
+    jobs: Option<usize>,
+) -> String {
+    let def = registry::find(scenario).expect("scenario registered");
+    let resolved = def
+        .resolve(&Params::parse(params).expect("params parse"))
+        .expect("params resolve");
+    let plan = (def.build)(&resolved);
+    let mut exp = build_experiment(
+        Approach::Aq,
+        &plan,
+        ExpConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    let ids: Vec<EntityId> = plan.entities.iter().map(|e| e.entity).collect();
+    let mut sim = match jobs {
+        None => {
+            match plan.run {
+                RunPlan::FixedHorizon { horizon } => exp.sim.run_until(Time::ZERO + horizon),
+                RunPlan::UntilComplete { deadline } => {
+                    run_workload(&mut exp.sim, &ids, Time::ZERO + deadline);
+                }
+            }
+            exp.sim
+        }
+        Some(n) => {
+            let mut sharded = match ShardedSim::partition(exp.sim, &exp.shard_plan, n) {
+                Ok(s) => s,
+                Err(_) => panic!("{scenario}: expected a shardable run, partition fell back"),
+            };
+            match plan.run {
+                RunPlan::FixedHorizon { horizon } => sharded.run_until(Time::ZERO + horizon),
+                RunPlan::UntilComplete { deadline } => {
+                    let check_every = Duration::from_millis(10);
+                    let deadline = Time::ZERO + deadline;
+                    let mut t = sharded.now();
+                    loop {
+                        t = (t + check_every).min(deadline);
+                        sharded.run_until(t);
+                        let done = ids
+                            .iter()
+                            .all(|e| sharded.entity_completed_fraction(*e) >= 1.0);
+                        if done || t >= deadline {
+                            break;
+                        }
+                    }
+                }
+            }
+            sharded.finish()
+        }
+    };
+    let mut rep = RunReport::new(&format!("determinism_sharded_{scenario}"));
+    rep.capture("run", &mut sim);
+    let artifact: String = rep
+        .render()
+        .into_iter()
+        .map(|(file, bytes)| format!("--- {file}\n{bytes}"))
+        .collect();
+    format!(
+        "events={} now={:?} faults={:?} stats={:?}\n{artifact}",
+        sim.processed_events,
+        sim.now(),
+        sim.fault_totals(),
+        sim.stats
+    )
+}
+
+#[test]
+fn sharded_engine_produces_identical_bytes_at_every_job_count() {
+    // The sharded engine's whole value rests on this: for every smoke
+    // scenario plus the cross-pod fat-tree, the merged multi-shard run
+    // must reproduce the reference engine's digest byte for byte at
+    // every `--jobs` level — stats hub, fault totals, and rendered
+    // report artifacts included. `jobs = 1` runs the sharded rounds
+    // serially (same partition and merge, no threads), so a divergence
+    // there isolates the partition/merge logic from the threading.
+    for (scenario, params) in [
+        ("interpod_fattree", "a_flows=1,b_flows=2,horizon_ms=20"),
+        ("aq_state_loss", "horizon_ms=25,n_flows=4,wipe_at_ms=10"),
+        ("completion_vms", "deadline_ms=5000,n_flows=8,size_scale=2,vms=1"),
+        ("fairness_flows", "b_flows=1,horizon_ms=20"),
+        ("incast_sharedbuf", "admission=1,horizon_ms=20"),
+        (
+            "linkflap_dumbbell",
+            "blackout_ms=0,down_ms=2,flap_at_ms=10,flaps=2,horizon_ms=30,loss_pct=0,n_flows=4,up_ms=3",
+        ),
+        ("udp_tcp_share", "horizon_ms=20,tcp_flows=4,udp_gbps=10"),
+        ("websearch_aqm_zoo", "aqm=1,horizon_ms=20"),
+    ] {
+        let reference = run_sharded_scenario_digest(scenario, params, 1, None);
+        for jobs in [1usize, 2, 4] {
+            let sharded = run_sharded_scenario_digest(scenario, params, 1, Some(jobs));
+            assert_eq!(
+                reference, sharded,
+                "{scenario}: sharded run at jobs={jobs} diverged from the reference engine"
+            );
+        }
+    }
 }
 
 #[test]

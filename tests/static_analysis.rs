@@ -109,6 +109,11 @@ const FIXTURES: &[(&str, &str, &str)] = &[
         "no-thread-in-sim",
         "crates/netsim/src/fixture.rs",
     ),
+    (
+        "no_cross_shard_mutation.rs",
+        "no-cross-shard-mutation",
+        "crates/netsim/src/shard.rs",
+    ),
 ];
 
 #[test]

@@ -20,7 +20,7 @@ use aq_bench::{
 use augmented_queue::netsim::fault::{FaultKind, FaultPlan};
 use augmented_queue::netsim::queue::FifoQueue;
 use augmented_queue::netsim::time::{Duration, Rate, Time};
-use augmented_queue::netsim::{EntityId, NodeId};
+use augmented_queue::netsim::{EntityId, NodeId, ShardedSim};
 use augmented_queue::transport::CcAlgo;
 use augmented_queue::workloads::registry::{self, Params};
 
@@ -372,4 +372,68 @@ fn run_report_reflects_hub_and_gap_telemetry() {
             p.port
         );
     }
+}
+
+#[test]
+fn conservation_counters_close_after_cross_shard_merge() {
+    // The sharded engine runs one pod (plus the core) per shard and folds
+    // every shard's stats hub into one at the end. Conservation identities
+    // are the merge's acid test: a packet crossing shards is enqueued on
+    // one shard's port telemetry and dequeued on another's, so any
+    // double-count or dropped contribution in the fold breaks the byte
+    // identity somewhere. Drive the cross-pod fat-tree scenario sharded
+    // five ways and audit the merged hub like any single-engine run.
+    let def = registry::find("interpod_fattree").expect("scenario registered");
+    let plan = def
+        .plan(&Params::parse("a_flows=1,b_flows=2,horizon_ms=20").expect("params"))
+        .expect("plan");
+    let exp = build_experiment(Approach::Aq, &plan, ExpConfig::default());
+    let mut sharded = match ShardedSim::partition(exp.sim, &exp.shard_plan, 2) {
+        Ok(s) => s,
+        Err(_) => panic!("interpod fat tree must shard per pod plus core"),
+    };
+    assert_eq!(sharded.shards(), 5, "k=4 fat tree: four pods plus the core");
+    sharded.run_until(Time::from_millis(20));
+    let sim = sharded.finish();
+
+    // 1. The queue-side byte identity closes on every port of the merged
+    //    hub, and traffic actually crossed the fabric.
+    let mut busy_ports = 0;
+    for (pid, ps) in sim.stats.ports() {
+        assert!(
+            ps.conserves(),
+            "port {pid:?} violates the byte identity after the cross-shard merge: \
+             enqueued={} dequeued={} dropped={} resident={}",
+            ps.enqueued_bytes,
+            ps.dequeued_bytes,
+            ps.dropped_bytes,
+            ps.resident_bytes,
+        );
+        if ps.enqueued_bytes > 0 {
+            busy_ports += 1;
+        }
+    }
+    assert!(
+        busy_ports > 4,
+        "cross-pod traffic should light up the fabric"
+    );
+
+    // 2. Both entities moved real cross-pod traffic, and no entity
+    //    delivered more than it sent (rx is payload-only, tx counts every
+    //    launched packet).
+    for e in [EntityId(1), EntityId(2)] {
+        let es = sim.stats.entity(e).expect("entity in merged hub");
+        assert!(es.tx_pkts > 0, "entity {e:?} sent nothing");
+        assert!(es.rx_bytes > 0, "entity {e:?} delivered nothing cross-pod");
+        assert!(
+            es.rx_bytes <= es.tx_bytes,
+            "entity {e:?} delivered more bytes than it transmitted"
+        );
+    }
+
+    // 3. Global flow conservation: every packet the fabric transmitted
+    //    was enqueued somewhere first (tx happens only after a dequeue).
+    let enq: u64 = sim.stats.ports().map(|(_, ps)| ps.enqueued_bytes).sum();
+    let tx: u64 = sim.stats.ports().map(|(_, ps)| ps.tx_bytes).sum();
+    assert!(tx <= enq, "merged hub transmitted bytes it never enqueued");
 }
