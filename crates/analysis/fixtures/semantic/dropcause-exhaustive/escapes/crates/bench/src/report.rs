@@ -9,4 +9,5 @@ pub struct RunReport {
     pub aq_drops: u64,
     pub link_drops: u64,
     pub corrupt_drops: u64,
+    pub overflow_drops: u64,
 }

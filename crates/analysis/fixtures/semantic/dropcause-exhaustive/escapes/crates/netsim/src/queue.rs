@@ -10,5 +10,6 @@ pub enum DropCause {
     LinkDown,
     Corrupt,
     SharedBufferReject, // aq-lint: allow(dropcause-exhaustive)
+    AqTableOverflow, // aq-lint: allow(dropcause-exhaustive)
     Evicted, // aq-lint: allow(dropcause-exhaustive)
 }

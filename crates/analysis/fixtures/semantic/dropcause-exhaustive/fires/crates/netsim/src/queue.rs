@@ -1,7 +1,9 @@
 // Fires fixture for `dropcause-exhaustive`: one variant with no counter
-// mapping, one mapped variant with no accounting arm in StatsHub, and
-// one mapped variant whose counter is maintained but never surfaced in
-// the RunReport serialization.
+// mapping, one mapped variant with no accounting arm in StatsHub, one
+// mapped variant whose counter is maintained but never surfaced in the
+// RunReport serialization, and one mapped variant whose accounting arm
+// exists but bumps the wrong counter (`overflow_drops` is never
+// maintained).
 
 pub enum DropCause {
     Taildrop,
@@ -11,5 +13,6 @@ pub enum DropCause {
     LinkDown, // expect-lint: dropcause-exhaustive
     Corrupt,
     SharedBufferReject, // expect-lint: dropcause-exhaustive
+    AqTableOverflow, // expect-lint: dropcause-exhaustive
     Evicted, // expect-lint: dropcause-exhaustive
 }

@@ -2,7 +2,9 @@
 // missing (its `link_drops` counter still exists, isolating the
 // missing-arm diagnostic from the missing-counter one), while
 // `SharedBufferReject` is fully accounted here so only its missing
-// RunReport surface fires.
+// RunReport surface fires. `AqTableOverflow` has an arm, but it bumps
+// a mislabeled counter, so its mapped `overflow_drops` fires the
+// missing-counter diagnostic.
 
 pub struct StatsHub {
     pub taildrops: u64,
@@ -12,6 +14,7 @@ pub struct StatsHub {
     pub link_drops: u64,
     pub corrupt_drops: u64,
     pub shared_rejects: u64,
+    pub mislabeled_drops: u64,
 }
 
 impl StatsHub {
@@ -23,6 +26,7 @@ impl StatsHub {
             DropCause::AqLimit => self.aq_drops += 1,
             DropCause::Corrupt => self.corrupt_drops += 1,
             DropCause::SharedBufferReject => self.shared_rejects += 1,
+            DropCause::AqTableOverflow => self.mislabeled_drops += 1,
             _ => {}
         }
     }

@@ -95,6 +95,7 @@ const DROPCAUSE_COUNTERS: &[(&str, &str)] = &[
     ("LinkDown", "link_drops"),
     ("Corrupt", "corrupt_drops"),
     ("SharedBufferReject", "shared_rejects"),
+    ("AqTableOverflow", "overflow_drops"),
 ];
 
 fn dropcause_exhaustive(index: &WorkspaceIndex, out: &mut Vec<Candidate>) {
@@ -310,17 +311,18 @@ mod tests {
     }
 
     const GOOD_ENUM: &str = "pub enum DropCause { Taildrop, RedNonEct, Shaper, \
-                             AqLimit, LinkDown, Corrupt, SharedBufferReject }\n";
+                             AqLimit, LinkDown, Corrupt, SharedBufferReject, \
+                             AqTableOverflow }\n";
     const GOOD_STATS: &str = "pub struct StatsHub { taildrops: u64, red_drops: u64, \
          shaper_drops: u64, aq_drops: u64, link_drops: u64, corrupt_drops: u64, \
-         shared_rejects: u64 }\n\
+         shared_rejects: u64, overflow_drops: u64 }\n\
          fn account(c: DropCause) { match c { DropCause::Taildrop => (), \
          DropCause::RedNonEct => (), DropCause::Shaper => (), DropCause::AqLimit => (), \
          DropCause::LinkDown => (), DropCause::Corrupt => (), \
-         DropCause::SharedBufferReject => () } }\n";
+         DropCause::SharedBufferReject => (), DropCause::AqTableOverflow => () } }\n";
     const GOOD_REPORT: &str = "pub struct RunReport { taildrops: u64, red_drops: u64, \
          shaper_drops: u64, aq_drops: u64, link_drops: u64, corrupt_drops: u64, \
-         shared_rejects: u64 }\n";
+         shared_rejects: u64, overflow_drops: u64 }\n";
 
     #[test]
     fn dropcause_clean_tree_is_silent() {
@@ -335,7 +337,8 @@ mod tests {
     #[test]
     fn dropcause_flags_unmapped_variant_and_missing_arm() {
         let enum_src = "pub enum DropCause { Taildrop, RedNonEct, Shaper, \
-                        AqLimit, LinkDown, Corrupt, SharedBufferReject, Evicted }\n";
+                        AqLimit, LinkDown, Corrupt, SharedBufferReject, \
+                        AqTableOverflow, Evicted }\n";
         let idx = ws(&[
             ("crates/netsim/src/queue.rs", enum_src),
             ("crates/netsim/src/stats.rs", GOOD_STATS),
@@ -362,7 +365,7 @@ mod tests {
     fn dropcause_counter_may_hide_in_report_strings() {
         let report = "pub struct RunReport { x: u64 }\n\
              fn ser() { let s = \"taildrops,red_drops,shaper_drops,aq_drops,\
-             link_drops,corrupt_drops,shared_rejects\"; }\n";
+             link_drops,corrupt_drops,shared_rejects,overflow_drops\"; }\n";
         let idx = ws(&[
             ("crates/netsim/src/queue.rs", GOOD_ENUM),
             ("crates/netsim/src/stats.rs", GOOD_STATS),

@@ -9,11 +9,13 @@
 
 use aq_baselines::{Classify, ElasticSwitch, HtbShaper, VmConfig};
 use aq_core::{
-    AqController, AqPipeline, AqRequest, BandwidthDemand, CcPolicy, LimitPolicy, Position,
+    AqController, AqPipeline, AqRequest, AqTable, BandwidthDemand, CcPolicy, LimitPolicy,
+    OverflowPolicy, Position, PACKED_AQ_BYTES,
 };
 use aq_netsim::buffer::{
     AdmissionPolicy, DelayDriven, DynamicThreshold, SharedBufferPool, StaticPartition,
 };
+use aq_netsim::churn::ChurnPlan;
 use aq_netsim::fault::FaultPlan;
 use aq_netsim::ids::{EntityId, NodeId};
 use aq_netsim::node::NodeKind;
@@ -25,7 +27,8 @@ use aq_netsim::time::{Duration, Rate, Time};
 use aq_netsim::topology::{dumbbell, fat_tree, Dumbbell};
 use aq_transport::{CcAlgo, DelaySignal, FlowKind};
 use aq_workloads::registry::{
-    AdmissionKind, AqmKind, BufferPlan, PlanFault, ScenarioPlan, Topology,
+    AdmissionKind, AqmKind, BufferPlan, OverflowKind, PlanAqBudget, PlanChurn, PlanFault,
+    ScenarioPlan, Topology,
 };
 use aq_workloads::{add_flows, ensure_transport_hosts, long_flows, ClosedWorkload, WorkloadSpec};
 
@@ -353,7 +356,104 @@ pub fn build_experiment(approach: Approach, plan: &ScenarioPlan, cfg: ExpConfig)
         let faults = translate_faults(&exp, &plan.faults, cfg.seed);
         exp.sim.install_faults(faults);
     }
+    if let Some(budget) = plan.aq_budget {
+        install_aq_budget(&mut exp, budget);
+    }
+    if let Some(churn) = plan.churn {
+        install_churn(&mut exp, churn, cfg);
+    }
     exp
+}
+
+/// Every switch carrying a pipeline stage — the scenario layer's "the
+/// bottleneck switch" for control-plane operations. Falls back to the
+/// bottleneck port's owner when the approach deploys no pipelines
+/// (PQ/PRL/DRL), so churn trains still fire (as no-ops) and run
+/// structure stays comparable across approaches.
+fn pipeline_switches(exp: &Experiment) -> Vec<NodeId> {
+    let net = &exp.sim.net;
+    let mut targets: Vec<NodeId> = net
+        .nodes
+        .iter()
+        .filter(|n| matches!(&n.kind, NodeKind::Switch { pipelines, .. } if !pipelines.is_empty()))
+        .map(|n| n.id)
+        .collect();
+    if targets.is_empty() {
+        targets.push(net.ports[exp.core_port.index()].node);
+    }
+    targets
+}
+
+/// Bound every deployed pipeline's AQ tables by the plan's register
+/// budget, re-admitting the controller's setup-time deploys through the
+/// fallible path (in id order) as if the switch had booted with the
+/// budget in place. With a budget at or above the grant count the grants
+/// all land and churned tenants contend for the remaining rows; below it
+/// the highest-id grants park immediately, so their traffic runs
+/// degraded from the first packet — the overload configuration the
+/// acceptance criteria exercise.
+fn install_aq_budget(exp: &mut Experiment, budget: PlanAqBudget) {
+    let policy = match budget.policy {
+        OverflowKind::RejectNew => OverflowPolicy::RejectNew,
+        OverflowKind::EvictIdle => OverflowPolicy::EvictIdle,
+    };
+    let bytes = (budget.aqs * PACKED_AQ_BYTES) as u64;
+    for node in pipeline_switches(exp) {
+        let count = match &exp.sim.net.nodes[node.index()].kind {
+            NodeKind::Switch { pipelines, .. } => pipelines.len(),
+            NodeKind::Host { .. } => 0,
+        };
+        for i in 0..count {
+            if let Some(pipe) = exp.sim.net.pipeline_mut::<AqPipeline>(node, i) {
+                let ingress: Vec<_> = pipe
+                    .ingress_table
+                    .iter()
+                    .map(|inst| inst.cfg.clone())
+                    .collect();
+                let egress: Vec<_> = pipe
+                    .egress_table
+                    .iter()
+                    .map(|inst| inst.cfg.clone())
+                    .collect();
+                // Fresh bounded tables: this runs before the simulator
+                // starts, so the only state to carry over is the configs.
+                pipe.ingress_table = AqTable::new();
+                pipe.egress_table = AqTable::new();
+                pipe.set_register_budget(Some(bytes), policy);
+                for cfg in ingress {
+                    let _ = pipe.deploy_ingress(cfg);
+                }
+                for cfg in egress {
+                    let _ = pipe.deploy_egress(cfg);
+                }
+            }
+        }
+    }
+}
+
+/// Translate a scenario's churn train onto the instantiated fabric: one
+/// create/destroy train per pipeline-bearing switch. Tenant AQs get a
+/// tenth of the link and the physical-queue limit — small enough that a
+/// burst of them fits the fabric, large enough to matter when enforced.
+fn install_churn(exp: &mut Experiment, churn: PlanChurn, cfg: ExpConfig) {
+    let mut plan = ChurnPlan::new(cfg.seed ^ 0xC0DE_CAFE_5EED_1234);
+    let first = fault_at(churn.first_ms);
+    let cadence = Duration::from_nanos((churn.cadence_us * 1000.0).round() as u64);
+    let rate_bps = cfg.link.as_bps() / 10;
+    for node in pipeline_switches(exp) {
+        plan = plan.tenant_train(
+            node,
+            first,
+            cadence,
+            churn.ticks as u32,
+            churn.base_id,
+            churn.id_span,
+            churn.target_live as u32,
+            rate_bps,
+            cfg.pq_limit,
+        );
+    }
+    exp.sim.install_churn(plan);
 }
 
 /// Instantiate a scenario's [`BufferPlan`] on the built fabric: swap the
@@ -798,6 +898,86 @@ mod tests {
                 a.tag,
                 a.reconverge_ns
             );
+        }
+    }
+
+    #[test]
+    fn tenant_churn_scenario_pressures_the_budgeted_table() {
+        let def = aq_workloads::registry::find("tenant_churn").expect("registered");
+        let plan = def
+            .plan(&aq_workloads::Params::parse("horizon_ms=10,wipe_at_ms=6").expect("parse"))
+            .expect("plan");
+        let mut exp = build_experiment(Approach::Aq, &plan, ExpConfig::default());
+        exp.sim.run_until(Time::from_millis(10));
+        let totals = exp.sim.churn_totals();
+        assert!(totals.applied > 0, "churn train fired");
+        assert!(totals.creates > totals.destroys, "train holds a live set");
+        let pipe = exp
+            .sim
+            .net
+            .pipeline_mut::<AqPipeline>(aq_netsim::ids::NodeId(0), 0)
+            .expect("AQ pipeline on sw_left");
+        let table = &pipe.ingress_table;
+        // Default budget (7 rows) fits the 3 grants; the 4–5 live churned
+        // tenants keep the table at/over budget, so every steady-state
+        // tick is refused at the full table.
+        assert_eq!(table.budget_bytes(), Some(7 * 15));
+        assert!(table.register_memory_bytes() as u64 <= 7 * 15);
+        assert!(table.rejected_deploys() > 0, "steady-state budget pressure");
+        for tag in 1..=3u32 {
+            assert!(
+                table.get(AqTag(tag)).is_some(),
+                "grant {tag} survives churn"
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_churn_overload_degrades_grants_yet_traffic_completes() {
+        let def = aq_workloads::registry::find("tenant_churn").expect("registered");
+        for policy in 0..2u32 {
+            // budget_aqs=2 < 3 grants: the boot-time re-admission parks
+            // the highest-id grant, so entity 3's traffic runs degraded.
+            let plan = def
+                .plan(
+                    &aq_workloads::Params::parse(&format!(
+                        "budget_aqs=2,policy={policy},horizon_ms=10,wipe_at_ms=6"
+                    ))
+                    .expect("parse"),
+                )
+                .expect("plan");
+            let mut exp = build_experiment(Approach::Aq, &plan, ExpConfig::default());
+            exp.sim.run_until(Time::from_millis(10));
+            {
+                let pipe = exp
+                    .sim
+                    .net
+                    .pipeline_mut::<AqPipeline>(aq_netsim::ids::NodeId(0), 0)
+                    .expect("AQ pipeline on sw_left");
+                assert!(pipe.ingress_table.register_memory_bytes() as u64 <= 2 * 15);
+                match policy {
+                    0 => {
+                        // RejectNew: entity 3 stays parked; its packets are
+                        // forwarded unenforced and accounted as degraded.
+                        assert!(pipe.ingress_degrade.parked.contains_key(&3));
+                        let row = pipe.ingress_degrade.degraded.get(&3).expect("degraded row");
+                        assert!(row.pkts > 0 && row.bytes > 0, "degraded traffic accounted");
+                        assert!(pipe.ingress_table.rejected_deploys() > 0);
+                    }
+                    _ => {
+                        // EvictIdle: demand keeps swapping the three grants
+                        // through the two rows — readmission thrash, but every
+                        // entity's packets are enforced when its row is in.
+                        assert!(pipe.ingress_table.evictions() > 0);
+                        assert!(pipe.ingress_degrade.readmissions > 0);
+                    }
+                }
+            }
+            // Degraded or not, all three entities still move traffic.
+            for e in [EntityId(1), EntityId(2), EntityId(3)] {
+                let moved = exp.sim.stats.entity(e).map(|s| s.rx_bytes).unwrap_or(0);
+                assert!(moved > 0, "policy {policy}: entity {} starved", e.0);
+            }
         }
     }
 

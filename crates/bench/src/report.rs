@@ -176,6 +176,9 @@ pub struct PortRow {
     pub shared_rejects: u64,
     /// AQ-limit drops attributed to this port (upstream of the queue).
     pub aq_drops: u64,
+    /// Packets policed because their AQ was parked by a full AQ table
+    /// (only non-zero when the pipeline degrades in policing mode).
+    pub overflow_drops: u64,
     /// Packets lost on this port's wire because the link died mid-flight.
     pub link_drops: u64,
     /// Packets corrupted on this port's wire by stochastic loss faults.
@@ -250,6 +253,38 @@ pub struct AqRow {
     pub reconverge_ns: u64,
 }
 
+/// One AQ *table*'s snapshot inside a [`RunReport`] section — the
+/// serialized image of [`aq_netsim::stats::AqTableSummary`]. One row per
+/// `(switch, position)` table; empty for scenarios whose approach carries
+/// no AQ pipeline.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Switch owning the table.
+    pub node: u64,
+    /// `"ingress"` or `"egress"`.
+    pub position: &'static str,
+    /// Overflow-policy label (`reject_new` / `evict_idle`).
+    pub policy: String,
+    /// Configured register budget (bytes); 0 = unbounded.
+    pub budget_bytes: u64,
+    /// Register bytes occupied at capture time.
+    pub occupancy_bytes: u64,
+    /// Peak register bytes occupied over the run.
+    pub peak_bytes: u64,
+    /// Deploy attempts refused at budget.
+    pub rejected_deploys: u64,
+    /// AQs evicted to admit newer demand.
+    pub evictions: u64,
+    /// Parked AQs re-admitted on a later arrival.
+    pub readmissions: u64,
+    /// Distinct AQ ids that degraded to physical-queue behavior.
+    pub degraded_flows: u64,
+    /// Packets forwarded (or policed) while their AQ was parked.
+    pub degraded_pkts: u64,
+    /// Wire bytes of the degraded packets.
+    pub degraded_bytes: u64,
+}
+
 /// One injected fault event inside a [`RunReport`] section.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultRow {
@@ -303,6 +338,9 @@ pub struct Section {
     pub buffers: Vec<BufferRow>,
     /// AQ rows, in (tag, position) order.
     pub aqs: Vec<AqRow>,
+    /// AQ table rows, in (node, position) order (empty when no switch
+    /// runs an AQ pipeline).
+    pub tables: Vec<TableRow>,
     /// Fault-injection summary (empty for fault-free captures).
     pub faults: FaultSummary,
     /// Harness-defined scalar metrics (model-only harnesses like the
@@ -361,7 +399,7 @@ impl RunReport {
             };
             for i in 0..pipes {
                 if let Some(pipe) = sim.net.pipeline_mut::<AqPipeline>(NodeId::from(n), i) {
-                    pipe.export_stats(&mut sim.stats);
+                    pipe.export_stats(NodeId::from(n), &mut sim.stats);
                 }
             }
         }
@@ -452,6 +490,7 @@ impl RunReport {
                 shaper_drops: ps.shaper_drops,
                 shared_rejects: ps.shared_rejects,
                 aq_drops: ps.aq_drops,
+                overflow_drops: ps.overflow_drops,
                 link_drops: ps.link_drops,
                 corrupt_drops: ps.corrupt_drops,
                 wire_dropped_bytes: ps.wire_dropped_bytes,
@@ -493,6 +532,23 @@ impl RunReport {
                 reconverge_ns: s.reconverge_ns,
             })
             .collect();
+        let tables = hub
+            .table_summaries()
+            .map(|t| TableRow {
+                node: t.node.0 as u64,
+                position: t.position.label(),
+                policy: t.policy.to_string(),
+                budget_bytes: t.budget_bytes,
+                occupancy_bytes: t.occupancy_bytes,
+                peak_bytes: t.peak_bytes,
+                rejected_deploys: t.rejected_deploys,
+                evictions: t.evictions,
+                readmissions: t.readmissions,
+                degraded_flows: t.degraded_flows,
+                degraded_pkts: t.degraded_pkts,
+                degraded_bytes: t.degraded_bytes,
+            })
+            .collect();
         let goodputs: Vec<f64> = entities.iter().map(|e| e.goodput_gbps).collect();
         self.sections.push(Section {
             label: label.to_string(),
@@ -503,6 +559,7 @@ impl RunReport {
             ports,
             buffers,
             aqs,
+            tables,
             faults,
             metrics: Vec::new(),
         });
@@ -521,6 +578,7 @@ impl RunReport {
             ports: Vec::new(),
             buffers: Vec::new(),
             aqs: Vec::new(),
+            tables: Vec::new(),
             faults: FaultSummary::default(),
             metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         });
@@ -537,7 +595,7 @@ impl RunReport {
 
     /// Render all artifact files as `(filename, contents)` pairs:
     /// `report.json`, `entities.csv`, `ports.csv`, `buffers.csv`,
-    /// `aqs.csv`, `metrics.csv`.
+    /// `aqs.csv`, `tables.csv`, `metrics.csv`.
     pub fn render(&self) -> Vec<(&'static str, String)> {
         vec![
             ("report.json", self.render_json()),
@@ -545,6 +603,7 @@ impl RunReport {
             ("ports.csv", self.render_ports_csv()),
             ("buffers.csv", self.render_buffers_csv()),
             ("aqs.csv", self.render_aqs_csv()),
+            ("tables.csv", self.render_tables_csv()),
             ("metrics.csv", self.render_metrics_csv()),
         ]
     }
@@ -626,7 +685,7 @@ impl RunReport {
                     "{{\"node\":{},\"port\":{},\"enqueued_bytes\":{},\"dequeued_bytes\":{},\
                      \"dropped_bytes\":{},\"resident_bytes\":{},\"conserves\":{},\
                      \"taildrops\":{},\"red_drops\":{},\"shaper_drops\":{},\
-                     \"shared_rejects\":{},\"aq_drops\":{},\
+                     \"shared_rejects\":{},\"aq_drops\":{},\"overflow_drops\":{},\
                      \"link_drops\":{},\"corrupt_drops\":{},\"wire_dropped_bytes\":{},\
                      \"ecn_marks\":{},\"tx_pkts\":{},\"tx_bytes\":{},\"peak_occupancy_bytes\":{}",
                     p.node,
@@ -641,6 +700,7 @@ impl RunReport {
                     p.shaper_drops,
                     p.shared_rejects,
                     p.aq_drops,
+                    p.overflow_drops,
                     p.link_drops,
                     p.corrupt_drops,
                     p.wire_dropped_bytes,
@@ -718,6 +778,31 @@ impl RunReport {
                     a.reconverge_ns
                 );
             }
+            j.push_str("],\"tables\":[");
+            for (i, t) in s.tables.iter().enumerate() {
+                if i > 0 {
+                    j.push(',');
+                }
+                let _ = write!(
+                    j,
+                    "{{\"node\":{},\"position\":{},\"policy\":{},\"budget_bytes\":{},\
+                     \"occupancy_bytes\":{},\"peak_bytes\":{},\"rejected_deploys\":{},\
+                     \"evictions\":{},\"readmissions\":{},\"degraded_flows\":{},\
+                     \"degraded_pkts\":{},\"degraded_bytes\":{}}}",
+                    t.node,
+                    json_str(t.position),
+                    json_str(&t.policy),
+                    t.budget_bytes,
+                    t.occupancy_bytes,
+                    t.peak_bytes,
+                    t.rejected_deploys,
+                    t.evictions,
+                    t.readmissions,
+                    t.degraded_flows,
+                    t.degraded_pkts,
+                    t.degraded_bytes
+                );
+            }
             j.push_str("],\"faults\":{\"injected\":[");
             for (i, f) in s.faults.injected.iter().enumerate() {
                 if i > 0 {
@@ -784,14 +869,15 @@ impl RunReport {
     pub fn render_ports_csv(&self) -> String {
         let mut c = String::from(
             "section,node,port,enqueued_bytes,dequeued_bytes,dropped_bytes,resident_bytes,\
-             conserves,taildrops,red_drops,shaper_drops,shared_rejects,aq_drops,link_drops,\
-             corrupt_drops,wire_dropped_bytes,ecn_marks,tx_pkts,tx_bytes,peak_occupancy_bytes\n",
+             conserves,taildrops,red_drops,shaper_drops,shared_rejects,aq_drops,overflow_drops,\
+             link_drops,corrupt_drops,wire_dropped_bytes,ecn_marks,tx_pkts,tx_bytes,\
+             peak_occupancy_bytes\n",
         );
         for s in &self.sections {
             for p in &s.ports {
                 let _ = writeln!(
                     c,
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     crate::csv::quote(&s.label),
                     p.node,
                     p.port,
@@ -805,6 +891,7 @@ impl RunReport {
                     p.shaper_drops,
                     p.shared_rejects,
                     p.aq_drops,
+                    p.overflow_drops,
                     p.link_drops,
                     p.corrupt_drops,
                     p.wire_dropped_bytes,
@@ -868,6 +955,37 @@ impl RunReport {
                     f6(a.mean_gap_bytes),
                     a.wipes,
                     a.reconverge_ns,
+                );
+            }
+        }
+        c
+    }
+
+    /// Per-table rows as CSV (one row per section × AQ table).
+    pub fn render_tables_csv(&self) -> String {
+        let mut c = String::from(
+            "section,node,position,policy,budget_bytes,occupancy_bytes,peak_bytes,\
+             rejected_deploys,evictions,readmissions,degraded_flows,degraded_pkts,\
+             degraded_bytes\n",
+        );
+        for s in &self.sections {
+            for t in &s.tables {
+                let _ = writeln!(
+                    c,
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    crate::csv::quote(&s.label),
+                    t.node,
+                    t.position,
+                    crate::csv::quote(&t.policy),
+                    t.budget_bytes,
+                    t.occupancy_bytes,
+                    t.peak_bytes,
+                    t.rejected_deploys,
+                    t.evictions,
+                    t.readmissions,
+                    t.degraded_flows,
+                    t.degraded_pkts,
+                    t.degraded_bytes,
                 );
             }
         }
@@ -1047,6 +1165,7 @@ fn parse_section(s: &Json) -> Result<Section, String> {
             shaper_drops: juint(p, "shaper_drops", ctx)?,
             shared_rejects: juint(p, "shared_rejects", ctx)?,
             aq_drops: juint(p, "aq_drops", ctx)?,
+            overflow_drops: juint(p, "overflow_drops", ctx)?,
             link_drops: juint(p, "link_drops", ctx)?,
             corrupt_drops: juint(p, "corrupt_drops", ctx)?,
             wire_dropped_bytes: juint(p, "wire_dropped_bytes", ctx)?,
@@ -1109,6 +1228,32 @@ fn parse_section(s: &Json) -> Result<Section, String> {
             reconverge_ns: juint(a, "reconverge_ns", ctx)?,
         });
     }
+    let mut tables = Vec::new();
+    for t in jget(s, "tables", ctx)?.as_arr().unwrap_or(&[]) {
+        let ctx = "table";
+        let position = match jget(t, "position", ctx)?.as_str() {
+            Some("ingress") => "ingress",
+            Some("egress") => "egress",
+            other => return Err(format!("table: unknown position {other:?}")),
+        };
+        tables.push(TableRow {
+            node: juint(t, "node", ctx)?,
+            position,
+            policy: jget(t, "policy", ctx)?
+                .as_str()
+                .ok_or("table: `policy` is not a string")?
+                .to_string(),
+            budget_bytes: juint(t, "budget_bytes", ctx)?,
+            occupancy_bytes: juint(t, "occupancy_bytes", ctx)?,
+            peak_bytes: juint(t, "peak_bytes", ctx)?,
+            rejected_deploys: juint(t, "rejected_deploys", ctx)?,
+            evictions: juint(t, "evictions", ctx)?,
+            readmissions: juint(t, "readmissions", ctx)?,
+            degraded_flows: juint(t, "degraded_flows", ctx)?,
+            degraded_pkts: juint(t, "degraded_pkts", ctx)?,
+            degraded_bytes: juint(t, "degraded_bytes", ctx)?,
+        });
+    }
     let fobj = jget(s, "faults", ctx)?;
     let mut injected = Vec::new();
     for f in jget(fobj, "injected", "faults")?
@@ -1159,6 +1304,7 @@ fn parse_section(s: &Json) -> Result<Section, String> {
         ports,
         buffers,
         aqs,
+        tables,
         faults,
         metrics,
     })
@@ -1256,6 +1402,56 @@ mod tests {
         let rendered = r.render_json();
         let parsed = RunReport::parse_json(&rendered).expect("parse back");
         assert_eq!(parsed.sections()[0].buffers.len(), 1);
+        assert_eq!(parsed.render_json(), rendered, "round-trip bytes differ");
+    }
+
+    #[test]
+    fn table_rows_render_and_round_trip() {
+        use aq_netsim::stats::AqTableSummary;
+        let mut hub = sample_hub();
+        hub.record_table_summary(AqTableSummary {
+            node: NodeId(0),
+            position: AqPosition::Ingress,
+            policy: "reject_new",
+            budget_bytes: 105,
+            occupancy_bytes: 105,
+            peak_bytes: 105,
+            rejected_deploys: 7,
+            evictions: 0,
+            readmissions: 0,
+            degraded_flows: 2,
+            degraded_pkts: 40,
+            degraded_bytes: 42_400,
+        });
+        hub.record_table_summary(AqTableSummary {
+            node: NodeId(0),
+            position: AqPosition::Egress,
+            policy: "evict_idle",
+            budget_bytes: 0,
+            occupancy_bytes: 45,
+            peak_bytes: 60,
+            rejected_deploys: 0,
+            evictions: 3,
+            readmissions: 3,
+            degraded_flows: 0,
+            degraded_pkts: 0,
+            degraded_bytes: 0,
+        });
+        let mut r = RunReport::new("unit");
+        r.capture_hub("budget", Time::from_millis(10), 1, &hub);
+        let s = &r.sections()[0];
+        assert_eq!(s.tables.len(), 2);
+        assert_eq!(s.tables[0].position, "ingress");
+        assert_eq!(s.tables[0].policy, "reject_new");
+        assert_eq!(s.tables[0].degraded_bytes, 42_400);
+        assert_eq!(s.tables[1].position, "egress");
+        assert_eq!(s.tables[1].evictions, 3);
+        // header + 1 section x 2 tables.
+        assert_eq!(r.render_tables_csv().lines().count(), 3);
+        let rendered = r.render_json();
+        let parsed = RunReport::parse_json(&rendered).expect("parse back");
+        assert_eq!(parsed.sections()[0].tables.len(), 2);
+        assert_eq!(parsed.sections()[0].tables[0].rejected_deploys, 7);
         assert_eq!(parsed.render_json(), rendered, "round-trip bytes differ");
     }
 

@@ -263,13 +263,14 @@ impl AqController {
     }
 
     /// Deploy every granted AQ into a pipeline (fresh instances — use at
-    /// setup time).
+    /// setup time). Deploys a register budget rejects park in the
+    /// pipeline's degrade state; see [`AqPipeline`] module docs.
     pub fn deploy_all(&self, pipeline: &mut AqPipeline) {
         for (pos, cfg) in self.configs() {
-            match pos {
+            let _ = match pos {
                 Position::Ingress => pipeline.deploy_ingress(cfg),
                 Position::Egress => pipeline.deploy_egress(cfg),
-            }
+            };
         }
     }
 

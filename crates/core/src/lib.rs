@@ -60,8 +60,11 @@ pub use conservation::{ReallocatorConfig, WorkConservingReallocator};
 pub use controller::{AqController, AqRequest, BandwidthDemand, Grant, GrantError, LimitPolicy};
 pub use feedback::{process_packet, process_parts, AqStateMut, AqVerdict};
 pub use gap::{AGap, DGap, GapTrack, GAP_FRAC_BITS};
-pub use pipeline::{export_aq_table, AqPipeline, PipelineStats, WorkConservation};
+pub use pipeline::{
+    export_aq_table, AqPipeline, DegradeMode, DegradeState, DegradedRow, PipelineStats,
+    WorkConservation,
+};
 pub use resources::{
     aq_program_usage, memory_for_aqs, AqFeatures, DeviceCapacity, ResourceUsage, Utilization,
 };
-pub use table::AqTable;
+pub use table::{AqTable, DeployOutcome, OverflowPolicy};

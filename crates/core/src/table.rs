@@ -31,6 +31,18 @@
 //! [`AqTable::register_memory_bytes`] reports the switch register memory
 //! the deployed AQs occupy under the paper's 15-byte packed layout — the
 //! quantity plotted in Fig. 12.
+//!
+//! ## Register budget
+//!
+//! A real switch has a fixed SRAM budget; [`AqTable::set_budget`] caps the
+//! table at a configurable number of register bytes and makes admission
+//! fallible through [`AqTable::try_deploy`]. When a deploy would exceed
+//! the budget the configured [`OverflowPolicy`] decides deterministically:
+//! `RejectNew` refuses the newcomer (the caller degrades the flow to
+//! physical-queue behavior), `EvictIdle` evicts the longest-idle deployed
+//! AQ (smallest last-arrival time, smallest id on ties) to make room.
+//! Occupancy never exceeds the budget at any point; the high-water mark is
+//! tracked in [`AqTable::peak_register_memory_bytes`].
 
 use crate::config::{AqConfig, AqInstance, CcPolicy, PACKED_AQ_BYTES};
 use crate::feedback::{process_parts, AqStateMut, AqVerdict};
@@ -40,6 +52,46 @@ use aq_netsim::time::{Rate, Time};
 
 /// `index` value for "no AQ deployed under this id".
 const VACANT: u32 = u32::MAX;
+
+/// What a budgeted table does with a deploy that would overflow its
+/// register memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Refuse the newcomer; the caller accounts the flow as degraded and
+    /// forwards it with physical-queue behavior only.
+    #[default]
+    RejectNew,
+    /// Evict the longest-idle deployed AQ (deterministically: smallest
+    /// last-arrival time, smallest id on ties) and admit the newcomer.
+    EvictIdle,
+}
+
+impl OverflowPolicy {
+    /// Stable artifact label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverflowPolicy::RejectNew => "reject_new",
+            OverflowPolicy::EvictIdle => "evict_idle",
+        }
+    }
+}
+
+/// What [`AqTable::try_deploy`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployOutcome {
+    /// A new row was admitted within budget.
+    Deployed,
+    /// The id was already deployed; its row was reset to the new config
+    /// (no growth, so the budget is irrelevant).
+    Replaced,
+    /// The table was full; the longest-idle AQ (returned config) was
+    /// evicted to make room. Its final state is gone — a later re-deploy
+    /// of the evicted id starts from fresh state.
+    Evicted(AqConfig),
+    /// The table was full under [`OverflowPolicy::RejectNew`]; nothing
+    /// changed except the rejection counter.
+    Rejected,
+}
 
 /// Per-packet enforcement state: everything Algorithm 1 + 2 read to reach
 /// a verdict. One row ≈ 48 bytes, the simulator-precision analogue of the
@@ -71,6 +123,10 @@ struct ColdRow {
     arrived_bytes: u64,
     /// Forwarded-packet gap summary.
     gap_track: GapTrack,
+    /// When this AQ last saw a packet (deploy time until the first
+    /// arrival). Drives [`OverflowPolicy::EvictIdle`] victim selection;
+    /// preserved across `update`/`wipe` write-backs.
+    last_arrival: Time,
     /// Times this AQ's dynamic state was wiped by a fault.
     wipes: u64,
     /// When the most recent wipe happened.
@@ -89,6 +145,16 @@ pub struct AqTable {
     index: Vec<u32>,
     hot: Vec<HotRow>,
     cold: Vec<ColdRow>,
+    /// Register-memory budget in bytes (`None` = unbounded).
+    budget_bytes: Option<u64>,
+    /// What to do with a deploy that would overflow the budget.
+    policy: OverflowPolicy,
+    /// High-water mark of [`AqTable::register_memory_bytes`].
+    peak_bytes: u64,
+    /// Deploys refused under [`OverflowPolicy::RejectNew`].
+    rejected_deploys: u64,
+    /// AQs evicted under [`OverflowPolicy::EvictIdle`].
+    evictions: u64,
 }
 
 impl AqTable {
@@ -99,7 +165,54 @@ impl AqTable {
             index: vec![VACANT],
             hot: Vec::new(),
             cold: Vec::new(),
+            budget_bytes: None,
+            policy: OverflowPolicy::default(),
+            peak_bytes: 0,
+            rejected_deploys: 0,
+            evictions: 0,
         }
+    }
+
+    /// Cap the table at `bytes` of packed register memory (15 B per AQ)
+    /// and pick the overflow policy. `None` removes the cap. The budget
+    /// applies to *subsequent* deploys; rows already past a lowered cap
+    /// stay until removed or evicted.
+    pub fn set_budget(&mut self, bytes: Option<u64>, policy: OverflowPolicy) {
+        self.budget_bytes = bytes;
+        self.policy = policy;
+    }
+
+    /// The configured register-memory budget, if any.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.budget_bytes
+    }
+
+    /// The configured overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// High-water mark of register-memory occupancy over the table's
+    /// lifetime (never exceeds the budget while one is set).
+    pub fn peak_register_memory_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Deploys refused because the table was at budget under
+    /// [`OverflowPolicy::RejectNew`].
+    pub fn rejected_deploys(&self) -> u64 {
+        self.rejected_deploys
+    }
+
+    /// AQs evicted to admit newcomers under [`OverflowPolicy::EvictIdle`].
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// When the AQ with this id last saw a packet (its deploy time until
+    /// the first arrival).
+    pub fn last_arrival_of(&self, id: AqTag) -> Option<Time> {
+        Some(self.cold[self.dense(id)?].last_arrival)
     }
 
     fn dense(&self, id: AqTag) -> Option<usize> {
@@ -121,6 +234,9 @@ impl AqTable {
                 marks: inst.marks,
                 arrived_bytes: inst.arrived_bytes,
                 gap_track: inst.gap_track,
+                // Placeholder: deploy paths stamp the admit time, and
+                // `write_back` preserves the row's existing value.
+                last_arrival: Time::ZERO,
                 wipes: inst.wipes,
                 wiped_at: inst.wiped_at,
                 recover_target_bytes: inst.recover_target_bytes,
@@ -151,36 +267,104 @@ impl AqTable {
         }
     }
 
-    /// Write an instance back into row `d`. The row keeps its id — a
-    /// closure rewriting `cfg.id` cannot corrupt the index.
+    /// Write an instance back into row `d`. The row keeps its id and
+    /// last-arrival stamp — a closure rewriting `cfg.id` cannot corrupt
+    /// the index, and control-path round-trips (`update`, `wipe`) do not
+    /// perturb eviction ordering.
     fn write_back(&mut self, d: usize, inst: AqInstance) {
         let id = self.cold[d].id;
+        let last_arrival = self.cold[d].last_arrival;
         let (hot, mut cold) = Self::rows(inst);
         cold.id = id;
+        cold.last_arrival = last_arrival;
         self.hot[d] = hot;
         self.cold[d] = cold;
     }
 
     /// Deploy an AQ. Replaces any previous AQ with the same id.
     ///
+    /// Infallible convenience for unbounded tables (controllers, tests,
+    /// model harnesses); budgeted tables admit through
+    /// [`AqTable::try_deploy`].
+    ///
+    /// # Panics
+    /// Panics on the reserved id 0, or when a budgeted table under
+    /// [`OverflowPolicy::RejectNew`] is full.
+    pub fn deploy(&mut self, cfg: AqConfig) {
+        let outcome = self.try_deploy(Time::ZERO, cfg);
+        assert!(
+            outcome != DeployOutcome::Rejected,
+            "AQ table at register budget; use try_deploy for fallible admission"
+        );
+    }
+
+    /// Deploy an AQ against the register budget. Replacing an existing id
+    /// never grows the table and always succeeds; a growing deploy at
+    /// budget resolves per the configured [`OverflowPolicy`]. `now` stamps
+    /// the newcomer's idle clock (and orders future eviction decisions).
+    ///
     /// # Panics
     /// Panics on the reserved id 0.
-    pub fn deploy(&mut self, cfg: AqConfig) {
+    pub fn try_deploy(&mut self, now: Time, cfg: AqConfig) -> DeployOutcome {
         assert!(cfg.id.is_some(), "AQ id 0 is reserved for 'no AQ'");
         let idx = cfg.id.0 as usize;
         if idx >= self.index.len() {
             self.index.resize(idx + 1, VACANT);
         }
-        let (hot, cold) = Self::rows(AqInstance::new(cfg));
-        if self.index[idx] == VACANT {
-            self.index[idx] = u32::try_from(self.hot.len()).expect("more than u32::MAX AQs");
-            self.hot.push(hot);
-            self.cold.push(cold);
-        } else {
+        if self.index[idx] != VACANT {
             let d = self.index[idx] as usize;
+            let (hot, mut cold) = Self::rows(AqInstance::new(cfg));
+            cold.last_arrival = now;
             self.hot[d] = hot;
             self.cold[d] = cold;
+            return DeployOutcome::Replaced;
         }
+        let full = self
+            .budget_bytes
+            .is_some_and(|b| (self.hot.len() + 1) * PACKED_AQ_BYTES > b as usize);
+        let evicted = if full {
+            match self.policy {
+                OverflowPolicy::RejectNew => {
+                    self.rejected_deploys += 1;
+                    return DeployOutcome::Rejected;
+                }
+                OverflowPolicy::EvictIdle => match self.evict_idle() {
+                    Some(victim) => Some(victim),
+                    // Budget smaller than a single row: nothing to evict
+                    // can make room, so the deploy degenerates to a reject.
+                    None => {
+                        self.rejected_deploys += 1;
+                        return DeployOutcome::Rejected;
+                    }
+                },
+            }
+        } else {
+            None
+        };
+        let (hot, mut cold) = Self::rows(AqInstance::new(cfg));
+        cold.last_arrival = now;
+        self.index[idx] = u32::try_from(self.hot.len()).expect("more than u32::MAX AQs");
+        self.hot.push(hot);
+        self.cold.push(cold);
+        let occupied = self.register_memory_bytes() as u64;
+        aq_netsim::invariant!(
+            self.budget_bytes.is_none_or(|b| occupied <= b),
+            "AQ table overflowed its register budget: {occupied} B occupied"
+        );
+        self.peak_bytes = self.peak_bytes.max(occupied);
+        match evicted {
+            Some(victim) => DeployOutcome::Evicted(victim),
+            None => DeployOutcome::Deployed,
+        }
+    }
+
+    /// Evict the longest-idle AQ: smallest last-arrival time, smallest id
+    /// on ties — a total order, so eviction is deterministic regardless of
+    /// dense-row layout. Returns the victim's config.
+    fn evict_idle(&mut self) -> Option<AqConfig> {
+        let victim = self.cold.iter().map(|c| (c.last_arrival, c.id)).min()?.1;
+        self.evictions += 1;
+        Some(self.remove(victim).expect("victim came from the table").cfg)
     }
 
     /// Remove a deployed AQ, returning its final state. The vacated dense
@@ -221,6 +405,7 @@ impl AqTable {
         let d = self.dense(id)?;
         let hot = &mut self.hot[d];
         let cold = &mut self.cold[d];
+        cold.last_arrival = now;
         let verdict = process_parts(
             AqStateMut {
                 id: cold.id,
@@ -465,6 +650,135 @@ mod tests {
         assert!(t.process(AqTag(4), Time::ZERO, &mut pkt(1000)).is_some());
         assert_eq!(t.get(AqTag(4)).unwrap().arrived_bytes, 1060);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn reject_new_refuses_growth_at_budget_and_counts_it() {
+        let mut t = AqTable::new();
+        t.set_budget(Some(2 * PACKED_AQ_BYTES as u64), OverflowPolicy::RejectNew);
+        assert_eq!(t.try_deploy(Time::ZERO, cfg(1)), DeployOutcome::Deployed);
+        assert_eq!(t.try_deploy(Time::ZERO, cfg(2)), DeployOutcome::Deployed);
+        assert_eq!(t.try_deploy(Time::ZERO, cfg(3)), DeployOutcome::Rejected);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rejected_deploys(), 1);
+        assert_eq!(t.evictions(), 0);
+        assert_eq!(t.peak_register_memory_bytes(), 30);
+        // Replacing a resident id never grows the table, so it succeeds
+        // even at budget.
+        assert_eq!(t.try_deploy(Time::ZERO, cfg(2)), DeployOutcome::Replaced);
+        // Freeing a slot re-opens admission.
+        t.remove(AqTag(1)).expect("deployed");
+        assert_eq!(t.try_deploy(Time::ZERO, cfg(3)), DeployOutcome::Deployed);
+    }
+
+    #[test]
+    fn evict_idle_removes_the_longest_idle_aq_deterministically() {
+        let mut t = AqTable::new();
+        t.set_budget(Some(3 * PACKED_AQ_BYTES as u64), OverflowPolicy::EvictIdle);
+        for id in [1, 2, 3] {
+            t.try_deploy(Time::ZERO, cfg(id));
+        }
+        // Touch 1 and 3; AQ 2 is now the longest idle.
+        t.process(AqTag(1), Time::from_micros(5), &mut pkt(1000));
+        t.process(AqTag(3), Time::from_micros(6), &mut pkt(1000));
+        let out = t.try_deploy(Time::from_micros(7), cfg(4));
+        let DeployOutcome::Evicted(victim) = out else {
+            panic!("expected an eviction, got {out:?}");
+        };
+        assert_eq!(victim.id, AqTag(2));
+        assert_eq!(t.evictions(), 1);
+        assert!(t.get(AqTag(2)).is_none());
+        assert!(t.get(AqTag(4)).is_some());
+        assert_eq!(t.register_memory_bytes(), 3 * PACKED_AQ_BYTES);
+        // Equal idle times break ties on the smallest id: 1 was touched
+        // before 3, so 1 goes first.
+        let out = t.try_deploy(Time::from_micros(8), cfg(5));
+        let DeployOutcome::Evicted(victim) = out else {
+            panic!("expected an eviction, got {out:?}");
+        };
+        assert_eq!(victim.id, AqTag(1));
+    }
+
+    #[test]
+    fn evict_idle_with_a_sub_row_budget_degenerates_to_reject() {
+        let mut t = AqTable::new();
+        t.set_budget(Some(1), OverflowPolicy::EvictIdle);
+        assert!(t.is_empty());
+        assert_eq!(t.try_deploy(Time::ZERO, cfg(1)), DeployOutcome::Rejected);
+        assert_eq!(t.rejected_deploys(), 1);
+        assert_eq!(t.evictions(), 0);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_the_budget() {
+        let mut t = AqTable::new();
+        let budget = 4 * PACKED_AQ_BYTES as u64;
+        t.set_budget(Some(budget), OverflowPolicy::EvictIdle);
+        for k in 1..=100u32 {
+            t.try_deploy(Time::from_nanos(k as u64), cfg(k));
+            assert!(t.register_memory_bytes() as u64 <= budget);
+        }
+        assert_eq!(t.peak_register_memory_bytes(), budget);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.evictions(), 96);
+    }
+
+    #[test]
+    fn reused_id_starts_from_fresh_state_after_remove() {
+        // Satellite regression: a re-used id must not inherit the previous
+        // occupant's gap history, telemetry, or recovery bookkeeping.
+        let mut t = AqTable::new();
+        t.deploy(cfg(7));
+        for k in 0..5u64 {
+            t.process(AqTag(7), Time::from_nanos(k * 500), &mut pkt(60_000));
+        }
+        t.wipe(Time::from_micros(3));
+        // Rebuild some post-wipe history so the removed snapshot carries
+        // every kind of stale state: gap, telemetry, and wipe bookkeeping.
+        t.process(AqTag(7), Time::from_micros(4), &mut pkt(60_000));
+        let stale = t.remove(AqTag(7)).expect("deployed");
+        assert!(stale.arrived_bytes > 0);
+        assert_eq!(stale.wipes, 1);
+        t.deploy(cfg(7));
+        let fresh = t.get(AqTag(7)).unwrap();
+        assert_eq!(fresh.gap_track.samples(), 0);
+        assert_eq!(fresh.gap_track.max_bytes(), 0);
+        assert_eq!((fresh.drops, fresh.marks, fresh.arrived_bytes), (0, 0, 0));
+        assert_eq!((fresh.wipes, fresh.wiped_at), (0, None));
+        assert_eq!(fresh.recover_target_bytes, 0);
+        assert_eq!(fresh.gap.bytes(), 0);
+    }
+
+    #[test]
+    fn reused_id_starts_from_fresh_state_after_eviction() {
+        // Same guarantee on the eviction path: an evicted-then-readmitted
+        // id carries no stale gap history.
+        let mut t = AqTable::new();
+        t.set_budget(Some(PACKED_AQ_BYTES as u64), OverflowPolicy::EvictIdle);
+        t.try_deploy(Time::ZERO, cfg(1));
+        t.process(AqTag(1), Time::from_nanos(100), &mut pkt(1000));
+        let out = t.try_deploy(Time::from_micros(1), cfg(2));
+        assert!(matches!(out, DeployOutcome::Evicted(v) if v.id == AqTag(1)));
+        let out = t.try_deploy(Time::from_micros(2), cfg(1));
+        assert!(matches!(out, DeployOutcome::Evicted(v) if v.id == AqTag(2)));
+        let back = t.get(AqTag(1)).unwrap();
+        assert_eq!(back.gap_track.samples(), 0);
+        assert_eq!(back.arrived_bytes, 0);
+        assert_eq!(back.gap.bytes(), 0);
+    }
+
+    #[test]
+    fn last_arrival_survives_update_and_wipe_round_trips() {
+        let mut t = AqTable::new();
+        t.deploy(cfg(1));
+        t.process(AqTag(1), Time::from_micros(9), &mut pkt(1000));
+        assert_eq!(t.last_arrival_of(AqTag(1)), Some(Time::from_micros(9)));
+        t.update(AqTag(1), |inst| {
+            inst.set_rate(Time::from_micros(10), Rate::from_gbps(2))
+        });
+        assert_eq!(t.last_arrival_of(AqTag(1)), Some(Time::from_micros(9)));
+        t.wipe(Time::from_micros(11));
+        assert_eq!(t.last_arrival_of(AqTag(1)), Some(Time::from_micros(9)));
     }
 
     #[test]

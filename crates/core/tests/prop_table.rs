@@ -1,0 +1,211 @@
+//! Property-based exercise of the bounded [`AqTable`]: arbitrary
+//! interleavings of deploy / process / remove / wipe against a shadow
+//! model.
+//!
+//! The shadow model is a plain `BTreeMap<id, last_arrival>` plus the
+//! budget arithmetic, so every table-level guarantee is restated
+//! externally and checked after *every* op:
+//!
+//! * ids are stable — an id the model says is deployed resolves, an id it
+//!   says is not does not, regardless of how `swap_remove` shuffled the
+//!   dense rows underneath;
+//! * occupancy never exceeds the register budget, and the peak
+//!   high-water mark is monotone and ≥ occupancy;
+//! * eviction is deterministic — the model predicts the exact victim
+//!   (smallest `(last_arrival, id)`) for every `EvictIdle` overflow, so
+//!   any tie-break or ordering drift in the implementation fails the
+//!   property.
+//!
+//! With the `invariants` feature on, the table's internal budget check
+//! also fires on every deploy; CI runs the suite both ways.
+
+use std::collections::BTreeMap;
+
+use aq_core::config::{AqConfig, CcPolicy};
+use aq_core::table::{AqTable, DeployOutcome, OverflowPolicy};
+use aq_netsim::ids::{EntityId, FlowId, NodeId};
+use aq_netsim::packet::{AqTag, Packet};
+use aq_netsim::time::{Rate, Time};
+use proptest::prelude::*;
+
+const PACKED_AQ_BYTES: u64 = aq_core::PACKED_AQ_BYTES as u64;
+
+/// One step applied to the table.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `try_deploy` the given id at the current time.
+    Deploy(u32),
+    /// Advance by Δns, then process one packet tagged with the id.
+    Process(u32, u64),
+    /// Remove the id.
+    Remove(u32),
+    /// Advance by Δns, then fault-wipe the whole table.
+    Wipe(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..9).prop_map(Op::Deploy),
+        (1u32..9, 0u64..1_000_000).prop_map(|(id, d)| Op::Process(id, d)),
+        (1u32..9).prop_map(Op::Remove),
+        (0u64..1_000_000).prop_map(Op::Wipe),
+    ]
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(op_strategy(), 1..120)
+}
+
+fn cfg(id: u32) -> AqConfig {
+    AqConfig {
+        id: AqTag(id),
+        rate: Rate::from_gbps(1),
+        limit_bytes: 1_000_000,
+        cc: CcPolicy::DropBased,
+    }
+}
+
+fn pkt() -> Packet {
+    Packet::data(
+        FlowId(1),
+        EntityId(1),
+        NodeId(0),
+        NodeId(1),
+        0,
+        1000,
+        false,
+        Time::ZERO,
+    )
+}
+
+/// Check the table against the shadow model after an op.
+fn check(
+    table: &AqTable,
+    model: &BTreeMap<u32, u64>,
+    budget: u64,
+    peak_before: u64,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(table.len(), model.len(), "row count diverged from model");
+    let occupied = table.register_memory_bytes() as u64;
+    prop_assert_eq!(occupied, model.len() as u64 * PACKED_AQ_BYTES);
+    prop_assert!(
+        occupied <= budget,
+        "occupancy {occupied} B exceeds budget {budget} B"
+    );
+    let peak = table.peak_register_memory_bytes();
+    prop_assert!(peak >= occupied, "peak {peak} below occupancy {occupied}");
+    prop_assert!(peak >= peak_before, "peak moved backwards");
+    for id in 1u32..9 {
+        match model.get(&id) {
+            Some(&last) => {
+                let inst = table.get(AqTag(id));
+                prop_assert!(inst.is_some(), "model has id {id}, table does not");
+                prop_assert_eq!(inst.unwrap().cfg.id, AqTag(id), "id slot corrupted");
+                prop_assert_eq!(
+                    table.last_arrival_of(AqTag(id)),
+                    Some(Time::from_nanos(last)),
+                    "idle clock diverged for id {}",
+                    id
+                );
+            }
+            None => prop_assert!(
+                table.get(AqTag(id)).is_none(),
+                "table still resolves removed id {id}"
+            ),
+        }
+    }
+    // Iteration is by id, ascending, whatever the dense layout did.
+    let order: Vec<u32> = table.iter().map(|i| i.cfg.id.0).collect();
+    let expect: Vec<u32> = model.keys().copied().collect();
+    prop_assert_eq!(order, expect, "iteration order is not by id");
+    Ok(())
+}
+
+fn run(ops: Vec<Op>, rows: u64, policy: OverflowPolicy) -> Result<(), TestCaseError> {
+    let budget = rows * PACKED_AQ_BYTES;
+    let mut table = AqTable::new();
+    table.set_budget(Some(budget), policy);
+    // Shadow model: id → last-arrival ns for every deployed row.
+    let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut t = 0u64;
+    for op in ops {
+        let peak_before = table.peak_register_memory_bytes();
+        match op {
+            Op::Deploy(id) => {
+                let outcome = table.try_deploy(Time::from_nanos(t), cfg(id));
+                if model.contains_key(&id) {
+                    prop_assert_eq!(outcome, DeployOutcome::Replaced);
+                    model.insert(id, t);
+                } else if (model.len() as u64) < rows {
+                    prop_assert_eq!(outcome, DeployOutcome::Deployed);
+                    model.insert(id, t);
+                } else if policy == OverflowPolicy::RejectNew {
+                    prop_assert_eq!(outcome, DeployOutcome::Rejected);
+                } else {
+                    // EvictIdle at a full table: the victim is exactly the
+                    // smallest (last_arrival, id) pair — no other row may
+                    // be chosen.
+                    let (_, victim) = model
+                        .iter()
+                        .map(|(&id, &last)| (last, id))
+                        .min()
+                        .expect("full table has rows");
+                    match outcome {
+                        DeployOutcome::Evicted(gone) => {
+                            prop_assert_eq!(gone.id, AqTag(victim), "wrong eviction victim")
+                        }
+                        other => prop_assert!(false, "expected eviction, got {other:?}"),
+                    }
+                    model.remove(&victim);
+                    model.insert(id, t);
+                }
+            }
+            Op::Process(id, d) => {
+                t += d;
+                let mut p = pkt();
+                let verdict = table.process(AqTag(id), Time::from_nanos(t), &mut p);
+                prop_assert_eq!(verdict.is_some(), model.contains_key(&id));
+                if let Some(last) = model.get_mut(&id) {
+                    *last = t;
+                }
+            }
+            Op::Remove(id) => {
+                let out = table.remove(AqTag(id));
+                prop_assert_eq!(out.is_some(), model.remove(&id).is_some());
+                if let Some(inst) = out {
+                    prop_assert_eq!(inst.cfg.id, AqTag(id));
+                }
+            }
+            Op::Wipe(d) => {
+                t += d;
+                // A fault wipe clears dynamic state but keeps configs and
+                // idle clocks — eviction order must survive a reboot.
+                table.wipe(Time::from_nanos(t));
+            }
+        }
+        check(&table, &model, budget, peak_before)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    /// `RejectNew`: no interleaving grows the table past its budget,
+    /// resolves a removed id, or perturbs surviving rows on removal.
+    #[test]
+    fn bounded_table_reject_new_matches_model(
+        ops in ops_strategy(),
+        rows in 1u64..5,
+    ) {
+        run(ops, rows, OverflowPolicy::RejectNew)?;
+    }
+
+    /// `EvictIdle`: same guarantees, plus every eviction picks exactly the
+    /// longest-idle row (smallest id on ties) — deterministically.
+    #[test]
+    fn bounded_table_evict_idle_matches_model(
+        ops in ops_strategy(),
+        rows in 1u64..5,
+    ) {
+        run(ops, rows, OverflowPolicy::EvictIdle)?;
+    }
+}

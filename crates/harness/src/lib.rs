@@ -16,7 +16,9 @@
 //! * `aq-sweep run` — execute a sweep, write artifacts, check trends;
 //! * `aq-sweep diff` — compare two sweep directories under per-metric
 //!   relative tolerances (the CI regression gate);
-//! * `aq-sweep check` — re-evaluate trend rules on an existing sweep.
+//! * `aq-sweep check` — re-evaluate trend rules on an existing sweep;
+//! * `aq-sweep soak` — seed-rotated chaos soak over the smoke/extended
+//!   grids, every run report gated by the invariant oracle.
 //!
 //! Parallelism lives *only* here: every individual `Simulator` run stays
 //! single-threaded and deterministic, and the `no-thread-in-sim` lint
@@ -25,6 +27,7 @@
 pub mod agg;
 pub mod diff;
 pub mod drill;
+pub mod oracle;
 pub mod perf;
 pub mod pool;
 pub mod sweep;
@@ -94,6 +97,12 @@ pub fn smoke_spec() -> SweepSpec {
                 ],
                 seeds: vec![1, 2, 3],
             },
+            SweepAxis {
+                scenario: "tenant_churn".to_string(),
+                approaches: vec![Approach::Pq, Approach::Aq],
+                grid: vec![p("policy=0"), p("policy=1")],
+                seeds: vec![1, 2, 3],
+            },
         ],
     }
 }
@@ -141,6 +150,26 @@ pub fn nightly_spec() -> SweepSpec {
     }
 }
 
+/// One seed-rotation round of the chaos soak: the smoke and extended
+/// grids (which between them cover fault injection, shared buffers, AQM
+/// variants, and the budget-pressured tenant-churn scenario) at a single
+/// seed derived from the round index. `aq-sweep soak` runs consecutive
+/// rounds and evaluates the invariant oracle (see [`oracle`]) against
+/// every run report each round produces, so long soaks replay
+/// byte-identically from the same base seed.
+pub fn soak_round_spec(base_seed: u64, round: u64) -> SweepSpec {
+    let seed = base_seed.wrapping_add(round.wrapping_mul(1000));
+    let mut axes = smoke_spec().axes;
+    axes.extend(extended_spec().axes);
+    for axis in &mut axes {
+        axis.seeds = vec![seed];
+    }
+    SweepSpec {
+        name: format!("soak-round{round}"),
+        axes,
+    }
+}
+
 /// Named sweep specs addressable from the CLI (`--spec <name>`).
 pub fn named_specs() -> Vec<SweepSpec> {
     vec![smoke_spec(), extended_spec(), nightly_spec()]
@@ -160,14 +189,15 @@ mod tests {
         let points = sweep::expand(&smoke_spec()).expect("smoke expands");
         // 2-point grids for fairness/completion, 1-point grids for
         // UDP/TCP sharing and the two fault scenarios, 3-point grids for
-        // the shared-buffer admission and AQM axes, 2 approaches x
-        // 3 seeds each.
-        assert_eq!(points.len(), 78);
+        // the shared-buffer admission and AQM axes, a 2-point overflow-
+        // policy grid for tenant churn, 2 approaches x 3 seeds each.
+        assert_eq!(points.len(), 90);
         for scenario in [
             "linkflap_dumbbell",
             "aq_state_loss",
             "incast_sharedbuf",
             "websearch_aqm_zoo",
+            "tenant_churn",
         ] {
             assert!(
                 points.iter().any(|p| p.key.scenario == scenario),
@@ -186,8 +216,28 @@ mod tests {
     #[test]
     fn nightly_spec_covers_every_scenario_and_approach() {
         let points = sweep::expand(&nightly_spec()).expect("nightly expands");
-        // 9 scenarios x 4 approaches x 5 seeds at the default grid point.
-        assert_eq!(points.len(), 180);
+        // 10 scenarios x 4 approaches x 5 seeds at the default grid point.
+        assert_eq!(points.len(), 200);
+    }
+
+    #[test]
+    fn soak_rounds_rotate_seeds_deterministically() {
+        let r0 = soak_round_spec(42, 0);
+        let r1 = soak_round_spec(42, 1);
+        assert_eq!(r0.axes.len(), r1.axes.len());
+        for axis in &r0.axes {
+            assert_eq!(axis.seeds, vec![42]);
+        }
+        for axis in &r1.axes {
+            assert_eq!(axis.seeds, vec![1042]);
+        }
+        // Same (seed, round) → identical expansion: the soak replays.
+        let a = sweep::expand(&soak_round_spec(7, 3)).expect("expands");
+        let b = sweep::expand(&soak_round_spec(7, 3)).expect("expands");
+        let ka: Vec<_> = a.iter().map(|p| p.key.clone()).collect();
+        let kb: Vec<_> = b.iter().map(|p| p.key.clone()).collect();
+        assert_eq!(ka, kb);
+        assert!(ka.iter().any(|k| k.scenario == "tenant_churn"));
     }
 
     #[test]

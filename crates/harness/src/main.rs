@@ -5,18 +5,21 @@
 //! aq-sweep run  [--spec smoke] [--jobs N] [--out DIR] [--seeds 1,2,3] [--no-trends]
 //! aq-sweep diff <baseline-dir> <current-dir>
 //! aq-sweep check <sweep-dir>
+//! aq-sweep soak [--minutes N] [--seed S] [--jobs J] [--out DIR]
 //! ```
 //!
 //! Exit codes: `0` success, `1` gate violation (diff tolerance breach or
 //! trend failure), `2` usage or I/O error.
 
+use aq_bench::report::RunReport;
 use aq_harness::agg::Sweep;
 use aq_harness::diff::{diff_sweeps, render_violations, Tolerances};
 use aq_harness::drill;
+use aq_harness::oracle;
 use aq_harness::perf;
 use aq_harness::sweep::{expand, run_points};
 use aq_harness::trends::{check_trends, DEFAULT_RULES};
-use aq_harness::{find_spec, named_specs};
+use aq_harness::{find_spec, named_specs, soak_round_spec};
 use aq_netsim::SchedulerKind;
 use aq_workloads::registry;
 use std::path::{Path, PathBuf};
@@ -45,6 +48,17 @@ USAGE:
       --drill-down makes missing runs/ an error instead of a skip.
   aq-sweep check SWEEP_DIR
       Evaluate trend rules against an existing sweep directory.
+  aq-sweep soak [--minutes N] [--seed S] [--jobs J] [--out DIR]
+                [--timeout-s S]
+      Chaos soak: run N seed-rotation rounds (one per requested minute,
+      default 10) of the smoke+extended grids — fault trains, shared-
+      buffer pressure, and the budget-overflowed tenant-churn scenario —
+      each round at a seed derived from --seed (default 1) and the round
+      index, writing artifacts under DIR/round<K>/ (default
+      target/sweeps/soak). Every run report is checked against the
+      invariant oracle (byte conservation, pool and AQ-table budget
+      bounds, degradation accounting); any violation or failed run exits
+      1. Same --seed and --minutes replay byte-identical artifacts.
   aq-sweep perf [--spec NAME] [--repeat N] [--out FILE] [--baseline FILE]
                 [--update] [--tolerance F] [--counter-tolerance F]
                 [--scheduler wheel|heap] [--jobs LIST]
@@ -73,6 +87,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "diff" => cmd_diff(&args[1..]),
         "check" => cmd_check(&args[1..]),
+        "soak" => cmd_soak(&args[1..]),
         "perf" => cmd_perf(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -276,6 +291,108 @@ fn cmd_check(args: &[String]) -> ExitCode {
         eprintln!("trend check FAILED:");
         for f in &failures {
             eprintln!("  {f}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_soak(args: &[String]) -> ExitCode {
+    let mut minutes = 10u64;
+    let mut seed = 1u64;
+    let mut jobs = 1usize;
+    let mut out: Option<PathBuf> = None;
+    let mut timeout_s = 600u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--minutes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => minutes = v,
+                _ => return usage_err("--minutes needs a positive integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage_err("--seed needs a u64"),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => jobs = v,
+                _ => return usage_err("--jobs needs a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage_err("--out needs a value"),
+            },
+            "--timeout-s" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => timeout_s = v,
+                _ => return usage_err("--timeout-s needs a positive integer"),
+            },
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    let out = out.unwrap_or_else(|| PathBuf::from("target/sweeps/soak"));
+    let timeout = std::time::Duration::from_secs(timeout_s);
+    let mut total_runs = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+    for round in 0..minutes {
+        let spec = soak_round_spec(seed, round);
+        let points = match expand(&spec) {
+            Ok(p) => p,
+            Err(e) => return io_err(&e),
+        };
+        let round_dir = out.join(format!("round{round}"));
+        println!(
+            "soak round {}/{}: {} runs (seed {}) -> {}",
+            round + 1,
+            minutes,
+            points.len(),
+            seed.wrapping_add(round.wrapping_mul(1000)),
+            round_dir.display()
+        );
+        let outcome = match run_points(&points, jobs, Some(timeout), Some(&round_dir)) {
+            Ok(m) => m,
+            Err(e) => return io_err(&e),
+        };
+        let sweep = Sweep::from_runs(&spec.name, outcome.metrics).with_failures(outcome.failures);
+        if let Err(e) = sweep.write_to(&round_dir) {
+            return io_err(&format!("writing sweep artifacts: {e}"));
+        }
+        if !sweep.failures.is_empty() {
+            eprintln!(
+                "soak round {round}: {} run(s) FAILED:",
+                sweep.failures.len()
+            );
+            for (key, error) in &sweep.failures {
+                eprintln!("  {key}: {error}");
+            }
+            return ExitCode::from(1);
+        }
+        // Gate every run report of the round on the invariant oracle.
+        for point in &points {
+            let path = round_dir
+                .join("runs")
+                .join(point.key.dir_name())
+                .join("report.json");
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => return io_err(&format!("reading {}: {e}", path.display())),
+            };
+            let report = match RunReport::parse_json(&text) {
+                Ok(r) => r,
+                Err(e) => return io_err(&format!("{}: {e}", path.display())),
+            };
+            violations.extend(oracle::check_report(&report));
+            total_runs += 1;
+        }
+        if !violations.is_empty() {
+            break;
+        }
+    }
+    if violations.is_empty() {
+        println!("soak clean: oracle passed on {total_runs} run report(s)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("soak ORACLE VIOLATIONS ({}):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
         }
         ExitCode::from(1)
     }

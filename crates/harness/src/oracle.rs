@@ -1,0 +1,195 @@
+//! Runtime invariant oracle over [`RunReport`] artifacts.
+//!
+//! The trend rules (crates/harness/src/trends.rs) assert *qualitative*
+//! expectations — AQ fairer than PQ, recovery after faults. The oracle
+//! asserts *conservation-style* invariants that must hold on every run of
+//! every scenario, chaotic or not: no amount of churn, faults, or budget
+//! pressure is allowed to break them. The soak harness (`aq-sweep soak`)
+//! evaluates the oracle against every run report it produces; any
+//! violation fails the soak.
+//!
+//! Checked per section:
+//!
+//! * **Byte conservation** — every port's `enqueued == dequeued + dropped
+//!   + resident` held at capture time (the report's `conserves` bit).
+//! * **Pool bounds** — shared-buffer occupancy and its peak never exceed
+//!   the pool capacity.
+//! * **Gap sanity** — A-Gap statistics are non-negative and the mean
+//!   never exceeds the max.
+//! * **Table bounds** — a budgeted AQ table's occupancy and peak never
+//!   exceed the register budget, and degradation accounting is
+//!   self-consistent (degraded packets imply degraded flows and bytes).
+//! * **Degraded progress** — when any flow degraded to physical-queue
+//!   behavior, traffic still moved end to end (degradation is graceful,
+//!   not a blackout).
+//! * **Liveness** — simulation sections processed events and fairness
+//!   indices are well-formed.
+
+use aq_bench::report::{RunReport, Section};
+
+/// Evaluate every invariant against every section of a report. Returns
+/// human-readable violations; empty means the report is clean.
+pub fn check_report(report: &RunReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    for section in report.sections() {
+        check_section(report.name(), section, &mut violations);
+    }
+    violations
+}
+
+fn check_section(run: &str, s: &Section, out: &mut Vec<String>) {
+    let ctx = |what: String| format!("{run} [{}]: {what}", s.label);
+    // Metric-only sections (resource models) carry no hub state to check.
+    let has_hub_state = !s.ports.is_empty() || !s.entities.is_empty();
+    if has_hub_state && s.events == 0 && s.now_ns > 0 {
+        out.push(ctx("no events processed by capture time".to_string()));
+    }
+    if !(0.0..=1.0 + 1e-9).contains(&s.jain_goodput) {
+        out.push(ctx(format!(
+            "jain_goodput {} outside [0, 1]",
+            s.jain_goodput
+        )));
+    }
+    for p in &s.ports {
+        if !p.conserves {
+            out.push(ctx(format!(
+                "port n{}/p{} does not conserve bytes",
+                p.node, p.port
+            )));
+        }
+    }
+    for b in &s.buffers {
+        if b.occupancy_bytes > b.capacity_bytes {
+            out.push(ctx(format!(
+                "pool n{} occupancy {} B exceeds capacity {} B",
+                b.node, b.occupancy_bytes, b.capacity_bytes
+            )));
+        }
+        if b.peak_occupancy_bytes > b.capacity_bytes {
+            out.push(ctx(format!(
+                "pool n{} peak {} B exceeds capacity {} B",
+                b.node, b.peak_occupancy_bytes, b.capacity_bytes
+            )));
+        }
+    }
+    for a in &s.aqs {
+        if a.mean_gap_bytes < 0.0 {
+            out.push(ctx(format!(
+                "aq {}/{} negative mean gap {}",
+                a.tag, a.position, a.mean_gap_bytes
+            )));
+        }
+        if a.gap_samples > 0 && a.mean_gap_bytes > a.max_gap_bytes as f64 + 1e-6 {
+            out.push(ctx(format!(
+                "aq {}/{} mean gap {} exceeds max gap {}",
+                a.tag, a.position, a.mean_gap_bytes, a.max_gap_bytes
+            )));
+        }
+    }
+    let mut degraded_pkts = 0u64;
+    for t in &s.tables {
+        if t.budget_bytes > 0 {
+            if t.occupancy_bytes > t.budget_bytes {
+                out.push(ctx(format!(
+                    "table n{}/{} occupancy {} B exceeds budget {} B",
+                    t.node, t.position, t.occupancy_bytes, t.budget_bytes
+                )));
+            }
+            if t.peak_bytes > t.budget_bytes {
+                out.push(ctx(format!(
+                    "table n{}/{} peak {} B exceeds budget {} B",
+                    t.node, t.position, t.peak_bytes, t.budget_bytes
+                )));
+            }
+        }
+        if t.occupancy_bytes > t.peak_bytes {
+            out.push(ctx(format!(
+                "table n{}/{} occupancy {} B exceeds its own peak {} B",
+                t.node, t.position, t.occupancy_bytes, t.peak_bytes
+            )));
+        }
+        if t.degraded_pkts > 0 && (t.degraded_flows == 0 || t.degraded_bytes == 0) {
+            out.push(ctx(format!(
+                "table n{}/{} degraded accounting inconsistent \
+                 (pkts {}, flows {}, bytes {})",
+                t.node, t.position, t.degraded_pkts, t.degraded_flows, t.degraded_bytes
+            )));
+        }
+        degraded_pkts += t.degraded_pkts;
+    }
+    if degraded_pkts > 0 {
+        let rx: u64 = s.entities.iter().map(|e| e.rx_bytes).sum();
+        if rx == 0 {
+            out.push(ctx(format!(
+                "{degraded_pkts} degraded packet(s) but no entity received bytes \
+                 — degradation was a blackout, not graceful"
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aq_bench::report::RunReport;
+
+    /// A minimal hand-built report JSON with one section. The pieces that
+    /// the test varies are spliced in as arguments.
+    fn report_with(port_conserves: bool, table_occ: u64, table_budget: u64) -> RunReport {
+        let json = format!(
+            "{{\"name\":\"unit\",\"sections\":[{{\"label\":\"run\",\"now_ns\":1000,\
+             \"events\":5,\"jain_goodput\":1.000000,\
+             \"entities\":[{{\"entity\":1,\"rx_bytes\":1000,\"goodput_gbps\":1.000000,\
+             \"tx_pkts\":1,\"tx_bytes\":1060,\"drops\":0,\"pq_p50_ns\":null,\
+             \"pq_p99_ns\":null,\"vq_p50_ns\":null,\"vq_p99_ns\":null,\"flows\":1,\
+             \"flows_completed\":1,\"completion_s\":null,\"rate_series_bps\":[]}}],\
+             \"ports\":[{{\"node\":0,\"port\":1,\"enqueued_bytes\":1060,\
+             \"dequeued_bytes\":1060,\"dropped_bytes\":0,\"resident_bytes\":0,\
+             \"conserves\":{port_conserves},\"taildrops\":0,\"red_drops\":0,\
+             \"shaper_drops\":0,\"shared_rejects\":0,\"aq_drops\":0,\
+             \"overflow_drops\":0,\"link_drops\":0,\"corrupt_drops\":0,\
+             \"wire_dropped_bytes\":0,\"ecn_marks\":0,\"tx_pkts\":1,\"tx_bytes\":1060,\
+             \"peak_occupancy_bytes\":1060,\"occupancy\":[]}}],\
+             \"buffers\":[],\"metrics\":{{}},\"aqs\":[],\
+             \"tables\":[{{\"node\":0,\"position\":\"ingress\",\
+             \"policy\":\"reject_new\",\"budget_bytes\":{table_budget},\
+             \"occupancy_bytes\":{table_occ},\"peak_bytes\":{table_occ},\
+             \"rejected_deploys\":0,\"evictions\":0,\"readmissions\":0,\
+             \"degraded_flows\":1,\"degraded_pkts\":4,\"degraded_bytes\":4240}}],\
+             \"faults\":{{\"injected\":[],\"link_down_drops\":0,\
+             \"link_down_dropped_bytes\":0,\"corrupt_drops\":0,\
+             \"corrupt_dropped_bytes\":0,\"pause_drops\":0,\
+             \"pause_dropped_bytes\":0}}}}]}}\n"
+        );
+        RunReport::parse_json(&json).expect("hand-built report parses")
+    }
+
+    #[test]
+    fn clean_report_passes() {
+        let r = report_with(true, 45, 105);
+        assert_eq!(check_report(&r), Vec::<String>::new());
+    }
+
+    #[test]
+    fn conservation_breach_is_flagged() {
+        let r = report_with(false, 45, 105);
+        let v = check_report(&r);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("does not conserve"));
+    }
+
+    #[test]
+    fn table_over_budget_is_flagged() {
+        let r = report_with(true, 120, 105);
+        let v = check_report(&r);
+        assert_eq!(v.len(), 2, "{v:?}"); // occupancy and peak both over.
+        assert!(v[0].contains("exceeds budget"));
+    }
+
+    #[test]
+    fn unbudgeted_table_is_not_bounded() {
+        // budget_bytes == 0 means unbounded: occupancy may be anything.
+        let r = report_with(true, 10_000, 0);
+        assert!(check_report(&r).is_empty());
+    }
+}

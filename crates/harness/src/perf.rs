@@ -409,7 +409,7 @@ mod tests {
     fn perf_points_pick_one_aq_point_per_scenario() {
         let points = expand(&crate::smoke_spec()).expect("smoke expands");
         let picked = perf_points(&points);
-        assert_eq!(picked.len(), 7, "one point per smoke scenario");
+        assert_eq!(picked.len(), 8, "one point per smoke scenario");
         for p in &picked {
             assert_eq!(p.key.approach, "aq");
             assert_eq!(p.key.seed, 1);
@@ -417,7 +417,7 @@ mod tests {
         let mut scenarios: Vec<&str> = picked.iter().map(|p| p.key.scenario.as_str()).collect();
         scenarios.sort_unstable();
         scenarios.dedup();
-        assert_eq!(scenarios.len(), 7);
+        assert_eq!(scenarios.len(), 8);
     }
 
     #[test]

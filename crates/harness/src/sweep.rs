@@ -245,14 +245,22 @@ pub fn execute_run(
     metrics.insert("jain_goodput".to_string(), section.jain_goodput);
     let mut total_goodput = 0.0;
     let mut flows_completed = 0u64;
+    let mut flows_total = 0u64;
     for e in &section.entities {
         total_goodput += e.goodput_gbps;
         flows_completed += e.flows_completed;
+        flows_total += e.flows;
         metrics.insert(format!("goodput_e{}_gbps", e.entity), e.goodput_gbps);
         metrics.insert(format!("drops_e{}", e.entity), e.drops as f64);
     }
     metrics.insert("goodput_total_gbps".to_string(), total_goodput);
     metrics.insert("flows_completed_total".to_string(), flows_completed as f64);
+    if flows_total > 0 {
+        metrics.insert(
+            "completion_frac".to_string(),
+            flows_completed as f64 / flows_total as f64,
+        );
+    }
     for (id, done) in entity_ids.iter().zip(&completions) {
         if let Some(secs) = done {
             metrics.insert(format!("completion_e{}_s", id.0), *secs);
@@ -276,11 +284,32 @@ pub fn execute_run(
             metrics.insert("wipes_total".to_string(), wipes as f64);
             // An AQ that never re-converged is scored at the full run
             // length — pessimistic, and guaranteed to trip a re-convergence
-            // ceiling rule.
+            // ceiling rule. Only AQs with arrivals *after* the wipe owe a
+            // re-convergence, though: one whose flows all completed before
+            // the fault, or that never carried traffic at all (churned
+            // tenant slots deployed for table pressure only), has no gap
+            // state to rebuild, and scoring it would pin the metric at the
+            // horizon.
+            let wiped_base = rep
+                .sections()
+                .iter()
+                .find(|s| s.label == "fault_end")
+                .or_else(|| rep.sections().iter().find(|s| s.label == "prefault"));
+            let post_arrived = |a: &aq_bench::report::AqRow| -> u64 {
+                let before = wiped_base
+                    .and_then(|s| {
+                        s.aqs
+                            .iter()
+                            .find(|b| b.tag == a.tag && b.position == a.position)
+                    })
+                    .map(|b| b.arrived_bytes)
+                    .unwrap_or(0);
+                a.arrived_bytes.saturating_sub(before)
+            };
             let worst_ns = section
                 .aqs
                 .iter()
-                .filter(|a| a.wipes > 0)
+                .filter(|a| a.wipes > 0 && post_arrived(a) > 0)
                 .map(|a| {
                     if a.reconverge_ns == u64::MAX {
                         section.now_ns
@@ -327,6 +356,28 @@ pub fn execute_run(
         metrics.insert("sharedbuf_rejects_total".to_string(), rejects as f64);
         metrics.insert("sharedbuf_marks_total".to_string(), marks as f64);
         metrics.insert("pool_peak_bytes".to_string(), peak as f64);
+    }
+    if !section.tables.is_empty() {
+        let sum = |f: fn(&aq_bench::report::TableRow) -> u64| -> f64 {
+            section.tables.iter().map(f).sum::<u64>() as f64
+        };
+        metrics.insert(
+            "degraded_flows_total".to_string(),
+            sum(|t| t.degraded_flows),
+        );
+        metrics.insert(
+            "rejected_deploys_total".to_string(),
+            sum(|t| t.rejected_deploys),
+        );
+        metrics.insert("evictions_total".to_string(), sum(|t| t.evictions));
+        metrics.insert("readmissions_total".to_string(), sum(|t| t.readmissions));
+        let peak = section
+            .tables
+            .iter()
+            .map(|t| t.peak_bytes)
+            .max()
+            .unwrap_or(0);
+        metrics.insert("table_peak_bytes".to_string(), peak as f64);
     }
     Ok(metrics)
 }
@@ -538,5 +589,54 @@ mod tests {
         }
         assert!(metrics["events"] > 0.0);
         assert!(metrics["goodput_total_gbps"] > 0.0);
+    }
+
+    #[test]
+    fn tenant_churn_run_exposes_table_metrics_and_passes_its_trend_bounds() {
+        let spec = SweepSpec {
+            name: "unit".to_string(),
+            axes: vec![SweepAxis {
+                scenario: "tenant_churn".to_string(),
+                approaches: vec![Approach::Aq],
+                grid: vec![Params::parse("policy=0").expect("grid")],
+                seeds: vec![1],
+            }],
+        };
+        let points = expand(&spec).expect("expands");
+        let metrics = execute_run(&points[0], None).expect("runs");
+        for key in [
+            "degraded_flows_total",
+            "rejected_deploys_total",
+            "evictions_total",
+            "readmissions_total",
+            "table_peak_bytes",
+            "completion_frac",
+            "reconverge_ms_max",
+            "jain_goodput",
+        ] {
+            assert!(metrics.contains_key(key), "missing metric `{key}`");
+        }
+        // The default point holds the table just over budget: churn must
+        // have produced rejected deploys, and the table peak must sit at
+        // the 7-row budget.
+        assert!(metrics["rejected_deploys_total"] > 0.0);
+        assert_eq!(metrics["table_peak_bytes"], 7.0 * 15.0);
+        // The same-point values the trend rules gate on; failures here
+        // mean the DEFAULT_RULES bounds drifted from reality.
+        assert!(
+            metrics["jain_goodput"] >= 0.6,
+            "jain {}",
+            metrics["jain_goodput"]
+        );
+        assert_eq!(
+            metrics["degraded_flows_total"], 0.0,
+            "the default budget must only reject churned (idle) tenant \
+             slots, never a grant that carries traffic"
+        );
+        assert!(
+            metrics["completion_frac"] >= 0.5,
+            "completion {}",
+            metrics["completion_frac"]
+        );
     }
 }

@@ -235,6 +235,34 @@ pub const DEFAULT_RULES: &[TrendRule] = &[
         approach: "pq",
         ceiling: 150_000.0,
     },
+    // Tenant churn against a register budget: control-plane create/
+    // destroy pressure must never park a grant that carries real traffic
+    // (the churned tenant slots are the ones that overflow), flows keep
+    // completing through the mid-churn wipe, and fairness among the
+    // grant-holding entities stays in the demand-limited band (the
+    // entities run at load 0.25, so Jain here reflects workload skew,
+    // not allocation error — the floor guards against collapse, not
+    // jitter). Gap re-convergence is gated by `aq_state_loss`, whose
+    // traffic persists past the wipe; tenant_churn's light load can
+    // legitimately drain right after it.
+    TrendRule::AtLeast {
+        scenario: "tenant_churn",
+        metric: "jain_goodput",
+        approach: "aq",
+        floor: 0.6,
+    },
+    TrendRule::AtMost {
+        scenario: "tenant_churn",
+        metric: "degraded_flows_total",
+        approach: "aq",
+        ceiling: 0.0,
+    },
+    TrendRule::AtLeast {
+        scenario: "tenant_churn",
+        metric: "completion_frac",
+        approach: "aq",
+        floor: 0.5,
+    },
 ];
 
 /// Mean of `metric` for `(scenario, approach, params)`, if aggregated.

@@ -96,6 +96,12 @@ pub enum EventKind {
         /// Index of the fault in the plan's event list.
         index: usize,
     },
+    /// A scheduled control-plane churn event from the installed
+    /// [`ChurnPlan`](crate::churn::ChurnPlan) fires.
+    Churn {
+        /// Index of the event in the plan's event list.
+        index: usize,
+    },
 }
 
 /// A scheduled event.

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod churn;
 pub mod event;
 pub mod fault;
 pub mod ids;

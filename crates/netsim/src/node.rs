@@ -18,6 +18,34 @@ pub enum PipelineVerdict {
     Forward,
     /// Drop the packet here (counted as a pipeline drop).
     Drop,
+    /// Drop the packet because its flow's in-network state could not be
+    /// admitted (the pipeline's state table is at its register budget and
+    /// the stage polices rather than degrades). Accounted separately from
+    /// [`PipelineVerdict::Drop`] under
+    /// [`DropCause::AqTableOverflow`](crate::queue::DropCause::AqTableOverflow).
+    DropOverflow,
+}
+
+/// A control-plane operation delivered to a switch pipeline mid-run — the
+/// payload of a [`ChurnPlan`](crate::churn::ChurnPlan) event. Plain data:
+/// this crate does not know what an AQ is, so the pipeline implementation
+/// interprets the ids and rates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PipelineControl {
+    /// Provision per-tenant state under `id` (an AQ table deploy).
+    Create {
+        /// The tenant/AQ id.
+        id: u32,
+        /// Allocated rate in bit/s.
+        rate_bps: u64,
+        /// Enforcement limit in bytes.
+        limit_bytes: u64,
+    },
+    /// Tear down the per-tenant state under `id`.
+    Destroy {
+        /// The tenant/AQ id.
+        id: u32,
+    },
 }
 
 /// A programmable stage in a switch data plane, matching the paper's §4.2:
@@ -42,6 +70,13 @@ pub trait SwitchPipeline: Send {
         out_port: PortId,
         backlog_bytes: u64,
     ) -> PipelineVerdict;
+
+    /// Control-plane hook: a churn event ([`crate::churn::ChurnPlan`])
+    /// asks the pipeline to create or destroy per-tenant state mid-run.
+    /// The default is a no-op — a pipeline with no per-tenant state (or
+    /// one not participating in the churn experiment) ignores control
+    /// traffic.
+    fn on_control(&mut self, _now: Time, _op: &PipelineControl) {}
 
     /// Fault hook: the switch lost its data-plane state at `now` (e.g. a
     /// reboot injected by a [`FaultPlan`](crate::fault::FaultPlan)).

@@ -56,6 +56,14 @@ pub enum DropCause {
     /// discipline. Accounted like a taildrop in the port byte identity:
     /// the bytes were offered to the port but never buffered.
     SharedBufferReject,
+    /// Dropped by a switch pipeline because the flow's per-tenant state
+    /// could not be admitted — the pipeline's state table is at its
+    /// register budget and the stage polices unadmitted traffic
+    /// ([`crate::node::PipelineVerdict::DropOverflow`]). Like
+    /// [`DropCause::AqLimit`], never produced by a [`QueueDiscipline`]
+    /// and attribution-only in the port byte identity: the bytes never
+    /// entered the queue.
+    AqTableOverflow,
 }
 
 /// Outcome of offering a packet to a queue discipline.

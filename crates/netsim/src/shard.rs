@@ -184,6 +184,7 @@ impl ShardedSim {
             net,
             stats,
             faults,
+            churn,
             pools,
             jitter_seed,
             jitter_ns,
@@ -256,6 +257,7 @@ impl ShardedSim {
             shard.jitter_ns = jitter_ns;
             shard.stats = stats.fresh_like();
             shard.install_faults(faults.plan.clone());
+            shard.install_churn(churn.plan.clone());
             shard.pools = shard_pools.next().expect("shard count");
             shard.shard = Some(ShardCtx {
                 me: u32::try_from(s).expect("shard count fits u32"),
@@ -574,6 +576,11 @@ impl ShardedSim {
             faults.totals.pause_dropped_bytes += t.pause_dropped_bytes;
         }
         merged.faults = faults;
+
+        merged.churn.plan = std::mem::take(&mut shards[0].churn.plan);
+        for shard in &shards {
+            merged.merge_churn_totals(shard.churn.totals);
+        }
 
         for (i, shard) in shards.iter_mut().enumerate() {
             let own_pools: Vec<_> = shard.pools.drain(..).collect();

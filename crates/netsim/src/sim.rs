@@ -18,6 +18,7 @@
 //!    hands the packet to the app.
 
 use crate::buffer::{Admission, SharedBufferPool};
+use crate::churn::{ChurnEvent, ChurnKind, ChurnPlan, ChurnState, ChurnTotals};
 use crate::event::{arrive_seq, EventKind, EventQueue, SchedulerKind};
 use crate::fault::{AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultState, FaultTotals};
 use crate::ids::{AgentId, LinkId, NodeId, PortId};
@@ -243,6 +244,9 @@ pub struct Simulator {
     /// Installed fault plan plus runtime link/host health (see
     /// [`crate::fault`]).
     pub(crate) faults: FaultState,
+    /// Installed control-plane churn plan plus applied totals (see
+    /// [`crate::churn`]).
+    pub(crate) churn: ChurnState,
     /// Per-switch shared buffer pools, indexed by [`NodeId`]; `None` for
     /// nodes without one (all hosts, and switches left on isolated
     /// per-port buffering).
@@ -291,6 +295,7 @@ impl Simulator {
             last_arrival: vec![Time::ZERO; links],
             launch_count: vec![0; links],
             faults: FaultState::new(links, nodes),
+            churn: ChurnState::default(),
             pools: (0..nodes).map(|_| None).collect(),
             arena: PacketArena::new(),
             shard: None,
@@ -334,6 +339,32 @@ impl Simulator {
         );
         self.faults.wire = crate::fault::WireFate::from_plan(&plan, self.net.links.len());
         self.faults.plan = plan;
+    }
+
+    /// Install a control-plane churn plan; its events are scheduled when
+    /// the simulation starts. Replaces any previously installed plan.
+    ///
+    /// # Panics
+    /// Panics if the simulation has already started (churn is part of a
+    /// run's static inputs, like topology and fault plans).
+    pub fn install_churn(&mut self, plan: ChurnPlan) {
+        assert!(
+            !self.started,
+            "install_churn must be called before the simulation starts"
+        );
+        self.churn.plan = plan;
+    }
+
+    /// Run-wide totals of applied churn operations.
+    pub fn churn_totals(&self) -> &ChurnTotals {
+        &self.churn.totals
+    }
+
+    /// Fold another shard's churn totals into this simulator's (the
+    /// sharded driver's end-of-run merge; each shard applies only the
+    /// churn it owns).
+    pub(crate) fn merge_churn_totals(&mut self, other: ChurnTotals) {
+        self.churn.totals.merge(other);
     }
 
     /// Install a shared buffer pool on a switch: every enqueue at any of
@@ -453,6 +484,18 @@ impl Simulator {
                 }
             }
             self.events.push(ev.at, EventKind::Fault { index });
+        }
+        // Churn events next: like faults they are static plan data, and a
+        // shard schedules only the events whose target switch it owns, so
+        // each control operation is applied exactly once across the fleet.
+        for index in 0..self.churn.plan.events.len() {
+            let ev = self.churn.plan.events[index];
+            if let Some(ctx) = &self.shard {
+                if ctx.owner[ev.node.index()] != ctx.me {
+                    continue;
+                }
+            }
+            self.events.push(ev.at, EventKind::Churn { index });
         }
         // Host apps first, in node order, then agents — all at time zero.
         for n in 0..self.net.nodes.len() {
@@ -596,6 +639,7 @@ impl Simulator {
                 self.on_arrive(node, pkt);
             }
             EventKind::Fault { index } => self.apply_fault(index),
+            EventKind::Churn { index } => self.apply_churn(index),
             EventKind::TxComplete { port } => self.on_tx_complete(port),
             EventKind::PortWake { port } => {
                 let p = &mut self.net.ports[port.index()];
@@ -707,6 +751,24 @@ impl Simulator {
             plan_index: index,
         });
         self.faults.totals.injected += 1;
+    }
+
+    /// Apply the churn operation at `index` of the installed plan: every
+    /// pipeline of the target switch receives the control payload through
+    /// its [`on_control`](crate::node::SwitchPipeline::on_control) hook.
+    fn apply_churn(&mut self, index: usize) {
+        let ChurnEvent { node, kind, .. } = self.churn.plan.events[index];
+        let op = kind.control();
+        if let NodeKind::Switch { pipelines, .. } = &mut self.net.nodes[node.index()].kind {
+            for pipe in pipelines.iter_mut() {
+                pipe.on_control(self.now, &op);
+            }
+        }
+        self.churn.totals.applied += 1;
+        match kind {
+            ChurnKind::Create { .. } => self.churn.totals.creates += 1,
+            ChurnKind::Destroy { .. } => self.churn.totals.destroys += 1,
+        }
     }
 
     /// Account a packet lost on `link`'s wire (fault injection),
@@ -1011,22 +1073,34 @@ impl Simulator {
             };
             let mut v = PipelineVerdict::Forward;
             for pipe in pipelines.iter_mut() {
-                if pipe.ingress(now, &mut pkt) == PipelineVerdict::Drop {
-                    v = PipelineVerdict::Drop;
-                    break;
+                match pipe.ingress(now, &mut pkt) {
+                    PipelineVerdict::Forward => {}
+                    dropped => {
+                        v = dropped;
+                        break;
+                    }
                 }
             }
-            if v == PipelineVerdict::Drop {
+            if v != PipelineVerdict::Forward {
                 *pipeline_drops += 1;
             }
             v
         };
-        if verdict == PipelineVerdict::Drop {
+        if verdict != PipelineVerdict::Forward {
             // Attribute the pipeline drop to the port the packet would
             // have taken (the routing decision is deterministic, so the
             // lookup is exact even though the packet never reaches it).
             if let Some(out) = self.net.route(node, pkt.dst, pkt.flow) {
-                self.stats.on_port_aq_drop(node, out);
+                match verdict {
+                    PipelineVerdict::Drop => self.stats.on_port_aq_drop(node, out),
+                    PipelineVerdict::DropOverflow => self.stats.on_port_queue_drop(
+                        node,
+                        out,
+                        pkt.size as u64,
+                        DropCause::AqTableOverflow,
+                    ),
+                    PipelineVerdict::Forward => unreachable!(),
+                }
             }
             self.stats.on_drop(entity);
             return;
@@ -1047,20 +1121,36 @@ impl Simulator {
             };
             let mut v = PipelineVerdict::Forward;
             for pipe in pipelines.iter_mut() {
-                if pipe.egress(now, &mut pkt, out_port, backlog) == PipelineVerdict::Drop {
-                    v = PipelineVerdict::Drop;
-                    break;
+                match pipe.egress(now, &mut pkt, out_port, backlog) {
+                    PipelineVerdict::Forward => {}
+                    dropped => {
+                        v = dropped;
+                        break;
+                    }
                 }
             }
-            if v == PipelineVerdict::Drop {
+            if v != PipelineVerdict::Forward {
                 *pipeline_drops += 1;
             }
             v
         };
-        if verdict == PipelineVerdict::Drop {
-            self.stats.on_port_aq_drop(node, out_port);
-            self.stats.on_drop(entity);
-            return;
+        match verdict {
+            PipelineVerdict::Forward => {}
+            PipelineVerdict::Drop => {
+                self.stats.on_port_aq_drop(node, out_port);
+                self.stats.on_drop(entity);
+                return;
+            }
+            PipelineVerdict::DropOverflow => {
+                self.stats.on_port_queue_drop(
+                    node,
+                    out_port,
+                    pkt.size as u64,
+                    DropCause::AqTableOverflow,
+                );
+                self.stats.on_drop(entity);
+                return;
+            }
         }
         self.enqueue_at_port(out_port, pkt);
     }

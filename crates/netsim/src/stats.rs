@@ -373,6 +373,12 @@ pub struct PortStats {
     /// port's queue. Attribution only — these bytes never enter the
     /// discipline, so they are **not** part of the byte identity above.
     pub aq_drops: u64,
+    /// Packets dropped by a switch pipeline because their flow's
+    /// per-tenant state could not be admitted at the table's register
+    /// budget ([`crate::queue::DropCause::AqTableOverflow`]). Attribution
+    /// only, like [`aq_drops`](PortStats::aq_drops): the bytes never
+    /// entered the discipline.
+    pub overflow_drops: u64,
     /// Packets lost on this port's wire because the link died while they
     /// were serializing or propagating (fault injection). Attribution
     /// only — the bytes already left the queue (they are counted in
@@ -414,6 +420,7 @@ impl PortStats {
             shaper_drops: 0,
             shared_rejects: 0,
             aq_drops: 0,
+            overflow_drops: 0,
             link_drops: 0,
             corrupt_drops: 0,
             wire_dropped_bytes: 0,
@@ -547,6 +554,45 @@ pub struct AqSummary {
     pub reconverge_ns: u64,
 }
 
+/// End-of-run summary of one AQ *table* (the per-switch, per-position
+/// registry of AQ state), exported by `aq-core`'s pipeline alongside the
+/// per-instance [`AqSummary`] rows. This is where the bounded-memory
+/// story of the table is accounted: the register budget, how close the
+/// table ran to it, and how admission pressure was resolved (rejected
+/// deploys, evictions, re-admissions, degraded flows).
+///
+/// Plain data (no `aq-core` types); the `(node, position)` pair is the
+/// identity of the table within a run.
+#[derive(Debug, Clone)]
+pub struct AqTableSummary {
+    /// Switch owning the table.
+    pub node: NodeId,
+    /// Pipeline stage the table serves.
+    pub position: AqPosition,
+    /// Overflow-policy label (`reject_new` / `evict_idle`).
+    pub policy: &'static str,
+    /// Configured register budget in bytes; 0 = unbounded.
+    pub budget_bytes: u64,
+    /// Register bytes occupied at export time.
+    pub occupancy_bytes: u64,
+    /// Peak register bytes occupied over the run.
+    pub peak_bytes: u64,
+    /// Deploy attempts refused because the table was at budget
+    /// (`RejectNew`, or `EvictIdle` with nothing to evict).
+    pub rejected_deploys: u64,
+    /// AQs evicted to admit newer demand (`EvictIdle`).
+    pub evictions: u64,
+    /// Previously parked AQs re-admitted on a subsequent arrival.
+    pub readmissions: u64,
+    /// Distinct AQ ids that degraded to physical-queue behavior at least
+    /// once (their packets bypassed AQ processing while parked).
+    pub degraded_flows: u64,
+    /// Packets forwarded (or policed) while their AQ was parked.
+    pub degraded_pkts: u64,
+    /// Wire bytes of [`degraded_pkts`](AqTableSummary::degraded_pkts).
+    pub degraded_bytes: u64,
+}
+
 /// Lifecycle of one registered flow.
 #[derive(Debug, Clone)]
 pub struct FlowRecord {
@@ -612,6 +658,7 @@ pub struct StatsHub {
     /// `None` = node has no pool (hosts, or pool never sampled).
     pools: Vec<Option<BufferStats>>,
     aqs: BTreeMap<(u32, AqPosition), AqSummary>,
+    tables: BTreeMap<(NodeId, AqPosition), AqTableSummary>,
     /// Record every Nth delay sample per entity (1 = all). Reduces memory
     /// for very long runs without biasing percentiles.
     pub delay_decimation: u64,
@@ -629,6 +676,7 @@ impl StatsHub {
             ports: Vec::new(),
             pools: Vec::new(),
             aqs: BTreeMap::new(),
+            tables: BTreeMap::new(),
             delay_decimation: 1,
         }
     }
@@ -765,6 +813,9 @@ impl StatsHub {
             // Pipeline drops never traverse the queue; they are attributed
             // through `on_port_aq_drop` and do not enter the byte identity.
             DropCause::AqLimit => ps.aq_drops += 1,
+            // Admission-overflow polices likewise drop in the pipeline,
+            // before the queue — attribution only.
+            DropCause::AqTableOverflow => ps.overflow_drops += 1,
             DropCause::LinkDown | DropCause::Corrupt => {
                 unreachable!("wire deaths are fed through on_wire_drop")
             }
@@ -912,6 +963,18 @@ impl StatsHub {
     /// All exported AQ summaries, in `(tag, position)` order.
     pub fn aq_summaries(&self) -> impl Iterator<Item = &AqSummary> {
         self.aqs.values()
+    }
+
+    /// Record (or replace) the end-of-run summary of one AQ table, keyed
+    /// by `(node, position)`. Re-exporting is idempotent, like
+    /// [`record_aq_summary`](StatsHub::record_aq_summary).
+    pub fn record_table_summary(&mut self, s: AqTableSummary) {
+        self.tables.insert((s.node, s.position), s);
+    }
+
+    /// All exported AQ table summaries, in `(node, position)` order.
+    pub fn table_summaries(&self) -> impl Iterator<Item = &AqTableSummary> {
+        self.tables.values()
     }
 
     /// Declare a flow before it starts so its completion can be awaited.
@@ -1064,6 +1127,12 @@ impl StatsHub {
             assert!(
                 self.aqs.insert(key, s).is_none(),
                 "AQ summary exported by two shard hubs"
+            );
+        }
+        for (key, s) in other.tables {
+            assert!(
+                self.tables.insert(key, s).is_none(),
+                "AQ table summary exported by two shard hubs"
             );
         }
     }

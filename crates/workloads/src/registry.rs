@@ -230,6 +230,59 @@ pub struct BufferPlan {
     pub aqm: AqmKind,
 }
 
+/// Overflow policy for a scenario's bounded AQ tables (mirrors
+/// `aq_core::OverflowPolicy`; the bench layer maps it across so the
+/// workload crate stays free of the core dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowKind {
+    /// Refuse deploys at budget; the refused flow degrades to
+    /// physical-queue behavior.
+    RejectNew,
+    /// Evict the longest-idle AQ to admit new demand.
+    EvictIdle,
+}
+
+impl OverflowKind {
+    /// Stable report label, matching `OverflowPolicy::label`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverflowKind::RejectNew => "reject_new",
+            OverflowKind::EvictIdle => "evict_idle",
+        }
+    }
+}
+
+/// A register-memory budget on every AQ-bearing switch table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanAqBudget {
+    /// Budget expressed in AQ rows (15 packed bytes each).
+    pub aqs: usize,
+    /// What a deploy at budget does.
+    pub policy: OverflowKind,
+}
+
+/// A control-plane tenant-churn train against the bottleneck switch: a
+/// create every `cadence_us`, cycling ids through
+/// `[base_id, base_id + id_span)`, destroying the oldest tenant once
+/// `target_live` are up — so live control-plane demand holds at
+/// `target_live`/`target_live + 1` for the rest of the run (the bench
+/// layer translates this to an `aq_netsim::churn::ChurnPlan`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanChurn {
+    /// First create instant (simulated ms).
+    pub first_ms: f64,
+    /// Tick cadence (simulated µs).
+    pub cadence_us: f64,
+    /// Number of create ticks.
+    pub ticks: usize,
+    /// First tenant AQ id (chosen above the entity-grant id range).
+    pub base_id: u32,
+    /// Ids cycle modulo this span.
+    pub id_span: u32,
+    /// Steady-state live tenant count.
+    pub target_live: usize,
+}
+
 /// A fully-resolved scenario instance: the entities plus the run plan.
 #[derive(Debug, Clone)]
 pub struct ScenarioPlan {
@@ -243,6 +296,10 @@ pub struct ScenarioPlan {
     pub faults: Vec<PlanFault>,
     /// Shared-buffer/AQM layer (`None` = classic per-port FIFOs).
     pub buffers: Option<BufferPlan>,
+    /// Tenant create/destroy churn train (`None` = static control plane).
+    pub churn: Option<PlanChurn>,
+    /// AQ-table register budget (`None` = unbounded tables).
+    pub aq_budget: Option<PlanAqBudget>,
 }
 
 /// One named parameter with its default value.
@@ -427,6 +484,8 @@ fn fairness_flows(p: &Params) -> ScenarioPlan {
         topology: Topology::Dumbbell,
         faults: vec![],
         buffers: None,
+        churn: None,
+        aq_budget: None,
     }
 }
 
@@ -452,6 +511,8 @@ fn completion_vms(p: &Params) -> ScenarioPlan {
         topology: Topology::Dumbbell,
         faults: vec![],
         buffers: None,
+        churn: None,
+        aq_budget: None,
     }
 }
 
@@ -487,6 +548,8 @@ fn udp_tcp_share(p: &Params) -> ScenarioPlan {
         topology: Topology::Dumbbell,
         faults: vec![],
         buffers: None,
+        churn: None,
+        aq_budget: None,
     }
 }
 
@@ -525,6 +588,8 @@ fn cc_mix(p: &Params) -> ScenarioPlan {
         topology: Topology::Dumbbell,
         faults: vec![],
         buffers: None,
+        churn: None,
+        aq_budget: None,
     }
 }
 
@@ -549,6 +614,8 @@ fn interpod_fattree(p: &Params) -> ScenarioPlan {
         topology: Topology::FatTree { k: 4 },
         faults: vec![],
         buffers: None,
+        churn: None,
+        aq_budget: None,
     }
 }
 
@@ -604,6 +671,8 @@ fn linkflap_dumbbell(p: &Params) -> ScenarioPlan {
         topology: Topology::Dumbbell,
         faults,
         buffers: None,
+        churn: None,
+        aq_budget: None,
     }
 }
 
@@ -628,6 +697,60 @@ fn aq_state_loss(p: &Params) -> ScenarioPlan {
         topology: Topology::Dumbbell,
         faults: vec![PlanFault::AqReset { at_ms: wipe_at }],
         buffers: None,
+        churn: None,
+        aq_budget: None,
+    }
+}
+
+fn tenant_churn(p: &Params) -> ScenarioPlan {
+    let n_flows = p.get_usize("n_flows").unwrap_or(8).max(1);
+    let load = p.get("load").unwrap_or(0.25).clamp(0.01, 1.0);
+    let budget_aqs = p.get_usize("budget_aqs").unwrap_or(7).max(1);
+    let policy = match p.get_usize("policy").unwrap_or(0) {
+        0 => OverflowKind::RejectNew,
+        _ => OverflowKind::EvictIdle,
+    };
+    let target = p.get_usize("churn_aqs").unwrap_or(4).max(1);
+    let cadence_us = p.get("churn_cadence_us").unwrap_or(50.0).max(1.0);
+    let first_ms = p.get("churn_start_ms").unwrap_or(5.0).max(0.0);
+    let horizon_ms = p.get("horizon_ms").unwrap_or(40.0);
+    let wipe_at = p.get("wipe_at_ms").unwrap_or(20.0).max(0.0);
+    // Create ticks run from the first tick to the horizon at the cadence,
+    // so the steady-state pressure lasts the remainder of the run.
+    let ticks = (((horizon_ms - first_ms).max(0.0) * 1000.0) / cadence_us).floor() as usize;
+    let mk = |entity| EntitySetup {
+        entity,
+        n_vms: 1,
+        cc: CcAlgo::Cubic,
+        weight: 1,
+        traffic: Traffic::WebSearch { n_flows, load },
+    };
+    ScenarioPlan {
+        entities: vec![mk(EntityId(1)), mk(EntityId(2)), mk(EntityId(3))],
+        run: RunPlan::FixedHorizon {
+            horizon: ms(horizon_ms),
+        },
+        topology: Topology::Dumbbell,
+        faults: if wipe_at > 0.0 {
+            vec![PlanFault::AqReset { at_ms: wipe_at }]
+        } else {
+            vec![]
+        },
+        buffers: None,
+        churn: Some(PlanChurn {
+            first_ms,
+            cadence_us,
+            ticks,
+            // Tenant ids sit above the controller's entity-grant range so
+            // churn never collides with the three granted AQs.
+            base_id: 100,
+            id_span: (target + 2) as u32,
+            target_live: target,
+        }),
+        aq_budget: Some(PlanAqBudget {
+            aqs: budget_aqs,
+            policy,
+        }),
     }
 }
 
@@ -677,6 +800,8 @@ fn incast_sharedbuf(p: &Params) -> ScenarioPlan {
             admission: admission_kind(p),
             aqm: AqmKind::Fifo,
         }),
+        churn: None,
+        aq_budget: None,
     }
 }
 
@@ -707,6 +832,8 @@ fn websearch_aqm_zoo(p: &Params) -> ScenarioPlan {
             admission: AdmissionKind::DynamicThreshold { alpha: 1.0 },
             aqm,
         }),
+        churn: None,
+        aq_budget: None,
     }
 }
 
@@ -928,6 +1055,63 @@ pub fn registry() -> &'static [ScenarioDef] {
                 },
             ],
             build: linkflap_dumbbell,
+        },
+        ScenarioDef {
+            name: "tenant_churn",
+            summary: "three equal web-search entities share the dumbbell while a \
+                      control-plane churn train creates/destroys tenant AQs against a \
+                      bounded table held at ~90–110% of its register budget (the \
+                      `policy` axis contrasts reject-new degradation with idle \
+                      eviction), with a mid-run AQ-table wipe; measures post-churn \
+                      fairness, reconvergence, and degraded-flow completion",
+            params: &[
+                ParamDef {
+                    name: "budget_aqs",
+                    default: 7.0,
+                    help: "AQ-table register budget, in 15-byte AQ rows",
+                },
+                ParamDef {
+                    name: "policy",
+                    default: 0.0,
+                    help: "overflow policy: 0 reject-new (degrade), 1 evict-idle",
+                },
+                ParamDef {
+                    name: "churn_aqs",
+                    default: 4.0,
+                    help: "steady-state live churned-tenant count",
+                },
+                ParamDef {
+                    name: "churn_cadence_us",
+                    default: 50.0,
+                    help: "tenant create cadence (simulated µs)",
+                },
+                ParamDef {
+                    name: "churn_start_ms",
+                    default: 5.0,
+                    help: "first tenant create (simulated ms)",
+                },
+                ParamDef {
+                    name: "n_flows",
+                    default: 8.0,
+                    help: "web-search flows per entity",
+                },
+                ParamDef {
+                    name: "load",
+                    default: 0.25,
+                    help: "offered load fraction per entity",
+                },
+                ParamDef {
+                    name: "wipe_at_ms",
+                    default: 20.0,
+                    help: "AQ table wipe instant (simulated ms; 0 = off)",
+                },
+                ParamDef {
+                    name: "horizon_ms",
+                    default: 40.0,
+                    help: "run length (simulated ms)",
+                },
+            ],
+            build: tenant_churn,
         },
         ScenarioDef {
             name: "udp_tcp_share",
@@ -1217,6 +1401,43 @@ mod tests {
                 assert_eq!(e.cc, CcAlgo::Dctcp);
                 assert!(matches!(e.traffic, Traffic::WebSearch { .. }));
             }
+        }
+    }
+
+    #[test]
+    fn tenant_churn_holds_demand_near_budget() {
+        let def = find("tenant_churn").expect("registered");
+        let plan = def.plan(&Params::new()).expect("plan");
+        assert_eq!(plan.entities.len(), 3);
+        let budget = plan.aq_budget.expect("budget");
+        assert_eq!(budget.aqs, 7);
+        assert_eq!(budget.policy, OverflowKind::RejectNew);
+        let churn = plan.churn.expect("churn");
+        // Steady-state demand = 3 entity grants + the live tenant train,
+        // oscillating target/target+1: 7–8 rows against a 7-row budget —
+        // the table sits at 100–114% of budget for the rest of the run.
+        assert_eq!(churn.target_live, 4);
+        assert!(churn.id_span as usize > churn.target_live);
+        assert!(churn.base_id > 3, "tenant ids must clear the grant range");
+        // 35 ms of churn at 50 µs cadence = 700 create ticks.
+        assert_eq!(churn.ticks, 700);
+        assert_eq!(plan.faults, vec![PlanFault::AqReset { at_ms: 20.0 }]);
+        // The policy axis flips to eviction; wipe_at_ms=0 disables the wipe.
+        let plan = def
+            .plan(&Params::parse("policy=1,wipe_at_ms=0").expect("parse"))
+            .expect("plan");
+        assert_eq!(plan.aq_budget.unwrap().policy, OverflowKind::EvictIdle);
+        assert_eq!(plan.aq_budget.unwrap().policy.label(), "evict_idle");
+        assert!(plan.faults.is_empty());
+    }
+
+    #[test]
+    fn classic_scenarios_carry_no_churn_or_budget() {
+        for def in registry() {
+            let plan = def.plan(&Params::new()).expect("plan");
+            let expect = def.name == "tenant_churn";
+            assert_eq!(plan.churn.is_some(), expect, "{}: churn", def.name);
+            assert_eq!(plan.aq_budget.is_some(), expect, "{}: budget", def.name);
         }
     }
 
